@@ -1,0 +1,113 @@
+// Ablation: migrate batch size vs T_net amortization.
+//
+// The paper's analysis makes per-record transfer time T_net the dominant
+// term of T_migrate.  Our network model charges one RTT per MIGRATE
+// message, so batching amortizes latency: this bench reruns the Fig. 3 GBA
+// workload sweeping records-per-message and reports total (virtual)
+// migration time.  Expected shape: strongly decreasing, flattening once
+// the payload term dominates the per-message term.
+#include <cstdio>
+#include <vector>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "figcommon.h"
+
+namespace ecc::bench {
+namespace {
+
+struct Outcome {
+  std::size_t batch = 0;
+  Duration migration_time;
+  std::uint64_t records_migrated = 0;
+  double final_speedup = 0.0;
+};
+
+Outcome Run(const Config& cfg, std::size_t batch) {
+  StackParams params;
+  params.keyspace = cfg.GetInt("keyspace", 1 << 16);
+  params.records_per_node = cfg.GetInt("records_per_node", 4096);
+  params.value_bytes = cfg.GetInt("value_bytes", 1000);
+  params.service_kind = cfg.GetString("service", "synthetic");
+  params.seed = cfg.GetInt("seed", 0x31);
+  params.coordinator.window.slices = 0;
+  params.coordinator.contraction_epsilon = 0;
+  Stack stack = BuildStack(params);
+  // Rebuild the elastic cache with the batch override.
+  core::ElasticCacheOptions eopts;
+  eopts.node_capacity_bytes =
+      params.records_per_node * NominalRecordBytes(params);
+  eopts.ring.range = params.keyspace;
+  eopts.migrate_batch_records = batch;
+  stack.cache = std::make_unique<core::ElasticCache>(
+      eopts, stack.provider.get(), stack.clock.get());
+  stack.coordinator = std::make_unique<core::Coordinator>(
+      core::CoordinatorOptions{}, stack.cache.get(), stack.service.get(),
+      stack.linearizer.get(), stack.clock.get());
+
+  workload::UniformKeyGenerator keys(params.keyspace,
+                                     cfg.GetInt("workload_seed", 0xf16));
+  workload::ConstantRate rate(1);
+  workload::ExperimentOptions exp;
+  exp.time_steps = cfg.GetInt("steps", 100000);
+  exp.observe_every = exp.time_steps;
+  exp.label = "batch" + std::to_string(batch);
+  workload::ExperimentDriver driver(exp, stack.coordinator.get(), &keys,
+                                    &rate, stack.provider.get(),
+                                    stack.clock.get());
+  const auto result = driver.Run();
+
+  Outcome out;
+  out.batch = batch;
+  out.migration_time = stack.cache->stats().total_migration_time;
+  out.records_migrated = stack.cache->stats().records_migrated;
+  out.final_speedup = result.summary.final_speedup;
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  Log::SetLevel(LogLevel::kError);
+  const Config cfg = ParseArgs(argc, argv);
+  PrintHeader("Ablation — Migrate Batch Size vs T_net Amortization",
+              "Records per MIGRATE message on the Fig. 3 GBA workload; one "
+              "RTT is paid per message.");
+
+  const std::vector<std::size_t> batches = {1, 8, 64, 256};
+  std::vector<Outcome> outcomes;
+  for (std::size_t b : batches) outcomes.push_back(Run(cfg, b));
+
+  Table table({"batch_records", "migration_time_s", "per_record_ms",
+               "records_migrated", "final_speedup"});
+  for (const Outcome& o : outcomes) {
+    table.AddRow({FormatG(static_cast<double>(o.batch)),
+                  FormatG(o.migration_time.seconds()),
+                  FormatG(o.migration_time.millis() /
+                          std::max<double>(1.0, o.records_migrated)),
+                  FormatG(static_cast<double>(o.records_migrated)),
+                  FormatG(o.final_speedup)});
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+
+  bool ok = true;
+  ok &= ShapeCheck("same records migrate regardless of batching",
+                   outcomes.front().records_migrated ==
+                       outcomes.back().records_migrated);
+  ok &= ShapeCheck(
+      "migration time decreases monotonically with batch size",
+      outcomes[0].migration_time > outcomes[1].migration_time &&
+          outcomes[1].migration_time > outcomes[2].migration_time &&
+          outcomes[2].migration_time >= outcomes[3].migration_time);
+  ok &= ShapeCheck("batching 1 -> 64 wins at least 5x",
+                   outcomes[0].migration_time.seconds() >
+                       5.0 * outcomes[2].migration_time.seconds());
+  ok &= ShapeCheck("returns diminish past 64 records/message (< 2x more)",
+                   outcomes[2].migration_time.seconds() <
+                       2.0 * outcomes[3].migration_time.seconds());
+  std::printf("\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ecc::bench
+
+int main(int argc, char** argv) { return ecc::bench::Main(argc, argv); }

@@ -1,0 +1,102 @@
+// Ablation: dynamic window sizing (the paper's §IV.D/§VI future work).
+//
+// The evaluation concludes that window length m dominates both speedup and
+// node cost and that "a dynamically changing m can thus be very useful in
+// driving down cost."  This bench runs the phased workload under fixed
+// windows (m = 50 and m = 400) and under the feedback controller
+// (DynamicWindowPolicy), comparing peak speedup against cloud cost.
+//
+// Expected outcome: the dynamic window lands between the fixed extremes —
+// near-m=400 burst speedup at materially lower node cost.
+#include <cstdio>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "figcommon.h"
+
+namespace ecc::bench {
+namespace {
+
+workload::ExperimentResult RunDynamic(const Config& cfg,
+                                      const std::string& label) {
+  StackParams params;
+  params.keyspace = cfg.GetInt("keyspace", 1 << 15);
+  params.records_per_node = cfg.GetInt("records_per_node", 3500);
+  params.value_bytes = cfg.GetInt("value_bytes", 1000);
+  params.service_kind = cfg.GetString("service", "synthetic");
+  params.seed = cfg.GetInt("seed", 0x51);
+  params.coordinator.window.slices = cfg.GetInt("start_window", 100);
+  params.coordinator.window.alpha = cfg.GetDouble("alpha", 0.99);
+  params.coordinator.contraction_epsilon = cfg.GetInt("epsilon", 5);
+  params.coordinator.dynamic_window = true;
+  params.coordinator.dynamic.min_slices = cfg.GetInt("min_window", 25);
+  params.coordinator.dynamic.max_slices = cfg.GetInt("max_window", 600);
+  params.coordinator.dynamic.period = cfg.GetInt("adjust_period", 8);
+  params.min_nodes = 2;
+  Stack stack = BuildStack(params);
+
+  workload::UniformKeyGenerator keys(params.keyspace,
+                                     cfg.GetInt("workload_seed", 0xabc));
+  const auto rate = workload::PaperPhasedSchedule();
+  workload::ExperimentOptions eopts;
+  eopts.time_steps = cfg.GetInt("steps", 700);
+  eopts.observe_every = cfg.GetInt("observe_every", 10);
+  eopts.label = label;
+  workload::ExperimentDriver driver(eopts, stack.coordinator.get(), &keys,
+                                    rate.get(), stack.provider.get(),
+                                    stack.clock.get());
+  return driver.Run();
+}
+
+int Main(int argc, char** argv) {
+  Log::SetLevel(LogLevel::kError);
+  const Config cfg = ParseArgs(argc, argv);
+  PrintHeader("Ablation — Dynamic Window Sizing (paper future work)",
+              "Fixed m=50 / m=400 vs hit-rate feedback controller on the "
+              "phased workload.");
+
+  const auto fixed_small = RunPhased(cfg, 50, 0.99, -1.0, "fixed-m50");
+  const auto fixed_large = RunPhased(cfg, 400, 0.99, -1.0, "fixed-m400");
+  const auto dynamic = RunDynamic(cfg, "dynamic");
+
+  Table summary({"policy", "max_speedup", "hit_rate", "nodes_mean",
+                 "nodes_max", "nodes_final", "speedup_per_mean_node"});
+  const auto row = [&summary](const workload::ExperimentSummary& s) {
+    summary.AddRow({s.label, FormatG(s.max_speedup), FormatG(s.hit_rate),
+                    FormatG(s.mean_nodes),
+                    FormatG(static_cast<double>(s.max_nodes)),
+                    FormatG(static_cast<double>(s.final_nodes)),
+                    FormatG(s.max_speedup / std::max(1e-9, s.mean_nodes))});
+  };
+  row(fixed_small.summary);
+  row(fixed_large.summary);
+  row(dynamic.summary);
+  std::printf("\n%s\n", summary.ToString().c_str());
+
+  bool ok = true;
+  ok &= ShapeCheck("dynamic reaches most of m=400's peak (>= 40%)",
+                   dynamic.summary.max_speedup >=
+                       0.4 * fixed_large.summary.max_speedup);
+  ok &= ShapeCheck("dynamic clearly beats m=50's peak",
+                   dynamic.summary.max_speedup >
+                       1.5 * fixed_small.summary.max_speedup);
+  ok &= ShapeCheck("dynamic uses fewer mean nodes than fixed m=400",
+                   dynamic.summary.mean_nodes <
+                       fixed_large.summary.mean_nodes);
+  ok &= ShapeCheck("dynamic releases more capacity by the end",
+                   dynamic.summary.final_nodes <
+                       fixed_large.summary.final_nodes);
+  ok &= ShapeCheck(
+      "dynamic's peak speedup per mean node beats fixed m=400",
+      dynamic.summary.max_speedup /
+              std::max(1e-9, dynamic.summary.mean_nodes) >
+          fixed_large.summary.max_speedup /
+              std::max(1e-9, fixed_large.summary.mean_nodes));
+  std::printf("\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ecc::bench
+
+int main(int argc, char** argv) { return ecc::bench::Main(argc, argv); }

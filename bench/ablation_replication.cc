@@ -1,0 +1,151 @@
+// Ablation: successor replication under node failure (paper §VI suggests
+// replication; the paper's evaluation itself assumes nodes never die).
+//
+// Same phased workload as Figs. 5-7.  At the peak of the intensive period
+// one cache node fails abruptly (KillNode).  Without replication every
+// record it held is lost and the hit rate craters until the service
+// recomputes them; with successor replication the loss is masked and the
+// dip largely disappears — at the price of roughly doubled memory use
+// (extra splits/allocations) while both copies are live.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "figcommon.h"
+
+namespace ecc::bench {
+namespace {
+
+struct Outcome {
+  std::string label;
+  double hit_rate_before = 0.0;  ///< interval ending at the failure
+  double hit_rate_after = 0.0;   ///< interval right after the failure
+  double recovery_steps = 0.0;   ///< steps to regain 90% of pre-kill rate
+  std::size_t records_dropped = 0;
+  std::size_t records_recoverable = 0;
+  std::size_t max_nodes = 0;
+  std::uint64_t replica_writes = 0;
+};
+
+Outcome Run(const Config& cfg, std::size_t replicas,
+            const std::string& label) {
+  StackParams params;
+  params.keyspace = cfg.GetInt("keyspace", 1 << 15);
+  params.records_per_node = cfg.GetInt("records_per_node", 3500);
+  params.value_bytes = cfg.GetInt("value_bytes", 1000);
+  params.service_kind = cfg.GetString("service", "synthetic");
+  params.seed = cfg.GetInt("seed", 0x51);
+  params.coordinator.window.slices = cfg.GetInt("window", 200);
+  params.coordinator.contraction_epsilon = cfg.GetInt("epsilon", 5);
+  params.min_nodes = 2;
+  params.replicas = replicas;
+  Stack stack = BuildStack(params);
+
+  workload::UniformKeyGenerator keys(params.keyspace,
+                                     cfg.GetInt("workload_seed", 0xabc));
+  const auto rate = workload::PaperPhasedSchedule();
+  const std::size_t kill_step = cfg.GetInt("kill_step", 250);
+  const std::size_t steps = cfg.GetInt("steps", 500);
+
+  Outcome out;
+  out.label = label;
+  std::size_t window_hits = 0, window_queries = 0;
+  double rate_before = 0.0;
+  std::size_t recovered_at = 0;
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const std::size_t r = rate->RateAt(step);
+    for (std::size_t j = 0; j < r; ++j) {
+      (void)stack.coordinator->ProcessKey(keys.Next());
+    }
+    const core::TimeStepReport report = stack.coordinator->EndTimeStep();
+    window_hits += report.step_hits;
+    window_queries += report.step_queries;
+    out.max_nodes = std::max(out.max_nodes, stack.cache->NodeCount());
+
+    if (step % 10 == 0) {
+      const double hit_rate =
+          window_queries == 0
+              ? 0.0
+              : static_cast<double>(window_hits) /
+                    static_cast<double>(window_queries);
+      if (step == kill_step) {
+        out.hit_rate_before = hit_rate;
+        rate_before = hit_rate;
+        // Inject the failure: kill the node owning the median key.
+        auto victim = stack.elastic()->OwnerOf(params.keyspace / 2);
+        if (victim.ok()) {
+          auto report2 = stack.elastic()->KillNode(*victim);
+          if (report2.ok()) {
+            out.records_dropped = report2->records_dropped;
+            out.records_recoverable = report2->records_recoverable;
+          }
+        }
+      } else if (step == kill_step + 10) {
+        out.hit_rate_after = hit_rate;
+      }
+      if (step > kill_step && recovered_at == 0 &&
+          hit_rate >= 0.9 * rate_before) {
+        recovered_at = step;
+      }
+      window_hits = window_queries = 0;
+    }
+  }
+  out.recovery_steps = recovered_at == 0
+                           ? static_cast<double>(steps - kill_step)
+                           : static_cast<double>(recovered_at - kill_step);
+  out.replica_writes = stack.cache->stats().replica_writes;
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  Log::SetLevel(LogLevel::kError);
+  const Config cfg = ParseArgs(argc, argv);
+  PrintHeader("Ablation — Replication under Node Failure (paper future "
+              "work)",
+              "Abrupt node loss at the burst peak; mirror replicas double the "
+              "stored volume (and fleet).");
+
+  const Outcome plain = Run(cfg, 1, "no-replication");
+  const Outcome replicated = Run(cfg, 2, "mirror-replica");
+
+  Table table({"config", "hit_before", "hit_after_kill", "dip",
+               "recovery_steps", "dropped", "recoverable", "max_nodes",
+               "replica_writes"});
+  for (const Outcome& o : {plain, replicated}) {
+    table.AddRow({o.label, FormatG(o.hit_rate_before),
+                  FormatG(o.hit_rate_after),
+                  FormatG(o.hit_rate_before - o.hit_rate_after),
+                  FormatG(o.recovery_steps),
+                  FormatG(static_cast<double>(o.records_dropped)),
+                  FormatG(static_cast<double>(o.records_recoverable)),
+                  FormatG(static_cast<double>(o.max_nodes)),
+                  FormatG(static_cast<double>(o.replica_writes))});
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+
+  const double plain_dip = plain.hit_rate_before - plain.hit_rate_after;
+  const double repl_dip =
+      replicated.hit_rate_before - replicated.hit_rate_after;
+  bool ok = true;
+  ok &= ShapeCheck("failure drops real data without replication",
+                   plain.records_dropped > 0 &&
+                       plain.records_recoverable == 0);
+  ok &= ShapeCheck("replication makes most dropped records recoverable",
+                   replicated.records_recoverable >
+                       replicated.records_dropped / 2);
+  ok &= ShapeCheck("replication halves the post-failure hit-rate dip",
+                   repl_dip < 0.5 * plain_dip || plain_dip <= 0.0);
+  ok &= ShapeCheck("replication costs capacity (more nodes at peak)",
+                   replicated.max_nodes > plain.max_nodes);
+  ok &= ShapeCheck("replicas were actually written",
+                   replicated.replica_writes > 0 &&
+                       plain.replica_writes == 0);
+  std::printf("\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ecc::bench
+
+int main(int argc, char** argv) { return ecc::bench::Main(argc, argv); }

@@ -1,0 +1,118 @@
+// Ablation: victim policies for the static baseline, uniform vs skewed
+// workloads.
+//
+// The paper's statics use LRU.  This bench sweeps LRU/FIFO/LFU/Random on
+// static-4 under (a) the paper's uniform draws — where policies barely
+// differ because every key is equally likely — and (b) a Zipf(0.99)
+// workload, where recency/frequency policies must beat random eviction.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "figcommon.h"
+
+namespace ecc::bench {
+namespace {
+
+struct Row {
+  std::string policy;
+  double uniform_hit_rate = 0.0;
+  double zipf_hit_rate = 0.0;
+};
+
+double RunOne(const Config& cfg, core::VictimPolicy policy, bool zipf) {
+  StackParams params;
+  params.keyspace = cfg.GetInt("keyspace", 1 << 14);
+  params.records_per_node = cfg.GetInt("records_per_node", 512);
+  params.value_bytes = cfg.GetInt("value_bytes", 1000);
+  params.service_kind = cfg.GetString("service", "synthetic");
+  params.seed = cfg.GetInt("seed", 0x77);
+  params.static_nodes = cfg.GetInt("nodes", 4);
+  params.static_policy = policy;
+  params.coordinator.window.slices = 0;
+  params.coordinator.contraction_epsilon = 0;
+  Stack stack = BuildStack(params);
+
+  std::unique_ptr<workload::KeyGenerator> keys;
+  if (zipf) {
+    keys = std::make_unique<workload::ZipfKeyGenerator>(
+        params.keyspace, cfg.GetDouble("zipf_s", 0.99),
+        cfg.GetInt("workload_seed", 0x21));
+  } else {
+    keys = std::make_unique<workload::UniformKeyGenerator>(
+        params.keyspace, cfg.GetInt("workload_seed", 0x21));
+  }
+  workload::ConstantRate rate(cfg.GetInt("rate", 1));
+  workload::ExperimentOptions eopts;
+  eopts.time_steps = cfg.GetInt("steps", 60000);
+  eopts.observe_every = eopts.time_steps;
+  eopts.label = "victim";
+  workload::ExperimentDriver driver(eopts, stack.coordinator.get(),
+                                    keys.get(), &rate, nullptr,
+                                    stack.clock.get());
+  return driver.Run().summary.hit_rate;
+}
+
+int Main(int argc, char** argv) {
+  Log::SetLevel(LogLevel::kError);
+  const Config cfg = ParseArgs(argc, argv);
+  PrintHeader("Ablation — Static-Cache Victim Policies",
+              "LRU (the paper's choice) vs FIFO/LFU/Random on uniform and "
+              "Zipf(0.99) workloads, static-4.");
+
+  const std::vector<core::VictimPolicy> policies = {
+      core::VictimPolicy::kLru, core::VictimPolicy::kFifo,
+      core::VictimPolicy::kLfu, core::VictimPolicy::kRandom};
+  std::vector<Row> rows;
+  for (core::VictimPolicy p : policies) {
+    Row row;
+    row.policy = core::VictimPolicyName(p);
+    row.uniform_hit_rate = RunOne(cfg, p, /*zipf=*/false);
+    row.zipf_hit_rate = RunOne(cfg, p, /*zipf=*/true);
+    rows.push_back(row);
+  }
+
+  Table table({"policy", "uniform_hit_rate", "zipf_hit_rate"});
+  for (const Row& r : rows) {
+    table.AddRow({r.policy, FormatG(r.uniform_hit_rate),
+                  FormatG(r.zipf_hit_rate)});
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+
+  const Row& lru = rows[0];
+  const Row& lfu = rows[2];
+  const Row& random = rows[3];
+  bool ok = true;
+  ok &= ShapeCheck(
+      "uniform workload: all policies within 15% of one another",
+      [&] {
+        double lo = 1.0, hi = 0.0;
+        for (const Row& r : rows) {
+          lo = std::min(lo, r.uniform_hit_rate);
+          hi = std::max(hi, r.uniform_hit_rate);
+        }
+        return hi <= lo * 1.15;
+      }());
+  ok &= ShapeCheck("zipf: every policy beats its own uniform hit rate",
+                   [&] {
+                     for (const Row& r : rows) {
+                       if (r.zipf_hit_rate <= r.uniform_hit_rate) {
+                         return false;
+                       }
+                     }
+                     return true;
+                   }());
+  ok &= ShapeCheck("zipf: LRU beats random eviction",
+                   lru.zipf_hit_rate > random.zipf_hit_rate);
+  ok &= ShapeCheck("zipf: LFU is competitive with LRU (>= 95%)",
+                   lfu.zipf_hit_rate >= 0.95 * lru.zipf_hit_rate);
+  std::printf("\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ecc::bench
+
+int main(int argc, char** argv) { return ecc::bench::Main(argc, argv); }

@@ -1,0 +1,102 @@
+// Ablation: asynchronous node preloading (paper §VI: "strategies, such as
+// preloading ... can certainly be used to implement an asynchronous node
+// allocation").
+//
+// Fig. 4 shows split overhead is dominated by instance boot time.  This
+// bench reruns the Fig. 3 GBA configuration with a warm pool of prewarmed
+// instances: splits that would have blocked on a cold boot draw from the
+// pool instead.  Expected outcome: total split overhead collapses (the
+// migration share remains), at the price of paying for idle warm capacity.
+#include <cstdio>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "figcommon.h"
+
+namespace ecc::bench {
+namespace {
+
+struct Outcome {
+  workload::ExperimentSummary summary;
+  Duration split_overhead;
+  Duration alloc_time;
+  double cost = 0.0;
+};
+
+Outcome RunWithPrewarm(const Config& cfg, std::size_t prewarm,
+                       const std::string& label) {
+  StackParams params;
+  params.keyspace = cfg.GetInt("keyspace", 1 << 16);
+  params.records_per_node = cfg.GetInt("records_per_node", 4096);
+  params.value_bytes = cfg.GetInt("value_bytes", 1000);
+  params.service_kind = cfg.GetString("service", "synthetic");
+  params.seed = cfg.GetInt("seed", 0x31);
+  params.coordinator.window.slices = 0;
+  params.coordinator.contraction_epsilon = 0;
+  params.prewarm = prewarm;
+  Stack stack = BuildStack(params);
+
+  workload::UniformKeyGenerator keys(params.keyspace,
+                                     cfg.GetInt("workload_seed", 0xf16));
+  workload::ConstantRate rate(cfg.GetInt("rate", 1));
+  workload::ExperimentOptions eopts;
+  eopts.time_steps = cfg.GetInt("steps", 100000);
+  eopts.observe_every = eopts.time_steps;
+  eopts.label = label;
+  workload::ExperimentDriver driver(eopts, stack.coordinator.get(), &keys,
+                                    &rate, stack.provider.get(),
+                                    stack.clock.get());
+  Outcome out;
+  out.summary = driver.Run().summary;
+  out.split_overhead = stack.cache->stats().total_split_overhead;
+  out.alloc_time = stack.cache->stats().total_alloc_time;
+  out.cost = stack.provider->AccruedCostDollars();
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  Log::SetLevel(LogLevel::kError);
+  const Config cfg = ParseArgs(argc, argv);
+  PrintHeader("Ablation — Warm-Pool Node Preloading (paper future work)",
+              "Cold on-demand boots vs prewarmed instances on the Fig. 3 "
+              "GBA workload.");
+
+  const std::size_t pool = cfg.GetInt("prewarm", 16);
+  const Outcome cold = RunWithPrewarm(cfg, 0, "cold-boot");
+  const Outcome warm = RunWithPrewarm(cfg, pool, "warm-pool");
+
+  Table summary({"config", "splits", "alloc_wait_s", "split_overhead_s",
+                 "final_speedup", "nodes_final", "cost_usd"});
+  const auto row = [&summary](const std::string& name, const Outcome& o) {
+    summary.AddRow({name, FormatG(static_cast<double>(o.summary.splits)),
+                    FormatG(o.alloc_time.seconds()),
+                    FormatG(o.split_overhead.seconds()),
+                    FormatG(o.summary.final_speedup),
+                    FormatG(static_cast<double>(o.summary.final_nodes)),
+                    FormatG(o.cost)});
+  };
+  row("cold-boot", cold);
+  row("warm-pool-" + std::to_string(pool), warm);
+  std::printf("\n%s\n", summary.ToString().c_str());
+
+  bool ok = true;
+  ok &= ShapeCheck("warm pool eliminates most allocation wait (>= 90%)",
+                   warm.alloc_time.seconds() <
+                       0.1 * cold.alloc_time.seconds());
+  ok &= ShapeCheck("warm pool cuts total split overhead by > 50%",
+                   warm.split_overhead.seconds() <
+                       0.5 * cold.split_overhead.seconds());
+  ok &= ShapeCheck("both configurations converge to similar fleets",
+                   warm.summary.final_nodes >= cold.summary.final_nodes - 2 &&
+                       warm.summary.final_nodes <=
+                           cold.summary.final_nodes + 2);
+  ok &= ShapeCheck("idle warm capacity costs real money (bill >= cold's)",
+                   warm.cost >= cold.cost);
+  std::printf("\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ecc::bench
+
+int main(int argc, char** argv) { return ecc::bench::Main(argc, argv); }

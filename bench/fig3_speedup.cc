@@ -1,0 +1,145 @@
+// Figure 3 reproduction: "Relative Speedup and Node Allocation" —
+// GBA (elastic, infinite eviction window) vs static-2/4/8 with LRU,
+// R = 1 query per time step over 2*10^5 steps, inputs uniform over 64K keys.
+//
+// Paper shape: statics flatten quickly (≈1.15x, 1.34x, 2x); GBA keeps
+// climbing past 15x while growing to ~15 nodes, steep early growth that
+// stabilizes after ~75k queries.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "figcommon.h"
+
+namespace ecc::bench {
+namespace {
+
+struct RunOutput {
+  std::string label;
+  workload::ExperimentResult result;
+};
+
+RunOutput RunSystem(const Config& cfg, std::size_t static_nodes,
+                    const std::string& label) {
+  StackParams params;
+  params.keyspace = cfg.GetInt("keyspace", 1 << 16);
+  params.records_per_node = cfg.GetInt("records_per_node", 4096);
+  params.value_bytes = cfg.GetInt("value_bytes", 1000);
+  params.service_kind = cfg.GetString("service", "synthetic");
+  params.seed = cfg.GetInt("seed", 0x31);
+  params.static_nodes = static_nodes;
+  // Infinite eviction window: the Fig. 3 configuration.
+  params.coordinator.window.slices = 0;
+  params.coordinator.contraction_epsilon = 0;
+  Stack stack = BuildStack(params);
+
+  workload::UniformKeyGenerator keys(params.keyspace,
+                                     cfg.GetInt("workload_seed", 0xf16));
+  workload::ConstantRate rate(cfg.GetInt("rate", 1));
+  workload::ExperimentOptions eopts;
+  eopts.time_steps = cfg.GetInt("steps", 200000);
+  eopts.observe_every = cfg.GetInt("observe_every", 5000);
+  eopts.baseline_exec = Duration::Seconds(cfg.GetDouble("baseline", 23.0));
+  eopts.label = label;
+  workload::ExperimentDriver driver(eopts, stack.coordinator.get(),
+                                    &keys, &rate, stack.provider.get(),
+                                    stack.clock.get());
+  RunOutput out;
+  out.label = label;
+  out.result = driver.Run();
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  Log::SetLevel(LogLevel::kError);
+  const Config cfg = ParseArgs(argc, argv);
+  PrintHeader(
+      "Figure 3 — Relative Speedup and Node Allocation (64K keys, R=1)",
+      "GBA elastic cache (infinite window) vs fixed static-2/4/8 with LRU.");
+
+  std::vector<RunOutput> runs;
+  runs.push_back(RunSystem(cfg, 0, "gba"));
+  runs.push_back(RunSystem(cfg, 2, "static-2"));
+  runs.push_back(RunSystem(cfg, 4, "static-4"));
+  runs.push_back(RunSystem(cfg, 8, "static-8"));
+
+  // Combined speedup series (one column per system) + GBA node series —
+  // the two y-axes of the paper's figure.
+  SeriesSet fig("queries");
+  const Series* gba_q = runs[0].result.series.Find("queries_total");
+  for (const RunOutput& run : runs) {
+    const Series* sp = run.result.series.Find("speedup");
+    Series& col = fig.Get("speedup_" + run.label);
+    for (std::size_t i = 0; i < sp->size(); ++i) {
+      col.Add(gba_q->ys()[i], sp->ys()[i]);
+    }
+  }
+  {
+    const Series* nodes = runs[0].result.series.Find("nodes");
+    Series& col = fig.Get("nodes_gba");
+    for (std::size_t i = 0; i < nodes->size(); ++i) {
+      col.Add(gba_q->ys()[i], nodes->ys()[i]);
+    }
+  }
+  std::printf("\n%s\n", fig.ToTable().c_str());
+  MaybeWriteCsv(cfg, fig, "fig3_speedup");
+
+  Table summary({"system", "final_speedup", "max_speedup", "hit_rate",
+                 "nodes_final", "nodes_mean", "nodes_max", "evictions",
+                 "splits", "cost_usd"});
+  for (const RunOutput& run : runs) {
+    const auto& s = run.result.summary;
+    summary.AddRow({run.label, FormatG(s.final_speedup),
+                    FormatG(s.max_speedup), FormatG(s.hit_rate),
+                    FormatG(static_cast<double>(s.final_nodes)),
+                    FormatG(s.mean_nodes),
+                    FormatG(static_cast<double>(s.max_nodes)),
+                    FormatG(static_cast<double>(s.evictions)),
+                    FormatG(static_cast<double>(s.splits)),
+                    FormatG(s.cost_usd)});
+  }
+  std::printf("%s\n", summary.ToString().c_str());
+
+  // Paper-shape assertions.
+  const auto& gba = runs[0].result.summary;
+  const auto& s2 = runs[1].result.summary;
+  const auto& s4 = runs[2].result.summary;
+  const auto& s8 = runs[3].result.summary;
+  bool ok = true;
+  ok &= ShapeCheck("statics ordered: static-2 < static-4 < static-8",
+                   s2.final_speedup < s4.final_speedup &&
+                       s4.final_speedup < s8.final_speedup);
+  ok &= ShapeCheck("static-2 flattens near 1.15x (within [1.05, 1.3])",
+                   s2.final_speedup > 1.05 && s2.final_speedup < 1.3);
+  ok &= ShapeCheck("static-4 flattens near 1.34x (within [1.2, 1.55])",
+                   s4.final_speedup > 1.2 && s4.final_speedup < 1.55);
+  ok &= ShapeCheck("static-8 flattens near 2x (within [1.7, 2.4])",
+                   s8.final_speedup > 1.7 && s8.final_speedup < 2.4);
+  ok &= ShapeCheck("GBA exceeds 15.2x-style gains (final > 10x)",
+                   gba.final_speedup > 10.0);
+  ok &= ShapeCheck("GBA beats static-8 by >4x at the end",
+                   gba.final_speedup > 4.0 * s8.final_speedup);
+  ok &= ShapeCheck("GBA fleet ends near ~15 nodes (within [12, 20])",
+                   gba.final_nodes >= 12 && gba.final_nodes <= 20);
+  {
+    // Growth stabilizes: most allocations happen in the first half.
+    const Series* nodes = runs[0].result.series.Find("nodes");
+    const std::size_t half = nodes->size() / 2;
+    const double mid = nodes->ys()[half];
+    const double end = nodes->LastY();
+    ok &= ShapeCheck("node growth concentrated early (>=70% by midpoint)",
+                     mid >= 0.7 * end);
+  }
+  ok &= ShapeCheck("statics never allocate (node counts fixed)",
+                   s2.node_allocations == 0 && s4.node_allocations == 0 &&
+                       s8.node_allocations == 0);
+  std::printf("\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ecc::bench
+
+int main(int argc, char** argv) { return ecc::bench::Main(argc, argv); }

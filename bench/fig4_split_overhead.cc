@@ -1,0 +1,111 @@
+// Figure 4 reproduction: "Node Splitting Overhead" — per split event, the
+// sum of node-allocation time and data-migration time for GBA on the
+// Fig. 3 workload.
+//
+// Paper shape: overhead can be large (tens of seconds), node allocation —
+// not data movement — is the dominant contributor, and splits are seldom
+// invoked so the penalty amortizes over the query volume.
+#include <cstdio>
+
+#include "common/histogram.h"
+#include "common/log.h"
+#include "common/table.h"
+#include "figcommon.h"
+
+namespace ecc::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Log::SetLevel(LogLevel::kError);
+  const Config cfg = ParseArgs(argc, argv);
+  PrintHeader("Figure 4 — Node Splitting Overhead (GBA, 64K keys, R=1)",
+              "Per split: allocation wait + sweep-and-migrate transfer "
+              "time.");
+
+  StackParams params;
+  params.keyspace = cfg.GetInt("keyspace", 1 << 16);
+  params.records_per_node = cfg.GetInt("records_per_node", 4096);
+  params.value_bytes = cfg.GetInt("value_bytes", 1000);
+  params.service_kind = cfg.GetString("service", "synthetic");
+  params.seed = cfg.GetInt("seed", 0x31);
+  params.coordinator.window.slices = 0;
+  params.coordinator.contraction_epsilon = 0;
+  Stack stack = BuildStack(params);
+
+  workload::UniformKeyGenerator keys(params.keyspace,
+                                     cfg.GetInt("workload_seed", 0xf16));
+  workload::ConstantRate rate(cfg.GetInt("rate", 1));
+  workload::ExperimentOptions eopts;
+  eopts.time_steps = cfg.GetInt("steps", 200000);
+  eopts.observe_every = eopts.time_steps;  // no intermediate samples needed
+  eopts.label = "gba";
+  workload::ExperimentDriver driver(eopts, stack.coordinator.get(), &keys,
+                                    &rate, stack.provider.get(),
+                                    stack.clock.get());
+  const auto result = driver.Run();
+
+  const core::ElasticCache* cache = stack.elastic();
+  Table table({"split#", "src", "dst", "new_node", "records", "bytes",
+               "alloc_s", "migrate_s", "total_s"});
+  Histogram overhead_s(0.001);
+  Histogram alloc_share;
+  Duration total_overhead;
+  std::size_t alloc_splits = 0;
+  for (std::size_t i = 0; i < cache->split_history().size(); ++i) {
+    const core::SplitReport& r = cache->split_history()[i];
+    table.AddRow({FormatG(static_cast<double>(i)),
+                  FormatG(static_cast<double>(r.source)),
+                  FormatG(static_cast<double>(r.destination)),
+                  r.allocated_new_node ? "yes" : "no",
+                  FormatG(static_cast<double>(r.records_moved)),
+                  FormatG(static_cast<double>(r.bytes_moved)),
+                  FormatG(r.alloc_time.seconds()),
+                  FormatG(r.move_time.seconds()),
+                  FormatG(r.TotalOverhead().seconds())});
+    overhead_s.Add(r.TotalOverhead().seconds());
+    total_overhead += r.TotalOverhead();
+    if (r.allocated_new_node) {
+      ++alloc_splits;
+      alloc_share.Add(r.alloc_time.seconds() /
+                      std::max(1e-9, r.TotalOverhead().seconds()));
+    }
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf("split overhead (s): %s\n", overhead_s.Summary().c_str());
+
+  const auto& stats = cache->stats();
+  const double amortized_ms =
+      total_overhead.millis() /
+      static_cast<double>(result.summary.total_queries);
+  std::printf("splits=%llu (with allocation: %zu)   total overhead=%s   "
+              "amortized per query=%.3f ms\n",
+              static_cast<unsigned long long>(stats.splits), alloc_splits,
+              total_overhead.ToString().c_str(), amortized_ms);
+  std::printf("allocation share of total split overhead: %.1f%%\n",
+              100.0 * stats.total_alloc_time.seconds() /
+                  std::max(1e-9, total_overhead.seconds()));
+
+  bool ok = true;
+  ok &= ShapeCheck("splits occurred and fleet grew",
+                   stats.splits > 0 && result.summary.final_nodes > 1);
+  ok &= ShapeCheck("overhead per split can be large (max > 10 s)",
+                   overhead_s.max() > 10.0);
+  ok &= ShapeCheck("allocation dominates migration overall",
+                   stats.total_alloc_time > stats.total_migration_time);
+  ok &= ShapeCheck(
+      "allocation dominates within every allocating split",
+      alloc_splits == 0 || alloc_share.min() > 0.5);
+  ok &= ShapeCheck("splits are rare: <1 per 1000 queries",
+                   static_cast<double>(stats.splits) <
+                       static_cast<double>(result.summary.total_queries) /
+                           1000.0);
+  ok &= ShapeCheck("amortized cost per query below 10 ms",
+                   amortized_ms < 10.0);
+  std::printf("\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ecc::bench
+
+int main(int argc, char** argv) { return ecc::bench::Main(argc, argv); }

@@ -1,0 +1,151 @@
+#include "figcommon.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ecc::bench {
+
+std::size_t NominalRecordBytes(const StackParams& p) {
+  return core::RecordSize(0, p.value_bytes);
+}
+
+sfc::LinearizerOptions GridFor(std::uint64_t keyspace) {
+  // 2*spatial_bits + time_bits must equal log2(keyspace); favour 2-4 time
+  // bits as the paper's inputs are "linearized coordinates and date".
+  unsigned log2 = 0;
+  while ((1ull << log2) < keyspace) ++log2;
+  if ((1ull << log2) != keyspace) {
+    std::fprintf(stderr, "keyspace must be a power of two\n");
+    std::exit(2);
+  }
+  sfc::LinearizerOptions opts;
+  opts.time_bits = log2 % 2 == 0 ? 2 : 3;
+  opts.spatial_bits = (log2 - opts.time_bits) / 2;
+  while (2 * opts.spatial_bits + opts.time_bits < log2) ++opts.time_bits;
+  return opts;
+}
+
+Stack BuildStack(const StackParams& p) {
+  Stack s;
+  s.clock = std::make_unique<VirtualClock>();
+  s.linearizer = std::make_unique<sfc::Linearizer>(GridFor(p.keyspace));
+
+  if (p.service_kind == "shoreline") {
+    service::ShorelineServiceOptions sopts;
+    sopts.base_exec_time = p.service_time;
+    sopts.ctm.width = 32;
+    sopts.ctm.height = 32;
+    sopts.grid = s.linearizer->options();
+    sopts.max_result_bytes = p.value_bytes;
+    sopts.seed = p.seed ^ 0x5ea5ULL;
+    s.service = std::make_unique<service::ShorelineService>(sopts);
+  } else {
+    s.service = std::make_unique<service::SyntheticService>(
+        "synthetic-derived", p.service_time, p.value_bytes);
+  }
+
+  const std::uint64_t capacity =
+      p.records_per_node * NominalRecordBytes(p);
+  if (p.static_nodes > 0) {
+    core::StaticCacheOptions sopts;
+    sopts.nodes = p.static_nodes;
+    sopts.node_capacity_bytes = capacity;
+    sopts.ring.range = p.keyspace;
+    sopts.policy = p.static_policy;
+    sopts.seed = p.seed ^ 0x57a7ULL;
+    s.cache = std::make_unique<core::StaticCache>(sopts, s.clock.get());
+  } else {
+    cloudsim::CloudOptions copts;
+    copts.seed = p.seed ^ 0xec2ULL;
+    s.provider = std::make_unique<cloudsim::CloudProvider>(copts,
+                                                           s.clock.get());
+    if (p.prewarm > 0) s.provider->PrewarmAsync(p.prewarm);
+    core::ElasticCacheOptions eopts;
+    eopts.node_capacity_bytes = capacity;
+    // Mirror replication stores secondaries in the upper half of the hash
+    // line, so the ring must be twice the primary key space.
+    eopts.ring.range = p.replicas >= 2 ? 2 * p.keyspace : p.keyspace;
+    eopts.min_nodes = p.min_nodes;
+    eopts.replicas = p.replicas;
+    s.cache = std::make_unique<core::ElasticCache>(eopts, s.provider.get(),
+                                                   s.clock.get());
+  }
+
+  s.coordinator = std::make_unique<core::Coordinator>(
+      p.coordinator, s.cache.get(), s.service.get(), s.linearizer.get(),
+      s.clock.get());
+  return s;
+}
+
+Config ParseArgs(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    if (Status s = config.ParseToken(argv[i]); !s.ok()) {
+      std::fprintf(stderr, "usage: %s [key=value ...]\n  bad arg: %s\n",
+                   argv[0], s.ToString().c_str());
+      std::exit(2);
+    }
+  }
+  return config;
+}
+
+void PrintHeader(const std::string& figure, const std::string& description) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+bool ShapeCheck(const std::string& claim, bool ok) {
+  std::printf("[shape %s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+  return ok;
+}
+
+void MaybeWriteCsv(const Config& cfg, const SeriesSet& series,
+                   const std::string& name) {
+  if (!cfg.Has("csv_dir")) return;
+  const std::string path = cfg.GetString("csv_dir") + "/" + name + ".csv";
+  if (Status s = series.WriteCsvFile(path); s.ok()) {
+    std::printf("[csv] %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[csv] %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
+  }
+}
+
+workload::ExperimentResult RunPhased(const Config& cfg,
+                                     std::size_t window_slices, double alpha,
+                                     double threshold,
+                                     const std::string& label) {
+  StackParams params;
+  params.keyspace = cfg.GetInt("keyspace", 1 << 15);  // 32K inputs (§IV.C)
+  params.records_per_node = cfg.GetInt("records_per_node", 3500);
+  params.value_bytes = cfg.GetInt("value_bytes", 1000);
+  params.service_kind = cfg.GetString("service", "synthetic");
+  params.seed = cfg.GetInt("seed", 0x51);
+  params.coordinator.window.slices = window_slices;
+  params.coordinator.window.alpha = alpha;
+  params.coordinator.window.threshold = threshold;
+  params.coordinator.contraction_epsilon = cfg.GetInt("epsilon", 5);
+  // The cooperative cache never collapses to a lone node in the paper's
+  // runs; keep at least two cooperating nodes.
+  params.min_nodes = cfg.GetInt("min_nodes", 2);
+  Stack stack = BuildStack(params);
+
+  workload::UniformKeyGenerator keys(params.keyspace,
+                                     cfg.GetInt("workload_seed", 0xabc));
+  const auto rate = workload::PaperPhasedSchedule();
+  workload::ExperimentOptions eopts;
+  eopts.time_steps = cfg.GetInt("steps", 700);
+  eopts.observe_every = cfg.GetInt("observe_every", 10);
+  eopts.baseline_exec = Duration::Seconds(cfg.GetDouble("baseline", 23.0));
+  eopts.label = label;
+  workload::ExperimentDriver driver(eopts, stack.coordinator.get(), &keys,
+                                    rate.get(), stack.provider.get(),
+                                    stack.clock.get());
+  return driver.Run();
+}
+
+}  // namespace ecc::bench

@@ -1,0 +1,106 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Each bench binary builds one or more "stacks" (simulated cloud + cache +
+// service + coordinator), drives them with the paper's workload, and prints
+// series tables plus a summary.  Every knob is overridable from the command
+// line as `key=value` tokens (see Config), so sweeps do not require
+// recompilation:
+//
+//   ./fig3_speedup steps=50000 service=shoreline
+//
+// The default service is the synthetic stand-in (exact 23 s cost, 1000-byte
+// derived results — the paper's measured magnitudes) because figure shapes
+// depend only on key statistics and record size; `service=shoreline` runs
+// the full CTM + marching-squares pipeline instead.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloudsim/provider.h"
+#include "common/config.h"
+#include "common/timeseries.h"
+#include "common/time.h"
+#include "core/coordinator.h"
+#include "core/elastic_cache.h"
+#include "core/static_cache.h"
+#include "core/types.h"
+#include "service/service.h"
+#include "sfc/linearizer.h"
+#include "workload/experiment.h"
+#include "workload/generator.h"
+
+namespace ecc::bench {
+
+/// Everything one experiment run needs, with single ownership.
+struct Stack {
+  std::unique_ptr<VirtualClock> clock;
+  std::unique_ptr<cloudsim::CloudProvider> provider;  // null for static
+  std::unique_ptr<core::CacheBackend> cache;
+  std::unique_ptr<service::Service> service;
+  std::unique_ptr<sfc::Linearizer> linearizer;
+  std::unique_ptr<core::Coordinator> coordinator;
+
+  [[nodiscard]] core::ElasticCache* elastic() const {
+    return dynamic_cast<core::ElasticCache*>(cache.get());
+  }
+};
+
+struct StackParams {
+  std::uint64_t keyspace = 1u << 16;
+  std::size_t records_per_node = 4096;
+  /// Derived-result payload bytes (synthetic service).
+  std::size_t value_bytes = 1000;
+  Duration service_time = Duration::Seconds(23);
+  std::string service_kind = "synthetic";  // or "shoreline"
+  core::CoordinatorOptions coordinator;
+  std::uint64_t seed = 0x90;
+  /// 0 = elastic (GBA); otherwise a fixed-node baseline of this size.
+  std::size_t static_nodes = 0;
+  core::VictimPolicy static_policy = core::VictimPolicy::kLru;
+  /// Warm-pool size to prewarm at startup (elastic only; extension).
+  std::size_t prewarm = 0;
+  /// Contraction floor (elastic only).
+  std::size_t min_nodes = 1;
+  /// Record copies (elastic only; 2 = successor replication extension).
+  std::size_t replicas = 1;
+};
+
+/// Per-record in-memory footprint used for capacity calibration.
+[[nodiscard]] std::size_t NominalRecordBytes(const StackParams& p);
+
+/// Linearizer grid sized so KeySpace() == p.keyspace (keyspace must be a
+/// power of four times a power of two; 2^14..2^16 supported here).
+[[nodiscard]] sfc::LinearizerOptions GridFor(std::uint64_t keyspace);
+
+/// Build a ready-to-run stack.
+[[nodiscard]] Stack BuildStack(const StackParams& p);
+
+/// Apply `key=value` command-line overrides onto a Config; exits with a
+/// usage message on malformed input.
+[[nodiscard]] Config ParseArgs(int argc, char** argv);
+
+/// Pretty banner for a figure bench.
+void PrintHeader(const std::string& figure, const std::string& description);
+
+/// One qualitative "shape check" line (the paper-shape assertions the
+/// bench verifies); prints PASS/FAIL and returns pass.
+bool ShapeCheck(const std::string& claim, bool ok);
+
+/// If the config carries csv_dir=PATH, write `series` to PATH/<name>.csv
+/// (for gnuplot/matplotlib replotting of the figure).
+void MaybeWriteCsv(const Config& cfg, const SeriesSet& series,
+                   const std::string& name);
+
+/// Run the paper's §IV.C phased workload (normal 50 q/step, intensive 250
+/// q/step between steps 101-300, relaxing back to 50 by step 400) against
+/// an elastic stack with the given eviction window.  `threshold` < 0 uses
+/// the per-(alpha, m) baseline; Fig. 7 passes a fixed threshold instead.
+/// Config overrides: keyspace (default 32768), records_per_node (4096),
+/// steps (700), observe_every (10), service, seed, epsilon.
+[[nodiscard]] workload::ExperimentResult RunPhased(
+    const Config& cfg, std::size_t window_slices, double alpha,
+    double threshold, const std::string& label);
+
+}  // namespace ecc::bench

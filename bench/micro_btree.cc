@@ -1,0 +1,138 @@
+// Micro-benchmarks for the B+-Tree: the §III analysis puts a B+-Tree
+// search (O(log n)) plus a linear leaf sweep at the heart of
+// sweep-and-migrate; these benches measure both pieces.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "common/rng.h"
+
+namespace {
+
+using ecc::Rng;
+using Tree = ecc::btree::BPlusTree<std::uint64_t>;
+
+Tree BuildTree(std::size_t n, std::uint64_t seed) {
+  Tree t;
+  Rng rng(seed);
+  while (t.size() < n) {
+    t.Insert(rng.Next(), t.size());
+  }
+  return t;
+}
+
+void BM_BTreeInsertSequential(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Tree t;
+    state.ResumeTiming();
+    for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(state.range(0));
+         ++i) {
+      t.Insert(i, i);
+    }
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsertSequential)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_BTreeInsertRandom(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Tree t;
+    state.ResumeTiming();
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      t.Insert(rng.Next(), i);
+    }
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsertRandom)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_BTreeFind(benchmark::State& state) {
+  const Tree t = BuildTree(state.range(0), 2);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.Find(rng.Next()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BTreeFind)->RangeMultiplier(8)->Range(1 << 10, 1 << 19)
+    ->Complexity(benchmark::oLogN);
+
+void BM_BTreeErase(benchmark::State& state) {
+  Rng rng(4);
+  Tree t = BuildTree(1 << 16, 5);
+  std::vector<std::uint64_t> keys;
+  for (auto it = t.Begin(); it.valid(); it.Next()) keys.push_back(it.key());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (i >= keys.size()) {
+      state.PauseTiming();
+      t = BuildTree(1 << 16, 5);
+      i = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(t.Erase(keys[i++]));
+  }
+}
+BENCHMARK(BM_BTreeErase);
+
+void BM_BTreeLeafSweep(benchmark::State& state) {
+  // The sweep phase of Algorithm 2: linked-leaf walk over half the tree.
+  const Tree t = BuildTree(1 << 16, 6);
+  const std::uint64_t median = t.KeyAtRank(t.size() / 2);
+  for (auto _ : state) {
+    std::size_t visited = t.ForEachInRange(
+        0, median, [](std::uint64_t, const std::uint64_t&) {});
+    benchmark::DoNotOptimize(visited);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t.size() / 2));
+}
+BENCHMARK(BM_BTreeLeafSweep);
+
+void BM_BTreeBulkLoad(benchmark::State& state) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    sorted.emplace_back(i * 3, i);
+  }
+  for (auto _ : state) {
+    Tree t;
+    auto copy = sorted;
+    t.BulkLoad(std::move(copy));
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeBulkLoad)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_BTreeInsertSortedBaseline(benchmark::State& state) {
+  // The O(n log n) alternative BulkLoad replaces.
+  for (auto _ : state) {
+    Tree t;
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      t.Insert(static_cast<std::uint64_t>(i) * 3, i);
+    }
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsertSortedBaseline)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_BTreeSweepRangeCopy(benchmark::State& state) {
+  const Tree t = BuildTree(1 << 14, 7);
+  const std::uint64_t median = t.KeyAtRank(t.size() / 2);
+  for (auto _ : state) {
+    auto out = t.SweepRange(0, median);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_BTreeSweepRangeCopy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Micro-benchmarks for the cache hot paths: GBA lookup/insert real CPU
+// cost, sweep-and-migrate throughput, and the sliding-window scorer.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "cloudsim/provider.h"
+#include "common/rng.h"
+#include "core/elastic_cache.h"
+#include "core/sliding_window.h"
+
+namespace {
+
+using ecc::Duration;
+using ecc::Rng;
+using ecc::VirtualClock;
+namespace core = ecc::core;
+namespace cloudsim = ecc::cloudsim;
+
+struct CacheFixture {
+  explicit CacheFixture(std::size_t records_per_node)
+      : provider(cloudsim::CloudOptions{}, &clock),
+        cache(
+            [&] {
+              core::ElasticCacheOptions opts;
+              opts.node_capacity_bytes =
+                  records_per_node * core::RecordSize(0, std::size_t{1000});
+              opts.ring.range = 1u << 16;
+              return opts;
+            }(),
+            &provider, &clock) {}
+  VirtualClock clock;
+  cloudsim::CloudProvider provider;
+  core::ElasticCache cache;
+};
+
+void BM_ElasticGetHit(benchmark::State& state) {
+  CacheFixture f(1 << 14);
+  Rng rng(1);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 4096; ++i) {
+    const std::uint64_t k = rng.Uniform(1u << 16);
+    if (f.cache.Put(k, std::string(1000, 'v')).ok()) keys.push_back(k);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.cache.Get(keys[i++ % keys.size()]));
+  }
+}
+BENCHMARK(BM_ElasticGetHit);
+
+void BM_ElasticGetMiss(benchmark::State& state) {
+  CacheFixture f(1 << 14);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.cache.Get(rng.Uniform(1u << 16)));
+  }
+}
+BENCHMARK(BM_ElasticGetMiss);
+
+void BM_ElasticPutNoSplit(benchmark::State& state) {
+  // Large capacity: pure insert path, no overflow machinery.
+  CacheFixture f(1 << 20);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.cache.Put(rng.Next() % (1u << 16), std::string(1000, 'v')));
+  }
+}
+BENCHMARK(BM_ElasticPutNoSplit);
+
+void BM_ElasticPutWithSplits(benchmark::State& state) {
+  // Small nodes: the amortized cost including overflow splits.
+  Rng rng(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CacheFixture f(512);
+    state.ResumeTiming();
+    for (int i = 0; i < 2000; ++i) {
+      benchmark::DoNotOptimize(
+          f.cache.Put(rng.Next() % (1u << 16), std::string(1000, 'v')));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_ElasticPutWithSplits);
+
+void BM_SlidingWindowRecord(benchmark::State& state) {
+  core::SlidingWindowOptions opts;
+  opts.slices = 100;
+  core::SlidingWindow window(opts);
+  Rng rng(5);
+  for (auto _ : state) {
+    window.RecordQuery(rng.Uniform(1u << 15));
+  }
+}
+BENCHMARK(BM_SlidingWindowRecord);
+
+void BM_SlidingWindowAdvance(benchmark::State& state) {
+  core::SlidingWindowOptions opts;
+  opts.slices = static_cast<std::size_t>(state.range(0));
+  core::SlidingWindow window(opts);
+  Rng rng(6);
+  // Pre-fill the window with realistic slice populations.
+  for (std::size_t s = 0; s < opts.slices; ++s) {
+    for (int i = 0; i < 250; ++i) window.RecordQuery(rng.Uniform(1u << 15));
+    (void)window.AdvanceSlice();
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < 250; ++i) window.RecordQuery(rng.Uniform(1u << 15));
+    benchmark::DoNotOptimize(window.AdvanceSlice());
+  }
+  state.SetItemsProcessed(state.iterations() * 250);
+}
+BENCHMARK(BM_SlidingWindowAdvance)->Arg(50)->Arg(100)->Arg(400);
+
+void BM_SlidingWindowLambda(benchmark::State& state) {
+  core::SlidingWindowOptions opts;
+  opts.slices = static_cast<std::size_t>(state.range(0));
+  core::SlidingWindow window(opts);
+  Rng rng(7);
+  for (std::size_t s = 0; s < opts.slices; ++s) {
+    for (int i = 0; i < 250; ++i) window.RecordQuery(rng.Uniform(1u << 15));
+    (void)window.AdvanceSlice();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(window.Lambda(rng.Uniform(1u << 15)));
+  }
+}
+BENCHMARK(BM_SlidingWindowLambda)->Arg(50)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Micro-benchmarks for the consistent-hash ring: h(k) is a binary search
+// over the ordered bucket list, O(log2 p) per the paper's T_GBA analysis;
+// this bench verifies that scaling and measures disruption accounting.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "hashring/consistent_hash.h"
+
+namespace {
+
+using ecc::Rng;
+using ecc::hashring::ConsistentHashRing;
+using ecc::hashring::RingOptions;
+
+ConsistentHashRing BuildRing(std::size_t buckets, std::uint64_t seed) {
+  RingOptions opts;
+  opts.range = 1ull << 32;
+  ConsistentHashRing ring(opts);
+  Rng rng(seed);
+  std::size_t added = 0;
+  while (added < buckets) {
+    if (ring.AddBucket(rng.Uniform(opts.range), added).ok()) ++added;
+  }
+  return ring;
+}
+
+void BM_RingLookup(benchmark::State& state) {
+  const ConsistentHashRing ring = BuildRing(state.range(0), 1);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.Lookup(rng.Next()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RingLookup)->RangeMultiplier(4)->Range(4, 4096)
+    ->Complexity(benchmark::oLogN);
+
+void BM_RingAuxHash(benchmark::State& state) {
+  const ConsistentHashRing ring = BuildRing(64, 3);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.AuxHash(rng.Next()));
+  }
+}
+BENCHMARK(BM_RingAuxHash);
+
+void BM_RingAddBucket(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ConsistentHashRing ring = BuildRing(state.range(0), 6);
+    std::uint64_t point = rng.Uniform(1ull << 32);
+    while (ring.HasBucketAt(point)) point = rng.Uniform(1ull << 32);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ring.AddBucket(point, 9999));
+  }
+}
+BENCHMARK(BM_RingAddBucket)->Arg(64)->Arg(1024);
+
+void BM_RingOwnerFraction(benchmark::State& state) {
+  const ConsistentHashRing ring = BuildRing(256, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.OwnerFraction(128));
+  }
+}
+BENCHMARK(BM_RingOwnerFraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

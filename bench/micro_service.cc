@@ -1,0 +1,68 @@
+// Micro-benchmarks for the service substrate: CTM generation, contour
+// extraction, and the full shoreline-service pipeline (the real CPU work a
+// cache miss triggers, independent of its 23 s virtual-time charge).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "service/ctm.h"
+#include "service/service.h"
+#include "service/shoreline.h"
+
+namespace {
+
+using ecc::Rng;
+namespace service = ecc::service;
+
+void BM_GenerateCtm(benchmark::State& state) {
+  service::CtmGeneratorOptions opts;
+  opts.width = static_cast<std::uint32_t>(state.range(0));
+  opts.height = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service::GenerateCtm(rng.Next(), opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0));
+}
+BENCHMARK(BM_GenerateCtm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ExtractShoreline(benchmark::State& state) {
+  service::CtmGeneratorOptions opts;
+  opts.width = static_cast<std::uint32_t>(state.range(0));
+  opts.height = static_cast<std::uint32_t>(state.range(0));
+  const auto ctm = service::GenerateCtm(42, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service::ExtractShoreline(ctm, 0.0f));
+  }
+}
+BENCHMARK(BM_ExtractShoreline)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_EncodeShoreline(benchmark::State& state) {
+  const auto ctm = service::GenerateCtm(42);
+  const auto segs = service::ExtractShoreline(ctm, 0.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        service::EncodeShoreline(segs, ctm.width(), ctm.height(), 1024));
+  }
+}
+BENCHMARK(BM_EncodeShoreline);
+
+void BM_ShorelineServiceInvoke(benchmark::State& state) {
+  service::ShorelineServiceOptions opts;
+  opts.ctm.width = static_cast<std::uint32_t>(state.range(0));
+  opts.ctm.height = static_cast<std::uint32_t>(state.range(0));
+  service::ShorelineService svc(opts);
+  Rng rng(2);
+  for (auto _ : state) {
+    ecc::sfc::GeoTemporalQuery q;
+    q.longitude = rng.UniformDouble(-180.0, 180.0);
+    q.latitude = rng.UniformDouble(-90.0, 90.0);
+    q.epoch_days = rng.UniformDouble(0.0, 365.0);
+    benchmark::DoNotOptimize(svc.Invoke(q, nullptr));
+  }
+}
+BENCHMARK(BM_ShorelineServiceInvoke)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

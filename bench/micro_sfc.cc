@@ -1,0 +1,108 @@
+// Micro-benchmarks for the space-filling-curve substrate (B²-Tree
+// linearization): Morton vs Hilbert encode/decode and the full
+// query-to-key path.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "sfc/hilbert.h"
+#include "sfc/linearizer.h"
+#include "sfc/locality.h"
+#include "sfc/morton.h"
+
+namespace {
+
+using ecc::Rng;
+namespace sfc = ecc::sfc;
+
+void BM_MortonEncode2(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sfc::MortonEncode2(static_cast<std::uint32_t>(rng.Next()),
+                           static_cast<std::uint32_t>(rng.Next())));
+  }
+}
+BENCHMARK(BM_MortonEncode2);
+
+void BM_MortonDecode2(benchmark::State& state) {
+  Rng rng(2);
+  std::uint32_t x = 0, y = 0;
+  for (auto _ : state) {
+    sfc::MortonDecode2(rng.Next(), x, y);
+    benchmark::DoNotOptimize(x + y);
+  }
+}
+BENCHMARK(BM_MortonDecode2);
+
+void BM_MortonEncode3(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sfc::MortonEncode3(
+        static_cast<std::uint32_t>(rng.Uniform(1u << 21)),
+        static_cast<std::uint32_t>(rng.Uniform(1u << 21)),
+        static_cast<std::uint32_t>(rng.Uniform(1u << 21))));
+  }
+}
+BENCHMARK(BM_MortonEncode3);
+
+void BM_HilbertEncode2(benchmark::State& state) {
+  Rng rng(4);
+  const auto order = static_cast<unsigned>(state.range(0));
+  const std::uint32_t mask = (1u << order) - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sfc::HilbertEncode2(static_cast<std::uint32_t>(rng.Next()) & mask,
+                            static_cast<std::uint32_t>(rng.Next()) & mask,
+                            order));
+  }
+}
+BENCHMARK(BM_HilbertEncode2)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_HilbertDecode2(benchmark::State& state) {
+  Rng rng(5);
+  const auto order = static_cast<unsigned>(state.range(0));
+  std::uint32_t x = 0, y = 0;
+  for (auto _ : state) {
+    sfc::HilbertDecode2(rng.Uniform(1ull << (2 * order)), order, x, y);
+    benchmark::DoNotOptimize(x + y);
+  }
+}
+BENCHMARK(BM_HilbertDecode2)->Arg(8)->Arg(16);
+
+void BM_LinearizerEncodeQuery(benchmark::State& state) {
+  const sfc::Linearizer lin;
+  Rng rng(6);
+  for (auto _ : state) {
+    sfc::GeoTemporalQuery q;
+    q.longitude = rng.UniformDouble(-180.0, 180.0);
+    q.latitude = rng.UniformDouble(-90.0, 90.0);
+    q.epoch_days = rng.UniformDouble(0.0, 365.0);
+    benchmark::DoNotOptimize(lin.EncodeQuery(q));
+  }
+}
+BENCHMARK(BM_LinearizerEncodeQuery);
+
+void BM_LinearizerCellCenter(benchmark::State& state) {
+  const sfc::Linearizer lin;
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lin.CellCenter(rng.Uniform(lin.KeySpace())));
+  }
+}
+BENCHMARK(BM_LinearizerCellCenter);
+
+void BM_WindowClusters(benchmark::State& state) {
+  const auto curve = state.range(0) == 0 ? sfc::CurveKind::kMorton
+                                         : sfc::CurveKind::kHilbert;
+  double clusters = 0.0;
+  for (auto _ : state) {
+    clusters = sfc::MeasureWindowClusters(curve, 8, 8, 1, 50);
+    benchmark::DoNotOptimize(clusters);
+  }
+  state.counters["clusters_per_8x8_window"] = clusters;
+}
+BENCHMARK(BM_WindowClusters)->Arg(0)->Arg(1);  // 0 = Morton, 1 = Hilbert
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,259 @@
+// Generic config-driven experiment runner.
+//
+// Lets a user run any cache-vs-workload experiment from the command line
+// without recompiling:
+//
+//   ./run_experiment system=gba workload=phased window=200 steps=700
+//   ./run_experiment system=static-4 policy=lfu workload=zipf zipf_s=1.1
+//   ./run_experiment workload=uniform trace_save=/tmp/w.ectr
+//   ./run_experiment trace_load=/tmp/w.ectr system=static-8
+//
+// Keys (defaults in brackets):
+//   system        gba | static-<N>                [gba]
+//   policy        lru|fifo|lfu|random (statics)   [lru]
+//   workload      uniform|zipf|hotspot|phased|storm  [uniform]
+//   keyspace      [32768]   steps [500]   rate [20]  (phased ignores rate)
+//   window        sliding-window slices, 0 = infinite   [0]
+//   alpha         decay                          [0.99]
+//   epsilon       contraction cadence            [5]
+//   records_per_node [2048]   value_bytes [1000]   service_time_s [23]
+//   zipf_s [0.99]  hot_fraction [0.05]  hot_prob [0.9]
+//   replicas [1]   seed [7]   observe_every [max(1, steps/25)]
+//   trace_save=PATH / trace_load=PATH   record or replay the query stream
+//   csv=PATH      also write the series as CSV
+//   fleet=1       print the fleet table, ring map, and cloud bill (gba)
+//   spill=1       attach an S3-like spill tier for evicted records
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cloudsim/billing.h"
+#include "cloudsim/persistent_store.h"
+#include "cloudsim/provider.h"
+#include "common/config.h"
+#include "common/log.h"
+#include "core/admin.h"
+#include "core/coordinator.h"
+#include "core/elastic_cache.h"
+#include "core/static_cache.h"
+#include "service/service.h"
+#include "workload/experiment.h"
+#include "workload/generator.h"
+#include "workload/storm_track.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace ecc;
+
+sfc::LinearizerOptions GridFor(std::uint64_t keyspace) {
+  unsigned log2 = 0;
+  while ((1ull << log2) < keyspace) ++log2;
+  sfc::LinearizerOptions opts;
+  opts.time_bits = log2 % 2 == 0 ? 2 : 3;
+  opts.spatial_bits = (log2 - opts.time_bits) / 2;
+  while (2 * opts.spatial_bits + opts.time_bits < log2) ++opts.time_bits;
+  return opts;
+}
+
+int Run(const Config& cfg) {
+  const auto keyspace =
+      static_cast<std::uint64_t>(cfg.GetInt("keyspace", 32768));
+  const auto steps = static_cast<std::size_t>(cfg.GetInt("steps", 500));
+  const auto seed = static_cast<std::uint64_t>(cfg.GetInt("seed", 7));
+  const std::string system = cfg.GetString("system", "gba");
+  const std::size_t replicas = cfg.GetInt("replicas", 1);
+
+  VirtualClock clock;
+  std::unique_ptr<cloudsim::CloudProvider> provider;
+  std::unique_ptr<core::CacheBackend> cache;
+
+  const std::uint64_t capacity =
+      cfg.GetInt("records_per_node", 2048) *
+      core::RecordSize(0, static_cast<std::size_t>(
+                              cfg.GetInt("value_bytes", 1000)));
+  if (system == "gba") {
+    cloudsim::CloudOptions copts;
+    copts.seed = seed ^ 0xec2;
+    provider =
+        std::make_unique<cloudsim::CloudProvider>(copts, &clock);
+    core::ElasticCacheOptions eopts;
+    eopts.node_capacity_bytes = capacity;
+    eopts.ring.range = replicas >= 2 ? 2 * keyspace : keyspace;
+    eopts.replicas = replicas;
+    cache = std::make_unique<core::ElasticCache>(eopts, provider.get(),
+                                                 &clock);
+  } else if (system.rfind("static-", 0) == 0) {
+    core::StaticCacheOptions sopts;
+    sopts.nodes = std::strtoull(system.c_str() + 7, nullptr, 10);
+    if (sopts.nodes == 0) {
+      std::fprintf(stderr, "bad system '%s'\n", system.c_str());
+      return 2;
+    }
+    sopts.node_capacity_bytes = capacity;
+    sopts.ring.range = keyspace;
+    auto policy = core::ParseVictimPolicy(cfg.GetString("policy", "lru"));
+    if (!policy.ok()) {
+      std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+      return 2;
+    }
+    sopts.policy = *policy;
+    cache = std::make_unique<core::StaticCache>(sopts, &clock);
+  } else {
+    std::fprintf(stderr, "unknown system '%s'\n", system.c_str());
+    return 2;
+  }
+
+  service::SyntheticService service(
+      "derived", Duration::Seconds(cfg.GetDouble("service_time_s", 23.0)),
+      static_cast<std::size_t>(cfg.GetInt("value_bytes", 1000)));
+  const sfc::Linearizer lin(GridFor(keyspace));
+
+  core::CoordinatorOptions copts;
+  copts.window.slices = cfg.GetInt("window", 0);
+  copts.window.alpha = cfg.GetDouble("alpha", 0.99);
+  copts.contraction_epsilon = cfg.GetInt("epsilon", 5);
+  core::Coordinator coordinator(copts, cache.get(), &service, &lin, &clock);
+  cloudsim::PersistentStore spill(cloudsim::PersistentStoreOptions{},
+                                  &clock);
+  if (cfg.GetBool("spill", false)) coordinator.AttachSpillStore(&spill);
+
+  // --- Workload: generator + schedule, or a recorded trace. ---------------
+  std::unique_ptr<workload::KeyGenerator> keys;
+  std::unique_ptr<workload::RateSchedule> rate;
+  std::unique_ptr<workload::Trace> trace;
+  std::unique_ptr<workload::TraceReplay> replay;
+  workload::KeyGenerator* keys_ptr = nullptr;
+  workload::RateSchedule* rate_ptr = nullptr;
+  std::size_t effective_steps = steps;
+
+  if (cfg.Has("trace_load")) {
+    auto loaded = workload::Trace::LoadFile(cfg.GetString("trace_load"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "trace: %s\n", loaded.status().ToString().c_str());
+      return 2;
+    }
+    trace = std::make_unique<workload::Trace>(std::move(*loaded));
+    replay = std::make_unique<workload::TraceReplay>(trace.get());
+    keys_ptr = replay.get();
+    rate_ptr = replay.get();
+    effective_steps = trace->steps();
+  } else {
+    const std::string kind = cfg.GetString("workload", "uniform");
+    if (kind == "zipf") {
+      keys = std::make_unique<workload::ZipfKeyGenerator>(
+          keyspace, cfg.GetDouble("zipf_s", 0.99), seed);
+    } else if (kind == "storm") {
+      workload::StormTrackOptions sopts;
+      sopts.grid = GridFor(keyspace);
+      sopts.queries_per_step = cfg.GetInt("rate", 20);
+      sopts.seed = seed;
+      keys = std::make_unique<workload::StormTrackGenerator>(sopts);
+    } else if (kind == "hotspot") {
+      keys = std::make_unique<workload::HotspotKeyGenerator>(
+          keyspace, cfg.GetDouble("hot_fraction", 0.05),
+          cfg.GetDouble("hot_prob", 0.9), seed);
+    } else {
+      keys = std::make_unique<workload::UniformKeyGenerator>(keyspace, seed);
+    }
+    if (kind == "phased") {
+      keys = std::make_unique<workload::UniformKeyGenerator>(keyspace, seed);
+      rate = workload::PaperPhasedSchedule();
+    } else {
+      rate = std::make_unique<workload::ConstantRate>(
+          cfg.GetInt("rate", 20));
+    }
+    if (cfg.Has("trace_save")) {
+      auto captured = workload::Trace::Capture(*keys, *rate, steps);
+      if (Status s = captured.SaveFile(cfg.GetString("trace_save"));
+          !s.ok()) {
+        std::fprintf(stderr, "trace: %s\n", s.ToString().c_str());
+        return 2;
+      }
+      std::printf("trace saved: %s (%zu queries over %zu steps)\n",
+                  cfg.GetString("trace_save").c_str(),
+                  captured.total_queries(), captured.steps());
+      trace = std::make_unique<workload::Trace>(std::move(captured));
+      replay = std::make_unique<workload::TraceReplay>(trace.get());
+      keys_ptr = replay.get();
+      rate_ptr = replay.get();
+    } else {
+      keys_ptr = keys.get();
+      rate_ptr = rate.get();
+    }
+  }
+
+  workload::ExperimentOptions eopts;
+  eopts.time_steps = effective_steps;
+  eopts.observe_every = static_cast<std::size_t>(cfg.GetInt(
+      "observe_every",
+      std::max<std::int64_t>(1,
+                             static_cast<std::int64_t>(effective_steps) / 25)));
+  eopts.baseline_exec =
+      Duration::Seconds(cfg.GetDouble("service_time_s", 23.0));
+  eopts.label = system;
+  workload::ExperimentDriver driver(eopts, &coordinator, keys_ptr, rate_ptr,
+                                    provider.get(), &clock);
+  const workload::ExperimentResult result = driver.Run();
+
+  std::printf("\n%s\n", result.series.ToTable().c_str());
+  const auto& s = result.summary;
+  std::printf("system=%s  queries=%llu  hit_rate=%.3f  final_speedup=%.2fx  "
+              "max_speedup=%.2fx\n",
+              cache->Name().c_str(),
+              static_cast<unsigned long long>(s.total_queries), s.hit_rate,
+              s.final_speedup, s.max_speedup);
+  std::printf("nodes final/mean/max = %zu / %.2f / %zu   evictions=%llu  "
+              "splits=%llu  merges=%llu  cost=$%.2f\n",
+              s.final_nodes, s.mean_nodes, s.max_nodes,
+              static_cast<unsigned long long>(s.evictions),
+              static_cast<unsigned long long>(s.splits),
+              static_cast<unsigned long long>(s.node_removals), s.cost_usd);
+  if (cfg.GetBool("spill", false)) {
+    std::printf("spill tier: %zu objects, %llu bytes, %llu reheats, "
+                "$%.4f\n",
+                spill.object_count(),
+                static_cast<unsigned long long>(spill.used_bytes()),
+                static_cast<unsigned long long>(coordinator.spill_hits()),
+                spill.AccruedCostDollars());
+  }
+  if (cfg.GetBool("fleet", false)) {
+    if (auto* elastic = dynamic_cast<core::ElasticCache*>(cache.get())) {
+      std::printf("\n%s\nring: %s\nfill CV: %.3f\n%s",
+                  core::FleetTable(*elastic).c_str(),
+                  core::RingMap(*elastic).c_str(),
+                  core::FleetFillCv(*elastic),
+                  core::StatsSummary(elastic->stats()).c_str());
+      if (provider != nullptr) {
+        std::printf("\n%s\n",
+                    cloudsim::MakeBillingReport(*provider, clock.now())
+                        .ToTable()
+                        .c_str());
+      }
+    }
+  }
+  if (cfg.Has("csv")) {
+    if (Status st = result.series.WriteCsvFile(cfg.GetString("csv"));
+        st.ok()) {
+      std::printf("series written to %s\n", cfg.GetString("csv").c_str());
+    } else {
+      std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Log::SetLevel(LogLevel::kWarn);
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (Status s = cfg.ParseToken(argv[i]); !s.ok()) {
+      std::fprintf(stderr, "usage: %s [key=value ...]\n%s\n", argv[0],
+                   s.ToString().c_str());
+      return 2;
+    }
+  }
+  return Run(cfg);
+}

@@ -1,0 +1,100 @@
+#include "btree/b2tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecc::btree {
+
+B2Tree::B2Tree(sfc::LinearizerOptions opts) : lin_(opts) {}
+
+StatusOr<std::uint64_t> B2Tree::Put(const sfc::GeoTemporalQuery& q,
+                                    std::string value) {
+  auto key = lin_.EncodeQuery(q);
+  if (!key.ok()) return key.status();
+  tree_.InsertOrAssign(*key, std::move(value));
+  return *key;
+}
+
+StatusOr<std::string> B2Tree::Get(const sfc::GeoTemporalQuery& q) const {
+  auto key = lin_.EncodeQuery(q);
+  if (!key.ok()) return key.status();
+  const std::string* v = tree_.Find(*key);
+  if (v == nullptr) return Status::NotFound();
+  return *v;
+}
+
+bool B2Tree::Contains(const sfc::GeoTemporalQuery& q) const {
+  auto key = lin_.EncodeQuery(q);
+  return key.ok() && tree_.Contains(*key);
+}
+
+Status B2Tree::Erase(const sfc::GeoTemporalQuery& q) {
+  auto key = lin_.EncodeQuery(q);
+  if (!key.ok()) return key.status();
+  return tree_.Erase(*key) ? Status::Ok() : Status::NotFound();
+}
+
+std::vector<SpatioTemporalRecord> B2Tree::QueryBox(double lon_lo,
+                                                   double lon_hi,
+                                                   double lat_lo,
+                                                   double lat_hi,
+                                                   double epoch_days) const {
+  std::vector<SpatioTemporalRecord> out;
+  // Quantize the box corners; invalid boxes yield empty results.
+  auto lo = lin_.Quantize({lon_lo, lat_lo, epoch_days});
+  auto hi = lin_.Quantize({lon_hi, lat_hi, epoch_days});
+  if (!lo.ok() || !hi.ok()) return out;
+  const std::uint32_t x_lo = std::min(lo->x, hi->x);
+  const std::uint32_t x_hi = std::max(lo->x, hi->x);
+  const std::uint32_t y_lo = std::min(lo->y, hi->y);
+  const std::uint32_t y_hi = std::max(lo->y, hi->y);
+  const std::uint32_t t = lo->t;
+
+  // The time slot occupies the key's high bits, so one slot's keys form a
+  // contiguous interval; scan it and filter by decoded spatial cell.
+  const unsigned spatial_bits = lin_.options().spatial_bits;
+  const std::uint64_t slot_base = static_cast<std::uint64_t>(t)
+                                  << (2 * spatial_bits);
+  const std::uint64_t slot_end =
+      slot_base + ((1ull << (2 * spatial_bits)) - 1);
+  tree_.ForEachInRange(
+      slot_base, slot_end,
+      [&](std::uint64_t key, const std::string& value) {
+        const sfc::GridPoint p = lin_.Decode(key);
+        if (p.x < x_lo || p.x > x_hi || p.y < y_lo || p.y > y_hi) return;
+        SpatioTemporalRecord rec;
+        rec.key = key;
+        rec.coords = lin_.CellCenter(key);
+        rec.value = value;
+        out.push_back(std::move(rec));
+      });
+  return out;
+}
+
+std::vector<SpatioTemporalRecord> B2Tree::QueryBoxOverDays(
+    double lon_lo, double lon_hi, double lat_lo, double lat_hi,
+    double day_lo, double day_hi) const {
+  std::vector<SpatioTemporalRecord> out;
+  const auto& opts = lin_.options();
+  day_lo = std::max(0.0, day_lo);
+  day_hi = std::min(day_hi, opts.time_horizon_days);
+  if (day_lo > day_hi) return out;
+  const std::uint32_t slots = 1u << opts.time_bits;
+  const double slot_days =
+      opts.time_horizon_days / static_cast<double>(slots);
+  const auto slot_of = [&](double day) {
+    return std::min<std::uint32_t>(
+        slots - 1, static_cast<std::uint32_t>(day / slot_days));
+  };
+  // One QueryBox per intersecting time slot, probed at slot centers.
+  for (std::uint32_t slot = slot_of(day_lo); slot <= slot_of(day_hi);
+       ++slot) {
+    const double center = (static_cast<double>(slot) + 0.5) * slot_days;
+    auto slice = QueryBox(lon_lo, lon_hi, lat_lo, lat_hi, center);
+    out.insert(out.end(), std::make_move_iterator(slice.begin()),
+               std::make_move_iterator(slice.end()));
+  }
+  return out;
+}
+
+}  // namespace ecc::btree

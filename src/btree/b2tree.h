@@ -1,0 +1,68 @@
+// B²-Tree façade: a B+-Tree keyed by space-filling-curve linearized
+// spatiotemporal coordinates (paper §II.A, following [26]).
+//
+// Clients address records by continuous (longitude, latitude, time); the
+// façade quantizes, linearizes, and delegates to the underlying B+-Tree.
+// A bounding-box query is answered by scanning the SFC key interval that
+// covers the box within each time slot and filtering decoded cells — the
+// standard "range decomposition by filter" strategy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "common/status.h"
+#include "sfc/linearizer.h"
+
+namespace ecc::btree {
+
+/// Result record of a spatiotemporal lookup.
+struct SpatioTemporalRecord {
+  std::uint64_t key = 0;
+  sfc::GeoTemporalQuery coords;  ///< cell-center representative
+  std::string value;
+};
+
+class B2Tree {
+ public:
+  explicit B2Tree(sfc::LinearizerOptions opts = {});
+
+  [[nodiscard]] const sfc::Linearizer& linearizer() const { return lin_; }
+  [[nodiscard]] std::size_t size() const { return tree_.size(); }
+
+  /// Insert-or-assign at the cell containing `q`.  Returns the key used.
+  StatusOr<std::uint64_t> Put(const sfc::GeoTemporalQuery& q,
+                              std::string value);
+
+  /// Exact-cell lookup.
+  [[nodiscard]] StatusOr<std::string> Get(
+      const sfc::GeoTemporalQuery& q) const;
+
+  [[nodiscard]] bool Contains(const sfc::GeoTemporalQuery& q) const;
+
+  Status Erase(const sfc::GeoTemporalQuery& q);
+
+  /// All records whose cells intersect the box [lon_lo,lon_hi] x
+  /// [lat_lo,lat_hi] within time slot of `epoch_days`.
+  [[nodiscard]] std::vector<SpatioTemporalRecord> QueryBox(
+      double lon_lo, double lon_hi, double lat_lo, double lat_hi,
+      double epoch_days) const;
+
+  /// Same box, across every time slot intersecting [day_lo, day_hi]
+  /// (results ordered by slot, then key).
+  [[nodiscard]] std::vector<SpatioTemporalRecord> QueryBoxOverDays(
+      double lon_lo, double lon_hi, double lat_lo, double lat_hi,
+      double day_lo, double day_hi) const;
+
+  /// Direct access to the keyed tree (the cache layers on this).
+  [[nodiscard]] const BPlusTree<std::string>& tree() const { return tree_; }
+  [[nodiscard]] BPlusTree<std::string>& tree() { return tree_; }
+
+ private:
+  sfc::Linearizer lin_;
+  BPlusTree<std::string> tree_;
+};
+
+}  // namespace ecc::btree

@@ -1,0 +1,657 @@
+// In-memory B+-Tree with linked leaves.
+//
+// Each cooperative cache node indexes its shard with one of these (paper
+// §II.A).  The structure is a textbook B+-Tree [6]:
+//
+//   * internal nodes hold separator keys and child pointers;
+//   * all records live in leaves;
+//   * leaves form a singly linked, key-sorted list, which is exactly what
+//     Algorithm 2 (sweep-and-migrate) exploits: locate the start leaf with
+//     one root-to-leaf search, then walk `next` pointers collecting records
+//     until the end key.
+//
+// Deletion implements full rebalancing (borrow from siblings, merge on
+// underflow) so that eviction-heavy phases (Fig. 6) do not degrade the tree.
+//
+// Keys are fixed at std::uint64_t — the B²-Tree linearization (src/sfc)
+// reduces spatiotemporal coordinates to exactly this type.  The value type
+// is a template parameter; the cache instantiates it with a byte-blob.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ecc::btree {
+
+template <typename V>
+class BPlusTree {
+ private:
+  struct Node;  // defined below; Iterator refers to it
+
+ public:
+  using Key = std::uint64_t;
+  using Value = V;
+
+  /// Maximum keys per node.  32..128 are all reasonable; 64 keeps nodes
+  /// around a cache line multiple for small values.
+  static constexpr std::size_t kMaxKeys = 64;
+  static constexpr std::size_t kMinKeys = kMaxKeys / 2;
+
+  BPlusTree() = default;
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) noexcept = default;
+  BPlusTree& operator=(BPlusTree&&) noexcept = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void clear() {
+    root_.reset();
+    size_ = 0;
+  }
+
+  /// Insert; returns false (and leaves the tree unchanged) if `k` exists.
+  bool Insert(Key k, V v) {
+    if (!root_) {
+      auto leaf = std::make_unique<Node>(/*leaf=*/true);
+      leaf->keys.push_back(k);
+      leaf->values.push_back(std::move(v));
+      root_ = std::move(leaf);
+      size_ = 1;
+      return true;
+    }
+    bool inserted = false;
+    SplitResult split = InsertRec(root_.get(), k, std::move(v), inserted);
+    if (split.happened) GrowRoot(std::move(split));
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  /// Insert or overwrite; returns true if the key was new.
+  bool InsertOrAssign(Key k, V v) {
+    if (V* existing = FindMutable(k)) {
+      *existing = std::move(v);
+      return false;
+    }
+    const bool inserted = Insert(k, std::move(v));
+    assert(inserted);
+    (void)inserted;
+    return true;
+  }
+
+  [[nodiscard]] const V* Find(Key k) const {
+    const Node* n = root_.get();
+    while (n != nullptr && !n->leaf) n = n->children[ChildIndex(n, k)].get();
+    if (n == nullptr) return nullptr;
+    const std::size_t i = LowerBoundIndex(n, k);
+    if (i < n->keys.size() && n->keys[i] == k) return &n->values[i];
+    return nullptr;
+  }
+
+  [[nodiscard]] V* FindMutable(Key k) {
+    return const_cast<V*>(std::as_const(*this).Find(k));
+  }
+
+  [[nodiscard]] bool Contains(Key k) const { return Find(k) != nullptr; }
+
+  /// Erase; returns false if absent.
+  bool Erase(Key k) {
+    if (!root_) return false;
+    bool erased = false;
+    EraseRec(root_.get(), k, erased);
+    if (erased) {
+      --size_;
+      ShrinkRoot();
+    }
+    return erased;
+  }
+
+  /// Cursor over the linked leaf level.
+  class Iterator {
+   public:
+    Iterator() = default;
+
+    [[nodiscard]] bool valid() const { return node_ != nullptr; }
+    [[nodiscard]] Key key() const { return node_->keys[idx_]; }
+    [[nodiscard]] const V& value() const { return node_->values[idx_]; }
+
+    void Next() {
+      if (node_ == nullptr) return;
+      if (++idx_ >= node_->keys.size()) {
+        node_ = node_->next;
+        idx_ = 0;
+      }
+    }
+
+   private:
+    friend class BPlusTree;
+    Iterator(const Node* node, std::size_t idx) : node_(node), idx_(idx) {}
+    const Node* node_ = nullptr;
+    std::size_t idx_ = 0;
+  };
+
+  /// Iterator at the smallest key >= k (invalid if none).
+  [[nodiscard]] Iterator LowerBound(Key k) const {
+    const Node* n = root_.get();
+    while (n != nullptr && !n->leaf) n = n->children[ChildIndex(n, k)].get();
+    if (n == nullptr) return {};
+    std::size_t i = LowerBoundIndex(n, k);
+    if (i == n->keys.size()) {
+      n = n->next;
+      i = 0;
+    }
+    return n == nullptr ? Iterator{} : Iterator{n, i};
+  }
+
+  [[nodiscard]] Iterator Begin() const {
+    const Node* n = root_.get();
+    while (n != nullptr && !n->leaf) n = n->children.front().get();
+    return n == nullptr ? Iterator{} : Iterator{n, 0};
+  }
+
+  /// Smallest / largest keys; tree must be nonempty.
+  [[nodiscard]] Key MinKey() const {
+    assert(!empty());
+    return Begin().key();
+  }
+  [[nodiscard]] Key MaxKey() const {
+    assert(!empty());
+    const Node* n = root_.get();
+    while (!n->leaf) n = n->children.back().get();
+    return n->keys.back();
+  }
+
+  /// Key at in-order rank `r` (0-based).  O(n) leaf walk; used by the cache
+  /// to find the median key for bucket splits.
+  [[nodiscard]] Key KeyAtRank(std::size_t r) const {
+    assert(r < size_);
+    Iterator it = Begin();
+    while (r-- > 0) it.Next();
+    return it.key();
+  }
+
+  /// Visit [lo, hi] in order; returns number visited.  `fn` must not mutate
+  /// the tree.
+  std::size_t ForEachInRange(
+      Key lo, Key hi,
+      const std::function<void(Key, const V&)>& fn) const {
+    std::size_t visited = 0;
+    for (Iterator it = LowerBound(lo); it.valid() && it.key() <= hi;
+         it.Next()) {
+      fn(it.key(), it.value());
+      ++visited;
+    }
+    return visited;
+  }
+
+  /// Copy out all records with keys in [lo, hi] — the "sweep" half of
+  /// Algorithm 2.
+  [[nodiscard]] std::vector<std::pair<Key, V>> SweepRange(Key lo,
+                                                          Key hi) const {
+    std::vector<std::pair<Key, V>> out;
+    ForEachInRange(lo, hi, [&out](Key k, const V& v) {
+      out.emplace_back(k, v);
+    });
+    return out;
+  }
+
+  /// Remove all records with keys in [lo, hi]; returns count removed.
+  std::size_t EraseRange(Key lo, Key hi) {
+    // Collect keys first, then erase one by one: erasure invalidates
+    // iterators, and per-key erase keeps the rebalancing logic single-path.
+    std::vector<Key> doomed;
+    for (Iterator it = LowerBound(lo); it.valid() && it.key() <= hi;
+         it.Next()) {
+      doomed.push_back(it.key());
+    }
+    for (Key k : doomed) Erase(k);
+    return doomed.size();
+  }
+
+  /// Move all records with keys in [lo, hi] out of the tree.
+  [[nodiscard]] std::vector<std::pair<Key, V>> ExtractRange(Key lo, Key hi) {
+    std::vector<std::pair<Key, V>> out = SweepRange(lo, hi);
+    for (const auto& [k, v] : out) Erase(k);
+    return out;
+  }
+
+  /// Build from key-sorted unique pairs; replaces current contents.
+  ///
+  /// Bottom-up construction: pack leaves left to right at ~3/4 fill
+  /// (leaving insertion slack), then build each internal level over the
+  /// previous one.  O(n), compared with O(n log n) repeated insertion —
+  /// contraction merges use this to rebuild absorbed shards.
+  void BulkLoad(std::vector<std::pair<Key, V>> sorted) {
+    clear();
+    if (sorted.empty()) return;
+    assert(std::is_sorted(sorted.begin(), sorted.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first < b.first;
+                          }));
+
+    // Target fill leaves 3/4 full, but never below kMinKeys unless the
+    // whole tree is one leaf.
+    constexpr std::size_t kTargetFill = kMaxKeys * 3 / 4;
+    static_assert(kTargetFill >= kMinKeys);
+
+    // --- Leaf level.  Chunk sizes stay within [kMinKeys, kMaxKeys]
+    // (except a lone root leaf). ---
+    std::vector<std::unique_ptr<Node>> level;
+    std::size_t i = 0;
+    const std::size_t n = sorted.size();
+    while (i < n) {
+      const std::size_t left = n - i;
+      std::size_t take;
+      if (left <= kMaxKeys) {
+        take = left;  // one (possibly root) leaf takes the rest
+      } else {
+        take = kTargetFill;
+        if (left - take < kMinKeys) take = left - kMinKeys;
+      }
+      auto leaf = std::make_unique<Node>(/*leaf=*/true);
+      leaf->keys.reserve(take);
+      leaf->values.reserve(take);
+      for (std::size_t j = 0; j < take; ++j, ++i) {
+        leaf->keys.push_back(sorted[i].first);
+        leaf->values.push_back(std::move(sorted[i].second));
+      }
+      if (!level.empty()) level.back()->next = leaf.get();
+      level.push_back(std::move(leaf));
+    }
+
+    // --- Internal levels.  Fan-out stays within
+    // [kMinKeys+1, kMaxKeys+1] (except the root). ---
+    while (level.size() > 1) {
+      std::vector<std::unique_ptr<Node>> parents;
+      std::size_t c = 0;
+      const std::size_t count = level.size();
+      while (c < count) {
+        const std::size_t left = count - c;
+        std::size_t take;
+        if (left <= kMaxKeys + 1) {
+          take = left;
+        } else {
+          take = kTargetFill + 1;
+          if (left - take < kMinKeys + 1) take = left - (kMinKeys + 1);
+        }
+        auto parent = std::make_unique<Node>(/*leaf=*/false);
+        for (std::size_t j = 0; j < take; ++j, ++c) {
+          if (j > 0) parent->keys.push_back(SubtreeMinKey(level[c].get()));
+          parent->children.push_back(std::move(level[c]));
+        }
+        parents.push_back(std::move(parent));
+      }
+      level = std::move(parents);
+    }
+    root_ = std::move(level.front());
+    size_ = n;
+  }
+
+  /// Structural statistics, for tests and micro-benches.
+  struct Stats {
+    std::size_t height = 0;       ///< 0 for empty, 1 for a lone leaf
+    std::size_t leaf_count = 0;
+    std::size_t internal_count = 0;
+    std::size_t record_count = 0;
+  };
+
+  [[nodiscard]] Stats GetStats() const {
+    Stats s;
+    if (root_) CollectStats(root_.get(), 1, s);
+    return s;
+  }
+
+  /// Verify every B+-Tree invariant; used by property tests after random
+  /// operation sequences.
+  [[nodiscard]] Status CheckInvariants() const {
+    if (!root_) {
+      return size_ == 0 ? Status::Ok()
+                        : Status::Internal("empty tree with nonzero size");
+    }
+    std::size_t counted = 0;
+    const Node* prev_leaf = nullptr;
+    Key low = 0;
+    bool has_low = false;
+    Status s = CheckNode(root_.get(), /*is_root=*/true, low, has_low,
+                         prev_leaf, counted);
+    if (!s.ok()) return s;
+    if (counted != size_) {
+      return Status::Internal("size mismatch: counted " +
+                              std::to_string(counted) + " recorded " +
+                              std::to_string(size_));
+    }
+    // The last leaf reached by recursion must terminate the leaf chain.
+    if (prev_leaf != nullptr && prev_leaf->next != nullptr) {
+      return Status::Internal("leaf chain extends past last leaf");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    std::vector<Key> keys;
+    // Leaf payload:
+    std::vector<V> values;
+    Node* next = nullptr;
+    // Internal payload: children.size() == keys.size() + 1.
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  /// First index i with keys[i] >= k.
+  static std::size_t LowerBoundIndex(const Node* n, Key k) {
+    std::size_t lo = 0;
+    std::size_t hi = n->keys.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (n->keys[mid] < k) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Child to descend into for key k: first key > k goes right of equal
+  /// separators (separator s means right subtree holds keys >= s).
+  static std::size_t ChildIndex(const Node* n, Key k) {
+    // keys[i] is the smallest key of children[i+1]'s subtree.
+    std::size_t lo = 0;
+    std::size_t hi = n->keys.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (n->keys[mid] <= k) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  struct SplitResult {
+    bool happened = false;
+    Key separator = 0;
+    std::unique_ptr<Node> right;
+  };
+
+  SplitResult InsertRec(Node* n, Key k, V&& v, bool& inserted) {
+    if (n->leaf) {
+      const std::size_t i = LowerBoundIndex(n, k);
+      if (i < n->keys.size() && n->keys[i] == k) {
+        inserted = false;
+        return {};
+      }
+      n->keys.insert(n->keys.begin() + i, k);
+      n->values.insert(n->values.begin() + i, std::move(v));
+      inserted = true;
+      if (n->keys.size() <= kMaxKeys) return {};
+      return SplitLeaf(n);
+    }
+    const std::size_t ci = ChildIndex(n, k);
+    SplitResult child_split =
+        InsertRec(n->children[ci].get(), k, std::move(v), inserted);
+    if (!child_split.happened) return {};
+    n->keys.insert(n->keys.begin() + ci, child_split.separator);
+    n->children.insert(n->children.begin() + ci + 1,
+                       std::move(child_split.right));
+    if (n->keys.size() <= kMaxKeys) return {};
+    return SplitInternal(n);
+  }
+
+  static SplitResult SplitLeaf(Node* n) {
+    auto right = std::make_unique<Node>(/*leaf=*/true);
+    const std::size_t mid = n->keys.size() / 2;
+    right->keys.assign(n->keys.begin() + mid, n->keys.end());
+    right->values.assign(std::make_move_iterator(n->values.begin() + mid),
+                         std::make_move_iterator(n->values.end()));
+    n->keys.resize(mid);
+    n->values.resize(mid);
+    right->next = n->next;
+    n->next = right.get();
+    SplitResult r;
+    r.happened = true;
+    r.separator = right->keys.front();
+    r.right = std::move(right);
+    return r;
+  }
+
+  static SplitResult SplitInternal(Node* n) {
+    auto right = std::make_unique<Node>(/*leaf=*/false);
+    const std::size_t mid = n->keys.size() / 2;
+    const Key separator = n->keys[mid];
+    right->keys.assign(n->keys.begin() + mid + 1, n->keys.end());
+    right->children.assign(
+        std::make_move_iterator(n->children.begin() + mid + 1),
+        std::make_move_iterator(n->children.end()));
+    n->keys.resize(mid);
+    n->children.resize(mid + 1);
+    SplitResult r;
+    r.happened = true;
+    r.separator = separator;
+    r.right = std::move(right);
+    return r;
+  }
+
+  void GrowRoot(SplitResult split) {
+    auto new_root = std::make_unique<Node>(/*leaf=*/false);
+    new_root->keys.push_back(split.separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split.right));
+    root_ = std::move(new_root);
+  }
+
+  // --- Deletion -----------------------------------------------------------
+
+  void EraseRec(Node* n, Key k, bool& erased) {
+    if (n->leaf) {
+      const std::size_t i = LowerBoundIndex(n, k);
+      if (i < n->keys.size() && n->keys[i] == k) {
+        n->keys.erase(n->keys.begin() + i);
+        n->values.erase(n->values.begin() + i);
+        erased = true;
+      }
+      return;
+    }
+    const std::size_t ci = ChildIndex(n, k);
+    Node* child = n->children[ci].get();
+    EraseRec(child, k, erased);
+    if (!erased) return;
+    if (child->keys.size() >= kMinKeys) {
+      return;
+    }
+    FixUnderflow(n, ci);
+  }
+
+  /// Restore minimum occupancy of n->children[ci] by borrowing from a
+  /// sibling or merging with one.
+  void FixUnderflow(Node* parent, std::size_t ci) {
+    Node* child = parent->children[ci].get();
+    Node* left = ci > 0 ? parent->children[ci - 1].get() : nullptr;
+    Node* right = ci + 1 < parent->children.size()
+                      ? parent->children[ci + 1].get()
+                      : nullptr;
+
+    if (left != nullptr && left->keys.size() > kMinKeys) {
+      BorrowFromLeft(parent, ci, left, child);
+      return;
+    }
+    if (right != nullptr && right->keys.size() > kMinKeys) {
+      BorrowFromRight(parent, ci, child, right);
+      return;
+    }
+    if (left != nullptr) {
+      MergeChildren(parent, ci - 1);
+    } else if (right != nullptr) {
+      MergeChildren(parent, ci);
+    }
+    // A root child may legitimately be under-occupied; ShrinkRoot handles
+    // the root itself.
+  }
+
+  static void BorrowFromLeft(Node* parent, std::size_t ci, Node* left,
+                             Node* child) {
+    if (child->leaf) {
+      child->keys.insert(child->keys.begin(), left->keys.back());
+      child->values.insert(child->values.begin(),
+                           std::move(left->values.back()));
+      left->keys.pop_back();
+      left->values.pop_back();
+      parent->keys[ci - 1] = child->keys.front();
+    } else {
+      // Rotate through the separator.
+      child->keys.insert(child->keys.begin(), parent->keys[ci - 1]);
+      parent->keys[ci - 1] = left->keys.back();
+      left->keys.pop_back();
+      child->children.insert(child->children.begin(),
+                             std::move(left->children.back()));
+      left->children.pop_back();
+    }
+  }
+
+  static void BorrowFromRight(Node* parent, std::size_t ci, Node* child,
+                              Node* right) {
+    if (child->leaf) {
+      child->keys.push_back(right->keys.front());
+      child->values.push_back(std::move(right->values.front()));
+      right->keys.erase(right->keys.begin());
+      right->values.erase(right->values.begin());
+      parent->keys[ci] = right->keys.front();
+    } else {
+      child->keys.push_back(parent->keys[ci]);
+      parent->keys[ci] = right->keys.front();
+      right->keys.erase(right->keys.begin());
+      child->children.push_back(std::move(right->children.front()));
+      right->children.erase(right->children.begin());
+    }
+  }
+
+  /// Merge children[i+1] into children[i] and drop separator keys[i].
+  void MergeChildren(Node* parent, std::size_t i) {
+    Node* left = parent->children[i].get();
+    Node* right = parent->children[i + 1].get();
+    if (left->leaf) {
+      left->keys.insert(left->keys.end(), right->keys.begin(),
+                        right->keys.end());
+      left->values.insert(left->values.end(),
+                          std::make_move_iterator(right->values.begin()),
+                          std::make_move_iterator(right->values.end()));
+      left->next = right->next;
+    } else {
+      left->keys.push_back(parent->keys[i]);
+      left->keys.insert(left->keys.end(), right->keys.begin(),
+                        right->keys.end());
+      left->children.insert(left->children.end(),
+                            std::make_move_iterator(right->children.begin()),
+                            std::make_move_iterator(right->children.end()));
+    }
+    parent->keys.erase(parent->keys.begin() + i);
+    parent->children.erase(parent->children.begin() + i + 1);
+  }
+
+  void ShrinkRoot() {
+    while (root_ != nullptr) {
+      if (root_->leaf) {
+        if (root_->keys.empty()) root_.reset();
+        return;
+      }
+      if (root_->children.size() == 1) {
+        root_ = std::move(root_->children.front());
+        continue;
+      }
+      // Internal root with an underflowed single child chain is handled
+      // above; an internal root may have fewer than kMinKeys keys, which is
+      // legal.
+      return;
+    }
+  }
+
+  /// Minimum key of the subtree rooted at `n` (leftmost leaf's first key).
+  static Key SubtreeMinKey(const Node* n) {
+    while (!n->leaf) n = n->children.front().get();
+    return n->keys.front();
+  }
+
+  // --- Introspection ------------------------------------------------------
+
+  static void CollectStats(const Node* n, std::size_t depth, Stats& s) {
+    s.height = std::max(s.height, depth);
+    if (n->leaf) {
+      ++s.leaf_count;
+      s.record_count += n->keys.size();
+      return;
+    }
+    ++s.internal_count;
+    for (const auto& c : n->children) CollectStats(c.get(), depth + 1, s);
+  }
+
+  Status CheckNode(const Node* n, bool is_root, Key& low, bool& has_low,
+                   const Node*& prev_leaf, std::size_t& counted) const {
+    // Key ordering within the node.
+    for (std::size_t i = 1; i < n->keys.size(); ++i) {
+      if (n->keys[i - 1] >= n->keys[i]) {
+        return Status::Internal("unsorted keys in node");
+      }
+    }
+    if (n->leaf) {
+      if (n->keys.size() != n->values.size()) {
+        return Status::Internal("leaf key/value arity mismatch");
+      }
+      if (!is_root && n->keys.size() < kMinKeys) {
+        return Status::Internal("leaf underflow");
+      }
+      if (n->keys.size() > kMaxKeys) return Status::Internal("leaf overflow");
+      for (Key k : n->keys) {
+        if (has_low && k <= low) {
+          return Status::Internal("global key order violated");
+        }
+        low = k;
+        has_low = true;
+      }
+      if (prev_leaf != nullptr && prev_leaf->next != n) {
+        return Status::Internal("leaf chain broken");
+      }
+      prev_leaf = n;
+      counted += n->keys.size();
+      return Status::Ok();
+    }
+    if (n->children.size() != n->keys.size() + 1) {
+      return Status::Internal("internal fan-out mismatch");
+    }
+    if (!is_root && n->keys.size() < kMinKeys) {
+      return Status::Internal("internal underflow");
+    }
+    if (n->keys.size() > kMaxKeys) {
+      return Status::Internal("internal overflow");
+    }
+    for (std::size_t i = 0; i < n->children.size(); ++i) {
+      if (Status s = CheckNode(n->children[i].get(), false, low, has_low,
+                               prev_leaf, counted);
+          !s.ok()) {
+        return s;
+      }
+      // After visiting child i, the next separator must exceed every key
+      // seen so far and equal the minimum of the right subtree.
+      if (i < n->keys.size() && has_low && n->keys[i] <= low) {
+        return Status::Internal("separator below left subtree max");
+      }
+    }
+    return Status::Ok();
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ecc::btree

@@ -1,0 +1,72 @@
+#include "cloudsim/billing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/table.h"
+
+namespace ecc::cloudsim {
+
+double BillingReport::RoundingWasteFraction() const {
+  if (billed_hours <= 0.0) return 0.0;
+  return 1.0 - node_hours / billed_hours;
+}
+
+std::string BillingReport::ToTable() const {
+  Table table({"instance", "type", "state", "launched", "lifetime",
+               "billed_h", "usd"});
+  for (const BillingLineItem& item : items) {
+    table.AddRow({std::to_string(item.instance), item.instance_type,
+                  InstanceStateName(item.state), item.launched.ToString(),
+                  item.lifetime.ToString(), FormatG(item.billed_hours),
+                  FormatG(item.cost_usd)});
+  }
+  table.AddRow({"TOTAL", "", "", "", FormatG(node_hours) + "h run",
+                FormatG(billed_hours), FormatG(total_usd)});
+  return table.ToString();
+}
+
+std::string BillingReport::ToCsv() const {
+  std::string out = "instance,type,state,launched_s,lifetime_s,billed_h,usd\n";
+  for (const BillingLineItem& item : items) {
+    out += std::to_string(item.instance) + ',' + item.instance_type + ',' +
+           InstanceStateName(item.state) + ',' +
+           FormatG(item.launched.seconds()) + ',' +
+           FormatG(item.lifetime.seconds()) + ',' +
+           FormatG(item.billed_hours) + ',' + FormatG(item.cost_usd) + '\n';
+  }
+  return out;
+}
+
+BillingReport MakeBillingReport(const CloudProvider& provider,
+                                TimePoint now) {
+  BillingReport report;
+  std::vector<const Instance*> instances = provider.AllInstances();
+  std::sort(instances.begin(), instances.end(),
+            [](const Instance* a, const Instance* b) {
+              return a->requested_at < b->requested_at ||
+                     (a->requested_at == b->requested_at && a->id < b->id);
+            });
+  for (const Instance* inst : instances) {
+    BillingLineItem item;
+    item.instance = inst->id;
+    item.instance_type = inst->type.name;
+    item.state = inst->state;
+    item.launched = inst->requested_at;
+    const TimePoint end = inst->state == InstanceState::kTerminated
+                              ? inst->terminated_at
+                              : now;
+    item.lifetime = end - inst->requested_at;
+    item.cost_usd = inst->CostDollars(now);
+    item.billed_hours = inst->type.price_per_hour > 0.0
+                            ? item.cost_usd / inst->type.price_per_hour
+                            : 0.0;
+    report.total_usd += item.cost_usd;
+    report.billed_hours += item.billed_hours;
+    report.node_hours += inst->RunningTime(now).hours();
+    report.items.push_back(std::move(item));
+  }
+  return report;
+}
+
+}  // namespace ecc::cloudsim

@@ -1,0 +1,64 @@
+#include "cloudsim/instance.h"
+
+#include <cmath>
+
+namespace ecc::cloudsim {
+
+InstanceType SmallInstance() {
+  return {"m1.small", 1700ull * 1024 * 1024, 1.0, 0.085};
+}
+
+InstanceType LargeInstance() {
+  return {"m1.large", 7680ull * 1024 * 1024, 4.0, 0.34};
+}
+
+InstanceType XLargeInstance() {
+  return {"m1.xlarge", 15360ull * 1024 * 1024, 8.0, 0.68};
+}
+
+InstanceType HighMemXLInstance() {
+  return {"m2.xlarge", 17510ull * 1024 * 1024, 6.5, 0.50};
+}
+
+const char* InstanceStateName(InstanceState s) {
+  switch (s) {
+    case InstanceState::kBooting: return "BOOTING";
+    case InstanceState::kRunning: return "RUNNING";
+    case InstanceState::kTerminated: return "TERMINATED";
+  }
+  return "UNKNOWN";
+}
+
+Duration Instance::RunningTime(TimePoint now) const {
+  switch (state) {
+    case InstanceState::kBooting:
+      return Duration::Zero();
+    case InstanceState::kRunning:
+      return now - running_at;
+    case InstanceState::kTerminated:
+      return terminated_at - running_at;
+  }
+  return Duration::Zero();
+}
+
+double Instance::CostDollars(TimePoint now) const {
+  // Billing starts at the allocation request (EC2 bills from launch), in
+  // whole started hours.
+  TimePoint end;
+  switch (state) {
+    case InstanceState::kBooting:
+      end = now;
+      break;
+    case InstanceState::kRunning:
+      end = now;
+      break;
+    case InstanceState::kTerminated:
+      end = terminated_at;
+      break;
+  }
+  const double hours = (end - requested_at).hours();
+  const double billed = std::max(1.0, std::ceil(hours));
+  return billed * type.price_per_hour;
+}
+
+}  // namespace ecc::cloudsim

@@ -1,0 +1,51 @@
+// Cloud instance descriptions (EC2 circa 2010).
+//
+// The paper evaluates on Small EC2 instances: 1.7 GB memory, one virtual
+// core, 32-bit, $0.085/hour (2010 on-demand pricing).  The catalog below
+// also carries the Large/XL types the paper's cost discussion (§IV.D)
+// mentions, so the cost_advisor example can compare instance choices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.h"
+
+namespace ecc::cloudsim {
+
+struct InstanceType {
+  std::string name;
+  std::uint64_t memory_bytes = 0;
+  double compute_units = 0.0;  ///< EC2 "ECU"s
+  double price_per_hour = 0.0; ///< USD, on-demand
+
+  friend bool operator==(const InstanceType&, const InstanceType&) = default;
+};
+
+[[nodiscard]] InstanceType SmallInstance();   ///< m1.small: 1.7 GB, 1 ECU
+[[nodiscard]] InstanceType LargeInstance();   ///< m1.large: 7.5 GB, 4 ECU
+[[nodiscard]] InstanceType XLargeInstance();  ///< m1.xlarge: 15 GB, 8 ECU
+[[nodiscard]] InstanceType HighMemXLInstance();  ///< m2.xlarge: 17.1 GB
+
+using InstanceId = std::uint64_t;
+
+enum class InstanceState { kBooting, kRunning, kTerminated };
+
+[[nodiscard]] const char* InstanceStateName(InstanceState s);
+
+struct Instance {
+  InstanceId id = 0;
+  InstanceType type;
+  InstanceState state = InstanceState::kBooting;
+  TimePoint requested_at;
+  TimePoint running_at;     ///< when boot completed
+  TimePoint terminated_at;  ///< valid when kTerminated
+
+  /// Time this instance has been (or was) running as of `now`.
+  [[nodiscard]] Duration RunningTime(TimePoint now) const;
+
+  /// EC2-style cost: each started hour is billed in full.
+  [[nodiscard]] double CostDollars(TimePoint now) const;
+};
+
+}  // namespace ecc::cloudsim

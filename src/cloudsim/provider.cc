@@ -1,0 +1,143 @@
+#include "cloudsim/provider.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace ecc::cloudsim {
+
+CloudProvider::CloudProvider(CloudOptions opts, VirtualClock* clock)
+    : opts_(opts), clock_(clock), rng_(opts.seed) {
+  assert(clock != nullptr);
+}
+
+Duration CloudProvider::DrawBootDelay() {
+  const double secs = rng_.Normal(opts_.boot_mean.seconds(),
+                                  opts_.boot_stddev.seconds());
+  return std::max(opts_.boot_min, Duration::Seconds(secs));
+}
+
+StatusOr<InstanceId> CloudProvider::Allocate() {
+  if (opts_.max_instances != 0 && LiveCount() >= opts_.max_instances) {
+    return Status::CapacityExceeded("instance limit reached");
+  }
+
+  // Warm path: take the earliest-prewarmed instance.
+  if (!warm_pool_.empty()) {
+    const InstanceId id = warm_pool_.front();
+    warm_pool_.pop_front();
+    Instance& inst = instances_.at(id);
+    Duration wait = Duration::Zero();
+    if (inst.running_at > clock_->now()) {
+      // Still booting: pay only the residual.
+      wait = inst.running_at - clock_->now();
+      clock_->Advance(wait);
+    }
+    inst.state = InstanceState::kRunning;
+    allocated_[id] = true;
+    ++stats_.warm_hits;
+    stats_.total_boot_wait += wait;
+    stats_.last_boot_wait = wait;
+    ECC_LOG_INFO("cloud: warm allocate #%llu (waited %s)",
+                 static_cast<unsigned long long>(id),
+                 wait.ToString().c_str());
+    return id;
+  }
+
+  // Cold path: boot now, block for the whole delay.
+  const Duration boot = DrawBootDelay();
+  Instance inst;
+  inst.id = NextId();
+  inst.type = opts_.instance_type;
+  inst.requested_at = clock_->now();
+  clock_->Advance(boot);
+  inst.running_at = clock_->now();
+  inst.state = InstanceState::kRunning;
+  const InstanceId id = inst.id;
+  instances_.emplace(id, std::move(inst));
+  allocated_[id] = true;
+  ++stats_.cold_allocations;
+  stats_.total_boot_wait += boot;
+  stats_.last_boot_wait = boot;
+  ECC_LOG_INFO("cloud: cold allocate #%llu (boot %s)",
+               static_cast<unsigned long long>(id), boot.ToString().c_str());
+  return id;
+}
+
+Status CloudProvider::Terminate(InstanceId id) {
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) return Status::NotFound("unknown instance");
+  Instance& inst = it->second;
+  if (inst.state == InstanceState::kTerminated) {
+    return Status::FailedPrecondition("already terminated");
+  }
+  // A booting warm instance can be cancelled too; bill from request time.
+  if (inst.running_at > clock_->now()) inst.running_at = clock_->now();
+  inst.state = InstanceState::kTerminated;
+  inst.terminated_at = clock_->now();
+  allocated_.erase(id);
+  warm_pool_.erase(std::remove(warm_pool_.begin(), warm_pool_.end(), id),
+                   warm_pool_.end());
+  ++stats_.terminations;
+  ECC_LOG_INFO("cloud: terminate #%llu", static_cast<unsigned long long>(id));
+  return Status::Ok();
+}
+
+void CloudProvider::PrewarmAsync(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Instance inst;
+    inst.id = NextId();
+    inst.type = opts_.instance_type;
+    inst.requested_at = clock_->now();
+    inst.running_at = clock_->now() + DrawBootDelay();
+    inst.state = InstanceState::kBooting;
+    warm_pool_.push_back(inst.id);
+    instances_.emplace(inst.id, std::move(inst));
+  }
+}
+
+const Instance* CloudProvider::Get(InstanceId id) const {
+  const auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : &it->second;
+}
+
+std::size_t CloudProvider::LiveCount() const { return allocated_.size(); }
+
+std::size_t CloudProvider::WarmPoolCount() const { return warm_pool_.size(); }
+
+std::size_t CloudProvider::WarmReadyCount() const {
+  std::size_t ready = 0;
+  for (const InstanceId id : warm_pool_) {
+    const auto it = instances_.find(id);
+    if (it != instances_.end() && it->second.running_at <= clock_->now()) {
+      ++ready;
+    }
+  }
+  return ready;
+}
+
+double CloudProvider::AccruedCostDollars() const {
+  double total = 0.0;
+  for (const auto& [id, inst] : instances_) {
+    total += inst.CostDollars(clock_->now());
+  }
+  return total;
+}
+
+Duration CloudProvider::TotalAllocatedNodeTime() const {
+  Duration total = Duration::Zero();
+  for (const auto& [id, inst] : instances_) {
+    total += inst.RunningTime(clock_->now());
+  }
+  return total;
+}
+
+std::vector<const Instance*> CloudProvider::AllInstances() const {
+  std::vector<const Instance*> out;
+  out.reserve(instances_.size());
+  for (const auto& [id, inst] : instances_) out.push_back(&inst);
+  return out;
+}
+
+}  // namespace ecc::cloudsim

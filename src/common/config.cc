@@ -1,0 +1,102 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ecc {
+
+namespace {
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+}  // namespace
+
+Status Config::ParseString(std::string_view body) {
+  std::size_t line_no = 0;
+  while (!body.empty()) {
+    const std::size_t eol = body.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? body : body.substr(0, eol);
+    body = eol == std::string_view::npos ? std::string_view{}
+                                         : body.substr(eol + 1);
+    ++line_no;
+    line = Trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    if (Status s = ParseToken(line); !s.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                     s.message());
+    }
+  }
+  return Status::Ok();
+}
+
+Status Config::ParseToken(std::string_view token) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos) {
+    return Status::InvalidArgument("expected key=value, got '" +
+                                   std::string(token) + "'");
+  }
+  const std::string_view key = Trim(token.substr(0, eq));
+  const std::string_view value = Trim(token.substr(eq + 1));
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  entries_[std::string(key)] = std::string(value);
+  return Status::Ok();
+}
+
+Status Config::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream body;
+  body << in.rdbuf();
+  return ParseString(body.str());
+}
+
+void Config::Set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::Has(const std::string& key) const {
+  return entries_.count(key) != 0;
+}
+
+std::string Config::GetString(const std::string& key,
+                              std::string fallback) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::GetInt(const std::string& key,
+                            std::int64_t fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+double Config::GetDouble(const std::string& key, double fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+bool Config::GetBool(const std::string& key, bool fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+}  // namespace ecc

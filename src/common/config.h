@@ -1,0 +1,51 @@
+// Tiny `key = value` configuration parser.
+//
+// Experiment binaries accept config overrides from files or command-line
+// `key=value` tokens so sweeps can be scripted without recompiling.  Lines
+// beginning with '#' are comments; whitespace around keys/values is trimmed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ecc {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse a whole config file body.  Returns an error naming the first
+  /// malformed line.
+  [[nodiscard]] Status ParseString(std::string_view body);
+
+  /// Parse one `key=value` token (as passed on a command line).
+  [[nodiscard]] Status ParseToken(std::string_view token);
+
+  [[nodiscard]] Status LoadFile(const std::string& path);
+
+  void Set(std::string key, std::string value);
+
+  [[nodiscard]] bool Has(const std::string& key) const;
+
+  [[nodiscard]] std::string GetString(const std::string& key,
+                                      std::string fallback = {}) const;
+  [[nodiscard]] std::int64_t GetInt(const std::string& key,
+                                    std::int64_t fallback = 0) const;
+  [[nodiscard]] double GetDouble(const std::string& key,
+                                 double fallback = 0.0) const;
+  [[nodiscard]] bool GetBool(const std::string& key,
+                             bool fallback = false) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace ecc

@@ -1,0 +1,97 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace ecc {
+
+Histogram::Histogram(double min_value, double growth)
+    : min_value_(min_value), log_growth_(std::log(growth)) {
+  assert(min_value > 0.0 && growth > 1.0);
+}
+
+std::size_t Histogram::BucketFor(double value) const {
+  if (value <= min_value_) return 0;
+  const double idx = std::log(value / min_value_) / log_growth_;
+  return static_cast<std::size_t>(idx) + 1;
+}
+
+double Histogram::BucketMid(std::size_t idx) const {
+  if (idx == 0) return min_value_ * 0.5;
+  // Bucket idx covers [min * g^(idx-1), min * g^idx); report the geometric
+  // midpoint.
+  const double lo = min_value_ * std::exp(log_growth_ * (double)(idx - 1));
+  const double hi = min_value_ * std::exp(log_growth_ * (double)idx);
+  return std::sqrt(lo * hi);
+}
+
+void Histogram::Add(double value) {
+  const std::size_t idx = BucketFor(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(min_value_ == other.min_value_ && log_growth_ == other.log_growth_);
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+}
+
+double Histogram::Percentile(double pct) const {
+  if (count_ == 0) return 0.0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  const auto rank = static_cast<std::uint64_t>(
+      pct / 100.0 * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      // Clamp the representative value into the observed range so p0/p100
+      // match min/max exactly at the extremes.
+      return std::clamp(BucketMid(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g",
+                static_cast<unsigned long long>(count_), mean(),
+                Percentile(50), Percentile(90), Percentile(99), max());
+  return buf;
+}
+
+}  // namespace ecc

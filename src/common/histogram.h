@@ -1,0 +1,53 @@
+// Log-bucketed histogram for latency/size distributions.
+//
+// Used by the benches to summarize node-split overheads and migration costs
+// (Fig. 4) without retaining every sample.  Buckets grow geometrically so the
+// structure covers microseconds to hours in ~100 buckets with bounded
+// relative error on reported percentiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecc {
+
+class Histogram {
+ public:
+  /// `growth` is the geometric bucket ratio (> 1).  Default gives ~7%
+  /// relative resolution.
+  explicit Histogram(double min_value = 1.0, double growth = 1.15);
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Percentile in [0, 100].  Returns the representative value (geometric
+  /// midpoint) of the bucket containing the requested rank.
+  [[nodiscard]] double Percentile(double pct) const;
+
+  /// Short single-line summary, e.g. "n=42 mean=1.2 p50=0.9 p99=4.1 max=5".
+  [[nodiscard]] std::string Summary() const;
+
+ private:
+  [[nodiscard]] std::size_t BucketFor(double value) const;
+  [[nodiscard]] double BucketMid(std::size_t idx) const;
+
+  double min_value_;
+  double log_growth_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ecc

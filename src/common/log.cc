@@ -1,0 +1,24 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace ecc {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+
+void Log::SetLevel(LogLevel level) { level_ = level; }
+
+LogLevel Log::level() { return level_; }
+
+void Log::Printf(LogLevel level, const char* fmt, ...) {
+  if (level < level_) return;
+  static constexpr const char* kTags[] = {"D", "I", "W", "E"};
+  std::fprintf(stderr, "[%s] ", kTags[static_cast<int>(level)]);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace ecc

@@ -1,0 +1,32 @@
+// Minimal leveled logger.
+//
+// Experiments print their results through the table/timeseries writers; the
+// logger is for diagnostics (node allocation events, migrations, merges).
+// Benches set the level to kWarn so figure output stays clean.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace ecc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Log {
+ public:
+  static void SetLevel(LogLevel level);
+  [[nodiscard]] static LogLevel level();
+
+  static void Printf(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+
+ private:
+  static LogLevel level_;
+};
+
+#define ECC_LOG_DEBUG(...) ::ecc::Log::Printf(::ecc::LogLevel::kDebug, __VA_ARGS__)
+#define ECC_LOG_INFO(...) ::ecc::Log::Printf(::ecc::LogLevel::kInfo, __VA_ARGS__)
+#define ECC_LOG_WARN(...) ::ecc::Log::Printf(::ecc::LogLevel::kWarn, __VA_ARGS__)
+#define ECC_LOG_ERROR(...) ::ecc::Log::Printf(::ecc::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace ecc

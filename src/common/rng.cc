@@ -1,0 +1,41 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecc {
+
+double Rng::Exponential(double mean) {
+  // Guard against log(0): UniformDouble() is in [0,1), so 1-u is in (0,1].
+  const double u = UniformDouble();
+  return -mean * std::log(1.0 - u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = UniformDouble();
+  const double u2 = UniformDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;  // avoid log(0)
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  const double norm = 1.0 / acc;
+  for (auto& c : cdf_) c *= norm;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace ecc

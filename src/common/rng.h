@@ -1,0 +1,119 @@
+// Deterministic pseudo-random number generation for experiments.
+//
+// Every stochastic element in the reproduction (query key draws, provisioning
+// delay jitter, synthetic terrain) pulls from an explicitly seeded Rng so
+// that benches and tests are bit-reproducible.  We implement xoshiro256**
+// seeded via splitmix64 (the reference seeding procedure) rather than relying
+// on std::mt19937, whose distributions are not portable across standard
+// library implementations.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ecc {
+
+/// splitmix64: used for seeding and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      word = SplitMix64(x);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).  `bound` must be nonzero.  Uses Lemire's
+  /// multiply-shift rejection method for an unbiased draw.
+  std::uint64_t Uniform(std::uint64_t bound) {
+    assert(bound != 0);
+    std::uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      const std::uint64_t t = -bound % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(Uniform(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Exponential with the given mean (inverse-CDF method).
+  double Exponential(double mean);
+
+  /// Standard normal via Box–Muller (no cached second value, to keep the
+  /// draw sequence position-independent).
+  double Normal(double mean, double stddev);
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+/// Zipf(s) sampler over ranks {0, ..., n-1} using a precomputed CDF and
+/// binary search.  s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+  [[nodiscard]] double s() const { return s_; }
+
+  std::uint64_t Sample(Rng& rng) const;
+
+ private:
+  std::uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace ecc

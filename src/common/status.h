@@ -1,0 +1,131 @@
+// Lightweight error-handling vocabulary (Status / StatusOr).
+//
+// The cache's public API reports recoverable conditions (key absent, node
+// overflow, malformed wire messages) as values rather than exceptions, in
+// line with the hot-path discipline of the surrounding code: the query loop
+// calls Lookup millions of times per experiment.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ecc {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kCapacityExceeded,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* StatusCodeName(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kCapacityExceeded: return "CAPACITY_EXCEEDED";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status Ok() { return {}; }
+  [[nodiscard]] static Status NotFound(std::string m = {}) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  [[nodiscard]] static Status AlreadyExists(std::string m = {}) {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  [[nodiscard]] static Status CapacityExceeded(std::string m = {}) {
+    return {StatusCode::kCapacityExceeded, std::move(m)};
+  }
+  [[nodiscard]] static Status InvalidArgument(std::string m = {}) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  [[nodiscard]] static Status FailedPrecondition(std::string m = {}) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  [[nodiscard]] static Status Unavailable(std::string m = {}) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  [[nodiscard]] static Status Internal(std::string m = {}) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string ToString() const {
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or an error Status.  `value()` asserts on error in debug
+/// builds; callers on hot paths check `ok()` first.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status s) : rep_(std::move(s)) {  // NOLINT(google-explicit-*)
+    assert(!std::get<Status>(rep_).ok() && "OK status carries no value");
+  }
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-*)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace ecc

@@ -1,0 +1,52 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ecc {
+
+std::string FormatG(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+void Table::AddRow(std::initializer_list<double> row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(FormatG(v));
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < std::min(row.size(), widths.size()); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      if (c > 0) out += "  ";
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out.append(widths[c] - std::min(widths[c], cell.size()), ' ');
+      out += cell;
+    }
+    out += '\n';
+  };
+  emit_row(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c > 0) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+}  // namespace ecc

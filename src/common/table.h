@@ -1,0 +1,32 @@
+// Aligned text-table builder for bench/experiment output.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ecc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a row; must match header arity (extra cells are dropped,
+  /// missing cells rendered blank).
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: formats each double with %.4g.
+  void AddRow(std::initializer_list<double> row);
+
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// %.4g formatting shared by table producers.
+[[nodiscard]] std::string FormatG(double v);
+
+}  // namespace ecc

@@ -1,0 +1,35 @@
+#include "common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ecc {
+
+namespace {
+std::string FormatSpan(double us) {
+  char buf[64];
+  const double abs = std::fabs(us);
+  if (abs >= 3600e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fh", us / 3600e6);
+  } else if (abs >= 60e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fmin", us / 60e6);
+  } else if (abs >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", us / 1e6);
+  } else if (abs >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fus", us);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string Duration::ToString() const {
+  return FormatSpan(static_cast<double>(us_));
+}
+
+std::string TimePoint::ToString() const {
+  return "t+" + FormatSpan(static_cast<double>(us_));
+}
+
+}  // namespace ecc

@@ -1,0 +1,150 @@
+// Virtual time primitives for the cloud simulation.
+//
+// All simulated costs in this project (service execution, node provisioning,
+// per-record network transfer, cache-hit latency) are charged against a
+// VirtualClock rather than the wall clock.  This keeps experiment runs
+// deterministic given a seed and lets a bench simulate days of EC2 time in
+// seconds of real time, while preserving the *ratios* between costs that the
+// paper's observable results depend on.
+//
+// Representation: signed 64-bit microsecond counts.  A Duration is a span,
+// a TimePoint is an offset from the simulation epoch (t = 0).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace ecc {
+
+/// A span of virtual time, microsecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration Micros(std::int64_t us) {
+    return Duration(us);
+  }
+  [[nodiscard]] static constexpr Duration Millis(std::int64_t ms) {
+    return Duration(ms * 1000);
+  }
+  [[nodiscard]] static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e6));
+  }
+  [[nodiscard]] static constexpr Duration Minutes(double m) {
+    return Seconds(m * 60.0);
+  }
+  [[nodiscard]] static constexpr Duration Hours(double h) {
+    return Seconds(h * 3600.0);
+  }
+  [[nodiscard]] static constexpr Duration Zero() { return Duration(0); }
+  [[nodiscard]] static constexpr Duration Max() {
+    return Duration(INT64_MAX);
+  }
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return us_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+  [[nodiscard]] constexpr double millis() const {
+    return static_cast<double>(us_) / 1e3;
+  }
+  [[nodiscard]] constexpr double hours() const { return seconds() / 3600.0; }
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(us_ + o.us_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(us_ - o.us_);
+  }
+  constexpr Duration operator*(double f) const {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(us_) * f));
+  }
+  constexpr Duration operator/(std::int64_t d) const {
+    return Duration(us_ / d);
+  }
+  [[nodiscard]] constexpr double operator/(Duration o) const {
+    return static_cast<double>(us_) / static_cast<double>(o.us_);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    us_ -= o.us_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Human-readable rendering, e.g. "23.000s", "1.500ms", "2.1h".
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// An instant of virtual time, measured from the simulation epoch.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint FromMicros(std::int64_t us) {
+    return TimePoint(us);
+  }
+  [[nodiscard]] static constexpr TimePoint Epoch() { return TimePoint(0); }
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return us_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+  [[nodiscard]] constexpr double hours() const { return seconds() / 3600.0; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(us_ + d.micros());
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(us_ - d.micros());
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::Micros(us_ - o.us_);
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    us_ += d.micros();
+    return *this;
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// Monotonic virtual clock.  The experiment driver advances it explicitly;
+/// substrates (cloud allocator, network model, services) charge durations to
+/// it.  Never moves backwards.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Advance by a span.  Negative spans are clamped to zero.
+  void Advance(Duration d) {
+    if (d > Duration::Zero()) now_ += d;
+  }
+
+  /// Jump forward to `t` if it is in the future; no-op otherwise.
+  void AdvanceTo(TimePoint t) {
+    if (t > now_) now_ = t;
+  }
+
+  void Reset() { now_ = TimePoint::Epoch(); }
+
+ private:
+  TimePoint now_ = TimePoint::Epoch();
+};
+
+}  // namespace ecc

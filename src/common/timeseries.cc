@@ -1,0 +1,132 @@
+#include "common/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+namespace ecc {
+
+double Series::MaxY() const {
+  return ys_.empty() ? 0.0 : *std::max_element(ys_.begin(), ys_.end());
+}
+
+double Series::MinY() const {
+  return ys_.empty() ? 0.0 : *std::min_element(ys_.begin(), ys_.end());
+}
+
+double Series::MeanY() const {
+  if (ys_.empty()) return 0.0;
+  return std::accumulate(ys_.begin(), ys_.end(), 0.0) /
+         static_cast<double>(ys_.size());
+}
+
+double Series::LastY() const { return ys_.empty() ? 0.0 : ys_.back(); }
+
+Series& SeriesSet::Get(const std::string& name) {
+  auto [it, inserted] = series_.try_emplace(name);
+  if (inserted) order_.push_back(name);
+  return it->second;
+}
+
+const Series* SeriesSet::Find(const std::string& name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+namespace {
+std::string FormatNumber(double v) {
+  char buf[48];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string SeriesSet::ToCsv() const {
+  std::string out = x_label_;
+  std::size_t rows = 0;
+  for (const auto& name : order_) {
+    out += ',';
+    out += name;
+    rows = std::max(rows, series_.at(name).size());
+  }
+  out += '\n';
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Use the x from the first series that has this row.
+    double x = 0.0;
+    for (const auto& name : order_) {
+      const Series& s = series_.at(name);
+      if (r < s.size()) {
+        x = s.xs()[r];
+        break;
+      }
+    }
+    out += FormatNumber(x);
+    for (const auto& name : order_) {
+      const Series& s = series_.at(name);
+      out += ',';
+      if (r < s.size()) out += FormatNumber(s.ys()[r]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string SeriesSet::ToTable() const {
+  // Build all cells first, then pad columns.
+  std::vector<std::vector<std::string>> cells;
+  std::size_t rows = 0;
+  for (const auto& name : order_) {
+    rows = std::max(rows, series_.at(name).size());
+  }
+  std::vector<std::string> header{x_label_};
+  header.insert(header.end(), order_.begin(), order_.end());
+  cells.push_back(header);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    double x = 0.0;
+    for (const auto& name : order_) {
+      const Series& s = series_.at(name);
+      if (r < s.size()) {
+        x = s.xs()[r];
+        break;
+      }
+    }
+    row.push_back(FormatNumber(x));
+    for (const auto& name : order_) {
+      const Series& s = series_.at(name);
+      row.push_back(r < s.size() ? FormatNumber(s.ys()[r]) : std::string("-"));
+    }
+    cells.push_back(std::move(row));
+  }
+  std::vector<std::size_t> widths(cells[0].size(), 0);
+  for (const auto& row : cells) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (const auto& row : cells) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      out.append(widths[c] - row[c].size(), ' ');
+      out += row[c];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status SeriesSet::WriteCsvFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Unavailable("cannot open " + path);
+  out << ToCsv();
+  return out.good() ? Status::Ok() : Status::Internal("write failed");
+}
+
+}  // namespace ecc

@@ -1,0 +1,69 @@
+// Named time-series recorder.
+//
+// The experiment driver records one sample per observation interval for each
+// metric the paper plots (speedup, node count, hits, evictions, ...).  A
+// SeriesSet groups aligned series and renders them as a CSV block or an
+// aligned text table — the form the bench binaries print so EXPERIMENTS.md
+// can quote them directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ecc {
+
+class Series {
+ public:
+  void Add(double x, double y) {
+    xs_.push_back(x);
+    ys_.push_back(y);
+  }
+
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] const std::vector<double>& xs() const { return xs_; }
+  [[nodiscard]] const std::vector<double>& ys() const { return ys_; }
+
+  [[nodiscard]] double MaxY() const;
+  [[nodiscard]] double MinY() const;
+  [[nodiscard]] double MeanY() const;
+  [[nodiscard]] double LastY() const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// A set of series sharing the same x axis (e.g. "queries elapsed" or
+/// "time step").  Insertion order of series names is preserved for output.
+class SeriesSet {
+ public:
+  explicit SeriesSet(std::string x_label) : x_label_(std::move(x_label)) {}
+
+  Series& Get(const std::string& name);
+  [[nodiscard]] const Series* Find(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return order_;
+  }
+  [[nodiscard]] const std::string& x_label() const { return x_label_; }
+
+  /// Render as CSV: header "x_label,name1,name2,..." then one row per x of
+  /// the longest series; missing samples are blank.
+  [[nodiscard]] std::string ToCsv() const;
+
+  /// Render as an aligned text table with the same layout as ToCsv.
+  [[nodiscard]] std::string ToTable() const;
+
+  [[nodiscard]] Status WriteCsvFile(const std::string& path) const;
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> order_;
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace ecc

@@ -1,0 +1,84 @@
+// CacheBackend: the interface the coordinator programs against, so the
+// elastic GBA cache and the fixed-node baselines are interchangeable in
+// experiments (Fig. 3 juxtaposes them directly).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "core/types.h"
+
+namespace ecc::core {
+
+/// Counters every backend maintains.  Durations are virtual time.
+struct CacheStats {
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t put_failures = 0;
+  std::uint64_t evictions = 0;       ///< records removed by eviction policy
+  std::uint64_t splits = 0;          ///< bucket splits (overflow migrations)
+  std::uint64_t proactive_splits = 0;  ///< of those, background (async ext.)
+  std::uint64_t node_allocations = 0;
+  std::uint64_t node_removals = 0;   ///< contraction merges
+  std::uint64_t records_migrated = 0;
+  std::uint64_t bytes_migrated = 0;
+  // Replication extension (paper §VI future work):
+  std::uint64_t replica_writes = 0;   ///< secondary copies stored
+  std::uint64_t replica_drops = 0;    ///< replicas skipped (no room/peer)
+  std::uint64_t failover_reads = 0;   ///< gets served by a replica
+  std::uint64_t node_failures = 0;    ///< abrupt KillNode events absorbed
+  Duration total_split_overhead;     ///< alloc + data movement (Fig. 4)
+  Duration last_split_overhead;
+  Duration total_alloc_time;         ///< the allocation share of the above
+  Duration total_migration_time;     ///< the data-movement share
+
+  [[nodiscard]] double HitRate() const {
+    return gets == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(gets);
+  }
+};
+
+class CacheBackend {
+ public:
+  virtual ~CacheBackend() = default;
+
+  [[nodiscard]] virtual std::string Name() const = 0;
+
+  /// Lookup `k`; NotFound on miss.  Charges lookup cost to the clock.
+  [[nodiscard]] virtual StatusOr<std::string> Get(Key k) = 0;
+
+  /// Store (k, v), triggering whatever elasticity/eviction the backend
+  /// implements.  Charges the full insert path cost to the clock.
+  virtual Status Put(Key k, std::string v) = 0;
+
+  /// Remove the given keys wherever they live (global eviction support).
+  /// Returns the number actually removed.
+  virtual std::size_t EvictKeys(const std::vector<Key>& keys) = 0;
+
+  /// Remove the given keys and hand back the removed records, so a caller
+  /// can spill them to a slower storage tier before they vanish.  The
+  /// default discards the values (plain eviction).
+  virtual std::vector<std::pair<Key, std::string>> ExtractKeys(
+      const std::vector<Key>& keys) {
+    (void)EvictKeys(keys);
+    return {};
+  }
+
+  /// Attempt one cost-driven contraction step; returns true if the topology
+  /// changed.  Fixed baselines return false.
+  virtual bool TryContract() = 0;
+
+  [[nodiscard]] virtual std::size_t NodeCount() const = 0;
+  [[nodiscard]] virtual std::uint64_t TotalUsedBytes() const = 0;
+  [[nodiscard]] virtual std::uint64_t TotalCapacityBytes() const = 0;
+  [[nodiscard]] virtual std::size_t TotalRecords() const = 0;
+  [[nodiscard]] virtual const CacheStats& stats() const = 0;
+};
+
+}  // namespace ecc::core

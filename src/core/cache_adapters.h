@@ -1,0 +1,29 @@
+// Adapters binding the cache core to the service-layer interfaces.
+#pragma once
+
+#include <string>
+
+#include "core/backend.h"
+#include "service/composite.h"
+
+namespace ecc::core {
+
+/// Presents any CacheBackend as a composition-stage ResultCache.
+class BackendResultCache final : public service::ResultCache {
+ public:
+  /// `backend` is not owned.
+  explicit BackendResultCache(CacheBackend* backend) : backend_(backend) {}
+
+  [[nodiscard]] StatusOr<std::string> Lookup(std::uint64_t key) override {
+    return backend_->Get(key);
+  }
+
+  void Store(std::uint64_t key, const std::string& value) override {
+    (void)backend_->Put(key, value);
+  }
+
+ private:
+  CacheBackend* backend_;
+};
+
+}  // namespace ecc::core

@@ -1,0 +1,120 @@
+// One cooperative cache node: a B+-Tree shard plus capacity accounting and
+// the node-resident halves of the wire protocol.
+//
+// In the paper each cache server runs "the indexing logic" and the
+// sweep-and-migrate routine locally; the coordinator talks to it over the
+// network.  Accordingly CacheNode exposes:
+//   * direct shard operations (used by node-local logic: sweeps, medians,
+//     per-bucket accounting), and
+//   * an RpcServer handling GET/PUT/MIGRATE/ERASE/STATS, which is what
+//     remote parties call through a channel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "cloudsim/instance.h"
+#include "common/status.h"
+#include "core/types.h"
+#include "net/rpc.h"
+
+namespace ecc::core {
+
+/// Aggregate of one key range on a node (the paper's "aggregation test"
+/// input: can a range fit elsewhere?).
+struct RangeStats {
+  std::size_t records = 0;
+  std::uint64_t bytes = 0;
+};
+
+class CacheNode {
+ public:
+  CacheNode(NodeId id, cloudsim::InstanceId instance,
+            std::uint64_t capacity_bytes);
+
+  CacheNode(const CacheNode&) = delete;
+  CacheNode& operator=(const CacheNode&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] cloudsim::InstanceId instance() const { return instance_; }
+
+  /// ||n|| — bytes currently used.
+  [[nodiscard]] std::uint64_t used_bytes() const { return used_bytes_; }
+  /// ⌈n⌉ — byte capacity.
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    return capacity_bytes_;
+  }
+  [[nodiscard]] std::size_t record_count() const { return tree_.size(); }
+
+  /// Would a record of `bytes` fit right now?
+  [[nodiscard]] bool CanFit(std::size_t bytes) const {
+    return used_bytes_ + bytes <= capacity_bytes_;
+  }
+
+  // --- Direct shard operations -------------------------------------------
+
+  /// Insert; CapacityExceeded on overflow, AlreadyExists on duplicate.
+  Status Insert(Key k, std::string v);
+
+  [[nodiscard]] const std::string* Find(Key k) const {
+    return tree_.Find(k);
+  }
+  [[nodiscard]] bool Contains(Key k) const { return tree_.Contains(k); }
+
+  /// Erase; returns true if present.
+  bool Erase(Key k);
+
+  /// Record count and bytes in [lo, hi].
+  [[nodiscard]] RangeStats StatsInRange(Key lo, Key hi) const;
+
+  /// Key at `rank` (0-based, in key order) within [lo, hi]; rank must be
+  /// < StatsInRange(lo, hi).records.
+  [[nodiscard]] Key KeyAtRankInRange(Key lo, Key hi, std::size_t rank) const;
+
+  /// Copy out records in [lo, hi] (the sweep of Algorithm 2).
+  [[nodiscard]] std::vector<std::pair<Key, std::string>> SweepRange(
+      Key lo, Key hi) const {
+    return tree_.SweepRange(lo, hi);
+  }
+
+  /// Remove records in [lo, hi]; returns removed count.
+  std::size_t EraseRange(Key lo, Key hi);
+
+  [[nodiscard]] const btree::BPlusTree<std::string>& tree() const {
+    return tree_;
+  }
+
+  // --- Shard persistence ---------------------------------------------------
+  // The paper's §IV.D weighs persistent Cloud storage (S3/EBS) for cache
+  // state; these serialize a shard to a compact blob an instance can write
+  // at shutdown and bulk-load at boot (O(n), bottom-up tree build).
+
+  /// Serialize every record (sorted) to a self-describing blob.
+  [[nodiscard]] std::string SerializeShard() const;
+
+  /// Replace this shard's contents from a SerializeShard blob.  Fails
+  /// (leaving the shard untouched) on malformed bytes or if the records
+  /// exceed this node's capacity.
+  Status RestoreShard(std::string_view bytes);
+
+  // --- Wire protocol -------------------------------------------------------
+
+  /// The node's RPC endpoint (GET/PUT/MIGRATE/ERASE/STATS handlers bound to
+  /// this shard).
+  [[nodiscard]] net::RpcServer& rpc() { return rpc_; }
+
+ private:
+  void InstallHandlers();
+
+  NodeId id_;
+  cloudsim::InstanceId instance_;
+  std::uint64_t capacity_bytes_;
+  std::uint64_t used_bytes_ = 0;
+  btree::BPlusTree<std::string> tree_;
+  net::RpcServer rpc_;
+};
+
+}  // namespace ecc::core

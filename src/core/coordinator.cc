@@ -1,0 +1,123 @@
+#include "core/coordinator.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace ecc::core {
+
+Coordinator::Coordinator(CoordinatorOptions opts, CacheBackend* cache,
+                         service::Service* service,
+                         const sfc::Linearizer* linearizer,
+                         VirtualClock* clock)
+    : opts_(opts),
+      cache_(cache),
+      service_(service),
+      linearizer_(linearizer),
+      clock_(clock),
+      window_(opts.window),
+      dynamic_(opts.dynamic) {
+  assert(cache != nullptr && service != nullptr && linearizer != nullptr &&
+         clock != nullptr);
+}
+
+QueryOutcome Coordinator::ProcessKey(Key k) {
+  const TimePoint start = clock_->now();
+  window_.RecordQuery(k);
+  ++step_queries_;
+  ++total_queries_;
+
+  QueryOutcome outcome;
+  auto cached = cache_->Get(k);
+  if (cached.ok()) {
+    outcome.hit = true;
+    ++step_hits_;
+    ++total_hits_;
+  } else {
+    // Miss.  With a spill tier attached, reheating from persistent storage
+    // (hundreds of ms) beats recomputation (tens of s) by two orders.
+    std::string payload;
+    bool have_payload = false;
+    if (spill_ != nullptr) {
+      auto spilled = spill_->Get(k);
+      if (spilled.ok()) {
+        payload = std::move(*spilled);
+        have_payload = true;
+        ++spill_hits_;
+      }
+    }
+    if (!have_payload) {
+      const sfc::GeoTemporalQuery q = linearizer_->CellCenter(k);
+      auto result = service_->Invoke(q, clock_);
+      // The synthetic substrate cannot fail on in-range cells.
+      assert(result.ok());
+      if (result.ok()) {
+        payload = std::move(result->payload);
+        have_payload = true;
+      }
+    }
+    if (have_payload) {
+      const Status s = cache_->Put(k, std::move(payload));
+      if (!s.ok()) {
+        ECC_LOG_WARN("coordinator: put failed for key %llu: %s",
+                     static_cast<unsigned long long>(k),
+                     s.ToString().c_str());
+      }
+    }
+  }
+  outcome.latency = clock_->now() - start;
+  step_query_time_ += outcome.latency;
+  total_query_time_ += outcome.latency;
+  return outcome;
+}
+
+StatusOr<QueryOutcome> Coordinator::ProcessQuery(
+    const sfc::GeoTemporalQuery& q) {
+  auto key = linearizer_->EncodeQuery(q);
+  if (!key.ok()) return key.status();
+  return ProcessKey(*key);
+}
+
+TimeStepReport Coordinator::EndTimeStep() {
+  TimeStepReport report;
+  report.step_queries = step_queries_;
+  report.step_hits = step_hits_;
+  report.step_misses = step_queries_ - step_hits_;
+  report.step_query_time = step_query_time_;
+
+  // Dynamic-window extension: observe before the slice closes.
+  if (opts_.dynamic_window) {
+    dynamic_.ObserveSlice(step_hits_, report.step_misses);
+    dynamic_.MaybeAdjust(window_);
+  }
+
+  const SliceExpiry expiry = window_.AdvanceSlice();
+  if (!expiry.evicted.empty()) {
+    if (spill_ != nullptr) {
+      auto extracted = cache_->ExtractKeys(expiry.evicted);
+      report.evicted = extracted.size();
+      for (auto& [k, v] : extracted) {
+        spill_->Put(k, std::move(v));
+        ++spill_puts_;
+      }
+      report.spilled = extracted.size();
+    } else {
+      report.evicted = cache_->EvictKeys(expiry.evicted);
+    }
+  }
+  if (expiry.expired_slices > 0 && opts_.contraction_epsilon > 0) {
+    expirations_since_contract_ += expiry.expired_slices;
+    if (expirations_since_contract_ >= opts_.contraction_epsilon) {
+      expirations_since_contract_ = 0;
+      report.contracted = cache_->TryContract();
+    }
+  }
+  report.window_slices = window_.options().slices;
+
+  step_queries_ = 0;
+  step_hits_ = 0;
+  step_query_time_ = Duration::Zero();
+  return report;
+}
+
+}  // namespace ecc::core

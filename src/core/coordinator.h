@@ -1,0 +1,120 @@
+// Coordinator: the query front-end of the system (paper §IV.A).
+//
+// "Queries are first sent to a coordinating compute node, and the
+// underlying cooperating cache is then searched on the input key to find a
+// replica of the precomputed results.  Upon a hit, the results are
+// transmitted directly back to the caller, whereas a miss would prompt the
+// coordinator to invoke the shoreline extraction service."
+//
+// The coordinator also hosts the *global* elasticity machinery: the sliding
+// window records every queried key; when a time slice ends it expires old
+// keys (decay eviction), and every epsilon expirations it asks the backend
+// to attempt a contraction merge.
+#pragma once
+
+#include <cstdint>
+
+#include "cloudsim/persistent_store.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "core/backend.h"
+#include "core/dynamic_window.h"
+#include "core/sliding_window.h"
+#include "core/types.h"
+#include "service/service.h"
+#include "sfc/linearizer.h"
+
+namespace ecc::core {
+
+struct CoordinatorOptions {
+  SlidingWindowOptions window;
+  /// Attempt contraction every this many slice expirations (paper's
+  /// epsilon).  0 disables contraction.
+  std::size_t contraction_epsilon = 5;
+  /// Enable the dynamic-window extension.
+  bool dynamic_window = false;
+  DynamicWindowOptions dynamic;
+};
+
+/// End-to-end result of one query.
+struct QueryOutcome {
+  bool hit = false;
+  Duration latency;  ///< virtual time from submission to answer
+};
+
+/// What happened when a time step closed.
+struct TimeStepReport {
+  std::size_t step_queries = 0;
+  std::size_t step_hits = 0;
+  std::size_t step_misses = 0;
+  Duration step_query_time;
+  std::size_t evicted = 0;       ///< records evicted by the expired slice
+  std::size_t spilled = 0;       ///< of those, written to the spill tier
+  bool contracted = false;       ///< a node merge happened
+  std::size_t window_slices = 0; ///< current window length (dynamic mode)
+};
+
+class Coordinator {
+ public:
+  /// None of the pointers are owned.  `linearizer` maps keys back to cell
+  /// representatives for service invocation.
+  Coordinator(CoordinatorOptions opts, CacheBackend* cache,
+              service::Service* service, const sfc::Linearizer* linearizer,
+              VirtualClock* clock);
+
+  /// Process one query by key: cache lookup, on miss invoke the service and
+  /// insert the derived result.
+  QueryOutcome ProcessKey(Key k);
+
+  /// Process by continuous coordinates (the public-facing entry point).
+  StatusOr<QueryOutcome> ProcessQuery(const sfc::GeoTemporalQuery& q);
+
+  /// Close the current time step: advance the sliding window, apply decay
+  /// eviction (spilling evicted records if a spill tier is attached), and
+  /// (every epsilon expirations) attempt contraction.
+  TimeStepReport EndTimeStep();
+
+  /// Attach an S3-like second tier (paper §IV.D): decay-evicted records
+  /// spill there instead of vanishing, and misses probe it before falling
+  /// back to the 23 s service.  Pass nullptr to detach.  Not owned.
+  void AttachSpillStore(cloudsim::PersistentStore* store) {
+    spill_ = store;
+  }
+
+  /// Misses answered from the spill tier (no service invocation).
+  [[nodiscard]] std::uint64_t spill_hits() const { return spill_hits_; }
+  /// Records written to the spill tier by decay eviction.
+  [[nodiscard]] std::uint64_t spill_puts() const { return spill_puts_; }
+
+  [[nodiscard]] const SlidingWindow& window() const { return window_; }
+  [[nodiscard]] CacheBackend& cache() { return *cache_; }
+  [[nodiscard]] std::uint64_t total_queries() const { return total_queries_; }
+  [[nodiscard]] std::uint64_t total_hits() const { return total_hits_; }
+  [[nodiscard]] Duration total_query_time() const {
+    return total_query_time_;
+  }
+
+ private:
+  CoordinatorOptions opts_;
+  CacheBackend* cache_;
+  cloudsim::PersistentStore* spill_ = nullptr;
+  std::uint64_t spill_hits_ = 0;
+  std::uint64_t spill_puts_ = 0;
+  service::Service* service_;
+  const sfc::Linearizer* linearizer_;
+  VirtualClock* clock_;
+  SlidingWindow window_;
+  DynamicWindowPolicy dynamic_;
+
+  std::size_t expirations_since_contract_ = 0;
+  // Per-step counters (reset by EndTimeStep).
+  std::size_t step_queries_ = 0;
+  std::size_t step_hits_ = 0;
+  Duration step_query_time_;
+  // Cumulative.
+  std::uint64_t total_queries_ = 0;
+  std::uint64_t total_hits_ = 0;
+  Duration total_query_time_;
+};
+
+}  // namespace ecc::core

@@ -1,0 +1,69 @@
+#include "core/dynamic_window.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ecc::core {
+
+DynamicWindowPolicy::DynamicWindowPolicy(DynamicWindowOptions opts)
+    : opts_(opts) {
+  assert(opts_.min_slices >= 1 && opts_.min_slices <= opts_.max_slices);
+  assert(opts_.grow_ratio > 1.0 && opts_.shrink_ratio < 1.0);
+  assert(opts_.grow_factor > 1.0 && opts_.shrink_factor < 1.0);
+  assert(opts_.period >= 1);
+  assert(opts_.ema_weight > 0.0 && opts_.ema_weight <= 1.0);
+}
+
+void DynamicWindowPolicy::ObserveSlice(std::uint64_t hits,
+                                       std::uint64_t misses) {
+  period_hits_ += hits;
+  period_misses_ += misses;
+  ++slices_seen_;
+}
+
+bool DynamicWindowPolicy::MaybeAdjust(SlidingWindow& window) {
+  if (slices_seen_ < opts_.period) return false;
+  const std::uint64_t total = period_hits_ + period_misses_;
+  const double traffic =
+      static_cast<double>(total) / static_cast<double>(slices_seen_);
+  const double hit_rate =
+      total == 0 ? 0.0
+                 : static_cast<double>(period_hits_) /
+                       static_cast<double>(total);
+  period_hits_ = period_misses_ = 0;
+  slices_seen_ = 0;
+
+  if (traffic_ema_ < 0.0) {
+    // First period establishes the baseline; no adjustment yet.
+    traffic_ema_ = traffic;
+    return false;
+  }
+  const double ratio = traffic / std::max(1e-9, traffic_ema_);
+  traffic_ema_ = (1.0 - opts_.ema_weight) * traffic_ema_ +
+                 opts_.ema_weight * traffic;
+  if (window.infinite()) return false;
+
+  const std::size_t current = window.options().slices;
+  std::size_t target = current;
+  if (ratio < opts_.shrink_ratio) {
+    // Interest is waning: narrow the window, release capacity.
+    target = static_cast<std::size_t>(
+        std::floor(static_cast<double>(current) * opts_.shrink_factor));
+  } else if (ratio > opts_.grow_ratio) {
+    // Query-intensive episode: widen to capture the reuse.
+    target = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(current) * opts_.grow_factor));
+  } else if (hit_rate > opts_.shrink_above) {
+    // Steady traffic but the window already covers the working set.
+    target = static_cast<std::size_t>(
+        std::floor(static_cast<double>(current) * opts_.shrink_factor));
+  }
+  target = std::clamp(target, opts_.min_slices, opts_.max_slices);
+  if (target == current) return false;
+  window.Resize(target);
+  ++adjustments_;
+  return true;
+}
+
+}  // namespace ecc::core

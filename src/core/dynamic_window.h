@@ -1,0 +1,70 @@
+// Dynamic window sizing (the paper's §IV.D / §VI future work).
+//
+// The evaluation shows window length m dominates both peak speedup and node
+// cost, and suggests "a dynamically changing m can be very useful in
+// driving down cost."  The sliding window exists to "capture user interest
+// over time", so the controller keys off traffic:
+//
+//   * per-slice query volume is tracked against an exponential moving
+//     average;
+//   * a surge (period traffic >> EMA) widens the window to capture the
+//     heightened interest;
+//   * waning traffic (period traffic << EMA) narrows it, letting decay
+//     eviction and contraction release nodes;
+//   * independently, a very high hit rate signals over-provisioning and
+//     also narrows the window.
+//
+// Adjustments are multiplicative every `period` slices, clamped to
+// [min_slices, max_slices].  The ablation_dynamic_window bench compares the
+// controller against fixed windows on the paper's phased workload.
+#pragma once
+
+#include <cstdint>
+
+#include "core/sliding_window.h"
+
+namespace ecc::core {
+
+struct DynamicWindowOptions {
+  std::size_t min_slices = 25;
+  std::size_t max_slices = 800;
+  /// Grow when period traffic exceeds this multiple of the EMA.
+  double grow_ratio = 1.3;
+  /// Shrink when period traffic falls below this multiple of the EMA.
+  double shrink_ratio = 0.75;
+  /// Also shrink when the period hit rate exceeds this (diminishing
+  /// returns: the window already covers the working set).
+  double shrink_above = 0.9;
+  double grow_factor = 1.25;
+  double shrink_factor = 0.8;
+  /// Slices between adjustments.
+  std::size_t period = 20;
+  /// EMA blend weight for the new period's traffic, in (0, 1].
+  double ema_weight = 0.3;
+};
+
+class DynamicWindowPolicy {
+ public:
+  explicit DynamicWindowPolicy(DynamicWindowOptions opts);
+
+  /// Feed per-slice observations; call once per time slice.
+  void ObserveSlice(std::uint64_t hits, std::uint64_t misses);
+
+  /// Apply the policy to `window` if an adjustment period elapsed.
+  /// Returns true when the window length changed.
+  bool MaybeAdjust(SlidingWindow& window);
+
+  [[nodiscard]] std::size_t adjustments() const { return adjustments_; }
+  [[nodiscard]] double traffic_ema() const { return traffic_ema_; }
+  [[nodiscard]] const DynamicWindowOptions& options() const { return opts_; }
+
+ private:
+  DynamicWindowOptions opts_;
+  std::uint64_t period_hits_ = 0;
+  std::uint64_t period_misses_ = 0;
+  std::size_t slices_seen_ = 0;
+  double traffic_ema_ = -1.0;  ///< per-slice; <0 until first period
+  std::size_t adjustments_ = 0;
+};
+
+}  // namespace ecc::core

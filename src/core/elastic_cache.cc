@@ -1,0 +1,624 @@
+#include "core/elastic_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/log.h"
+#include "net/message.h"
+
+namespace ecc::core {
+
+ElasticCache::ElasticCache(ElasticCacheOptions opts,
+                           cloudsim::CloudProvider* provider,
+                           VirtualClock* clock)
+    : opts_(opts),
+      provider_(provider),
+      clock_(clock),
+      net_model_(opts.net),
+      ring_(opts.ring) {
+  assert(provider_ != nullptr && clock_ != nullptr);
+  assert(!opts_.ring.mix_keys &&
+         "GBA sweep semantics require an order-preserving auxiliary hash");
+  assert(opts_.initial_nodes >= 1);
+  assert(opts_.initial_buckets_per_node >= 1);
+
+  // Bring up the initial fleet and lay evenly spaced buckets round-robin
+  // across it (paper Fig. 1: p buckets over n nodes).
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < opts_.initial_nodes; ++i) {
+    auto id = AllocateNode();
+    assert(id.ok() && "initial allocation cannot fail");
+    ids.push_back(*id);
+  }
+  const std::size_t total_buckets =
+      opts_.initial_nodes * opts_.initial_buckets_per_node;
+  const std::uint64_t stride = opts_.ring.range / total_buckets;
+  for (std::size_t i = 0; i < total_buckets; ++i) {
+    const std::uint64_t point = (i + 1) * stride - 1;
+    // Contiguous blocks (not round-robin): diametrically opposite arcs then
+    // belong to different nodes, which the mirror-replica extension needs.
+    const auto takeover =
+        ring_.AddBucket(point, ids[i * ids.size() / total_buckets]);
+    assert(takeover.ok());
+    (void)takeover;
+  }
+  // Initial boots are infrastructure setup, not split overhead: reset the
+  // figures-facing counters but keep the instances.
+  stats_ = CacheStats{};
+}
+
+StatusOr<NodeId> ElasticCache::AllocateNode() {
+  const TimePoint before = clock_->now();
+  auto instance = provider_->Allocate();
+  if (!instance.ok()) return instance.status();
+  const Duration boot_wait = clock_->now() - before;
+
+  const NodeId id = next_node_id_++;
+  NodeEntry entry;
+  entry.node =
+      std::make_unique<CacheNode>(id, *instance, opts_.node_capacity_bytes);
+  entry.channel = std::make_unique<net::LoopbackChannel>(
+      &entry.node->rpc(), net_model_, clock_);
+  entry.bg_channel = std::make_unique<net::LoopbackChannel>(
+      &entry.node->rpc(), net_model_, /*clock=*/nullptr);
+  nodes_.emplace(id, std::move(entry));
+  ++stats_.node_allocations;
+  stats_.total_alloc_time += boot_wait;
+  ECC_LOG_INFO("cache: node %llu allocated (fleet=%zu)",
+               static_cast<unsigned long long>(id), nodes_.size());
+  return id;
+}
+
+StatusOr<std::string> ElasticCache::Get(Key k) {
+  ++stats_.gets;
+  auto owner = ring_.Lookup(k);
+  if (!owner.ok()) return owner.status();
+  clock_->Advance(opts_.local_op_time);  // h(k) + dispatch
+
+  NodeEntry& entry = Entry(*owner);
+  net::GetRequest req{k};
+  auto resp_msg = entry.channel->Call(req.Encode());
+  if (!resp_msg.ok()) return resp_msg.status();
+  auto resp = net::GetResponse::Decode(*resp_msg);
+  if (!resp.ok()) return resp.status();
+  clock_->Advance(opts_.local_op_time);  // B+-Tree search on the node
+  if (resp->found) {
+    ++stats_.hits;
+    return std::move(resp->value);
+  }
+
+  // Failover read: the mirror copy at (k + r/2) survives a primary loss
+  // and is addressed through normal routing, so it never goes stale.
+  if (opts_.replicas >= 2) {
+    auto replica_owner = ReplicaOwnerOf(k);
+    if (replica_owner.ok() && *replica_owner != *owner) {
+      net::GetRequest mirror_req{MirrorKey(k)};
+      auto replica_msg =
+          Entry(*replica_owner).channel->Call(mirror_req.Encode());
+      if (replica_msg.ok()) {
+        auto replica_resp = net::GetResponse::Decode(*replica_msg);
+        if (replica_resp.ok() && replica_resp->found) {
+          ++stats_.hits;
+          ++stats_.failover_reads;
+          return std::move(replica_resp->value);
+        }
+      }
+    }
+  }
+  ++stats_.misses;
+  return Status::NotFound();
+}
+
+StatusOr<NodeId> ElasticCache::ReplicaOwnerOf(Key k) const {
+  return ring_.Lookup(MirrorKey(k));
+}
+
+Status ElasticCache::Put(Key k, std::string v) {
+  ++stats_.puts;
+  if (opts_.replicas >= 2 && k >= opts_.ring.range / 2) {
+    ++stats_.put_failures;
+    return Status::InvalidArgument(
+        "with replication, primary keys must lie in the lower half of the "
+        "hash line");
+  }
+  if (Status s = PutInternal(k, v); !s.ok()) {
+    ++stats_.put_failures;
+    return s;
+  }
+  if (opts_.replicas >= 2) StoreReplica(k, v);
+  if (opts_.proactive_split_fill > 0.0) {
+    auto owner = ring_.Lookup(k);
+    if (owner.ok()) MaybeProactiveSplit(*owner);
+  }
+  return Status::Ok();
+}
+
+void ElasticCache::MaybeProactiveSplit(NodeId node_id) {
+  const CacheNode& node = *Entry(node_id).node;
+  const double fill = static_cast<double>(node.used_bytes()) /
+                      static_cast<double>(node.capacity_bytes());
+  if (fill < opts_.proactive_split_fill) return;
+
+  // Rate limit: one attempt per ~5% of capacity of growth.  A node parked
+  // just above the threshold (tiny buckets, nothing worth moving) must not
+  // re-split on every insert.
+  auto [marker_it, fresh] = proactive_marker_.try_emplace(node_id, 0);
+  if (!fresh &&
+      node.used_bytes() < marker_it->second + node.capacity_bytes() / 20) {
+    return;
+  }
+  marker_it->second = node.used_bytes();
+
+  // Will the split need a fresh instance?  (Same test Algorithm 2 runs:
+  // can the least-loaded peer absorb roughly half this node?)
+  std::uint64_t least_used = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& [id, entry] : nodes_) {
+    if (id == node_id) continue;
+    least_used = std::min(least_used, entry.node->used_bytes());
+  }
+  const bool needs_alloc =
+      nodes_.size() < 2 ||
+      least_used + node.used_bytes() / 2 > opts_.node_capacity_bytes;
+  if (needs_alloc && provider_->WarmReadyCount() == 0) {
+    // Boot capacity in the background; a later insert retries the split
+    // once the instance is ready.  Never block the query path.
+    if (provider_->WarmPoolCount() == 0) provider_->PrewarmAsync(1);
+    return;
+  }
+
+  background_mode_ = true;
+  const Status s = SplitNode(node_id);
+  background_mode_ = false;
+  if (s.ok()) {
+    ++stats_.proactive_splits;
+    ECC_LOG_INFO("cache: proactive background split of node %llu",
+                 static_cast<unsigned long long>(node_id));
+  }
+}
+
+Status ElasticCache::PutInternal(Key k, const std::string& v) {
+  const std::size_t rec = RecordSize(k, v);
+  if (rec > opts_.node_capacity_bytes) {
+    return Status::InvalidArgument("record exceeds node capacity");
+  }
+  for (std::size_t iter = 0; iter < opts_.max_split_iterations; ++iter) {
+    auto owner = ring_.Lookup(k);
+    if (!owner.ok()) return owner.status();
+    NodeEntry& entry = Entry(*owner);
+
+    // Duplicate PUT is idempotent: never let it trigger a split.
+    if (entry.node->Contains(k)) {
+      clock_->Advance(opts_.local_op_time);
+      return Status::Ok();
+    }
+
+    if (entry.node->CanFit(rec)) {
+      net::PutRequest req{k, v};
+      auto resp_msg = entry.channel->Call(req.Encode());
+      if (!resp_msg.ok()) return resp_msg.status();
+      auto resp = net::PutResponse::Decode(*resp_msg);
+      if (!resp.ok()) return resp.status();
+      clock_->Advance(opts_.local_op_time);
+      if (!resp->accepted) {
+        // Raced against concurrent growth; retry through the split path.
+        continue;
+      }
+      return Status::Ok();
+    }
+
+    // Overflow: split (Algorithm 1, lines 8-15), then retry the insert.
+    if (Status s = SplitNode(*owner); !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Internal("split loop did not converge");
+}
+
+std::vector<std::pair<Key, Key>> ElasticCache::ArcKeyRanges(
+    const hashring::Arc& arc) const {
+  // Keys equal their aux-hash here (order-preserving h'), so the arc
+  // (lo, hi] is the key interval [lo+1, hi] — or two intervals when the
+  // arc wraps through the ring origin.
+  std::vector<std::pair<Key, Key>> out;
+  const Key max_key = opts_.ring.range - 1;
+  if (!arc.wraps) {
+    out.emplace_back(arc.lo_exclusive + 1, arc.hi_inclusive);
+    return out;
+  }
+  if (arc.lo_exclusive < max_key) {
+    out.emplace_back(arc.lo_exclusive + 1, max_key);
+  }
+  out.emplace_back(0, arc.hi_inclusive);
+  return out;
+}
+
+RangeStats ElasticCache::ArcStats(const CacheNode& node,
+                                  const hashring::Arc& arc) const {
+  RangeStats total;
+  for (const auto& [lo, hi] : ArcKeyRanges(arc)) {
+    const RangeStats part = node.StatsInRange(lo, hi);
+    total.records += part.records;
+    total.bytes += part.bytes;
+  }
+  return total;
+}
+
+Key ElasticCache::KeyAtRankInArc(const CacheNode& node,
+                                 const hashring::Arc& arc,
+                                 std::size_t rank) const {
+  for (const auto& [lo, hi] : ArcKeyRanges(arc)) {
+    const RangeStats part = node.StatsInRange(lo, hi);
+    if (rank < part.records) return node.KeyAtRankInRange(lo, hi, rank);
+    rank -= part.records;
+  }
+  assert(false && "rank beyond arc population");
+  return 0;
+}
+
+Status ElasticCache::SplitNode(NodeId node_id) {
+  CacheNode& src = *Entry(node_id).node;
+
+  // Fullest bucket referencing this node (by bytes, the quantity that
+  // overflows).
+  const auto& buckets = ring_.buckets();
+  std::size_t best_idx = buckets.size();
+  RangeStats best_stats;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].owner != node_id) continue;
+    const RangeStats s = ArcStats(src, ring_.ArcOf(i));
+    if (best_idx == buckets.size() || s.bytes > best_stats.bytes) {
+      best_idx = i;
+      best_stats = s;
+    }
+  }
+  if (best_idx == buckets.size()) {
+    return Status::Internal("overflowing node owns no bucket");
+  }
+  if (best_stats.records < 2) {
+    // Nothing to split: a single huge record (or empty arc) cannot be
+    // halved.  The insert cannot make progress.
+    return Status::CapacityExceeded("fullest bucket not splittable");
+  }
+
+  const hashring::Arc arc = ring_.ArcOf(best_idx);
+  // Median key in ring order: migrate [min(b_max), k^mu], roughly half the
+  // bucket's records (lower half).
+  const std::size_t median_rank = (best_stats.records - 1) / 2;
+  const Key k_mu = KeyAtRankInArc(src, arc, median_rank);
+
+  const TimePoint split_start = clock_->now();
+  const Duration alloc_before = stats_.total_alloc_time;
+
+  // --- Algorithm 2: pick destination (least-loaded, last resort alloc). --
+  const std::uint64_t moving_bytes = [&] {
+    // Bytes of the sub-arc (arc.lo, k_mu]; compute from ranges.
+    std::uint64_t bytes = 0;
+    hashring::Arc sub{arc.lo_exclusive, k_mu,
+                      /*wraps=*/arc.wraps && k_mu <= arc.hi_inclusive};
+    for (const auto& [lo, hi] : ArcKeyRanges(sub)) {
+      bytes += src.StatsInRange(lo, hi).bytes;
+    }
+    return bytes;
+  }();
+
+  NodeId dest_id = node_id;
+  std::uint64_t least_used = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& [id, entry] : nodes_) {
+    if (id == node_id) continue;
+    if (entry.node->used_bytes() < least_used) {
+      least_used = entry.node->used_bytes();
+      dest_id = id;
+    }
+  }
+  bool allocated_new = false;
+  if (dest_id == node_id ||
+      nodes_.at(dest_id).node->used_bytes() + moving_bytes >
+          opts_.node_capacity_bytes) {
+    auto fresh = AllocateNode();
+    if (!fresh.ok()) return fresh.status();
+    dest_id = *fresh;
+    allocated_new = true;
+  }
+
+  // --- Transfer the sub-arc (arc.lo, k_mu]. -------------------------------
+  const TimePoint move_start = clock_->now();
+  NodeEntry& dest = Entry(dest_id);
+  RangeStats moved;
+  {
+    hashring::Arc sub{arc.lo_exclusive, k_mu,
+                      /*wraps=*/arc.wraps && k_mu <= arc.hi_inclusive};
+    for (const auto& [lo, hi] : ArcKeyRanges(sub)) {
+      const RangeStats part = TransferRange(src, dest, lo, hi);
+      moved.records += part.records;
+      moved.bytes += part.bytes;
+    }
+  }
+
+  // --- Update B and NodeMap (Algorithm 1 lines 13-15). --------------------
+  const std::uint64_t point = k_mu % opts_.ring.range;
+  auto takeover = ring_.AddBucket(point, dest_id);
+  if (!takeover.ok()) return takeover.status();
+
+  SplitReport report;
+  report.source = node_id;
+  report.destination = dest_id;
+  report.allocated_new_node = allocated_new;
+  report.records_moved = moved.records;
+  report.bytes_moved = moved.bytes;
+  report.alloc_time = stats_.total_alloc_time - alloc_before;
+  report.move_time = clock_->now() - move_start;
+  split_history_.push_back(report);
+
+  ++stats_.splits;
+  stats_.records_migrated += moved.records;
+  stats_.bytes_migrated += moved.bytes;
+  stats_.total_migration_time += report.move_time;
+  stats_.last_split_overhead = clock_->now() - split_start;
+  stats_.total_split_overhead += stats_.last_split_overhead;
+  ECC_LOG_INFO(
+      "cache: split node %llu -> %llu (%zu records, %s, new_node=%d)",
+      static_cast<unsigned long long>(node_id),
+      static_cast<unsigned long long>(dest_id), moved.records,
+      stats_.last_split_overhead.ToString().c_str(), allocated_new ? 1 : 0);
+  return Status::Ok();
+}
+
+RangeStats ElasticCache::TransferRange(CacheNode& src, NodeEntry& dest,
+                                       Key lo, Key hi) {
+  RangeStats moved;
+  // Background (proactive) transfers ride the uncharged channel: the data
+  // movement overlaps query service instead of blocking it.
+  net::LoopbackChannel& channel =
+      background_mode_ ? *dest.bg_channel : *dest.channel;
+  // Sweep the linked leaves once, then ship in batches.
+  std::vector<std::pair<Key, std::string>> records = src.SweepRange(lo, hi);
+  std::size_t offset = 0;
+  while (offset < records.size()) {
+    const std::size_t n =
+        std::min(opts_.migrate_batch_records, records.size() - offset);
+    net::MigrateRequest req;
+    req.records.assign(records.begin() + offset,
+                       records.begin() + offset + n);
+    auto resp_msg = channel.Call(req.Encode());
+    // Accounting proceeds even if the response is malformed — the loopback
+    // channel cannot drop messages — but assert in debug builds.
+    assert(resp_msg.ok());
+    if (resp_msg.ok()) {
+      auto resp = net::MigrateResponse::Decode(*resp_msg);
+      assert(resp.ok() && resp->accepted == n);
+      (void)resp;
+    }
+    for (std::size_t i = offset; i < offset + n; ++i) {
+      moved.bytes += RecordSize(records[i].first, records[i].second);
+      ++moved.records;
+      const bool erased = src.Erase(records[i].first);
+      assert(erased);
+      (void)erased;
+      if (!background_mode_) {
+        clock_->Advance(opts_.local_op_time);  // local delete
+      }
+    }
+    offset += n;
+  }
+  return moved;
+}
+
+void ElasticCache::StoreReplica(Key k, const std::string& v) {
+  // The mirror record rides the normal insert machinery — it may split and
+  // even allocate, which is the honest cost of 2x redundancy.  A mirror
+  // that lands on its primary's node is stored anyway: it adds no safety
+  // *yet*, but subsequent splits separate the two halves of the line and
+  // the pair ends up on distinct nodes without any repair machinery.
+  if (PutInternal(MirrorKey(k), v).ok()) {
+    ++stats_.replica_writes;
+  } else {
+    ++stats_.replica_drops;
+  }
+}
+
+std::size_t ElasticCache::EvictKeys(const std::vector<Key>& keys) {
+  // Group per owning node, then one ERASE message per node.  With
+  // replication the successor copy is erased too (uncounted: the eviction
+  // statistic tracks primaries so record conservation stays meaningful).
+  std::map<NodeId, std::vector<Key>> per_node;
+  std::map<NodeId, std::vector<Key>> per_replica_node;
+  for (Key k : keys) {
+    auto owner = ring_.Lookup(k);
+    if (owner.ok()) per_node[*owner].push_back(k);
+    if (opts_.replicas >= 2) {
+      const Key mirror = MirrorKey(k);
+      auto replica_owner = ring_.Lookup(mirror);
+      if (replica_owner.ok()) {
+        per_replica_node[*replica_owner].push_back(mirror);
+      }
+    }
+  }
+  std::size_t erased_total = 0;
+  for (auto& [id, node_keys] : per_node) {
+    net::EraseRequest req;
+    req.keys = std::move(node_keys);
+    auto resp_msg = Entry(id).channel->Call(req.Encode());
+    if (!resp_msg.ok()) continue;
+    auto resp = net::EraseResponse::Decode(*resp_msg);
+    if (resp.ok()) erased_total += resp->erased;
+  }
+  for (auto& [id, node_keys] : per_replica_node) {
+    net::EraseRequest req;
+    req.keys = std::move(node_keys);
+    (void)Entry(id).channel->Call(req.Encode());
+  }
+  stats_.evictions += erased_total;
+  return erased_total;
+}
+
+std::vector<std::pair<Key, std::string>> ElasticCache::ExtractKeys(
+    const std::vector<Key>& keys) {
+  // Copy the doomed records out node-locally (each server spills its own
+  // shard entries; only the erase traffic rides the wire), then run the
+  // ordinary eviction for the removal + accounting.
+  std::vector<std::pair<Key, std::string>> extracted;
+  for (Key k : keys) {
+    auto owner = ring_.Lookup(k);
+    if (!owner.ok()) continue;
+    const std::string* v = Entry(*owner).node->Find(k);
+    if (v != nullptr) extracted.emplace_back(k, *v);
+  }
+  (void)EvictKeys(keys);
+  return extracted;
+}
+
+StatusOr<KillReport> ElasticCache::KillNode(NodeId id) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) return Status::NotFound("unknown node");
+  if (nodes_.size() < 2) {
+    return Status::FailedPrecondition("cannot kill the last node");
+  }
+  CacheNode& victim = *it->second.node;
+
+  KillReport report;
+  report.node = id;
+  report.records_dropped = victim.record_count();
+  // How many of the dropped records survive elsewhere?  Every record's
+  // other copy sits at its mirror position; it survives iff that position
+  // routes to a different, living node that holds it.
+  if (opts_.replicas >= 2) {
+    for (auto rec = victim.tree().Begin(); rec.valid(); rec.Next()) {
+      const Key mirror = MirrorKey(rec.key());
+      auto other = ring_.Lookup(mirror);
+      if (other.ok() && *other != id &&
+          Entry(*other).node->Contains(mirror)) {
+        ++report.records_recoverable;
+      }
+    }
+  }
+
+  // Repoint every bucket of the dead node at its arc's successor owner
+  // (computed against the surviving fleet).
+  const auto& buckets = ring_.buckets();
+  std::vector<std::pair<std::uint64_t, hashring::Owner>> reassignments;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].owner != id) continue;
+    for (std::size_t step = 1; step < buckets.size(); ++step) {
+      const hashring::Owner candidate = buckets[(i + step) % buckets.size()].owner;
+      if (candidate != id) {
+        reassignments.emplace_back(buckets[i].point, candidate);
+        break;
+      }
+    }
+  }
+  for (const auto& [point, new_owner] : reassignments) {
+    const Status s = ring_.ReassignBucket(point, new_owner);
+    assert(s.ok());
+    (void)s;
+  }
+  report.buckets_reassigned = reassignments.size();
+
+  const cloudsim::InstanceId instance = victim.instance();
+  nodes_.erase(it);
+  (void)provider_->Terminate(instance);
+  ++stats_.node_failures;
+  ECC_LOG_WARN("cache: node %llu failed abruptly (%zu records dropped, "
+               "%zu recoverable)",
+               static_cast<unsigned long long>(id), report.records_dropped,
+               report.records_recoverable);
+  return report;
+}
+
+bool ElasticCache::TryContract() {
+  if (nodes_.size() <= opts_.min_nodes || nodes_.size() < 2) return false;
+
+  // Two least-loaded nodes: a (donor, smaller) and b (absorber).
+  NodeId a_id = 0, b_id = 0;
+  std::uint64_t a_used = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t b_used = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& [id, entry] : nodes_) {
+    const std::uint64_t used = entry.node->used_bytes();
+    if (used < a_used) {
+      b_used = a_used;
+      b_id = a_id;
+      a_used = used;
+      a_id = id;
+    } else if (used < b_used) {
+      b_used = used;
+      b_id = id;
+    }
+  }
+  CacheNode& donor = *Entry(a_id).node;
+  NodeEntry& absorber = Entry(b_id);
+  // Churn avoidance: only merge when the coalesced cache fits within the
+  // threshold fraction of the absorber.
+  const double fill =
+      static_cast<double>(donor.used_bytes() + absorber.node->used_bytes()) /
+      static_cast<double>(opts_.node_capacity_bytes);
+  if (fill > opts_.merge_fill_threshold) return false;
+
+  // Move everything (a sweep-and-migrate over the donor's full key range).
+  const TimePoint move_start = clock_->now();
+  const RangeStats moved =
+      TransferRange(donor, absorber, 0, std::numeric_limits<Key>::max());
+  stats_.records_migrated += moved.records;
+  stats_.bytes_migrated += moved.bytes;
+  stats_.total_migration_time += clock_->now() - move_start;
+
+  // Repoint every bucket of the donor at the absorber, then retire the
+  // donor's instance.
+  for (const auto& bucket : ring_.BucketsOwnedBy(a_id)) {
+    const Status s = ring_.ReassignBucket(bucket.point, b_id);
+    assert(s.ok());
+    (void)s;
+  }
+  const cloudsim::InstanceId instance = donor.instance();
+  nodes_.erase(a_id);
+  const Status term = provider_->Terminate(instance);
+  assert(term.ok());
+  (void)term;
+  ++stats_.node_removals;
+  ECC_LOG_INFO("cache: merged node %llu into %llu (%zu records)",
+               static_cast<unsigned long long>(a_id),
+               static_cast<unsigned long long>(b_id), moved.records);
+  return true;
+}
+
+std::uint64_t ElasticCache::TotalUsedBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, entry] : nodes_) total += entry.node->used_bytes();
+  return total;
+}
+
+std::uint64_t ElasticCache::TotalCapacityBytes() const {
+  return static_cast<std::uint64_t>(nodes_.size()) *
+         opts_.node_capacity_bytes;
+}
+
+std::size_t ElasticCache::TotalRecords() const {
+  std::size_t total = 0;
+  for (const auto& [id, entry] : nodes_) total += entry.node->record_count();
+  return total;
+}
+
+StatusOr<NodeId> ElasticCache::OwnerOf(Key k) const {
+  return ring_.Lookup(k);
+}
+
+std::vector<NodeSnapshot> ElasticCache::Snapshot() const {
+  std::vector<NodeSnapshot> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, entry] : nodes_) {
+    NodeSnapshot snap;
+    snap.id = id;
+    snap.records = entry.node->record_count();
+    snap.used_bytes = entry.node->used_bytes();
+    snap.capacity_bytes = entry.node->capacity_bytes();
+    snap.buckets = ring_.BucketsOwnedBy(id).size();
+    out.push_back(snap);
+  }
+  return out;
+}
+
+const CacheNode* ElasticCache::GetNode(NodeId id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.node.get();
+}
+
+}  // namespace ecc::core

@@ -1,0 +1,224 @@
+// ElasticCache: the paper's cooperative elastic cloud cache.
+//
+// Placement is a consistent-hash ring whose bucket arcs are key intervals
+// (the auxiliary hash h'(k) = k mod r is order-preserving for k < r, the
+// configuration the paper's sweep semantics require: a bucket's keys form a
+// contiguous B+-Tree range on its node).
+//
+// GBA-insert (Algorithm 1): on node overflow, find the fullest bucket
+// referencing the node, take the median key k^mu of that bucket's records,
+// sweep-and-migrate the lower half to the least-loaded cooperating node —
+// allocating a fresh cloud node only if nothing can absorb the range — and
+// register a new bucket at h'(k^mu) pointing at the destination.
+//
+// Sweep-and-migrate (Algorithm 2): one root-to-leaf search plus a linked-
+// leaf sweep on the source shard; records ship in batched MIGRATE messages
+// whose transfer time (T_net per record) dominates, as in the paper's
+// analysis.
+//
+// Contraction: merge the two least-loaded nodes when their combined data
+// fits under the churn-avoidance threshold (65% of a node), then release
+// the freed instance.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cloudsim/provider.h"
+#include "common/time.h"
+#include "core/backend.h"
+#include "core/cache_node.h"
+#include "core/types.h"
+#include "hashring/consistent_hash.h"
+#include "net/netmodel.h"
+#include "net/rpc.h"
+
+namespace ecc::core {
+
+struct ElasticCacheOptions {
+  /// Usable cache bytes per node.  The default is scaled for laptop-size
+  /// experiments (see DESIGN.md: shapes depend on capacity/keyspace ratio,
+  /// not absolute bytes).
+  std::uint64_t node_capacity_bytes = 4ull << 20;
+  std::size_t initial_nodes = 1;
+  std::size_t initial_buckets_per_node = 4;
+  hashring::RingOptions ring{.range = 1ull << 48, .mix_keys = false};
+  net::NetworkModelOptions net;
+  /// Records per MIGRATE message.
+  std::size_t migrate_batch_records = 64;
+  /// CPU charge per B+-Tree operation on the virtual clock.
+  Duration local_op_time = Duration::Micros(20);
+  /// Contraction floor and churn-avoidance fill threshold (paper: 65%).
+  std::size_t min_nodes = 1;
+  double merge_fill_threshold = 0.65;
+  /// Safety bound on consecutive splits for one insert.
+  std::size_t max_split_iterations = 64;
+  /// Copies of each record (extension; paper §VI suggests replication to
+  /// survive node loss).  1 = primary only; 2 = primary + a mirror copy
+  /// stored at the diametrically opposite ring position (k + r/2), so the
+  /// replica rides the normal split/migration machinery and stays
+  /// addressable through any topology change.  Requires primary keys to
+  /// occupy the lower half of the hash line.
+  std::size_t replicas = 1;
+  /// Asynchronous allocation + prefetch extension (paper §VI): when a
+  /// node's fill fraction reaches this threshold, split it *proactively in
+  /// the background* — boot capacity via the warm pool and migrate the
+  /// half-bucket off the query path, so later inserts never block on a
+  /// cold boot or a synchronous sweep.  0 disables (the paper's reactive
+  /// last-resort behaviour).
+  double proactive_split_fill = 0.0;
+};
+
+/// Outcome of one overflow-triggered split, for Fig. 4 accounting.
+struct SplitReport {
+  NodeId source = 0;
+  NodeId destination = 0;
+  bool allocated_new_node = false;
+  std::size_t records_moved = 0;
+  std::uint64_t bytes_moved = 0;
+  Duration alloc_time;
+  Duration move_time;
+
+  [[nodiscard]] Duration TotalOverhead() const {
+    return alloc_time + move_time;
+  }
+};
+
+/// Outcome of an injected node failure.
+struct KillReport {
+  NodeId node = 0;
+  std::size_t records_dropped = 0;      ///< records the dead node held
+  std::size_t records_recoverable = 0;  ///< of those, replicated elsewhere
+  std::size_t buckets_reassigned = 0;
+};
+
+/// Point-in-time description of one node, for reporting/tests.
+struct NodeSnapshot {
+  NodeId id = 0;
+  std::size_t records = 0;
+  std::uint64_t used_bytes = 0;
+  std::uint64_t capacity_bytes = 0;
+  std::size_t buckets = 0;
+};
+
+class ElasticCache final : public CacheBackend {
+ public:
+  /// `provider` supplies/retires instances; `clock` is the shared virtual
+  /// clock.  Neither is owned.
+  ElasticCache(ElasticCacheOptions opts, cloudsim::CloudProvider* provider,
+               VirtualClock* clock);
+
+  [[nodiscard]] std::string Name() const override { return "gba-elastic"; }
+
+  [[nodiscard]] StatusOr<std::string> Get(Key k) override;
+  Status Put(Key k, std::string v) override;
+  std::size_t EvictKeys(const std::vector<Key>& keys) override;
+  std::vector<std::pair<Key, std::string>> ExtractKeys(
+      const std::vector<Key>& keys) override;
+  bool TryContract() override;
+
+  [[nodiscard]] std::size_t NodeCount() const override {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::uint64_t TotalUsedBytes() const override;
+  [[nodiscard]] std::uint64_t TotalCapacityBytes() const override;
+  [[nodiscard]] std::size_t TotalRecords() const override;
+  [[nodiscard]] const CacheStats& stats() const override { return stats_; }
+
+  // --- Introspection (tests, benches) -------------------------------------
+
+  /// Abrupt node loss (failure injection): the node's shard vanishes
+  /// without migration; its buckets repoint to each arc's successor owner;
+  /// the backing instance is terminated.  With replication enabled the
+  /// lost records' mirror copies survive on other nodes and subsequent
+  /// Gets fail over to them.
+  StatusOr<KillReport> KillNode(NodeId id);
+
+  /// Hash-line position of k's mirror copy: (k + r/2) mod r.
+  [[nodiscard]] Key MirrorKey(Key k) const {
+    return (k + opts_.ring.range / 2) % opts_.ring.range;
+  }
+
+  /// Node currently owning k's mirror copy.
+  [[nodiscard]] StatusOr<NodeId> ReplicaOwnerOf(Key k) const;
+
+  [[nodiscard]] const hashring::ConsistentHashRing& ring() const {
+    return ring_;
+  }
+  [[nodiscard]] const ElasticCacheOptions& options() const { return opts_; }
+  [[nodiscard]] StatusOr<NodeId> OwnerOf(Key k) const;
+  [[nodiscard]] std::vector<NodeSnapshot> Snapshot() const;
+  [[nodiscard]] const CacheNode* GetNode(NodeId id) const;
+  [[nodiscard]] const std::vector<SplitReport>& split_history() const {
+    return split_history_;
+  }
+
+  /// Key interval(s) covered by a ring arc, as inclusive key ranges
+  /// ([lo, hi] pairs; two when the arc wraps the ring origin).  Exposed for
+  /// tests of sweep coverage.
+  [[nodiscard]] std::vector<std::pair<Key, Key>> ArcKeyRanges(
+      const hashring::Arc& arc) const;
+
+ private:
+  struct NodeEntry {
+    std::unique_ptr<CacheNode> node;
+    std::unique_ptr<net::LoopbackChannel> channel;
+    /// Same endpoint without clock charging: background migrations ride
+    /// this one (the work happens concurrently with query service).
+    std::unique_ptr<net::LoopbackChannel> bg_channel;
+  };
+
+  /// Allocate a cloud instance + cache node (no buckets yet).  Advances the
+  /// clock by the boot wait.
+  StatusOr<NodeId> AllocateNode();
+
+  /// The GBA insert loop (Algorithm 1) for one physical record.
+  Status PutInternal(Key k, const std::string& v);
+
+  /// Store the mirror copy of (k, v); drops (with accounting) when the
+  /// mirror currently lands on k's own primary node.
+  void StoreReplica(Key k, const std::string& v);
+
+  /// Stats (records/bytes) of `node`'s records inside `arc`.
+  [[nodiscard]] RangeStats ArcStats(const CacheNode& node,
+                                    const hashring::Arc& arc) const;
+
+  /// Key at `rank` in ring order within `arc` on `node`.
+  [[nodiscard]] Key KeyAtRankInArc(const CacheNode& node,
+                                   const hashring::Arc& arc,
+                                   std::size_t rank) const;
+
+  /// Split the fullest bucket of `node_id` (Algorithm 1 lines 8-15).
+  Status SplitNode(NodeId node_id);
+
+  /// Fire a background split when `node_id` crosses the proactive fill
+  /// threshold (no-op unless the extension is enabled and spare capacity
+  /// is ready).
+  void MaybeProactiveSplit(NodeId node_id);
+
+  /// Ship all of `node`'s records in [lo, hi] to `dest` in batches,
+  /// erasing them locally.  Returns (records, bytes) moved.
+  RangeStats TransferRange(CacheNode& src, NodeEntry& dest, Key lo, Key hi);
+
+  [[nodiscard]] NodeEntry& Entry(NodeId id) { return nodes_.at(id); }
+
+  ElasticCacheOptions opts_;
+  cloudsim::CloudProvider* provider_;
+  VirtualClock* clock_;
+  net::NetworkModel net_model_;
+  hashring::ConsistentHashRing ring_;
+  std::map<NodeId, NodeEntry> nodes_;
+  NodeId next_node_id_ = 0;
+  CacheStats stats_;
+  std::vector<SplitReport> split_history_;
+  /// True while a proactive split runs: transfers use bg channels and
+  /// charge nothing to the virtual clock.
+  bool background_mode_ = false;
+  /// Per-node high-water mark of used_bytes at the last proactive attempt;
+  /// a node must grow ~5% of capacity past it before the next attempt
+  /// (prevents re-split thrash on nodes hovering at the threshold).
+  std::map<NodeId, std::uint64_t> proactive_marker_;
+};
+
+}  // namespace ecc::core

@@ -1,0 +1,103 @@
+// Thread-safe decorator over any CacheBackend.
+//
+// The elastic cache and the simulation substrate are single-threaded by
+// design (the virtual clock is a shared, unsynchronized resource, matching
+// the paper's sequential coordinator).  When multiple client threads front
+// one cache — e.g. a pool of request handlers — wrap the backend in a
+// LockedBackend: one mutex serializes every operation, so the clock, ring,
+// and shards see a linearized history.
+//
+// Coarse-grained by intent: the virtual-time costs dominate simulated
+// latency anyway, and a single lock keeps the decorated backend's
+// invariants exactly those of the sequential one.
+#pragma once
+
+#include <mutex>
+
+#include "core/backend.h"
+
+namespace ecc::core {
+
+class LockedBackend final : public CacheBackend {
+ public:
+  /// `inner` is not owned and must outlive the wrapper.
+  explicit LockedBackend(CacheBackend* inner) : inner_(inner) {}
+
+  [[nodiscard]] std::string Name() const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->Name() + "+locked";
+  }
+
+  [[nodiscard]] StatusOr<std::string> Get(Key k) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->Get(k);
+  }
+
+  Status Put(Key k, std::string v) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->Put(k, std::move(v));
+  }
+
+  std::size_t EvictKeys(const std::vector<Key>& keys) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->EvictKeys(keys);
+  }
+
+  std::vector<std::pair<Key, std::string>> ExtractKeys(
+      const std::vector<Key>& keys) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->ExtractKeys(keys);
+  }
+
+  bool TryContract() override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->TryContract();
+  }
+
+  [[nodiscard]] std::size_t NodeCount() const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->NodeCount();
+  }
+
+  [[nodiscard]] std::uint64_t TotalUsedBytes() const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->TotalUsedBytes();
+  }
+
+  [[nodiscard]] std::uint64_t TotalCapacityBytes() const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->TotalCapacityBytes();
+  }
+
+  [[nodiscard]] std::size_t TotalRecords() const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->TotalRecords();
+  }
+
+  /// Returns the inner stats reference.  The reference itself is stable;
+  /// read it after worker threads are joined (or accept torn counters).
+  [[nodiscard]] const CacheStats& stats() const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->stats();
+  }
+
+  /// Atomically perform a miss-check-then-fill: returns the cached value,
+  /// or invokes `compute` under the lock and caches its result.  This is
+  /// the thundering-herd-safe variant of the coordinator's miss path.
+  template <typename ComputeFn>
+  StatusOr<std::string> GetOrCompute(Key k, ComputeFn&& compute) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto hit = inner_->Get(k);
+    if (hit.ok()) return hit;
+    StatusOr<std::string> value = compute();
+    if (!value.ok()) return value.status();
+    if (Status s = inner_->Put(k, *value); !s.ok()) return s;
+    return value;
+  }
+
+ private:
+  CacheBackend* inner_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace ecc::core

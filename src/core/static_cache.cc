@@ -1,0 +1,156 @@
+#include "core/static_cache.h"
+
+#include <cassert>
+
+namespace ecc::core {
+
+StaticCache::StaticCache(StaticCacheOptions opts, VirtualClock* clock)
+    : opts_(opts),
+      clock_(clock),
+      net_model_(opts.net),
+      ring_(opts.ring),
+      rng_(opts.seed) {
+  assert(clock_ != nullptr);
+  assert(opts_.nodes >= 1 && opts_.buckets_per_node >= 1);
+  for (std::size_t i = 0; i < opts_.nodes; ++i) {
+    NodeEntry entry;
+    entry.node = std::make_unique<CacheNode>(
+        static_cast<NodeId>(i), /*instance=*/0, opts_.node_capacity_bytes);
+    entry.tracker = MakeVictimTracker(opts_.policy);
+    nodes_.emplace(static_cast<NodeId>(i), std::move(entry));
+  }
+  const std::size_t total_buckets = opts_.nodes * opts_.buckets_per_node;
+  const std::uint64_t stride = opts_.ring.range / total_buckets;
+  for (std::size_t i = 0; i < total_buckets; ++i) {
+    const auto takeover =
+        ring_.AddBucket((i + 1) * stride - 1,
+                        static_cast<NodeId>(i % opts_.nodes));
+    assert(takeover.ok());
+    (void)takeover;
+  }
+}
+
+std::string StaticCache::Name() const {
+  return "static-" + std::to_string(opts_.nodes) + "-" +
+         VictimPolicyName(opts_.policy);
+}
+
+StatusOr<std::string> StaticCache::Get(Key k) {
+  ++stats_.gets;
+  auto owner = OwnerOf(k);
+  if (!owner.ok()) return owner.status();
+  NodeEntry& entry = nodes_.at(*owner);
+  clock_->Advance(opts_.local_op_time);
+
+  const std::string* v = entry.node->Find(k);
+  if (v == nullptr) {
+    ++stats_.misses;
+    // Request + tiny "not found" response on the wire.
+    clock_->Advance(net_model_.RoundTripTime(sizeof(Key) + 8, 16));
+    return Status::NotFound();
+  }
+  ++stats_.hits;
+  entry.tracker->OnAccess(k);
+  clock_->Advance(net_model_.RoundTripTime(sizeof(Key) + 8, v->size() + 16));
+  return *v;
+}
+
+Status StaticCache::Put(Key k, std::string v) {
+  ++stats_.puts;
+  auto owner = OwnerOf(k);
+  if (!owner.ok()) return owner.status();
+  NodeEntry& entry = nodes_.at(*owner);
+  const std::size_t rec = RecordSize(k, v);
+  if (rec > opts_.node_capacity_bytes) {
+    ++stats_.put_failures;
+    return Status::InvalidArgument("record exceeds node capacity");
+  }
+
+  // Duplicate PUT is an idempotent refresh: no victimization, just a
+  // recency touch (otherwise a full node would evict an innocent record
+  // only to find the key already cached).
+  if (entry.node->Contains(k)) {
+    entry.tracker->OnAccess(k);
+    clock_->Advance(net_model_.RoundTripTime(rec, 16));
+    clock_->Advance(opts_.local_op_time);
+    return Status::Ok();
+  }
+
+  // Victimize until the record fits (the LRU policy of the paper's static
+  // configurations).
+  while (!entry.node->CanFit(rec)) {
+    auto victim = entry.tracker->PickVictim(rng_);
+    if (!victim.ok()) {
+      ++stats_.put_failures;
+      return Status::Internal("overflowing node has no victims");
+    }
+    const bool erased = entry.node->Erase(*victim);
+    assert(erased);
+    (void)erased;
+    entry.tracker->OnErase(*victim);
+    ++stats_.evictions;
+    clock_->Advance(opts_.local_op_time);
+  }
+
+  clock_->Advance(net_model_.RoundTripTime(rec, 16));
+  const Status s = entry.node->Insert(k, std::move(v));
+  if (!s.ok()) {
+    ++stats_.put_failures;
+    return s;
+  }
+  entry.tracker->OnInsert(k);
+  clock_->Advance(opts_.local_op_time);
+  return Status::Ok();
+}
+
+std::size_t StaticCache::EvictKeys(const std::vector<Key>& keys) {
+  std::size_t erased = 0;
+  for (Key k : keys) {
+    auto owner = OwnerOf(k);
+    if (!owner.ok()) continue;
+    NodeEntry& entry = nodes_.at(*owner);
+    if (entry.node->Erase(k)) {
+      entry.tracker->OnErase(k);
+      ++erased;
+    }
+  }
+  stats_.evictions += erased;
+  return erased;
+}
+
+std::vector<std::pair<Key, std::string>> StaticCache::ExtractKeys(
+    const std::vector<Key>& keys) {
+  std::vector<std::pair<Key, std::string>> extracted;
+  for (Key k : keys) {
+    auto owner = OwnerOf(k);
+    if (!owner.ok()) continue;
+    const std::string* v = nodes_.at(*owner).node->Find(k);
+    if (v != nullptr) extracted.emplace_back(k, *v);
+  }
+  (void)EvictKeys(keys);
+  return extracted;
+}
+
+std::uint64_t StaticCache::TotalUsedBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, entry] : nodes_) total += entry.node->used_bytes();
+  return total;
+}
+
+std::uint64_t StaticCache::TotalCapacityBytes() const {
+  return static_cast<std::uint64_t>(nodes_.size()) *
+         opts_.node_capacity_bytes;
+}
+
+std::size_t StaticCache::TotalRecords() const {
+  std::size_t total = 0;
+  for (const auto& [id, entry] : nodes_) total += entry.node->record_count();
+  return total;
+}
+
+const CacheNode* StaticCache::GetNode(NodeId id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.node.get();
+}
+
+}  // namespace ecc::core

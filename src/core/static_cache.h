@@ -1,0 +1,81 @@
+// Fixed-node cooperative cache baseline (paper §IV.B: static-2/4/8).
+//
+// Same consistent-hash placement and per-node B+-Tree shards as the elastic
+// cache, but the fleet never grows or shrinks: on node overflow, records
+// are victimized by the configured policy (LRU in the paper) until the new
+// record fits.  This models "current cluster/grid environments, where the
+// amounts of nodes one can allocate is typically fixed".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "core/backend.h"
+#include "core/cache_node.h"
+#include "core/types.h"
+#include "core/victim.h"
+#include "hashring/consistent_hash.h"
+#include "net/netmodel.h"
+
+namespace ecc::core {
+
+struct StaticCacheOptions {
+  std::size_t nodes = 2;
+  std::uint64_t node_capacity_bytes = 4ull << 20;
+  std::size_t buckets_per_node = 4;
+  hashring::RingOptions ring{.range = 1ull << 48, .mix_keys = false};
+  net::NetworkModelOptions net;
+  VictimPolicy policy = VictimPolicy::kLru;
+  Duration local_op_time = Duration::Micros(20);
+  std::uint64_t seed = 0x57a71cULL;  ///< for the Random policy
+};
+
+class StaticCache final : public CacheBackend {
+ public:
+  StaticCache(StaticCacheOptions opts, VirtualClock* clock);
+
+  [[nodiscard]] std::string Name() const override;
+
+  [[nodiscard]] StatusOr<std::string> Get(Key k) override;
+  Status Put(Key k, std::string v) override;
+  std::size_t EvictKeys(const std::vector<Key>& keys) override;
+  std::vector<std::pair<Key, std::string>> ExtractKeys(
+      const std::vector<Key>& keys) override;
+  bool TryContract() override { return false; }
+
+  [[nodiscard]] std::size_t NodeCount() const override {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::uint64_t TotalUsedBytes() const override;
+  [[nodiscard]] std::uint64_t TotalCapacityBytes() const override;
+  [[nodiscard]] std::size_t TotalRecords() const override;
+  [[nodiscard]] const CacheStats& stats() const override { return stats_; }
+
+  [[nodiscard]] const hashring::ConsistentHashRing& ring() const {
+    return ring_;
+  }
+  [[nodiscard]] const CacheNode* GetNode(NodeId id) const;
+
+ private:
+  struct NodeEntry {
+    std::unique_ptr<CacheNode> node;
+    std::unique_ptr<VictimTracker> tracker;
+  };
+
+  [[nodiscard]] StatusOr<NodeId> OwnerOf(Key k) const {
+    return ring_.Lookup(k);
+  }
+
+  StaticCacheOptions opts_;
+  VirtualClock* clock_;
+  net::NetworkModel net_model_;
+  hashring::ConsistentHashRing ring_;
+  std::map<NodeId, NodeEntry> nodes_;
+  Rng rng_;
+  CacheStats stats_;
+};
+
+}  // namespace ecc::core

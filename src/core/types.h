@@ -1,0 +1,32 @@
+// Shared vocabulary of the cache core.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ecc::core {
+
+/// Linearized spatiotemporal cache key (see src/sfc).
+using Key = std::uint64_t;
+
+/// Cooperative cache node identifier (dense index, not the cloud instance
+/// id — a node keeps its identity across the hash ring even though the
+/// backing instance is provider-assigned).
+using NodeId = std::uint64_t;
+
+/// In-memory footprint of one cached record: key + value + index overhead
+/// (tree slot, size bookkeeping).  The paper's analysis normalizes
+/// sizeof(k, v) = 1; we keep real bytes and normalize in reporting.
+constexpr std::size_t kRecordOverheadBytes = 48;
+
+[[nodiscard]] inline std::size_t RecordSize(Key /*k*/,
+                                            const std::string& value) {
+  return sizeof(Key) + value.size() + kRecordOverheadBytes;
+}
+
+[[nodiscard]] inline std::size_t RecordSize(Key k, std::size_t value_bytes) {
+  (void)k;
+  return sizeof(Key) + value_bytes + kRecordOverheadBytes;
+}
+
+}  // namespace ecc::core

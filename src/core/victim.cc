@@ -1,0 +1,142 @@
+#include "core/victim.h"
+
+#include <cassert>
+
+namespace ecc::core {
+
+const char* VictimPolicyName(VictimPolicy p) {
+  switch (p) {
+    case VictimPolicy::kLru: return "lru";
+    case VictimPolicy::kFifo: return "fifo";
+    case VictimPolicy::kLfu: return "lfu";
+    case VictimPolicy::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+StatusOr<VictimPolicy> ParseVictimPolicy(const std::string& name) {
+  if (name == "lru") return VictimPolicy::kLru;
+  if (name == "fifo") return VictimPolicy::kFifo;
+  if (name == "lfu") return VictimPolicy::kLfu;
+  if (name == "random") return VictimPolicy::kRandom;
+  return Status::InvalidArgument("unknown victim policy '" + name + "'");
+}
+
+std::unique_ptr<VictimTracker> MakeVictimTracker(VictimPolicy policy) {
+  switch (policy) {
+    case VictimPolicy::kLru: return std::make_unique<LruTracker>();
+    case VictimPolicy::kFifo: return std::make_unique<FifoTracker>();
+    case VictimPolicy::kLfu: return std::make_unique<LfuTracker>();
+    case VictimPolicy::kRandom: return std::make_unique<RandomTracker>();
+  }
+  return nullptr;
+}
+
+// --- LRU --------------------------------------------------------------------
+
+void LruTracker::OnInsert(Key k) {
+  assert(index_.find(k) == index_.end());
+  order_.push_front(k);
+  index_[k] = order_.begin();
+}
+
+void LruTracker::OnAccess(Key k) {
+  const auto it = index_.find(k);
+  if (it == index_.end()) return;
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+void LruTracker::OnErase(Key k) {
+  const auto it = index_.find(k);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+StatusOr<Key> LruTracker::PickVictim(Rng& /*rng*/) {
+  if (order_.empty()) return Status::NotFound("tracker empty");
+  return order_.back();
+}
+
+// --- FIFO -------------------------------------------------------------------
+
+void FifoTracker::OnInsert(Key k) {
+  assert(index_.find(k) == index_.end());
+  order_.push_front(k);
+  index_[k] = order_.begin();
+}
+
+void FifoTracker::OnErase(Key k) {
+  const auto it = index_.find(k);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+StatusOr<Key> FifoTracker::PickVictim(Rng& /*rng*/) {
+  if (order_.empty()) return Status::NotFound("tracker empty");
+  return order_.back();
+}
+
+// --- LFU --------------------------------------------------------------------
+
+void LfuTracker::Push(Key k) {
+  const Meta& m = freq_.at(k);
+  heap_.push(HeapItem{m.freq, m.seq, k});
+}
+
+void LfuTracker::OnInsert(Key k) {
+  assert(freq_.find(k) == freq_.end());
+  freq_[k] = Meta{1, next_seq_++};
+  Push(k);
+}
+
+void LfuTracker::OnAccess(Key k) {
+  const auto it = freq_.find(k);
+  if (it == freq_.end()) return;
+  ++it->second.freq;
+  it->second.seq = next_seq_++;
+  Push(k);  // stale heap entries are skipped lazily
+}
+
+void LfuTracker::OnErase(Key k) { freq_.erase(k); }
+
+StatusOr<Key> LfuTracker::PickVictim(Rng& /*rng*/) {
+  while (!heap_.empty()) {
+    const HeapItem top = heap_.top();
+    const auto it = freq_.find(top.key);
+    if (it == freq_.end() || it->second.freq != top.freq ||
+        it->second.seq != top.seq) {
+      heap_.pop();  // stale
+      continue;
+    }
+    return top.key;
+  }
+  return Status::NotFound("tracker empty");
+}
+
+// --- Random -----------------------------------------------------------------
+
+void RandomTracker::OnInsert(Key k) {
+  assert(index_.find(k) == index_.end());
+  index_[k] = keys_.size();
+  keys_.push_back(k);
+}
+
+void RandomTracker::OnErase(Key k) {
+  const auto it = index_.find(k);
+  if (it == index_.end()) return;
+  const std::size_t pos = it->second;
+  const Key last = keys_.back();
+  keys_[pos] = last;
+  index_[last] = pos;
+  keys_.pop_back();
+  index_.erase(it);
+}
+
+StatusOr<Key> RandomTracker::PickVictim(Rng& rng) {
+  if (keys_.empty()) return Status::NotFound("tracker empty");
+  return keys_[rng.Uniform(keys_.size())];
+}
+
+}  // namespace ecc::core

@@ -1,0 +1,122 @@
+// Victim-selection policies for the fixed-node baseline caches.
+//
+// The paper's static configurations "subscribe to the simple LRU eviction
+// policy"; FIFO, LFU and Random are provided as robustness ablations.
+// Trackers hold only keys/metadata — record storage stays in the node's
+// B+-Tree shard.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/types.h"
+
+namespace ecc::core {
+
+enum class VictimPolicy { kLru, kFifo, kLfu, kRandom };
+
+[[nodiscard]] const char* VictimPolicyName(VictimPolicy p);
+[[nodiscard]] StatusOr<VictimPolicy> ParseVictimPolicy(
+    const std::string& name);
+
+class VictimTracker {
+ public:
+  virtual ~VictimTracker() = default;
+
+  virtual void OnInsert(Key k) = 0;
+  virtual void OnAccess(Key k) = 0;
+  virtual void OnErase(Key k) = 0;
+
+  /// Choose (without removing) the next victim; NotFound when empty.
+  /// Callers erase the victim from the shard and then call OnErase.
+  [[nodiscard]] virtual StatusOr<Key> PickVictim(Rng& rng) = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<VictimTracker> MakeVictimTracker(
+    VictimPolicy policy);
+
+/// Least-recently-used: O(1) all operations.
+class LruTracker final : public VictimTracker {
+ public:
+  void OnInsert(Key k) override;
+  void OnAccess(Key k) override;
+  void OnErase(Key k) override;
+  [[nodiscard]] StatusOr<Key> PickVictim(Rng& rng) override;
+  [[nodiscard]] std::size_t size() const override { return index_.size(); }
+
+ private:
+  std::list<Key> order_;  // front = most recent
+  std::unordered_map<Key, std::list<Key>::iterator> index_;
+};
+
+class FifoTracker final : public VictimTracker {
+ public:
+  void OnInsert(Key k) override;
+  void OnAccess(Key /*k*/) override {}
+  void OnErase(Key k) override;
+  [[nodiscard]] StatusOr<Key> PickVictim(Rng& rng) override;
+  [[nodiscard]] std::size_t size() const override { return index_.size(); }
+
+ private:
+  std::list<Key> order_;
+  std::unordered_map<Key, std::list<Key>::iterator> index_;
+};
+
+/// Least-frequently-used with LRU tie-break; lazy-deletion min-heap keeps
+/// PickVictim O(log n) amortized.
+class LfuTracker final : public VictimTracker {
+ public:
+  void OnInsert(Key k) override;
+  void OnAccess(Key k) override;
+  void OnErase(Key k) override;
+  [[nodiscard]] StatusOr<Key> PickVictim(Rng& rng) override;
+  [[nodiscard]] std::size_t size() const override { return freq_.size(); }
+
+ private:
+  struct HeapItem {
+    std::uint64_t freq;
+    std::uint64_t seq;  ///< stamp of last touch, for LRU tie-break
+    Key key;
+    friend bool operator>(const HeapItem& a, const HeapItem& b) {
+      if (a.freq != b.freq) return a.freq > b.freq;
+      return a.seq > b.seq;
+    }
+  };
+  struct Meta {
+    std::uint64_t freq = 0;
+    std::uint64_t seq = 0;
+  };
+
+  void Push(Key k);
+
+  std::unordered_map<Key, Meta> freq_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>,
+                      std::greater<HeapItem>>
+      heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Uniform-random victim: O(1) via swap-remove vector.
+class RandomTracker final : public VictimTracker {
+ public:
+  void OnInsert(Key k) override;
+  void OnAccess(Key /*k*/) override {}
+  void OnErase(Key k) override;
+  [[nodiscard]] StatusOr<Key> PickVictim(Rng& rng) override;
+  [[nodiscard]] std::size_t size() const override { return keys_.size(); }
+
+ private:
+  std::vector<Key> keys_;
+  std::unordered_map<Key, std::size_t> index_;
+};
+
+}  // namespace ecc::core

@@ -1,0 +1,149 @@
+#include "hashring/consistent_hash.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace ecc::hashring {
+
+std::uint64_t Arc::Length(std::uint64_t range) const {
+  if (!wraps) return hi_inclusive - lo_exclusive;
+  return (range - lo_exclusive) + hi_inclusive;
+}
+
+bool Arc::Contains(std::uint64_t aux, std::uint64_t range) const {
+  assert(aux < range);
+  (void)range;
+  if (!wraps) return aux > lo_exclusive && aux <= hi_inclusive;
+  return aux > lo_exclusive || aux <= hi_inclusive;
+}
+
+ConsistentHashRing::ConsistentHashRing(RingOptions opts) : opts_(opts) {
+  assert(opts_.range >= 2);
+}
+
+std::uint64_t ConsistentHashRing::AuxHash(std::uint64_t key) const {
+  if (opts_.mix_keys) key = SplitMix64(key);
+  return key % opts_.range;
+}
+
+std::size_t ConsistentHashRing::IndexForAux(std::uint64_t aux) const {
+  assert(!buckets_.empty());
+  // First bucket with point >= aux; wrap to bucket 0 past the last point.
+  const auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), aux,
+      [](const Bucket& b, std::uint64_t a) { return b.point < a; });
+  if (it == buckets_.end()) return 0;
+  return static_cast<std::size_t>(it - buckets_.begin());
+}
+
+StatusOr<std::size_t> ConsistentHashRing::BucketIndexFor(
+    std::uint64_t key) const {
+  if (buckets_.empty()) {
+    return Status::FailedPrecondition("ring has no buckets");
+  }
+  return IndexForAux(AuxHash(key));
+}
+
+StatusOr<Owner> ConsistentHashRing::Lookup(std::uint64_t key) const {
+  auto idx = BucketIndexFor(key);
+  if (!idx.ok()) return idx.status();
+  return buckets_[*idx].owner;
+}
+
+std::optional<std::size_t> ConsistentHashRing::FindBucket(
+    std::uint64_t point) const {
+  const auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), point,
+      [](const Bucket& b, std::uint64_t p) { return b.point < p; });
+  if (it == buckets_.end() || it->point != point) return std::nullopt;
+  return static_cast<std::size_t>(it - buckets_.begin());
+}
+
+bool ConsistentHashRing::HasBucketAt(std::uint64_t point) const {
+  return FindBucket(point).has_value();
+}
+
+StatusOr<Takeover> ConsistentHashRing::AddBucket(std::uint64_t point,
+                                                 Owner owner) {
+  if (point >= opts_.range) {
+    return Status::InvalidArgument("bucket point beyond hash line");
+  }
+  if (FindBucket(point).has_value()) {
+    return Status::AlreadyExists("bucket point occupied");
+  }
+  const auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), point,
+      [](const Bucket& b, std::uint64_t p) { return b.point < p; });
+  const std::size_t idx = static_cast<std::size_t>(it - buckets_.begin());
+  buckets_.insert(it, Bucket{point, owner});
+
+  Takeover t;
+  if (buckets_.size() == 1) {
+    // First bucket owns the whole circle.
+    t.arc = Arc{point, point, /*wraps=*/true};
+    t.previous_owner = owner;
+    return t;
+  }
+  // Successor on the circle (the bucket the arc came from).
+  const std::size_t succ = (idx + 1) % buckets_.size();
+  t.previous_owner = buckets_[succ].owner;
+  t.arc = ArcOf(idx);
+  return t;
+}
+
+Status ConsistentHashRing::RemoveBucket(std::uint64_t point) {
+  const auto idx = FindBucket(point);
+  if (!idx.has_value()) return Status::NotFound("no bucket at point");
+  if (buckets_.size() == 1) {
+    return Status::FailedPrecondition("cannot remove the last bucket");
+  }
+  buckets_.erase(buckets_.begin() + static_cast<std::ptrdiff_t>(*idx));
+  return Status::Ok();
+}
+
+Status ConsistentHashRing::ReassignBucket(std::uint64_t point,
+                                          Owner new_owner) {
+  const auto idx = FindBucket(point);
+  if (!idx.has_value()) return Status::NotFound("no bucket at point");
+  buckets_[*idx].owner = new_owner;
+  return Status::Ok();
+}
+
+std::vector<Bucket> ConsistentHashRing::BucketsOwnedBy(Owner owner) const {
+  std::vector<Bucket> out;
+  for (const Bucket& b : buckets_) {
+    if (b.owner == owner) out.push_back(b);
+  }
+  return out;
+}
+
+Arc ConsistentHashRing::ArcOf(std::size_t idx) const {
+  assert(idx < buckets_.size());
+  const std::uint64_t hi = buckets_[idx].point;
+  if (buckets_.size() == 1) return Arc{hi, hi, /*wraps=*/true};
+  const std::size_t pred = (idx + buckets_.size() - 1) % buckets_.size();
+  const std::uint64_t lo = buckets_[pred].point;
+  return Arc{lo, hi, /*wraps=*/lo >= hi};
+}
+
+double ConsistentHashRing::ArcFraction(std::size_t idx) const {
+  return static_cast<double>(ArcOf(idx).Length(opts_.range)) /
+         static_cast<double>(opts_.range);
+}
+
+double ConsistentHashRing::OwnerFraction(Owner owner) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i].owner == owner) total += ArcFraction(i);
+  }
+  return total;
+}
+
+std::size_t ConsistentHashRing::OwnerCount() const {
+  std::set<Owner> owners;
+  for (const Bucket& b : buckets_) owners.insert(b.owner);
+  return owners.size();
+}
+
+}  // namespace ecc::hashring

@@ -1,0 +1,126 @@
+// Consistent-hash ring (paper §II.A, Fig. 1, following Karger et al. [29]).
+//
+// A fixed auxiliary hash h'(k) = k mod r places keys on a circular hash line
+// [0, r).  An ordered sequence of buckets B = (b_1, ..., b_p) partitions the
+// line; each bucket maps to one cache node (the paper's NodeMap).  A key is
+// owned by the closest bucket at or above h'(k), wrapping to b_1 past b_p:
+//
+//   h(k) = b_1                                 if h'(k) > b_p
+//        = min { b_i in B : b_i >= h'(k) }      otherwise
+//
+// Adding a bucket steals exactly one contiguous arc of the line from its
+// successor — this is what bounds "hash disruption" when the elastic cache
+// allocates a node mid-run.
+//
+// Lookup is a binary search over the ordered bucket points: O(log2 p),
+// matching the paper's T(h(k)) analysis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ecc::hashring {
+
+/// Opaque owner handle (the cache layer stores node ids here).
+using Owner = std::uint64_t;
+
+struct RingOptions {
+  /// Size r of the hash line [0, r).
+  std::uint64_t range = 1ull << 32;
+  /// If true, keys are mixed (splitmix64) before the mod — needed when the
+  /// key population is not already uniform, e.g. clustered SFC keys.
+  bool mix_keys = false;
+};
+
+/// One bucket: a point on the hash line and the node that owns the arc
+/// ending at this point.
+struct Bucket {
+  std::uint64_t point = 0;
+  Owner owner = 0;
+
+  friend bool operator==(const Bucket&, const Bucket&) = default;
+};
+
+/// A contiguous arc of the circular hash line: the aux-hash values
+/// (lo, hi], or — when `wraps` — (lo, r) ∪ [0, hi].
+struct Arc {
+  std::uint64_t lo_exclusive = 0;
+  std::uint64_t hi_inclusive = 0;
+  bool wraps = false;
+
+  /// Number of hash-line positions in the arc, given line size r.
+  [[nodiscard]] std::uint64_t Length(std::uint64_t range) const;
+  [[nodiscard]] bool Contains(std::uint64_t aux, std::uint64_t range) const;
+};
+
+/// Result of an AddBucket: the arc the new bucket took and from whom.
+struct Takeover {
+  Arc arc;
+  Owner previous_owner = 0;
+};
+
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(RingOptions opts = {});
+
+  [[nodiscard]] const RingOptions& options() const { return opts_; }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  [[nodiscard]] bool empty() const { return buckets_.empty(); }
+  [[nodiscard]] const std::vector<Bucket>& buckets() const {
+    return buckets_;
+  }
+
+  /// The auxiliary hash h'(k).
+  [[nodiscard]] std::uint64_t AuxHash(std::uint64_t key) const;
+
+  /// Index into buckets() of the bucket owning `key`; error on empty ring.
+  [[nodiscard]] StatusOr<std::size_t> BucketIndexFor(std::uint64_t key) const;
+
+  /// h(k) composed with NodeMap: the owner of the bucket owning `key`.
+  [[nodiscard]] StatusOr<Owner> Lookup(std::uint64_t key) const;
+
+  /// Insert a bucket at `point` owned by `owner`.  Returns the takeover
+  /// description (which arc moved, from which owner).  For the first bucket
+  /// the arc is the whole line and previous_owner == owner.
+  [[nodiscard]] StatusOr<Takeover> AddBucket(std::uint64_t point,
+                                             Owner owner);
+
+  /// Remove the bucket at `point`; its arc accrues to the successor.
+  /// Refuses to remove the last bucket.
+  Status RemoveBucket(std::uint64_t point);
+
+  /// Point the bucket at `point` to a different owner (used when a node's
+  /// data migrates wholesale during contraction).
+  Status ReassignBucket(std::uint64_t point, Owner new_owner);
+
+  /// All buckets owned by `owner`, in ring order.
+  [[nodiscard]] std::vector<Bucket> BucketsOwnedBy(Owner owner) const;
+
+  [[nodiscard]] bool HasBucketAt(std::uint64_t point) const;
+
+  /// The arc owned by buckets()[idx].
+  [[nodiscard]] Arc ArcOf(std::size_t idx) const;
+
+  /// Fraction of the hash line owned by buckets()[idx], in (0, 1].
+  [[nodiscard]] double ArcFraction(std::size_t idx) const;
+
+  /// Fraction of the line owned by `owner` across all its buckets.
+  [[nodiscard]] double OwnerFraction(Owner owner) const;
+
+  /// Number of distinct owners present.
+  [[nodiscard]] std::size_t OwnerCount() const;
+
+ private:
+  [[nodiscard]] std::size_t IndexForAux(std::uint64_t aux) const;
+  [[nodiscard]] std::optional<std::size_t> FindBucket(
+      std::uint64_t point) const;
+
+  RingOptions opts_;
+  std::vector<Bucket> buckets_;  // sorted by point, unique points
+};
+
+}  // namespace ecc::hashring

@@ -1,0 +1,259 @@
+#include "net/message.h"
+
+namespace ecc::net {
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kGetRequest: return "GET";
+    case MsgType::kGetResponse: return "GET_RESP";
+    case MsgType::kPutRequest: return "PUT";
+    case MsgType::kPutResponse: return "PUT_RESP";
+    case MsgType::kMigrateRequest: return "MIGRATE";
+    case MsgType::kMigrateResponse: return "MIGRATE_RESP";
+    case MsgType::kEraseRequest: return "ERASE";
+    case MsgType::kEraseResponse: return "ERASE_RESP";
+    case MsgType::kStatsRequest: return "STATS";
+    case MsgType::kStatsResponse: return "STATS_RESP";
+    case MsgType::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::string Message::Serialize() const {
+  WireWriter w;
+  w.PutU8(static_cast<std::uint8_t>(type));
+  w.PutU32(static_cast<std::uint32_t>(payload.size()));
+  std::string out = w.TakeBuffer();
+  out += payload;
+  return out;
+}
+
+StatusOr<Message> Message::Deserialize(std::string_view bytes) {
+  WireReader r(bytes);
+  std::uint8_t tag = 0;
+  std::uint32_t len = 0;
+  if (Status s = r.GetU8(tag); !s.ok()) return s;
+  if (Status s = r.GetU32(len); !s.ok()) return s;
+  if (tag < static_cast<std::uint8_t>(MsgType::kGetRequest) ||
+      tag > static_cast<std::uint8_t>(MsgType::kError)) {
+    return Status::InvalidArgument("unknown message type tag");
+  }
+  if (r.remaining() != len) {
+    return Status::InvalidArgument("frame length mismatch");
+  }
+  Message m;
+  m.type = static_cast<MsgType>(tag);
+  m.payload = std::string(bytes.substr(bytes.size() - len));
+  return m;
+}
+
+namespace {
+Status ExpectType(const Message& m, MsgType want) {
+  if (m.type != want) {
+    return Status::InvalidArgument(std::string("expected ") +
+                                   MsgTypeName(want) + " got " +
+                                   MsgTypeName(m.type));
+  }
+  return Status::Ok();
+}
+}  // namespace
+
+// --- GetRequest -----------------------------------------------------------
+
+Message GetRequest::Encode() const {
+  WireWriter w;
+  w.PutU64(key);
+  return Message{MsgType::kGetRequest, w.TakeBuffer()};
+}
+
+StatusOr<GetRequest> GetRequest::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kGetRequest); !s.ok()) return s;
+  WireReader r(m.payload);
+  GetRequest out;
+  if (Status s = r.GetU64(out.key); !s.ok()) return s;
+  return out;
+}
+
+// --- GetResponse ----------------------------------------------------------
+
+Message GetResponse::Encode() const {
+  WireWriter w;
+  w.PutU8(found ? 1 : 0);
+  w.PutBytes(value);
+  return Message{MsgType::kGetResponse, w.TakeBuffer()};
+}
+
+StatusOr<GetResponse> GetResponse::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kGetResponse); !s.ok()) return s;
+  WireReader r(m.payload);
+  GetResponse out;
+  std::uint8_t flag = 0;
+  if (Status s = r.GetU8(flag); !s.ok()) return s;
+  out.found = flag != 0;
+  if (Status s = r.GetBytes(out.value); !s.ok()) return s;
+  return out;
+}
+
+// --- PutRequest -----------------------------------------------------------
+
+Message PutRequest::Encode() const {
+  WireWriter w;
+  w.PutU64(key);
+  w.PutBytes(value);
+  return Message{MsgType::kPutRequest, w.TakeBuffer()};
+}
+
+StatusOr<PutRequest> PutRequest::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kPutRequest); !s.ok()) return s;
+  WireReader r(m.payload);
+  PutRequest out;
+  if (Status s = r.GetU64(out.key); !s.ok()) return s;
+  if (Status s = r.GetBytes(out.value); !s.ok()) return s;
+  return out;
+}
+
+// --- PutResponse ----------------------------------------------------------
+
+Message PutResponse::Encode() const {
+  WireWriter w;
+  w.PutU8(accepted ? 1 : 0);
+  w.PutU64(used_bytes);
+  return Message{MsgType::kPutResponse, w.TakeBuffer()};
+}
+
+StatusOr<PutResponse> PutResponse::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kPutResponse); !s.ok()) return s;
+  WireReader r(m.payload);
+  PutResponse out;
+  std::uint8_t flag = 0;
+  if (Status s = r.GetU8(flag); !s.ok()) return s;
+  out.accepted = flag != 0;
+  if (Status s = r.GetU64(out.used_bytes); !s.ok()) return s;
+  return out;
+}
+
+// --- MigrateRequest -------------------------------------------------------
+
+Message MigrateRequest::Encode() const {
+  WireWriter w;
+  w.PutVarint(records.size());
+  for (const auto& [key, value] : records) {
+    w.PutU64(key);
+    w.PutBytes(value);
+  }
+  return Message{MsgType::kMigrateRequest, w.TakeBuffer()};
+}
+
+StatusOr<MigrateRequest> MigrateRequest::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kMigrateRequest); !s.ok()) return s;
+  WireReader r(m.payload);
+  std::uint64_t count = 0;
+  if (Status s = r.GetVarint(count); !s.ok()) return s;
+  // Plausibility bound: each record costs at least 9 wire bytes (8-byte
+  // key + 1-byte length).  Guards reserve() against allocation bombs from
+  // corrupt counts.
+  if (count > r.remaining() / 9) {
+    return Status::InvalidArgument("record count exceeds payload");
+  }
+  MigrateRequest out;
+  out.records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t key = 0;
+    std::string value;
+    if (Status s = r.GetU64(key); !s.ok()) return s;
+    if (Status s = r.GetBytes(value); !s.ok()) return s;
+    out.records.emplace_back(key, std::move(value));
+  }
+  return out;
+}
+
+// --- MigrateResponse ------------------------------------------------------
+
+Message MigrateResponse::Encode() const {
+  WireWriter w;
+  w.PutU64(accepted);
+  return Message{MsgType::kMigrateResponse, w.TakeBuffer()};
+}
+
+StatusOr<MigrateResponse> MigrateResponse::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kMigrateResponse); !s.ok()) return s;
+  WireReader r(m.payload);
+  MigrateResponse out;
+  if (Status s = r.GetU64(out.accepted); !s.ok()) return s;
+  return out;
+}
+
+// --- EraseRequest ---------------------------------------------------------
+
+Message EraseRequest::Encode() const {
+  WireWriter w;
+  w.PutVarint(keys.size());
+  for (std::uint64_t k : keys) w.PutU64(k);
+  return Message{MsgType::kEraseRequest, w.TakeBuffer()};
+}
+
+StatusOr<EraseRequest> EraseRequest::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kEraseRequest); !s.ok()) return s;
+  WireReader r(m.payload);
+  std::uint64_t count = 0;
+  if (Status s = r.GetVarint(count); !s.ok()) return s;
+  // Plausibility bound (8 wire bytes per key): see MigrateRequest::Decode.
+  if (count > r.remaining() / 8) {
+    return Status::InvalidArgument("key count exceeds payload");
+  }
+  EraseRequest out;
+  out.keys.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t k = 0;
+    if (Status s = r.GetU64(k); !s.ok()) return s;
+    out.keys.push_back(k);
+  }
+  return out;
+}
+
+// --- EraseResponse --------------------------------------------------------
+
+Message EraseResponse::Encode() const {
+  WireWriter w;
+  w.PutU64(erased);
+  return Message{MsgType::kEraseResponse, w.TakeBuffer()};
+}
+
+StatusOr<EraseResponse> EraseResponse::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kEraseResponse); !s.ok()) return s;
+  WireReader r(m.payload);
+  EraseResponse out;
+  if (Status s = r.GetU64(out.erased); !s.ok()) return s;
+  return out;
+}
+
+// --- Stats ----------------------------------------------------------------
+
+Message StatsRequest::Encode() const {
+  return Message{MsgType::kStatsRequest, {}};
+}
+
+StatusOr<StatsRequest> StatsRequest::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kStatsRequest); !s.ok()) return s;
+  return StatsRequest{};
+}
+
+Message StatsResponse::Encode() const {
+  WireWriter w;
+  w.PutU64(records);
+  w.PutU64(used_bytes);
+  w.PutU64(capacity_bytes);
+  return Message{MsgType::kStatsResponse, w.TakeBuffer()};
+}
+
+StatusOr<StatsResponse> StatsResponse::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kStatsResponse); !s.ok()) return s;
+  WireReader r(m.payload);
+  StatsResponse out;
+  if (Status s = r.GetU64(out.records); !s.ok()) return s;
+  if (Status s = r.GetU64(out.used_bytes); !s.ok()) return s;
+  if (Status s = r.GetU64(out.capacity_bytes); !s.ok()) return s;
+  return out;
+}
+
+}  // namespace ecc::net

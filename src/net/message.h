@@ -1,0 +1,124 @@
+// Cache wire protocol: the messages a coordinator and cache servers
+// exchange.  Each typed struct encodes to / decodes from a framed Message
+// (1-byte type tag + payload).  Decoders are total: malformed bytes yield
+// InvalidArgument, never UB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace ecc::net {
+
+enum class MsgType : std::uint8_t {
+  kGetRequest = 1,
+  kGetResponse = 2,
+  kPutRequest = 3,
+  kPutResponse = 4,
+  kMigrateRequest = 5,
+  kMigrateResponse = 6,
+  kEraseRequest = 7,
+  kEraseResponse = 8,
+  kStatsRequest = 9,
+  kStatsResponse = 10,
+  /// Transport-level failure report (payload = status message text).
+  kError = 11,
+};
+
+[[nodiscard]] const char* MsgTypeName(MsgType t);
+
+/// A framed message: type tag + opaque payload bytes.
+struct Message {
+  MsgType type = MsgType::kGetRequest;
+  std::string payload;
+
+  /// Bytes this message occupies on the wire (tag + length + payload).
+  [[nodiscard]] std::size_t WireSize() const { return 1 + 4 + payload.size(); }
+
+  /// Flatten to bytes / parse from bytes (frame = tag, u32 length, payload).
+  [[nodiscard]] std::string Serialize() const;
+  [[nodiscard]] static StatusOr<Message> Deserialize(std::string_view bytes);
+};
+
+// --- Typed payloads -------------------------------------------------------
+
+struct GetRequest {
+  std::uint64_t key = 0;
+
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<GetRequest> Decode(const Message& m);
+};
+
+struct GetResponse {
+  bool found = false;
+  std::string value;
+
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<GetResponse> Decode(const Message& m);
+};
+
+struct PutRequest {
+  std::uint64_t key = 0;
+  std::string value;
+
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<PutRequest> Decode(const Message& m);
+};
+
+struct PutResponse {
+  bool accepted = false;      ///< false => node overflow
+  std::uint64_t used_bytes = 0;
+
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<PutResponse> Decode(const Message& m);
+};
+
+/// A batch of records swept from one node toward another (Algorithm 2's
+/// transfer unit).
+struct MigrateRequest {
+  std::vector<std::pair<std::uint64_t, std::string>> records;
+
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<MigrateRequest> Decode(const Message& m);
+};
+
+struct MigrateResponse {
+  std::uint64_t accepted = 0;
+
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<MigrateResponse> Decode(const Message& m);
+};
+
+struct EraseRequest {
+  std::vector<std::uint64_t> keys;
+
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<EraseRequest> Decode(const Message& m);
+};
+
+struct EraseResponse {
+  std::uint64_t erased = 0;
+
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<EraseResponse> Decode(const Message& m);
+};
+
+struct StatsRequest {
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<StatsRequest> Decode(const Message& m);
+};
+
+struct StatsResponse {
+  std::uint64_t records = 0;
+  std::uint64_t used_bytes = 0;
+  std::uint64_t capacity_bytes = 0;
+
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<StatsResponse> Decode(const Message& m);
+};
+
+}  // namespace ecc::net

@@ -1,0 +1,31 @@
+#include "net/netmodel.h"
+
+#include <cassert>
+
+namespace ecc::net {
+
+NetworkModel::NetworkModel(NetworkModelOptions opts) : opts_(opts) {
+  assert(opts_.bandwidth_bytes_per_sec > 0.0);
+}
+
+Duration NetworkModel::TransferTime(std::size_t payload_bytes) const {
+  const double wire_bytes = static_cast<double>(
+      payload_bytes + opts_.per_message_overhead_bytes);
+  return opts_.rtt +
+         Duration::Seconds(wire_bytes / opts_.bandwidth_bytes_per_sec);
+}
+
+Duration NetworkModel::RoundTripTime(std::size_t request_bytes,
+                                     std::size_t response_bytes) const {
+  return TransferTime(request_bytes) + TransferTime(response_bytes);
+}
+
+Duration NetworkModel::PerRecordTime(std::size_t record_bytes,
+                                     std::size_t batch_records) const {
+  assert(batch_records >= 1);
+  const Duration batch =
+      TransferTime(record_bytes * batch_records);
+  return batch / static_cast<std::int64_t>(batch_records);
+}
+
+}  // namespace ecc::net

@@ -1,0 +1,50 @@
+// Network cost model: the simulation's source of T_net.
+//
+// The paper's complexity analysis makes T_net — the time to move one record
+// between cache nodes — the dominant term of migration and contraction.  We
+// model intra-datacenter transfer as
+//
+//   time(bytes) = rtt + bytes / bandwidth
+//
+// with defaults drawn from 2010-era EC2 small instances (sub-millisecond
+// RTT, a few hundred Mbit/s sustained).  Batched transfers pay one RTT per
+// message, not per record, matching the sweep-and-migrate implementation
+// that ships records in batches.
+#pragma once
+
+#include <cstddef>
+
+#include "common/time.h"
+
+namespace ecc::net {
+
+struct NetworkModelOptions {
+  Duration rtt = Duration::Micros(500);
+  double bandwidth_bytes_per_sec = 40e6;  ///< ~320 Mbit/s
+  std::size_t per_message_overhead_bytes = 64;  ///< headers/framing
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkModelOptions opts = {});
+
+  [[nodiscard]] const NetworkModelOptions& options() const { return opts_; }
+
+  /// Time to deliver one message of `payload_bytes`.
+  [[nodiscard]] Duration TransferTime(std::size_t payload_bytes) const;
+
+  /// Time for a request/response exchange with the given payload sizes
+  /// (two messages, two RTT halves each way folded into per-message rtt).
+  [[nodiscard]] Duration RoundTripTime(std::size_t request_bytes,
+                                       std::size_t response_bytes) const;
+
+  /// The paper's per-record T_net for a record of `record_bytes`, amortized
+  /// over a batch of `batch_records` (>= 1).
+  [[nodiscard]] Duration PerRecordTime(std::size_t record_bytes,
+                                       std::size_t batch_records) const;
+
+ private:
+  NetworkModelOptions opts_;
+};
+
+}  // namespace ecc::net

@@ -1,0 +1,47 @@
+#include "net/rpc.h"
+
+namespace ecc::net {
+
+void RpcServer::Handle(MsgType type, Handler handler) {
+  handlers_[type] = std::move(handler);
+}
+
+StatusOr<Message> RpcServer::Dispatch(const Message& request) const {
+  const auto it = handlers_.find(request.type);
+  if (it == handlers_.end()) {
+    return Status::Unavailable(std::string("no handler for ") +
+                               MsgTypeName(request.type));
+  }
+  return it->second(request);
+}
+
+LoopbackChannel::LoopbackChannel(RpcServer* server, NetworkModel model,
+                                 VirtualClock* clock)
+    : server_(server), model_(model), clock_(clock) {}
+
+StatusOr<Message> LoopbackChannel::Call(const Message& request) {
+  // Serialize and "transmit" the request.
+  const std::string wire = request.Serialize();
+  if (clock_ != nullptr) clock_->Advance(model_.TransferTime(wire.size()));
+  stats_.bytes_sent += wire.size();
+  ++stats_.calls;
+  stats_.time_on_wire += model_.TransferTime(wire.size());
+
+  // The server parses the frame it received.
+  auto parsed = Message::Deserialize(wire);
+  if (!parsed.ok()) return parsed.status();
+  auto response = server_->Dispatch(*parsed);
+  if (!response.ok()) return response.status();
+
+  // "Transmit" the response back.
+  const std::string resp_wire = response->Serialize();
+  if (clock_ != nullptr) {
+    clock_->Advance(model_.TransferTime(resp_wire.size()));
+  }
+  stats_.bytes_received += resp_wire.size();
+  stats_.time_on_wire += model_.TransferTime(resp_wire.size());
+
+  return Message::Deserialize(resp_wire);
+}
+
+}  // namespace ecc::net

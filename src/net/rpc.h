@@ -1,0 +1,64 @@
+// In-process RPC with simulated transfer cost.
+//
+// An RpcServer dispatches framed Messages to per-type handlers.  A
+// LoopbackChannel connects a caller to a server: each Call serializes the
+// request, charges the network model for request and response transfer on
+// the shared virtual clock, and hands back the decoded response — the same
+// code path a socket transport would follow, minus the kernel.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "net/message.h"
+#include "net/netmodel.h"
+
+namespace ecc::net {
+
+class RpcServer {
+ public:
+  using Handler = std::function<StatusOr<Message>(const Message&)>;
+
+  /// Register the handler for one request type; overwrites any previous.
+  void Handle(MsgType type, Handler handler);
+
+  /// Dispatch a raw request.  Unknown types yield Unavailable.
+  [[nodiscard]] StatusOr<Message> Dispatch(const Message& request) const;
+
+ private:
+  std::map<MsgType, Handler> handlers_;
+};
+
+/// Accumulated transfer accounting for one channel.
+struct ChannelStats {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  Duration time_on_wire;
+};
+
+class LoopbackChannel {
+ public:
+  /// The channel charges transfer time to `clock` (not owned); pass nullptr
+  /// to skip time accounting (pure unit tests).
+  LoopbackChannel(RpcServer* server, NetworkModel model,
+                  VirtualClock* clock);
+
+  /// Full round trip: serialize, charge request transfer, dispatch, charge
+  /// response transfer, deserialize.
+  [[nodiscard]] StatusOr<Message> Call(const Message& request);
+
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] const NetworkModel& model() const { return model_; }
+
+ private:
+  RpcServer* server_;
+  NetworkModel model_;
+  VirtualClock* clock_;
+  ChannelStats stats_;
+};
+
+}  // namespace ecc::net

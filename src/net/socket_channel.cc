@@ -1,0 +1,122 @@
+#include "net/socket_channel.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+#include "net/wire.h"
+
+namespace ecc::net {
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 1 + 4;  // tag + u32 length
+
+/// Read exactly n bytes; false on EOF/error.
+bool ReadFull(int fd, char* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, buf + done, n - done);
+    if (r == 0) return false;  // peer closed
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const char* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, buf + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Read one framed Message.  Returns NotFound on clean EOF before a frame.
+StatusOr<Message> ReadFrame(int fd) {
+  char header[kFrameHeaderBytes];
+  if (!ReadFull(fd, header, sizeof(header))) {
+    return Status::NotFound("connection closed");
+  }
+  std::uint32_t len = 0;
+  std::memcpy(&len, header + 1, sizeof(len));
+  if (len > (64u << 20)) {
+    return Status::InvalidArgument("frame too large");
+  }
+  std::string wire(kFrameHeaderBytes + len, '\0');
+  std::memcpy(wire.data(), header, kFrameHeaderBytes);
+  if (len > 0 && !ReadFull(fd, wire.data() + kFrameHeaderBytes, len)) {
+    return Status::Internal("truncated frame");
+  }
+  return Message::Deserialize(wire);
+}
+
+bool WriteFrame(int fd, const Message& m, std::uint64_t* bytes) {
+  const std::string wire = m.Serialize();
+  if (bytes != nullptr) *bytes += wire.size();
+  return WriteFull(fd, wire.data(), wire.size());
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(RpcServer* server) : server_(server) {
+  assert(server != nullptr);
+  int fds[2] = {-1, -1};
+  const int rc = ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds);
+  assert(rc == 0);
+  (void)rc;
+  client_fd_ = fds[0];
+  server_fd_ = fds[1];
+  server_thread_ = std::thread([this] { ServeLoop(); });
+}
+
+SocketTransport::~SocketTransport() {
+  if (client_fd_ >= 0) ::close(client_fd_);
+  if (server_thread_.joinable()) server_thread_.join();
+  if (server_fd_ >= 0) ::close(server_fd_);
+}
+
+void SocketTransport::ServeLoop() {
+  for (;;) {
+    auto request = ReadFrame(server_fd_);
+    if (!request.ok()) return;  // peer closed or fatal frame error
+    auto response = server_->Dispatch(*request);
+    Message out;
+    if (response.ok()) {
+      out = std::move(*response);
+    } else {
+      out = Message{MsgType::kError, response.status().ToString()};
+    }
+    if (!WriteFrame(server_fd_, out, nullptr)) return;
+  }
+}
+
+StatusOr<Message> SocketTransport::Call(const Message& request) {
+  const std::lock_guard<std::mutex> lock(call_mutex_);
+  if (!WriteFrame(client_fd_, request, &bytes_sent_)) {
+    return Status::Unavailable("write failed");
+  }
+  auto response = ReadFrame(client_fd_);
+  if (!response.ok()) {
+    return Status::Unavailable("read failed: " +
+                               response.status().ToString());
+  }
+  bytes_received_ += response->WireSize();
+  if (response->type == MsgType::kError) {
+    return Status::Unavailable("remote error: " + response->payload);
+  }
+  return response;
+}
+
+}  // namespace ecc::net

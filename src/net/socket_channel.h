@@ -1,0 +1,58 @@
+// Socket-backed transport: a real kernel boundary under the cache protocol.
+//
+// The LoopbackChannel models transfer *time*; SocketTransport exercises the
+// actual I/O path a deployed cache server would use.  The server side runs
+// the RpcServer dispatch loop on its own thread behind a Unix socketpair;
+// Call() writes a framed request and blocks for the framed response.
+//
+// Dispatch failures travel back as kError frames carrying the status text,
+// so the caller distinguishes transport errors from handler errors.
+//
+// Thread-safety: Call() is serialized by an internal mutex, so any number
+// of client threads may share one transport (requests are pipelined
+// one-at-a-time, like a single HTTP/1.1 connection).
+#pragma once
+
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "net/message.h"
+#include "net/rpc.h"
+
+namespace ecc::net {
+
+class SocketTransport {
+ public:
+  /// Starts the server thread immediately.  `server` is not owned and must
+  /// outlive the transport.
+  explicit SocketTransport(RpcServer* server);
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Closes the client end; the server loop drains and exits.
+  ~SocketTransport();
+
+  /// Full round trip through the kernel: frame, write, read, unframe.
+  [[nodiscard]] StatusOr<Message> Call(const Message& request);
+
+  /// Bytes moved in each direction (for tests/metrics).
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const {
+    return bytes_received_;
+  }
+
+ private:
+  void ServeLoop();
+
+  RpcServer* server_;
+  int client_fd_ = -1;
+  int server_fd_ = -1;
+  std::thread server_thread_;
+  std::mutex call_mutex_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace ecc::net

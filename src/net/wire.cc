@@ -1,0 +1,38 @@
+#include "net/wire.h"
+
+namespace ecc::net {
+
+Status WireReader::GetFixed(void* p, std::size_t n) {
+  if (remaining() < n) return Status::InvalidArgument("wire underrun");
+  std::memcpy(p, data_.data() + pos_, n);
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status WireReader::GetU8(std::uint8_t& out) { return GetFixed(&out, 1); }
+Status WireReader::GetU16(std::uint16_t& out) { return GetFixed(&out, 2); }
+Status WireReader::GetU32(std::uint32_t& out) { return GetFixed(&out, 4); }
+Status WireReader::GetU64(std::uint64_t& out) { return GetFixed(&out, 8); }
+Status WireReader::GetDouble(double& out) { return GetFixed(&out, 8); }
+
+Status WireReader::GetVarint(std::uint64_t& out) {
+  out = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    std::uint8_t byte = 0;
+    if (Status s = GetU8(byte); !s.ok()) return s;
+    out |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return Status::Ok();
+  }
+  return Status::InvalidArgument("varint too long");
+}
+
+Status WireReader::GetBytes(std::string& out) {
+  std::uint64_t len = 0;
+  if (Status s = GetVarint(len); !s.ok()) return s;
+  if (remaining() < len) return Status::InvalidArgument("wire underrun");
+  out.assign(data_.data() + pos_, len);
+  pos_ += len;
+  return Status::Ok();
+}
+
+}  // namespace ecc::net

@@ -1,0 +1,94 @@
+#include "service/ctm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ecc::service {
+
+CoastalTerrainModel::CoastalTerrainModel(std::uint32_t width,
+                                         std::uint32_t height)
+    : width_(width), height_(height),
+      elev_(static_cast<std::size_t>(width) * height, 0.0f) {
+  assert(width >= 2 && height >= 2);
+}
+
+float CoastalTerrainModel::MinElevation() const {
+  return *std::min_element(elev_.begin(), elev_.end());
+}
+
+float CoastalTerrainModel::MaxElevation() const {
+  return *std::max_element(elev_.begin(), elev_.end());
+}
+
+double CoastalTerrainModel::SubmergedFraction(float water_level) const {
+  std::size_t under = 0;
+  for (float e : elev_) {
+    if (e < water_level) ++under;
+  }
+  return static_cast<double>(under) / static_cast<double>(elev_.size());
+}
+
+namespace {
+
+/// Deterministic lattice noise: hash of (seed, octave, ix, iy) -> [-1, 1].
+float LatticeValue(std::uint64_t seed, unsigned octave, std::int64_t ix,
+                   std::int64_t iy) {
+  std::uint64_t h = seed;
+  h = SplitMix64(h ^ (0x9e3779b9ULL + octave));
+  h = SplitMix64(h ^ static_cast<std::uint64_t>(ix));
+  h = SplitMix64(h ^ static_cast<std::uint64_t>(iy));
+  // Map the top 53 bits to [-1, 1).
+  return static_cast<float>(
+      static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0);
+}
+
+float SmoothStep(float t) { return t * t * (3.0f - 2.0f * t); }
+
+/// Bilinear value noise at continuous (x, y) with the given lattice pitch.
+float ValueNoise(std::uint64_t seed, unsigned octave, float x, float y,
+                 float pitch) {
+  const float fx = x / pitch;
+  const float fy = y / pitch;
+  const auto ix = static_cast<std::int64_t>(std::floor(fx));
+  const auto iy = static_cast<std::int64_t>(std::floor(fy));
+  const float tx = SmoothStep(fx - static_cast<float>(ix));
+  const float ty = SmoothStep(fy - static_cast<float>(iy));
+  const float v00 = LatticeValue(seed, octave, ix, iy);
+  const float v10 = LatticeValue(seed, octave, ix + 1, iy);
+  const float v01 = LatticeValue(seed, octave, ix, iy + 1);
+  const float v11 = LatticeValue(seed, octave, ix + 1, iy + 1);
+  const float top = v00 + (v10 - v00) * tx;
+  const float bot = v01 + (v11 - v01) * tx;
+  return top + (bot - top) * ty;
+}
+
+}  // namespace
+
+CoastalTerrainModel GenerateCtm(std::uint64_t seed,
+                                const CtmGeneratorOptions& opts) {
+  CoastalTerrainModel ctm(opts.width, opts.height);
+  const float w = static_cast<float>(opts.width - 1);
+  for (std::uint32_t y = 0; y < opts.height; ++y) {
+    for (std::uint32_t x = 0; x < opts.width; ++x) {
+      // Shore gradient: sea on the left, land on the right.
+      const float frac = static_cast<float>(x) / w;  // 0..1
+      float elev = (2.0f * frac - 1.0f) * opts.shore_relief_m;
+      // Fractal detail.
+      float amp = opts.amplitude_m * 0.5f;
+      float pitch = static_cast<float>(opts.width) / 4.0f;
+      for (unsigned o = 0; o < opts.octaves; ++o) {
+        elev += amp * ValueNoise(seed, o, static_cast<float>(x),
+                                 static_cast<float>(y), pitch);
+        amp *= 0.5f;
+        pitch = std::max(1.0f, pitch * 0.5f);
+      }
+      ctm.Set(x, y, elev);
+    }
+  }
+  return ctm;
+}
+
+}  // namespace ecc::service

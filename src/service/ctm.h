@@ -1,0 +1,67 @@
+// Synthetic Coastal Terrain Model (CTM).
+//
+// The paper's shoreline service reads proprietary CTM rasters — large
+// matrices of depth/elevation readings for a coastal area — indexed by
+// spatiotemporal metadata.  We substitute a deterministic generator: seeded
+// multi-octave value noise superimposed on a shore gradient, so every grid
+// cell of the query space maps to a repeatable terrain whose zero-elevation
+// contour is a plausible coastline.  Determinism matters: the cache must be
+// able to compare a cached result with a freshly recomputed one in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ecc::service {
+
+/// A rectangular elevation raster.  Elevations are meters relative to mean
+/// sea level; negative = underwater.
+class CoastalTerrainModel {
+ public:
+  CoastalTerrainModel(std::uint32_t width, std::uint32_t height);
+
+  [[nodiscard]] std::uint32_t width() const { return width_; }
+  [[nodiscard]] std::uint32_t height() const { return height_; }
+
+  [[nodiscard]] float At(std::uint32_t x, std::uint32_t y) const {
+    return elev_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  void Set(std::uint32_t x, std::uint32_t y, float v) {
+    elev_[static_cast<std::size_t>(y) * width_ + x] = v;
+  }
+
+  [[nodiscard]] const std::vector<float>& data() const { return elev_; }
+
+  [[nodiscard]] float MinElevation() const;
+  [[nodiscard]] float MaxElevation() const;
+
+  /// Fraction of cells underwater at the given water level.
+  [[nodiscard]] double SubmergedFraction(float water_level) const;
+
+ private:
+  std::uint32_t width_;
+  std::uint32_t height_;
+  std::vector<float> elev_;
+};
+
+struct CtmGeneratorOptions {
+  std::uint32_t width = 64;
+  std::uint32_t height = 64;
+  /// Octaves of value noise; more octaves -> rougher coastline.
+  unsigned octaves = 4;
+  /// Peak-to-trough amplitude of the noise, meters.
+  float amplitude_m = 12.0f;
+  /// Across-raster shore gradient: left edge is this many meters below sea
+  /// level, right edge the same above.  Guarantees a coastline crosses the
+  /// raster.
+  float shore_relief_m = 10.0f;
+};
+
+/// Deterministically generate the CTM for a terrain seed (derived from the
+/// query's spatial cell).
+[[nodiscard]] CoastalTerrainModel GenerateCtm(std::uint64_t seed,
+                                              const CtmGeneratorOptions& opts = {});
+
+}  // namespace ecc::service

@@ -1,0 +1,30 @@
+#include "service/registry.h"
+
+namespace ecc::service {
+
+Status ServiceRegistry::Register(std::unique_ptr<Service> service) {
+  if (service == nullptr) return Status::InvalidArgument("null service");
+  const std::string name = service->name();
+  const auto [it, inserted] =
+      services_.try_emplace(name, std::move(service));
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("service '" + name + "'");
+  return Status::Ok();
+}
+
+StatusOr<Service*> ServiceRegistry::Find(const std::string& name) const {
+  const auto it = services_.find(name);
+  if (it == services_.end()) {
+    return Status::NotFound("service '" + name + "'");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> ServiceRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(services_.size());
+  for (const auto& [name, svc] : services_) out.push_back(name);
+  return out;
+}
+
+}  // namespace ecc::service

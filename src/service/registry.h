@@ -1,0 +1,31 @@
+// Service registry: name -> Service, the discovery surface a coordinator
+// uses.  The paper situates the cache inside a service-oriented workflow
+// system (Auspice) where services are shared and looked up by name.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/service.h"
+
+namespace ecc::service {
+
+class ServiceRegistry {
+ public:
+  /// Register a service; refuses duplicate names.
+  Status Register(std::unique_ptr<Service> service);
+
+  /// Lookup by name.
+  [[nodiscard]] StatusOr<Service*> Find(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> Names() const;
+  [[nodiscard]] std::size_t size() const { return services_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Service>> services_;
+};
+
+}  // namespace ecc::service

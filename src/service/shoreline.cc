@@ -1,0 +1,151 @@
+#include "service/shoreline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "net/wire.h"
+
+namespace ecc::service {
+
+namespace {
+
+/// Interpolated crossing position between two grid values along one axis.
+float Cross(float a, float b, float iso) {
+  const float d = b - a;
+  if (std::fabs(d) < 1e-12f) return 0.5f;
+  return std::clamp((iso - a) / d, 0.0f, 1.0f);
+}
+
+}  // namespace
+
+std::vector<Segment> ExtractShoreline(const CoastalTerrainModel& ctm,
+                                      float water_level) {
+  std::vector<Segment> segs;
+  const std::uint32_t w = ctm.width();
+  const std::uint32_t h = ctm.height();
+  for (std::uint32_t y = 0; y + 1 < h; ++y) {
+    for (std::uint32_t x = 0; x + 1 < w; ++x) {
+      const float v00 = ctm.At(x, y);
+      const float v10 = ctm.At(x + 1, y);
+      const float v01 = ctm.At(x, y + 1);
+      const float v11 = ctm.At(x + 1, y + 1);
+      int c = 0;
+      if (v00 >= water_level) c |= 1;
+      if (v10 >= water_level) c |= 2;
+      if (v11 >= water_level) c |= 4;
+      if (v01 >= water_level) c |= 8;
+      if (c == 0 || c == 15) continue;
+
+      const float fx = static_cast<float>(x);
+      const float fy = static_cast<float>(y);
+      // Edge crossing points (marching-squares edge order: top, right,
+      // bottom, left).
+      const float top_x = fx + Cross(v00, v10, water_level);
+      const float right_y = fy + Cross(v10, v11, water_level);
+      const float bot_x = fx + Cross(v01, v11, water_level);
+      const float left_y = fy + Cross(v00, v01, water_level);
+
+      auto add = [&](float x1, float y1, float x2, float y2) {
+        segs.push_back(Segment{x1, y1, x2, y2});
+      };
+      switch (c) {
+        case 1:  case 14: add(top_x, fy, fx, left_y); break;
+        case 2:  case 13: add(top_x, fy, fx + 1, right_y); break;
+        case 3:  case 12: add(fx, left_y, fx + 1, right_y); break;
+        case 4:  case 11: add(fx + 1, right_y, bot_x, fy + 1); break;
+        case 6:  case 9:  add(top_x, fy, bot_x, fy + 1); break;
+        case 7:  case 8:  add(fx, left_y, bot_x, fy + 1); break;
+        case 5:
+          // Saddle: resolve with the cell-average rule.
+          add(top_x, fy, fx + 1, right_y);
+          add(fx, left_y, bot_x, fy + 1);
+          break;
+        case 10:
+          add(top_x, fy, fx, left_y);
+          add(fx + 1, right_y, bot_x, fy + 1);
+          break;
+        default: break;
+      }
+    }
+  }
+  return segs;
+}
+
+namespace {
+constexpr std::uint32_t kMagic = 0x53484f52;  // "SHOR"
+constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 4;  // magic,count,w,h
+constexpr std::size_t kSegBytes = 8;                 // 4 quantized u16
+}  // namespace
+
+std::string EncodeShoreline(const std::vector<Segment>& segs,
+                            std::uint32_t width, std::uint32_t height,
+                            std::size_t max_bytes) {
+  // Decimate uniformly to fit the byte budget.
+  std::size_t keep = segs.size();
+  if (max_bytes > kHeaderBytes) {
+    keep = std::min(keep, (max_bytes - kHeaderBytes) / kSegBytes);
+  } else {
+    keep = 0;
+  }
+  const std::size_t stride =
+      keep == 0 ? 1 : std::max<std::size_t>(1, (segs.size() + keep - 1) / keep);
+
+  net::WireWriter wr;
+  wr.PutU32(kMagic);
+  std::vector<const Segment*> kept;
+  for (std::size_t i = 0; i < segs.size(); i += stride) {
+    kept.push_back(&segs[i]);
+  }
+  wr.PutU32(static_cast<std::uint32_t>(kept.size()));
+  wr.PutU32(width);
+  wr.PutU32(height);
+  const float sx = width > 1 ? 65535.0f / static_cast<float>(width - 1) : 1.0f;
+  const float sy =
+      height > 1 ? 65535.0f / static_cast<float>(height - 1) : 1.0f;
+  auto quant = [](float v, float s) {
+    const float q = std::clamp(v * s, 0.0f, 65535.0f);
+    return static_cast<std::uint16_t>(q + 0.5f);
+  };
+  for (const Segment* s : kept) {
+    wr.PutU16(quant(s->x1, sx));
+    wr.PutU16(quant(s->y1, sy));
+    wr.PutU16(quant(s->x2, sx));
+    wr.PutU16(quant(s->y2, sy));
+  }
+  return wr.TakeBuffer();
+}
+
+StatusOr<std::vector<Segment>> DecodeShoreline(const std::string& blob) {
+  net::WireReader rd(blob);
+  std::uint32_t magic = 0, count = 0, width = 0, height = 0;
+  if (Status s = rd.GetU32(magic); !s.ok()) return s;
+  if (magic != kMagic) return Status::InvalidArgument("bad shoreline magic");
+  if (Status s = rd.GetU32(count); !s.ok()) return s;
+  if (Status s = rd.GetU32(width); !s.ok()) return s;
+  if (Status s = rd.GetU32(height); !s.ok()) return s;
+  // Plausibility bound (8 wire bytes per segment) against corrupt counts.
+  if (count > rd.remaining() / 8) {
+    return Status::InvalidArgument("segment count exceeds payload");
+  }
+  const float sx =
+      width > 1 ? static_cast<float>(width - 1) / 65535.0f : 1.0f;
+  const float sy =
+      height > 1 ? static_cast<float>(height - 1) / 65535.0f : 1.0f;
+  std::vector<Segment> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint16_t x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+    if (Status s = rd.GetU16(x1); !s.ok()) return s;
+    if (Status s = rd.GetU16(y1); !s.ok()) return s;
+    if (Status s = rd.GetU16(x2); !s.ok()) return s;
+    if (Status s = rd.GetU16(y2); !s.ok()) return s;
+    out.push_back(Segment{static_cast<float>(x1) * sx,
+                          static_cast<float>(y1) * sy,
+                          static_cast<float>(x2) * sx,
+                          static_cast<float>(y2) * sy});
+  }
+  return out;
+}
+
+}  // namespace ecc::service

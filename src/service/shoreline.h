@@ -1,0 +1,41 @@
+// Shoreline interpolation: marching squares over a CTM at the water level.
+//
+// "given the CTM and water level, the coast line is interpolated and
+// returned" (paper §IV.A).  We run the standard marching-squares contour
+// extraction at iso = water level and serialize the resulting segments into
+// a compact (< 1 kB, like the paper's derived result) binary polyline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/ctm.h"
+
+namespace ecc::service {
+
+/// One contour segment in raster coordinates (cells; sub-cell precision via
+/// linear interpolation along cell edges).
+struct Segment {
+  float x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+};
+
+/// Extract the iso-contour at `water_level`.
+[[nodiscard]] std::vector<Segment> ExtractShoreline(
+    const CoastalTerrainModel& ctm, float water_level);
+
+/// Serialize segments to a compact blob: header (magic, count, raster dims)
+/// then per-segment quantized u16 endpoints.  If the encoding would exceed
+/// `max_bytes`, segments are uniformly decimated first (the paper's derived
+/// shoreline is < 1 kB).
+[[nodiscard]] std::string EncodeShoreline(const std::vector<Segment>& segs,
+                                          std::uint32_t width,
+                                          std::uint32_t height,
+                                          std::size_t max_bytes = 1024);
+
+/// Inverse of EncodeShoreline (lossy by quantization/decimation).
+[[nodiscard]] StatusOr<std::vector<Segment>> DecodeShoreline(
+    const std::string& blob);
+
+}  // namespace ecc::service

@@ -1,0 +1,53 @@
+#include "service/water_level.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ecc::service {
+
+namespace {
+double UnitFromHash(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+}
+}  // namespace
+
+WaterLevelModel::WaterLevelModel(std::uint64_t station_seed) {
+  // Derive stable parameters from the seed.
+  const std::uint64_t h1 = SplitMix64(station_seed ^ 0x1111);
+  const std::uint64_t h2 = SplitMix64(station_seed ^ 0x2222);
+  const std::uint64_t h3 = SplitMix64(station_seed ^ 0x3333);
+  const std::uint64_t h4 = SplitMix64(station_seed ^ 0x4444);
+  const std::uint64_t h5 = SplitMix64(station_seed ^ 0x5555);
+
+  mean_level_ = -0.5 + UnitFromHash(h1);  // +-0.5 m datum offset
+
+  m2_.amplitude_m = 0.4 + 0.8 * UnitFromHash(h2);
+  m2_.period_hours = 12.4206012;  // lunar semidiurnal
+  m2_.phase_rad = 2.0 * M_PI * UnitFromHash(h3);
+
+  s2_.amplitude_m = 0.1 + 0.4 * UnitFromHash(h4);
+  s2_.period_hours = 12.0;  // solar semidiurnal
+  s2_.phase_rad = 2.0 * M_PI * UnitFromHash(h5);
+
+  surge_amplitude_ = 0.3 * UnitFromHash(SplitMix64(station_seed ^ 0x6666));
+  surge_period_days_ =
+      3.0 + 6.0 * UnitFromHash(SplitMix64(station_seed ^ 0x7777));
+  surge_phase_ =
+      2.0 * M_PI * UnitFromHash(SplitMix64(station_seed ^ 0x8888));
+}
+
+double WaterLevelModel::LevelAt(double epoch_days) const {
+  const double hours = epoch_days * 24.0;
+  double level = mean_level_;
+  level += m2_.amplitude_m *
+           std::sin(2.0 * M_PI * hours / m2_.period_hours + m2_.phase_rad);
+  level += s2_.amplitude_m *
+           std::sin(2.0 * M_PI * hours / s2_.period_hours + s2_.phase_rad);
+  level += surge_amplitude_ *
+           std::sin(2.0 * M_PI * epoch_days / surge_period_days_ +
+                    surge_phase_);
+  return level;
+}
+
+}  // namespace ecc::service

@@ -1,0 +1,43 @@
+// Synthetic water-level model.
+//
+// The paper's service retrieves "actual water level readings" for the query
+// time before interpolating the coastline.  We substitute a deterministic
+// tidal model: mean level plus the two dominant harmonic constituents
+// (semidiurnal lunar M2 and solar S2) plus a slowly varying seeded residual
+// standing in for weather surge.  The amplitude/phase of each constituent
+// is derived from the station (spatial cell) seed, so nearby queries see
+// coherent tides.
+#pragma once
+
+#include <cstdint>
+
+namespace ecc::service {
+
+struct TidalConstituent {
+  double amplitude_m = 0.0;
+  double period_hours = 0.0;
+  double phase_rad = 0.0;
+};
+
+class WaterLevelModel {
+ public:
+  /// `station_seed` selects constituent amplitudes/phases deterministically.
+  explicit WaterLevelModel(std::uint64_t station_seed);
+
+  /// Water level (meters above raster datum) at `epoch_days`.
+  [[nodiscard]] double LevelAt(double epoch_days) const;
+
+  [[nodiscard]] const TidalConstituent& m2() const { return m2_; }
+  [[nodiscard]] const TidalConstituent& s2() const { return s2_; }
+  [[nodiscard]] double mean_level() const { return mean_level_; }
+
+ private:
+  double mean_level_;
+  TidalConstituent m2_;
+  TidalConstituent s2_;
+  double surge_amplitude_;
+  double surge_period_days_;
+  double surge_phase_;
+};
+
+}  // namespace ecc::service

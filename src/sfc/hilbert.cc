@@ -1,0 +1,54 @@
+#include "sfc/hilbert.h"
+
+#include <cassert>
+
+namespace ecc::sfc {
+
+std::uint64_t HilbertEncode2(std::uint32_t x, std::uint32_t y,
+                             unsigned order) {
+  assert(order >= 1 && order <= 31);
+  std::uint64_t d = 0;
+  for (std::uint32_t s = 1u << (order - 1); s > 0; s >>= 1) {
+    const std::uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const std::uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      const std::uint32_t t = x;
+      x = y;
+      y = t;
+    }
+  }
+  return d;
+}
+
+void HilbertDecode2(std::uint64_t d, unsigned order, std::uint32_t& x,
+                    std::uint32_t& y) {
+  assert(order >= 1 && order <= 31);
+  std::uint32_t rx = 0;
+  std::uint32_t ry = 0;
+  x = y = 0;
+  for (std::uint64_t s = 1; s < (1ull << order); s <<= 1) {
+    rx = 1 & static_cast<std::uint32_t>(d / 2);
+    ry = 1 & static_cast<std::uint32_t>(d ^ rx);
+    // Rotate back.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = static_cast<std::uint32_t>(s) - 1 - x;
+        y = static_cast<std::uint32_t>(s) - 1 - y;
+      }
+      const std::uint32_t t = x;
+      x = y;
+      y = t;
+    }
+    x += static_cast<std::uint32_t>(s) * rx;
+    y += static_cast<std::uint32_t>(s) * ry;
+    d /= 4;
+  }
+}
+
+}  // namespace ecc::sfc

@@ -1,0 +1,96 @@
+#include "sfc/linearizer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ecc::sfc {
+
+Linearizer::Linearizer(LinearizerOptions opts) : opts_(opts) {
+  assert(opts_.spatial_bits >= 1 && opts_.spatial_bits <= 24);
+  assert(opts_.time_bits <= 16);
+  assert(2 * opts_.spatial_bits + opts_.time_bits <= 63);
+  assert(opts_.lon_min < opts_.lon_max);
+  assert(opts_.lat_min < opts_.lat_max);
+  assert(opts_.time_horizon_days > 0.0);
+}
+
+std::uint64_t Linearizer::KeySpace() const {
+  return 1ull << (2 * opts_.spatial_bits + opts_.time_bits);
+}
+
+namespace {
+// Quantize v in [lo, hi] onto [0, cells-1]; hi maps to the last cell.
+std::uint32_t QuantizeAxis(double v, double lo, double hi,
+                           std::uint32_t cells) {
+  const double frac = (v - lo) / (hi - lo);
+  auto cell = static_cast<std::int64_t>(frac * cells);
+  if (cell >= cells) cell = cells - 1;
+  if (cell < 0) cell = 0;
+  return static_cast<std::uint32_t>(cell);
+}
+}  // namespace
+
+StatusOr<GridPoint> Linearizer::Quantize(const GeoTemporalQuery& q) const {
+  if (q.longitude < opts_.lon_min || q.longitude > opts_.lon_max) {
+    return Status::InvalidArgument("longitude out of range");
+  }
+  if (q.latitude < opts_.lat_min || q.latitude > opts_.lat_max) {
+    return Status::InvalidArgument("latitude out of range");
+  }
+  if (q.epoch_days < 0.0 || q.epoch_days > opts_.time_horizon_days) {
+    return Status::InvalidArgument("time out of range");
+  }
+  const std::uint32_t cells = 1u << opts_.spatial_bits;
+  const std::uint32_t slots = 1u << opts_.time_bits;
+  GridPoint p;
+  p.x = QuantizeAxis(q.longitude, opts_.lon_min, opts_.lon_max, cells);
+  p.y = QuantizeAxis(q.latitude, opts_.lat_min, opts_.lat_max, cells);
+  p.t = QuantizeAxis(q.epoch_days, 0.0, opts_.time_horizon_days, slots);
+  return p;
+}
+
+std::uint64_t Linearizer::Encode(const GridPoint& p) const {
+  std::uint64_t spatial;
+  if (opts_.curve == CurveKind::kHilbert) {
+    spatial = HilbertEncode2(p.x, p.y, opts_.spatial_bits);
+  } else {
+    spatial = MortonEncode2(p.x, p.y);
+  }
+  return (static_cast<std::uint64_t>(p.t) << (2 * opts_.spatial_bits)) |
+         spatial;
+}
+
+GridPoint Linearizer::Decode(std::uint64_t key) const {
+  GridPoint p;
+  const std::uint64_t spatial_mask = (1ull << (2 * opts_.spatial_bits)) - 1;
+  const std::uint64_t spatial = key & spatial_mask;
+  p.t = static_cast<std::uint32_t>(key >> (2 * opts_.spatial_bits));
+  if (opts_.curve == CurveKind::kHilbert) {
+    HilbertDecode2(spatial, opts_.spatial_bits, p.x, p.y);
+  } else {
+    MortonDecode2(spatial, p.x, p.y);
+  }
+  return p;
+}
+
+StatusOr<std::uint64_t> Linearizer::EncodeQuery(
+    const GeoTemporalQuery& q) const {
+  auto gp = Quantize(q);
+  if (!gp.ok()) return gp.status();
+  return Encode(*gp);
+}
+
+GeoTemporalQuery Linearizer::CellCenter(std::uint64_t key) const {
+  const GridPoint p = Decode(key);
+  const double cells = static_cast<double>(1u << opts_.spatial_bits);
+  const double slots = static_cast<double>(1u << opts_.time_bits);
+  GeoTemporalQuery q;
+  q.longitude = opts_.lon_min + (opts_.lon_max - opts_.lon_min) *
+                                    ((p.x + 0.5) / cells);
+  q.latitude = opts_.lat_min + (opts_.lat_max - opts_.lat_min) *
+                                   ((p.y + 0.5) / cells);
+  q.epoch_days = opts_.time_horizon_days * ((p.t + 0.5) / slots);
+  return q;
+}
+
+}  // namespace ecc::sfc

@@ -1,0 +1,111 @@
+#include "sfc/locality.h"
+
+#include <algorithm>
+#include <vector>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+#include "sfc/hilbert.h"
+#include "sfc/morton.h"
+
+namespace ecc::sfc {
+
+namespace {
+std::uint64_t Encode(CurveKind curve, std::uint32_t x, std::uint32_t y,
+                     unsigned order) {
+  return curve == CurveKind::kHilbert ? HilbertEncode2(x, y, order)
+                                      : MortonEncode2(x, y);
+}
+
+double AbsDiff(std::uint64_t a, std::uint64_t b) {
+  return a > b ? static_cast<double>(a - b) : static_cast<double>(b - a);
+}
+}  // namespace
+
+LocalityStats MeasureNeighborStretch(CurveKind curve, unsigned order) {
+  assert(order >= 1 && order <= 12);  // full-grid scan
+  const std::uint32_t side = 1u << order;
+  LocalityStats stats;
+  double sum = 0.0;
+  double max = 0.0;
+  std::uint64_t pairs = 0;
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      const std::uint64_t c = Encode(curve, x, y, order);
+      if (x + 1 < side) {
+        const double d = AbsDiff(c, Encode(curve, x + 1, y, order));
+        sum += d;
+        max = std::max(max, d);
+        ++pairs;
+      }
+      if (y + 1 < side) {
+        const double d = AbsDiff(c, Encode(curve, x, y + 1, order));
+        sum += d;
+        max = std::max(max, d);
+        ++pairs;
+      }
+    }
+  }
+  stats.mean_neighbor_stretch = pairs == 0 ? 0.0 : sum / (double)pairs;
+  stats.max_neighbor_stretch = max;
+  return stats;
+}
+
+double MeasureWindowSpanRatio(CurveKind curve, unsigned order,
+                              unsigned window, std::uint64_t seed,
+                              std::size_t samples) {
+  assert(window >= 1 && window <= (1u << order));
+  const std::uint32_t side = 1u << order;
+  Rng rng(seed);
+  double ratio_sum = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto x0 = static_cast<std::uint32_t>(
+        rng.Uniform(side - window + 1));
+    const auto y0 = static_cast<std::uint32_t>(
+        rng.Uniform(side - window + 1));
+    std::uint64_t lo = UINT64_MAX, hi = 0;
+    for (std::uint32_t dy = 0; dy < window; ++dy) {
+      for (std::uint32_t dx = 0; dx < window; ++dx) {
+        const std::uint64_t c = Encode(curve, x0 + dx, y0 + dy, order);
+        lo = std::min(lo, c);
+        hi = std::max(hi, c);
+      }
+    }
+    const double cells = static_cast<double>(window) * window;
+    ratio_sum += (static_cast<double>(hi - lo) + 1.0) / cells;
+  }
+  return ratio_sum / static_cast<double>(samples);
+}
+
+double MeasureWindowClusters(CurveKind curve, unsigned order,
+                             unsigned window, std::uint64_t seed,
+                             std::size_t samples) {
+  assert(window >= 1 && window <= (1u << order));
+  const std::uint32_t side = 1u << order;
+  Rng rng(seed);
+  double cluster_sum = 0.0;
+  std::vector<std::uint64_t> codes;
+  codes.reserve(static_cast<std::size_t>(window) * window);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto x0 = static_cast<std::uint32_t>(
+        rng.Uniform(side - window + 1));
+    const auto y0 = static_cast<std::uint32_t>(
+        rng.Uniform(side - window + 1));
+    codes.clear();
+    for (std::uint32_t dy = 0; dy < window; ++dy) {
+      for (std::uint32_t dx = 0; dx < window; ++dx) {
+        codes.push_back(Encode(curve, x0 + dx, y0 + dy, order));
+      }
+    }
+    std::sort(codes.begin(), codes.end());
+    std::size_t clusters = 1;
+    for (std::size_t i = 1; i < codes.size(); ++i) {
+      if (codes[i] != codes[i - 1] + 1) ++clusters;
+    }
+    cluster_sum += static_cast<double>(clusters);
+  }
+  return cluster_sum / static_cast<double>(samples);
+}
+
+}  // namespace ecc::sfc

@@ -1,0 +1,73 @@
+#include "sfc/morton.h"
+
+namespace ecc::sfc {
+
+namespace {
+
+// Spread the low 32 bits of v so bit i lands at position 2i.
+std::uint64_t Spread2(std::uint64_t v) {
+  v &= 0xffffffffULL;
+  v = (v | (v << 16)) & 0x0000ffff0000ffffULL;
+  v = (v | (v << 8)) & 0x00ff00ff00ff00ffULL;
+  v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+// Inverse of Spread2: gather even bits into the low 32 bits.
+std::uint64_t Gather2(std::uint64_t v) {
+  v &= 0x5555555555555555ULL;
+  v = (v | (v >> 1)) & 0x3333333333333333ULL;
+  v = (v | (v >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | (v >> 4)) & 0x00ff00ff00ff00ffULL;
+  v = (v | (v >> 8)) & 0x0000ffff0000ffffULL;
+  v = (v | (v >> 16)) & 0x00000000ffffffffULL;
+  return v;
+}
+
+// Spread the low 21 bits of v so bit i lands at position 3i.
+std::uint64_t Spread3(std::uint64_t v) {
+  v &= 0x1fffffULL;
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+std::uint64_t Gather3(std::uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v | (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v | (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v | (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v | (v >> 32)) & 0x1fffffULL;
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t MortonEncode2(std::uint32_t x, std::uint32_t y) {
+  return Spread2(x) | (Spread2(y) << 1);
+}
+
+void MortonDecode2(std::uint64_t code, std::uint32_t& x, std::uint32_t& y) {
+  x = static_cast<std::uint32_t>(Gather2(code));
+  y = static_cast<std::uint32_t>(Gather2(code >> 1));
+}
+
+std::uint64_t MortonEncode3(std::uint32_t x, std::uint32_t y,
+                            std::uint32_t z) {
+  return Spread3(x) | (Spread3(y) << 1) | (Spread3(z) << 2);
+}
+
+void MortonDecode3(std::uint64_t code, std::uint32_t& x, std::uint32_t& y,
+                   std::uint32_t& z) {
+  x = static_cast<std::uint32_t>(Gather3(code));
+  y = static_cast<std::uint32_t>(Gather3(code >> 1));
+  z = static_cast<std::uint32_t>(Gather3(code >> 2));
+}
+
+}  // namespace ecc::sfc

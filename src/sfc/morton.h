@@ -1,0 +1,30 @@
+// Morton (Z-order) space-filling curves in 2 and 3 dimensions.
+//
+// The paper's cache keys are B²-Tree keys: spatiotemporal coordinates
+// linearized through a space-filling curve so a one-dimensional B+-Tree key
+// carries spatiotemporality.  Z-order is the cheap default; Hilbert (see
+// hilbert.h) trades encode cost for better locality preservation.
+//
+// Encoding uses parallel-bit magic-number spreading, O(1) per coordinate.
+#pragma once
+
+#include <cstdint>
+
+namespace ecc::sfc {
+
+/// Interleave the low 32 bits of x and y: result bit 2i = x bit i,
+/// bit 2i+1 = y bit i.
+[[nodiscard]] std::uint64_t MortonEncode2(std::uint32_t x, std::uint32_t y);
+
+/// Inverse of MortonEncode2.
+void MortonDecode2(std::uint64_t code, std::uint32_t& x, std::uint32_t& y);
+
+/// Interleave the low 21 bits of x, y, z into a 63-bit code.
+[[nodiscard]] std::uint64_t MortonEncode3(std::uint32_t x, std::uint32_t y,
+                                          std::uint32_t z);
+
+/// Inverse of MortonEncode3 (restores 21-bit coordinates).
+void MortonDecode3(std::uint64_t code, std::uint32_t& x, std::uint32_t& y,
+                   std::uint32_t& z);
+
+}  // namespace ecc::sfc

@@ -1,0 +1,118 @@
+#include "workload/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecc::workload {
+
+ExperimentDriver::ExperimentDriver(ExperimentOptions opts,
+                                   core::Coordinator* coordinator,
+                                   KeyGenerator* keys, RateSchedule* rate,
+                                   cloudsim::CloudProvider* provider,
+                                   VirtualClock* clock)
+    : opts_(opts),
+      coordinator_(coordinator),
+      keys_(keys),
+      rate_(rate),
+      provider_(provider),
+      clock_(clock) {
+  assert(coordinator != nullptr && keys != nullptr && rate != nullptr &&
+         clock != nullptr);
+  assert(opts_.observe_every >= 1);
+}
+
+ExperimentResult ExperimentDriver::Run() {
+  ExperimentResult result;
+  ExperimentSummary& summary = result.summary;
+  summary.label = opts_.label;
+
+  const TimePoint run_start = clock_->now();
+  core::CacheBackend& cache = coordinator_->cache();
+
+  // Interval accumulators.
+  std::uint64_t interval_queries = 0;
+  std::uint64_t interval_hits = 0;
+  std::uint64_t interval_evictions = 0;
+  Duration interval_query_time;
+  double node_step_sum = 0.0;
+
+  Series& speedup_s = result.series.Get("speedup");
+  Series& nodes_s = result.series.Get("nodes");
+  Series& hits_s = result.series.Get("hits");
+  Series& misses_s = result.series.Get("misses");
+  Series& evict_s = result.series.Get("evictions");
+  Series& hit_rate_s = result.series.Get("hit_rate");
+  Series& queries_s = result.series.Get("queries_total");
+  Series* cost_s =
+      provider_ != nullptr ? &result.series.Get("cost_usd") : nullptr;
+
+  std::uint64_t queries_total = 0;
+  for (std::size_t step = 1; step <= opts_.time_steps; ++step) {
+    const std::size_t r = rate_->RateAt(step);
+    for (std::size_t j = 0; j < r; ++j) {
+      coordinator_->ProcessKey(keys_->Next());
+    }
+    const core::TimeStepReport report = coordinator_->EndTimeStep();
+    queries_total += report.step_queries;
+    interval_queries += report.step_queries;
+    interval_hits += report.step_hits;
+    interval_evictions += report.evicted;
+    interval_query_time += report.step_query_time;
+    node_step_sum += static_cast<double>(cache.NodeCount());
+    summary.max_nodes = std::max(summary.max_nodes, cache.NodeCount());
+
+    if (step % opts_.observe_every != 0) continue;
+
+    const auto x = static_cast<double>(step);
+    double speedup = 0.0;
+    if (interval_queries > 0 && interval_query_time > Duration::Zero()) {
+      const double mean_query_secs =
+          interval_query_time.seconds() /
+          static_cast<double>(interval_queries);
+      speedup = opts_.baseline_exec.seconds() / mean_query_secs;
+    }
+    speedup_s.Add(x, speedup);
+    nodes_s.Add(x, static_cast<double>(cache.NodeCount()));
+    hits_s.Add(x, static_cast<double>(interval_hits));
+    misses_s.Add(x, static_cast<double>(interval_queries - interval_hits));
+    evict_s.Add(x, static_cast<double>(interval_evictions));
+    hit_rate_s.Add(x, interval_queries == 0
+                          ? 0.0
+                          : static_cast<double>(interval_hits) /
+                                static_cast<double>(interval_queries));
+    queries_s.Add(x, static_cast<double>(queries_total));
+    if (cost_s != nullptr) {
+      cost_s->Add(x, provider_->AccruedCostDollars());
+    }
+
+    summary.max_speedup = std::max(summary.max_speedup, speedup);
+    summary.final_speedup = speedup;
+    interval_queries = 0;
+    interval_hits = 0;
+    interval_evictions = 0;
+    interval_query_time = Duration::Zero();
+  }
+
+  summary.total_queries = coordinator_->total_queries();
+  summary.total_hits = coordinator_->total_hits();
+  summary.hit_rate =
+      summary.total_queries == 0
+          ? 0.0
+          : static_cast<double>(summary.total_hits) /
+                static_cast<double>(summary.total_queries);
+  summary.mean_nodes =
+      node_step_sum / static_cast<double>(opts_.time_steps);
+  summary.final_nodes = cache.NodeCount();
+  const core::CacheStats& stats = cache.stats();
+  summary.evictions = stats.evictions;
+  summary.splits = stats.splits;
+  summary.node_allocations = stats.node_allocations;
+  summary.node_removals = stats.node_removals;
+  if (provider_ != nullptr) {
+    summary.cost_usd = provider_->AccruedCostDollars();
+  }
+  summary.virtual_time = clock_->now() - run_start;
+  return result;
+}
+
+}  // namespace ecc::workload

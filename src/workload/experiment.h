@@ -1,0 +1,78 @@
+// Experiment driver: reproduces the paper's measurement loop and produces
+// the per-figure series.
+//
+// Per observation interval it records:
+//   speedup    — (uncached baseline time) / (mean observed query time),
+//                the paper's "relative speedup over the query's actual
+//                execution time"
+//   nodes      — allocated cooperative cache nodes
+//   hits/misses/evictions — interval counts (Fig. 6's reuse & eviction)
+//   hit_rate   — interval hit fraction
+//   cost_usd   — accrued cloud bill (when a provider is attached)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cloudsim/provider.h"
+#include "common/time.h"
+#include "common/timeseries.h"
+#include "core/backend.h"
+#include "core/coordinator.h"
+#include "workload/generator.h"
+
+namespace ecc::workload {
+
+struct ExperimentOptions {
+  std::size_t time_steps = 1000;
+  /// Record one sample every this many steps.
+  std::size_t observe_every = 10;
+  /// Uncached service execution time (speedup denominator's numerator).
+  Duration baseline_exec = Duration::Seconds(23);
+  std::string label = "experiment";
+};
+
+/// Aggregate outcome of a run.
+struct ExperimentSummary {
+  std::string label;
+  std::uint64_t total_queries = 0;
+  std::uint64_t total_hits = 0;
+  double hit_rate = 0.0;
+  double final_speedup = 0.0;   ///< last observed interval speedup
+  double max_speedup = 0.0;
+  double mean_nodes = 0.0;      ///< averaged over steps
+  std::size_t max_nodes = 0;
+  std::size_t final_nodes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t node_allocations = 0;
+  std::uint64_t node_removals = 0;
+  double cost_usd = 0.0;        ///< 0 when no provider attached
+  Duration virtual_time;        ///< clock advance during the run
+};
+
+struct ExperimentResult {
+  SeriesSet series{"step"};
+  ExperimentSummary summary;
+};
+
+class ExperimentDriver {
+ public:
+  /// `provider` may be null (static baselines have no cloud bill).
+  ExperimentDriver(ExperimentOptions opts, core::Coordinator* coordinator,
+                   KeyGenerator* keys, RateSchedule* rate,
+                   cloudsim::CloudProvider* provider, VirtualClock* clock);
+
+  /// Run the full loop and collect series + summary.
+  [[nodiscard]] ExperimentResult Run();
+
+ private:
+  ExperimentOptions opts_;
+  core::Coordinator* coordinator_;
+  KeyGenerator* keys_;
+  RateSchedule* rate_;
+  cloudsim::CloudProvider* provider_;
+  VirtualClock* clock_;
+};
+
+}  // namespace ecc::workload

@@ -1,0 +1,122 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+
+namespace ecc::workload {
+
+namespace {
+std::vector<core::Key> RandomPermutation(std::uint64_t n,
+                                         std::uint64_t seed) {
+  std::vector<core::Key> perm(n);
+  for (std::uint64_t i = 0; i < n; ++i) perm[i] = i;
+  Rng rng(seed);
+  // Fisher–Yates.
+  for (std::uint64_t i = n - 1; i > 0; --i) {
+    const std::uint64_t j = rng.Uniform(i + 1);
+    std::swap(perm[i], perm[j]);
+  }
+  return perm;
+}
+}  // namespace
+
+UniformKeyGenerator::UniformKeyGenerator(std::uint64_t n, std::uint64_t seed)
+    : n_(n), rng_(seed) {
+  assert(n > 0);
+}
+
+core::Key UniformKeyGenerator::Next() { return rng_.Uniform(n_); }
+
+ZipfKeyGenerator::ZipfKeyGenerator(std::uint64_t n, double s,
+                                   std::uint64_t seed)
+    : n_(n),
+      rng_(seed),
+      zipf_(n, s),
+      permutation_(RandomPermutation(n, SplitMix64(seed ^ 0xfeedULL))) {
+  assert(n > 0);
+}
+
+core::Key ZipfKeyGenerator::Next() {
+  return permutation_[zipf_.Sample(rng_)];
+}
+
+HotspotKeyGenerator::HotspotKeyGenerator(std::uint64_t n, double hot_fraction,
+                                         double hot_prob, std::uint64_t seed)
+    : n_(n),
+      hot_count_(std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(hot_fraction *
+                                        static_cast<double>(n)))),
+      hot_prob_(hot_prob),
+      rng_(seed),
+      permutation_(RandomPermutation(n, SplitMix64(seed ^ 0x407ULL))) {
+  assert(n > 0);
+  assert(hot_fraction > 0.0 && hot_fraction <= 1.0);
+  assert(hot_prob >= 0.0 && hot_prob <= 1.0);
+}
+
+core::Key HotspotKeyGenerator::Next() {
+  if (rng_.Chance(hot_prob_) || hot_count_ == n_) {
+    return permutation_[rng_.Uniform(hot_count_)];
+  }
+  return permutation_[hot_count_ + rng_.Uniform(n_ - hot_count_)];
+}
+
+PiecewiseRate::PiecewiseRate(std::vector<Point> points, bool interpolate)
+    : points_(std::move(points)), interpolate_(interpolate) {
+  assert(!points_.empty());
+  assert(std::is_sorted(points_.begin(), points_.end(),
+                        [](const Point& a, const Point& b) {
+                          return a.step < b.step;
+                        }));
+}
+
+std::size_t PiecewiseRate::RateAt(std::size_t step) const {
+  if (step <= points_.front().step) return points_.front().rate;
+  if (step >= points_.back().step) return points_.back().rate;
+  // Find the segment [points_[i], points_[i+1]) containing `step`.
+  std::size_t i = 0;
+  while (i + 1 < points_.size() && points_[i + 1].step <= step) ++i;
+  if (i + 1 == points_.size()) return points_.back().rate;
+  const Point& a = points_[i];
+  const Point& b = points_[i + 1];
+  if (!interpolate_ || a.step == b.step) return a.rate;
+  const double frac = static_cast<double>(step - a.step) /
+                      static_cast<double>(b.step - a.step);
+  const double rate = static_cast<double>(a.rate) +
+                      frac * (static_cast<double>(b.rate) -
+                              static_cast<double>(a.rate));
+  return static_cast<std::size_t>(rate + 0.5);
+}
+
+PoissonRate::PoissonRate(double mean, std::uint64_t seed)
+    : mean_(mean), seed_(seed) {
+  assert(mean >= 0.0);
+}
+
+std::size_t PoissonRate::RateAt(std::size_t step) const {
+  // Stateless per-step draw: seed the generator from (seed, step) so the
+  // schedule is a pure function of the step (safe to call repeatedly and
+  // from any order).
+  Rng rng(SplitMix64(seed_ ^ (0x9e3779b97f4a7c15ULL * (step + 1))));
+  // Knuth's product method; fine for the means experiments use (< ~1e3).
+  const double limit = std::exp(-mean_);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.UniformDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+std::unique_ptr<RateSchedule> PaperPhasedSchedule() {
+  // Steps 1-100 normal, 101-300 intensive, 300-400 relaxation ramp,
+  // 400+ normal.
+  return std::make_unique<PiecewiseRate>(
+      std::vector<PiecewiseRate::Point>{
+          {1, 50}, {100, 50}, {101, 250}, {300, 250}, {400, 50}},
+      /*interpolate=*/true);
+}
+
+}  // namespace ecc::workload

@@ -1,0 +1,131 @@
+// Workload generation: key draws and query-rate schedules.
+//
+// The paper randomizes inputs uniformly over a 64K (Fig. 3) or 32K
+// (Figs. 5-7) key population — "the worst case for possible reuse" — and
+// drives the system with the loop
+//
+//   for time step i:  R <- rate(i);  submit R random queries
+//
+// Zipfian and hotspot generators are provided as robustness extensions
+// (real query-intensive episodes are usually skewed).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/types.h"
+
+namespace ecc::workload {
+
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+  [[nodiscard]] virtual core::Key Next() = 0;
+  [[nodiscard]] virtual std::uint64_t keyspace() const = 0;
+};
+
+/// Uniform over [0, n): the paper's workload.
+class UniformKeyGenerator final : public KeyGenerator {
+ public:
+  UniformKeyGenerator(std::uint64_t n, std::uint64_t seed);
+  [[nodiscard]] core::Key Next() override;
+  [[nodiscard]] std::uint64_t keyspace() const override { return n_; }
+
+ private:
+  std::uint64_t n_;
+  Rng rng_;
+};
+
+/// Zipf(s)-distributed ranks mapped through a fixed random permutation so
+/// popular keys are scattered across the key space (and hence the ring).
+class ZipfKeyGenerator final : public KeyGenerator {
+ public:
+  ZipfKeyGenerator(std::uint64_t n, double s, std::uint64_t seed);
+  [[nodiscard]] core::Key Next() override;
+  [[nodiscard]] std::uint64_t keyspace() const override { return n_; }
+
+ private:
+  std::uint64_t n_;
+  Rng rng_;
+  ZipfSampler zipf_;
+  std::vector<core::Key> permutation_;
+};
+
+/// With probability `hot_prob`, draw from the first `hot_fraction` of a
+/// permuted key space; otherwise uniform over the rest.
+class HotspotKeyGenerator final : public KeyGenerator {
+ public:
+  HotspotKeyGenerator(std::uint64_t n, double hot_fraction, double hot_prob,
+                      std::uint64_t seed);
+  [[nodiscard]] core::Key Next() override;
+  [[nodiscard]] std::uint64_t keyspace() const override { return n_; }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t hot_count_;
+  double hot_prob_;
+  Rng rng_;
+  std::vector<core::Key> permutation_;
+};
+
+// --- Rate schedules ---------------------------------------------------------
+
+class RateSchedule {
+ public:
+  virtual ~RateSchedule() = default;
+  /// Queries to submit in (1-based) time step `step`.
+  [[nodiscard]] virtual std::size_t RateAt(std::size_t step) const = 0;
+};
+
+class ConstantRate final : public RateSchedule {
+ public:
+  explicit ConstantRate(std::size_t rate) : rate_(rate) {}
+  [[nodiscard]] std::size_t RateAt(std::size_t) const override {
+    return rate_;
+  }
+
+ private:
+  std::size_t rate_;
+};
+
+/// Piecewise schedule over breakpoints (step, rate); between breakpoints
+/// the rate either holds (step function) or interpolates linearly.
+class PiecewiseRate final : public RateSchedule {
+ public:
+  struct Point {
+    std::size_t step;
+    std::size_t rate;
+  };
+
+  PiecewiseRate(std::vector<Point> points, bool interpolate);
+
+  [[nodiscard]] std::size_t RateAt(std::size_t step) const override;
+
+ private:
+  std::vector<Point> points_;  // sorted by step
+  bool interpolate_;
+};
+
+/// Poisson arrivals: the per-step rate is drawn from Poisson(mean) — a
+/// stochastic refinement of the paper's fixed-R loop (real query traffic
+/// is bursty even at a constant average intensity).  Deterministic given
+/// the seed; RateAt is memoized per step so repeated calls agree.
+class PoissonRate final : public RateSchedule {
+ public:
+  PoissonRate(double mean, std::uint64_t seed);
+  [[nodiscard]] std::size_t RateAt(std::size_t step) const override;
+  [[nodiscard]] double mean() const { return mean_; }
+
+ private:
+  double mean_;
+  std::uint64_t seed_;
+};
+
+/// The paper's query-intensive scenario (§IV.C): R = 50 for steps 1-100,
+/// R = 250 for 101-300, ramping back down to R = 50 by step 400 and
+/// holding thereafter.
+[[nodiscard]] std::unique_ptr<RateSchedule> PaperPhasedSchedule();
+
+}  // namespace ecc::workload

@@ -1,0 +1,52 @@
+#include "workload/storm_track.h"
+
+#include <algorithm>
+
+namespace ecc::workload {
+
+StormTrackGenerator::StormTrackGenerator(StormTrackOptions opts)
+    : opts_(opts),
+      lin_(opts.grid),
+      rng_(opts.seed),
+      lon_(opts.start_lon),
+      lat_(opts.start_lat),
+      day_(opts.start_day),
+      d_lon_(opts.d_lon),
+      d_lat_(opts.d_lat) {}
+
+void StormTrackGenerator::AdvanceEye() {
+  const auto& g = lin_.options();
+  lon_ += d_lon_;
+  lat_ += d_lat_;
+  day_ = std::min(day_ + opts_.days_per_step, g.time_horizon_days);
+  // Bounce off the map edges so long runs stay in range.
+  if (lon_ < g.lon_min || lon_ > g.lon_max) {
+    d_lon_ = -d_lon_;
+    lon_ = std::clamp(lon_, g.lon_min, g.lon_max);
+  }
+  if (lat_ < g.lat_min || lat_ > g.lat_max) {
+    d_lat_ = -d_lat_;
+    lat_ = std::clamp(lat_, g.lat_min, g.lat_max);
+  }
+}
+
+core::Key StormTrackGenerator::Next() {
+  if (draws_this_step_ >= opts_.queries_per_step) {
+    draws_this_step_ = 0;
+    AdvanceEye();
+  }
+  ++draws_this_step_;
+
+  const auto& g = lin_.options();
+  sfc::GeoTemporalQuery q;
+  q.longitude = std::clamp(rng_.Normal(lon_, opts_.radius_deg), g.lon_min,
+                           g.lon_max);
+  q.latitude = std::clamp(rng_.Normal(lat_, opts_.radius_deg), g.lat_min,
+                          g.lat_max);
+  q.epoch_days = std::clamp(day_, 0.0, g.time_horizon_days);
+  auto key = lin_.EncodeQuery(q);
+  // Clamped coordinates are always in range.
+  return key.ok() ? *key : 0;
+}
+
+}  // namespace ecc::workload

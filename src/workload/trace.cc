@@ -1,0 +1,132 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+#include "net/wire.h"
+
+namespace ecc::workload {
+
+namespace {
+constexpr std::uint32_t kTraceMagic = 0x45435452;  // "ECTR"
+const std::vector<core::Key> kEmptyStep;
+}  // namespace
+
+void Trace::Record(std::size_t step, core::Key key) {
+  assert(step >= 1);
+  assert(step >= per_step_.size());  // non-decreasing steps
+  if (per_step_.size() < step) per_step_.resize(step);
+  per_step_[step - 1].push_back(key);
+  ++total_;
+}
+
+const std::vector<core::Key>& Trace::QueriesAt(std::size_t step) const {
+  if (step < 1 || step > per_step_.size()) return kEmptyStep;
+  return per_step_[step - 1];
+}
+
+std::string Trace::Serialize() const {
+  net::WireWriter w;
+  w.PutU32(kTraceMagic);
+  w.PutVarint(per_step_.size());
+  for (const auto& step : per_step_) {
+    w.PutVarint(step.size());
+    // Keys within a step are order-significant; encode raw varints (keys
+    // are typically small linearized values, so varints stay compact).
+    for (core::Key k : step) w.PutVarint(k);
+  }
+  return w.TakeBuffer();
+}
+
+StatusOr<Trace> Trace::Deserialize(std::string_view bytes) {
+  net::WireReader r(bytes);
+  std::uint32_t magic = 0;
+  if (Status s = r.GetU32(magic); !s.ok()) return s;
+  if (magic != kTraceMagic) {
+    return Status::InvalidArgument("not a trace file");
+  }
+  std::uint64_t steps = 0;
+  if (Status s = r.GetVarint(steps); !s.ok()) return s;
+  Trace trace;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    std::uint64_t count = 0;
+    if (Status s = r.GetVarint(count); !s.ok()) return s;
+    for (std::uint64_t j = 0; j < count; ++j) {
+      std::uint64_t key = 0;
+      if (Status s = r.GetVarint(key); !s.ok()) return s;
+      trace.Record(i + 1, key);
+    }
+    if (count == 0 && trace.per_step_.size() < i + 1) {
+      trace.per_step_.resize(i + 1);  // preserve empty steps
+    }
+  }
+  if (!r.exhausted()) return Status::InvalidArgument("trailing bytes");
+  return trace;
+}
+
+Status Trace::SaveFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Unavailable("cannot open " + path);
+  const std::string bytes = Serialize();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return out.good() ? Status::Ok() : Status::Internal("write failed");
+}
+
+StatusOr<Trace> Trace::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream body;
+  body << in.rdbuf();
+  return Deserialize(body.str());
+}
+
+Trace Trace::Capture(KeyGenerator& keys, const RateSchedule& rate,
+                     std::size_t steps) {
+  Trace trace;
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const std::size_t r = rate.RateAt(step);
+    for (std::size_t j = 0; j < r; ++j) trace.Record(step, keys.Next());
+    if (r == 0 && trace.per_step_.size() < step) {
+      trace.per_step_.resize(step);
+    }
+  }
+  return trace;
+}
+
+TraceReplay::TraceReplay(const Trace* trace) : trace_(trace) {
+  assert(trace != nullptr);
+}
+
+std::size_t TraceReplay::RateAt(std::size_t step) const {
+  return trace_->QueriesAt(step).size();
+}
+
+core::Key TraceReplay::Next() {
+  // Advance past exhausted steps.
+  while (cursor_step_ < trace_->steps() &&
+         cursor_query_ >= trace_->QueriesAt(cursor_step_ + 1).size()) {
+    ++cursor_step_;
+    cursor_query_ = 0;
+  }
+  assert(cursor_step_ < trace_->steps() && "replay past end of trace");
+  return trace_->QueriesAt(cursor_step_ + 1)[cursor_query_++];
+}
+
+std::uint64_t TraceReplay::keyspace() const {
+  std::uint64_t max_key = 0;
+  for (std::size_t s = 1; s <= trace_->steps(); ++s) {
+    for (core::Key k : trace_->QueriesAt(s)) {
+      max_key = std::max(max_key, k);
+    }
+  }
+  return max_key + 1;
+}
+
+void TraceReplay::Reset() {
+  cursor_step_ = 0;
+  cursor_query_ = 0;
+}
+
+}  // namespace ecc::workload

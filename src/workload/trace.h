@@ -1,0 +1,75 @@
+// Workload traces: record a query stream once, replay it bit-exactly.
+//
+// The paper's experiments hinge on comparing systems "over the same
+// workload"; a serialized trace makes that comparison portable across
+// processes and machines (and lets a real service log be replayed against
+// the simulator).  The format is a compact binary stream: a header, then
+// per-step varint-delta-encoded key lists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "workload/generator.h"
+
+namespace ecc::workload {
+
+/// An ordered query stream grouped by time step.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Append one query to the given (1-based, non-decreasing) step.
+  void Record(std::size_t step, core::Key key);
+
+  [[nodiscard]] std::size_t steps() const { return per_step_.size(); }
+  [[nodiscard]] std::size_t total_queries() const { return total_; }
+  [[nodiscard]] const std::vector<core::Key>& QueriesAt(
+      std::size_t step) const;
+
+  /// Serialize to the compact binary format.
+  [[nodiscard]] std::string Serialize() const;
+  [[nodiscard]] static StatusOr<Trace> Deserialize(std::string_view bytes);
+
+  [[nodiscard]] Status SaveFile(const std::string& path) const;
+  [[nodiscard]] static StatusOr<Trace> LoadFile(const std::string& path);
+
+  /// Capture a generator + schedule into a trace of `steps` steps.
+  [[nodiscard]] static Trace Capture(KeyGenerator& keys,
+                                     const RateSchedule& rate,
+                                     std::size_t steps);
+
+  friend bool operator==(const Trace& a, const Trace& b) {
+    return a.per_step_ == b.per_step_;
+  }
+
+ private:
+  std::vector<std::vector<core::Key>> per_step_;
+  std::size_t total_ = 0;
+};
+
+/// Replays a trace through the KeyGenerator/RateSchedule interfaces, so the
+/// standard ExperimentDriver can consume recorded workloads unchanged.
+/// RateAt(step) must be called before the step's keys are drawn (which is
+/// exactly the driver's loop order).
+class TraceReplay final : public KeyGenerator, public RateSchedule {
+ public:
+  explicit TraceReplay(const Trace* trace);
+
+  [[nodiscard]] std::size_t RateAt(std::size_t step) const override;
+  [[nodiscard]] core::Key Next() override;
+  [[nodiscard]] std::uint64_t keyspace() const override;
+
+  /// Restart from the beginning.
+  void Reset();
+
+ private:
+  const Trace* trace_;
+  std::size_t cursor_step_ = 0;  // 0-based step currently being replayed
+  std::size_t cursor_query_ = 0;
+};
+
+}  // namespace ecc::workload

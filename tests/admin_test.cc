@@ -1,0 +1,101 @@
+// Tests for the fleet inspection surface.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cloudsim/provider.h"
+#include "core/admin.h"
+
+namespace ecc::core {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : provider(
+            [] {
+              cloudsim::CloudOptions o;
+              o.seed = 8;
+              return o;
+            }(),
+            &clock),
+        cache(
+            [] {
+              ElasticCacheOptions o;
+              o.node_capacity_bytes = 32 * RecordSize(0, std::size_t{64});
+              o.ring.range = 4096;
+              o.initial_nodes = 2;
+              return o;
+            }(),
+            &provider, &clock) {}
+
+  VirtualClock clock;
+  cloudsim::CloudProvider provider;
+  ElasticCache cache;
+};
+
+TEST(AdminTest, FleetTableListsEveryNode) {
+  Fixture f;
+  for (Key k = 0; k < 100; ++k) {
+    ASSERT_TRUE(f.cache.Put(k * 40, std::string(64, 'v')).ok());
+  }
+  const std::string table = FleetTable(f.cache);
+  // One data row per node (plus header + rule).
+  const auto rows = std::count(table.begin(), table.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(rows), f.cache.NodeCount() + 2);
+  EXPECT_NE(table.find("fill%"), std::string::npos);
+}
+
+TEST(AdminTest, RingMapCoversAllOwners) {
+  Fixture f;
+  for (Key k = 0; k < 120; ++k) {
+    ASSERT_TRUE(f.cache.Put(k * 34, std::string(64, 'v')).ok());
+  }
+  const std::string map = RingMap(f.cache, 128);
+  ASSERT_EQ(map.size(), 128u);
+  std::set<char> letters(map.begin(), map.end());
+  EXPECT_EQ(letters.count('?'), 0u);
+  // Every node with ring share > 1 cell should appear.
+  EXPECT_GE(letters.size(), 2u);
+  EXPECT_LE(letters.size(), f.cache.NodeCount());
+}
+
+TEST(AdminTest, RingMapSamplesArcBoundariesCorrectly) {
+  // Two nodes, blocks of the line: the first half of the map belongs to
+  // node A, the second to node B (block bucket assignment).
+  Fixture f;
+  const std::string map = RingMap(f.cache, 64);
+  EXPECT_EQ(map.front(), 'A');
+  EXPECT_EQ(map.back(), 'B');
+  EXPECT_EQ(RingMap(f.cache, 0), "");
+}
+
+TEST(AdminTest, StatsSummaryMentionsKeyCounters) {
+  Fixture f;
+  ASSERT_TRUE(f.cache.Put(1, "v").ok());
+  (void)f.cache.Get(1);
+  (void)f.cache.Get(2);
+  const std::string summary = StatsSummary(f.cache.stats());
+  EXPECT_NE(summary.find("hits=1"), std::string::npos);
+  EXPECT_NE(summary.find("misses=1"), std::string::npos);
+  EXPECT_NE(summary.find("puts=1"), std::string::npos);
+  EXPECT_NE(summary.find("splits="), std::string::npos);
+}
+
+TEST(AdminTest, FillCvDetectsImbalance) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(FleetFillCv(f.cache), 0.0);  // both empty
+  // Load only node 0's half of the line.
+  for (Key k = 0; k < 20; ++k) {
+    ASSERT_TRUE(f.cache.Put(k, std::string(64, 'v')).ok());
+  }
+  const double skewed = FleetFillCv(f.cache);
+  EXPECT_GT(skewed, 0.9);  // one node has everything
+  // Balance it out.
+  for (Key k = 0; k < 20; ++k) {
+    ASSERT_TRUE(f.cache.Put(2100 + k, std::string(64, 'v')).ok());
+  }
+  EXPECT_LT(FleetFillCv(f.cache), skewed);
+}
+
+}  // namespace
+}  // namespace ecc::core

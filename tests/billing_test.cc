@@ -1,0 +1,86 @@
+// Tests for itemized billing reports.
+#include <gtest/gtest.h>
+
+#include "cloudsim/billing.h"
+
+namespace ecc::cloudsim {
+namespace {
+
+CloudOptions Opts() {
+  CloudOptions o;
+  o.boot_mean = Duration::Seconds(60);
+  o.boot_stddev = Duration::Seconds(5);
+  o.seed = 12;
+  return o;
+}
+
+TEST(BillingTest, EmptyLedger) {
+  VirtualClock clock;
+  CloudProvider cloud(Opts(), &clock);
+  const BillingReport report = MakeBillingReport(cloud, clock.now());
+  EXPECT_TRUE(report.items.empty());
+  EXPECT_DOUBLE_EQ(report.total_usd, 0.0);
+  EXPECT_DOUBLE_EQ(report.RoundingWasteFraction(), 0.0);
+}
+
+TEST(BillingTest, LineItemsMatchProviderTotals) {
+  VirtualClock clock;
+  CloudProvider cloud(Opts(), &clock);
+  auto a = cloud.Allocate();
+  clock.Advance(Duration::Minutes(30));
+  auto b = cloud.Allocate();
+  clock.Advance(Duration::Hours(2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(cloud.Terminate(*b).ok());
+  clock.Advance(Duration::Hours(1));
+
+  const BillingReport report = MakeBillingReport(cloud, clock.now());
+  ASSERT_EQ(report.items.size(), 2u);
+  EXPECT_NEAR(report.total_usd, cloud.AccruedCostDollars(), 1e-9);
+  EXPECT_NEAR(report.node_hours, cloud.TotalAllocatedNodeTime().hours(),
+              1e-6);
+  // Launch-ordered.
+  EXPECT_LE(report.items[0].launched, report.items[1].launched);
+  // The terminated instance stopped accruing.
+  const BillingLineItem& dead = report.items[1];
+  EXPECT_EQ(dead.state, InstanceState::kTerminated);
+  EXPECT_LT(dead.lifetime, Duration::Hours(4));
+}
+
+TEST(BillingTest, RoundingWasteReflectsWholeHourBilling) {
+  VirtualClock clock;
+  CloudProvider cloud(Opts(), &clock);
+  auto id = cloud.Allocate();
+  ASSERT_TRUE(id.ok());
+  // Run 6 minutes, terminate: billed a whole hour -> ~90% waste.
+  clock.Advance(Duration::Minutes(6));
+  ASSERT_TRUE(cloud.Terminate(*id).ok());
+  const BillingReport report = MakeBillingReport(cloud, clock.now());
+  EXPECT_GT(report.RoundingWasteFraction(), 0.8);
+  EXPECT_DOUBLE_EQ(report.billed_hours, 1.0);
+}
+
+TEST(BillingTest, RendersTableAndCsv) {
+  VirtualClock clock;
+  CloudProvider cloud(Opts(), &clock);
+  (void)cloud.Allocate();
+  const BillingReport report = MakeBillingReport(cloud, clock.now());
+  const std::string table = report.ToTable();
+  EXPECT_NE(table.find("m1.small"), std::string::npos);
+  EXPECT_NE(table.find("TOTAL"), std::string::npos);
+  const std::string csv = report.ToCsv();
+  EXPECT_NE(csv.find("instance,type,state"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);  // header + 1 row
+}
+
+TEST(BillingTest, WarmPoolInstancesAppear) {
+  VirtualClock clock;
+  CloudProvider cloud(Opts(), &clock);
+  cloud.PrewarmAsync(2);
+  const BillingReport report = MakeBillingReport(cloud, clock.now());
+  EXPECT_EQ(report.items.size(), 2u);
+  EXPECT_GT(report.total_usd, 0.0);  // idle warm capacity is billed
+}
+
+}  // namespace
+}  // namespace ecc::cloudsim

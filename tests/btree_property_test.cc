@@ -1,0 +1,246 @@
+// Property-based tests: the B+-Tree must agree with std::map under long
+// random operation sequences and preserve all structural invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "btree/bplus_tree.h"
+#include "common/rng.h"
+
+namespace ecc::btree {
+namespace {
+
+struct FuzzParams {
+  std::uint64_t seed;
+  std::uint64_t key_space;
+  int operations;
+  int insert_weight;   // out of 100; the rest split between erase/find
+};
+
+class BPlusTreeFuzz : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(BPlusTreeFuzz, AgreesWithStdMap) {
+  const FuzzParams p = GetParam();
+  Rng rng(p.seed);
+  BPlusTree<int> tree;
+  std::map<std::uint64_t, int> model;
+
+  for (int op = 0; op < p.operations; ++op) {
+    const std::uint64_t k = rng.Uniform(p.key_space);
+    const auto dice = static_cast<int>(rng.Uniform(100));
+    if (dice < p.insert_weight) {
+      const int v = static_cast<int>(rng.Uniform(1 << 20));
+      const bool inserted = tree.Insert(k, v);
+      const bool expect = model.emplace(k, v).second;
+      ASSERT_EQ(inserted, expect) << "op " << op;
+    } else if (dice < p.insert_weight + (100 - p.insert_weight) / 2) {
+      const bool erased = tree.Erase(k);
+      ASSERT_EQ(erased, model.erase(k) == 1) << "op " << op;
+    } else {
+      const int* found = tree.Find(k);
+      const auto it = model.find(k);
+      if (it == model.end()) {
+        ASSERT_EQ(found, nullptr) << "op " << op;
+      } else {
+        ASSERT_NE(found, nullptr) << "op " << op;
+        ASSERT_EQ(*found, it->second) << "op " << op;
+      }
+    }
+    ASSERT_EQ(tree.size(), model.size()) << "op " << op;
+    if (op % 1024 == 0) {
+      const Status s = tree.CheckInvariants();
+      ASSERT_TRUE(s.ok()) << "op " << op << ": " << s.ToString();
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  // Full in-order agreement at the end.
+  auto it = tree.Begin();
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(it.valid());
+    ASSERT_EQ(it.key(), k);
+    ASSERT_EQ(it.value(), v);
+    it.Next();
+  }
+  ASSERT_FALSE(it.valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, BPlusTreeFuzz,
+    ::testing::Values(
+        // Dense key space: lots of duplicates and erase hits.
+        FuzzParams{101, 64, 20000, 50},
+        FuzzParams{102, 256, 20000, 50},
+        // Insert-heavy growth.
+        FuzzParams{103, 1 << 16, 30000, 80},
+        // Erase-heavy shrink pressure.
+        FuzzParams{104, 512, 30000, 25},
+        // Balanced, wide key space.
+        FuzzParams{105, 1ull << 40, 20000, 50},
+        FuzzParams{106, 1ull << 40, 20000, 60}),
+    [](const ::testing::TestParamInfo<FuzzParams>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed);
+    });
+
+struct RangeParams {
+  std::uint64_t seed;
+  std::uint64_t key_space;
+  int records;
+};
+
+class RangeFuzz : public ::testing::TestWithParam<RangeParams> {};
+
+TEST_P(RangeFuzz, RangeOpsAgreeWithModel) {
+  const RangeParams p = GetParam();
+  Rng rng(p.seed);
+  BPlusTree<int> tree;
+  std::map<std::uint64_t, int> model;
+  for (int i = 0; i < p.records; ++i) {
+    const std::uint64_t k = rng.Uniform(p.key_space);
+    const int v = static_cast<int>(i);
+    if (tree.Insert(k, v)) model.emplace(k, v);
+  }
+
+  for (int round = 0; round < 50; ++round) {
+    std::uint64_t lo = rng.Uniform(p.key_space);
+    std::uint64_t hi = rng.Uniform(p.key_space);
+    if (lo > hi) std::swap(lo, hi);
+
+    // Sweep agreement.
+    const auto swept = tree.SweepRange(lo, hi);
+    std::size_t expect = 0;
+    for (auto it = model.lower_bound(lo);
+         it != model.end() && it->first <= hi; ++it) {
+      ASSERT_LT(expect, swept.size());
+      ASSERT_EQ(swept[expect].first, it->first);
+      ASSERT_EQ(swept[expect].second, it->second);
+      ++expect;
+    }
+    ASSERT_EQ(swept.size(), expect);
+
+    // Erase a sub-range every few rounds, then re-validate.
+    if (round % 5 == 4) {
+      const std::size_t removed = tree.EraseRange(lo, hi);
+      std::size_t model_removed = 0;
+      for (auto it = model.lower_bound(lo);
+           it != model.end() && it->first <= hi;) {
+        it = model.erase(it);
+        ++model_removed;
+      }
+      ASSERT_EQ(removed, model_removed);
+      ASSERT_EQ(tree.size(), model.size());
+      ASSERT_TRUE(tree.CheckInvariants().ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spaces, RangeFuzz,
+    ::testing::Values(RangeParams{201, 1 << 12, 3000},
+                      RangeParams{202, 1 << 20, 5000},
+                      RangeParams{203, 1ull << 32, 4000}),
+    [](const ::testing::TestParamInfo<RangeParams>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed);
+    });
+
+class BulkLoadSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BulkLoadSizes, BuildsValidTreeAtEverySize) {
+  const std::size_t n = GetParam();
+  std::vector<std::pair<std::uint64_t, int>> sorted;
+  sorted.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted.emplace_back(i * 7 + 3, static_cast<int>(i));
+  }
+  BPlusTree<int> tree;
+  tree.BulkLoad(sorted);
+  ASSERT_EQ(tree.size(), n);
+  const Status s = tree.CheckInvariants();
+  ASSERT_TRUE(s.ok()) << "n=" << n << ": " << s.ToString();
+  // Spot-check contents and leaf-chain order.
+  std::size_t count = 0;
+  for (auto it = tree.Begin(); it.valid(); it.Next()) {
+    ASSERT_EQ(it.key(), count * 7 + 3);
+    ASSERT_EQ(it.value(), static_cast<int>(count));
+    ++count;
+  }
+  ASSERT_EQ(count, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BulkLoadSizes,
+    ::testing::Values(1, 2, 63, 64, 65, 96, 97, 128, 129, 4095, 4096, 4097,
+                      100000),
+    [](const ::testing::TestParamInfo<std::size_t>& param_info) {
+      return "n" + std::to_string(param_info.param);
+    });
+
+TEST(BulkLoadTest, TreeIsFullyMutableAfterBulkLoad) {
+  std::vector<std::pair<std::uint64_t, int>> sorted;
+  for (std::size_t i = 0; i < 10000; ++i) sorted.emplace_back(i * 2, 0);
+  BPlusTree<int> tree;
+  tree.BulkLoad(std::move(sorted));
+  Rng rng(401);
+  // Mixed inserts (odd keys) and erases (even keys) must keep invariants.
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t k = rng.Uniform(20000);
+    if (k % 2 == 1) {
+      tree.Insert(k, 1);
+    } else {
+      tree.Erase(k);
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BulkLoadTest, MatchesIncrementalConstruction) {
+  std::vector<std::pair<std::uint64_t, int>> sorted;
+  Rng rng(402);
+  std::uint64_t k = 0;
+  for (int i = 0; i < 5000; ++i) {
+    k += 1 + rng.Uniform(100);
+    sorted.emplace_back(k, i);
+  }
+  BPlusTree<int> bulk;
+  bulk.BulkLoad(sorted);
+  BPlusTree<int> incremental;
+  for (const auto& [key, v] : sorted) incremental.Insert(key, v);
+  ASSERT_EQ(bulk.size(), incremental.size());
+  auto a = bulk.Begin();
+  auto b = incremental.Begin();
+  while (a.valid() && b.valid()) {
+    ASSERT_EQ(a.key(), b.key());
+    ASSERT_EQ(a.value(), b.value());
+    a.Next();
+    b.Next();
+  }
+  ASSERT_FALSE(a.valid());
+  ASSERT_FALSE(b.valid());
+}
+
+TEST(BPlusTreeStats, HeightGrowsLogarithmically) {
+  BPlusTree<int> tree;
+  for (int i = 0; i < 100000; ++i) tree.Insert(i, i);
+  const auto stats = tree.GetStats();
+  EXPECT_EQ(stats.record_count, 100000u);
+  // With kMaxKeys=64 and min fill 32, 100k records fit in height <= 4.
+  EXPECT_LE(stats.height, 4u);
+  EXPECT_GE(stats.height, 3u);
+}
+
+TEST(BPlusTreeStats, LeafOccupancyAboveMinimum) {
+  BPlusTree<int> tree;
+  Rng rng(301);
+  for (int i = 0; i < 50000; ++i) tree.Insert(rng.Next(), i);
+  const auto stats = tree.GetStats();
+  // Mean records per leaf must be >= kMinKeys (invariant implies it,
+  // modulo the root-leaf special case).
+  const double mean_fill = static_cast<double>(stats.record_count) /
+                           static_cast<double>(stats.leaf_count);
+  EXPECT_GE(mean_fill, static_cast<double>(BPlusTree<int>::kMinKeys));
+}
+
+}  // namespace
+}  // namespace ecc::btree

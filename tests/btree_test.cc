@@ -1,0 +1,333 @@
+// Unit tests for the B+-Tree and the B²-Tree façade.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "btree/b2tree.h"
+#include "btree/bplus_tree.h"
+#include "common/rng.h"
+
+namespace ecc::btree {
+namespace {
+
+using Tree = BPlusTree<int>;
+
+TEST(BPlusTreeTest, EmptyTree) {
+  Tree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.Find(1), nullptr);
+  EXPECT_FALSE(t.Erase(1));
+  EXPECT_TRUE(t.CheckInvariants().ok());
+  EXPECT_FALSE(t.Begin().valid());
+}
+
+TEST(BPlusTreeTest, SingleRecord) {
+  Tree t;
+  EXPECT_TRUE(t.Insert(5, 50));
+  EXPECT_EQ(t.size(), 1u);
+  ASSERT_NE(t.Find(5), nullptr);
+  EXPECT_EQ(*t.Find(5), 50);
+  EXPECT_EQ(t.MinKey(), 5u);
+  EXPECT_EQ(t.MaxKey(), 5u);
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, DuplicateInsertRejected) {
+  Tree t;
+  EXPECT_TRUE(t.Insert(5, 50));
+  EXPECT_FALSE(t.Insert(5, 99));
+  EXPECT_EQ(*t.Find(5), 50);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BPlusTreeTest, InsertOrAssignOverwrites) {
+  Tree t;
+  EXPECT_TRUE(t.InsertOrAssign(5, 50));
+  EXPECT_FALSE(t.InsertOrAssign(5, 99));
+  EXPECT_EQ(*t.Find(5), 99);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BPlusTreeTest, SequentialInsertSplitsLeaves) {
+  Tree t;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) ASSERT_TRUE(t.Insert(i, i * 10));
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ASSERT_NE(t.Find(i), nullptr) << i;
+    ASSERT_EQ(*t.Find(i), i * 10);
+  }
+  const auto stats = t.GetStats();
+  EXPECT_GT(stats.height, 1u);
+  EXPECT_GT(stats.leaf_count, 1u);
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, ReverseInsertAlsoBalanced) {
+  Tree t;
+  for (int i = 999; i >= 0; --i) ASSERT_TRUE(t.Insert(i, i));
+  EXPECT_TRUE(t.CheckInvariants().ok());
+  EXPECT_EQ(t.MinKey(), 0u);
+  EXPECT_EQ(t.MaxKey(), 999u);
+}
+
+TEST(BPlusTreeTest, LeafChainIsSorted) {
+  Tree t;
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    t.Insert(rng.Uniform(1u << 20), i);
+  }
+  std::uint64_t prev = 0;
+  bool first = true;
+  std::size_t count = 0;
+  for (auto it = t.Begin(); it.valid(); it.Next()) {
+    if (!first) {
+      ASSERT_GT(it.key(), prev);
+    }
+    prev = it.key();
+    first = false;
+    ++count;
+  }
+  EXPECT_EQ(count, t.size());
+}
+
+TEST(BPlusTreeTest, LowerBoundFindsCeiling) {
+  Tree t;
+  for (int i = 0; i < 100; ++i) t.Insert(i * 10, i);
+  auto it = t.LowerBound(45);
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.key(), 50u);
+  it = t.LowerBound(50);
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.key(), 50u);
+  it = t.LowerBound(0);
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.key(), 0u);
+  it = t.LowerBound(991);
+  EXPECT_FALSE(it.valid());
+}
+
+TEST(BPlusTreeTest, EraseLeafOnlyTree) {
+  Tree t;
+  t.Insert(1, 1);
+  t.Insert(2, 2);
+  EXPECT_TRUE(t.Erase(1));
+  EXPECT_FALSE(t.Erase(1));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.Erase(2));
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.CheckInvariants().ok());
+  // Tree is reusable after emptying.
+  EXPECT_TRUE(t.Insert(3, 3));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BPlusTreeTest, EraseAllAscending) {
+  Tree t;
+  const int n = 1500;
+  for (int i = 0; i < n; ++i) t.Insert(i, i);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(t.Erase(i)) << i;
+    if (i % 97 == 0) {
+      ASSERT_TRUE(t.CheckInvariants().ok()) << i;
+    }
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BPlusTreeTest, EraseAllDescending) {
+  Tree t;
+  const int n = 1500;
+  for (int i = 0; i < n; ++i) t.Insert(i, i);
+  for (int i = n - 1; i >= 0; --i) {
+    ASSERT_TRUE(t.Erase(i)) << i;
+    if (i % 97 == 0) {
+      ASSERT_TRUE(t.CheckInvariants().ok()) << i;
+    }
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BPlusTreeTest, ForEachInRangeVisitsExactlyRange) {
+  Tree t;
+  for (int i = 0; i < 500; ++i) t.Insert(i, i);
+  std::vector<std::uint64_t> seen;
+  const std::size_t visited = t.ForEachInRange(
+      100, 199, [&seen](std::uint64_t k, const int&) { seen.push_back(k); });
+  EXPECT_EQ(visited, 100u);
+  ASSERT_EQ(seen.size(), 100u);
+  EXPECT_EQ(seen.front(), 100u);
+  EXPECT_EQ(seen.back(), 199u);
+}
+
+TEST(BPlusTreeTest, SweepRangeCopiesPairs) {
+  Tree t;
+  for (int i = 0; i < 100; ++i) t.Insert(i * 2, i);  // even keys
+  const auto swept = t.SweepRange(10, 20);
+  ASSERT_EQ(swept.size(), 6u);  // 10,12,14,16,18,20
+  EXPECT_EQ(swept.front().first, 10u);
+  EXPECT_EQ(swept.back().first, 20u);
+  EXPECT_EQ(t.size(), 100u);  // sweep does not mutate
+}
+
+TEST(BPlusTreeTest, EraseRangeRemovesAndRebalances) {
+  Tree t;
+  for (int i = 0; i < 1000; ++i) t.Insert(i, i);
+  const std::size_t removed = t.EraseRange(250, 749);
+  EXPECT_EQ(removed, 500u);
+  EXPECT_EQ(t.size(), 500u);
+  EXPECT_EQ(t.Find(250), nullptr);
+  EXPECT_EQ(t.Find(749), nullptr);
+  EXPECT_NE(t.Find(249), nullptr);
+  EXPECT_NE(t.Find(750), nullptr);
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, ExtractRangeMoves) {
+  Tree t;
+  for (int i = 0; i < 100; ++i) t.Insert(i, i);
+  const auto out = t.ExtractRange(0, 49);
+  EXPECT_EQ(out.size(), 50u);
+  EXPECT_EQ(t.size(), 50u);
+  EXPECT_EQ(t.MinKey(), 50u);
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, EmptyRangeOperations) {
+  Tree t;
+  for (int i = 0; i < 100; ++i) t.Insert(i * 10, i);
+  EXPECT_TRUE(t.SweepRange(1, 9).empty());
+  EXPECT_EQ(t.EraseRange(1, 9), 0u);
+  EXPECT_EQ(t.ForEachInRange(2000, 3000,
+                             [](std::uint64_t, const int&) {}),
+            0u);
+}
+
+TEST(BPlusTreeTest, KeyAtRankWalksInOrder) {
+  Tree t;
+  for (int i = 0; i < 200; ++i) t.Insert(i * 3, i);
+  EXPECT_EQ(t.KeyAtRank(0), 0u);
+  EXPECT_EQ(t.KeyAtRank(100), 300u);
+  EXPECT_EQ(t.KeyAtRank(199), 597u);
+}
+
+TEST(BPlusTreeTest, BulkLoadReplacesContents) {
+  Tree t;
+  t.Insert(999, 1);
+  std::vector<std::pair<std::uint64_t, int>> sorted;
+  for (int i = 0; i < 300; ++i) sorted.emplace_back(i, i * 2);
+  t.BulkLoad(std::move(sorted));
+  EXPECT_EQ(t.size(), 300u);
+  EXPECT_EQ(t.Find(999), nullptr);
+  EXPECT_EQ(*t.Find(150), 300);
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, MoveConstructionTransfersOwnership) {
+  Tree a;
+  for (int i = 0; i < 100; ++i) a.Insert(i, i);
+  Tree b = std::move(a);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_NE(b.Find(50), nullptr);
+  EXPECT_TRUE(b.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, StringValues) {
+  BPlusTree<std::string> t;
+  t.Insert(1, "one");
+  t.Insert(2, std::string(10000, 'x'));
+  ASSERT_NE(t.Find(2), nullptr);
+  EXPECT_EQ(t.Find(2)->size(), 10000u);
+  EXPECT_EQ(*t.Find(1), "one");
+}
+
+// --- B²-Tree façade ---------------------------------------------------------
+
+sfc::LinearizerOptions TinyGrid() {
+  sfc::LinearizerOptions opts;
+  opts.spatial_bits = 5;
+  opts.time_bits = 3;
+  return opts;
+}
+
+TEST(B2TreeTest, PutGetRoundTrip) {
+  B2Tree t(TinyGrid());
+  const sfc::GeoTemporalQuery q{12.0, 34.0, 100.0};
+  auto key = t.Put(q, "derived-result");
+  ASSERT_TRUE(key.ok());
+  auto got = t.Get(q);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "derived-result");
+  EXPECT_TRUE(t.Contains(q));
+}
+
+TEST(B2TreeTest, GetMissesUncachedCell) {
+  B2Tree t(TinyGrid());
+  EXPECT_EQ(t.Get({0.0, 0.0, 0.0}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(B2TreeTest, PutRejectsOutOfRange) {
+  B2Tree t(TinyGrid());
+  EXPECT_FALSE(t.Put({500.0, 0.0, 0.0}, "x").ok());
+}
+
+TEST(B2TreeTest, EraseRemoves) {
+  B2Tree t(TinyGrid());
+  const sfc::GeoTemporalQuery q{10.0, 10.0, 10.0};
+  ASSERT_TRUE(t.Put(q, "v").ok());
+  EXPECT_TRUE(t.Erase(q).ok());
+  EXPECT_FALSE(t.Contains(q));
+  EXPECT_EQ(t.Erase(q).code(), StatusCode::kNotFound);
+}
+
+TEST(B2TreeTest, QueryBoxFindsOnlyIntersectingCells) {
+  B2Tree t(TinyGrid());
+  // Same time slot, three locations: two inside the box, one far away.
+  ASSERT_TRUE(t.Put({10.0, 10.0, 5.0}, "a").ok());
+  ASSERT_TRUE(t.Put({20.0, 20.0, 5.0}, "b").ok());
+  ASSERT_TRUE(t.Put({-170.0, -80.0, 5.0}, "c").ok());
+  const auto hits = t.QueryBox(0.0, 30.0, 0.0, 30.0, 5.0);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(B2TreeTest, QueryBoxOverDaysSpansSlots) {
+  B2Tree t(TinyGrid());
+  // 3 time bits over 365 days => ~45.6-day slots.  Same place, three
+  // different slots plus one far-away record.
+  ASSERT_TRUE(t.Put({10.0, 10.0, 5.0}, "s0").ok());
+  ASSERT_TRUE(t.Put({10.0, 10.0, 60.0}, "s1").ok());
+  ASSERT_TRUE(t.Put({10.0, 10.0, 300.0}, "s6").ok());
+  ASSERT_TRUE(t.Put({-170.0, -80.0, 60.0}, "far").ok());
+
+  // A range covering the first two slots only.
+  auto two = t.QueryBoxOverDays(0.0, 30.0, 0.0, 30.0, 0.0, 80.0);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].value, "s0");
+  EXPECT_EQ(two[1].value, "s1");
+  // The full year picks up all three; the far record stays excluded.
+  auto all = t.QueryBoxOverDays(0.0, 30.0, 0.0, 30.0, 0.0, 365.0);
+  EXPECT_EQ(all.size(), 3u);
+  // Degenerate and out-of-order ranges are empty.
+  EXPECT_TRUE(t.QueryBoxOverDays(0.0, 30.0, 0.0, 30.0, 80.0, 5.0).empty());
+  // A range inside one slot behaves like QueryBox.
+  auto one = t.QueryBoxOverDays(0.0, 30.0, 0.0, 30.0, 50.0, 70.0);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].value, "s1");
+}
+
+TEST(B2TreeTest, QueryBoxRespectsTimeSlot) {
+  B2Tree t(TinyGrid());
+  // 3 time bits over 365 days => slots ~45.6 days wide; 5.0 and 300.0 land
+  // in different slots.
+  ASSERT_TRUE(t.Put({10.0, 10.0, 5.0}, "early").ok());
+  ASSERT_TRUE(t.Put({10.0, 10.0, 300.0}, "late").ok());
+  EXPECT_EQ(t.size(), 2u);
+  const auto early = t.QueryBox(0.0, 30.0, 0.0, 30.0, 5.0);
+  ASSERT_EQ(early.size(), 1u);
+  EXPECT_EQ(early[0].value, "early");
+}
+
+}  // namespace
+}  // namespace ecc::btree

@@ -1,0 +1,249 @@
+// Tests for CacheNode: capacity accounting, range operations, and the
+// node-resident RPC handlers.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "core/cache_node.h"
+#include "net/message.h"
+#include "net/rpc.h"
+
+namespace ecc::core {
+namespace {
+
+constexpr std::uint64_t kCap = 10 * 1024;
+
+TEST(CacheNodeTest, InsertTracksBytes) {
+  CacheNode node(1, 100, kCap);
+  EXPECT_EQ(node.used_bytes(), 0u);
+  ASSERT_TRUE(node.Insert(5, std::string(100, 'v')).ok());
+  EXPECT_EQ(node.used_bytes(), RecordSize(5, std::size_t{100}));
+  EXPECT_EQ(node.record_count(), 1u);
+  EXPECT_EQ(node.capacity_bytes(), kCap);
+  EXPECT_EQ(node.id(), 1u);
+  EXPECT_EQ(node.instance(), 100u);
+}
+
+TEST(CacheNodeTest, OverflowRejected) {
+  CacheNode node(1, 0, 300);
+  ASSERT_TRUE(node.Insert(1, std::string(100, 'a')).ok());
+  const Status s = node.Insert(2, std::string(200, 'b'));
+  EXPECT_EQ(s.code(), StatusCode::kCapacityExceeded);
+  EXPECT_EQ(node.record_count(), 1u);  // unchanged
+}
+
+TEST(CacheNodeTest, DuplicateKeyRejectedWithoutLeak) {
+  CacheNode node(1, 0, kCap);
+  ASSERT_TRUE(node.Insert(1, "first").ok());
+  const std::uint64_t used = node.used_bytes();
+  EXPECT_EQ(node.Insert(1, "second").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(node.used_bytes(), used);
+  EXPECT_EQ(*node.Find(1), "first");
+}
+
+TEST(CacheNodeTest, EraseReleasesBytes) {
+  CacheNode node(1, 0, kCap);
+  ASSERT_TRUE(node.Insert(1, std::string(50, 'x')).ok());
+  ASSERT_TRUE(node.Insert(2, std::string(70, 'y')).ok());
+  const std::uint64_t before = node.used_bytes();
+  EXPECT_TRUE(node.Erase(1));
+  EXPECT_EQ(node.used_bytes(), before - RecordSize(1, std::size_t{50}));
+  EXPECT_FALSE(node.Erase(1));
+  EXPECT_FALSE(node.Contains(1));
+}
+
+TEST(CacheNodeTest, CanFitBoundary) {
+  CacheNode node(1, 0, 2 * RecordSize(0, std::size_t{10}));
+  EXPECT_TRUE(node.CanFit(RecordSize(0, std::size_t{10})));
+  ASSERT_TRUE(node.Insert(1, std::string(10, 'a')).ok());
+  ASSERT_TRUE(node.Insert(2, std::string(10, 'b')).ok());
+  EXPECT_FALSE(node.CanFit(1));
+}
+
+TEST(CacheNodeTest, RangeStatsAndRank) {
+  CacheNode node(1, 0, 1 << 20);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(node.Insert(k * 10, std::string(10, 'r')).ok());
+  }
+  const RangeStats stats = node.StatsInRange(100, 299);
+  EXPECT_EQ(stats.records, 20u);
+  EXPECT_EQ(stats.bytes, 20u * RecordSize(0, std::size_t{10}));
+  EXPECT_EQ(node.KeyAtRankInRange(100, 299, 0), 100u);
+  EXPECT_EQ(node.KeyAtRankInRange(100, 299, 10), 200u);
+  EXPECT_EQ(node.KeyAtRankInRange(100, 299, 19), 290u);
+}
+
+TEST(CacheNodeTest, EraseRangeUpdatesBytes) {
+  CacheNode node(1, 0, 1 << 20);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(node.Insert(k, std::string(10, 'r')).ok());
+  }
+  const std::uint64_t before = node.used_bytes();
+  EXPECT_EQ(node.EraseRange(10, 39), 30u);
+  EXPECT_EQ(node.used_bytes(),
+            before - 30u * RecordSize(0, std::size_t{10}));
+  EXPECT_EQ(node.record_count(), 70u);
+}
+
+TEST(CacheNodeTest, SweepRangeMatchesTreeContents) {
+  CacheNode node(1, 0, 1 << 20);
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(node.Insert(k * 2, std::to_string(k)).ok());
+  }
+  const auto swept = node.SweepRange(10, 20);
+  ASSERT_EQ(swept.size(), 6u);
+  EXPECT_EQ(swept[0].first, 10u);
+  EXPECT_EQ(swept[0].second, "5");
+}
+
+// --- Shard persistence --------------------------------------------------------
+
+TEST(CacheNodeShardTest, SnapshotRestoreRoundTrip) {
+  CacheNode a(1, 0, 1 << 20);
+  Rng rng(21);
+  for (int i = 0; i < 500; ++i) {
+    (void)a.Insert(rng.Uniform(1 << 16), std::string(rng.Uniform(64), 's'));
+  }
+  const std::string blob = a.SerializeShard();
+
+  CacheNode b(2, 0, 1 << 20);
+  ASSERT_TRUE(b.RestoreShard(blob).ok());
+  EXPECT_EQ(b.record_count(), a.record_count());
+  EXPECT_EQ(b.used_bytes(), a.used_bytes());
+  for (auto it = a.tree().Begin(); it.valid(); it.Next()) {
+    const std::string* v = b.Find(it.key());
+    ASSERT_NE(v, nullptr);
+    ASSERT_EQ(*v, it.value());
+  }
+  EXPECT_TRUE(b.tree().CheckInvariants().ok());
+}
+
+TEST(CacheNodeShardTest, RestoreReplacesPreviousContents) {
+  CacheNode a(1, 0, 1 << 20);
+  ASSERT_TRUE(a.Insert(1, "from-a").ok());
+  CacheNode b(2, 0, 1 << 20);
+  ASSERT_TRUE(b.Insert(999, "stale").ok());
+  ASSERT_TRUE(b.RestoreShard(a.SerializeShard()).ok());
+  EXPECT_EQ(b.record_count(), 1u);
+  EXPECT_EQ(b.Find(999), nullptr);
+  ASSERT_NE(b.Find(1), nullptr);
+}
+
+TEST(CacheNodeShardTest, RestoreRejectsGarbageAndKeepsState) {
+  CacheNode node(1, 0, 1 << 20);
+  ASSERT_TRUE(node.Insert(7, "keep-me").ok());
+  EXPECT_FALSE(node.RestoreShard("garbage").ok());
+  EXPECT_FALSE(node.RestoreShard("").ok());
+  // Truncated valid snapshot.
+  CacheNode other(2, 0, 1 << 20);
+  ASSERT_TRUE(other.Insert(1, std::string(100, 'x')).ok());
+  std::string blob = other.SerializeShard();
+  blob.resize(blob.size() - 5);
+  EXPECT_FALSE(node.RestoreShard(blob).ok());
+  // Original contents untouched after every failure.
+  ASSERT_NE(node.Find(7), nullptr);
+  EXPECT_EQ(*node.Find(7), "keep-me");
+}
+
+TEST(CacheNodeShardTest, RestoreRejectsOversizedSnapshot) {
+  CacheNode big(1, 0, 1 << 20);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(big.Insert(i, std::string(200, 'b')).ok());
+  }
+  CacheNode tiny(2, 0, 1024);
+  EXPECT_EQ(tiny.RestoreShard(big.SerializeShard()).code(),
+            StatusCode::kCapacityExceeded);
+  EXPECT_EQ(tiny.record_count(), 0u);
+}
+
+TEST(CacheNodeShardTest, EmptyShardRoundTrips) {
+  CacheNode a(1, 0, 1024);
+  CacheNode b(2, 0, 1024);
+  ASSERT_TRUE(b.Insert(5, "x").ok());
+  ASSERT_TRUE(b.RestoreShard(a.SerializeShard()).ok());
+  EXPECT_EQ(b.record_count(), 0u);
+  EXPECT_EQ(b.used_bytes(), 0u);
+}
+
+// --- RPC handlers ------------------------------------------------------------
+
+TEST(CacheNodeRpcTest, GetHandler) {
+  CacheNode node(1, 0, kCap);
+  ASSERT_TRUE(node.Insert(7, "cached").ok());
+  net::LoopbackChannel channel(&node.rpc(), net::NetworkModel{}, nullptr);
+
+  auto hit = channel.Call(net::GetRequest{7}.Encode());
+  ASSERT_TRUE(hit.ok());
+  auto hit_resp = net::GetResponse::Decode(*hit);
+  ASSERT_TRUE(hit_resp.ok());
+  EXPECT_TRUE(hit_resp->found);
+  EXPECT_EQ(hit_resp->value, "cached");
+
+  auto miss = channel.Call(net::GetRequest{8}.Encode());
+  ASSERT_TRUE(miss.ok());
+  auto miss_resp = net::GetResponse::Decode(*miss);
+  ASSERT_TRUE(miss_resp.ok());
+  EXPECT_FALSE(miss_resp->found);
+}
+
+TEST(CacheNodeRpcTest, PutHandlerAcceptsAndReportsOverflow) {
+  CacheNode node(1, 0, 2 * RecordSize(0, std::size_t{100}));
+  net::LoopbackChannel channel(&node.rpc(), net::NetworkModel{}, nullptr);
+
+  auto ok = channel.Call(net::PutRequest{1, std::string(100, 'a')}.Encode());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(net::PutResponse::Decode(*ok)->accepted);
+
+  // Fill, then overflow.
+  ASSERT_TRUE(
+      net::PutResponse::Decode(
+          *channel.Call(net::PutRequest{2, std::string(100, 'b')}.Encode()))
+          ->accepted);
+  EXPECT_FALSE(
+      net::PutResponse::Decode(
+          *channel.Call(net::PutRequest{3, std::string(100, 'c')}.Encode()))
+          ->accepted);
+  // Duplicate PUT is idempotent-accepted.
+  EXPECT_TRUE(
+      net::PutResponse::Decode(
+          *channel.Call(net::PutRequest{1, std::string(100, 'z')}.Encode()))
+          ->accepted);
+}
+
+TEST(CacheNodeRpcTest, MigrateAndEraseHandlers) {
+  CacheNode node(1, 0, 1 << 20);
+  net::LoopbackChannel channel(&node.rpc(), net::NetworkModel{}, nullptr);
+
+  net::MigrateRequest migrate;
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    migrate.records.emplace_back(k, "v" + std::to_string(k));
+  }
+  auto resp = channel.Call(migrate.Encode());
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(net::MigrateResponse::Decode(*resp)->accepted, 10u);
+  EXPECT_EQ(node.record_count(), 10u);
+
+  net::EraseRequest erase;
+  erase.keys = {0, 1, 2, 99};  // 99 absent
+  auto eresp = channel.Call(erase.Encode());
+  ASSERT_TRUE(eresp.ok());
+  EXPECT_EQ(net::EraseResponse::Decode(*eresp)->erased, 3u);
+  EXPECT_EQ(node.record_count(), 7u);
+}
+
+TEST(CacheNodeRpcTest, StatsHandlerReflectsState) {
+  CacheNode node(3, 0, kCap);
+  ASSERT_TRUE(node.Insert(1, std::string(64, 's')).ok());
+  net::LoopbackChannel channel(&node.rpc(), net::NetworkModel{}, nullptr);
+  auto resp = channel.Call(net::StatsRequest{}.Encode());
+  ASSERT_TRUE(resp.ok());
+  auto stats = net::StatsResponse::Decode(*resp);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records, 1u);
+  EXPECT_EQ(stats->used_bytes, node.used_bytes());
+  EXPECT_EQ(stats->capacity_bytes, kCap);
+}
+
+}  // namespace
+}  // namespace ecc::core

@@ -1,0 +1,159 @@
+// Tests for the simulated elastic cloud provider.
+#include <gtest/gtest.h>
+
+#include "cloudsim/instance.h"
+#include "cloudsim/provider.h"
+
+namespace ecc::cloudsim {
+namespace {
+
+CloudOptions FastBoot() {
+  CloudOptions opts;
+  opts.boot_mean = Duration::Seconds(80);
+  opts.boot_stddev = Duration::Seconds(10);
+  opts.boot_min = Duration::Seconds(30);
+  opts.seed = 1;
+  return opts;
+}
+
+TEST(InstanceTypeTest, CatalogMatches2010Ec2) {
+  const InstanceType small = SmallInstance();
+  EXPECT_EQ(small.name, "m1.small");
+  EXPECT_EQ(small.memory_bytes, 1700ull * 1024 * 1024);  // 1.7 GB
+  EXPECT_DOUBLE_EQ(small.price_per_hour, 0.085);
+  EXPECT_GT(LargeInstance().memory_bytes, small.memory_bytes);
+  EXPECT_GT(XLargeInstance().price_per_hour,
+            LargeInstance().price_per_hour);
+}
+
+TEST(InstanceTest, CostBillsWholeStartedHours) {
+  Instance inst;
+  inst.type = SmallInstance();
+  inst.requested_at = TimePoint::Epoch();
+  inst.running_at = TimePoint::Epoch() + Duration::Seconds(80);
+  inst.state = InstanceState::kRunning;
+  // 10 minutes in: one started hour.
+  EXPECT_DOUBLE_EQ(inst.CostDollars(TimePoint::Epoch() + Duration::Minutes(10)),
+                   0.085);
+  // 1h30 in: two started hours.
+  EXPECT_DOUBLE_EQ(inst.CostDollars(TimePoint::Epoch() + Duration::Minutes(90)),
+                   0.17);
+}
+
+TEST(CloudProviderTest, ColdAllocationAdvancesClock) {
+  VirtualClock clock;
+  CloudProvider cloud(FastBoot(), &clock);
+  auto id = cloud.Allocate();
+  ASSERT_TRUE(id.ok());
+  EXPECT_GE(clock.now().seconds(), 30.0);   // at least boot_min
+  EXPECT_LT(clock.now().seconds(), 200.0);  // sane upper bound
+  EXPECT_EQ(cloud.LiveCount(), 1u);
+  EXPECT_EQ(cloud.stats().cold_allocations, 1u);
+  const Instance* inst = cloud.Get(*id);
+  ASSERT_NE(inst, nullptr);
+  EXPECT_EQ(inst->state, InstanceState::kRunning);
+}
+
+TEST(CloudProviderTest, BootDelaysAreStochasticButDeterministic) {
+  VirtualClock c1, c2;
+  CloudProvider a(FastBoot(), &c1), b(FastBoot(), &c2);
+  (void)a.Allocate();
+  (void)b.Allocate();
+  EXPECT_EQ(c1.now(), c2.now());  // same seed, same delay
+  const Duration first = a.stats().last_boot_wait;
+  (void)a.Allocate();
+  EXPECT_NE(a.stats().last_boot_wait, first);  // jitter across allocations
+}
+
+TEST(CloudProviderTest, TerminateStopsBilling) {
+  VirtualClock clock;
+  CloudProvider cloud(FastBoot(), &clock);
+  auto id = cloud.Allocate();
+  ASSERT_TRUE(id.ok());
+  clock.Advance(Duration::Minutes(30));
+  ASSERT_TRUE(cloud.Terminate(*id).ok());
+  EXPECT_EQ(cloud.LiveCount(), 0u);
+  const double bill = cloud.AccruedCostDollars();
+  clock.Advance(Duration::Hours(10));
+  EXPECT_DOUBLE_EQ(cloud.AccruedCostDollars(), bill);
+}
+
+TEST(CloudProviderTest, TerminateErrors) {
+  VirtualClock clock;
+  CloudProvider cloud(FastBoot(), &clock);
+  EXPECT_EQ(cloud.Terminate(42).code(), StatusCode::kNotFound);
+  auto id = cloud.Allocate();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(cloud.Terminate(*id).ok());
+  EXPECT_EQ(cloud.Terminate(*id).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CloudProviderTest, InstanceLimitEnforced) {
+  CloudOptions opts = FastBoot();
+  opts.max_instances = 2;
+  VirtualClock clock;
+  CloudProvider cloud(opts, &clock);
+  ASSERT_TRUE(cloud.Allocate().ok());
+  ASSERT_TRUE(cloud.Allocate().ok());
+  EXPECT_EQ(cloud.Allocate().status().code(),
+            StatusCode::kCapacityExceeded);
+  EXPECT_EQ(cloud.LiveCount(), 2u);
+}
+
+TEST(CloudProviderTest, WarmPoolSkipsBootWhenReady) {
+  VirtualClock clock;
+  CloudProvider cloud(FastBoot(), &clock);
+  cloud.PrewarmAsync(1);
+  EXPECT_EQ(cloud.WarmPoolCount(), 1u);
+  // Let the background boot finish in virtual time.
+  clock.Advance(Duration::Seconds(300));
+  const TimePoint before = clock.now();
+  auto id = cloud.Allocate();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(clock.now(), before);  // no wait
+  EXPECT_EQ(cloud.stats().warm_hits, 1u);
+  EXPECT_EQ(cloud.stats().cold_allocations, 0u);
+  EXPECT_EQ(cloud.WarmPoolCount(), 0u);
+}
+
+TEST(CloudProviderTest, WarmPoolPaysResidualIfStillBooting) {
+  VirtualClock clock;
+  CloudProvider cloud(FastBoot(), &clock);
+  cloud.PrewarmAsync(1);
+  clock.Advance(Duration::Seconds(5));  // boot not done yet
+  const TimePoint before = clock.now();
+  auto id = cloud.Allocate();
+  ASSERT_TRUE(id.ok());
+  const Duration waited = clock.now() - before;
+  EXPECT_GT(waited, Duration::Zero());
+  EXPECT_LT(waited.seconds(), 150.0);
+  EXPECT_EQ(cloud.stats().warm_hits, 1u);
+}
+
+TEST(CloudProviderTest, NodeTimeIntegralAccumulates) {
+  VirtualClock clock;
+  CloudProvider cloud(FastBoot(), &clock);
+  auto a = cloud.Allocate();
+  ASSERT_TRUE(a.ok());
+  clock.Advance(Duration::Hours(1));
+  auto b = cloud.Allocate();
+  ASSERT_TRUE(b.ok());
+  clock.Advance(Duration::Hours(1));
+  // a ran ~2h, b ran ~1h.
+  const double node_hours = cloud.TotalAllocatedNodeTime().hours();
+  EXPECT_NEAR(node_hours, 3.0, 0.1);
+}
+
+TEST(CloudProviderTest, AllInstancesIncludesTerminated) {
+  VirtualClock clock;
+  CloudProvider cloud(FastBoot(), &clock);
+  auto a = cloud.Allocate();
+  auto b = cloud.Allocate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(cloud.Terminate(*a).ok());
+  EXPECT_EQ(cloud.AllInstances().size(), 2u);
+  EXPECT_EQ(cloud.LiveCount(), 1u);
+}
+
+}  // namespace
+}  // namespace ecc::cloudsim

@@ -1,0 +1,200 @@
+// Tests for service composition over cached stages (the workflow/mashup
+// pattern the paper motivates).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cloudsim/provider.h"
+#include "core/cache_adapters.h"
+#include "core/elastic_cache.h"
+#include "service/composite.h"
+#include "service/inundation.h"
+#include "service/service.h"
+#include "service/shoreline.h"
+
+namespace ecc::service {
+namespace {
+
+sfc::LinearizerOptions Grid() {
+  sfc::LinearizerOptions opts;
+  opts.spatial_bits = 5;
+  opts.time_bits = 3;
+  return opts;
+}
+
+TEST(BundleTest, ComposeDecomposeRoundTrip) {
+  const std::vector<std::string> parts = {"alpha", "", std::string(500, 'z')};
+  auto out = BundleDecompose(BundleCompose(parts));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, parts);
+}
+
+TEST(BundleTest, DecomposeRejectsGarbage) {
+  EXPECT_FALSE(BundleDecompose(std::string("\xff\xff\xff", 3)).ok());
+}
+
+TEST(CompositeTest, EmptyCompositeRefusesToRun) {
+  CompositeService composite("empty");
+  EXPECT_EQ(composite.Invoke({0, 0, 0}, nullptr).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CompositeTest, UncachedStagesAlwaysInvoke) {
+  SyntheticService a("a", Duration::Seconds(5), 10);
+  SyntheticService b("b", Duration::Seconds(7), 20);
+  CompositeService composite("a+b");
+  composite.AddStage(CachedStage(&a, nullptr, nullptr));
+  composite.AddStage(CachedStage(&b, nullptr, nullptr));
+
+  VirtualClock clock;
+  auto result = composite.Invoke({1.0, 2.0, 3.0}, &clock);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->exec_time.seconds(), 12.0);  // 5 + 7
+  auto parts = BundleDecompose(result->payload);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 2u);
+  EXPECT_EQ((*parts)[0].size(), 10u);
+  EXPECT_EQ((*parts)[1].size(), 20u);
+  // Repeat pays full price again.
+  (void)composite.Invoke({1.0, 2.0, 3.0}, &clock);
+  EXPECT_DOUBLE_EQ(clock.now().seconds(), 24.0);
+  EXPECT_EQ(a.invocations(), 2u);
+}
+
+struct CachedFixture {
+  CachedFixture()
+      : provider(
+            [] {
+              cloudsim::CloudOptions o;
+              o.seed = 4;
+              return o;
+            }(),
+            &clock),
+        cache(
+            [] {
+              core::ElasticCacheOptions o;
+              o.node_capacity_bytes = 1 << 20;
+              o.ring.range = 1u << 13;
+              return o;
+            }(),
+            &provider, &clock),
+        adapter(&cache) {}
+
+  VirtualClock clock;
+  cloudsim::CloudProvider provider;
+  core::ElasticCache cache;
+  core::BackendResultCache adapter;
+};
+
+TEST(CompositeTest, CachedStagesReuseDerivedResults) {
+  CachedFixture f;
+  ShorelineServiceOptions sopts;
+  sopts.ctm.width = 24;
+  sopts.ctm.height = 24;
+  sopts.grid = Grid();
+  ShorelineService shoreline(sopts);
+  sfc::Linearizer lin(Grid());
+
+  CompositeService composite("coastal-report");
+  composite.AddStage(CachedStage(&shoreline, &f.adapter, &lin));
+
+  const sfc::GeoTemporalQuery q{12.0, 34.0, 100.0};
+  auto first = composite.Invoke(q, &f.clock);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->exec_time.seconds(), 10.0);  // service ran
+
+  auto second = composite.Invoke(q, &f.clock);
+  ASSERT_TRUE(second.ok());
+  EXPECT_LT(second->exec_time.seconds(), 1.0);  // cache hit
+  EXPECT_EQ(second->payload, first->payload);
+  EXPECT_EQ(shoreline.invocations(), 1u);
+  EXPECT_EQ(composite.stages()[0].hits(), 1u);
+  EXPECT_EQ(composite.stages()[0].misses(), 1u);
+}
+
+TEST(CompositeTest, StagesShareOneCooperativeCacheWithoutCollisions) {
+  // Two stages over the same spatial grid must not collide in a shared
+  // cache: give each stage its own time-bits-disjoint linearizer region by
+  // caching stage B under a shifted grid.  (The natural deployment gives
+  // each service its own cache namespace; here we just use two caches.)
+  CachedFixture shoreline_cache;
+  CachedFixture flood_cache;
+
+  ShorelineServiceOptions sopts;
+  sopts.ctm.width = 24;
+  sopts.ctm.height = 24;
+  sopts.grid = Grid();
+  ShorelineService shoreline(sopts);
+  InundationServiceOptions iopts;
+  iopts.ctm.width = 24;
+  iopts.ctm.height = 24;
+  iopts.grid = Grid();
+  InundationService flood(iopts);
+  sfc::Linearizer lin(Grid());
+
+  CompositeService composite("coastal-mashup");
+  composite.AddStage(
+      CachedStage(&shoreline, &shoreline_cache.adapter, &lin));
+  composite.AddStage(CachedStage(&flood, &flood_cache.adapter, &lin));
+
+  VirtualClock clock;
+  const sfc::GeoTemporalQuery q{40.0, -10.0, 200.0};
+  auto first = composite.Invoke(q, &clock);
+  ASSERT_TRUE(first.ok());
+  auto parts = BundleDecompose(first->payload);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 2u);
+  // Each part decodes under its own format.
+  EXPECT_TRUE(DecodeShoreline((*parts)[0]).ok());
+  EXPECT_TRUE(DecodeInundation((*parts)[1]).ok());
+
+  auto second = composite.Invoke(q, &clock);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->payload, first->payload);
+  EXPECT_EQ(shoreline.invocations(), 1u);
+  EXPECT_EQ(flood.invocations(), 1u);
+}
+
+TEST(CompositeTest, PartialReuseAcrossOverlappingComposites) {
+  // Composite A = {shoreline}; composite B = {shoreline, flood}.  Running
+  // A then B: B's shoreline stage hits the shared cache.
+  CachedFixture f;
+  ShorelineServiceOptions sopts;
+  sopts.ctm.width = 24;
+  sopts.ctm.height = 24;
+  sopts.grid = Grid();
+  ShorelineService shoreline(sopts);
+  InundationServiceOptions iopts;
+  iopts.ctm.width = 24;
+  iopts.ctm.height = 24;
+  iopts.grid = Grid();
+  InundationService flood(iopts);
+  sfc::Linearizer lin(Grid());
+
+  CompositeService a("a");
+  a.AddStage(CachedStage(&shoreline, &f.adapter, &lin));
+  const sfc::GeoTemporalQuery q{-120.0, 40.0, 50.0};
+  ASSERT_TRUE(a.Invoke(q, &f.clock).ok());
+  ASSERT_EQ(shoreline.invocations(), 1u);
+
+  CompositeService b("b");
+  b.AddStage(CachedStage(&shoreline, &f.adapter, &lin));
+  b.AddStage(CachedStage(&flood, nullptr, nullptr));
+  ASSERT_TRUE(b.Invoke(q, &f.clock).ok());
+  EXPECT_EQ(shoreline.invocations(), 1u);  // reused A's derived result
+  EXPECT_EQ(flood.invocations(), 1u);
+  EXPECT_EQ(b.stages()[0].hits(), 1u);
+}
+
+TEST(CompositeTest, ErrorInAnyStagePropagates) {
+  SyntheticService ok_svc("ok", Duration::Seconds(1), 8);
+  ShorelineService failing{ShorelineServiceOptions{}};  // strict grid
+  CompositeService composite("fragile");
+  composite.AddStage(CachedStage(&ok_svc, nullptr, nullptr));
+  composite.AddStage(CachedStage(&failing, nullptr, nullptr));
+  // Out-of-range query: stage 2 rejects; the composite reports it.
+  EXPECT_FALSE(composite.Invoke({999.0, 0.0, 0.0}, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace ecc::service

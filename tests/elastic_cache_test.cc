@@ -1,0 +1,315 @@
+// Tests for the elastic GBA cache: placement, overflow splits, migration
+// correctness, eviction, and contraction.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "cloudsim/provider.h"
+#include "core/elastic_cache.h"
+
+namespace ecc::core {
+namespace {
+
+constexpr std::size_t kValueBytes = 64;
+
+std::string Val(Key k) {
+  std::string v(kValueBytes, 'v');
+  v[0] = static_cast<char>('a' + (k % 26));
+  return v;
+}
+
+cloudsim::CloudOptions FastCloud() {
+  cloudsim::CloudOptions opts;
+  opts.boot_mean = Duration::Seconds(60);
+  opts.boot_stddev = Duration::Seconds(5);
+  opts.seed = 1;
+  return opts;
+}
+
+ElasticCacheOptions SmallElastic(std::size_t records_per_node,
+                                 std::uint64_t keyspace = 4096) {
+  ElasticCacheOptions opts;
+  opts.node_capacity_bytes =
+      records_per_node * RecordSize(0, std::size_t{kValueBytes});
+  opts.ring.range = keyspace;
+  opts.initial_nodes = 1;
+  opts.initial_buckets_per_node = 4;
+  return opts;
+}
+
+struct Fixture {
+  explicit Fixture(ElasticCacheOptions opts)
+      : provider(FastCloud(), &clock), cache(opts, &provider, &clock) {}
+  VirtualClock clock;
+  cloudsim::CloudProvider provider;
+  ElasticCache cache;
+};
+
+TEST(ElasticCacheTest, InitialTopology) {
+  Fixture f(SmallElastic(64));
+  EXPECT_EQ(f.cache.NodeCount(), 1u);
+  EXPECT_EQ(f.cache.ring().bucket_count(), 4u);
+  EXPECT_EQ(f.cache.TotalRecords(), 0u);
+  // Initial boots are setup, not split overhead.
+  EXPECT_EQ(f.cache.stats().node_allocations, 0u);
+}
+
+TEST(ElasticCacheTest, PutGetRoundTrip) {
+  Fixture f(SmallElastic(64));
+  ASSERT_TRUE(f.cache.Put(42, Val(42)).ok());
+  auto got = f.cache.Get(42);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Val(42));
+  EXPECT_EQ(f.cache.stats().hits, 1u);
+  EXPECT_EQ(f.cache.stats().puts, 1u);
+}
+
+TEST(ElasticCacheTest, MissIsNotFound) {
+  Fixture f(SmallElastic(64));
+  EXPECT_EQ(f.cache.Get(1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(f.cache.stats().misses, 1u);
+}
+
+TEST(ElasticCacheTest, OverflowAllocatesWhenNoPeerCanAbsorb) {
+  Fixture f(SmallElastic(32));
+  // Fill past one node's capacity: with a single node the first overflow
+  // must allocate (last resort).
+  for (Key k = 0; k < 40; ++k) {
+    ASSERT_TRUE(f.cache.Put(k * 100, Val(k)).ok()) << k;
+  }
+  EXPECT_GE(f.cache.NodeCount(), 2u);
+  EXPECT_GE(f.cache.stats().splits, 1u);
+  EXPECT_GE(f.cache.stats().node_allocations, 1u);
+  ASSERT_FALSE(f.cache.split_history().empty());
+  const SplitReport& first = f.cache.split_history().front();
+  EXPECT_TRUE(first.allocated_new_node);
+  EXPECT_GT(first.records_moved, 0u);
+  EXPECT_GT(first.alloc_time, Duration::Zero());
+  EXPECT_GT(first.move_time, Duration::Zero());
+}
+
+TEST(ElasticCacheTest, SplitAddsBucketPointingAtDestination) {
+  Fixture f(SmallElastic(32));
+  const std::size_t buckets_before = f.cache.ring().bucket_count();
+  for (Key k = 0; k < 40; ++k) {
+    ASSERT_TRUE(f.cache.Put(k * 100, Val(k)).ok());
+  }
+  EXPECT_GT(f.cache.ring().bucket_count(), buckets_before);
+  EXPECT_EQ(f.cache.ring().OwnerCount(), f.cache.NodeCount());
+}
+
+TEST(ElasticCacheTest, GreedyReusePrefersExistingNode) {
+  // Two nodes, one nearly empty: an overflow should migrate into the
+  // existing peer, not allocate.
+  ElasticCacheOptions opts = SmallElastic(32);
+  opts.initial_nodes = 2;
+  Fixture f(opts);
+  // Keys in [0, 2048) land on node arcs of node 0/1 alternately; fill only
+  // low arcs until one node overflows.
+  std::size_t allocated_before = f.cache.stats().node_allocations;
+  for (Key k = 0; k < 40; ++k) {
+    ASSERT_TRUE(f.cache.Put(k, Val(k)).ok());  // dense keys: one arc
+  }
+  EXPECT_GE(f.cache.stats().splits, 1u);
+  EXPECT_EQ(f.cache.stats().node_allocations, allocated_before);
+  EXPECT_EQ(f.cache.NodeCount(), 2u);
+}
+
+TEST(ElasticCacheTest, AllKeysReadableAfterManySplits) {
+  Fixture f(SmallElastic(32));
+  std::set<Key> inserted;
+  Rng rng(3);
+  for (int i = 0; i < 600; ++i) {
+    const Key k = rng.Uniform(4096);
+    if (inserted.count(k)) continue;
+    ASSERT_TRUE(f.cache.Put(k, Val(k)).ok()) << k;
+    inserted.insert(k);
+  }
+  EXPECT_GT(f.cache.NodeCount(), 4u);
+  EXPECT_EQ(f.cache.TotalRecords(), inserted.size());
+  for (Key k : inserted) {
+    auto got = f.cache.Get(k);
+    ASSERT_TRUE(got.ok()) << "lost key " << k;
+    ASSERT_EQ(*got, Val(k));
+  }
+}
+
+TEST(ElasticCacheTest, OwnerActuallyHoldsEveryKey) {
+  Fixture f(SmallElastic(32));
+  Rng rng(5);
+  std::set<Key> inserted;
+  for (int i = 0; i < 400; ++i) {
+    const Key k = rng.Uniform(4096);
+    if (!inserted.insert(k).second) continue;
+    ASSERT_TRUE(f.cache.Put(k, Val(k)).ok());
+  }
+  for (Key k : inserted) {
+    auto owner = f.cache.OwnerOf(k);
+    ASSERT_TRUE(owner.ok());
+    const CacheNode* node = f.cache.GetNode(*owner);
+    ASSERT_NE(node, nullptr);
+    EXPECT_TRUE(node->Contains(k)) << "key " << k;
+  }
+}
+
+TEST(ElasticCacheTest, NoNodeExceedsCapacityEver) {
+  Fixture f(SmallElastic(32));
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    (void)f.cache.Put(rng.Uniform(4096), Val(i));
+    for (const NodeSnapshot& snap : f.cache.Snapshot()) {
+      ASSERT_LE(snap.used_bytes, snap.capacity_bytes);
+    }
+  }
+}
+
+TEST(ElasticCacheTest, DuplicatePutIsIdempotent) {
+  Fixture f(SmallElastic(64));
+  ASSERT_TRUE(f.cache.Put(9, "first-version").ok());
+  ASSERT_TRUE(f.cache.Put(9, "second-version").ok());
+  EXPECT_EQ(f.cache.TotalRecords(), 1u);
+  EXPECT_EQ(*f.cache.Get(9), "first-version");
+}
+
+TEST(ElasticCacheTest, HugeRecordRejected) {
+  Fixture f(SmallElastic(32));
+  const Status s = f.cache.Put(1, std::string(1 << 20, 'x'));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(f.cache.stats().put_failures, 1u);
+}
+
+TEST(ElasticCacheTest, EvictKeysRemovesAcrossNodes) {
+  Fixture f(SmallElastic(32));
+  std::vector<Key> keys;
+  for (Key k = 0; k < 200; ++k) {
+    ASSERT_TRUE(f.cache.Put(k * 20, Val(k)).ok());
+    keys.push_back(k * 20);
+  }
+  ASSERT_GT(f.cache.NodeCount(), 1u);
+  std::vector<Key> doomed(keys.begin(), keys.begin() + 150);
+  doomed.push_back(4095);  // absent
+  EXPECT_EQ(f.cache.EvictKeys(doomed), 150u);
+  EXPECT_EQ(f.cache.TotalRecords(), 50u);
+  EXPECT_EQ(f.cache.stats().evictions, 150u);
+  for (Key k : doomed) EXPECT_FALSE(f.cache.Get(k).ok());
+}
+
+TEST(ElasticCacheTest, ContractionMergesUnderloadedNodes) {
+  Fixture f(SmallElastic(32));
+  std::vector<Key> keys;
+  for (Key k = 0; k < 200; ++k) {
+    ASSERT_TRUE(f.cache.Put(k * 20, Val(k)).ok());
+    keys.push_back(k * 20);
+  }
+  const std::size_t nodes_before = f.cache.NodeCount();
+  ASSERT_GT(nodes_before, 2u);
+  // Evict nearly everything, then contract repeatedly.
+  std::vector<Key> doomed(keys.begin(), keys.begin() + 190);
+  f.cache.EvictKeys(doomed);
+  std::size_t merges = 0;
+  while (f.cache.TryContract()) ++merges;
+  EXPECT_GT(merges, 0u);
+  EXPECT_LT(f.cache.NodeCount(), nodes_before);
+  EXPECT_EQ(f.cache.stats().node_removals, merges);
+  // Survivors remain readable.
+  for (std::size_t i = 190; i < keys.size(); ++i) {
+    EXPECT_TRUE(f.cache.Get(keys[i]).ok()) << keys[i];
+  }
+  EXPECT_EQ(f.cache.TotalRecords(), 10u);
+}
+
+TEST(ElasticCacheTest, ContractionReleasesInstances) {
+  Fixture f(SmallElastic(32));
+  for (Key k = 0; k < 200; ++k) {
+    ASSERT_TRUE(f.cache.Put(k * 20, Val(k)).ok());
+  }
+  std::vector<Key> all;
+  for (Key k = 0; k < 200; ++k) all.push_back(k * 20);
+  f.cache.EvictKeys(all);
+  const std::size_t live_before = f.provider.LiveCount();
+  ASSERT_TRUE(f.cache.TryContract());
+  EXPECT_EQ(f.provider.LiveCount(), live_before - 1);
+  EXPECT_GT(f.provider.stats().terminations, 0u);
+}
+
+TEST(ElasticCacheTest, ContractionRespectsMinNodes) {
+  ElasticCacheOptions opts = SmallElastic(32);
+  opts.min_nodes = 2;
+  Fixture f(opts);
+  for (Key k = 0; k < 200; ++k) {
+    ASSERT_TRUE(f.cache.Put(k * 20, Val(k)).ok());
+  }
+  std::vector<Key> all;
+  for (Key k = 0; k < 200; ++k) all.push_back(k * 20);
+  f.cache.EvictKeys(all);
+  while (f.cache.TryContract()) {
+  }
+  EXPECT_EQ(f.cache.NodeCount(), 2u);
+}
+
+TEST(ElasticCacheTest, ContractionRefusedWhenMergeWouldOverfill) {
+  // Two nodes both above the 65% churn threshold jointly: no merge.
+  ElasticCacheOptions opts = SmallElastic(32);
+  opts.initial_nodes = 2;
+  opts.merge_fill_threshold = 0.65;
+  Fixture f(opts);
+  // Load both nodes to ~50% (joint 100% > 65%).
+  Rng rng(11);
+  while (f.cache.TotalUsedBytes() <
+         f.cache.TotalCapacityBytes() * 50 / 100) {
+    (void)f.cache.Put(rng.Uniform(4096), Val(1));
+  }
+  if (f.cache.NodeCount() == 2) {
+    EXPECT_FALSE(f.cache.TryContract());
+  }
+}
+
+TEST(ElasticCacheTest, SplitOverheadDominatedByAllocation) {
+  // The Fig. 4 claim: when a split allocates, boot time >> data movement.
+  Fixture f(SmallElastic(32));
+  for (Key k = 0; k < 300; ++k) {
+    ASSERT_TRUE(f.cache.Put(k * 10, Val(k)).ok());
+  }
+  bool saw_allocation_split = false;
+  for (const SplitReport& r : f.cache.split_history()) {
+    if (!r.allocated_new_node) continue;
+    saw_allocation_split = true;
+    EXPECT_GT(r.alloc_time, r.move_time);
+  }
+  EXPECT_TRUE(saw_allocation_split);
+}
+
+TEST(ElasticCacheTest, ArcKeyRangesHandleWrap) {
+  Fixture f(SmallElastic(64, /*keyspace=*/1000));
+  // Non-wrapping arc.
+  const auto plain = f.cache.ArcKeyRanges({100, 300, false});
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_EQ(plain[0], (std::pair<Key, Key>{101, 300}));
+  // Wrapping arc (800, 100]: two intervals.
+  const auto wrap = f.cache.ArcKeyRanges({800, 100, true});
+  ASSERT_EQ(wrap.size(), 2u);
+  EXPECT_EQ(wrap[0], (std::pair<Key, Key>{801, 999}));
+  EXPECT_EQ(wrap[1], (std::pair<Key, Key>{0, 100}));
+  // Wrap arc starting at the last position has only the low interval.
+  const auto edge = f.cache.ArcKeyRanges({999, 100, true});
+  ASSERT_EQ(edge.size(), 1u);
+  EXPECT_EQ(edge[0], (std::pair<Key, Key>{0, 100}));
+}
+
+TEST(ElasticCacheTest, StatsTrackMigratedVolume) {
+  Fixture f(SmallElastic(32));
+  for (Key k = 0; k < 100; ++k) {
+    ASSERT_TRUE(f.cache.Put(k, Val(k)).ok());
+  }
+  const CacheStats& stats = f.cache.stats();
+  ASSERT_GT(stats.splits, 0u);
+  EXPECT_GT(stats.records_migrated, 0u);
+  EXPECT_EQ(stats.bytes_migrated,
+            stats.records_migrated * RecordSize(0, std::size_t{kValueBytes}));
+  EXPECT_GT(stats.total_split_overhead, Duration::Zero());
+  EXPECT_GE(stats.total_split_overhead, stats.total_migration_time);
+}
+
+}  // namespace
+}  // namespace ecc::core

@@ -1,0 +1,252 @@
+// Tests for the consistent-hash ring: lookup semantics (paper Fig. 1),
+// bounded disruption, arc accounting.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "hashring/consistent_hash.h"
+
+namespace ecc::hashring {
+namespace {
+
+RingOptions SmallRing() {
+  RingOptions opts;
+  opts.range = 1000;
+  return opts;
+}
+
+TEST(RingTest, EmptyRingRejectsLookup) {
+  ConsistentHashRing ring(SmallRing());
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.Lookup(5).ok());
+}
+
+TEST(RingTest, SingleBucketOwnsEverything) {
+  ConsistentHashRing ring(SmallRing());
+  auto t = ring.AddBucket(500, 1);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->arc.wraps);
+  EXPECT_EQ(t->arc.Length(1000), 1000u);
+  for (std::uint64_t k : {0u, 250u, 500u, 750u, 999u}) {
+    auto owner = ring.Lookup(k);
+    ASSERT_TRUE(owner.ok());
+    EXPECT_EQ(*owner, 1u);
+  }
+}
+
+TEST(RingTest, ClosestUpperBucketWins) {
+  // Paper Fig. 1 (top): keys go to the closest upper bucket.
+  ConsistentHashRing ring(SmallRing());
+  ASSERT_TRUE(ring.AddBucket(200, 1).ok());
+  ASSERT_TRUE(ring.AddBucket(600, 2).ok());
+  EXPECT_EQ(*ring.Lookup(100), 1u);
+  EXPECT_EQ(*ring.Lookup(200), 1u);   // boundary inclusive
+  EXPECT_EQ(*ring.Lookup(201), 2u);
+  EXPECT_EQ(*ring.Lookup(600), 2u);
+}
+
+TEST(RingTest, WrapsPastLastBucket) {
+  // k with h'(k) > b_p maps to b_1 (circular hash line).
+  ConsistentHashRing ring(SmallRing());
+  ASSERT_TRUE(ring.AddBucket(200, 1).ok());
+  ASSERT_TRUE(ring.AddBucket(600, 2).ok());
+  EXPECT_EQ(*ring.Lookup(601), 1u);
+  EXPECT_EQ(*ring.Lookup(999), 1u);
+}
+
+TEST(RingTest, AuxHashIsModRange) {
+  ConsistentHashRing ring(SmallRing());
+  EXPECT_EQ(ring.AuxHash(1234), 234u);
+  EXPECT_EQ(ring.AuxHash(999), 999u);
+}
+
+TEST(RingTest, MixedAuxHashScattersKeys) {
+  RingOptions opts;
+  opts.range = 1u << 16;
+  opts.mix_keys = true;
+  ConsistentHashRing ring(opts);
+  // Sequential keys should not map to sequential positions.
+  EXPECT_NE(ring.AuxHash(1) + 1, ring.AuxHash(2));
+}
+
+TEST(RingTest, AddBucketReportsTakeover) {
+  // Paper Fig. 1 (bottom): a new bucket takes a contiguous arc from its
+  // successor only.
+  ConsistentHashRing ring(SmallRing());
+  ASSERT_TRUE(ring.AddBucket(200, 1).ok());
+  ASSERT_TRUE(ring.AddBucket(600, 2).ok());
+  auto t = ring.AddBucket(400, 3);  // splits (200, 600]
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->previous_owner, 2u);
+  EXPECT_FALSE(t->arc.wraps);
+  EXPECT_EQ(t->arc.lo_exclusive, 200u);
+  EXPECT_EQ(t->arc.hi_inclusive, 400u);
+  // Keys in (200, 400] now belong to 3; (400, 600] still to 2.
+  EXPECT_EQ(*ring.Lookup(300), 3u);
+  EXPECT_EQ(*ring.Lookup(400), 3u);
+  EXPECT_EQ(*ring.Lookup(401), 2u);
+  EXPECT_EQ(*ring.Lookup(100), 1u);
+}
+
+TEST(RingTest, AddBucketBeforeFirstTakesFromFirst) {
+  ConsistentHashRing ring(SmallRing());
+  ASSERT_TRUE(ring.AddBucket(200, 1).ok());
+  ASSERT_TRUE(ring.AddBucket(600, 2).ok());
+  auto t = ring.AddBucket(100, 3);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->previous_owner, 1u);
+  EXPECT_TRUE(t->arc.wraps);  // (600, 100] crosses the origin
+  EXPECT_EQ(*ring.Lookup(50), 3u);
+  EXPECT_EQ(*ring.Lookup(700), 3u);
+  EXPECT_EQ(*ring.Lookup(150), 1u);
+}
+
+TEST(RingTest, DuplicatePointRejected) {
+  ConsistentHashRing ring(SmallRing());
+  ASSERT_TRUE(ring.AddBucket(500, 1).ok());
+  EXPECT_EQ(ring.AddBucket(500, 2).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(RingTest, PointBeyondRangeRejected) {
+  ConsistentHashRing ring(SmallRing());
+  EXPECT_EQ(ring.AddBucket(1000, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RingTest, RemoveBucketGivesArcToSuccessor) {
+  ConsistentHashRing ring(SmallRing());
+  ASSERT_TRUE(ring.AddBucket(200, 1).ok());
+  ASSERT_TRUE(ring.AddBucket(400, 2).ok());
+  ASSERT_TRUE(ring.AddBucket(600, 3).ok());
+  ASSERT_TRUE(ring.RemoveBucket(400).ok());
+  EXPECT_EQ(*ring.Lookup(300), 3u);
+  EXPECT_EQ(ring.RemoveBucket(400).code(), StatusCode::kNotFound);
+}
+
+TEST(RingTest, CannotRemoveLastBucket) {
+  ConsistentHashRing ring(SmallRing());
+  ASSERT_TRUE(ring.AddBucket(500, 1).ok());
+  EXPECT_EQ(ring.RemoveBucket(500).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RingTest, ReassignBucketChangesOwnerOnly) {
+  ConsistentHashRing ring(SmallRing());
+  ASSERT_TRUE(ring.AddBucket(200, 1).ok());
+  ASSERT_TRUE(ring.AddBucket(600, 2).ok());
+  ASSERT_TRUE(ring.ReassignBucket(200, 7).ok());
+  EXPECT_EQ(*ring.Lookup(100), 7u);
+  EXPECT_EQ(ring.bucket_count(), 2u);
+  EXPECT_EQ(ring.ReassignBucket(999, 7).code(), StatusCode::kNotFound);
+}
+
+TEST(RingTest, BucketsOwnedByFiltersInOrder) {
+  ConsistentHashRing ring(SmallRing());
+  ASSERT_TRUE(ring.AddBucket(100, 1).ok());
+  ASSERT_TRUE(ring.AddBucket(300, 2).ok());
+  ASSERT_TRUE(ring.AddBucket(500, 1).ok());
+  const auto owned = ring.BucketsOwnedBy(1);
+  ASSERT_EQ(owned.size(), 2u);
+  EXPECT_EQ(owned[0].point, 100u);
+  EXPECT_EQ(owned[1].point, 500u);
+  EXPECT_EQ(ring.OwnerCount(), 2u);
+}
+
+TEST(RingTest, ArcFractionsSumToOne) {
+  ConsistentHashRing ring(SmallRing());
+  Rng rng(7);
+  std::uint64_t owner = 0;
+  for (int i = 0; i < 20; ++i) {
+    while (!ring.AddBucket(rng.Uniform(1000), owner++).ok()) {
+    }
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < ring.bucket_count(); ++i) {
+    total += ring.ArcFraction(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ArcTest, ContainsAndLength) {
+  const Arc plain{100, 300, false};
+  EXPECT_EQ(plain.Length(1000), 200u);
+  EXPECT_FALSE(plain.Contains(100, 1000));  // lo exclusive
+  EXPECT_TRUE(plain.Contains(101, 1000));
+  EXPECT_TRUE(plain.Contains(300, 1000));   // hi inclusive
+  EXPECT_FALSE(plain.Contains(301, 1000));
+
+  const Arc wrap{800, 100, true};
+  EXPECT_EQ(wrap.Length(1000), 300u);
+  EXPECT_TRUE(wrap.Contains(900, 1000));
+  EXPECT_TRUE(wrap.Contains(0, 1000));
+  EXPECT_TRUE(wrap.Contains(100, 1000));
+  EXPECT_FALSE(wrap.Contains(101, 1000));
+  EXPECT_FALSE(wrap.Contains(800, 1000));
+}
+
+// --- Disruption property (the reason consistent hashing is used) ------------
+
+struct DisruptionParams {
+  std::uint64_t seed;
+  std::size_t initial_buckets;
+  std::uint64_t keys;
+};
+
+class DisruptionTest : public ::testing::TestWithParam<DisruptionParams> {};
+
+TEST_P(DisruptionTest, AddingBucketMovesOnlyItsArc) {
+  const auto p = GetParam();
+  RingOptions opts;
+  opts.range = 1u << 20;
+  ConsistentHashRing ring(opts);
+  Rng rng(p.seed);
+  for (std::size_t i = 0; i < p.initial_buckets; ++i) {
+    while (!ring.AddBucket(rng.Uniform(opts.range), i).ok()) {
+    }
+  }
+
+  // Record the assignment of every key before the new bucket.
+  std::map<std::uint64_t, Owner> before;
+  for (std::uint64_t i = 0; i < p.keys; ++i) {
+    const std::uint64_t k = rng.Uniform(opts.range);
+    before[k] = *ring.Lookup(k);
+  }
+
+  std::uint64_t point = rng.Uniform(opts.range);
+  while (ring.HasBucketAt(point)) point = rng.Uniform(opts.range);
+  auto takeover = ring.AddBucket(point, 9999);
+  ASSERT_TRUE(takeover.ok());
+
+  std::uint64_t moved = 0;
+  for (const auto& [k, owner] : before) {
+    const Owner now = *ring.Lookup(k);
+    if (now != owner) {
+      ++moved;
+      // Every moved key must (a) land on the new bucket and (b) lie inside
+      // the arc the takeover reported.
+      ASSERT_EQ(now, 9999u);
+      ASSERT_EQ(owner, takeover->previous_owner);
+      ASSERT_TRUE(takeover->arc.Contains(ring.AuxHash(k), opts.range));
+    }
+  }
+  // Expected disruption fraction = arc length / range.
+  const double expect = static_cast<double>(before.size()) *
+                        static_cast<double>(takeover->arc.Length(opts.range)) /
+                        static_cast<double>(opts.range);
+  EXPECT_LE(static_cast<double>(moved), expect * 2.0 + 16.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rings, DisruptionTest,
+    ::testing::Values(DisruptionParams{1, 4, 4000},
+                      DisruptionParams{2, 16, 4000},
+                      DisruptionParams{3, 64, 4000},
+                      DisruptionParams{4, 256, 4000}),
+    [](const ::testing::TestParamInfo<DisruptionParams>& param_info) {
+      return "buckets" + std::to_string(param_info.param.initial_buckets);
+    });
+
+}  // namespace
+}  // namespace ecc::hashring

@@ -1,0 +1,210 @@
+// End-to-end integration tests: the full stack (shoreline service ->
+// coordinator -> elastic cache -> simulated cloud) on scaled-down versions
+// of the paper's experiments.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cloudsim/provider.h"
+#include "core/coordinator.h"
+#include "core/elastic_cache.h"
+#include "core/static_cache.h"
+#include "service/service.h"
+#include "service/shoreline.h"
+#include "workload/experiment.h"
+#include "workload/generator.h"
+
+namespace ecc {
+namespace {
+
+// 2^(2*6+2) = 16384 keys.
+sfc::LinearizerOptions Grid() {
+  sfc::LinearizerOptions opts;
+  opts.spatial_bits = 6;
+  opts.time_bits = 2;
+  return opts;
+}
+
+constexpr std::uint64_t kKeyspace = 1u << 14;
+
+service::ShorelineServiceOptions FastShoreline() {
+  service::ShorelineServiceOptions opts;
+  opts.ctm.width = 24;
+  opts.ctm.height = 24;
+  opts.grid = Grid();
+  return opts;
+}
+
+core::ElasticCacheOptions Elastic(std::size_t records_per_node) {
+  core::ElasticCacheOptions opts;
+  // Shoreline blobs vary; budget generously per record.
+  opts.node_capacity_bytes =
+      records_per_node * core::RecordSize(0, std::size_t{1024});
+  opts.ring.range = kKeyspace;
+  return opts;
+}
+
+struct ElasticStack {
+  explicit ElasticStack(core::ElasticCacheOptions eopts,
+                        core::CoordinatorOptions copts = {},
+                        std::uint64_t seed = 1)
+      : provider(
+            [&] {
+              cloudsim::CloudOptions o;
+              o.seed = seed;
+              return o;
+            }(),
+            &clock),
+        cache(eopts, &provider, &clock),
+        service(FastShoreline()),
+        linearizer(Grid()),
+        coordinator(copts, &cache, &service, &linearizer, &clock) {}
+
+  VirtualClock clock;
+  cloudsim::CloudProvider provider;
+  core::ElasticCache cache;
+  service::ShorelineService service;
+  sfc::Linearizer linearizer;
+  core::Coordinator coordinator;
+};
+
+TEST(IntegrationTest, CachedResultsBytewiseMatchServiceOutput) {
+  ElasticStack stack(Elastic(256));
+  workload::UniformKeyGenerator keys(kKeyspace, 11);
+  for (int i = 0; i < 50; ++i) {
+    const core::Key k = keys.Next();
+    (void)stack.coordinator.ProcessKey(k);
+    // Recompute directly and compare against the cached copy.
+    auto expect = stack.service.Invoke(stack.linearizer.CellCenter(k),
+                                       nullptr);
+    ASSERT_TRUE(expect.ok());
+    auto cached = stack.cache.Get(k);
+    ASSERT_TRUE(cached.ok());
+    ASSERT_EQ(*cached, expect->payload) << "key " << k;
+  }
+}
+
+TEST(IntegrationTest, ElasticBeatsStaticOnSameWorkload) {
+  // Mini Fig. 3: same query stream, GBA vs static-2-LRU; GBA must win on
+  // hit rate once the statics saturate.
+  const std::size_t records_per_node = 256;  // static-2 covers ~3% of keys
+  const int steps = 3000;
+
+  // Elastic run.
+  ElasticStack elastic(Elastic(records_per_node));
+  workload::UniformKeyGenerator keys_a(kKeyspace, 42);
+  for (int i = 0; i < steps; ++i) {
+    (void)elastic.coordinator.ProcessKey(keys_a.Next());
+    (void)elastic.coordinator.EndTimeStep();
+  }
+
+  // Static run, identical stream.
+  VirtualClock static_clock;
+  core::StaticCacheOptions sopts;
+  sopts.nodes = 2;
+  sopts.node_capacity_bytes =
+      records_per_node * core::RecordSize(0, std::size_t{1024});
+  sopts.ring.range = kKeyspace;
+  core::StaticCache static_cache(sopts, &static_clock);
+  service::ShorelineService static_service(FastShoreline());
+  sfc::Linearizer lin(Grid());
+  core::Coordinator static_coord({}, &static_cache, &static_service, &lin,
+                                 &static_clock);
+  workload::UniformKeyGenerator keys_b(kKeyspace, 42);
+  for (int i = 0; i < steps; ++i) {
+    (void)static_coord.ProcessKey(keys_b.Next());
+    (void)static_coord.EndTimeStep();
+  }
+
+  const double elastic_hits =
+      static_cast<double>(elastic.coordinator.total_hits());
+  const double static_hits =
+      static_cast<double>(static_coord.total_hits());
+  EXPECT_GT(elastic_hits, static_hits * 1.3);
+  EXPECT_GT(elastic.cache.NodeCount(), 2u);
+}
+
+TEST(IntegrationTest, QueryIntensivePeriodGrowsThenContracts) {
+  // Mini Fig. 5/6: phased rate with a finite window; the fleet must grow
+  // during the burst and relax afterwards.
+  core::CoordinatorOptions copts;
+  copts.window.slices = 30;
+  copts.window.alpha = 0.99;
+  copts.contraction_epsilon = 5;
+  ElasticStack stack(Elastic(128), copts);
+  workload::UniformKeyGenerator keys(kKeyspace / 4, 7);
+  workload::PiecewiseRate rate({{1, 10}, {20, 10}, {21, 80}, {60, 80},
+                                {80, 10}},
+                               /*interpolate=*/true);
+
+  std::size_t peak_nodes = 1;
+  for (int step = 1; step <= 200; ++step) {
+    const std::size_t r = rate.RateAt(step);
+    for (std::size_t j = 0; j < r; ++j) {
+      (void)stack.coordinator.ProcessKey(keys.Next());
+    }
+    (void)stack.coordinator.EndTimeStep();
+    peak_nodes = std::max(peak_nodes, stack.cache.NodeCount());
+  }
+  EXPECT_GT(peak_nodes, 2u);                         // grew under load
+  EXPECT_LT(stack.cache.NodeCount(), peak_nodes);    // relaxed afterwards
+  EXPECT_GT(stack.cache.stats().evictions, 0u);
+  EXPECT_GT(stack.cache.stats().node_removals, 0u);
+}
+
+TEST(IntegrationTest, RunsAreDeterministic) {
+  const auto run = [] {
+    core::CoordinatorOptions copts;
+    copts.window.slices = 20;
+    ElasticStack stack(Elastic(128), copts, /*seed=*/99);
+    workload::UniformKeyGenerator keys(kKeyspace, 5);
+    workload::ConstantRate rate(20);
+    workload::ExperimentOptions opts;
+    opts.time_steps = 60;
+    opts.observe_every = 10;
+    workload::ExperimentDriver driver(opts, &stack.coordinator, &keys,
+                                      &rate, &stack.provider, &stack.clock);
+    return driver.Run();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.summary.total_hits, b.summary.total_hits);
+  EXPECT_EQ(a.summary.final_nodes, b.summary.final_nodes);
+  EXPECT_EQ(a.summary.evictions, b.summary.evictions);
+  EXPECT_EQ(a.series.ToCsv(), b.series.ToCsv());
+}
+
+TEST(IntegrationTest, RecordConservationUnderChurn) {
+  // Inserted = cached + evicted at all times (no records lost or duplicated
+  // by migration).
+  core::CoordinatorOptions copts;
+  copts.window.slices = 10;
+  copts.contraction_epsilon = 3;
+  ElasticStack stack(Elastic(64), copts);
+  workload::UniformKeyGenerator keys(2048, 13);
+  std::uint64_t misses = 0;
+  for (int step = 1; step <= 150; ++step) {
+    for (int j = 0; j < 10; ++j) {
+      if (!stack.coordinator.ProcessKey(keys.Next()).hit) ++misses;
+    }
+    (void)stack.coordinator.EndTimeStep();
+    const std::uint64_t cached = stack.cache.TotalRecords();
+    const std::uint64_t evicted = stack.cache.stats().evictions;
+    ASSERT_EQ(cached + evicted, misses)
+        << "conservation violated at step " << step;
+  }
+}
+
+TEST(IntegrationTest, CloudBillGrowsWithFleet) {
+  ElasticStack stack(Elastic(64));
+  workload::UniformKeyGenerator keys(kKeyspace, 3);
+  const double bill_start = stack.provider.AccruedCostDollars();
+  for (int i = 0; i < 800; ++i) {
+    (void)stack.coordinator.ProcessKey(keys.Next());
+  }
+  EXPECT_GT(stack.cache.NodeCount(), 2u);
+  EXPECT_GT(stack.provider.AccruedCostDollars(), bill_start);
+}
+
+}  // namespace
+}  // namespace ecc

@@ -1,0 +1,136 @@
+// Tests for the inundation-mapping service and its flood-mask encoding.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "service/inundation.h"
+
+namespace ecc::service {
+namespace {
+
+TEST(InundationTest, RunsCoverTheWholeRaster) {
+  const auto ctm = GenerateCtm(5);
+  const InundationMap map = ComputeInundation(ctm, 0.0f);
+  const std::uint64_t covered =
+      std::accumulate(map.runs.begin(), map.runs.end(), std::uint64_t{0});
+  EXPECT_EQ(covered, static_cast<std::uint64_t>(ctm.width()) * ctm.height());
+  EXPECT_EQ(map.width, ctm.width());
+  EXPECT_EQ(map.height, ctm.height());
+}
+
+TEST(InundationTest, SubmergedFractionMatchesCtm) {
+  const auto ctm = GenerateCtm(7);
+  for (float level : {-3.0f, 0.0f, 3.0f}) {
+    const InundationMap map = ComputeInundation(ctm, level);
+    EXPECT_DOUBLE_EQ(map.submerged_fraction, ctm.SubmergedFraction(level))
+        << "level " << level;
+  }
+}
+
+TEST(InundationTest, RleAlternatesStartingDry) {
+  // Sum of even-index (dry) runs plus odd-index (wet) runs must equal the
+  // respective cell populations.
+  const auto ctm = GenerateCtm(9);
+  const float level = 0.0f;
+  const InundationMap map = ComputeInundation(ctm, level);
+  std::uint64_t dry = 0, wet = 0;
+  for (std::size_t i = 0; i < map.runs.size(); ++i) {
+    (i % 2 == 0 ? dry : wet) += map.runs[i];
+  }
+  const auto total = static_cast<std::uint64_t>(ctm.width()) * ctm.height();
+  EXPECT_EQ(dry + wet, total);
+  EXPECT_NEAR(static_cast<double>(wet) / total, map.submerged_fraction,
+              1e-12);
+}
+
+TEST(InundationTest, DepthsAreConsistent) {
+  const auto ctm = GenerateCtm(11);
+  const InundationMap map = ComputeInundation(ctm, 1.0f);
+  EXPECT_GT(map.max_depth, 0.0f);
+  EXPECT_GT(map.mean_depth, 0.0f);
+  EXPECT_LE(map.mean_depth, map.max_depth);
+  EXPECT_NEAR(map.max_depth, 1.0f - ctm.MinElevation(), 1e-4f);
+}
+
+TEST(InundationTest, FullyDryMap) {
+  const auto ctm = GenerateCtm(13);
+  const InundationMap map =
+      ComputeInundation(ctm, ctm.MinElevation() - 1.0f);
+  EXPECT_DOUBLE_EQ(map.submerged_fraction, 0.0);
+  EXPECT_EQ(map.mean_depth, 0.0f);
+  ASSERT_EQ(map.runs.size(), 1u);  // one all-dry run
+}
+
+TEST(InundationTest, EncodeDecodeRoundTrip) {
+  const auto ctm = GenerateCtm(15);
+  const InundationMap map = ComputeInundation(ctm, 0.5f);
+  const std::string blob = EncodeInundation(map, 1 << 20);  // no truncation
+  auto decoded = DecodeInundation(blob);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->runs, map.runs);
+  EXPECT_FLOAT_EQ(decoded->water_level, map.water_level);
+  EXPECT_FLOAT_EQ(decoded->max_depth, map.max_depth);
+  EXPECT_NEAR(decoded->submerged_fraction, map.submerged_fraction, 1e-12);
+}
+
+TEST(InundationTest, EncodeRespectsBudgetKeepingStats) {
+  const auto ctm = GenerateCtm(17);
+  const InundationMap map = ComputeInundation(ctm, 0.0f);
+  const std::string blob = EncodeInundation(map, 128);
+  EXPECT_LE(blob.size(), 128u);
+  auto decoded = DecodeInundation(blob);
+  ASSERT_TRUE(decoded.ok());
+  // Mask may be truncated, but the statistics header survives.
+  EXPECT_NEAR(decoded->submerged_fraction, map.submerged_fraction, 1e-12);
+  EXPECT_LE(decoded->runs.size(), map.runs.size());
+}
+
+TEST(InundationTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeInundation("nope").ok());
+  EXPECT_FALSE(DecodeInundation("").ok());
+}
+
+TEST(InundationServiceTest, DeterministicAndCosted) {
+  InundationServiceOptions opts;
+  opts.ctm.width = 24;
+  opts.ctm.height = 24;
+  opts.grid.spatial_bits = 5;
+  InundationService svc(opts);
+  VirtualClock clock;
+  auto a = svc.Invoke({10.0, 20.0, 30.0}, &clock);
+  ASSERT_TRUE(a.ok());
+  EXPECT_GT(clock.now().seconds(), 8.0);   // ~17 s +- jitter
+  EXPECT_LT(clock.now().seconds(), 26.0);
+  auto b = svc.Invoke({10.0, 20.0, 30.0}, nullptr);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->payload, b->payload);
+  EXPECT_LE(a->payload.size(), 1024u);
+  EXPECT_EQ(svc.invocations(), 2u);
+}
+
+TEST(InundationServiceTest, SurgeRaisesFlooding) {
+  InundationServiceOptions calm;
+  calm.ctm.width = 24;
+  calm.ctm.height = 24;
+  InundationServiceOptions stormy = calm;
+  stormy.surge_m = 4.0;
+  InundationService calm_svc(calm);
+  InundationService stormy_svc(stormy);
+  const sfc::GeoTemporalQuery q{15.0, -30.0, 80.0};
+  auto a = calm_svc.Invoke(q, nullptr);
+  auto b = stormy_svc.Invoke(q, nullptr);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto flood_a = DecodeInundation(a->payload);
+  auto flood_b = DecodeInundation(b->payload);
+  ASSERT_TRUE(flood_a.ok() && flood_b.ok());
+  EXPECT_GT(flood_b->submerged_fraction, flood_a->submerged_fraction);
+  EXPECT_GT(flood_b->max_depth, flood_a->max_depth);
+}
+
+TEST(InundationServiceTest, RejectsOutOfRange) {
+  InundationService svc{InundationServiceOptions{}};
+  EXPECT_FALSE(svc.Invoke({999.0, 0.0, 0.0}, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace ecc::service

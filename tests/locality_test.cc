@@ -1,0 +1,74 @@
+// Tests for SFC locality metrics — the quantified justification for the
+// Hilbert default in the B²-Tree keying.
+#include <gtest/gtest.h>
+
+#include "sfc/locality.h"
+
+namespace ecc::sfc {
+namespace {
+
+TEST(LocalityTest, NeighborStretchIsComparableAcrossCurves) {
+  // Neither curve dominates on pointwise neighbor distance (a classical
+  // result — Hilbert's strength is clustering, not worst-case jumps);
+  // sanity-check both metrics are in the same ballpark and nonzero.
+  const unsigned order = 6;
+  const LocalityStats hilbert =
+      MeasureNeighborStretch(CurveKind::kHilbert, order);
+  const LocalityStats morton =
+      MeasureNeighborStretch(CurveKind::kMorton, order);
+  EXPECT_GT(hilbert.mean_neighbor_stretch, 1.0);
+  EXPECT_GT(morton.mean_neighbor_stretch, 1.0);
+  EXPECT_LT(hilbert.mean_neighbor_stretch,
+            4.0 * morton.mean_neighbor_stretch);
+  EXPECT_LT(morton.mean_neighbor_stretch,
+            4.0 * hilbert.mean_neighbor_stretch);
+}
+
+TEST(LocalityTest, StretchScalesWithOrder) {
+  const LocalityStats small =
+      MeasureNeighborStretch(CurveKind::kHilbert, 4);
+  const LocalityStats large =
+      MeasureNeighborStretch(CurveKind::kHilbert, 8);
+  EXPECT_GT(large.mean_neighbor_stretch, small.mean_neighbor_stretch);
+}
+
+TEST(LocalityTest, HilbertNeedsFewerClustersPerWindow) {
+  // Moon et al.: Hilbert covers a region with fewer contiguous key runs
+  // than Z-order — each run is one leaf-level sweep for migration or one
+  // range probe for a region query.  This is why the B²-Tree keying
+  // defaults to Hilbert.
+  for (unsigned window : {4u, 8u, 16u}) {
+    const double hilbert =
+        MeasureWindowClusters(CurveKind::kHilbert, 8, window, 1);
+    const double morton =
+        MeasureWindowClusters(CurveKind::kMorton, 8, window, 1);
+    EXPECT_LT(hilbert, morton) << "window " << window;
+    EXPECT_GE(hilbert, 1.0);
+  }
+}
+
+TEST(LocalityTest, WindowSpanRatioIsBoundedBelowByOne) {
+  const double hilbert =
+      MeasureWindowSpanRatio(CurveKind::kHilbert, 8, 8, 1);
+  const double morton =
+      MeasureWindowSpanRatio(CurveKind::kMorton, 8, 8, 1);
+  EXPECT_GE(hilbert, 1.0);
+  EXPECT_GE(morton, 1.0);
+}
+
+TEST(LocalityTest, FullGridWindowIsPerfectlyContiguous) {
+  // The window equal to the whole grid covers the whole key range: ratio
+  // = 2^(2*order) / 2^(2*order) = 1 for any bijective curve.
+  for (CurveKind curve : {CurveKind::kHilbert, CurveKind::kMorton}) {
+    const double ratio = MeasureWindowSpanRatio(curve, 5, 1u << 5, 2, 4);
+    EXPECT_DOUBLE_EQ(ratio, 1.0);
+  }
+}
+
+TEST(LocalityTest, SingleCellWindowIsTrivial) {
+  EXPECT_DOUBLE_EQ(MeasureWindowSpanRatio(CurveKind::kHilbert, 6, 1, 3),
+                   1.0);
+}
+
+}  // namespace
+}  // namespace ecc::sfc

@@ -1,0 +1,169 @@
+// Concurrency tests: multiple client threads over one elastic cache via
+// LockedBackend must preserve every sequential invariant.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloudsim/provider.h"
+#include "core/elastic_cache.h"
+#include "core/locked_backend.h"
+
+namespace ecc::core {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t records_per_node)
+      : provider(
+            [] {
+              cloudsim::CloudOptions o;
+              o.boot_mean = Duration::Seconds(40);
+              o.seed = 3;
+              return o;
+            }(),
+            &clock),
+        cache(
+            [&] {
+              ElasticCacheOptions o;
+              o.node_capacity_bytes =
+                  records_per_node * RecordSize(0, std::size_t{100});
+              o.ring.range = 1u << 16;
+              return o;
+            }(),
+            &provider, &clock),
+        locked(&cache) {}
+
+  VirtualClock clock;
+  cloudsim::CloudProvider provider;
+  ElasticCache cache;
+  LockedBackend locked;
+};
+
+TEST(LockedBackendTest, ForwardsSequentialSemantics) {
+  Fixture f(256);
+  EXPECT_EQ(f.locked.Name(), "gba-elastic+locked");
+  ASSERT_TRUE(f.locked.Put(5, "value").ok());
+  auto got = f.locked.Get(5);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "value");
+  EXPECT_EQ(f.locked.TotalRecords(), 1u);
+  EXPECT_EQ(f.locked.NodeCount(), f.cache.NodeCount());
+  EXPECT_EQ(f.locked.EvictKeys({5}), 1u);
+  EXPECT_FALSE(f.locked.Get(5).ok());
+  EXPECT_FALSE(f.locked.TryContract());  // single node
+  EXPECT_EQ(f.locked.stats().puts, 1u);
+}
+
+TEST(LockedBackendTest, ParallelWritersNeverLoseRecords) {
+  Fixture f(128);  // small nodes: splits happen under contention
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 400;
+  std::vector<std::thread> threads;
+  std::atomic<int> put_failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&f, &put_failures, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Disjoint key ranges per thread: every put is a fresh record.
+        const Key k = static_cast<Key>(t) * kPerThread + i;
+        if (!f.locked.Put(k, std::string(100, 'v')).ok()) ++put_failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(put_failures.load(), 0);
+  EXPECT_EQ(f.cache.TotalRecords(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  // Every key is where the ring says it is.
+  for (Key k = 0; k < kThreads * kPerThread; ++k) {
+    auto owner = f.cache.OwnerOf(k);
+    ASSERT_TRUE(owner.ok());
+    ASSERT_TRUE(f.cache.GetNode(*owner)->Contains(k)) << k;
+  }
+  // Capacity invariant held throughout.
+  for (const NodeSnapshot& snap : f.cache.Snapshot()) {
+    EXPECT_LE(snap.used_bytes, snap.capacity_bytes);
+  }
+}
+
+TEST(LockedBackendTest, MixedReadersAndWriters) {
+  Fixture f(512);
+  // Preload.
+  for (Key k = 0; k < 500; ++k) {
+    ASSERT_TRUE(f.locked.Put(k * 100, std::string(100, 'p')).ok());
+  }
+  std::atomic<bool> corrupted{false};
+  std::atomic<int> hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&f, &corrupted, &hits] {
+      Rng rng(1234);
+      for (int i = 0; i < 2000; ++i) {
+        const Key k = rng.Uniform(500) * 100;
+        auto got = f.locked.Get(k);
+        if (got.ok()) {
+          ++hits;
+          if (got->size() != 100) corrupted = true;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&f] {
+    for (Key k = 500; k < 700; ++k) {
+      (void)f.locked.Put(k * 100 + 1, std::string(100, 'w'));
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(corrupted.load());
+  EXPECT_GT(hits.load(), 0);
+  EXPECT_EQ(f.cache.TotalRecords(), 700u);
+}
+
+TEST(LockedBackendTest, GetOrComputeFillsOnceUnderContention) {
+  Fixture f(512);
+  std::atomic<int> computations{0};
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&f, &computations] {
+      for (Key k = 0; k < 50; ++k) {
+        auto value = f.locked.GetOrCompute(k, [&computations, k] {
+          ++computations;
+          return StatusOr<std::string>("derived-" + std::to_string(k));
+        });
+        ASSERT_TRUE(value.ok());
+        ASSERT_EQ(*value, "derived-" + std::to_string(k));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Thundering-herd safety: each key computed exactly once.
+  EXPECT_EQ(computations.load(), 50);
+  EXPECT_EQ(f.cache.TotalRecords(), 50u);
+}
+
+TEST(LockedBackendTest, ConcurrentEvictAndPutConserveRecords) {
+  Fixture f(256);
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> puts_ok{0};
+  threads.emplace_back([&f, &puts_ok] {
+    for (Key k = 0; k < 1000; ++k) {
+      if (f.locked.Put(k, std::string(100, 'a')).ok()) ++puts_ok;
+    }
+  });
+  std::atomic<std::uint64_t> evicted{0};
+  threads.emplace_back([&f, &evicted] {
+    for (int round = 0; round < 50; ++round) {
+      std::vector<Key> doomed;
+      for (Key k = 0; k < 1000; k += 7) doomed.push_back(k);
+      evicted += f.locked.EvictKeys(doomed);
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(f.cache.TotalRecords() + evicted.load(), puts_ok.load());
+}
+
+}  // namespace
+}  // namespace ecc::core

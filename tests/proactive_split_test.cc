@@ -1,0 +1,160 @@
+// Tests for the asynchronous-allocation extension: proactive background
+// splits (paper §VI) must keep the insert path free of boot/migration
+// stalls while preserving every cache invariant.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "cloudsim/provider.h"
+#include "core/elastic_cache.h"
+
+namespace ecc::core {
+namespace {
+
+constexpr std::size_t kValueBytes = 64;
+
+std::string Val(Key k) {
+  std::string v(kValueBytes, 'v');
+  v[0] = static_cast<char>('a' + (k % 26));
+  return v;
+}
+
+struct Fixture {
+  explicit Fixture(double proactive_fill, std::size_t records_per_node = 32)
+      : provider(
+            [] {
+              cloudsim::CloudOptions o;
+              o.boot_mean = Duration::Seconds(60);
+              o.boot_min = Duration::Seconds(30);
+              o.seed = 2;
+              return o;
+            }(),
+            &clock),
+        cache(
+            [&] {
+              ElasticCacheOptions o;
+              o.node_capacity_bytes =
+                  records_per_node * RecordSize(0, std::size_t{kValueBytes});
+              o.ring.range = 4096;
+              o.proactive_split_fill = proactive_fill;
+              return o;
+            }(),
+            &provider, &clock) {}
+
+  VirtualClock clock;
+  cloudsim::CloudProvider provider;
+  ElasticCache cache;
+};
+
+/// Insert keys while the clock occasionally idles forward (a trickle of
+/// real time between queries, letting background boots finish); returns
+/// the worst single-Put latency observed.
+Duration DriveInserts(Fixture& f, std::size_t count,
+                      Duration idle_between = Duration::Seconds(2)) {
+  Duration worst = Duration::Zero();
+  Rng rng(5);
+  std::set<Key> used;
+  for (std::size_t i = 0; i < count; ++i) {
+    Key k = rng.Uniform(4096);
+    while (used.count(k)) k = (k + 1) % 4096;
+    used.insert(k);
+    const TimePoint before = f.clock.now();
+    EXPECT_TRUE(f.cache.Put(k, Val(k)).ok());
+    worst = std::max(worst, f.clock.now() - before);
+    f.clock.Advance(idle_between);
+  }
+  return worst;
+}
+
+TEST(ProactiveSplitTest, ReactiveBaselineStallsOnBoot) {
+  Fixture f(/*proactive_fill=*/0.0);
+  const Duration worst = DriveInserts(f, 120);
+  // At least one insert blocked on a cold boot (>= boot_min).
+  EXPECT_GE(worst, Duration::Seconds(30));
+  EXPECT_GT(f.cache.stats().splits, 0u);
+  EXPECT_EQ(f.cache.stats().proactive_splits, 0u);
+}
+
+TEST(ProactiveSplitTest, ProactiveKeepsInsertLatencyFlat) {
+  // Headroom rule of thumb: (1 - fill) * capacity inserts must outlast one
+  // boot.  128-record nodes at fill 0.6 leave ~51 inserts (~102 s of
+  // traffic) against a ~60 s boot.
+  Fixture f(/*proactive_fill=*/0.6, /*records_per_node=*/128);
+  const Duration worst = DriveInserts(f, 400);
+  // No insert ever waits on a boot or a synchronous sweep.
+  EXPECT_LT(worst, Duration::Seconds(1)) << worst.ToString();
+  EXPECT_GT(f.cache.stats().proactive_splits, 0u);
+  // The fleet still grew to cover the data.
+  EXPECT_GT(f.cache.NodeCount(), 1u);
+}
+
+TEST(ProactiveSplitTest, SplitOverheadInvisibleToQueries) {
+  Fixture f(0.6, /*records_per_node=*/128);
+  (void)DriveInserts(f, 400);
+  const CacheStats& stats = f.cache.stats();
+  ASSERT_GT(stats.proactive_splits, 0u);
+  // Background splits charge (nearly) nothing to the measured overhead.
+  const double per_split =
+      stats.total_split_overhead.seconds() /
+      static_cast<double>(stats.splits);
+  EXPECT_LT(per_split, 1.0);
+}
+
+TEST(ProactiveSplitTest, DefersUntilWarmInstanceReady) {
+  Fixture f(0.75);
+  // Fill just past the threshold without idle time: the first crossing
+  // prewarms but cannot split yet (nothing ready, no peer to absorb).
+  Rng rng(9);
+  std::set<Key> used;
+  for (std::size_t i = 0; i < 25; ++i) {  // 25/32 > 0.75 by the end
+    Key k = rng.Uniform(4096);
+    while (used.count(k)) k = (k + 1) % 4096;
+    used.insert(k);
+    ASSERT_TRUE(f.cache.Put(k, Val(k)).ok());
+  }
+  EXPECT_EQ(f.cache.stats().proactive_splits, 0u);
+  EXPECT_GE(f.provider.WarmPoolCount(), 1u);  // boot kicked off
+  EXPECT_EQ(f.cache.NodeCount(), 1u);
+
+  // Let the background boot complete; the next insert triggers the split.
+  f.clock.Advance(Duration::Minutes(3));
+  Key k = rng.Uniform(4096);
+  while (used.count(k)) k = (k + 1) % 4096;
+  const TimePoint before = f.clock.now();
+  ASSERT_TRUE(f.cache.Put(k, Val(k)).ok());
+  EXPECT_LT((f.clock.now() - before).seconds(), 1.0);
+  EXPECT_EQ(f.cache.stats().proactive_splits, 1u);
+  EXPECT_EQ(f.cache.NodeCount(), 2u);
+}
+
+TEST(ProactiveSplitTest, AllRecordsRemainReadable) {
+  Fixture f(0.6, /*records_per_node=*/128);
+  Rng rng(11);
+  std::set<Key> inserted;
+  for (int i = 0; i < 400; ++i) {
+    const Key k = rng.Uniform(4096);
+    if (!inserted.insert(k).second) continue;
+    ASSERT_TRUE(f.cache.Put(k, Val(k)).ok());
+    f.clock.Advance(Duration::Seconds(3));
+  }
+  for (Key k : inserted) {
+    auto got = f.cache.Get(k);
+    ASSERT_TRUE(got.ok()) << "lost key " << k;
+    ASSERT_EQ(*got, Val(k));
+  }
+  // Ownership invariant survives background migration.
+  for (const NodeSnapshot& snap : f.cache.Snapshot()) {
+    ASSERT_LE(snap.used_bytes, snap.capacity_bytes);
+  }
+}
+
+TEST(ProactiveSplitTest, DisabledByDefault) {
+  Fixture f(0.0);
+  (void)DriveInserts(f, 60);
+  EXPECT_EQ(f.cache.stats().proactive_splits, 0u);
+  EXPECT_EQ(f.provider.WarmPoolCount(), 0u);
+}
+
+}  // namespace
+}  // namespace ecc::core

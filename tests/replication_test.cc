@@ -1,0 +1,213 @@
+// Tests for the replication + failure-injection extension (paper §VI:
+// "data replication can certainly be used" to mask node loss).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "cloudsim/provider.h"
+#include "core/elastic_cache.h"
+
+namespace ecc::core {
+namespace {
+
+constexpr std::size_t kValueBytes = 64;
+
+std::string Val(Key k) {
+  return "rec-" + std::to_string(k) + std::string(kValueBytes, 'v');
+}
+
+struct Fixture {
+  explicit Fixture(std::size_t replicas, std::size_t records_per_node = 64,
+                   std::size_t initial_nodes = 4)
+      : provider(
+            [] {
+              cloudsim::CloudOptions o;
+              o.seed = 9;
+              return o;
+            }(),
+            &clock),
+        cache(
+            [&] {
+              ElasticCacheOptions o;
+              o.node_capacity_bytes =
+                  records_per_node *
+                  RecordSize(0, kValueBytes + 16);
+              o.ring.range = 8192;  // primaries in [0, 4096), mirrors above
+              o.initial_nodes = initial_nodes;
+              o.replicas = replicas;
+              return o;
+            }(),
+            &provider, &clock) {}
+
+  VirtualClock clock;
+  cloudsim::CloudProvider provider;
+  ElasticCache cache;
+};
+
+TEST(ReplicationTest, MirrorCopyLandsOnDistinctNode) {
+  Fixture f(2);
+  ASSERT_TRUE(f.cache.Put(100, Val(100)).ok());
+  EXPECT_EQ(f.cache.stats().replica_writes, 1u);
+  auto primary = f.cache.OwnerOf(100);
+  auto replica = f.cache.ReplicaOwnerOf(100);
+  ASSERT_TRUE(primary.ok());
+  ASSERT_TRUE(replica.ok());
+  EXPECT_NE(*primary, *replica);
+  EXPECT_TRUE(f.cache.GetNode(*primary)->Contains(100));
+  EXPECT_TRUE(f.cache.GetNode(*replica)->Contains(f.cache.MirrorKey(100)));
+  EXPECT_EQ(f.cache.MirrorKey(100), 100u + 4096u);
+  EXPECT_EQ(f.cache.MirrorKey(f.cache.MirrorKey(100)), 100u);
+  // One logical record, two physical copies.
+  EXPECT_EQ(f.cache.TotalRecords(), 2u);
+}
+
+TEST(ReplicationTest, UpperHalfPrimaryKeysRejected) {
+  Fixture f(2);
+  EXPECT_EQ(f.cache.Put(5000, Val(1)).code(), StatusCode::kInvalidArgument);
+  // Without replication the whole line is usable.
+  Fixture g(1);
+  EXPECT_TRUE(g.cache.Put(5000, Val(1)).ok());
+}
+
+TEST(ReplicationTest, NoReplicasByDefault) {
+  Fixture f(1);
+  ASSERT_TRUE(f.cache.Put(100, Val(100)).ok());
+  EXPECT_EQ(f.cache.stats().replica_writes, 0u);
+  EXPECT_EQ(f.cache.TotalRecords(), 1u);
+}
+
+TEST(ReplicationTest, LoneNodeStoresCoLocatedMirror) {
+  // On a one-node fleet the mirror is co-located (no safety yet), but it is
+  // stored so that future splits separate the halves without repair logic.
+  Fixture f(2, 64, /*initial_nodes=*/1);
+  ASSERT_TRUE(f.cache.Put(100, Val(100)).ok());
+  EXPECT_EQ(f.cache.stats().replica_writes, 1u);
+  EXPECT_EQ(f.cache.TotalRecords(), 2u);
+  auto owner = f.cache.OwnerOf(100);
+  ASSERT_TRUE(owner.ok());
+  EXPECT_TRUE(f.cache.GetNode(*owner)->Contains(f.cache.MirrorKey(100)));
+}
+
+TEST(ReplicationTest, MirrorCopiesRideSplitsAndStayAddressable) {
+  Fixture f(2, /*records_per_node=*/16);
+  // Load well past node capacity: both halves of the line split and the
+  // mirrors stay reachable through normal routing afterwards.
+  for (Key k = 0; k < 100; ++k) {
+    ASSERT_TRUE(f.cache.Put(k * 40, Val(k)).ok());
+  }
+  EXPECT_GT(f.cache.stats().splits, 0u);
+  std::size_t mirrored = 0;
+  for (Key k = 0; k < 100; ++k) {
+    const Key mirror = f.cache.MirrorKey(k * 40);
+    auto owner = f.cache.OwnerOf(mirror);
+    ASSERT_TRUE(owner.ok());
+    if (f.cache.GetNode(*owner)->Contains(mirror)) ++mirrored;
+  }
+  // Nearly all mirrors exist (a few may drop when topology momentarily
+  // co-locates a mirror with its primary).
+  EXPECT_GE(mirrored, 90u);
+  for (const NodeSnapshot& snap : f.cache.Snapshot()) {
+    EXPECT_LE(snap.used_bytes, snap.capacity_bytes);
+  }
+}
+
+TEST(ReplicationTest, EvictKeysRemovesBothCopies) {
+  Fixture f(2);
+  ASSERT_TRUE(f.cache.Put(100, Val(100)).ok());
+  ASSERT_EQ(f.cache.TotalRecords(), 2u);
+  EXPECT_EQ(f.cache.EvictKeys({100}), 1u);  // primaries counted
+  EXPECT_EQ(f.cache.TotalRecords(), 0u);    // replica gone too
+}
+
+TEST(ReplicationTest, KillNodeReportsRecoverability) {
+  Fixture f(2);
+  std::set<Key> keys;
+  for (Key k = 0; k < 120; ++k) {
+    ASSERT_TRUE(f.cache.Put(k * 34, Val(k)).ok());
+    keys.insert(k * 34);
+  }
+  // Kill the node owning key 0.
+  auto victim = f.cache.OwnerOf(0);
+  ASSERT_TRUE(victim.ok());
+  auto report = f.cache.KillNode(*victim);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->records_dropped, 0u);
+  // With full replication nearly everything the node held is recoverable.
+  EXPECT_GE(report->records_recoverable,
+            report->records_dropped * 8 / 10);
+  EXPECT_GT(report->buckets_reassigned, 0u);
+  EXPECT_EQ(f.cache.stats().node_failures, 1u);
+  // No bucket points at the dead node any more.
+  for (const auto& bucket : f.cache.ring().buckets()) {
+    EXPECT_NE(bucket.owner, *victim);
+  }
+}
+
+TEST(ReplicationTest, ReadsSurviveNodeLossWithReplication) {
+  Fixture f(2);
+  std::set<Key> keys;
+  for (Key k = 0; k < 120; ++k) {
+    ASSERT_TRUE(f.cache.Put(k * 34, Val(k)).ok());
+    keys.insert(k * 34);
+  }
+  auto victim = f.cache.OwnerOf(0);
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(f.cache.KillNode(*victim).ok());
+
+  std::size_t still_readable = 0;
+  for (Key k : keys) {
+    if (f.cache.Get(k).ok()) ++still_readable;
+  }
+  // Replication masks the loss almost entirely.
+  EXPECT_GE(still_readable, keys.size() * 9 / 10);
+}
+
+TEST(ReplicationTest, ReadsLoseDataWithoutReplication) {
+  Fixture f(1);
+  std::set<Key> keys;
+  for (Key k = 0; k < 120; ++k) {
+    ASSERT_TRUE(f.cache.Put(k * 34, Val(k)).ok());
+    keys.insert(k * 34);
+  }
+  auto victim = f.cache.OwnerOf(0);
+  ASSERT_TRUE(victim.ok());
+  auto report = f.cache.KillNode(*victim);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records_recoverable, 0u);
+
+  std::size_t lost = 0;
+  for (Key k : keys) {
+    if (!f.cache.Get(k).ok()) ++lost;
+  }
+  // Everything the dead node held is gone.
+  EXPECT_EQ(lost, report->records_dropped);
+  EXPECT_GT(lost, 0u);
+}
+
+TEST(ReplicationTest, FailoverReadsAreCounted) {
+  Fixture f(2);
+  for (Key k = 0; k < 120; ++k) {
+    ASSERT_TRUE(f.cache.Put(k * 34, Val(k)).ok());
+  }
+  auto victim = f.cache.OwnerOf(0);
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(f.cache.KillNode(*victim).ok());
+  for (Key k = 0; k < 120; ++k) {
+    (void)f.cache.Get(k * 34);
+  }
+  // After reassignment most reads route straight to the replica-holding
+  // successor; stale placements go through the failover path.  Either way
+  // the hit rate stays high.
+  EXPECT_GT(f.cache.stats().HitRate(), 0.85);
+}
+
+TEST(ReplicationTest, CannotKillLastNode) {
+  Fixture f(1, 64, /*initial_nodes=*/1);
+  EXPECT_EQ(f.cache.KillNode(0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(f.cache.KillNode(99).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ecc::core

@@ -1,0 +1,233 @@
+// Tests for the service substrate: CTM generation, water levels, shoreline
+// extraction, the shoreline service, and the registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "service/ctm.h"
+#include "service/registry.h"
+#include "service/service.h"
+#include "service/shoreline.h"
+#include "service/water_level.h"
+
+namespace ecc::service {
+namespace {
+
+// --- CTM --------------------------------------------------------------------
+
+TEST(CtmTest, GenerationIsDeterministic) {
+  const auto a = GenerateCtm(42);
+  const auto b = GenerateCtm(42);
+  const auto c = GenerateCtm(43);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_NE(a.data(), c.data());
+}
+
+TEST(CtmTest, ShoreGradientCrossesSeaLevel) {
+  const auto ctm = GenerateCtm(7);
+  // Sea on the left, land on the right: a coastline must exist.
+  EXPECT_LT(ctm.MinElevation(), 0.0f);
+  EXPECT_GT(ctm.MaxElevation(), 0.0f);
+}
+
+TEST(CtmTest, SubmergedFractionMonotoneInWaterLevel) {
+  const auto ctm = GenerateCtm(11);
+  const double low = ctm.SubmergedFraction(-5.0f);
+  const double mid = ctm.SubmergedFraction(0.0f);
+  const double high = ctm.SubmergedFraction(5.0f);
+  EXPECT_LE(low, mid);
+  EXPECT_LE(mid, high);
+  EXPECT_GT(mid, 0.1);
+  EXPECT_LT(mid, 0.9);
+}
+
+TEST(CtmTest, CustomDimensions) {
+  CtmGeneratorOptions opts;
+  opts.width = 17;
+  opts.height = 9;
+  const auto ctm = GenerateCtm(1, opts);
+  EXPECT_EQ(ctm.width(), 17u);
+  EXPECT_EQ(ctm.height(), 9u);
+  EXPECT_EQ(ctm.data().size(), 17u * 9u);
+}
+
+// --- water level ------------------------------------------------------------
+
+TEST(WaterLevelTest, DeterministicPerStation) {
+  const WaterLevelModel a(5), b(5), c(6);
+  EXPECT_DOUBLE_EQ(a.LevelAt(1.5), b.LevelAt(1.5));
+  EXPECT_NE(a.LevelAt(1.5), c.LevelAt(1.5));
+}
+
+TEST(WaterLevelTest, TidesOscillateWithinConstituentBounds) {
+  const WaterLevelModel tide(9);
+  const double bound = tide.m2().amplitude_m + tide.s2().amplitude_m + 1.0;
+  double min = 1e9, max = -1e9;
+  for (int i = 0; i < 1000; ++i) {
+    const double level = tide.LevelAt(i * 0.01);
+    min = std::min(min, level);
+    max = std::max(max, level);
+  }
+  EXPECT_LT(max - min, 2.0 * bound);
+  EXPECT_GT(max - min, 0.3);  // tides actually move
+}
+
+TEST(WaterLevelTest, M2PeriodIsSemidiurnal) {
+  const WaterLevelModel tide(1);
+  EXPECT_NEAR(tide.m2().period_hours, 12.42, 0.01);
+  EXPECT_DOUBLE_EQ(tide.s2().period_hours, 12.0);
+}
+
+// --- shoreline --------------------------------------------------------------
+
+TEST(ShorelineTest, ExtractsNonEmptyContour) {
+  const auto ctm = GenerateCtm(3);
+  const auto segs = ExtractShoreline(ctm, 0.0f);
+  EXPECT_FALSE(segs.empty());
+}
+
+TEST(ShorelineTest, NoContourWhenFullySubmerged) {
+  const auto ctm = GenerateCtm(3);
+  const auto segs = ExtractShoreline(ctm, ctm.MaxElevation() + 1.0f);
+  EXPECT_TRUE(segs.empty());
+}
+
+TEST(ShorelineTest, NoContourWhenFullyDry) {
+  const auto ctm = GenerateCtm(3);
+  const auto segs = ExtractShoreline(ctm, ctm.MinElevation() - 1.0f);
+  EXPECT_TRUE(segs.empty());
+}
+
+TEST(ShorelineTest, SegmentEndpointsLieOnCellEdges) {
+  const auto ctm = GenerateCtm(5);
+  for (const Segment& s : ExtractShoreline(ctm, 0.0f)) {
+    EXPECT_GE(s.x1, 0.0f);
+    EXPECT_LE(s.x1, static_cast<float>(ctm.width() - 1));
+    EXPECT_GE(s.y1, 0.0f);
+    EXPECT_LE(s.y1, static_cast<float>(ctm.height() - 1));
+    // A marching-squares segment never spans more than one cell.
+    EXPECT_LE(std::fabs(s.x2 - s.x1), 1.0f + 1e-5f);
+    EXPECT_LE(std::fabs(s.y2 - s.y1), 1.0f + 1e-5f);
+  }
+}
+
+TEST(ShorelineTest, EncodeRespectsBudget) {
+  const auto ctm = GenerateCtm(5);
+  const auto segs = ExtractShoreline(ctm, 0.0f);
+  const std::string blob = EncodeShoreline(segs, ctm.width(), ctm.height(),
+                                           1024);
+  EXPECT_LE(blob.size(), 1024u);
+  EXPECT_GT(blob.size(), 16u);
+}
+
+TEST(ShorelineTest, EncodeDecodeRoundTripWithinQuantization) {
+  const auto ctm = GenerateCtm(9);
+  auto segs = ExtractShoreline(ctm, 0.0f);
+  // Large budget: no decimation, only quantization error.
+  const std::string blob =
+      EncodeShoreline(segs, ctm.width(), ctm.height(), 1 << 20);
+  auto decoded = DecodeShoreline(blob);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), segs.size());
+  const float tol = static_cast<float>(ctm.width()) / 65535.0f * 2.0f;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_NEAR((*decoded)[i].x1, segs[i].x1, tol);
+    EXPECT_NEAR((*decoded)[i].y1, segs[i].y1, tol);
+  }
+}
+
+TEST(ShorelineTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeShoreline("not a shoreline").ok());
+  EXPECT_FALSE(DecodeShoreline("").ok());
+}
+
+// --- services ---------------------------------------------------------------
+
+ShorelineServiceOptions FastService() {
+  ShorelineServiceOptions opts;
+  opts.ctm.width = 32;
+  opts.ctm.height = 32;
+  opts.grid.spatial_bits = 5;
+  opts.grid.time_bits = 3;
+  return opts;
+}
+
+TEST(ShorelineServiceTest, ChargesRoughlyBaselineTime) {
+  ShorelineService svc(FastService());
+  VirtualClock clock;
+  auto result = svc.Invoke({10.0, 20.0, 30.0}, &clock);
+  ASSERT_TRUE(result.ok());
+  // ~23 s +- jitter.
+  EXPECT_GT(clock.now().seconds(), 15.0);
+  EXPECT_LT(clock.now().seconds(), 35.0);
+  EXPECT_EQ(svc.invocations(), 1u);
+}
+
+TEST(ShorelineServiceTest, PayloadIsCompactAndDeterministicPerCell) {
+  ShorelineService svc(FastService());
+  auto a = svc.Invoke({10.0, 20.0, 30.0}, nullptr);
+  auto b = svc.Invoke({10.0, 20.0, 30.0}, nullptr);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->payload, b->payload);
+  EXPECT_LE(a->payload.size(), 1024u);
+  auto decoded = DecodeShoreline(a->payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->empty());
+}
+
+TEST(ShorelineServiceTest, DifferentCellsDifferentShorelines) {
+  ShorelineService svc(FastService());
+  auto a = svc.Invoke({10.0, 20.0, 30.0}, nullptr);
+  auto b = svc.Invoke({-60.0, -20.0, 30.0}, nullptr);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->payload, b->payload);
+}
+
+TEST(ShorelineServiceTest, RejectsOutOfRangeQuery) {
+  ShorelineService svc(FastService());
+  EXPECT_FALSE(svc.Invoke({500.0, 0.0, 0.0}, nullptr).ok());
+}
+
+TEST(SyntheticServiceTest, FixedCostAndSize) {
+  SyntheticService svc("synthetic", Duration::Seconds(23), 900);
+  VirtualClock clock;
+  auto result = svc.Invoke({1.0, 2.0, 3.0}, &clock);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->payload.size(), 900u);
+  EXPECT_DOUBLE_EQ(clock.now().seconds(), 23.0);
+}
+
+TEST(RegistryTest, RegisterAndFind) {
+  ServiceRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register(std::make_unique<SyntheticService>(
+                      "svc-a", Duration::Seconds(1), 10))
+                  .ok());
+  ASSERT_TRUE(registry
+                  .Register(std::make_unique<SyntheticService>(
+                      "svc-b", Duration::Seconds(2), 10))
+                  .ok());
+  auto found = registry.Find("svc-a");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->name(), "svc-a");
+  EXPECT_EQ(registry.Names().size(), 2u);
+}
+
+TEST(RegistryTest, RejectsDuplicatesAndNull) {
+  ServiceRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register(std::make_unique<SyntheticService>(
+                      "svc", Duration::Seconds(1), 10))
+                  .ok());
+  EXPECT_EQ(registry
+                .Register(std::make_unique<SyntheticService>(
+                    "svc", Duration::Seconds(1), 10))
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(registry.Register(nullptr).ok());
+  EXPECT_EQ(registry.Find("absent").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ecc::service

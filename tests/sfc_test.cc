@@ -1,0 +1,208 @@
+// Tests for space-filling curves and the spatiotemporal linearizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "common/rng.h"
+#include "sfc/hilbert.h"
+#include "sfc/linearizer.h"
+#include "sfc/morton.h"
+
+namespace ecc::sfc {
+namespace {
+
+// --- Morton -----------------------------------------------------------------
+
+TEST(MortonTest, KnownValues2D) {
+  EXPECT_EQ(MortonEncode2(0, 0), 0u);
+  EXPECT_EQ(MortonEncode2(1, 0), 1u);
+  EXPECT_EQ(MortonEncode2(0, 1), 2u);
+  EXPECT_EQ(MortonEncode2(1, 1), 3u);
+  EXPECT_EQ(MortonEncode2(2, 2), 12u);
+}
+
+TEST(MortonTest, RoundTrip2D) {
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.Next());
+    const auto y = static_cast<std::uint32_t>(rng.Next());
+    std::uint32_t rx = 0, ry = 0;
+    MortonDecode2(MortonEncode2(x, y), rx, ry);
+    ASSERT_EQ(rx, x);
+    ASSERT_EQ(ry, y);
+  }
+}
+
+TEST(MortonTest, RoundTrip3D) {
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.Uniform(1u << 21));
+    const auto y = static_cast<std::uint32_t>(rng.Uniform(1u << 21));
+    const auto z = static_cast<std::uint32_t>(rng.Uniform(1u << 21));
+    std::uint32_t rx = 0, ry = 0, rz = 0;
+    MortonDecode3(MortonEncode3(x, y, z), rx, ry, rz);
+    ASSERT_EQ(rx, x);
+    ASSERT_EQ(ry, y);
+    ASSERT_EQ(rz, z);
+  }
+}
+
+TEST(MortonTest, Encode2IsBijectiveOnSmallGrid) {
+  std::set<std::uint64_t> codes;
+  for (std::uint32_t x = 0; x < 32; ++x) {
+    for (std::uint32_t y = 0; y < 32; ++y) {
+      codes.insert(MortonEncode2(x, y));
+    }
+  }
+  EXPECT_EQ(codes.size(), 1024u);
+  EXPECT_EQ(*codes.rbegin(), 1023u);  // codes are exactly [0, 1024)
+}
+
+// --- Hilbert ----------------------------------------------------------------
+
+TEST(HilbertTest, Order1IsTheBasicU) {
+  // The order-1 Hilbert curve visits (0,0),(0,1),(1,1),(1,0).
+  EXPECT_EQ(HilbertEncode2(0, 0, 1), 0u);
+  EXPECT_EQ(HilbertEncode2(0, 1, 1), 1u);
+  EXPECT_EQ(HilbertEncode2(1, 1, 1), 2u);
+  EXPECT_EQ(HilbertEncode2(1, 0, 1), 3u);
+}
+
+TEST(HilbertTest, RoundTripSweepsOrders) {
+  for (unsigned order = 1; order <= 6; ++order) {
+    const std::uint32_t side = 1u << order;
+    for (std::uint32_t x = 0; x < side; ++x) {
+      for (std::uint32_t y = 0; y < side; ++y) {
+        std::uint32_t rx = 0, ry = 0;
+        HilbertDecode2(HilbertEncode2(x, y, order), order, rx, ry);
+        ASSERT_EQ(rx, x) << "order " << order;
+        ASSERT_EQ(ry, y) << "order " << order;
+      }
+    }
+  }
+}
+
+TEST(HilbertTest, IsBijectiveAtOrder5) {
+  std::set<std::uint64_t> codes;
+  for (std::uint32_t x = 0; x < 32; ++x) {
+    for (std::uint32_t y = 0; y < 32; ++y) {
+      codes.insert(HilbertEncode2(x, y, 5));
+    }
+  }
+  EXPECT_EQ(codes.size(), 1024u);
+  EXPECT_EQ(*codes.rbegin(), 1023u);
+}
+
+TEST(HilbertTest, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining property: successive curve positions differ by exactly one
+  // grid step.  (Z-order violates this at quadrant seams.)
+  const unsigned order = 5;
+  std::uint32_t px = 0, py = 0;
+  HilbertDecode2(0, order, px, py);
+  for (std::uint64_t d = 1; d < (1ull << (2 * order)); ++d) {
+    std::uint32_t x = 0, y = 0;
+    HilbertDecode2(d, order, x, y);
+    const int dist = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                     std::abs(static_cast<int>(y) - static_cast<int>(py));
+    ASSERT_EQ(dist, 1) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+// --- Linearizer -------------------------------------------------------------
+
+LinearizerOptions SmallGrid() {
+  LinearizerOptions opts;
+  opts.spatial_bits = 4;
+  opts.time_bits = 3;
+  return opts;
+}
+
+TEST(LinearizerTest, KeySpaceMatchesBits) {
+  const Linearizer lin(SmallGrid());
+  EXPECT_EQ(lin.KeySpace(), 1ull << 11);
+}
+
+TEST(LinearizerTest, EncodeDecodeRoundTripsAllCells) {
+  const Linearizer lin(SmallGrid());
+  for (std::uint64_t key = 0; key < lin.KeySpace(); ++key) {
+    const GridPoint p = lin.Decode(key);
+    ASSERT_EQ(lin.Encode(p), key);
+  }
+}
+
+TEST(LinearizerTest, QuantizeRejectsOutOfRange) {
+  const Linearizer lin(SmallGrid());
+  EXPECT_FALSE(lin.Quantize({200.0, 0.0, 1.0}).ok());
+  EXPECT_FALSE(lin.Quantize({0.0, -95.0, 1.0}).ok());
+  EXPECT_FALSE(lin.Quantize({0.0, 0.0, -1.0}).ok());
+  EXPECT_FALSE(lin.Quantize({0.0, 0.0, 400.0}).ok());
+  EXPECT_TRUE(lin.Quantize({0.0, 0.0, 1.0}).ok());
+}
+
+TEST(LinearizerTest, BoundaryValuesMapToEdgeCells) {
+  const Linearizer lin(SmallGrid());
+  auto lo = lin.Quantize({-180.0, -90.0, 0.0});
+  ASSERT_TRUE(lo.ok());
+  EXPECT_EQ(lo->x, 0u);
+  EXPECT_EQ(lo->y, 0u);
+  EXPECT_EQ(lo->t, 0u);
+  auto hi = lin.Quantize({180.0, 90.0, 365.0});
+  ASSERT_TRUE(hi.ok());
+  EXPECT_EQ(hi->x, 15u);
+  EXPECT_EQ(hi->y, 15u);
+  EXPECT_EQ(hi->t, 7u);
+}
+
+TEST(LinearizerTest, CellCenterReencodesToSameKey) {
+  const Linearizer lin(SmallGrid());
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = rng.Uniform(lin.KeySpace());
+    const GeoTemporalQuery center = lin.CellCenter(key);
+    auto re = lin.EncodeQuery(center);
+    ASSERT_TRUE(re.ok());
+    ASSERT_EQ(*re, key);
+  }
+}
+
+TEST(LinearizerTest, TimeSlotOccupiesHighBits) {
+  const Linearizer lin(SmallGrid());
+  GridPoint p{3, 5, 0};
+  const std::uint64_t k0 = lin.Encode(p);
+  p.t = 1;
+  const std::uint64_t k1 = lin.Encode(p);
+  EXPECT_EQ(k1 - k0, 1ull << 8);  // 2 * spatial_bits
+}
+
+TEST(LinearizerTest, MortonAndHilbertProduceDifferentButValidKeys) {
+  LinearizerOptions m = SmallGrid();
+  m.curve = CurveKind::kMorton;
+  LinearizerOptions h = SmallGrid();
+  h.curve = CurveKind::kHilbert;
+  const Linearizer lm(m), lh(h);
+  const GeoTemporalQuery q{12.3, 45.6, 100.0};
+  auto km = lm.EncodeQuery(q);
+  auto kh = lh.EncodeQuery(q);
+  ASSERT_TRUE(km.ok());
+  ASSERT_TRUE(kh.ok());
+  // Same cell either way.
+  EXPECT_EQ(lm.Decode(*km).x, lh.Decode(*kh).x);
+  EXPECT_EQ(lm.Decode(*km).y, lh.Decode(*kh).y);
+}
+
+TEST(LinearizerTest, NearbyQueriesShareKeyNeighborhood) {
+  // Locality sanity: two queries in the same cell produce the same key.
+  const Linearizer lin(SmallGrid());
+  auto a = lin.EncodeQuery({10.0, 10.0, 30.0});
+  auto b = lin.EncodeQuery({10.1, 10.1, 30.0});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace ecc::sfc

@@ -1,0 +1,149 @@
+// Model-checked fuzzing of the static baseline: the cooperative LRU cache
+// must agree with an exact per-node LRU reference model.
+//
+// With fixed-size values every record costs the same bytes, so a reference
+// model of "per node: capacity-in-records LRU list" predicts hit/miss and
+// victimization exactly.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "core/static_cache.h"
+
+namespace ecc::core {
+namespace {
+
+constexpr std::size_t kValueBytes = 100;
+
+/// Exact single-node LRU model.
+class LruModel {
+ public:
+  explicit LruModel(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool Contains(Key k) const { return index_.count(k) != 0; }
+
+  void Touch(Key k) {
+    const auto it = index_.find(k);
+    if (it == index_.end()) return;
+    order_.splice(order_.begin(), order_, it->second);
+  }
+
+  void Insert(Key k) {
+    if (Contains(k)) {
+      Touch(k);  // duplicate PUT refreshes recency
+      return;
+    }
+    while (order_.size() >= capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(k);
+    index_[k] = order_.begin();
+  }
+
+  void Erase(Key k) {
+    const auto it = index_.find(k);
+    if (it == index_.end()) return;
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::list<Key> order_;
+  std::unordered_map<Key, std::list<Key>::iterator> index_;
+};
+
+struct FuzzParams {
+  std::uint64_t seed;
+  std::size_t nodes;
+  std::size_t records_per_node;
+  std::uint64_t keyspace;
+  int operations;
+};
+
+class StaticFuzz : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(StaticFuzz, AgreesWithExactLruModel) {
+  const FuzzParams p = GetParam();
+  VirtualClock clock;
+  StaticCacheOptions opts;
+  opts.nodes = p.nodes;
+  opts.node_capacity_bytes =
+      p.records_per_node * RecordSize(0, std::size_t{kValueBytes});
+  opts.ring.range = p.keyspace;
+  StaticCache cache(opts, &clock);
+
+  // One LRU model per node, addressed through the same ring.
+  std::map<NodeId, LruModel> models;
+  for (std::size_t i = 0; i < p.nodes; ++i) {
+    models.emplace(static_cast<NodeId>(i), LruModel(p.records_per_node));
+  }
+  const auto model_for = [&](Key k) -> LruModel& {
+    auto owner = cache.ring().Lookup(k);
+    EXPECT_TRUE(owner.ok());
+    return models.at(*owner);
+  };
+
+  Rng rng(p.seed);
+  for (int op = 0; op < p.operations; ++op) {
+    const Key k = rng.Uniform(p.keyspace);
+    const auto dice = static_cast<int>(rng.Uniform(100));
+    LruModel& model = model_for(k);
+    if (dice < 50) {
+      // Get: hit iff the model holds the key; hits promote recency.
+      const bool expect_hit = model.Contains(k);
+      const bool hit = cache.Get(k).ok();
+      ASSERT_EQ(hit, expect_hit) << "op " << op << " key " << k;
+      if (hit) model.Touch(k);
+    } else if (dice < 90) {
+      // Put (fixed-size value): model inserts with LRU victimization.
+      ASSERT_TRUE(cache.Put(k, std::string(kValueBytes, 'v')).ok())
+          << "op " << op;
+      model.Insert(k);
+    } else {
+      // Targeted eviction.
+      const std::size_t erased = cache.EvictKeys({k});
+      ASSERT_EQ(erased, model.Contains(k) ? 1u : 0u) << "op " << op;
+      model.Erase(k);
+    }
+    if (op % 997 == 0) {
+      std::size_t model_total = 0;
+      for (const auto& [id, m] : models) model_total += m.size();
+      ASSERT_EQ(cache.TotalRecords(), model_total) << "op " << op;
+    }
+  }
+
+  // Full final agreement: every modeled key present, count exact.
+  std::size_t model_total = 0;
+  for (const auto& [id, m] : models) model_total += m.size();
+  ASSERT_EQ(cache.TotalRecords(), model_total);
+  for (Key k = 0; k < p.keyspace; ++k) {
+    const bool expect = model_for(k).Contains(k);
+    const CacheNode* node = cache.GetNode(*cache.ring().Lookup(k));
+    ASSERT_EQ(node->Contains(k), expect) << "key " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, StaticFuzz,
+    ::testing::Values(
+        // Tight capacity: constant victimization.
+        FuzzParams{31, 2, 16, 512, 20000},
+        // The paper's static-4 shape at small scale.
+        FuzzParams{32, 4, 64, 2048, 20000},
+        // Single node degenerate case.
+        FuzzParams{33, 1, 32, 256, 15000},
+        // Many nodes, sparse traffic.
+        FuzzParams{34, 8, 24, 4096, 20000}),
+    [](const ::testing::TestParamInfo<FuzzParams>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace ecc::core

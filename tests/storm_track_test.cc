@@ -1,0 +1,97 @@
+// Tests for the storm-track (moving hotspot) workload generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/storm_track.h"
+
+namespace ecc::workload {
+namespace {
+
+StormTrackOptions Opts() {
+  StormTrackOptions o;
+  o.grid.spatial_bits = 7;
+  o.grid.time_bits = 3;
+  o.queries_per_step = 20;
+  o.seed = 3;
+  return o;
+}
+
+TEST(StormTrackTest, KeysStayInKeyspace) {
+  StormTrackGenerator gen(Opts());
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_LT(gen.Next(), gen.keyspace());
+  }
+}
+
+TEST(StormTrackTest, EyeAdvancesAlongTheTrack) {
+  StormTrackOptions o = Opts();
+  StormTrackGenerator gen(o);
+  const double lon0 = gen.eye_lon();
+  const double lat0 = gen.eye_lat();
+  // 10 steps' worth of draws.
+  for (std::size_t i = 0; i < o.queries_per_step * 10 + 1; ++i) {
+    (void)gen.Next();
+  }
+  EXPECT_NEAR(gen.eye_lon() - lon0, 10 * o.d_lon, 1e-9);
+  EXPECT_NEAR(gen.eye_lat() - lat0, 10 * o.d_lat, 1e-9);
+  EXPECT_GT(gen.eye_day(), o.start_day);
+}
+
+TEST(StormTrackTest, QueriesClusterAroundTheEye) {
+  // Spatially concentrated: the distinct-cell footprint of one step must
+  // be a small fraction of the grid.
+  StormTrackOptions o = Opts();
+  o.queries_per_step = 500;
+  StormTrackGenerator gen(o);
+  std::set<core::Key> cells;
+  for (int i = 0; i < 500; ++i) cells.insert(gen.Next());
+  // 128x128x8 grid = 131072 cells; a 3-degree-sigma storm touches only a
+  // tiny neighborhood.
+  EXPECT_LT(cells.size(), 200u);
+  EXPECT_GT(cells.size(), 3u);
+}
+
+TEST(StormTrackTest, MovingEyeShiftsTheFootprint) {
+  StormTrackOptions o = Opts();
+  o.d_lon = 5.0;  // fast storm
+  o.radius_deg = 1.0;
+  StormTrackGenerator gen(o);
+  std::set<core::Key> early, late;
+  for (std::size_t i = 0; i < o.queries_per_step; ++i) {
+    early.insert(gen.Next());
+  }
+  // Skip 20 steps.
+  for (std::size_t i = 0; i < o.queries_per_step * 20; ++i) {
+    (void)gen.Next();
+  }
+  for (std::size_t i = 0; i < o.queries_per_step; ++i) {
+    late.insert(gen.Next());
+  }
+  // Footprints ~100 degrees apart share (almost) nothing.
+  std::size_t shared = 0;
+  for (core::Key k : early) shared += late.count(k);
+  EXPECT_LE(shared, early.size() / 10);
+}
+
+TEST(StormTrackTest, BouncesOffMapEdges) {
+  StormTrackOptions o = Opts();
+  o.start_lon = 175.0;
+  o.d_lon = 2.0;
+  o.queries_per_step = 1;
+  StormTrackGenerator gen(o);
+  for (int i = 0; i < 50; ++i) (void)gen.Next();
+  EXPECT_GE(gen.eye_lon(), o.grid.lon_min);
+  EXPECT_LE(gen.eye_lon(), o.grid.lon_max);
+}
+
+TEST(StormTrackTest, DeterministicPerSeed) {
+  StormTrackGenerator a(Opts()), b(Opts());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+}  // namespace
+}  // namespace ecc::workload

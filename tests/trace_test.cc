@@ -1,0 +1,132 @@
+// Tests for workload trace record/replay.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "cloudsim/provider.h"
+#include "core/coordinator.h"
+#include "core/elastic_cache.h"
+#include "service/service.h"
+#include "workload/experiment.h"
+#include "workload/trace.h"
+
+namespace ecc::workload {
+namespace {
+
+TEST(TraceTest, RecordAndQuery) {
+  Trace trace;
+  trace.Record(1, 10);
+  trace.Record(1, 11);
+  trace.Record(3, 30);  // step 2 left empty
+  EXPECT_EQ(trace.steps(), 3u);
+  EXPECT_EQ(trace.total_queries(), 3u);
+  EXPECT_EQ(trace.QueriesAt(1).size(), 2u);
+  EXPECT_TRUE(trace.QueriesAt(2).empty());
+  EXPECT_EQ(trace.QueriesAt(3)[0], 30u);
+  EXPECT_TRUE(trace.QueriesAt(99).empty());
+}
+
+TEST(TraceTest, SerializeRoundTrip) {
+  UniformKeyGenerator keys(1u << 14, 7);
+  PiecewiseRate rate({{1, 3}, {5, 0}, {8, 10}}, /*interpolate=*/false);
+  const Trace original = Trace::Capture(keys, rate, 12);
+  auto parsed = Trace::Deserialize(original.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, original);
+  EXPECT_EQ(parsed->total_queries(), original.total_queries());
+}
+
+TEST(TraceTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Trace::Deserialize("garbage").ok());
+  EXPECT_FALSE(Trace::Deserialize("").ok());
+  // Valid prefix with trailing junk.
+  Trace t;
+  t.Record(1, 5);
+  std::string bytes = t.Serialize();
+  bytes += "x";
+  EXPECT_FALSE(Trace::Deserialize(bytes).ok());
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  UniformKeyGenerator keys(1000, 3);
+  ConstantRate rate(5);
+  const Trace original = Trace::Capture(keys, rate, 20);
+  const std::string path = ::testing::TempDir() + "/trace_test.ectr";
+  ASSERT_TRUE(original.SaveFile(path).ok());
+  auto loaded = Trace::LoadFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, original);
+  std::remove(path.c_str());
+  EXPECT_FALSE(Trace::LoadFile(path).ok());
+}
+
+TEST(TraceReplayTest, ReplaysExactSequence) {
+  Trace trace;
+  trace.Record(1, 100);
+  trace.Record(1, 101);
+  trace.Record(2, 200);
+  TraceReplay replay(&trace);
+  EXPECT_EQ(replay.RateAt(1), 2u);
+  EXPECT_EQ(replay.Next(), 100u);
+  EXPECT_EQ(replay.Next(), 101u);
+  EXPECT_EQ(replay.RateAt(2), 1u);
+  EXPECT_EQ(replay.Next(), 200u);
+  EXPECT_EQ(replay.keyspace(), 201u);
+  replay.Reset();
+  EXPECT_EQ(replay.Next(), 100u);
+}
+
+TEST(TraceReplayTest, DrivesIdenticalExperiments) {
+  // Two independent stacks fed the same trace must produce bit-identical
+  // results — the portability property traces exist for.
+  UniformKeyGenerator keys(1u << 11, 21);
+  ConstantRate rate(8);
+  const Trace trace = Trace::Capture(keys, rate, 50);
+
+  const auto run = [&trace] {
+    VirtualClock clock;
+    cloudsim::CloudOptions copts;
+    copts.seed = 6;
+    cloudsim::CloudProvider provider(copts, &clock);
+    core::ElasticCacheOptions eopts;
+    eopts.node_capacity_bytes = 128 * core::RecordSize(0, std::size_t{148});
+    eopts.ring.range = 1u << 11;
+    core::ElasticCache cache(eopts, &provider, &clock);
+    service::SyntheticService service("svc", Duration::Seconds(23), 100);
+    sfc::LinearizerOptions grid;
+    grid.spatial_bits = 4;
+    grid.time_bits = 3;
+    sfc::Linearizer lin(grid);
+    core::Coordinator coordinator({}, &cache, &service, &lin, &clock);
+    TraceReplay replay(&trace);
+    ExperimentOptions opts;
+    opts.time_steps = 50;
+    opts.observe_every = 10;
+    ExperimentDriver driver(opts, &coordinator, &replay, &replay, &provider,
+                            &clock);
+    return driver.Run();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.summary.total_queries, trace.total_queries());
+  EXPECT_EQ(a.summary.total_hits, b.summary.total_hits);
+  EXPECT_EQ(a.series.ToCsv(), b.series.ToCsv());
+}
+
+TEST(TraceTest, CapturePreservesZeroRateSteps) {
+  UniformKeyGenerator keys(100, 1);
+  PiecewiseRate rate({{1, 2}, {3, 0}, {5, 2}}, /*interpolate=*/false);
+  const Trace trace = Trace::Capture(keys, rate, 6);
+  EXPECT_EQ(trace.steps(), 6u);
+  EXPECT_TRUE(trace.QueriesAt(3).empty());
+  EXPECT_TRUE(trace.QueriesAt(4).empty());
+  EXPECT_EQ(trace.QueriesAt(5).size(), 2u);
+  // Round-trips with the empty steps intact.
+  auto parsed = Trace::Deserialize(trace.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->steps(), 6u);
+}
+
+}  // namespace
+}  // namespace ecc::workload

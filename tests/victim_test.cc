@@ -1,0 +1,135 @@
+// Tests for the victim-selection policies used by the static baselines.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/victim.h"
+
+namespace ecc::core {
+namespace {
+
+TEST(VictimPolicyTest, NamesRoundTrip) {
+  for (VictimPolicy p : {VictimPolicy::kLru, VictimPolicy::kFifo,
+                         VictimPolicy::kLfu, VictimPolicy::kRandom}) {
+    auto parsed = ParseVictimPolicy(VictimPolicyName(p));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(ParseVictimPolicy("clock").ok());
+}
+
+TEST(VictimPolicyTest, FactoryProducesAllPolicies) {
+  for (VictimPolicy p : {VictimPolicy::kLru, VictimPolicy::kFifo,
+                         VictimPolicy::kLfu, VictimPolicy::kRandom}) {
+    EXPECT_NE(MakeVictimTracker(p), nullptr);
+  }
+}
+
+TEST(LruTrackerTest, EvictsLeastRecentlyUsed) {
+  LruTracker t;
+  Rng rng(1);
+  t.OnInsert(1);
+  t.OnInsert(2);
+  t.OnInsert(3);
+  ASSERT_EQ(*t.PickVictim(rng), 1u);
+  t.OnAccess(1);  // promote 1; 2 becomes LRU
+  ASSERT_EQ(*t.PickVictim(rng), 2u);
+  t.OnErase(2);
+  ASSERT_EQ(*t.PickVictim(rng), 3u);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(LruTrackerTest, EmptyTrackerHasNoVictim) {
+  LruTracker t;
+  Rng rng(1);
+  EXPECT_EQ(t.PickVictim(rng).status().code(), StatusCode::kNotFound);
+  t.OnInsert(1);
+  t.OnErase(1);
+  EXPECT_FALSE(t.PickVictim(rng).ok());
+}
+
+TEST(LruTrackerTest, AccessOfUnknownKeyIsIgnored) {
+  LruTracker t;
+  Rng rng(1);
+  t.OnInsert(1);
+  t.OnAccess(999);
+  ASSERT_EQ(*t.PickVictim(rng), 1u);
+}
+
+TEST(FifoTrackerTest, AccessDoesNotPromote) {
+  FifoTracker t;
+  Rng rng(1);
+  t.OnInsert(1);
+  t.OnInsert(2);
+  t.OnAccess(1);  // FIFO ignores recency
+  ASSERT_EQ(*t.PickVictim(rng), 1u);
+}
+
+TEST(LfuTrackerTest, EvictsLeastFrequent) {
+  LfuTracker t;
+  Rng rng(1);
+  t.OnInsert(1);
+  t.OnInsert(2);
+  t.OnInsert(3);
+  t.OnAccess(1);
+  t.OnAccess(1);
+  t.OnAccess(2);
+  // Frequencies: 1->3, 2->2, 3->1.
+  ASSERT_EQ(*t.PickVictim(rng), 3u);
+  t.OnErase(3);
+  ASSERT_EQ(*t.PickVictim(rng), 2u);
+}
+
+TEST(LfuTrackerTest, TieBreaksByRecency) {
+  LfuTracker t;
+  Rng rng(1);
+  t.OnInsert(1);
+  t.OnInsert(2);  // same freq=1; 1 is older
+  ASSERT_EQ(*t.PickVictim(rng), 1u);
+}
+
+TEST(LfuTrackerTest, StaleHeapEntriesSkipped) {
+  LfuTracker t;
+  Rng rng(1);
+  t.OnInsert(1);
+  t.OnInsert(2);
+  for (int i = 0; i < 100; ++i) t.OnAccess(1);  // many stale entries
+  t.OnErase(2);
+  t.OnInsert(3);
+  ASSERT_EQ(*t.PickVictim(rng), 3u);
+}
+
+TEST(RandomTrackerTest, VictimIsAlwaysAMember) {
+  RandomTracker t;
+  Rng rng(7);
+  std::set<Key> members;
+  for (Key k = 0; k < 50; ++k) {
+    t.OnInsert(k);
+    members.insert(k);
+  }
+  for (int i = 0; i < 200 && !members.empty(); ++i) {
+    auto v = t.PickVictim(rng);
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(members.count(*v));
+    if (i % 3 == 0) {
+      t.OnErase(*v);
+      members.erase(*v);
+    }
+  }
+  EXPECT_EQ(t.size(), members.size());
+}
+
+TEST(RandomTrackerTest, EraseLastElementIsSafe) {
+  RandomTracker t;
+  Rng rng(9);
+  t.OnInsert(1);
+  t.OnInsert(2);
+  t.OnErase(2);  // the swap-remove self-swap path
+  ASSERT_EQ(*t.PickVictim(rng), 1u);
+  t.OnErase(1);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ecc::core

@@ -1,0 +1,231 @@
+// Tests for workload generators, rate schedules, and the experiment driver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "cloudsim/provider.h"
+#include "core/coordinator.h"
+#include "core/elastic_cache.h"
+#include "service/service.h"
+#include "workload/experiment.h"
+#include "workload/generator.h"
+
+namespace ecc::workload {
+namespace {
+
+TEST(UniformKeyGeneratorTest, StaysInRangeAndCovers) {
+  UniformKeyGenerator gen(100, 1);
+  std::set<core::Key> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const core::Key k = gen.Next();
+    ASSERT_LT(k, 100u);
+    seen.insert(k);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(gen.keyspace(), 100u);
+}
+
+TEST(UniformKeyGeneratorTest, SeededReproducibility) {
+  UniformKeyGenerator a(1000, 7), b(1000, 7), c(1000, 8);
+  EXPECT_EQ(a.Next(), b.Next());
+  bool diverged = false;
+  for (int i = 0; i < 50 && !diverged; ++i) diverged = a.Next() != c.Next();
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ZipfKeyGeneratorTest, SkewedButScattered) {
+  ZipfKeyGenerator gen(1000, 1.2, 3);
+  std::map<core::Key, int> counts;
+  for (int i = 0; i < 30000; ++i) ++counts[gen.Next()];
+  // Strong skew: the single hottest key should have far more than uniform.
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 30000 / 1000 * 20);
+  // Scattered: the hottest key is not necessarily key 0 (permuted).
+  EXPECT_GT(counts.size(), 50u);
+}
+
+TEST(HotspotKeyGeneratorTest, HotSetReceivesConfiguredMass) {
+  const double hot_fraction = 0.1, hot_prob = 0.9;
+  HotspotKeyGenerator gen(1000, hot_fraction, hot_prob, 5);
+  // Count how often draws repeat within a small working set: measure mass
+  // of the most popular 10% of observed keys.
+  std::map<core::Key, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[gen.Next()];
+  std::vector<int> sorted;
+  for (const auto& [k, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  long hot_mass = 0;
+  for (std::size_t i = 0; i < 100 && i < sorted.size(); ++i) {
+    hot_mass += sorted[i];
+  }
+  EXPECT_NEAR(static_cast<double>(hot_mass) / n, hot_prob, 0.05);
+}
+
+TEST(ConstantRateTest, AlwaysSame) {
+  ConstantRate rate(7);
+  EXPECT_EQ(rate.RateAt(1), 7u);
+  EXPECT_EQ(rate.RateAt(1000000), 7u);
+}
+
+TEST(PiecewiseRateTest, StepFunctionHoldsValue) {
+  PiecewiseRate rate({{1, 10}, {100, 50}}, /*interpolate=*/false);
+  EXPECT_EQ(rate.RateAt(1), 10u);
+  EXPECT_EQ(rate.RateAt(99), 10u);
+  EXPECT_EQ(rate.RateAt(100), 50u);
+  EXPECT_EQ(rate.RateAt(5000), 50u);
+}
+
+TEST(PiecewiseRateTest, InterpolationIsLinear) {
+  PiecewiseRate rate({{0, 0}, {100, 100}}, /*interpolate=*/true);
+  EXPECT_EQ(rate.RateAt(0), 0u);
+  EXPECT_EQ(rate.RateAt(50), 50u);
+  EXPECT_EQ(rate.RateAt(100), 100u);
+}
+
+TEST(PoissonRateTest, DeterministicAndRepeatable) {
+  PoissonRate rate(50.0, 7);
+  // Pure function of the step: repeated calls and out-of-order calls agree.
+  const std::size_t r10 = rate.RateAt(10);
+  EXPECT_EQ(rate.RateAt(10), r10);
+  (void)rate.RateAt(3);
+  EXPECT_EQ(rate.RateAt(10), r10);
+  PoissonRate again(50.0, 7);
+  EXPECT_EQ(again.RateAt(10), r10);
+}
+
+TEST(PoissonRateTest, MeanAndVarianceMatchPoisson) {
+  PoissonRate rate(40.0, 11);
+  const int n = 3000;
+  double sum = 0.0, sq = 0.0;
+  for (int step = 1; step <= n; ++step) {
+    const double r = static_cast<double>(rate.RateAt(step));
+    sum += r;
+    sq += r * r;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 40.0, 1.0);
+  EXPECT_NEAR(var, 40.0, 5.0);  // Poisson: variance == mean
+}
+
+TEST(PoissonRateTest, BurstyButBounded) {
+  PoissonRate rate(10.0, 13);
+  std::size_t max_r = 0, min_r = 1000;
+  for (int step = 1; step <= 2000; ++step) {
+    max_r = std::max(max_r, rate.RateAt(step));
+    min_r = std::min(min_r, rate.RateAt(step));
+  }
+  EXPECT_GT(max_r, 15u);  // real bursts above the mean
+  EXPECT_LT(min_r, 5u);   // and lulls below it
+  EXPECT_LT(max_r, 60u);  // no absurd outliers at this mean
+}
+
+TEST(PoissonRateTest, DifferentSeedsDiverge) {
+  PoissonRate a(30.0, 1), b(30.0, 2);
+  bool diverged = false;
+  for (int step = 1; step <= 50 && !diverged; ++step) {
+    diverged = a.RateAt(step) != b.RateAt(step);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(PaperScheduleTest, MatchesSectionIVC) {
+  const auto schedule = PaperPhasedSchedule();
+  EXPECT_EQ(schedule->RateAt(1), 50u);
+  EXPECT_EQ(schedule->RateAt(50), 50u);
+  EXPECT_EQ(schedule->RateAt(100), 50u);
+  EXPECT_EQ(schedule->RateAt(101), 250u);
+  EXPECT_EQ(schedule->RateAt(200), 250u);
+  EXPECT_EQ(schedule->RateAt(300), 250u);
+  // Relaxation ramp between 300 and 400.
+  EXPECT_LT(schedule->RateAt(350), 250u);
+  EXPECT_GT(schedule->RateAt(350), 50u);
+  EXPECT_EQ(schedule->RateAt(400), 50u);
+  EXPECT_EQ(schedule->RateAt(1000), 50u);
+}
+
+// --- driver ------------------------------------------------------------------
+
+TEST(ExperimentDriverTest, ProducesAlignedSeriesAndSummary) {
+  VirtualClock clock;
+  cloudsim::CloudOptions copts;
+  copts.seed = 4;
+  cloudsim::CloudProvider provider(copts, &clock);
+  core::ElasticCacheOptions eopts;
+  eopts.node_capacity_bytes = 64 * core::RecordSize(0, std::size_t{148});
+  eopts.ring.range = 1u << 11;
+  core::ElasticCache cache(eopts, &provider, &clock);
+  service::SyntheticService service("svc", Duration::Seconds(23), 100);
+  sfc::LinearizerOptions grid;
+  grid.spatial_bits = 4;
+  grid.time_bits = 3;
+  sfc::Linearizer lin(grid);
+  core::Coordinator coordinator({}, &cache, &service, &lin, &clock);
+
+  UniformKeyGenerator keys(1u << 11, 9);
+  ConstantRate rate(5);
+  ExperimentOptions opts;
+  opts.time_steps = 100;
+  opts.observe_every = 10;
+  opts.label = "unit";
+  ExperimentDriver driver(opts, &coordinator, &keys, &rate, &provider,
+                          &clock);
+  const ExperimentResult result = driver.Run();
+
+  // 10 samples per series.
+  for (const auto& name :
+       {"speedup", "nodes", "hits", "misses", "evictions", "hit_rate",
+        "queries_total", "cost_usd"}) {
+    const Series* s = result.series.Find(name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_EQ(s->size(), 10u) << name;
+  }
+  EXPECT_EQ(result.summary.total_queries, 500u);
+  EXPECT_EQ(result.summary.label, "unit");
+  EXPECT_GT(result.summary.hit_rate, 0.0);
+  EXPECT_GT(result.summary.max_speedup, 1.0);
+  EXPECT_GE(result.summary.mean_nodes, 1.0);
+  EXPECT_GT(result.summary.cost_usd, 0.0);
+  EXPECT_GT(result.summary.virtual_time, Duration::Zero());
+  // queries_total is cumulative and monotone.
+  const auto& q = result.series.Find("queries_total")->ys();
+  EXPECT_TRUE(std::is_sorted(q.begin(), q.end()));
+  EXPECT_DOUBLE_EQ(q.back(), 500.0);
+}
+
+TEST(ExperimentDriverTest, SpeedupGrowsAsCacheWarms) {
+  VirtualClock clock;
+  cloudsim::CloudOptions copts;
+  copts.seed = 5;
+  cloudsim::CloudProvider provider(copts, &clock);
+  core::ElasticCacheOptions eopts;
+  eopts.node_capacity_bytes = 512 * core::RecordSize(0, std::size_t{148});
+  eopts.ring.range = 256;  // tiny key space: cache covers it quickly
+  core::ElasticCache cache(eopts, &provider, &clock);
+  service::SyntheticService service("svc", Duration::Seconds(23), 100);
+  sfc::LinearizerOptions grid;
+  grid.spatial_bits = 4;
+  grid.time_bits = 0;
+  sfc::Linearizer lin(grid);
+  core::Coordinator coordinator({}, &cache, &service, &lin, &clock);
+
+  UniformKeyGenerator keys(256, 10);
+  ConstantRate rate(20);
+  ExperimentOptions opts;
+  opts.time_steps = 60;
+  opts.observe_every = 20;
+  ExperimentDriver driver(opts, &coordinator, &keys, &rate, &provider,
+                          &clock);
+  const ExperimentResult result = driver.Run();
+  const auto& speedup = result.series.Find("speedup")->ys();
+  ASSERT_EQ(speedup.size(), 3u);
+  EXPECT_GT(speedup.back(), speedup.front());
+  EXPECT_GT(speedup.back(), 5.0);  // nearly everything cached by the end
+}
+
+}  // namespace
+}  // namespace ecc::workload
