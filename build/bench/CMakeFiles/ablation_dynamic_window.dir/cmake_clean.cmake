@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dynamic_window.dir/ablation_dynamic_window.cc.o"
+  "CMakeFiles/ablation_dynamic_window.dir/ablation_dynamic_window.cc.o.d"
+  "ablation_dynamic_window"
+  "ablation_dynamic_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spill_tier.dir/ablation_spill_tier.cc.o"
+  "CMakeFiles/ablation_spill_tier.dir/ablation_spill_tier.cc.o.d"
+  "ablation_spill_tier"
+  "ablation_spill_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spill_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_victim_policies.dir/ablation_victim_policies.cc.o"
+  "CMakeFiles/ablation_victim_policies.dir/ablation_victim_policies.cc.o.d"
+  "ablation_victim_policies"
+  "ablation_victim_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_victim_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

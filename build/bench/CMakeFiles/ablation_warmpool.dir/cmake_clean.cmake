@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_warmpool.dir/ablation_warmpool.cc.o"
+  "CMakeFiles/ablation_warmpool.dir/ablation_warmpool.cc.o.d"
+  "ablation_warmpool"
+  "ablation_warmpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warmpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

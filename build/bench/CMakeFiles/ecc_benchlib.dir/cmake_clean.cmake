@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libecc_benchlib.a"
+  "../lib/libecc_benchlib.pdb"
+  "CMakeFiles/ecc_benchlib.dir/figcommon.cc.o"
+  "CMakeFiles/ecc_benchlib.dir/figcommon.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

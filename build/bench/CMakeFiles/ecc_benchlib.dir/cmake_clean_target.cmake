@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libecc_benchlib.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_reuse_eviction.dir/fig6_reuse_eviction.cc.o"
+  "CMakeFiles/fig6_reuse_eviction.dir/fig6_reuse_eviction.cc.o.d"
+  "fig6_reuse_eviction"
+  "fig6_reuse_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_reuse_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_decay.dir/fig7_decay.cc.o"
+  "CMakeFiles/fig7_decay.dir/fig7_decay.cc.o.d"
+  "fig7_decay"
+  "fig7_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hashring.dir/micro_hashring.cc.o"
+  "CMakeFiles/micro_hashring.dir/micro_hashring.cc.o.d"
+  "micro_hashring"
+  "micro_hashring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hashring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_sfc.cc" "bench/CMakeFiles/micro_sfc.dir/micro_sfc.cc.o" "gcc" "bench/CMakeFiles/micro_sfc.dir/micro_sfc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ecc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/ecc_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashring/CMakeFiles/ecc_hashring.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudsim/CMakeFiles/ecc_cloudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/ecc_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/ecc_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ecc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coastal_mashup.dir/coastal_mashup.cpp.o"
+  "CMakeFiles/coastal_mashup.dir/coastal_mashup.cpp.o.d"
+  "coastal_mashup"
+  "coastal_mashup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coastal_mashup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for coastal_mashup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaster_burst.dir/disaster_burst.cpp.o"
+  "CMakeFiles/disaster_burst.dir/disaster_burst.cpp.o.d"
+  "disaster_burst"
+  "disaster_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaster_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

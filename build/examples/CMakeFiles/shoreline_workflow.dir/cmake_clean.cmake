@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shoreline_workflow.dir/shoreline_workflow.cpp.o"
+  "CMakeFiles/shoreline_workflow.dir/shoreline_workflow.cpp.o.d"
+  "shoreline_workflow"
+  "shoreline_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shoreline_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_btree.dir/b2tree.cc.o"
+  "CMakeFiles/ecc_btree.dir/b2tree.cc.o.d"
+  "libecc_btree.a"
+  "libecc_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

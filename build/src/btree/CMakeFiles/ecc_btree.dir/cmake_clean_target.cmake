@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecc_btree.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloudsim/billing.cc" "src/cloudsim/CMakeFiles/ecc_cloudsim.dir/billing.cc.o" "gcc" "src/cloudsim/CMakeFiles/ecc_cloudsim.dir/billing.cc.o.d"
+  "/root/repo/src/cloudsim/instance.cc" "src/cloudsim/CMakeFiles/ecc_cloudsim.dir/instance.cc.o" "gcc" "src/cloudsim/CMakeFiles/ecc_cloudsim.dir/instance.cc.o.d"
+  "/root/repo/src/cloudsim/persistent_store.cc" "src/cloudsim/CMakeFiles/ecc_cloudsim.dir/persistent_store.cc.o" "gcc" "src/cloudsim/CMakeFiles/ecc_cloudsim.dir/persistent_store.cc.o.d"
+  "/root/repo/src/cloudsim/provider.cc" "src/cloudsim/CMakeFiles/ecc_cloudsim.dir/provider.cc.o" "gcc" "src/cloudsim/CMakeFiles/ecc_cloudsim.dir/provider.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

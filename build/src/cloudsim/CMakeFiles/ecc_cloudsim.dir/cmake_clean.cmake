@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_cloudsim.dir/billing.cc.o"
+  "CMakeFiles/ecc_cloudsim.dir/billing.cc.o.d"
+  "CMakeFiles/ecc_cloudsim.dir/instance.cc.o"
+  "CMakeFiles/ecc_cloudsim.dir/instance.cc.o.d"
+  "CMakeFiles/ecc_cloudsim.dir/persistent_store.cc.o"
+  "CMakeFiles/ecc_cloudsim.dir/persistent_store.cc.o.d"
+  "CMakeFiles/ecc_cloudsim.dir/provider.cc.o"
+  "CMakeFiles/ecc_cloudsim.dir/provider.cc.o.d"
+  "libecc_cloudsim.a"
+  "libecc_cloudsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_cloudsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

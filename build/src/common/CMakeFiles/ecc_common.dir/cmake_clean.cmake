@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_common.dir/config.cc.o"
+  "CMakeFiles/ecc_common.dir/config.cc.o.d"
+  "CMakeFiles/ecc_common.dir/histogram.cc.o"
+  "CMakeFiles/ecc_common.dir/histogram.cc.o.d"
+  "CMakeFiles/ecc_common.dir/log.cc.o"
+  "CMakeFiles/ecc_common.dir/log.cc.o.d"
+  "CMakeFiles/ecc_common.dir/rng.cc.o"
+  "CMakeFiles/ecc_common.dir/rng.cc.o.d"
+  "CMakeFiles/ecc_common.dir/table.cc.o"
+  "CMakeFiles/ecc_common.dir/table.cc.o.d"
+  "CMakeFiles/ecc_common.dir/time.cc.o"
+  "CMakeFiles/ecc_common.dir/time.cc.o.d"
+  "CMakeFiles/ecc_common.dir/timeseries.cc.o"
+  "CMakeFiles/ecc_common.dir/timeseries.cc.o.d"
+  "libecc_common.a"
+  "libecc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admin.cc" "src/core/CMakeFiles/ecc_core.dir/admin.cc.o" "gcc" "src/core/CMakeFiles/ecc_core.dir/admin.cc.o.d"
+  "/root/repo/src/core/cache_node.cc" "src/core/CMakeFiles/ecc_core.dir/cache_node.cc.o" "gcc" "src/core/CMakeFiles/ecc_core.dir/cache_node.cc.o.d"
+  "/root/repo/src/core/coordinator.cc" "src/core/CMakeFiles/ecc_core.dir/coordinator.cc.o" "gcc" "src/core/CMakeFiles/ecc_core.dir/coordinator.cc.o.d"
+  "/root/repo/src/core/dynamic_window.cc" "src/core/CMakeFiles/ecc_core.dir/dynamic_window.cc.o" "gcc" "src/core/CMakeFiles/ecc_core.dir/dynamic_window.cc.o.d"
+  "/root/repo/src/core/elastic_cache.cc" "src/core/CMakeFiles/ecc_core.dir/elastic_cache.cc.o" "gcc" "src/core/CMakeFiles/ecc_core.dir/elastic_cache.cc.o.d"
+  "/root/repo/src/core/sliding_window.cc" "src/core/CMakeFiles/ecc_core.dir/sliding_window.cc.o" "gcc" "src/core/CMakeFiles/ecc_core.dir/sliding_window.cc.o.d"
+  "/root/repo/src/core/static_cache.cc" "src/core/CMakeFiles/ecc_core.dir/static_cache.cc.o" "gcc" "src/core/CMakeFiles/ecc_core.dir/static_cache.cc.o.d"
+  "/root/repo/src/core/victim.cc" "src/core/CMakeFiles/ecc_core.dir/victim.cc.o" "gcc" "src/core/CMakeFiles/ecc_core.dir/victim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/ecc_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashring/CMakeFiles/ecc_hashring.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ecc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudsim/CMakeFiles/ecc_cloudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/ecc_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/ecc_sfc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

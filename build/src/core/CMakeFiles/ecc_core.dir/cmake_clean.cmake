@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_core.dir/admin.cc.o"
+  "CMakeFiles/ecc_core.dir/admin.cc.o.d"
+  "CMakeFiles/ecc_core.dir/cache_node.cc.o"
+  "CMakeFiles/ecc_core.dir/cache_node.cc.o.d"
+  "CMakeFiles/ecc_core.dir/coordinator.cc.o"
+  "CMakeFiles/ecc_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/ecc_core.dir/dynamic_window.cc.o"
+  "CMakeFiles/ecc_core.dir/dynamic_window.cc.o.d"
+  "CMakeFiles/ecc_core.dir/elastic_cache.cc.o"
+  "CMakeFiles/ecc_core.dir/elastic_cache.cc.o.d"
+  "CMakeFiles/ecc_core.dir/sliding_window.cc.o"
+  "CMakeFiles/ecc_core.dir/sliding_window.cc.o.d"
+  "CMakeFiles/ecc_core.dir/static_cache.cc.o"
+  "CMakeFiles/ecc_core.dir/static_cache.cc.o.d"
+  "CMakeFiles/ecc_core.dir/victim.cc.o"
+  "CMakeFiles/ecc_core.dir/victim.cc.o.d"
+  "libecc_core.a"
+  "libecc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_hashring.dir/consistent_hash.cc.o"
+  "CMakeFiles/ecc_hashring.dir/consistent_hash.cc.o.d"
+  "libecc_hashring.a"
+  "libecc_hashring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_hashring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

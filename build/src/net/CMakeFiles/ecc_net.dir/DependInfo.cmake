@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/message.cc" "src/net/CMakeFiles/ecc_net.dir/message.cc.o" "gcc" "src/net/CMakeFiles/ecc_net.dir/message.cc.o.d"
+  "/root/repo/src/net/netmodel.cc" "src/net/CMakeFiles/ecc_net.dir/netmodel.cc.o" "gcc" "src/net/CMakeFiles/ecc_net.dir/netmodel.cc.o.d"
+  "/root/repo/src/net/rpc.cc" "src/net/CMakeFiles/ecc_net.dir/rpc.cc.o" "gcc" "src/net/CMakeFiles/ecc_net.dir/rpc.cc.o.d"
+  "/root/repo/src/net/socket_channel.cc" "src/net/CMakeFiles/ecc_net.dir/socket_channel.cc.o" "gcc" "src/net/CMakeFiles/ecc_net.dir/socket_channel.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/net/CMakeFiles/ecc_net.dir/wire.cc.o" "gcc" "src/net/CMakeFiles/ecc_net.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_net.dir/message.cc.o"
+  "CMakeFiles/ecc_net.dir/message.cc.o.d"
+  "CMakeFiles/ecc_net.dir/netmodel.cc.o"
+  "CMakeFiles/ecc_net.dir/netmodel.cc.o.d"
+  "CMakeFiles/ecc_net.dir/rpc.cc.o"
+  "CMakeFiles/ecc_net.dir/rpc.cc.o.d"
+  "CMakeFiles/ecc_net.dir/socket_channel.cc.o"
+  "CMakeFiles/ecc_net.dir/socket_channel.cc.o.d"
+  "CMakeFiles/ecc_net.dir/wire.cc.o"
+  "CMakeFiles/ecc_net.dir/wire.cc.o.d"
+  "libecc_net.a"
+  "libecc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/composite.cc" "src/service/CMakeFiles/ecc_service.dir/composite.cc.o" "gcc" "src/service/CMakeFiles/ecc_service.dir/composite.cc.o.d"
+  "/root/repo/src/service/ctm.cc" "src/service/CMakeFiles/ecc_service.dir/ctm.cc.o" "gcc" "src/service/CMakeFiles/ecc_service.dir/ctm.cc.o.d"
+  "/root/repo/src/service/inundation.cc" "src/service/CMakeFiles/ecc_service.dir/inundation.cc.o" "gcc" "src/service/CMakeFiles/ecc_service.dir/inundation.cc.o.d"
+  "/root/repo/src/service/registry.cc" "src/service/CMakeFiles/ecc_service.dir/registry.cc.o" "gcc" "src/service/CMakeFiles/ecc_service.dir/registry.cc.o.d"
+  "/root/repo/src/service/service.cc" "src/service/CMakeFiles/ecc_service.dir/service.cc.o" "gcc" "src/service/CMakeFiles/ecc_service.dir/service.cc.o.d"
+  "/root/repo/src/service/shoreline.cc" "src/service/CMakeFiles/ecc_service.dir/shoreline.cc.o" "gcc" "src/service/CMakeFiles/ecc_service.dir/shoreline.cc.o.d"
+  "/root/repo/src/service/water_level.cc" "src/service/CMakeFiles/ecc_service.dir/water_level.cc.o" "gcc" "src/service/CMakeFiles/ecc_service.dir/water_level.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/ecc_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ecc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

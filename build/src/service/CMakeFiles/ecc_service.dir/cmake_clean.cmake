@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_service.dir/composite.cc.o"
+  "CMakeFiles/ecc_service.dir/composite.cc.o.d"
+  "CMakeFiles/ecc_service.dir/ctm.cc.o"
+  "CMakeFiles/ecc_service.dir/ctm.cc.o.d"
+  "CMakeFiles/ecc_service.dir/inundation.cc.o"
+  "CMakeFiles/ecc_service.dir/inundation.cc.o.d"
+  "CMakeFiles/ecc_service.dir/registry.cc.o"
+  "CMakeFiles/ecc_service.dir/registry.cc.o.d"
+  "CMakeFiles/ecc_service.dir/service.cc.o"
+  "CMakeFiles/ecc_service.dir/service.cc.o.d"
+  "CMakeFiles/ecc_service.dir/shoreline.cc.o"
+  "CMakeFiles/ecc_service.dir/shoreline.cc.o.d"
+  "CMakeFiles/ecc_service.dir/water_level.cc.o"
+  "CMakeFiles/ecc_service.dir/water_level.cc.o.d"
+  "libecc_service.a"
+  "libecc_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfc/hilbert.cc" "src/sfc/CMakeFiles/ecc_sfc.dir/hilbert.cc.o" "gcc" "src/sfc/CMakeFiles/ecc_sfc.dir/hilbert.cc.o.d"
+  "/root/repo/src/sfc/linearizer.cc" "src/sfc/CMakeFiles/ecc_sfc.dir/linearizer.cc.o" "gcc" "src/sfc/CMakeFiles/ecc_sfc.dir/linearizer.cc.o.d"
+  "/root/repo/src/sfc/locality.cc" "src/sfc/CMakeFiles/ecc_sfc.dir/locality.cc.o" "gcc" "src/sfc/CMakeFiles/ecc_sfc.dir/locality.cc.o.d"
+  "/root/repo/src/sfc/morton.cc" "src/sfc/CMakeFiles/ecc_sfc.dir/morton.cc.o" "gcc" "src/sfc/CMakeFiles/ecc_sfc.dir/morton.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

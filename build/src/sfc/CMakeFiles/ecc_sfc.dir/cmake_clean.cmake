@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_sfc.dir/hilbert.cc.o"
+  "CMakeFiles/ecc_sfc.dir/hilbert.cc.o.d"
+  "CMakeFiles/ecc_sfc.dir/linearizer.cc.o"
+  "CMakeFiles/ecc_sfc.dir/linearizer.cc.o.d"
+  "CMakeFiles/ecc_sfc.dir/locality.cc.o"
+  "CMakeFiles/ecc_sfc.dir/locality.cc.o.d"
+  "CMakeFiles/ecc_sfc.dir/morton.cc.o"
+  "CMakeFiles/ecc_sfc.dir/morton.cc.o.d"
+  "libecc_sfc.a"
+  "libecc_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

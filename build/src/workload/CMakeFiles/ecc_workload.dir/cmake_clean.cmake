@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_workload.dir/experiment.cc.o"
+  "CMakeFiles/ecc_workload.dir/experiment.cc.o.d"
+  "CMakeFiles/ecc_workload.dir/generator.cc.o"
+  "CMakeFiles/ecc_workload.dir/generator.cc.o.d"
+  "CMakeFiles/ecc_workload.dir/storm_track.cc.o"
+  "CMakeFiles/ecc_workload.dir/storm_track.cc.o.d"
+  "CMakeFiles/ecc_workload.dir/trace.cc.o"
+  "CMakeFiles/ecc_workload.dir/trace.cc.o.d"
+  "libecc_workload.a"
+  "libecc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_test.dir/admin_test.cc.o"
+  "CMakeFiles/admin_test.dir/admin_test.cc.o.d"
+  "admin_test"
+  "admin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_cache_test.dir/elastic_cache_test.cc.o"
+  "CMakeFiles/elastic_cache_test.dir/elastic_cache_test.cc.o.d"
+  "elastic_cache_test"
+  "elastic_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

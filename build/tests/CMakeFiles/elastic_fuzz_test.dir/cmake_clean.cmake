@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_fuzz_test.dir/elastic_fuzz_test.cc.o"
+  "CMakeFiles/elastic_fuzz_test.dir/elastic_fuzz_test.cc.o.d"
+  "elastic_fuzz_test"
+  "elastic_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inundation_test.dir/inundation_test.cc.o"
+  "CMakeFiles/inundation_test.dir/inundation_test.cc.o.d"
+  "inundation_test"
+  "inundation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inundation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locked_backend_test.dir/locked_backend_test.cc.o"
+  "CMakeFiles/locked_backend_test.dir/locked_backend_test.cc.o.d"
+  "locked_backend_test"
+  "locked_backend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locked_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

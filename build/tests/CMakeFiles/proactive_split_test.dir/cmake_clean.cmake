@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proactive_split_test.dir/proactive_split_test.cc.o"
+  "CMakeFiles/proactive_split_test.dir/proactive_split_test.cc.o.d"
+  "proactive_split_test"
+  "proactive_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proactive_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_channel_test.dir/socket_channel_test.cc.o"
+  "CMakeFiles/socket_channel_test.dir/socket_channel_test.cc.o.d"
+  "socket_channel_test"
+  "socket_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

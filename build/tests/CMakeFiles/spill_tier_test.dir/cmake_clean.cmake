@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spill_tier_test.dir/spill_tier_test.cc.o"
+  "CMakeFiles/spill_tier_test.dir/spill_tier_test.cc.o.d"
+  "spill_tier_test"
+  "spill_tier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spill_tier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

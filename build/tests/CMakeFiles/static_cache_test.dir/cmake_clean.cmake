@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_cache_test.dir/static_cache_test.cc.o"
+  "CMakeFiles/static_cache_test.dir/static_cache_test.cc.o.d"
+  "static_cache_test"
+  "static_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

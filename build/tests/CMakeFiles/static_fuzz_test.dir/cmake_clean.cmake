@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_fuzz_test.dir/static_fuzz_test.cc.o"
+  "CMakeFiles/static_fuzz_test.dir/static_fuzz_test.cc.o.d"
+  "static_fuzz_test"
+  "static_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_track_test.dir/storm_track_test.cc.o"
+  "CMakeFiles/storm_track_test.dir/storm_track_test.cc.o.d"
+  "storm_track_test"
+  "storm_track_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_track_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

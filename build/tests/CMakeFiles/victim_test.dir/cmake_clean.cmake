@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/victim_test.dir/victim_test.cc.o"
+  "CMakeFiles/victim_test.dir/victim_test.cc.o.d"
+  "victim_test"
+  "victim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/victim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
