@@ -1,0 +1,53 @@
+// Fixed-size worker pool for the concurrent query front-end.
+//
+// The pool is deliberately minimal: a bounded set of long-lived threads
+// draining one FIFO of closures.  The parallel coordinator submits one
+// long-running drain task per logical worker and blocks on WaitIdle(), so
+// the queue never grows past the worker count in practice; Submit never
+// blocks and tasks are never dropped (the destructor drains the queue
+// before joining).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecc {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` (>= 1) workers immediately.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+  /// Enqueue one task; never blocks.  Must not be called after the
+  /// destructor has begun.
+  void Submit(std::function<void()> task);
+
+  /// Block until the queue is empty and no worker is mid-task.
+  void WaitIdle();
+
+ private:
+  void WorkerMain();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers sleep here
+  std::condition_variable idle_cv_;  ///< WaitIdle sleeps here
+  std::size_t active_ = 0;           ///< workers currently running a task
+  bool stopping_ = false;
+};
+
+}  // namespace ecc

@@ -11,6 +11,7 @@
 // a TimePoint is an offset from the simulation epoch (t = 0).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <compare>
 #include <string>
@@ -125,26 +126,43 @@ class TimePoint {
 /// Monotonic virtual clock.  The experiment driver advances it explicitly;
 /// substrates (cloud allocator, network model, services) charge durations to
 /// it.  Never moves backwards.
+///
+/// Thread-safe: now/Advance/AdvanceTo are lock-free atomics, so a clock
+/// shared by a backend can absorb charges from concurrent workers without
+/// tearing.  Note that under concurrency the *meaning* of a shared clock
+/// changes — interleaved charges sum rather than overlap — so per-query
+/// latency accounting in the parallel front-end uses one private clock per
+/// worker instead (see DESIGN.md, "Concurrency model").
 class VirtualClock {
  public:
   VirtualClock() = default;
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
 
-  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] TimePoint now() const {
+    return TimePoint::FromMicros(now_us_.load(std::memory_order_relaxed));
+  }
 
   /// Advance by a span.  Negative spans are clamped to zero.
   void Advance(Duration d) {
-    if (d > Duration::Zero()) now_ += d;
+    if (d > Duration::Zero()) {
+      now_us_.fetch_add(d.micros(), std::memory_order_relaxed);
+    }
   }
 
   /// Jump forward to `t` if it is in the future; no-op otherwise.
   void AdvanceTo(TimePoint t) {
-    if (t > now_) now_ = t;
+    std::int64_t cur = now_us_.load(std::memory_order_relaxed);
+    while (cur < t.micros() &&
+           !now_us_.compare_exchange_weak(cur, t.micros(),
+                                          std::memory_order_relaxed)) {
+    }
   }
 
-  void Reset() { now_ = TimePoint::Epoch(); }
+  void Reset() { now_us_.store(0, std::memory_order_relaxed); }
 
  private:
-  TimePoint now_ = TimePoint::Epoch();
+  std::atomic<std::int64_t> now_us_{0};
 };
 
 }  // namespace ecc

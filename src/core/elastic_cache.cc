@@ -71,7 +71,10 @@ StatusOr<NodeId> ElasticCache::AllocateNode() {
 }
 
 StatusOr<std::string> ElasticCache::Get(Key k) {
-  ++stats_.gets;
+  {
+    const std::lock_guard<std::mutex> g(stats_mutex_);
+    ++stats_.gets;
+  }
   auto owner = ring_.Lookup(k);
   if (!owner.ok()) return owner.status();
   clock_->Advance(opts_.local_op_time);  // h(k) + dispatch
@@ -84,6 +87,7 @@ StatusOr<std::string> ElasticCache::Get(Key k) {
   if (!resp.ok()) return resp.status();
   clock_->Advance(opts_.local_op_time);  // B+-Tree search on the node
   if (resp->found) {
+    const std::lock_guard<std::mutex> g(stats_mutex_);
     ++stats_.hits;
     return std::move(resp->value);
   }
@@ -99,6 +103,7 @@ StatusOr<std::string> ElasticCache::Get(Key k) {
       if (replica_msg.ok()) {
         auto replica_resp = net::GetResponse::Decode(*replica_msg);
         if (replica_resp.ok() && replica_resp->found) {
+          const std::lock_guard<std::mutex> g(stats_mutex_);
           ++stats_.hits;
           ++stats_.failover_reads;
           return std::move(replica_resp->value);
@@ -106,7 +111,10 @@ StatusOr<std::string> ElasticCache::Get(Key k) {
       }
     }
   }
-  ++stats_.misses;
+  {
+    const std::lock_guard<std::mutex> g(stats_mutex_);
+    ++stats_.misses;
+  }
   return Status::NotFound();
 }
 
@@ -114,8 +122,47 @@ StatusOr<NodeId> ElasticCache::ReplicaOwnerOf(Key k) const {
   return ring_.Lookup(MirrorKey(k));
 }
 
-Status ElasticCache::Put(Key k, std::string v) {
+Status ElasticCache::PutNoSplit(Key k, const std::string& v) {
+  assert(opts_.replicas == 1 &&
+         "the no-split fast path stores primaries only");
+  const std::size_t rec = RecordSize(k, v);
+  if (rec > opts_.node_capacity_bytes) {
+    return Status::InvalidArgument("record exceeds node capacity");
+  }
+  auto owner = ring_.Lookup(k);
+  if (!owner.ok()) return owner.status();
+  NodeEntry& entry = Entry(*owner);
+
+  if (entry.node->Contains(k)) {  // idempotent duplicate
+    clock_->Advance(opts_.local_op_time);
+    const std::lock_guard<std::mutex> g(stats_mutex_);
+    ++stats_.puts;
+    return Status::Ok();
+  }
+  if (!entry.node->CanFit(rec)) {
+    // Not counted as a put: the caller retries through the split path,
+    // which does the counting.
+    return Status::CapacityExceeded("owner node full; split required");
+  }
+  net::PutRequest req{k, v};
+  auto resp_msg = entry.channel->Call(req.Encode());
+  if (!resp_msg.ok()) return resp_msg.status();
+  auto resp = net::PutResponse::Decode(*resp_msg);
+  if (!resp.ok()) return resp.status();
+  clock_->Advance(opts_.local_op_time);
+  if (!resp->accepted) {
+    return Status::CapacityExceeded("owner node refused insert");
+  }
+  const std::lock_guard<std::mutex> g(stats_mutex_);
   ++stats_.puts;
+  return Status::Ok();
+}
+
+Status ElasticCache::Put(Key k, std::string v) {
+  {
+    const std::lock_guard<std::mutex> g(stats_mutex_);
+    ++stats_.puts;
+  }
   if (opts_.replicas >= 2 && k >= opts_.ring.range / 2) {
     ++stats_.put_failures;
     return Status::InvalidArgument(

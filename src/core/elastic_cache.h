@@ -19,10 +19,17 @@
 // Contraction: merge the two least-loaded nodes when their combined data
 // fits under the churn-avoidance threshold (65% of a node), then release
 // the freed instance.
+// Threading: ElasticCache itself is single-threaded except for the pieces
+// the striped front-end (striped_backend.h) relies on — the virtual clock
+// is atomic, and the hot-path counters (Get / PutNoSplit) are guarded by an
+// internal stats mutex.  Everything that can mutate topology (Put-with-
+// split, contraction, eviction, failure injection) must be externally
+// serialized; StripedBackend does so with an exclusive topology lock.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cloudsim/provider.h"
@@ -113,6 +120,13 @@ class ElasticCache final : public CacheBackend {
 
   [[nodiscard]] StatusOr<std::string> Get(Key k) override;
   Status Put(Key k, std::string v) override;
+
+  /// Single-attempt insert that never mutates topology: stores (k, v) on
+  /// k's current owner if it fits, and returns CapacityExceeded when a
+  /// split would be required (the caller then retries through Put under an
+  /// exclusive lock).  Primary copy only — the striped front-end requires
+  /// `replicas == 1`.  Duplicate puts are idempotent successes.
+  Status PutNoSplit(Key k, const std::string& v);
   std::size_t EvictKeys(const std::vector<Key>& keys) override;
   std::vector<std::pair<Key, std::string>> ExtractKeys(
       const std::vector<Key>& keys) override;
@@ -211,6 +225,11 @@ class ElasticCache final : public CacheBackend {
   std::map<NodeId, NodeEntry> nodes_;
   NodeId next_node_id_ = 0;
   CacheStats stats_;
+  /// Guards the counters mutated on the concurrent read path (gets, hits,
+  /// misses, failover_reads, puts).  Topology-path counters (splits,
+  /// migrations, allocations) are only touched under the front-end's
+  /// exclusive lock and stay unguarded.  stats() readers must quiesce.
+  mutable std::mutex stats_mutex_;
   std::vector<SplitReport> split_history_;
   /// True while a proactive split runs: transfers use bg channels and
   /// charge nothing to the virtual clock.

@@ -9,7 +9,12 @@
 //
 // Coarse-grained by intent: the virtual-time costs dominate simulated
 // latency anyway, and a single lock keeps the decorated backend's
-// invariants exactly those of the sequential one.
+// invariants exactly those of the sequential one.  When read concurrency
+// matters — the multi-worker front-end in parallel_coordinator.h — use
+// StripedBackend (striped_backend.h) instead: it lets Gets to different
+// nodes proceed in parallel and reserves exclusive locking for topology
+// changes.  LockedBackend remains the right wrapper for configurations the
+// striped fast paths exclude (replication, arbitrary CacheBackends).
 #pragma once
 
 #include <mutex>

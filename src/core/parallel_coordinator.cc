@@ -1,0 +1,222 @@
+#include "core/parallel_coordinator.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/log.h"
+
+namespace ecc::core {
+
+ParallelCoordinator::ParallelCoordinator(ParallelCoordinatorOptions opts,
+                                         CacheBackend* cache,
+                                         service::Service* service,
+                                         const sfc::Linearizer* linearizer)
+    : opts_(opts),
+      cache_(cache),
+      service_(service),
+      linearizer_(linearizer),
+      worker_states_(opts.workers == 0 ? 1 : opts.workers),
+      pool_(opts.workers == 0 ? 1 : opts.workers),
+      window_(opts.window) {
+  assert(cache != nullptr && service != nullptr && linearizer != nullptr);
+}
+
+ParallelQueryResult ParallelCoordinator::ProcessKeyAs(std::size_t worker,
+                                                      Key k) {
+  assert(worker < worker_states_.size());
+  WorkerState& w = worker_states_[worker];
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  const TimePoint start = w.clock.now();
+
+  {
+    const std::lock_guard<std::mutex> g(window_mutex_);
+    window_.RecordQuery(k);
+  }
+  ++w.queries;
+  total_queries_.fetch_add(1, std::memory_order_relaxed);
+  step_queries_.fetch_add(1, std::memory_order_relaxed);
+
+  ParallelQueryResult result;
+  w.clock.Advance(opts_.lookup_cost);  // the probe every path pays
+  auto cached = cache_->Get(k);
+  if (cached.ok()) {
+    result.path = QueryPath::kHit;
+    ++w.hits;
+    total_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    result.path = MissPath(w, k);
+  }
+  if (result.path != QueryPath::kMiss) {
+    // Coalesced counts toward the step hit ratio: no service work was done.
+    step_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  result.latency = w.clock.now() - start;
+  w.latency_us.Add(static_cast<double>(result.latency.micros()));
+  step_query_time_us_.fetch_add(result.latency.micros(),
+                                std::memory_order_relaxed);
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  return result;
+}
+
+QueryPath ParallelCoordinator::MissPath(WorkerState& w, Key k) {
+  // Single-flight election: exactly one leader per key at a time.
+  std::promise<std::string> promise;
+  std::shared_future<std::string> follow;
+  bool leader = false;
+  {
+    const std::lock_guard<std::mutex> g(flights_mutex_);
+    auto it = flights_.find(k);
+    if (it != flights_.end()) {
+      follow = it->second;
+    } else {
+      leader = true;
+      flights_.emplace(k, promise.get_future().share());
+    }
+  }
+
+  if (!leader) {
+    ++w.coalesced;
+    total_coalesced_.fetch_add(1, std::memory_order_relaxed);
+    // Block (in real time) until the leader lands the result.  In virtual
+    // time the follower is a hit-in-flight: it already paid its probe, and
+    // the service work it would have duplicated is charged to the leader.
+    (void)follow.get();
+    return QueryPath::kCoalesced;
+  }
+
+  // Leader.  Double-check the cache: the previous flight for this key may
+  // have landed between our miss and our registration; without this
+  // re-probe that interleaving would invoke the service a second time.
+  std::string payload;
+  bool from_cache = false;
+  w.clock.Advance(opts_.lookup_cost);
+  auto again = cache_->Get(k);
+  if (again.ok()) {
+    payload = std::move(*again);
+    from_cache = true;
+  } else {
+    const sfc::GeoTemporalQuery q = linearizer_->CellCenter(k);
+    {
+      // Service implementations are single-threaded; leaders of *different*
+      // keys serialize here (real time only — each charges its own clock).
+      const std::lock_guard<std::mutex> g(service_mutex_);
+      auto invoked = service_->Invoke(q, &w.clock);
+      assert(invoked.ok());  // the synthetic substrate cannot fail in-range
+      if (invoked.ok()) payload = std::move(invoked->payload);
+    }
+    w.clock.Advance(opts_.lookup_cost);  // the insert below
+    if (const Status s = cache_->Put(k, payload); !s.ok()) {
+      ECC_LOG_WARN("parallel-coordinator: put failed for key %llu: %s",
+                   static_cast<unsigned long long>(k), s.ToString().c_str());
+    }
+  }
+
+  // Publish order matters: the value must be in the cache before the
+  // flight is erased, so a thread that misses the table afterwards is
+  // guaranteed to hit the cache.
+  {
+    const std::lock_guard<std::mutex> g(flights_mutex_);
+    flights_.erase(k);
+  }
+  promise.set_value(std::move(payload));
+
+  if (from_cache) {
+    ++w.hits;
+    total_hits_.fetch_add(1, std::memory_order_relaxed);
+    return QueryPath::kHit;
+  }
+  ++w.misses;
+  total_misses_.fetch_add(1, std::memory_order_relaxed);
+  return QueryPath::kMiss;
+}
+
+StatusOr<ParallelQueryResult> ParallelCoordinator::ProcessQueryAs(
+    std::size_t worker, const sfc::GeoTemporalQuery& q) {
+  auto key = linearizer_->EncodeQuery(q);
+  if (!key.ok()) return key.status();
+  return ProcessKeyAs(worker, *key);
+}
+
+ParallelBatchReport ParallelCoordinator::RunKeys(
+    const std::vector<Key>& keys) {
+  const std::size_t n = worker_states_.size();
+  ParallelBatchReport report;
+  report.queries = keys.size();
+
+  struct Before {
+    TimePoint clock;
+    std::uint64_t queries, hits, coalesced, misses;
+  };
+  std::vector<Before> before(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const WorkerState& w = worker_states_[i];
+    before[i] = {w.clock.now(), w.queries, w.hits, w.coalesced, w.misses};
+  }
+  const std::uint64_t invocations_before = service_->invocations();
+
+  // Strided round-robin partition: worker i serves keys i, i+n, i+2n, ...
+  // Unlike a shared work cursor, this keeps each worker's virtual-time
+  // accounting deterministic — independent of how the OS happens to
+  // schedule the real threads — while still interleaving hot bursts
+  // across workers so coalescing is exercised.
+  for (std::size_t i = 0; i < n; ++i) {
+    pool_.Submit([this, i, n, &keys] {
+      for (std::size_t at = i; at < keys.size(); at += n) {
+        (void)ProcessKeyAs(i, keys[at]);
+      }
+    });
+  }
+  pool_.WaitIdle();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const WorkerState& w = worker_states_[i];
+    WorkerReport wr;
+    wr.worker = i;
+    wr.queries = w.queries - before[i].queries;
+    wr.busy = w.clock.now() - before[i].clock;
+    wr.p50_us = w.latency_us.Percentile(50);
+    wr.p99_us = w.latency_us.Percentile(99);
+    report.hits += w.hits - before[i].hits;
+    report.coalesced += w.coalesced - before[i].coalesced;
+    report.misses += w.misses - before[i].misses;
+    report.total_query_time += wr.busy;
+    if (wr.busy > report.makespan) report.makespan = wr.busy;
+    report.workers.push_back(wr);
+  }
+  report.service_invocations = service_->invocations() - invocations_before;
+  return report;
+}
+
+TimeStepReport ParallelCoordinator::EndTimeStep() {
+  assert(in_flight_.load(std::memory_order_relaxed) == 0 &&
+         "EndTimeStep requires a quiesced front-end");
+  TimeStepReport report;
+  report.step_queries =
+      static_cast<std::size_t>(step_queries_.exchange(0));
+  report.step_hits = static_cast<std::size_t>(step_hits_.exchange(0));
+  report.step_misses = report.step_queries - report.step_hits;
+  report.step_query_time = Duration::Micros(step_query_time_us_.exchange(0));
+
+  const SliceExpiry expiry = window_.AdvanceSlice();
+  if (!expiry.evicted.empty()) {
+    report.evicted = cache_->EvictKeys(expiry.evicted);
+  }
+  if (expiry.expired_slices > 0 && opts_.contraction_epsilon > 0) {
+    expirations_since_contract_ += expiry.expired_slices;
+    if (expirations_since_contract_ >= opts_.contraction_epsilon) {
+      expirations_since_contract_ = 0;
+      report.contracted = cache_->TryContract();
+    }
+  }
+  report.window_slices = window_.options().slices;
+  return report;
+}
+
+Histogram ParallelCoordinator::MergedLatency() const {
+  Histogram merged{1.0, 1.15};
+  for (const WorkerState& w : worker_states_) merged.Merge(w.latency_us);
+  return merged;
+}
+
+}  // namespace ecc::core

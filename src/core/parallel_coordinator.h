@@ -1,0 +1,198 @@
+// ParallelCoordinator: the multi-threaded query front-end.
+//
+// The paper's coordinator (coordinator.h) serializes every query; its whole
+// premise, though, is hiding a ~23 s service call behind the cache — so
+// under concurrent load the first scaling cliff is N identical misses each
+// paying the full service cost.  This front-end drives queries from an
+// N-worker thread pool and closes that cliff with *single-flight miss
+// coalescing*: concurrent misses on the same key elect one leader, which
+// invokes the service exactly once, while followers block on a
+// shared_future of the result and are accounted as coalesced hits-in-flight.
+//
+// Virtual time under real threads: one shared clock cannot express "eight
+// workers each spent 23 s concurrently" — interleaved charges would sum to
+// 184 s.  Each worker therefore owns a private VirtualClock that accumulates
+// only the costs of the queries it served; a batch's virtual makespan is the
+// *maximum* per-worker busy time, exactly as wall time would behave on
+// dedicated cores.  The shared backend keeps its own (atomic) clock for
+// infrastructure costs (boots, migrations); that timeline is not used for
+// query latency.  See DESIGN.md, "Concurrency model".
+//
+// Lock order (outer to inner): flights/window/service mutexes are leaves
+// and never nest with each other; backend locks (StripedBackend: topology
+// -> stripe -> stats) are acquired only while holding none of ours.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/threadpool.h"
+#include "common/time.h"
+#include "core/backend.h"
+#include "core/coordinator.h"  // TimeStepReport
+#include "core/sliding_window.h"
+#include "core/types.h"
+#include "service/service.h"
+#include "sfc/linearizer.h"
+
+namespace ecc::core {
+
+struct ParallelCoordinatorOptions {
+  /// Worker threads in the pool (and per-worker accounting contexts).
+  std::size_t workers = 4;
+  /// Virtual cost a worker charges itself per cache probe or insert
+  /// (dispatch + B+-Tree op; mirrors 2x ElasticCacheOptions::local_op_time).
+  Duration lookup_cost = Duration::Micros(40);
+  /// Sliding window (same semantics as CoordinatorOptions::window).
+  SlidingWindowOptions window;
+  /// Attempt contraction every this many slice expirations; 0 disables.
+  std::size_t contraction_epsilon = 5;
+};
+
+/// How one query was answered.
+enum class QueryPath {
+  kHit,        ///< found in the cache
+  kCoalesced,  ///< joined another worker's in-flight miss (no service call)
+  kMiss,       ///< led a service invocation
+};
+
+struct ParallelQueryResult {
+  QueryPath path = QueryPath::kMiss;
+  Duration latency;  ///< virtual time on the serving worker's clock
+};
+
+/// Per-worker slice of a batch, for throughput-vs-workers reporting.
+struct WorkerReport {
+  std::size_t worker = 0;
+  std::uint64_t queries = 0;
+  Duration busy;      ///< virtual time this worker spent in the batch
+  double p50_us = 0;  ///< cumulative latency percentiles (all batches)
+  double p99_us = 0;
+};
+
+struct ParallelBatchReport {
+  std::size_t queries = 0;
+  std::size_t hits = 0;
+  std::size_t coalesced = 0;  ///< misses absorbed by single-flight
+  std::size_t misses = 0;     ///< leader misses (service invocations led)
+  std::uint64_t service_invocations = 0;  ///< backend delta over the batch
+  /// Max per-worker busy time: the batch's virtual wall time given one
+  /// core per worker.
+  Duration makespan;
+  Duration total_query_time;  ///< sum of per-worker busy times
+  std::vector<WorkerReport> workers;
+
+  [[nodiscard]] double QueriesPerSecond() const {
+    const double s = makespan.seconds();
+    return s <= 0.0 ? 0.0 : static_cast<double>(queries) / s;
+  }
+};
+
+class ParallelCoordinator {
+ public:
+  /// `cache` must already be thread-safe (StripedBackend or LockedBackend).
+  /// None of the pointers are owned.
+  ParallelCoordinator(ParallelCoordinatorOptions opts, CacheBackend* cache,
+                      service::Service* service,
+                      const sfc::Linearizer* linearizer);
+
+  /// Process one query on worker `worker` (< workers()).  Thread-safe, but
+  /// each worker index must be driven by at most one thread at a time —
+  /// the index names the private clock/histogram context.
+  ParallelQueryResult ProcessKeyAs(std::size_t worker, Key k);
+
+  /// Continuous-coordinate entry point (parity with Coordinator).
+  StatusOr<ParallelQueryResult> ProcessQueryAs(std::size_t worker,
+                                               const sfc::GeoTemporalQuery& q);
+
+  /// Fan `keys` out across the worker pool in a strided round-robin
+  /// partition (worker i serves keys i, i+N, ...) and block until every
+  /// query is answered.  Striding keeps per-worker virtual accounting
+  /// deterministic regardless of OS scheduling.
+  ParallelBatchReport RunKeys(const std::vector<Key>& keys);
+
+  /// Close the current time step: advance the sliding window, apply decay
+  /// eviction, and every epsilon expirations attempt contraction.  Must be
+  /// called with no queries in flight (asserted); step_hits includes
+  /// coalesced hits-in-flight.
+  TimeStepReport EndTimeStep();
+
+  [[nodiscard]] std::size_t workers() const { return worker_states_.size(); }
+  [[nodiscard]] CacheBackend& cache() { return *cache_; }
+  /// The window is safe to inspect only while no queries are in flight.
+  [[nodiscard]] const SlidingWindow& window() const { return window_; }
+
+  // Cumulative counters; safe to read any time.
+  [[nodiscard]] std::uint64_t total_queries() const {
+    return total_queries_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_hits() const {
+    return total_hits_.load(std::memory_order_relaxed);
+  }
+  /// Misses that joined an in-flight computation instead of invoking the
+  /// service (counted at registration, before the wait completes).
+  [[nodiscard]] std::uint64_t coalesced_hits() const {
+    return total_coalesced_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_misses() const {
+    return total_misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Worker `i`'s private clock (its cumulative virtual busy time).
+  [[nodiscard]] TimePoint WorkerTime(std::size_t i) const {
+    return worker_states_[i].clock.now();
+  }
+  /// Latency distribution merged across workers; quiesce before calling.
+  [[nodiscard]] Histogram MergedLatency() const;
+
+ private:
+  struct WorkerState {
+    VirtualClock clock;
+    Histogram latency_us{1.0, 1.15};
+    std::uint64_t queries = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// The miss path: single-flight election, service invocation (leader) or
+  /// shared_future wait (follower).  Returns the path taken.
+  QueryPath MissPath(WorkerState& w, Key k);
+
+  ParallelCoordinatorOptions opts_;
+  CacheBackend* cache_;
+  service::Service* service_;
+  const sfc::Linearizer* linearizer_;
+  /// Fixed at construction; WorkerState is neither copied nor moved.
+  std::vector<WorkerState> worker_states_;
+  ThreadPool pool_;
+
+  std::mutex window_mutex_;  ///< guards window_ recording
+  SlidingWindow window_;
+  std::size_t expirations_since_contract_ = 0;
+
+  std::mutex flights_mutex_;  ///< guards flights_
+  std::unordered_map<Key, std::shared_future<std::string>> flights_;
+
+  /// Serializes service invocations: Service implementations are
+  /// single-threaded (rng, counters).  Held only by flight leaders, so
+  /// coalesced traffic never queues here.
+  std::mutex service_mutex_;
+
+  std::atomic<std::uint64_t> total_queries_{0};
+  std::atomic<std::uint64_t> total_hits_{0};
+  std::atomic<std::uint64_t> total_coalesced_{0};
+  std::atomic<std::uint64_t> total_misses_{0};
+  std::atomic<std::int64_t> step_query_time_us_{0};
+  std::atomic<std::uint64_t> step_queries_{0};
+  std::atomic<std::uint64_t> step_hits_{0};
+  std::atomic<std::int64_t> in_flight_{0};
+};
+
+}  // namespace ecc::core

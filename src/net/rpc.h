@@ -5,6 +5,14 @@
 // request, charges the network model for request and response transfer on
 // the shared virtual clock, and hands back the decoded response — the same
 // code path a socket transport would follow, minus the kernel.
+//
+// Thread-safety: a channel is NOT internally synchronized — Call mutates
+// the per-channel stats, and the server's handlers mutate whatever state
+// they are bound to (a CacheNode's shard).  Concurrent callers must
+// serialize per channel/endpoint; the striped backend does this with one
+// stripe mutex per cache node, so a node's channel and shard are only ever
+// driven by the stripe holder.  The clock pointer is safe to share (the
+// VirtualClock is atomic).
 #pragma once
 
 #include <functional>

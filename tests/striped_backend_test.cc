@@ -1,0 +1,130 @@
+// Tests for the striped thread-safe backend: sequential parity with the
+// bare elastic cache, the no-split fast path + exclusive split fallback,
+// and concurrent access smoke (the heavy interleavings live in
+// parallel_stress_test.cc, which the TSan CI job gates).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloudsim/provider.h"
+#include "core/elastic_cache.h"
+#include "core/striped_backend.h"
+#include "core/types.h"
+
+namespace ecc::core {
+namespace {
+
+constexpr std::uint64_t kKeyspace = 1u << 11;
+
+struct Fixture {
+  explicit Fixture(std::size_t records_per_node = 64)
+      : provider(
+            [] {
+              cloudsim::CloudOptions o;
+              o.boot_mean = Duration::Seconds(60);
+              o.seed = 7;
+              return o;
+            }(),
+            &clock),
+        cache(
+            [&] {
+              ElasticCacheOptions o;
+              o.node_capacity_bytes =
+                  records_per_node * RecordSize(0, std::size_t{128});
+              o.ring.range = kKeyspace;
+              return o;
+            }(),
+            &provider, &clock),
+        striped(&cache, /*stripes=*/8) {}
+
+  VirtualClock clock;
+  cloudsim::CloudProvider provider;
+  ElasticCache cache;
+  StripedBackend striped;
+};
+
+std::string Val(Key k) { return "value-" + std::to_string(k) + "-payload"; }
+
+TEST(StripedBackendTest, PutGetParity) {
+  Fixture f;
+  EXPECT_EQ(f.striped.Name(), "gba-elastic+striped");
+  for (Key k = 0; k < 40; ++k) {
+    ASSERT_TRUE(f.striped.Put(k, Val(k)).ok());
+  }
+  for (Key k = 0; k < 40; ++k) {
+    auto got = f.striped.Get(k);
+    ASSERT_TRUE(got.ok()) << "key " << k;
+    EXPECT_EQ(*got, Val(k));
+  }
+  EXPECT_FALSE(f.striped.Get(1000).ok());
+  EXPECT_EQ(f.striped.TotalRecords(), 40u);
+  EXPECT_EQ(f.striped.stats().puts, 40u);
+  EXPECT_EQ(f.striped.stats().hits, 40u);
+  EXPECT_EQ(f.striped.stats().misses, 1u);
+}
+
+TEST(StripedBackendTest, OverflowFallsBackToSplitPath) {
+  Fixture f(/*records_per_node=*/16);
+  // Push well past one node's capacity: the fast path must hand overflowing
+  // inserts to the exclusive GBA path, which splits and allocates.
+  const std::size_t n = 64;
+  for (Key k = 0; k < n; ++k) {
+    ASSERT_TRUE(f.striped.Put(k * (kKeyspace / n), Val(k)).ok());
+  }
+  EXPECT_GT(f.striped.NodeCount(), 1u);
+  EXPECT_GT(f.striped.stats().splits, 0u);
+  EXPECT_EQ(f.striped.TotalRecords(), n);
+  for (Key k = 0; k < n; ++k) {
+    EXPECT_TRUE(f.striped.Get(k * (kKeyspace / n)).ok()) << "key index " << k;
+  }
+}
+
+TEST(StripedBackendTest, DuplicatePutIsIdempotent) {
+  Fixture f;
+  ASSERT_TRUE(f.striped.Put(5, Val(5)).ok());
+  ASSERT_TRUE(f.striped.Put(5, Val(5)).ok());
+  EXPECT_EQ(f.striped.TotalRecords(), 1u);
+}
+
+TEST(StripedBackendTest, EvictAndContractTakeExclusivePath) {
+  Fixture f(/*records_per_node=*/16);
+  const std::size_t n = 64;
+  std::vector<Key> keys;
+  for (Key k = 0; k < n; ++k) keys.push_back(k * (kKeyspace / n));
+  for (Key k : keys) ASSERT_TRUE(f.striped.Put(k, Val(k)).ok());
+  const std::size_t grown = f.striped.NodeCount();
+  ASSERT_GT(grown, 1u);
+
+  EXPECT_EQ(f.striped.EvictKeys(keys), n);
+  EXPECT_EQ(f.striped.TotalRecords(), 0u);
+  // Empty nodes merge pairwise under the churn threshold.
+  EXPECT_TRUE(f.striped.TryContract());
+  EXPECT_EQ(f.striped.NodeCount(), grown - 1);
+}
+
+TEST(StripedBackendTest, ConcurrentDisjointPutsAllLand) {
+  Fixture f(/*records_per_node=*/64);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 64;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&f, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const Key k = static_cast<Key>(t * kPerThread + i) *
+                      (kKeyspace / (kThreads * kPerThread));
+        ASSERT_TRUE(f.striped.Put(k, Val(k)).ok());
+        auto got = f.striped.Get(k);
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(*got, Val(k));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(f.striped.TotalRecords(), kThreads * kPerThread);
+  EXPECT_EQ(f.striped.stats().puts, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace ecc::core
