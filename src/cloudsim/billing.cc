@@ -53,7 +53,8 @@ BillingReport MakeBillingReport(const CloudProvider& provider,
     item.instance_type = inst->type.name;
     item.state = inst->state;
     item.launched = inst->requested_at;
-    const TimePoint end = inst->state == InstanceState::kTerminated
+    const TimePoint end = inst->state == InstanceState::kTerminated ||
+                                  inst->state == InstanceState::kFailed
                               ? inst->terminated_at
                               : now;
     item.lifetime = end - inst->requested_at;

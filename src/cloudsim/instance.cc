@@ -25,6 +25,7 @@ const char* InstanceStateName(InstanceState s) {
     case InstanceState::kBooting: return "BOOTING";
     case InstanceState::kRunning: return "RUNNING";
     case InstanceState::kTerminated: return "TERMINATED";
+    case InstanceState::kFailed: return "FAILED";
   }
   return "UNKNOWN";
 }
@@ -36,6 +37,7 @@ Duration Instance::RunningTime(TimePoint now) const {
     case InstanceState::kRunning:
       return now - running_at;
     case InstanceState::kTerminated:
+    case InstanceState::kFailed:
       return terminated_at - running_at;
   }
   return Duration::Zero();
@@ -53,6 +55,7 @@ double Instance::CostDollars(TimePoint now) const {
       end = now;
       break;
     case InstanceState::kTerminated:
+    case InstanceState::kFailed:
       end = terminated_at;
       break;
   }

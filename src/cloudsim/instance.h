@@ -29,7 +29,14 @@ struct InstanceType {
 
 using InstanceId = std::uint64_t;
 
-enum class InstanceState { kBooting, kRunning, kTerminated };
+enum class InstanceState {
+  kBooting,
+  kRunning,
+  kTerminated,
+  /// Abrupt loss (hardware fault, injected crash): billed like a
+  /// termination, but distinguished for failure accounting.
+  kFailed,
+};
 
 [[nodiscard]] const char* InstanceStateName(InstanceState s);
 

@@ -69,7 +69,8 @@ Status CloudProvider::Terminate(InstanceId id) {
   const auto it = instances_.find(id);
   if (it == instances_.end()) return Status::NotFound("unknown instance");
   Instance& inst = it->second;
-  if (inst.state == InstanceState::kTerminated) {
+  if (inst.state == InstanceState::kTerminated ||
+      inst.state == InstanceState::kFailed) {
     return Status::FailedPrecondition("already terminated");
   }
   // A booting warm instance can be cancelled too; bill from request time.
@@ -81,6 +82,26 @@ Status CloudProvider::Terminate(InstanceId id) {
                    warm_pool_.end());
   ++stats_.terminations;
   ECC_LOG_INFO("cloud: terminate #%llu", static_cast<unsigned long long>(id));
+  return Status::Ok();
+}
+
+Status CloudProvider::Fail(InstanceId id) {
+  const auto it = instances_.find(id);
+  if (it == instances_.end()) return Status::NotFound("unknown instance");
+  Instance& inst = it->second;
+  if (inst.state == InstanceState::kTerminated ||
+      inst.state == InstanceState::kFailed) {
+    return Status::FailedPrecondition("already terminated");
+  }
+  if (inst.running_at > clock_->now()) inst.running_at = clock_->now();
+  inst.state = InstanceState::kFailed;
+  inst.terminated_at = clock_->now();
+  allocated_.erase(id);
+  warm_pool_.erase(std::remove(warm_pool_.begin(), warm_pool_.end(), id),
+                   warm_pool_.end());
+  ++stats_.failures;
+  ECC_LOG_WARN("cloud: instance #%llu FAILED",
+               static_cast<unsigned long long>(id));
   return Status::Ok();
 }
 

@@ -39,6 +39,7 @@ struct AllocationStats {
   std::uint64_t cold_allocations = 0;
   std::uint64_t warm_hits = 0;
   std::uint64_t terminations = 0;
+  std::uint64_t failures = 0;  ///< abrupt instance losses (Fail)
   Duration total_boot_wait;  ///< clock time spent waiting on boots
   Duration last_boot_wait;
 };
@@ -58,6 +59,11 @@ class CloudProvider {
 
   /// Release an instance.  Idempotent errors: unknown/terminated ids fail.
   Status Terminate(InstanceId id);
+
+  /// Record an abrupt instance loss (crash injection / node failure): the
+  /// instance leaves service immediately, billed like a termination but
+  /// marked kFailed and counted in stats().failures.
+  Status Fail(InstanceId id);
 
   /// Launch `n` instances in the background (clock does not advance); they
   /// become free warm capacity once their boot completes.

@@ -53,7 +53,7 @@ std::string RingMap(const ElasticCache& cache, std::size_t width) {
 }
 
 std::string StatsSummary(const CacheStats& stats) {
-  char buf[640];
+  char buf[896];
   std::snprintf(
       buf, sizeof(buf),
       "gets=%llu (hits=%llu misses=%llu, rate=%.3f)  puts=%llu (failed=%llu)\n"
@@ -61,7 +61,9 @@ std::string StatsSummary(const CacheStats& stats) {
       "merges=%llu  failures=%llu\n"
       "migrated=%llu records / %llu bytes  split_overhead=%s "
       "(alloc=%s move=%s)\n"
-      "replicas: writes=%llu drops=%llu failover_reads=%llu\n",
+      "replicas: writes=%llu drops=%llu failover_reads=%llu\n"
+      "faults: rpc_retries=%llu rpc_failures=%llu degraded_gets=%llu "
+      "degraded_puts=%llu mig_aborts=%llu mig_recoveries=%llu\n",
       static_cast<unsigned long long>(stats.gets),
       static_cast<unsigned long long>(stats.hits),
       static_cast<unsigned long long>(stats.misses), stats.HitRate(),
@@ -80,7 +82,13 @@ std::string StatsSummary(const CacheStats& stats) {
       stats.total_migration_time.ToString().c_str(),
       static_cast<unsigned long long>(stats.replica_writes),
       static_cast<unsigned long long>(stats.replica_drops),
-      static_cast<unsigned long long>(stats.failover_reads));
+      static_cast<unsigned long long>(stats.failover_reads),
+      static_cast<unsigned long long>(stats.rpc_retries),
+      static_cast<unsigned long long>(stats.rpc_failures),
+      static_cast<unsigned long long>(stats.degraded_gets),
+      static_cast<unsigned long long>(stats.degraded_puts),
+      static_cast<unsigned long long>(stats.migration_aborts),
+      static_cast<unsigned long long>(stats.migration_recoveries));
   return buf;
 }
 

@@ -33,6 +33,13 @@ struct CacheStats {
   std::uint64_t replica_drops = 0;    ///< replicas skipped (no room/peer)
   std::uint64_t failover_reads = 0;   ///< gets served by a replica
   std::uint64_t node_failures = 0;    ///< abrupt KillNode events absorbed
+  // Fault-tolerance layer (fault injection + recovery):
+  std::uint64_t rpc_retries = 0;      ///< RPC attempts beyond the first
+  std::uint64_t rpc_failures = 0;     ///< calls that exhausted their retries
+  std::uint64_t degraded_gets = 0;    ///< gets downgraded to a miss (node down)
+  std::uint64_t degraded_puts = 0;    ///< puts refused because the owner is down
+  std::uint64_t migration_aborts = 0;     ///< two-phase migrations rolled back
+  std::uint64_t migration_recoveries = 0; ///< rolled forward after commit
   Duration total_split_overhead;     ///< alloc + data movement (Fig. 4)
   Duration last_split_overhead;
   Duration total_alloc_time;         ///< the allocation share of the above

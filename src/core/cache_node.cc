@@ -182,6 +182,24 @@ void CacheNode::InstallHandlers() {
                 resp.capacity_bytes = capacity_bytes_;
                 return resp.Encode();
               });
+  rpc_.Handle(net::MsgType::kRangeStatsRequest,
+              [this](const net::Message& m) -> StatusOr<net::Message> {
+                auto req = net::RangeStatsRequest::Decode(m);
+                if (!req.ok()) return req.status();
+                const RangeStats stats = StatsInRange(req->lo, req->hi);
+                net::RangeStatsResponse resp;
+                resp.records = stats.records;
+                resp.bytes = stats.bytes;
+                return resp.Encode();
+              });
+  rpc_.Handle(net::MsgType::kEraseRangeRequest,
+              [this](const net::Message& m) -> StatusOr<net::Message> {
+                auto req = net::EraseRangeRequest::Decode(m);
+                if (!req.ok()) return req.status();
+                net::EraseRangeResponse resp;
+                resp.erased = EraseRange(req->lo, req->hi);
+                return resp.Encode();
+              });
 }
 
 }  // namespace ecc::core

@@ -62,6 +62,10 @@ StatusOr<NodeId> ElasticCache::AllocateNode() {
       &entry.node->rpc(), net_model_, clock_);
   entry.bg_channel = std::make_unique<net::LoopbackChannel>(
       &entry.node->rpc(), net_model_, /*clock=*/nullptr);
+  if (opts_.fault != nullptr) {
+    entry.channel->BindInterceptor(opts_.fault, id);
+    entry.bg_channel->BindInterceptor(opts_.fault, id);
+  }
   nodes_.emplace(id, std::move(entry));
   ++stats_.node_allocations;
   stats_.total_alloc_time += boot_wait;
@@ -81,15 +85,26 @@ StatusOr<std::string> ElasticCache::Get(Key k) {
 
   NodeEntry& entry = Entry(*owner);
   net::GetRequest req{k};
-  auto resp_msg = entry.channel->Call(req.Encode());
-  if (!resp_msg.ok()) return resp_msg.status();
-  auto resp = net::GetResponse::Decode(*resp_msg);
-  if (!resp.ok()) return resp.status();
-  clock_->Advance(opts_.local_op_time);  // B+-Tree search on the node
-  if (resp->found) {
-    const std::lock_guard<std::mutex> g(stats_mutex_);
-    ++stats_.hits;
-    return std::move(resp->value);
+  bool owner_unreachable = false;
+  auto resp_msg = CallNode(entry, req.Encode());
+  if (resp_msg.ok()) {
+    auto resp = net::GetResponse::Decode(*resp_msg);
+    if (!resp.ok()) return resp.status();
+    clock_->Advance(opts_.local_op_time);  // B+-Tree search on the node
+    if (resp->found) {
+      const std::lock_guard<std::mutex> g(stats_mutex_);
+      ++stats_.hits;
+      return std::move(resp->value);
+    }
+  } else if (resp_msg.status().code() == StatusCode::kUnavailable) {
+    // Graceful degradation: the owner is unreachable even after retries.
+    // This is a cache, not a store of record — fall through to the replica,
+    // and failing that report a miss so the coordinator re-invokes the
+    // backing service instead of erroring the query.  Topology repair
+    // happens on the (exclusively locked) put path, never here.
+    owner_unreachable = true;
+  } else {
+    return resp_msg.status();
   }
 
   // Failover read: the mirror copy at (k + r/2) survives a primary loss
@@ -98,8 +113,7 @@ StatusOr<std::string> ElasticCache::Get(Key k) {
     auto replica_owner = ReplicaOwnerOf(k);
     if (replica_owner.ok() && *replica_owner != *owner) {
       net::GetRequest mirror_req{MirrorKey(k)};
-      auto replica_msg =
-          Entry(*replica_owner).channel->Call(mirror_req.Encode());
+      auto replica_msg = CallNode(Entry(*replica_owner), mirror_req.Encode());
       if (replica_msg.ok()) {
         auto replica_resp = net::GetResponse::Decode(*replica_msg);
         if (replica_resp.ok() && replica_resp->found) {
@@ -114,8 +128,23 @@ StatusOr<std::string> ElasticCache::Get(Key k) {
   {
     const std::lock_guard<std::mutex> g(stats_mutex_);
     ++stats_.misses;
+    if (owner_unreachable) ++stats_.degraded_gets;
   }
   return Status::NotFound();
+}
+
+StatusOr<net::Message> ElasticCache::CallNode(NodeEntry& entry,
+                                              const net::Message& request) {
+  net::LoopbackChannel& channel =
+      background_mode_ ? *entry.bg_channel : *entry.channel;
+  net::RetryStats rs;
+  auto result = net::CallWithRetry(channel, request, opts_.rpc_retry, &rs);
+  if (rs.retries > 0 || rs.exhausted > 0) {
+    const std::lock_guard<std::mutex> g(stats_mutex_);
+    stats_.rpc_retries += rs.retries;
+    stats_.rpc_failures += rs.exhausted;
+  }
+  return result;
 }
 
 StatusOr<NodeId> ElasticCache::ReplicaOwnerOf(Key k) const {
@@ -145,7 +174,10 @@ Status ElasticCache::PutNoSplit(Key k, const std::string& v) {
     return Status::CapacityExceeded("owner node full; split required");
   }
   net::PutRequest req{k, v};
-  auto resp_msg = entry.channel->Call(req.Encode());
+  // On Unavailable (owner down / wire loss beyond the retry budget) the
+  // status propagates: the striped front-end escalates to the exclusive
+  // Put path, whose GBA loop repairs the ring before retrying.
+  auto resp_msg = CallNode(entry, req.Encode());
   if (!resp_msg.ok()) return resp_msg.status();
   auto resp = net::PutResponse::Decode(*resp_msg);
   if (!resp.ok()) return resp.status();
@@ -242,8 +274,24 @@ Status ElasticCache::PutInternal(Key k, const std::string& v) {
 
     if (entry.node->CanFit(rec)) {
       net::PutRequest req{k, v};
-      auto resp_msg = entry.channel->Call(req.Encode());
-      if (!resp_msg.ok()) return resp_msg.status();
+      auto resp_msg = CallNode(entry, req.Encode());
+      if (!resp_msg.ok()) {
+        // Owner unreachable: if the injector confirms the node is down
+        // (not mere wire loss), repair the ring — crash the dead node so
+        // its arcs repoint at survivors — and re-route this insert.  The
+        // GBA loop retries against the new owner.
+        if (resp_msg.status().code() == StatusCode::kUnavailable &&
+            opts_.fault != nullptr && opts_.fault->IsDown(*owner) &&
+            nodes_.size() >= 2) {
+          {
+            const std::lock_guard<std::mutex> g(stats_mutex_);
+            ++stats_.degraded_puts;
+          }
+          (void)CrashNodeInternal(*owner);
+          continue;
+        }
+        return resp_msg.status();
+      }
       auto resp = net::PutResponse::Decode(*resp_msg);
       if (!resp.ok()) return resp.status();
       clock_->Advance(opts_.local_op_time);
@@ -368,24 +416,23 @@ Status ElasticCache::SplitNode(NodeId node_id) {
     allocated_new = true;
   }
 
-  // --- Transfer the sub-arc (arc.lo, k_mu]. -------------------------------
+  // --- Two-phase transfer of the sub-arc (arc.lo, k_mu]. ------------------
+  // Copy -> verify -> commit (AddBucket, Algorithm 1 lines 13-15) ->
+  // delete-at-source; crash-safe at every step.
   const TimePoint move_start = clock_->now();
-  NodeEntry& dest = Entry(dest_id);
-  RangeStats moved;
-  {
-    hashring::Arc sub{arc.lo_exclusive, k_mu,
-                      /*wraps=*/arc.wraps && k_mu <= arc.hi_inclusive};
-    for (const auto& [lo, hi] : ArcKeyRanges(sub)) {
-      const RangeStats part = TransferRange(src, dest, lo, hi);
-      moved.records += part.records;
-      moved.bytes += part.bytes;
-    }
-  }
-
-  // --- Update B and NodeMap (Algorithm 1 lines 13-15). --------------------
+  const hashring::Arc sub{arc.lo_exclusive, k_mu,
+                          /*wraps=*/arc.wraps && k_mu <= arc.hi_inclusive};
   const std::uint64_t point = k_mu % opts_.ring.range;
-  auto takeover = ring_.AddBucket(point, dest_id);
-  if (!takeover.ok()) return takeover.status();
+  RangeStats moved;
+  const Status migrated = TwoPhaseMigrate(
+      node_id, dest_id, ArcKeyRanges(sub),
+      /*commit=*/
+      [&]() -> Status {
+        auto takeover = ring_.AddBucket(point, dest_id);
+        return takeover.ok() ? Status::Ok() : takeover.status();
+      },
+      /*uncommit=*/[&] { (void)ring_.RemoveBucket(point); }, &moved);
+  if (!migrated.ok()) return migrated;
 
   SplitReport report;
   report.source = node_id;
@@ -411,44 +458,202 @@ Status ElasticCache::SplitNode(NodeId node_id) {
   return Status::Ok();
 }
 
-RangeStats ElasticCache::TransferRange(CacheNode& src, NodeEntry& dest,
-                                       Key lo, Key hi) {
-  RangeStats moved;
-  // Background (proactive) transfers ride the uncharged channel: the data
-  // movement overlaps query service instead of blocking it.
-  net::LoopbackChannel& channel =
-      background_mode_ ? *dest.bg_channel : *dest.channel;
-  // Sweep the linked leaves once, then ship in batches.
-  std::vector<std::pair<Key, std::string>> records = src.SweepRange(lo, hi);
-  std::size_t offset = 0;
-  while (offset < records.size()) {
-    const std::size_t n =
-        std::min(opts_.migrate_batch_records, records.size() - offset);
-    net::MigrateRequest req;
-    req.records.assign(records.begin() + offset,
-                       records.begin() + offset + n);
-    auto resp_msg = channel.Call(req.Encode());
-    // Accounting proceeds even if the response is malformed — the loopback
-    // channel cannot drop messages — but assert in debug builds.
-    assert(resp_msg.ok());
-    if (resp_msg.ok()) {
-      auto resp = net::MigrateResponse::Decode(*resp_msg);
-      assert(resp.ok() && resp->accepted == n);
-      (void)resp;
+fault::MigrationFault ElasticCache::FireStep(std::size_t migration,
+                                             fault::MigrationStep step) {
+  if (opts_.fault == nullptr) return fault::MigrationFault::kNone;
+  return opts_.fault->OnMigrationStep(migration, step);
+}
+
+void ElasticCache::EraseKeysReliable(NodeEntry& entry,
+                                     const std::vector<Key>& keys) {
+  if (keys.empty()) return;
+  net::EraseRequest req;
+  req.keys = keys;
+  auto resp_msg = CallNode(entry, req.Encode());
+  if (resp_msg.ok()) return;
+  // The wire path is faulted; recovery repairs the shard directly (the
+  // coordinator and node share a process — only the simulated network can
+  // fail).  Without this, rollback itself could be lost to the very fault
+  // schedule it is cleaning up after.
+  for (const Key k : keys) (void)entry.node->Erase(k);
+}
+
+Status ElasticCache::TwoPhaseMigrate(
+    NodeId src_id, NodeId dest_id,
+    const std::vector<std::pair<Key, Key>>& ranges,
+    const std::function<Status()>& commit,
+    const std::function<void()>& uncommit, RangeStats* moved) {
+  using fault::MigrationFault;
+  using fault::MigrationStep;
+  CacheNode& src = *Entry(src_id).node;
+  NodeEntry& dest = Entry(dest_id);
+  const std::size_t mig =
+      opts_.fault != nullptr ? opts_.fault->BeginMigration() : 0;
+
+  // Keys shipped so far; rollback = erase exactly these at the destination
+  // (never a range erase — in a contraction merge the destination already
+  // holds its own records inside `ranges`).
+  std::vector<Key> shipped;
+  const auto abort_with = [&](const char* why, bool crash_src,
+                              bool crash_dest) -> Status {
+    ++stats_.migration_aborts;
+    if (!crash_dest) EraseKeysReliable(dest, shipped);
+    // Crash after rollback: the victim's kill report then charges only
+    // records it legitimately owned.
+    if (crash_src) (void)CrashNodeInternal(src_id);
+    if (crash_dest) (void)CrashNodeInternal(dest_id);
+    return Status::Unavailable(why);
+  };
+  // Pre-commit steps share one fault reaction: the protocol stops, the
+  // destination's partial copy is undone, and the source (or its kill
+  // report) still accounts for every key.
+  const auto guard_precommit = [&](MigrationStep step) -> Status {
+    switch (FireStep(mig, step)) {
+      case MigrationFault::kNone:
+        return Status::Ok();
+      case MigrationFault::kAbort:
+        return abort_with("migration aborted", false, false);
+      case MigrationFault::kCrashSource:
+        return abort_with("migration source crashed", true, false);
+      case MigrationFault::kCrashDest:
+        return abort_with("migration destination crashed", false, true);
     }
-    for (std::size_t i = offset; i < offset + n; ++i) {
-      moved.bytes += RecordSize(records[i].first, records[i].second);
-      ++moved.records;
-      const bool erased = src.Erase(records[i].first);
-      assert(erased);
-      (void)erased;
-      if (!background_mode_) {
-        clock_->Advance(opts_.local_op_time);  // local delete
+    return Status::Ok();
+  };
+
+  if (Status s = guard_precommit(MigrationStep::kBeforeCopy); !s.ok()) {
+    return s;
+  }
+
+  // Baseline for verification: what the destination already holds in the
+  // moving ranges (non-zero when merging into a populated absorber).
+  std::uint64_t before_records = 0;
+  for (const auto& [lo, hi] : ranges) {
+    net::RangeStatsRequest stat_req{lo, hi};
+    auto stat_msg = CallNode(dest, stat_req.Encode());
+    if (!stat_msg.ok()) return abort_with("destination unreachable", false, false);
+    auto stat = net::RangeStatsResponse::Decode(*stat_msg);
+    if (!stat.ok()) return abort_with("bad range-stats response", false, false);
+    before_records += stat->records;
+  }
+
+  // --- Phase 1: COPY.  Sweep the linked leaves once per range, ship in
+  // batched MIGRATE messages, and crucially do NOT erase at the source —
+  // until commit, the source copy is the authoritative one.
+  RangeStats copied;
+  bool mid_copy_fired = false;
+  for (const auto& [lo, hi] : ranges) {
+    const std::vector<std::pair<Key, std::string>> records =
+        src.SweepRange(lo, hi);
+    std::size_t offset = 0;
+    while (offset < records.size()) {
+      const std::size_t n =
+          std::min(opts_.migrate_batch_records, records.size() - offset);
+      net::MigrateRequest req;
+      req.records.assign(records.begin() + offset,
+                         records.begin() + offset + n);
+      auto resp_msg = CallNode(dest, req.Encode());
+      if (!resp_msg.ok()) {
+        return abort_with("migration batch lost", false, false);
+      }
+      for (std::size_t i = offset; i < offset + n; ++i) {
+        shipped.push_back(records[i].first);
+        copied.bytes += RecordSize(records[i].first, records[i].second);
+        ++copied.records;
+      }
+      offset += n;
+      if (!mid_copy_fired) {
+        mid_copy_fired = true;
+        if (Status s = guard_precommit(MigrationStep::kMidCopy); !s.ok()) {
+          return s;
+        }
       }
     }
-    offset += n;
   }
-  return moved;
+  if (Status s = guard_precommit(MigrationStep::kAfterCopy); !s.ok()) {
+    return s;
+  }
+
+  // --- Phase 2: VERIFY.  The destination must now hold its baseline plus
+  // every distinct key we shipped (re-sent batches after a lost response
+  // are idempotent and do not inflate the count).
+  std::uint64_t after_records = 0;
+  for (const auto& [lo, hi] : ranges) {
+    net::RangeStatsRequest stat_req{lo, hi};
+    auto stat_msg = CallNode(dest, stat_req.Encode());
+    if (!stat_msg.ok()) return abort_with("verify unreachable", false, false);
+    auto stat = net::RangeStatsResponse::Decode(*stat_msg);
+    if (!stat.ok()) return abort_with("bad verify response", false, false);
+    after_records += stat->records;
+  }
+  if (after_records != before_records + copied.records) {
+    (void)abort_with("verification mismatch", false, false);
+    return Status::Internal("migration verification mismatch");
+  }
+  if (Status s = guard_precommit(MigrationStep::kAfterVerify); !s.ok()) {
+    return s;
+  }
+
+  // --- Phase 3: COMMIT.  The caller's ring mutation is coordinator-local
+  // and atomic; from here on the destination copy is authoritative.
+  if (Status s = commit(); !s.ok()) {
+    (void)abort_with("commit rejected", false, false);
+    return s;
+  }
+  if (moved != nullptr) *moved = copied;
+
+  // Post-commit faults roll FORWARD: the data is live at the destination,
+  // so recovery finishes the delete instead of undoing the copy.  The one
+  // exception is losing the destination itself, which forces un-commit so
+  // the ring routes back to the still-intact source copy.
+  switch (FireStep(mig, MigrationStep::kAfterCommit)) {
+    case MigrationFault::kNone:
+      break;
+    case MigrationFault::kAbort: {
+      // Coordinator "crashed" between commit and delete; the recovery
+      // sweep completes the cleanup.
+      ++stats_.migration_recoveries;
+      break;  // fall through to the delete phase below
+    }
+    case MigrationFault::kCrashSource:
+      // Source died with its stale copies; they vanish with its kill
+      // report and the committed destination serves the range.  Delete is
+      // moot.
+      (void)CrashNodeInternal(src_id);
+      return Status::Ok();
+    case MigrationFault::kCrashDest: {
+      // Destination died holding the freshly committed range.  Un-commit
+      // so the range routes to the source again (whose copies were not
+      // yet deleted): the key set survives the crash.
+      ++stats_.migration_aborts;
+      uncommit();
+      (void)CrashNodeInternal(dest_id);
+      return Status::Unavailable("destination crashed after commit");
+    }
+  }
+
+  // --- Phase 4: DELETE at source (cleanup; idempotent).
+  EraseKeysReliable(Entry(src_id), shipped);
+  if (!background_mode_) {
+    for (std::size_t i = 0; i < shipped.size(); ++i) {
+      clock_->Advance(opts_.local_op_time);  // local delete
+    }
+  }
+
+  switch (FireStep(mig, MigrationStep::kAfterDelete)) {
+    case MigrationFault::kNone:
+    case MigrationFault::kAbort:  // protocol already complete; nothing to do
+      break;
+    case MigrationFault::kCrashSource:
+      (void)CrashNodeInternal(src_id);
+      break;
+    case MigrationFault::kCrashDest:
+      // The migrated records die with the destination — a plain node loss
+      // now, fully charged to its kill report.
+      (void)CrashNodeInternal(dest_id);
+      break;
+  }
+  return Status::Ok();
 }
 
 void ElasticCache::StoreReplica(Key k, const std::string& v) {
@@ -485,7 +690,7 @@ std::size_t ElasticCache::EvictKeys(const std::vector<Key>& keys) {
   for (auto& [id, node_keys] : per_node) {
     net::EraseRequest req;
     req.keys = std::move(node_keys);
-    auto resp_msg = Entry(id).channel->Call(req.Encode());
+    auto resp_msg = CallNode(Entry(id), req.Encode());
     if (!resp_msg.ok()) continue;
     auto resp = net::EraseResponse::Decode(*resp_msg);
     if (resp.ok()) erased_total += resp->erased;
@@ -493,7 +698,7 @@ std::size_t ElasticCache::EvictKeys(const std::vector<Key>& keys) {
   for (auto& [id, node_keys] : per_replica_node) {
     net::EraseRequest req;
     req.keys = std::move(node_keys);
-    (void)Entry(id).channel->Call(req.Encode());
+    (void)CallNode(Entry(id), req.Encode());
   }
   stats_.evictions += erased_total;
   return erased_total;
@@ -516,21 +721,31 @@ std::vector<std::pair<Key, std::string>> ElasticCache::ExtractKeys(
 }
 
 StatusOr<KillReport> ElasticCache::KillNode(NodeId id) {
-  const auto it = nodes_.find(id);
-  if (it == nodes_.end()) return Status::NotFound("unknown node");
+  if (nodes_.find(id) == nodes_.end()) {
+    return Status::NotFound("unknown node");
+  }
   if (nodes_.size() < 2) {
     return Status::FailedPrecondition("cannot kill the last node");
   }
+  return CrashNodeInternal(id);
+}
+
+KillReport ElasticCache::CrashNodeInternal(NodeId id) {
+  const auto it = nodes_.find(id);
+  assert(it != nodes_.end() && nodes_.size() >= 2);
   CacheNode& victim = *it->second.node;
 
   KillReport report;
   report.node = id;
   report.records_dropped = victim.record_count();
-  // How many of the dropped records survive elsewhere?  Every record's
-  // other copy sits at its mirror position; it survives iff that position
-  // routes to a different, living node that holds it.
-  if (opts_.replicas >= 2) {
-    for (auto rec = victim.tree().Begin(); rec.valid(); rec.Next()) {
+  report.keys_dropped.reserve(report.records_dropped);
+  // Record every dropped key (crash accounting for the fault tests), and —
+  // with replication — how many survive elsewhere: a record's other copy
+  // sits at its mirror position and survives iff that position routes to a
+  // different, living node that holds it.
+  for (auto rec = victim.tree().Begin(); rec.valid(); rec.Next()) {
+    report.keys_dropped.push_back(rec.key());
+    if (opts_.replicas >= 2) {
       const Key mirror = MirrorKey(rec.key());
       auto other = ring_.Lookup(mirror);
       if (other.ok() && *other != id &&
@@ -541,18 +756,32 @@ StatusOr<KillReport> ElasticCache::KillNode(NodeId id) {
   }
 
   // Repoint every bucket of the dead node at its arc's successor owner
-  // (computed against the surviving fleet).
+  // (computed against the surviving fleet).  When the victim owns EVERY
+  // bucket — e.g. the source of a split crashing before commit, while the
+  // fresh destination has no ring presence yet — successor scanning finds
+  // nobody, so fall back to any surviving node.
+  hashring::Owner fallback = id;
+  for (const auto& [other_id, other_entry] : nodes_) {
+    (void)other_entry;
+    if (other_id != id) {
+      fallback = other_id;
+      break;
+    }
+  }
   const auto& buckets = ring_.buckets();
   std::vector<std::pair<std::uint64_t, hashring::Owner>> reassignments;
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     if (buckets[i].owner != id) continue;
+    hashring::Owner candidate = fallback;
     for (std::size_t step = 1; step < buckets.size(); ++step) {
-      const hashring::Owner candidate = buckets[(i + step) % buckets.size()].owner;
-      if (candidate != id) {
-        reassignments.emplace_back(buckets[i].point, candidate);
+      const hashring::Owner successor =
+          buckets[(i + step) % buckets.size()].owner;
+      if (successor != id) {
+        candidate = successor;
         break;
       }
     }
+    reassignments.emplace_back(buckets[i].point, candidate);
   }
   for (const auto& [point, new_owner] : reassignments) {
     const Status s = ring_.ReassignBucket(point, new_owner);
@@ -561,14 +790,17 @@ StatusOr<KillReport> ElasticCache::KillNode(NodeId id) {
   }
   report.buckets_reassigned = reassignments.size();
 
+  // A crashed endpoint stays unreachable (node ids are never reused).
+  if (opts_.fault != nullptr) opts_.fault->MarkDown(id);
   const cloudsim::InstanceId instance = victim.instance();
   nodes_.erase(it);
-  (void)provider_->Terminate(instance);
+  (void)provider_->Fail(instance);
   ++stats_.node_failures;
   ECC_LOG_WARN("cache: node %llu failed abruptly (%zu records dropped, "
                "%zu recoverable)",
                static_cast<unsigned long long>(id), report.records_dropped,
                report.records_recoverable);
+  kill_history_.push_back(report);
   return report;
 }
 
@@ -600,27 +832,52 @@ bool ElasticCache::TryContract() {
       static_cast<double>(opts_.node_capacity_bytes);
   if (fill > opts_.merge_fill_threshold) return false;
 
-  // Move everything (a sweep-and-migrate over the donor's full key range).
+  // Move everything (a two-phase sweep-and-migrate over the donor's full
+  // key range).  Commit repoints the donor's buckets at the absorber; on a
+  // post-commit absorber crash, uncommit hands them back to the donor,
+  // whose copies are still intact.
+  std::vector<std::uint64_t> donor_points;
+  for (const auto& bucket : ring_.BucketsOwnedBy(a_id)) {
+    donor_points.push_back(bucket.point);
+  }
   const TimePoint move_start = clock_->now();
-  const RangeStats moved =
-      TransferRange(donor, absorber, 0, std::numeric_limits<Key>::max());
+  RangeStats moved;
+  const Status migrated = TwoPhaseMigrate(
+      a_id, b_id, {{0, std::numeric_limits<Key>::max()}},
+      /*commit=*/
+      [&]() -> Status {
+        for (const std::uint64_t point : donor_points) {
+          const Status s = ring_.ReassignBucket(point, b_id);
+          assert(s.ok());
+          (void)s;
+        }
+        return Status::Ok();
+      },
+      /*uncommit=*/
+      [&] {
+        for (const std::uint64_t point : donor_points) {
+          (void)ring_.ReassignBucket(point, a_id);
+        }
+      },
+      &moved);
+  if (!migrated.ok()) return false;
   stats_.records_migrated += moved.records;
   stats_.bytes_migrated += moved.bytes;
   stats_.total_migration_time += clock_->now() - move_start;
 
-  // Repoint every bucket of the donor at the absorber, then retire the
-  // donor's instance.
-  for (const auto& bucket : ring_.BucketsOwnedBy(a_id)) {
-    const Status s = ring_.ReassignBucket(bucket.point, b_id);
-    assert(s.ok());
-    (void)s;
+  // Retire the donor's instance — unless the protocol's fault handling
+  // already crashed it (its kill report then covers the loss), or crashed
+  // the *absorber* post-delete, in which case every bucket was repointed
+  // back at the donor and it must live on as the last node standing.
+  const auto donor_it = nodes_.find(a_id);
+  if (donor_it != nodes_.end() && nodes_.size() >= 2) {
+    const cloudsim::InstanceId instance = donor_it->second.node->instance();
+    nodes_.erase(donor_it);
+    const Status term = provider_->Terminate(instance);
+    assert(term.ok());
+    (void)term;
+    ++stats_.node_removals;
   }
-  const cloudsim::InstanceId instance = donor.instance();
-  nodes_.erase(a_id);
-  const Status term = provider_->Terminate(instance);
-  assert(term.ok());
-  (void)term;
-  ++stats_.node_removals;
   ECC_LOG_INFO("cache: merged node %llu into %llu (%zu records)",
                static_cast<unsigned long long>(a_id),
                static_cast<unsigned long long>(b_id), moved.records);

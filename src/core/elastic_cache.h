@@ -27,6 +27,7 @@
 // serialized; StripedBackend does so with an exclusive topology lock.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -37,6 +38,7 @@
 #include "core/backend.h"
 #include "core/cache_node.h"
 #include "core/types.h"
+#include "fault/fault.h"
 #include "hashring/consistent_hash.h"
 #include "net/netmodel.h"
 #include "net/rpc.h"
@@ -75,6 +77,15 @@ struct ElasticCacheOptions {
   /// cold boot or a synchronous sweep.  0 disables (the paper's reactive
   /// last-resort behaviour).
   double proactive_split_fill = 0.0;
+  /// Retry/timeout policy for every coordinator -> node RPC.  The defaults
+  /// never fire on a healthy loopback channel (the only retryable status is
+  /// Unavailable, which the channel emits solely under fault injection), so
+  /// the happy path is byte-identical with or without this layer.
+  net::RetryPolicy rpc_retry;
+  /// Fault injector (not owned; nullptr = no faults).  When set, every node
+  /// channel is bound to it and the two-phase migration protocol consults
+  /// it between phases.
+  fault::FaultInjector* fault = nullptr;
 };
 
 /// Outcome of one overflow-triggered split, for Fig. 4 accounting.
@@ -98,6 +109,11 @@ struct KillReport {
   std::size_t records_dropped = 0;      ///< records the dead node held
   std::size_t records_recoverable = 0;  ///< of those, replicated elsewhere
   std::size_t buckets_reassigned = 0;
+  /// Every key the dead node held, for crash accounting: a key may vanish
+  /// from the fleet only by appearing here.  (Keys that also survive
+  /// elsewhere — mirrors, or source copies salvaged by a two-phase abort —
+  /// legitimately overlap with the live set.)
+  std::vector<Key> keys_dropped;
 };
 
 /// Point-in-time description of one node, for reporting/tests.
@@ -168,6 +184,13 @@ class ElasticCache final : public CacheBackend {
     return split_history_;
   }
 
+  /// Every abrupt node loss this cache absorbed (KillNode plus crashes
+  /// injected mid-migration), in order.  Crash accounting for tests: the
+  /// union of live keys and kill_history keys_dropped never shrinks.
+  [[nodiscard]] const std::vector<KillReport>& kill_history() const {
+    return kill_history_;
+  }
+
   /// Key interval(s) covered by a ring arc, as inclusive key ranges
   /// ([lo, hi] pairs; two when the arc wraps the ring origin).  Exposed for
   /// tests of sweep coverage.
@@ -211,9 +234,40 @@ class ElasticCache final : public CacheBackend {
   /// is ready).
   void MaybeProactiveSplit(NodeId node_id);
 
-  /// Ship all of `node`'s records in [lo, hi] to `dest` in batches,
-  /// erasing them locally.  Returns (records, bytes) moved.
-  RangeStats TransferRange(CacheNode& src, NodeEntry& dest, Key lo, Key hi);
+  /// One coordinator -> node RPC with timeout/retry per opts_.rpc_retry;
+  /// rides the background channel during proactive splits and folds retry
+  /// counters into stats().
+  StatusOr<net::Message> CallNode(NodeEntry& entry,
+                                  const net::Message& request);
+
+  /// The crash-safe sweep-and-migrate protocol: copy `ranges` from `src` to
+  /// `dest` (source copies retained), verify the destination holds them,
+  /// run `commit` (the caller's atomic ring mutation), then delete at the
+  /// source.  Consults the fault injector between phases; on a fault it
+  /// rolls back (pre-commit: un-copy at dest, `uncommit` unused) or forward
+  /// (post-commit: finish the delete / `uncommit` if the destination died),
+  /// so a crash at ANY step conserves the key set.  Either node may be gone
+  /// on return — callers must re-check nodes_.  `moved` gets the totals
+  /// actually shipped.
+  Status TwoPhaseMigrate(NodeId src_id, NodeId dest_id,
+                         const std::vector<std::pair<Key, Key>>& ranges,
+                         const std::function<Status()>& commit,
+                         const std::function<void()>& uncommit,
+                         RangeStats* moved);
+
+  /// Injector hook between migration phases (kNone when no injector).
+  [[nodiscard]] fault::MigrationFault FireStep(std::size_t migration,
+                                               fault::MigrationStep step);
+
+  /// Erase `keys` on `entry`'s node, RPC first, falling back to direct
+  /// shard access if the wire path is faulted — recovery must never itself
+  /// be lost to the fault it is recovering from.
+  void EraseKeysReliable(NodeEntry& entry, const std::vector<Key>& keys);
+
+  /// Abrupt node loss, shared by KillNode and injected migration crashes:
+  /// record every dropped key, repoint the dead node's buckets at arc
+  /// successors, fail the backing instance, append to kill_history_.
+  KillReport CrashNodeInternal(NodeId id);
 
   [[nodiscard]] NodeEntry& Entry(NodeId id) { return nodes_.at(id); }
 
@@ -231,6 +285,7 @@ class ElasticCache final : public CacheBackend {
   /// exclusive lock and stay unguarded.  stats() readers must quiesce.
   mutable std::mutex stats_mutex_;
   std::vector<SplitReport> split_history_;
+  std::vector<KillReport> kill_history_;
   /// True while a proactive split runs: transfers use bg channels and
   /// charge nothing to the virtual clock.
   bool background_mode_ = false;

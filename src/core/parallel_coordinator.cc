@@ -61,8 +61,8 @@ ParallelQueryResult ParallelCoordinator::ProcessKeyAs(std::size_t worker,
 
 QueryPath ParallelCoordinator::MissPath(WorkerState& w, Key k) {
   // Single-flight election: exactly one leader per key at a time.
-  std::promise<std::string> promise;
-  std::shared_future<std::string> follow;
+  std::promise<FlightResult> promise;
+  std::shared_future<FlightResult> follow;
   bool leader = false;
   {
     const std::lock_guard<std::mutex> g(flights_mutex_);
@@ -81,6 +81,9 @@ QueryPath ParallelCoordinator::MissPath(WorkerState& w, Key k) {
     // Block (in real time) until the leader lands the result.  In virtual
     // time the follower is a hit-in-flight: it already paid its probe, and
     // the service work it would have duplicated is charged to the leader.
+    // A failed flight (result.ok == false) stays coalesced: the follower
+    // was not charged the failed call either, and with nothing cached the
+    // key's next query elects a fresh leader and retries the service.
     (void)follow.get();
     return QueryPath::kCoalesced;
   }
@@ -88,12 +91,13 @@ QueryPath ParallelCoordinator::MissPath(WorkerState& w, Key k) {
   // Leader.  Double-check the cache: the previous flight for this key may
   // have landed between our miss and our registration; without this
   // re-probe that interleaving would invoke the service a second time.
-  std::string payload;
+  FlightResult flight;
   bool from_cache = false;
   w.clock.Advance(opts_.lookup_cost);
   auto again = cache_->Get(k);
   if (again.ok()) {
-    payload = std::move(*again);
+    flight.ok = true;
+    flight.payload = std::move(*again);
     from_cache = true;
   } else {
     const sfc::GeoTemporalQuery q = linearizer_->CellCenter(k);
@@ -102,13 +106,25 @@ QueryPath ParallelCoordinator::MissPath(WorkerState& w, Key k) {
       // keys serialize here (real time only — each charges its own clock).
       const std::lock_guard<std::mutex> g(service_mutex_);
       auto invoked = service_->Invoke(q, &w.clock);
-      assert(invoked.ok());  // the synthetic substrate cannot fail in-range
-      if (invoked.ok()) payload = std::move(invoked->payload);
+      if (invoked.ok()) {
+        flight.ok = true;
+        flight.payload = std::move(invoked->payload);
+      } else {
+        // Injected (or real) service failure: publish the failure to the
+        // followers instead of caching an empty payload as if it were an
+        // answer.  Only the leader's clock carries the failed call's cost.
+        total_service_failures_.fetch_add(1, std::memory_order_relaxed);
+        ECC_LOG_WARN("parallel-coordinator: service failed for key %llu: %s",
+                     static_cast<unsigned long long>(k),
+                     invoked.status().ToString().c_str());
+      }
     }
-    w.clock.Advance(opts_.lookup_cost);  // the insert below
-    if (const Status s = cache_->Put(k, payload); !s.ok()) {
-      ECC_LOG_WARN("parallel-coordinator: put failed for key %llu: %s",
-                   static_cast<unsigned long long>(k), s.ToString().c_str());
+    if (flight.ok) {
+      w.clock.Advance(opts_.lookup_cost);  // the insert below
+      if (const Status s = cache_->Put(k, flight.payload); !s.ok()) {
+        ECC_LOG_WARN("parallel-coordinator: put failed for key %llu: %s",
+                     static_cast<unsigned long long>(k), s.ToString().c_str());
+      }
     }
   }
 
@@ -119,7 +135,7 @@ QueryPath ParallelCoordinator::MissPath(WorkerState& w, Key k) {
     const std::lock_guard<std::mutex> g(flights_mutex_);
     flights_.erase(k);
   }
-  promise.set_value(std::move(payload));
+  promise.set_value(std::move(flight));
 
   if (from_cache) {
     ++w.hits;

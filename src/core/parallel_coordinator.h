@@ -143,6 +143,13 @@ class ParallelCoordinator {
   [[nodiscard]] std::uint64_t total_misses() const {
     return total_misses_.load(std::memory_order_relaxed);
   }
+  /// Leader service invocations that failed (fault injection).  Followers
+  /// of a failed flight stay kCoalesced — they are not charged the failed
+  /// call's cost and do not re-invoke — and nothing is cached, so the next
+  /// query for the key elects a fresh leader.
+  [[nodiscard]] std::uint64_t service_failures() const {
+    return total_service_failures_.load(std::memory_order_relaxed);
+  }
 
   /// Worker `i`'s private clock (its cumulative virtual busy time).
   [[nodiscard]] TimePoint WorkerTime(std::size_t i) const {
@@ -159,6 +166,14 @@ class ParallelCoordinator {
     std::uint64_t hits = 0;
     std::uint64_t coalesced = 0;
     std::uint64_t misses = 0;
+  };
+
+  /// What a flight leader publishes to its followers.  `ok == false` means
+  /// the service invocation failed: followers must not treat the empty
+  /// payload as an answer (and must not be charged latency for it).
+  struct FlightResult {
+    bool ok = false;
+    std::string payload;
   };
 
   /// The miss path: single-flight election, service invocation (leader) or
@@ -178,7 +193,7 @@ class ParallelCoordinator {
   std::size_t expirations_since_contract_ = 0;
 
   std::mutex flights_mutex_;  ///< guards flights_
-  std::unordered_map<Key, std::shared_future<std::string>> flights_;
+  std::unordered_map<Key, std::shared_future<FlightResult>> flights_;
 
   /// Serializes service invocations: Service implementations are
   /// single-threaded (rng, counters).  Held only by flight leaders, so
@@ -189,6 +204,7 @@ class ParallelCoordinator {
   std::atomic<std::uint64_t> total_hits_{0};
   std::atomic<std::uint64_t> total_coalesced_{0};
   std::atomic<std::uint64_t> total_misses_{0};
+  std::atomic<std::uint64_t> total_service_failures_{0};
   std::atomic<std::int64_t> step_query_time_us_{0};
   std::atomic<std::uint64_t> step_queries_{0};
   std::atomic<std::uint64_t> step_hits_{0};

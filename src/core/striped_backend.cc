@@ -30,10 +30,15 @@ Status StripedBackend::Put(Key k, std::string v) {
     if (!owner.ok()) return owner.status();
     const std::lock_guard<std::mutex> stripe(StripeFor(*owner));
     const Status fast = inner_->PutNoSplit(k, v);
-    if (fast.code() != StatusCode::kCapacityExceeded) return fast;
+    if (fast.code() != StatusCode::kCapacityExceeded &&
+        fast.code() != StatusCode::kUnavailable) {
+      return fast;
+    }
   }
-  // Owner full: retry through the GBA insert, which may split buckets,
-  // allocate nodes, and rewrite the ring — exclusive access required.
+  // Owner full (split required) or unreachable (ring repair required):
+  // retry through the GBA insert, which may split buckets, allocate nodes,
+  // crash dead nodes out of the ring, and rewrite it — exclusive access
+  // required.
   std::unique_lock<std::shared_mutex> topo(topology_mutex_);
   return inner_->Put(k, std::move(v));
 }

@@ -1,0 +1,164 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace ecc::fault {
+
+const char* MigrationStepName(MigrationStep s) {
+  switch (s) {
+    case MigrationStep::kBeforeCopy: return "BEFORE_COPY";
+    case MigrationStep::kMidCopy: return "MID_COPY";
+    case MigrationStep::kAfterCopy: return "AFTER_COPY";
+    case MigrationStep::kAfterVerify: return "AFTER_VERIFY";
+    case MigrationStep::kAfterCommit: return "AFTER_COMMIT";
+    case MigrationStep::kAfterDelete: return "AFTER_DELETE";
+  }
+  return "UNKNOWN";
+}
+
+const char* MigrationFaultName(MigrationFault f) {
+  switch (f) {
+    case MigrationFault::kNone: return "NONE";
+    case MigrationFault::kAbort: return "ABORT";
+    case MigrationFault::kCrashSource: return "CRASH_SOURCE";
+    case MigrationFault::kCrashDest: return "CRASH_DEST";
+  }
+  return "UNKNOWN";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)),
+      rng_(plan_.seed),
+      call_rule_matches_(plan_.calls.size(), 0) {}
+
+net::CallFault FaultInjector::OnCall(std::uint64_t endpoint,
+                                     net::MsgType type) {
+  const std::lock_guard<std::mutex> g(mutex_);
+  ++stats_.calls_seen;
+
+  // A dead endpoint swallows everything, before any scripted rule.
+  if (down_.count(endpoint) != 0) {
+    ++stats_.requests_dropped;
+    ++stats_.down_endpoint_drops;
+    return {net::CallFaultKind::kDropRequest, {}};
+  }
+
+  // Scripted rules, in plan order; first firing rule wins.
+  for (std::size_t i = 0; i < plan_.calls.size(); ++i) {
+    const ScriptedCallFault& rule = plan_.calls[i];
+    if (rule.endpoint != kAnyEndpoint && rule.endpoint != endpoint) continue;
+    if (!rule.any_type && rule.type != type) continue;
+    const std::size_t match = call_rule_matches_[i]++;
+    if (match < rule.after_matching ||
+        match >= rule.after_matching + rule.count) {
+      continue;
+    }
+    switch (rule.kind) {
+      case net::CallFaultKind::kDropRequest:
+        ++stats_.requests_dropped;
+        break;
+      case net::CallFaultKind::kDropResponse:
+        ++stats_.responses_dropped;
+        break;
+      case net::CallFaultKind::kDelay:
+        ++stats_.delays;
+        break;
+      case net::CallFaultKind::kNone:
+        break;
+    }
+    return {rule.kind, rule.delay};
+  }
+
+  // Background noise from the seed.
+  if (plan_.drop_request_p > 0.0 && rng_.Chance(plan_.drop_request_p)) {
+    ++stats_.requests_dropped;
+    return {net::CallFaultKind::kDropRequest, {}};
+  }
+  if (plan_.drop_response_p > 0.0 && rng_.Chance(plan_.drop_response_p)) {
+    ++stats_.responses_dropped;
+    return {net::CallFaultKind::kDropResponse, {}};
+  }
+  if (plan_.delay_p > 0.0 && rng_.Chance(plan_.delay_p)) {
+    ++stats_.delays;
+    const double mean = plan_.delay_mean.seconds();
+    return {net::CallFaultKind::kDelay,
+            Duration::Seconds(rng_.Exponential(mean))};
+  }
+  return {};
+}
+
+std::size_t FaultInjector::BeginMigration() {
+  const std::lock_guard<std::mutex> g(mutex_);
+  return migrations_started_++;
+}
+
+MigrationFault FaultInjector::OnMigrationStep(std::size_t index,
+                                              MigrationStep step) {
+  const std::lock_guard<std::mutex> g(mutex_);
+  for (const ScriptedMigrationFault& rule : plan_.migrations) {
+    if (rule.migration_index == index && rule.step == step &&
+        rule.fault != MigrationFault::kNone) {
+      ++stats_.migration_faults;
+      return rule.fault;
+    }
+  }
+  if (plan_.migration_crash_p > 0.0 && rng_.Chance(plan_.migration_crash_p)) {
+    ++stats_.migration_faults;
+    return rng_.Chance(0.5) ? MigrationFault::kCrashSource
+                            : MigrationFault::kCrashDest;
+  }
+  if (plan_.migration_abort_p > 0.0 && rng_.Chance(plan_.migration_abort_p)) {
+    ++stats_.migration_faults;
+    return MigrationFault::kAbort;
+  }
+  return MigrationFault::kNone;
+}
+
+bool FaultInjector::OnServiceInvoke() {
+  const std::lock_guard<std::mutex> g(mutex_);
+  const std::size_t index = service_invocations_++;
+  const bool scripted =
+      std::find(plan_.service_failures.begin(), plan_.service_failures.end(),
+                index) != plan_.service_failures.end();
+  if (scripted ||
+      (plan_.service_failure_p > 0.0 && rng_.Chance(plan_.service_failure_p))) {
+    ++stats_.service_failures;
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::MarkDown(std::uint64_t endpoint) {
+  const std::lock_guard<std::mutex> g(mutex_);
+  down_.insert(endpoint);
+}
+
+void FaultInjector::ClearDown(std::uint64_t endpoint) {
+  const std::lock_guard<std::mutex> g(mutex_);
+  down_.erase(endpoint);
+}
+
+bool FaultInjector::IsDown(std::uint64_t endpoint) const {
+  const std::lock_guard<std::mutex> g(mutex_);
+  return down_.count(endpoint) != 0;
+}
+
+FaultStats FaultInjector::stats() const {
+  const std::lock_guard<std::mutex> g(mutex_);
+  return stats_;
+}
+
+std::size_t FaultInjector::migrations_started() const {
+  const std::lock_guard<std::mutex> g(mutex_);
+  return migrations_started_;
+}
+
+std::uint64_t FaultSeedFromEnv(std::uint64_t fallback) {
+  const char* env = std::getenv("ECC_FAULT_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::strtoull(env, nullptr, 0);
+}
+
+}  // namespace ecc::fault

@@ -1,0 +1,171 @@
+// Fault injection: a seedable plan of failures driven into the RPC layer
+// and the migration protocols.
+//
+// The reproduction's elasticity protocols (GBA split, sweep-and-migrate,
+// contraction merge) move live shard data between cloud nodes; without a
+// failure model a single mid-migration fault would silently lose or
+// duplicate keys.  A FaultInjector executes a FaultPlan:
+//
+//   * call faults — every LoopbackChannel::Call it is bound to can have its
+//     request dropped, its response dropped (server-side effect HAPPENED),
+//     or extra delay added, either scripted ("the 3rd MIGRATE to node 2")
+//     or probabilistically from the seed;
+//   * endpoint down — a node marked down drops every call until repaired
+//     (models abrupt instance loss; the cache reacts with ring repair);
+//   * migration faults — at any step of a two-phase migration the injector
+//     can abort the protocol (simulating a coordinator crash: recovery must
+//     roll back or roll forward) or crash the source/destination node;
+//   * service faults — a wrapped backing service (FaultyService) fails
+//     chosen invocations, exercising single-flight failure propagation.
+//
+// Everything is deterministic from FaultPlan::seed; ECC_FAULT_SEED
+// reproduces a failed randomized run (see FaultSeedFromEnv).
+//
+// Thread-safety: OnCall / OnServiceInvoke / MarkDown are called from
+// concurrent front-end workers; all mutable state is mutex-guarded.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "net/message.h"
+#include "net/rpc.h"
+
+namespace ecc::fault {
+
+/// Matches any endpoint / node in scripted rules.
+inline constexpr std::uint64_t kAnyEndpoint = ~0ull;
+
+/// The interruption points of a two-phase migration (split or merge).
+/// The protocol is copy -> verify -> commit -> delete-at-source; the cache
+/// consults the injector between phases.
+enum class MigrationStep : int {
+  kBeforeCopy = 0,  ///< destination chosen, nothing shipped yet
+  kMidCopy,         ///< after the first batch landed (partial copy)
+  kAfterCopy,       ///< all batches shipped, source still intact
+  kAfterVerify,     ///< destination acknowledged the full range
+  kAfterCommit,     ///< ring updated, source copies not yet deleted
+  kAfterDelete,     ///< protocol complete
+};
+inline constexpr int kMigrationStepCount = 6;
+
+[[nodiscard]] const char* MigrationStepName(MigrationStep s);
+
+/// What happens at an injected migration fault.
+enum class MigrationFault : int {
+  kNone = 0,
+  kAbort,        ///< the protocol stops here; recovery must restore invariants
+  kCrashSource,  ///< the source node dies abruptly at this step
+  kCrashDest,    ///< the destination node dies abruptly at this step
+};
+
+[[nodiscard]] const char* MigrationFaultName(MigrationFault f);
+
+/// One scripted call fault: fire `count` times starting at the
+/// `after_matching`-th call (0-based) that matches endpoint + type.
+struct ScriptedCallFault {
+  std::uint64_t endpoint = kAnyEndpoint;
+  net::MsgType type = net::MsgType::kGetRequest;
+  bool any_type = true;
+  std::size_t after_matching = 0;
+  std::size_t count = 1;
+  net::CallFaultKind kind = net::CallFaultKind::kDropRequest;
+  Duration delay;  ///< for kDelay
+};
+
+/// One scripted migration fault: fire at `step` of the `migration_index`-th
+/// migration the cache starts (splits and merges share one counter).
+struct ScriptedMigrationFault {
+  std::size_t migration_index = 0;
+  MigrationStep step = MigrationStep::kBeforeCopy;
+  MigrationFault fault = MigrationFault::kAbort;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0x5eedfa17ULL;
+
+  // Background probabilistic noise applied to every intercepted call (on
+  // top of scripted faults; scripted rules win when both match).
+  double drop_request_p = 0.0;
+  double drop_response_p = 0.0;
+  double delay_p = 0.0;
+  Duration delay_mean = Duration::Millis(5);
+
+  // Probabilistic migration churn: at each step, abort/crash with these
+  // odds (the deterministic schedule in `migrations` fires first).
+  double migration_abort_p = 0.0;
+  double migration_crash_p = 0.0;
+
+  /// Probability a FaultyService invocation fails.
+  double service_failure_p = 0.0;
+  /// Invocation indices (0-based, counting attempts) that always fail.
+  std::vector<std::size_t> service_failures;
+
+  std::vector<ScriptedCallFault> calls;
+  std::vector<ScriptedMigrationFault> migrations;
+};
+
+struct FaultStats {
+  std::uint64_t calls_seen = 0;
+  std::uint64_t requests_dropped = 0;
+  std::uint64_t responses_dropped = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t down_endpoint_drops = 0;  ///< of requests_dropped, to a dead node
+  std::uint64_t migration_faults = 0;
+  std::uint64_t service_failures = 0;
+};
+
+class FaultInjector final : public net::CallInterceptor {
+ public:
+  explicit FaultInjector(FaultPlan plan = {});
+
+  // --- net::CallInterceptor ----------------------------------------------
+  [[nodiscard]] net::CallFault OnCall(std::uint64_t endpoint,
+                                      net::MsgType type) override;
+
+  // --- migration hooks (driven by ElasticCache) ---------------------------
+
+  /// A migration is starting; returns its index in the global order.
+  std::size_t BeginMigration();
+
+  /// Consulted between phases of migration `index`.
+  [[nodiscard]] MigrationFault OnMigrationStep(std::size_t index,
+                                               MigrationStep step);
+
+  // --- service hook (driven by FaultyService) -----------------------------
+
+  /// True => fail this invocation.
+  [[nodiscard]] bool OnServiceInvoke();
+
+  // --- endpoint liveness --------------------------------------------------
+
+  /// All future calls to `endpoint` are dropped until ClearDown.
+  void MarkDown(std::uint64_t endpoint);
+  void ClearDown(std::uint64_t endpoint);
+  [[nodiscard]] bool IsDown(std::uint64_t endpoint) const;
+
+  [[nodiscard]] FaultStats stats() const;
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] std::size_t migrations_started() const;
+
+ private:
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  std::set<std::uint64_t> down_;
+  std::vector<std::size_t> call_rule_matches_;  ///< per scripted call rule
+  std::size_t migrations_started_ = 0;
+  std::size_t service_invocations_ = 0;
+  FaultStats stats_;
+};
+
+/// The seed to use for a randomized fault schedule: ECC_FAULT_SEED from the
+/// environment when set (decimal or 0x-hex), else `fallback`.  Tests log
+/// the value they used so any failure replays bit-exactly.
+[[nodiscard]] std::uint64_t FaultSeedFromEnv(std::uint64_t fallback);
+
+}  // namespace ecc::fault

@@ -1,0 +1,62 @@
+// FaultyService: a Service decorator that fails chosen invocations.
+//
+// Wraps any backing service and consults a FaultInjector before each
+// Invoke; injected failures surface as Status::Unavailable after charging
+// `failure_cost` to the caller's clock (the time burned before the failure
+// was observed).  Used to exercise the parallel front-end's single-flight
+// failure propagation: when a flight leader's service call fails, the
+// coalesced followers must inherit the failure, not re-invoke the service
+// and double-charge its latency.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "fault/fault.h"
+#include "service/service.h"
+
+namespace ecc::fault {
+
+class FaultyService final : public service::Service {
+ public:
+  /// Neither pointer is owned.  `failure_cost` is the virtual time a failed
+  /// invocation still burns (default: fail fast).
+  FaultyService(service::Service* inner, FaultInjector* injector,
+                Duration failure_cost = Duration::Zero())
+      : inner_(inner), injector_(injector), failure_cost_(failure_cost) {
+    assert(inner_ != nullptr && injector_ != nullptr);
+  }
+
+  [[nodiscard]] const std::string& name() const override {
+    return inner_->name();
+  }
+
+  [[nodiscard]] StatusOr<service::ServiceResult> Invoke(
+      const sfc::GeoTemporalQuery& q, VirtualClock* clock) override {
+    ++attempts_;
+    if (injector_->OnServiceInvoke()) {
+      if (clock != nullptr) clock->Advance(failure_cost_);
+      return Status::Unavailable("injected service failure");
+    }
+    return inner_->Invoke(q, clock);
+  }
+
+  /// Successful invocations only (delegates to the backing service).
+  [[nodiscard]] std::uint64_t invocations() const override {
+    return inner_->invocations();
+  }
+
+  /// All attempts, failed ones included.
+  [[nodiscard]] std::uint64_t attempts() const { return attempts_; }
+
+ private:
+  service::Service* inner_;
+  FaultInjector* injector_;
+  Duration failure_cost_;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace ecc::fault

@@ -15,6 +15,10 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kStatsRequest: return "STATS";
     case MsgType::kStatsResponse: return "STATS_RESP";
     case MsgType::kError: return "ERROR";
+    case MsgType::kRangeStatsRequest: return "RANGE_STATS";
+    case MsgType::kRangeStatsResponse: return "RANGE_STATS_RESP";
+    case MsgType::kEraseRangeRequest: return "ERASE_RANGE";
+    case MsgType::kEraseRangeResponse: return "ERASE_RANGE_RESP";
   }
   return "UNKNOWN";
 }
@@ -35,7 +39,7 @@ StatusOr<Message> Message::Deserialize(std::string_view bytes) {
   if (Status s = r.GetU8(tag); !s.ok()) return s;
   if (Status s = r.GetU32(len); !s.ok()) return s;
   if (tag < static_cast<std::uint8_t>(MsgType::kGetRequest) ||
-      tag > static_cast<std::uint8_t>(MsgType::kError)) {
+      tag > static_cast<std::uint8_t>(MsgType::kEraseRangeResponse)) {
     return Status::InvalidArgument("unknown message type tag");
   }
   if (r.remaining() != len) {
@@ -253,6 +257,80 @@ StatusOr<StatsResponse> StatsResponse::Decode(const Message& m) {
   if (Status s = r.GetU64(out.records); !s.ok()) return s;
   if (Status s = r.GetU64(out.used_bytes); !s.ok()) return s;
   if (Status s = r.GetU64(out.capacity_bytes); !s.ok()) return s;
+  return out;
+}
+
+// --- RangeStats -----------------------------------------------------------
+
+Message RangeStatsRequest::Encode() const {
+  WireWriter w;
+  w.PutU64(lo);
+  w.PutU64(hi);
+  return Message{MsgType::kRangeStatsRequest, w.TakeBuffer()};
+}
+
+StatusOr<RangeStatsRequest> RangeStatsRequest::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kRangeStatsRequest); !s.ok()) {
+    return s;
+  }
+  WireReader r(m.payload);
+  RangeStatsRequest out;
+  if (Status s = r.GetU64(out.lo); !s.ok()) return s;
+  if (Status s = r.GetU64(out.hi); !s.ok()) return s;
+  return out;
+}
+
+Message RangeStatsResponse::Encode() const {
+  WireWriter w;
+  w.PutU64(records);
+  w.PutU64(bytes);
+  return Message{MsgType::kRangeStatsResponse, w.TakeBuffer()};
+}
+
+StatusOr<RangeStatsResponse> RangeStatsResponse::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kRangeStatsResponse); !s.ok()) {
+    return s;
+  }
+  WireReader r(m.payload);
+  RangeStatsResponse out;
+  if (Status s = r.GetU64(out.records); !s.ok()) return s;
+  if (Status s = r.GetU64(out.bytes); !s.ok()) return s;
+  return out;
+}
+
+// --- EraseRange -----------------------------------------------------------
+
+Message EraseRangeRequest::Encode() const {
+  WireWriter w;
+  w.PutU64(lo);
+  w.PutU64(hi);
+  return Message{MsgType::kEraseRangeRequest, w.TakeBuffer()};
+}
+
+StatusOr<EraseRangeRequest> EraseRangeRequest::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kEraseRangeRequest); !s.ok()) {
+    return s;
+  }
+  WireReader r(m.payload);
+  EraseRangeRequest out;
+  if (Status s = r.GetU64(out.lo); !s.ok()) return s;
+  if (Status s = r.GetU64(out.hi); !s.ok()) return s;
+  return out;
+}
+
+Message EraseRangeResponse::Encode() const {
+  WireWriter w;
+  w.PutU64(erased);
+  return Message{MsgType::kEraseRangeResponse, w.TakeBuffer()};
+}
+
+StatusOr<EraseRangeResponse> EraseRangeResponse::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kEraseRangeResponse); !s.ok()) {
+    return s;
+  }
+  WireReader r(m.payload);
+  EraseRangeResponse out;
+  if (Status s = r.GetU64(out.erased); !s.ok()) return s;
   return out;
 }
 

@@ -27,6 +27,12 @@ enum class MsgType : std::uint8_t {
   kStatsResponse = 10,
   /// Transport-level failure report (payload = status message text).
   kError = 11,
+  /// Record count/bytes within one key range (two-phase migration verify).
+  kRangeStatsRequest = 12,
+  kRangeStatsResponse = 13,
+  /// Bulk range delete (two-phase migration source cleanup / rollback).
+  kEraseRangeRequest = 14,
+  kEraseRangeResponse = 15,
 };
 
 [[nodiscard]] const char* MsgTypeName(MsgType t);
@@ -119,6 +125,41 @@ struct StatsResponse {
 
   [[nodiscard]] Message Encode() const;
   [[nodiscard]] static StatusOr<StatsResponse> Decode(const Message& m);
+};
+
+/// "What do you hold in [lo, hi]?" — the verify step of a two-phase
+/// migration asks the destination this before the ring commit.
+struct RangeStatsRequest {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;  ///< inclusive
+
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<RangeStatsRequest> Decode(const Message& m);
+};
+
+struct RangeStatsResponse {
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<RangeStatsResponse> Decode(const Message& m);
+};
+
+/// "Delete everything you hold in [lo, hi]."  Idempotent, so a migration
+/// cleanup (or rollback) interrupted mid-flight can simply be re-issued.
+struct EraseRangeRequest {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;  ///< inclusive
+
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<EraseRangeRequest> Decode(const Message& m);
+};
+
+struct EraseRangeResponse {
+  std::uint64_t erased = 0;
+
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<EraseRangeResponse> Decode(const Message& m);
 };
 
 }  // namespace ecc::net

@@ -1,5 +1,7 @@
 #include "net/rpc.h"
 
+#include <algorithm>
+
 namespace ecc::net {
 
 void RpcServer::Handle(MsgType type, Handler handler) {
@@ -15,11 +17,33 @@ StatusOr<Message> RpcServer::Dispatch(const Message& request) const {
   return it->second(request);
 }
 
+const char* CallFaultKindName(CallFaultKind k) {
+  switch (k) {
+    case CallFaultKind::kNone: return "NONE";
+    case CallFaultKind::kDropRequest: return "DROP_REQUEST";
+    case CallFaultKind::kDropResponse: return "DROP_RESPONSE";
+    case CallFaultKind::kDelay: return "DELAY";
+  }
+  return "UNKNOWN";
+}
+
 LoopbackChannel::LoopbackChannel(RpcServer* server, NetworkModel model,
                                  VirtualClock* clock)
     : server_(server), model_(model), clock_(clock) {}
 
+void LoopbackChannel::BindInterceptor(CallInterceptor* interceptor,
+                                      std::uint64_t endpoint) {
+  interceptor_ = interceptor;
+  endpoint_ = endpoint;
+}
+
 StatusOr<Message> LoopbackChannel::Call(const Message& request) {
+  CallFault fault;
+  if (interceptor_ != nullptr) {
+    fault = interceptor_->OnCall(endpoint_, request.type);
+    if (fault.kind != CallFaultKind::kNone) ++stats_.faults_injected;
+  }
+
   // Serialize and "transmit" the request.
   const std::string wire = request.Serialize();
   if (clock_ != nullptr) clock_->Advance(model_.TransferTime(wire.size()));
@@ -27,11 +51,26 @@ StatusOr<Message> LoopbackChannel::Call(const Message& request) {
   ++stats_.calls;
   stats_.time_on_wire += model_.TransferTime(wire.size());
 
+  if (fault.kind == CallFaultKind::kDelay) {
+    if (clock_ != nullptr) clock_->Advance(fault.delay);
+    stats_.time_on_wire += fault.delay;
+  }
+  if (fault.kind == CallFaultKind::kDropRequest) {
+    // The bytes left the sender but never arrived; the caller learns of the
+    // loss only through its timeout (charged by the retry layer).
+    return Status::Unavailable("injected fault: request lost");
+  }
+
   // The server parses the frame it received.
   auto parsed = Message::Deserialize(wire);
   if (!parsed.ok()) return parsed.status();
   auto response = server_->Dispatch(*parsed);
   if (!response.ok()) return response.status();
+
+  if (fault.kind == CallFaultKind::kDropResponse) {
+    // The handler ran — server-side state changed — but the answer is gone.
+    return Status::Unavailable("injected fault: response lost");
+  }
 
   // "Transmit" the response back.
   const std::string resp_wire = response->Serialize();
@@ -42,6 +81,42 @@ StatusOr<Message> LoopbackChannel::Call(const Message& request) {
   stats_.time_on_wire += model_.TransferTime(resp_wire.size());
 
   return Message::Deserialize(resp_wire);
+}
+
+StatusOr<Message> CallWithRetry(LoopbackChannel& channel,
+                                const Message& request,
+                                const RetryPolicy& policy,
+                                RetryStats* stats) {
+  const std::size_t attempts = std::max<std::size_t>(1, policy.max_attempts);
+  Duration backoff = policy.initial_backoff;
+  Status last = Status::Unavailable("no attempt made");
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (stats != nullptr) {
+      ++stats->attempts;
+      if (attempt > 0) ++stats->retries;
+    }
+    auto response = channel.Call(request);
+    if (response.ok()) return response;
+    if (response.status().code() != StatusCode::kUnavailable) {
+      // A definitive answer (malformed frame, handler rejection) — the
+      // transport worked; retrying cannot change it.
+      return response.status();
+    }
+    last = response.status();
+    // The attempt is only known dead after the detection timeout elapses.
+    if (channel.clock() != nullptr) {
+      channel.clock()->Advance(policy.attempt_timeout);
+    }
+    if (stats != nullptr) stats->time_waiting += policy.attempt_timeout;
+    if (attempt + 1 < attempts) {
+      if (channel.clock() != nullptr) channel.clock()->Advance(backoff);
+      if (stats != nullptr) stats->time_waiting += backoff;
+      backoff = std::min(policy.max_backoff,
+                         backoff * policy.backoff_multiplier);
+    }
+  }
+  if (stats != nullptr) ++stats->exhausted;
+  return last;
 }
 
 }  // namespace ecc::net

@@ -6,15 +6,29 @@
 // the shared virtual clock, and hands back the decoded response — the same
 // code path a socket transport would follow, minus the kernel.
 //
+// Fault injection: a channel may carry a CallInterceptor (see src/fault/),
+// which gets to see every Call and can drop the request before dispatch,
+// drop the response after dispatch (the server-side effect HAPPENED — the
+// nastiest partial failure), or add wire delay.  Lost messages surface as
+// Status::Unavailable, which callers treat as retryable.
+//
+// Retry: CallWithRetry wraps Call with a per-attempt detection timeout and
+// bounded exponential backoff, both charged to the channel's virtual clock.
+// Retrying after a dropped *response* re-sends a request the server already
+// executed, so every mutating handler must be idempotent (PUT/MIGRATE treat
+// duplicates as accepted; ERASE of an absent key is a no-op).
+//
 // Thread-safety: a channel is NOT internally synchronized — Call mutates
 // the per-channel stats, and the server's handlers mutate whatever state
 // they are bound to (a CacheNode's shard).  Concurrent callers must
 // serialize per channel/endpoint; the striped backend does this with one
 // stripe mutex per cache node, so a node's channel and shard are only ever
 // driven by the stripe holder.  The clock pointer is safe to share (the
-// VirtualClock is atomic).
+// VirtualClock is atomic); an interceptor must be internally synchronized
+// (FaultInjector is).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -40,11 +54,40 @@ class RpcServer {
   std::map<MsgType, Handler> handlers_;
 };
 
+/// What an interceptor may do to one Call.
+enum class CallFaultKind : std::uint8_t {
+  kNone = 0,
+  kDropRequest,   ///< request never reaches the server
+  kDropResponse,  ///< server executed, but the response is lost
+  kDelay,         ///< extra wire latency, call otherwise succeeds
+};
+
+[[nodiscard]] const char* CallFaultKindName(CallFaultKind k);
+
+struct CallFault {
+  CallFaultKind kind = CallFaultKind::kNone;
+  Duration delay;  ///< extra latency for kDelay
+};
+
+/// Sees every Call on channels it is bound to.  Implemented by
+/// fault::FaultInjector; the indirection keeps ecc_net free of a dependency
+/// on the fault library.
+class CallInterceptor {
+ public:
+  virtual ~CallInterceptor() = default;
+
+  /// Decide the fate of one call to `endpoint` (the cache-node id the
+  /// channel was bound with) carrying a `type` request.
+  [[nodiscard]] virtual CallFault OnCall(std::uint64_t endpoint,
+                                         MsgType type) = 0;
+};
+
 /// Accumulated transfer accounting for one channel.
 struct ChannelStats {
   std::uint64_t calls = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  std::uint64_t faults_injected = 0;  ///< calls perturbed by an interceptor
   Duration time_on_wire;
 };
 
@@ -56,17 +99,58 @@ class LoopbackChannel {
                   VirtualClock* clock);
 
   /// Full round trip: serialize, charge request transfer, dispatch, charge
-  /// response transfer, deserialize.
+  /// response transfer, deserialize.  Unavailable if an interceptor drops
+  /// either direction.
   [[nodiscard]] StatusOr<Message> Call(const Message& request);
+
+  /// Attach `interceptor` (not owned; nullptr detaches); `endpoint` labels
+  /// this channel's destination in the interceptor's view.
+  void BindInterceptor(CallInterceptor* interceptor, std::uint64_t endpoint);
 
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
   [[nodiscard]] const NetworkModel& model() const { return model_; }
+  [[nodiscard]] VirtualClock* clock() const { return clock_; }
+  [[nodiscard]] std::uint64_t endpoint() const { return endpoint_; }
 
  private:
   RpcServer* server_;
   NetworkModel model_;
   VirtualClock* clock_;
+  CallInterceptor* interceptor_ = nullptr;
+  std::uint64_t endpoint_ = 0;
   ChannelStats stats_;
 };
+
+/// Timeout + bounded-exponential-backoff policy for CallWithRetry.
+struct RetryPolicy {
+  /// Total tries, including the first (>= 1).
+  std::size_t max_attempts = 4;
+  /// Virtual time a lost message costs before the caller gives up on the
+  /// attempt (detection timeout, charged per failed attempt).
+  Duration attempt_timeout = Duration::Millis(50);
+  /// First backoff; doubles (times `backoff_multiplier`) per retry, capped
+  /// at `max_backoff`.
+  Duration initial_backoff = Duration::Millis(5);
+  double backoff_multiplier = 2.0;
+  Duration max_backoff = Duration::Millis(200);
+};
+
+struct RetryStats {
+  std::uint64_t attempts = 0;   ///< calls issued (first try included)
+  std::uint64_t retries = 0;    ///< attempts beyond the first
+  std::uint64_t exhausted = 0;  ///< calls that failed every attempt
+  Duration time_waiting;        ///< timeout + backoff charged to the clock
+};
+
+/// Issue `request` through `channel`, retrying transient (Unavailable)
+/// failures per `policy`.  Timeouts and backoff advance the channel's
+/// virtual clock; `stats`, when given, accumulates across calls.  Handler-
+/// level errors other than Unavailable are returned immediately (they are
+/// answers, not transport loss).  After the retry budget the last
+/// Unavailable status surfaces to the caller.
+[[nodiscard]] StatusOr<Message> CallWithRetry(LoopbackChannel& channel,
+                                              const Message& request,
+                                              const RetryPolicy& policy,
+                                              RetryStats* stats = nullptr);
 
 }  // namespace ecc::net

@@ -9,8 +9,15 @@
 //   I4  accounting: per-node used_bytes equals the sum of its record sizes
 //   I5  ring sanity: arcs partition the line; every bucket owner is alive
 //   I6  B+-Tree structural invariants on every shard
+//
+// Configurations with wire/migration fault probabilities additionally run
+// the whole mix under a randomized fault schedule (dropped RPCs, migration
+// aborts, mid-migration node crashes).  The schedule's seed is logged via
+// SCOPED_TRACE so any failure replays bit-exactly with ECC_FAULT_SEED; the
+// nightly CI job scales the operation count with ECC_FUZZ_OPS_MULT.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <string>
@@ -18,6 +25,7 @@
 
 #include "cloudsim/provider.h"
 #include "core/elastic_cache.h"
+#include "fault/fault.h"
 
 namespace ecc::core {
 namespace {
@@ -29,7 +37,19 @@ struct FuzzParams {
   std::size_t replicas;
   int operations;
   bool inject_failures;
+  /// Background wire-fault probability (request/response drops + delays).
+  double wire_fault_p = 0.0;
+  /// Per-step probability of a migration abort, and half that of a crash.
+  double migration_fault_p = 0.0;
 };
+
+/// Operation-count multiplier for long soak runs (nightly CI), >= 1.
+int OpsMultiplier() {
+  const char* env = std::getenv("ECC_FUZZ_OPS_MULT");
+  if (env == nullptr) return 1;
+  const int mult = std::atoi(env);
+  return mult >= 1 ? mult : 1;
+}
 
 std::string ValueFor(Key k, std::uint64_t salt) {
   std::string v = "v" + std::to_string(k) + ":" + std::to_string(salt);
@@ -42,11 +62,25 @@ class ElasticFuzz : public ::testing::TestWithParam<FuzzParams> {};
 TEST_P(ElasticFuzz, InvariantsHoldUnderRandomOperations) {
   const FuzzParams p = GetParam();
   Rng rng(p.seed);
+  const bool faulty = p.wire_fault_p > 0.0 || p.migration_fault_p > 0.0;
 
   VirtualClock clock;
   cloudsim::CloudOptions copts;
   copts.seed = p.seed ^ 0xc10d;
   cloudsim::CloudProvider provider(copts, &clock);
+
+  // The fault schedule reruns bit-exactly from its seed: a failure log line
+  // names the value to export as ECC_FAULT_SEED.
+  const std::uint64_t fault_seed = fault::FaultSeedFromEnv(p.seed ^ 0xfa);
+  SCOPED_TRACE("replay with ECC_FAULT_SEED=" + std::to_string(fault_seed));
+  fault::FaultPlan fault_plan;
+  fault_plan.seed = fault_seed;
+  fault_plan.drop_request_p = p.wire_fault_p;
+  fault_plan.drop_response_p = p.wire_fault_p / 2;
+  fault_plan.delay_p = p.wire_fault_p;
+  fault_plan.migration_abort_p = p.migration_fault_p;
+  fault_plan.migration_crash_p = p.migration_fault_p / 2;
+  fault::FaultInjector injector(fault_plan);
 
   ElasticCacheOptions eopts;
   eopts.node_capacity_bytes =
@@ -54,6 +88,7 @@ TEST_P(ElasticFuzz, InvariantsHoldUnderRandomOperations) {
   eopts.ring.range = p.replicas >= 2 ? 2 * p.keyspace : p.keyspace;
   eopts.initial_nodes = 2;
   eopts.replicas = p.replicas;
+  if (faulty) eopts.fault = &injector;
   ElasticCache cache(eopts, &provider, &clock);
 
   // Model of *primary* records.  With replication the physical store also
@@ -92,27 +127,55 @@ TEST_P(ElasticFuzz, InvariantsHoldUnderRandomOperations) {
     ASSERT_NEAR(arc_total, 1.0, 1e-9) << "op " << op;
   };
 
-  for (int op = 0; op < p.operations; ++op) {
+  // Any node loss — explicit KillNode below, or a crash the fault schedule
+  // injects mid-migration — appends a kill report; the model forgets what
+  // the victim held.  Without replication the key is simply gone; with
+  // replication it may survive via its mirror — drop it from the model
+  // either way (I1 then only requires surviving keys to be *correct*,
+  // which the Get branch checks by value).
+  const std::uint64_t primary_range =
+      eopts.ring.range / (p.replicas >= 2 ? 2 : 1);
+  std::size_t kills_seen = 0;
+  const auto absorb_kills = [&] {
+    for (; kills_seen < cache.kill_history().size(); ++kills_seen) {
+      for (const Key d : cache.kill_history()[kills_seen].keys_dropped) {
+        model.erase(d % primary_range);
+      }
+    }
+  };
+
+  const int operations = p.operations * OpsMultiplier();
+  for (int op = 0; op < operations; ++op) {
     const Key k = rng.Uniform(p.keyspace);
     const auto dice = static_cast<int>(rng.Uniform(100));
     if (dice < 45) {
-      // Put.
+      // Put.  Under a fault schedule an insert may also die Unavailable
+      // (aborted migration, retry budget exhausted); the model then keeps
+      // the key out, exactly like the capacity failure.
       std::string v = ValueFor(k, p.seed);
       const Status s = cache.Put(k, v);
       if (s.ok()) {
         model.emplace(k, std::move(v));  // keeps first version, like PUT
+      } else if (faulty && s.code() == StatusCode::kUnavailable) {
+        // expected casualty of the fault schedule
       } else {
         ASSERT_EQ(s.code(), StatusCode::kCapacityExceeded)
             << "op " << op << ": " << s.ToString();
       }
     } else if (dice < 80) {
-      // Get (I1).
+      // Get (I1).  Wire faults weaken it to value-correctness: a dropped
+      // RPC degrades a held key to a miss, and a lost eviction erase can
+      // leave a value-correct phantom behind.
       auto got = cache.Get(k);
       const auto it = model.find(k);
       if (it != model.end()) {
-        ASSERT_TRUE(got.ok()) << "op " << op << ": lost key " << k;
-        ASSERT_EQ(*got, it->second) << "op " << op;
-      } else if (p.replicas < 2) {
+        if (!faulty) {
+          ASSERT_TRUE(got.ok()) << "op " << op << ": lost key " << k;
+        }
+        if (got.ok()) {
+          ASSERT_EQ(*got, it->second) << "op " << op;
+        }
+      } else if (p.replicas < 2 && !faulty) {
         ASSERT_FALSE(got.ok()) << "op " << op << ": phantom key " << k;
       }
     } else if (dice < 92) {
@@ -125,39 +188,31 @@ TEST_P(ElasticFuzz, InvariantsHoldUnderRandomOperations) {
       std::size_t expect = 0;
       for (Key d : doomed) expect += model.erase(d);
       // Duplicates in `doomed` can make the physical count differ; bound
-      // loosely and re-verify through I1 on later Gets.
+      // loosely and re-verify through I1 on later Gets.  A faulted wire
+      // can drop the erase entirely (leaving a phantom, tolerated above).
       const std::size_t erased = cache.EvictKeys(doomed);
       ASSERT_LE(erased, doomed.size()) << "op " << op;
-      ASSERT_GE(erased, expect > 0 ? 1u : 0u) << "op " << op;
+      if (!faulty) {
+        ASSERT_GE(erased, expect > 0 ? 1u : 0u) << "op " << op;
+      }
     } else if (dice < 97) {
       (void)cache.TryContract();
     } else if (p.inject_failures && cache.NodeCount() > 1) {
-      // Kill a random node; the model forgets what it exclusively held.
+      // Kill a random node.
       const auto snapshot = cache.Snapshot();
       const NodeSnapshot& victim =
           snapshot[rng.Uniform(snapshot.size())];
-      std::vector<Key> held;
-      for (auto it = cache.GetNode(victim.id)->tree().Begin(); it.valid();
-           it.Next()) {
-        held.push_back(it.key());
-      }
       auto report = cache.KillNode(victim.id);
       ASSERT_TRUE(report.ok()) << "op " << op;
-      for (Key h : held) {
-        // Without replication the key is simply gone; with replication it
-        // may survive via its mirror — drop it from the model either way
-        // (I1 then only requires surviving keys to be *correct*, which the
-        // Get branch checks by value).
-        model.erase(h % (eopts.ring.range / (p.replicas >= 2 ? 2 : 1)));
-      }
     }
 
+    absorb_kills();
     if (op % 199 == 0) check_invariants(op);
   }
-  check_invariants(p.operations);
+  check_invariants(operations);
 
-  // Final full sweep of I1 for the no-failure configurations.
-  if (!p.inject_failures) {
+  // Final full sweep of I1 for the fault-free configurations.
+  if (!p.inject_failures && !faulty) {
     for (const auto& [k, v] : model) {
       auto got = cache.Get(k);
       ASSERT_TRUE(got.ok()) << "final: lost key " << k;
@@ -180,7 +235,16 @@ INSTANTIATE_TEST_SUITE_P(
         // Failures + replication.
         FuzzParams{15, 2048, 48, 2, 5000, true},
         // Long sequence, medium everything.
-        FuzzParams{16, 4096, 64, 1, 12000, false}),
+        FuzzParams{16, 4096, 64, 1, 12000, false},
+        // Wire noise only: dropped/delayed RPCs, retries, degraded ops.
+        FuzzParams{17, 2048, 24, 1, 4000, false, 0.02, 0.0},
+        // Migration churn: random aborts + mid-protocol node crashes.
+        FuzzParams{18, 2048, 24, 1, 4000, false, 0.0, 0.05},
+        // Everything at once: kills + wire faults + migration faults.
+        FuzzParams{19, 2048, 48, 1, 5000, true, 0.01, 0.02},
+        // Faulted migrations with replication: mirrors ride the same
+        // two-phase machinery.
+        FuzzParams{20, 2048, 48, 2, 4000, true, 0.0, 0.02}),
     [](const ::testing::TestParamInfo<FuzzParams>& param_info) {
       return "seed" + std::to_string(param_info.param.seed);
     });

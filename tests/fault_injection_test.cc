@@ -1,0 +1,346 @@
+// Crash-safety tests for the two-phase migration protocol and the
+// coordinator's graceful degradation.
+//
+// The core oracle, CheckConservation, encodes the promise the fault layer
+// makes: after ANY injected fault — abort, source crash, destination crash,
+// at every step of a split or a contraction merge — the key set is
+// conserved.  A key may vanish from the live fleet only by appearing in a
+// crashed node's kill report; no key is ever duplicated across shards; the
+// ring keeps partitioning the hash line with live owners.  Scenarios are
+// table-driven over (MigrationStep x MigrationFault) and each is fully
+// deterministic from its scripted plan.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cloudsim/provider.h"
+#include "common/rng.h"
+#include "core/elastic_cache.h"
+#include "fault/fault.h"
+
+namespace ecc::core {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::MigrationFault;
+using fault::MigrationFaultName;
+using fault::MigrationStep;
+using fault::MigrationStepName;
+
+constexpr std::size_t kValueBytes = 64;
+constexpr std::size_t kRecordsPerNode = 24;
+
+std::string ValueFor(Key k) {
+  std::string v = "v" + std::to_string(k);
+  v.resize(kValueBytes, 'x');
+  return v;
+}
+
+/// A small cluster wired to a scripted fault injector.
+struct Cluster {
+  VirtualClock clock;
+  cloudsim::CloudProvider provider;
+  FaultInjector injector;
+  ElasticCache cache;
+
+  static cloudsim::CloudOptions Cloud() {
+    cloudsim::CloudOptions c;
+    c.seed = 7;
+    return c;
+  }
+  static ElasticCacheOptions Opts(std::size_t initial_nodes,
+                                  FaultInjector* inj) {
+    ElasticCacheOptions e;
+    e.node_capacity_bytes = kRecordsPerNode * RecordSize(0, kValueBytes);
+    e.ring.range = 1 << 10;
+    e.initial_nodes = initial_nodes;
+    e.fault = inj;
+    return e;
+  }
+
+  explicit Cluster(std::size_t initial_nodes, FaultPlan plan = {},
+                   bool bind_injector = true)
+      : provider(Cloud(), &clock),
+        injector(std::move(plan)),
+        cache(Opts(initial_nodes, bind_injector ? &injector : nullptr),
+              &provider, &clock) {}
+};
+
+/// Crash-safety oracle.  `stored` holds every (key, value) the test
+/// successfully Put (faults may since have dropped some with a crash).
+void CheckConservation(ElasticCache& cache,
+                       const std::map<Key, std::string>& stored) {
+  // No key lives on two shards, and every live key sits where the ring
+  // routes it.
+  std::map<Key, NodeId> live;
+  for (const NodeSnapshot& snap : cache.Snapshot()) {
+    const CacheNode* node = cache.GetNode(snap.id);
+    ASSERT_NE(node, nullptr);
+    for (auto it = node->tree().Begin(); it.valid(); it.Next()) {
+      const auto [pos, fresh] = live.emplace(it.key(), snap.id);
+      ASSERT_TRUE(fresh) << "key " << it.key() << " duplicated on nodes "
+                         << pos->second << " and " << snap.id;
+      auto owner = cache.OwnerOf(it.key());
+      ASSERT_TRUE(owner.ok());
+      ASSERT_EQ(*owner, snap.id) << "key " << it.key() << " misplaced";
+    }
+  }
+
+  // Conservation: a stored key is live (with the right value) or its loss
+  // is accounted by a kill report.  (Overlap is legal: a crashed node's
+  // stale source copies may also survive at the migration destination.)
+  std::set<Key> dropped;
+  for (const KillReport& kill : cache.kill_history()) {
+    dropped.insert(kill.keys_dropped.begin(), kill.keys_dropped.end());
+  }
+  for (const auto& [k, v] : stored) {
+    if (live.count(k) > 0) {
+      auto got = cache.Get(k);
+      ASSERT_TRUE(got.ok()) << "live key " << k << " unreadable";
+      ASSERT_EQ(*got, v) << "key " << k << " corrupted";
+    } else {
+      ASSERT_GT(dropped.count(k), 0u)
+          << "key " << k << " lost without a kill report";
+    }
+  }
+
+  // Ring sanity: arcs partition the line; every bucket owner is alive.
+  double arc_total = 0.0;
+  for (std::size_t i = 0; i < cache.ring().bucket_count(); ++i) {
+    arc_total += cache.ring().ArcFraction(i);
+    ASSERT_NE(cache.GetNode(cache.ring().buckets()[i].owner), nullptr)
+        << "bucket points at a dead node";
+  }
+  ASSERT_NEAR(arc_total, 1.0, 1e-9);
+}
+
+struct CrashCase {
+  MigrationStep step;
+  MigrationFault fault;
+  /// Whether the operation that triggered migration #0 ultimately succeeds.
+  /// Post-commit the data is live at the destination, so recovery rolls
+  /// forward — except a destination crash at kAfterCommit, which forces
+  /// un-commit back to the intact source copy.
+  bool expect_ok;
+};
+
+std::vector<CrashCase> AllCrashCases() {
+  std::vector<CrashCase> cases;
+  for (int s = 0; s < fault::kMigrationStepCount; ++s) {
+    const auto step = static_cast<MigrationStep>(s);
+    for (const MigrationFault f :
+         {MigrationFault::kAbort, MigrationFault::kCrashSource,
+          MigrationFault::kCrashDest}) {
+      const bool ok =
+          step == MigrationStep::kAfterDelete ||
+          (step == MigrationStep::kAfterCommit && f != MigrationFault::kCrashDest);
+      cases.push_back({step, f, ok});
+    }
+  }
+  return cases;
+}
+
+TEST(FaultInjectionTest, SplitConservesKeysUnderCrashAtEveryStep) {
+  for (const CrashCase& c : AllCrashCases()) {
+    SCOPED_TRACE(std::string(MigrationStepName(c.step)) + "/" +
+                 MigrationFaultName(c.fault));
+    FaultPlan plan;
+    plan.migrations.push_back({/*migration_index=*/0, c.step, c.fault});
+    Cluster cl(/*initial_nodes=*/1, plan);
+
+    // Fill the single node exactly; keys spread across the line so the
+    // fullest bucket has a sweepable lower half.
+    std::map<Key, std::string> stored;
+    const Key spacing = cl.cache.options().ring.range / (kRecordsPerNode + 1);
+    for (std::size_t i = 0; i < kRecordsPerNode; ++i) {
+      const Key k = static_cast<Key>(i) * spacing;
+      std::string v = ValueFor(k);
+      ASSERT_TRUE(cl.cache.Put(k, v).ok());
+      stored.emplace(k, std::move(v));
+    }
+    ASSERT_EQ(cl.cache.NodeCount(), 1u);
+
+    // The next insert overflows the node and triggers migration #0, where
+    // the scripted fault fires.
+    const Key trigger = static_cast<Key>(kRecordsPerNode) * spacing + 1;
+    std::string tv = ValueFor(trigger);
+    const Status put = cl.cache.Put(trigger, tv);
+    if (c.expect_ok) {
+      ASSERT_TRUE(put.ok()) << put.ToString();
+      stored.emplace(trigger, std::move(tv));
+    } else {
+      ASSERT_EQ(put.code(), StatusCode::kUnavailable) << put.ToString();
+    }
+
+    CheckConservation(cl.cache, stored);
+
+    // Aborts stop the protocol but kill nobody; crashes cost exactly the
+    // victim (the split's fresh destination node survives an abort).
+    const CacheStats& stats = cl.cache.stats();
+    if (c.fault == MigrationFault::kAbort) {
+      EXPECT_EQ(cl.cache.NodeCount(), 2u);
+      EXPECT_EQ(stats.node_failures, 0u);
+      EXPECT_TRUE(cl.cache.kill_history().empty());
+      EXPECT_EQ(stats.migration_recoveries,
+                c.step == MigrationStep::kAfterCommit ? 1u : 0u);
+    } else {
+      EXPECT_EQ(cl.cache.NodeCount(), 1u);
+      EXPECT_EQ(stats.node_failures, 1u);
+      ASSERT_EQ(cl.cache.kill_history().size(), 1u);
+    }
+  }
+}
+
+TEST(FaultInjectionTest, ContractionConservesKeysUnderCrashAtEveryStep) {
+  const std::vector<Key> keys = {10, 200, 400, 600, 800, 1000};
+  for (const CrashCase& c : AllCrashCases()) {
+    SCOPED_TRACE(std::string(MigrationStepName(c.step)) + "/" +
+                 MigrationFaultName(c.fault));
+    FaultPlan plan;
+    plan.migrations.push_back({/*migration_index=*/0, c.step, c.fault});
+    Cluster cl(/*initial_nodes=*/2, plan);
+
+    // Light fill on both halves of the line: the merged load stays under
+    // the churn threshold, and the donor has batches to ship (kMidCopy
+    // must actually fire).
+    std::map<Key, std::string> stored;
+    for (const Key k : keys) {
+      std::string v = ValueFor(k);
+      ASSERT_TRUE(cl.cache.Put(k, v).ok());
+      stored.emplace(k, std::move(v));
+    }
+    for (const NodeSnapshot& snap : cl.cache.Snapshot()) {
+      ASSERT_GE(snap.records, 2u) << "both nodes must hold data";
+    }
+
+    // Merge the two nodes: migration #0, where the scripted fault fires.
+    EXPECT_EQ(cl.cache.TryContract(), c.expect_ok);
+    CheckConservation(cl.cache, stored);
+
+    // A fault-free pre-commit abort leaves both nodes; every other outcome
+    // (successful merge included) ends with a single node.
+    const bool both_alive = c.fault == MigrationFault::kAbort &&
+                            c.step != MigrationStep::kAfterCommit &&
+                            c.step != MigrationStep::kAfterDelete;
+    EXPECT_EQ(cl.cache.NodeCount(), both_alive ? 2u : 1u);
+    if (c.fault == MigrationFault::kAbort) {
+      EXPECT_TRUE(cl.cache.kill_history().empty());
+    } else {
+      ASSERT_EQ(cl.cache.kill_history().size(), 1u);
+    }
+  }
+}
+
+TEST(FaultInjectionTest, RandomFaultScheduleIsDeterministicFromSeed) {
+  const auto run = [](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.migration_abort_p = 0.3;
+    plan.migration_crash_p = 0.2;
+    Cluster cl(/*initial_nodes=*/1, plan);
+    Rng rng(seed);
+    std::vector<std::string> journal;
+    for (int op = 0; op < 800; ++op) {
+      const Key k = rng.Uniform(cl.cache.options().ring.range);
+      if (rng.Uniform(100) < 70) {
+        const Status s = cl.cache.Put(k, ValueFor(k));
+        journal.push_back("put " + std::to_string(k) + " -> " +
+                          std::to_string(static_cast<int>(s.code())));
+      } else {
+        auto got = cl.cache.Get(k);
+        journal.push_back("get " + std::to_string(k) + " -> " +
+                          (got.ok() ? "hit" : "miss"));
+      }
+    }
+    for (const NodeSnapshot& snap : cl.cache.Snapshot()) {
+      journal.push_back("node " + std::to_string(snap.id) + " holds " +
+                        std::to_string(snap.records));
+    }
+    journal.push_back("kills " + std::to_string(cl.cache.kill_history().size()));
+    journal.push_back("clock " + std::to_string(cl.clock.now().micros()));
+    return journal;
+  };
+  EXPECT_EQ(run(99), run(99));  // bit-exact replay
+  EXPECT_NE(run(99), run(101));
+}
+
+TEST(FaultInjectionTest, DownedOwnerDegradesGetsWithoutTouchingTopology) {
+  Cluster cl(/*initial_nodes=*/2);
+  const Key k = 100;
+  ASSERT_TRUE(cl.cache.Put(k, ValueFor(k)).ok());
+  const NodeId owner = *cl.cache.OwnerOf(k);
+  cl.injector.MarkDown(owner);
+
+  // The read degrades to a miss (upstream re-invokes the backing service),
+  // not an error, and the read path never mutates the ring.
+  auto got = cl.cache.Get(k);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cl.cache.NodeCount(), 2u);
+  EXPECT_GE(cl.cache.stats().degraded_gets, 1u);
+  EXPECT_GE(cl.cache.stats().rpc_failures, 1u);
+  EXPECT_GE(cl.cache.stats().rpc_retries, 1u);
+
+  // Un-down: the record was never lost, merely unreachable.
+  cl.injector.ClearDown(owner);
+  auto again = cl.cache.Get(k);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, ValueFor(k));
+}
+
+TEST(FaultInjectionTest, PutToDownedOwnerRepairsRingAndLands) {
+  Cluster cl(/*initial_nodes=*/2);
+  std::map<Key, std::string> stored;
+  for (const Key k : {Key{10}, Key{300}, Key{700}, Key{1000}}) {
+    std::string v = ValueFor(k);
+    ASSERT_TRUE(cl.cache.Put(k, v).ok());
+    stored.emplace(k, std::move(v));
+  }
+
+  // Mark one node down, then write a FRESH key routed at it.  The write
+  // path (exclusive) repairs: the dead node is crashed out of the ring and
+  // the insert re-routes to the survivor.
+  const NodeId down = *cl.cache.OwnerOf(10);
+  cl.injector.MarkDown(down);
+  Key fresh = 11;
+  while (stored.count(fresh) > 0 || *cl.cache.OwnerOf(fresh) != down) ++fresh;
+
+  std::string v = ValueFor(fresh);
+  ASSERT_TRUE(cl.cache.Put(fresh, v).ok());
+  stored.emplace(fresh, std::move(v));
+
+  EXPECT_EQ(cl.cache.NodeCount(), 1u);
+  EXPECT_GE(cl.cache.stats().degraded_puts, 1u);
+  EXPECT_EQ(cl.cache.stats().node_failures, 1u);
+  ASSERT_EQ(cl.cache.kill_history().size(), 1u);
+  EXPECT_EQ(cl.cache.kill_history()[0].node, down);
+  CheckConservation(cl.cache, stored);
+}
+
+TEST(FaultInjectionTest, IdleInjectorLeavesHappyPathUntouched) {
+  // With the fault layer wired but no plan, every observable — virtual
+  // time, splits, placement, retry counters — must match a cache built
+  // without an injector at all.
+  const auto run = [](bool bind_injector) {
+    Cluster cl(/*initial_nodes=*/1, FaultPlan{}, bind_injector);
+    const Key spacing = 17;
+    for (std::size_t i = 0; i < 3 * kRecordsPerNode; ++i) {
+      const Key k = (static_cast<Key>(i) * spacing) %
+                    cl.cache.options().ring.range;
+      (void)cl.cache.Put(k, ValueFor(k));
+    }
+    return std::tuple{cl.clock.now().micros(), cl.cache.TotalRecords(),
+                      cl.cache.NodeCount(), cl.cache.stats().splits,
+                      cl.cache.stats().rpc_retries,
+                      cl.cache.stats().migration_aborts};
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace ecc::core

@@ -239,6 +239,104 @@ TEST(ParallelCoordinatorTest, ProcessQueryEncodesThroughLinearizer) {
   EXPECT_FALSE(f.coordinator.ProcessQueryAs(0, {999.0, 0.0, 0.0}).ok());
 }
 
+/// Blocks like BlockingService but FAILS its first invocation after
+/// release (Unavailable, full 23 s charged), succeeding from then on —
+/// the shape of a transient backing-service outage under single-flight.
+class FailingOnceService final : public service::Service {
+ public:
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  [[nodiscard]] StatusOr<service::ServiceResult> Invoke(
+      const sfc::GeoTemporalQuery& /*q*/, VirtualClock* clock) override {
+    const std::uint64_t attempt =
+        invocations_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return released_; });
+    }
+    if (clock != nullptr) clock->Advance(Duration::Seconds(23));
+    if (attempt == 0) return Status::Unavailable("injected service outage");
+    service::ServiceResult r;
+    r.payload = std::string(100, 'v');
+    r.exec_time = Duration::Seconds(23);
+    return r;
+  }
+
+  [[nodiscard]] std::uint64_t invocations() const override {
+    return invocations_.load(std::memory_order_relaxed);
+  }
+
+  void Release() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::string name_ = "failing-once";
+  std::atomic<std::uint64_t> invocations_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+// Regression: when the single-flight leader's service call fails, its
+// followers must stay kCoalesced without being charged the failed call's
+// 23 s (they never invoked anything — charging both the leader and every
+// follower would double-count the outage).  Nothing is cached, so the
+// key's next query elects a fresh leader and re-invokes the service.
+TEST(ParallelCoordinatorTest, CoalescedFollowersNotChargedWhenLeaderFails) {
+  constexpr std::size_t kThreads = 4;
+  FailingOnceService failing;
+  Fixture f(kThreads, &failing);
+
+  std::vector<std::thread> threads;
+  std::vector<ParallelQueryResult> results(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&f, &results, i] {
+      results[i] = f.coordinator.ProcessKeyAs(i, 42);
+    });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (f.coordinator.coalesced_hits() < kThreads - 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(f.coordinator.coalesced_hits(), kThreads - 1)
+      << "followers failed to coalesce before the deadline";
+
+  failing.Release();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(f.coordinator.service_failures(), 1u);
+  EXPECT_EQ(failing.invocations(), 1u);  // one leader, one failed call
+  std::size_t leaders = 0;
+  for (const ParallelQueryResult& r : results) {
+    if (r.path == QueryPath::kMiss) {
+      ++leaders;
+      // Only the leader's clock carries the failed call's cost.
+      EXPECT_GE(r.latency.seconds(), 23.0 * 0.9);
+    } else {
+      ASSERT_EQ(r.path, QueryPath::kCoalesced);
+      EXPECT_LT(r.latency.seconds(), 1.0)
+          << "follower charged for the leader's failed service call";
+    }
+  }
+  EXPECT_EQ(leaders, 1u);
+  EXPECT_EQ(f.cache.TotalRecords(), 0u);  // a failure is never cached
+
+  // The failure did not poison the key: a fresh leader re-invokes, and the
+  // landed result then serves hits.
+  const ParallelQueryResult retry = f.coordinator.ProcessKeyAs(0, 42);
+  EXPECT_EQ(retry.path, QueryPath::kMiss);
+  EXPECT_EQ(failing.invocations(), 2u);
+  EXPECT_EQ(f.coordinator.service_failures(), 1u);
+  EXPECT_EQ(f.coordinator.ProcessKeyAs(1, 42).path, QueryPath::kHit);
+}
+
 TEST(ParallelCoordinatorTest, WorkerHistogramsRecordLatencies) {
   Fixture f(/*workers=*/2);
   (void)f.coordinator.ProcessKeyAs(0, 1);  // miss: ~23 s

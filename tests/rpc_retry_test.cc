@@ -1,0 +1,243 @@
+// Tests for the RPC fault/retry layer: scripted and probabilistic call
+// faults from a FaultInjector, timeout + bounded-exponential-backoff
+// accounting on the virtual clock, at-least-once semantics after a dropped
+// response, non-retryable error passthrough, and seed determinism
+// (including ECC_FAULT_SEED reproduction).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "fault/fault.h"
+#include "fault/faulty_service.h"
+#include "net/message.h"
+#include "net/netmodel.h"
+#include "net/rpc.h"
+#include "service/service.h"
+
+namespace ecc::net {
+namespace {
+
+/// A server with one GET handler that counts executions — the probe for
+/// "did the request reach the server?" under injected loss.
+struct CountingServer {
+  RpcServer server;
+  std::uint64_t handled = 0;
+  Status respond_with = Status::Ok();  ///< non-OK => handler-level rejection
+
+  CountingServer() {
+    server.Handle(MsgType::kGetRequest,
+                  [this](const Message& m) -> StatusOr<Message> {
+                    ++handled;
+                    if (!respond_with.ok()) return respond_with;
+                    auto req = GetRequest::Decode(m);
+                    if (!req.ok()) return req.status();
+                    GetResponse resp;
+                    resp.found = true;
+                    resp.value = "v" + std::to_string(req->key);
+                    return resp.Encode();
+                  });
+  }
+};
+
+RetryPolicy TestPolicy() {
+  RetryPolicy p;
+  p.max_attempts = 4;
+  p.attempt_timeout = Duration::Millis(50);
+  p.initial_backoff = Duration::Millis(5);
+  p.backoff_multiplier = 2.0;
+  p.max_backoff = Duration::Millis(200);
+  return p;
+}
+
+TEST(RpcRetryTest, TransientDropsRetriedWithBackoffOnVirtualClock) {
+  CountingServer cs;
+  VirtualClock clock;
+  LoopbackChannel channel(&cs.server, NetworkModel{}, &clock);
+
+  // Drop the first two requests to endpoint 7; the third attempt lands.
+  fault::FaultPlan plan;
+  plan.calls.push_back({/*endpoint=*/7, MsgType::kGetRequest,
+                        /*any_type=*/false, /*after_matching=*/0,
+                        /*count=*/2, CallFaultKind::kDropRequest, {}});
+  fault::FaultInjector injector(plan);
+  channel.BindInterceptor(&injector, 7);
+
+  RetryStats rs;
+  auto resp = CallWithRetry(channel, GetRequest{9}.Encode(), TestPolicy(), &rs);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  auto decoded = GetResponse::Decode(*resp);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->value, "v9");
+
+  EXPECT_EQ(cs.handled, 1u);  // the two dropped requests never arrived
+  EXPECT_EQ(rs.attempts, 3u);
+  EXPECT_EQ(rs.retries, 2u);
+  EXPECT_EQ(rs.exhausted, 0u);
+  // Two failed attempts charge a detection timeout each, plus backoffs of
+  // 5 ms then 10 ms before the retries — exact, deterministic accounting.
+  EXPECT_EQ(rs.time_waiting,
+            Duration::Millis(50) * 2.0 + Duration::Millis(5) +
+                Duration::Millis(10));
+  EXPECT_GE(clock.now().micros(), rs.time_waiting.micros());
+  EXPECT_EQ(injector.stats().requests_dropped, 2u);
+}
+
+TEST(RpcRetryTest, PermanentFailureSurfacesUnavailableAfterBudget) {
+  CountingServer cs;
+  VirtualClock clock;
+  LoopbackChannel channel(&cs.server, NetworkModel{}, &clock);
+
+  fault::FaultInjector injector;
+  channel.BindInterceptor(&injector, 3);
+  injector.MarkDown(3);
+
+  RetryStats rs;
+  const TimePoint before = clock.now();
+  auto resp = CallWithRetry(channel, GetRequest{1}.Encode(), TestPolicy(), &rs);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(cs.handled, 0u);
+  EXPECT_EQ(rs.attempts, 4u);
+  EXPECT_EQ(rs.retries, 3u);
+  EXPECT_EQ(rs.exhausted, 1u);
+  // 4 timeouts + backoffs 5, 10, 20 (no backoff after the final attempt).
+  const Duration expected_wait = Duration::Millis(50) * 4.0 +
+                                 Duration::Millis(5) + Duration::Millis(10) +
+                                 Duration::Millis(20);
+  EXPECT_EQ(rs.time_waiting, expected_wait);
+  EXPECT_GE(clock.now() - before, expected_wait);
+  EXPECT_EQ(injector.stats().down_endpoint_drops, 4u);
+
+  // Repair the endpoint: the same channel works again.
+  injector.ClearDown(3);
+  EXPECT_TRUE(CallWithRetry(channel, GetRequest{1}.Encode(), TestPolicy())
+                  .ok());
+}
+
+TEST(RpcRetryTest, DroppedResponseMeansAtLeastOnceExecution) {
+  CountingServer cs;
+  VirtualClock clock;
+  LoopbackChannel channel(&cs.server, NetworkModel{}, &clock);
+
+  // The first call executes server-side but loses its response — the
+  // nastiest partial failure.  The retry re-executes the handler.
+  fault::FaultPlan plan;
+  plan.calls.push_back({fault::kAnyEndpoint, MsgType::kGetRequest,
+                        /*any_type=*/true, /*after_matching=*/0,
+                        /*count=*/1, CallFaultKind::kDropResponse, {}});
+  fault::FaultInjector injector(plan);
+  channel.BindInterceptor(&injector, 0);
+
+  RetryStats rs;
+  auto resp = CallWithRetry(channel, GetRequest{5}.Encode(), TestPolicy(), &rs);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(cs.handled, 2u);  // executed twice: handlers must be idempotent
+  EXPECT_EQ(rs.retries, 1u);
+  EXPECT_EQ(injector.stats().responses_dropped, 1u);
+}
+
+TEST(RpcRetryTest, NonRetryableErrorReturnsImmediately) {
+  CountingServer cs;
+  cs.respond_with = Status::InvalidArgument("handler says no");
+  VirtualClock clock;
+  LoopbackChannel channel(&cs.server, NetworkModel{}, &clock);
+
+  RetryStats rs;
+  auto resp = CallWithRetry(channel, GetRequest{5}.Encode(), TestPolicy(), &rs);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(rs.attempts, 1u);  // an answer, not transport loss: no retry
+  EXPECT_EQ(rs.retries, 0u);
+  EXPECT_EQ(rs.time_waiting, Duration::Zero());
+  EXPECT_EQ(cs.handled, 1u);
+}
+
+TEST(RpcRetryTest, DelayFaultChargesExtraWireTime) {
+  CountingServer cs;
+  VirtualClock clock;
+  LoopbackChannel channel(&cs.server, NetworkModel{}, &clock);
+
+  fault::FaultPlan plan;
+  plan.calls.push_back({fault::kAnyEndpoint, MsgType::kGetRequest,
+                        /*any_type=*/true, /*after_matching=*/0,
+                        /*count=*/1, CallFaultKind::kDelay,
+                        Duration::Millis(40)});
+  fault::FaultInjector injector(plan);
+  channel.BindInterceptor(&injector, 0);
+
+  auto resp = channel.Call(GetRequest{5}.Encode());
+  ASSERT_TRUE(resp.ok());  // delayed, not lost
+  EXPECT_GE(clock.now().micros(), Duration::Millis(40).micros());
+  EXPECT_EQ(injector.stats().delays, 1u);
+  EXPECT_EQ(channel.stats().faults_injected, 1u);
+}
+
+TEST(RpcRetryTest, ProbabilisticFaultsAreDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    CountingServer cs;
+    VirtualClock clock;
+    LoopbackChannel channel(&cs.server, NetworkModel{}, &clock);
+    fault::FaultPlan plan;
+    plan.seed = seed;
+    plan.drop_request_p = 0.2;
+    plan.drop_response_p = 0.1;
+    plan.delay_p = 0.1;
+    fault::FaultInjector injector(plan);
+    channel.BindInterceptor(&injector, 0);
+    for (std::uint64_t k = 0; k < 200; ++k) {
+      (void)CallWithRetry(channel, GetRequest{k}.Encode(), TestPolicy());
+    }
+    return injector.stats();
+  };
+  const fault::FaultStats a = run(0xfeed);
+  const fault::FaultStats b = run(0xfeed);
+  const fault::FaultStats c = run(0xbeef);
+  EXPECT_EQ(a.requests_dropped, b.requests_dropped);
+  EXPECT_EQ(a.responses_dropped, b.responses_dropped);
+  EXPECT_EQ(a.delays, b.delays);
+  EXPECT_GT(a.requests_dropped + a.responses_dropped + a.delays, 0u);
+  // A different seed perturbs a different subset of calls.
+  EXPECT_TRUE(a.requests_dropped != c.requests_dropped ||
+              a.responses_dropped != c.responses_dropped ||
+              a.delays != c.delays);
+}
+
+TEST(RpcRetryTest, FaultSeedFromEnvParsesOverride) {
+  ASSERT_EQ(unsetenv("ECC_FAULT_SEED"), 0);
+  EXPECT_EQ(fault::FaultSeedFromEnv(42), 42u);
+  ASSERT_EQ(setenv("ECC_FAULT_SEED", "12345", 1), 0);
+  EXPECT_EQ(fault::FaultSeedFromEnv(42), 12345u);
+  ASSERT_EQ(setenv("ECC_FAULT_SEED", "0xabc", 1), 0);
+  EXPECT_EQ(fault::FaultSeedFromEnv(42), 0xabcu);
+  ASSERT_EQ(unsetenv("ECC_FAULT_SEED"), 0);
+}
+
+TEST(RpcRetryTest, FaultyServiceFailsScriptedInvocations) {
+  service::SyntheticService inner("svc", Duration::Seconds(23), 64);
+  fault::FaultPlan plan;
+  plan.service_failures = {0, 2};  // fail the 1st and 3rd attempts
+  fault::FaultInjector injector(plan);
+  fault::FaultyService faulty(&inner, &injector, Duration::Seconds(5));
+
+  VirtualClock clock;
+  const sfc::GeoTemporalQuery q{0.0, 0.0, 0.0};
+  auto first = faulty.Invoke(q, &clock);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(clock.now(), TimePoint{} + Duration::Seconds(5));  // failure cost
+
+  auto second = faulty.Invoke(q, &clock);
+  ASSERT_TRUE(second.ok());
+  auto third = faulty.Invoke(q, &clock);
+  ASSERT_FALSE(third.ok());
+
+  EXPECT_EQ(faulty.attempts(), 3u);
+  EXPECT_EQ(faulty.invocations(), 1u);  // only the success reached `inner`
+  EXPECT_EQ(injector.stats().service_failures, 2u);
+}
+
+}  // namespace
+}  // namespace ecc::net
