@@ -30,6 +30,17 @@ Stack BuildStack(const StackParams& p) {
   s.clock = std::make_unique<VirtualClock>();
   s.linearizer = std::make_unique<sfc::Linearizer>(GridFor(p.keyspace));
 
+  s.metrics = std::make_unique<obs::MetricsRegistry>();
+  if (p.trace) s.trace = std::make_unique<obs::TraceLog>();
+  obs::FleetTelemetryOptions topts;
+  topts.sample_every = p.telemetry_every == 0 ? 1 : p.telemetry_every;
+  topts.registry = s.metrics.get();
+  s.telemetry = std::make_unique<obs::FleetTelemetry>(topts);
+  obs::Observability obs;
+  obs.metrics = s.metrics.get();
+  obs.trace = s.trace.get();
+  obs.telemetry = s.telemetry.get();
+
   if (p.service_kind == "shoreline") {
     service::ShorelineServiceOptions sopts;
     sopts.base_exec_time = p.service_time;
@@ -67,12 +78,15 @@ Stack BuildStack(const StackParams& p) {
     eopts.ring.range = p.replicas >= 2 ? 2 * p.keyspace : p.keyspace;
     eopts.min_nodes = p.min_nodes;
     eopts.replicas = p.replicas;
+    eopts.obs = obs;
     s.cache = std::make_unique<core::ElasticCache>(eopts, s.provider.get(),
                                                    s.clock.get());
   }
 
+  core::CoordinatorOptions copts = p.coordinator;
+  copts.obs = obs;
   s.coordinator = std::make_unique<core::Coordinator>(
-      p.coordinator, s.cache.get(), s.service.get(), s.linearizer.get(),
+      copts, s.cache.get(), s.service.get(), s.linearizer.get(),
       s.clock.get());
   return s;
 }

@@ -26,6 +26,9 @@
 #include "core/elastic_cache.h"
 #include "core/static_cache.h"
 #include "core/types.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "service/service.h"
 #include "sfc/linearizer.h"
 #include "workload/experiment.h"
@@ -37,6 +40,11 @@ namespace ecc::bench {
 struct Stack {
   std::unique_ptr<VirtualClock> clock;
   std::unique_ptr<cloudsim::CloudProvider> provider;  // null for static
+  // Observability: every stack gets a registry (metrics + telemetry are
+  // cheap); the trace ring is allocated only when StackParams::trace.
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::TraceLog> trace;
+  std::unique_ptr<obs::FleetTelemetry> telemetry;
   std::unique_ptr<core::CacheBackend> cache;
   std::unique_ptr<service::Service> service;
   std::unique_ptr<sfc::Linearizer> linearizer;
@@ -65,6 +73,11 @@ struct StackParams {
   std::size_t min_nodes = 1;
   /// Record copies (elastic only; 2 = successor replication extension).
   std::size_t replicas = 1;
+  /// Allocate a trace ring and wire it through cache + coordinator.
+  bool trace = false;
+  /// Telemetry decimation: record every Nth time step (>= 1).  Long sweeps
+  /// (fig4's 200k steps) pass ~1000 to bound series memory.
+  std::size_t telemetry_every = 1;
 };
 
 /// Per-record in-memory footprint used for capacity calibration.

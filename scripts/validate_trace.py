@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validate an ECC trace dump (JSON lines, one event per line).
+
+Usage: validate_trace.py TRACE.jsonl [...]
+
+Checks, per line: the line parses as a JSON object, `t_us` is a
+non-negative integer, `ev` names a known event kind, and every field the
+kind requires (see src/obs/trace.cc, EventToJson) is present with the
+right type.  The file as a whole must contain at least one event.  Exits
+non-zero on the first problem, printing file:line so CI logs point at the
+offending event.
+"""
+
+import json
+import sys
+
+# Required fields beyond t_us/ev, per event kind.  Values are the expected
+# JSON types.  Optional fields (node/key — omitted when they carry the
+# "none" sentinel) are listed separately.
+SCHEMAS = {
+    "query_start": {"key": int},
+    "query_end": {"key": int, "outcome": str, "latency_us": int},
+    "split": {"node": int, "dst": int, "records": int, "bytes": int},
+    "migration_phase": {"node": int, "dst": int, "step": int,
+                        "migration": int},
+    "eviction_sweep": {"requested": int, "erased": int},
+    "contraction_merge": {"node": int, "absorber": int, "records": int},
+    "node_alloc": {"node": int, "boot_wait_us": int},
+    "node_dealloc": {"node": int},
+    "node_crash": {"node": int, "dropped": int, "recoverable": int},
+    "rpc_retry": {"node": int, "attempt": int},
+    "rpc_failure": {"node": int, "attempts": int},
+    "fault_injected": {"fault": str, "arg": int},
+}
+
+OPTIONAL = {"node": int, "key": int}
+
+OUTCOMES = {"hit", "miss", "coalesced"}
+FAULTS = {"drop_request", "drop_response", "delay", "migration_abort",
+          "migration_crash_source", "migration_crash_dest"}
+
+# Sweep-and-migrate has six phase steps (fault::MigrationStep).
+MAX_MIGRATION_STEP = 5
+
+
+def fail(path, lineno, msg):
+    print(f"{path}:{lineno}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_line(path, lineno, line):
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError as err:
+        fail(path, lineno, f"not valid JSON: {err}")
+    if not isinstance(event, dict):
+        fail(path, lineno, "event is not a JSON object")
+
+    t_us = event.get("t_us")
+    if not isinstance(t_us, int) or isinstance(t_us, bool) or t_us < 0:
+        fail(path, lineno, f"bad t_us: {t_us!r}")
+
+    kind = event.get("ev")
+    if kind not in SCHEMAS:
+        fail(path, lineno, f"unknown event kind: {kind!r}")
+
+    for field, ftype in SCHEMAS[kind].items():
+        value = event.get(field)
+        if not isinstance(value, ftype) or isinstance(value, bool):
+            fail(path, lineno,
+                 f"{kind}: field {field!r} missing or not {ftype.__name__}: "
+                 f"{value!r}")
+
+    for field, value in event.items():
+        if field in ("t_us", "ev") or field in SCHEMAS[kind]:
+            continue
+        if field in OPTIONAL:
+            if not isinstance(value, OPTIONAL[field]) or isinstance(
+                    value, bool):
+                fail(path, lineno, f"{kind}: bad optional {field!r}: "
+                                   f"{value!r}")
+            continue
+        fail(path, lineno, f"{kind}: unexpected field {field!r}")
+
+    if kind == "query_end" and event["outcome"] not in OUTCOMES:
+        fail(path, lineno, f"bad outcome: {event['outcome']!r}")
+    if kind == "fault_injected" and event["fault"] not in FAULTS:
+        fail(path, lineno, f"bad fault code: {event['fault']!r}")
+    if kind == "migration_phase" and not (
+            0 <= event["step"] <= MAX_MIGRATION_STEP):
+        fail(path, lineno, f"migration step out of range: {event['step']}")
+    if kind == "query_end" and event["latency_us"] < 0:
+        fail(path, lineno, f"negative latency: {event['latency_us']}")
+
+
+def validate(path):
+    events = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):  # DumpTrace footer comment
+                continue
+            check_line(path, lineno, line)
+            events += 1
+    if events == 0:
+        fail(path, 0, "no events in trace")
+    print(f"{path}: {events} events OK")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        validate(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

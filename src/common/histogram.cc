@@ -13,8 +13,14 @@ Histogram::Histogram(double min_value, double growth)
 }
 
 std::size_t Histogram::BucketFor(double value) const {
-  if (value <= min_value_) return 0;
+  // `!(value > min_value_)` also routes NaN to bucket 0 — Add() rejects
+  // non-finite input, but BucketFor itself must never compute a NaN index.
+  if (!(value > min_value_)) return 0;
   const double idx = std::log(value / min_value_) / log_growth_;
+  // Cap before the size_t cast: a huge (or infinite) idx would otherwise
+  // truncate implementation-defined and resize the bucket vector without
+  // bound.
+  if (!(idx < static_cast<double>(kMaxBuckets - 1))) return kMaxBuckets - 1;
   return static_cast<std::size_t>(idx) + 1;
 }
 
@@ -28,21 +34,22 @@ double Histogram::BucketMid(std::size_t idx) const {
 }
 
 void Histogram::Add(double value) {
+  if (!std::isfinite(value)) {
+    ++rejected_;
+    return;
+  }
   const std::size_t idx = BucketFor(value);
   if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
   ++buckets_[idx];
   ++count_;
   sum_ += value;
-  if (count_ == 1) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-  }
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
 }
 
 void Histogram::Merge(const Histogram& other) {
   assert(min_value_ == other.min_value_ && log_growth_ == other.log_growth_);
+  rejected_ += other.rejected_;
   if (other.count_ == 0) return;
   if (other.buckets_.size() > buckets_.size()) {
     buckets_.resize(other.buckets_.size(), 0);
@@ -50,13 +57,8 @@ void Histogram::Merge(const Histogram& other) {
   for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
   }
-  if (count_ == 0) {
-    min_ = other.min_;
-    max_ = other.max_;
-  } else {
-    min_ = std::min(min_, other.min_);
-    max_ = std::max(max_, other.max_);
-  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
   count_ += other.count_;
   sum_ += other.sum_;
 }
@@ -64,8 +66,10 @@ void Histogram::Merge(const Histogram& other) {
 void Histogram::Reset() {
   buckets_.clear();
   count_ = 0;
+  rejected_ = 0;
   sum_ = 0.0;
-  min_ = max_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
 }
 
 double Histogram::Percentile(double pct) const {

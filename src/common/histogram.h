@@ -4,9 +4,18 @@
 // (Fig. 4) without retaining every sample.  Buckets grow geometrically so the
 // structure covers microseconds to hours in ~100 buckets with bounded
 // relative error on reported percentiles.
+//
+// Robustness guarantees: non-finite samples (NaN, ±inf) are rejected and
+// counted in rejected() rather than corrupting the moments; finite samples
+// beyond the geometric range collapse into a capped final bucket (at most
+// kMaxBuckets buckets ever exist, so a single 1e308 sample cannot force a
+// multi-terabyte resize or overflow the index cast); and Reset() restores
+// the min/max sentinels so a reused histogram never clamps percentiles into
+// a stale [0, 0] range.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -14,6 +23,10 @@ namespace ecc {
 
 class Histogram {
  public:
+  /// Hard cap on bucket count: index ~4096 at the default growth covers
+  /// ~10^247 / min_value, far past any meaningful sample.
+  static constexpr std::size_t kMaxBuckets = 4096;
+
   /// `growth` is the geometric bucket ratio (> 1).  Default gives ~7%
   /// relative resolution.
   explicit Histogram(double min_value = 1.0, double growth = 1.15);
@@ -23,6 +36,8 @@ class Histogram {
   void Reset();
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Samples dropped for being non-finite.
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double mean() const {
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
@@ -45,9 +60,12 @@ class Histogram {
   double log_growth_;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
+  std::uint64_t rejected_ = 0;
   double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  // Sentinels: any finite sample replaces them via min/max; accessors guard
+  // on count_ == 0 so the sentinels never leak out.
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace ecc

@@ -92,6 +92,41 @@ std::string StatsSummary(const CacheStats& stats) {
   return buf;
 }
 
+std::string DumpMetrics(const obs::MetricsSnapshot& snapshot) {
+  std::string out;
+  if (!snapshot.counters.empty()) {
+    Table counters({"counter", "value"});
+    for (const auto& [name, value] : snapshot.counters) {
+      counters.AddRow({name, std::to_string(value)});
+    }
+    out += counters.ToString();
+  }
+  if (!snapshot.gauges.empty()) {
+    Table gauges({"gauge", "value"});
+    for (const auto& [name, value] : snapshot.gauges) {
+      gauges.AddRow({name, std::to_string(value)});
+    }
+    out += gauges.ToString();
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    out += name;
+    out += ": ";
+    out += histogram.Summary();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string DumpTrace(const obs::TraceLog& trace) {
+  std::string out = trace.ToJsonLines();
+  if (trace.dropped() > 0) {
+    out += "# dropped=";
+    out += std::to_string(trace.dropped());
+    out += '\n';
+  }
+  return out;
+}
+
 double FleetFillCv(const ElasticCache& cache) {
   const auto snapshot = cache.Snapshot();
   if (snapshot.size() < 2) return 0.0;

@@ -8,6 +8,8 @@
 #include <string>
 
 #include "core/elastic_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ecc::core {
 
@@ -27,5 +29,14 @@ namespace ecc::core {
 /// Imbalance measure: coefficient of variation of per-node used bytes
 /// (0 = perfectly even; meaningless for < 2 nodes, returns 0).
 [[nodiscard]] double FleetFillCv(const ElasticCache& cache);
+
+/// Full registry dump: one table per metric kind (counters, gauges), plus
+/// a one-line summary per histogram.  Render a snapshot, not a registry,
+/// so the dump is a consistent point in time.
+[[nodiscard]] std::string DumpMetrics(const obs::MetricsSnapshot& snapshot);
+
+/// The trace ring as JSON lines (one event per line), oldest first, with a
+/// trailing `# dropped=N` comment line when the ring overwrote events.
+[[nodiscard]] std::string DumpTrace(const obs::TraceLog& trace);
 
 }  // namespace ecc::core

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/time.h"
 #include "core/types.h"
+#include "obs/telemetry.h"
 
 namespace ecc::core {
 
@@ -85,7 +86,18 @@ class CacheBackend {
   [[nodiscard]] virtual std::uint64_t TotalUsedBytes() const = 0;
   [[nodiscard]] virtual std::uint64_t TotalCapacityBytes() const = 0;
   [[nodiscard]] virtual std::size_t TotalRecords() const = 0;
-  [[nodiscard]] virtual const CacheStats& stats() const = 0;
+
+  /// Point-in-time counter snapshot, safe to call concurrently with
+  /// operations.  Returned BY VALUE: an earlier revision handed out a
+  /// reference to live (mutating, unsynchronized) state, which raced with
+  /// every writer the moment a second thread polled it.
+  [[nodiscard]] virtual CacheStats stats() const = 0;
+
+  /// Per-node load sample for fleet telemetry.  Backends that don't model
+  /// individual nodes may return empty.
+  [[nodiscard]] virtual std::vector<obs::NodeLoad> NodeLoads() const {
+    return {};
+  }
 };
 
 }  // namespace ecc::core

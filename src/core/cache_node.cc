@@ -129,6 +129,7 @@ Status CacheNode::RestoreShard(std::string_view bytes) {
 void CacheNode::InstallHandlers() {
   rpc_.Handle(net::MsgType::kGetRequest,
               [this](const net::Message& m) -> StatusOr<net::Message> {
+                rpc_ops_.Inc();
                 auto req = net::GetRequest::Decode(m);
                 if (!req.ok()) return req.status();
                 net::GetResponse resp;
@@ -140,6 +141,7 @@ void CacheNode::InstallHandlers() {
               });
   rpc_.Handle(net::MsgType::kPutRequest,
               [this](const net::Message& m) -> StatusOr<net::Message> {
+                rpc_ops_.Inc();
                 auto req = net::PutRequest::Decode(m);
                 if (!req.ok()) return req.status();
                 const Status s = Insert(req->key, std::move(req->value));
@@ -154,6 +156,7 @@ void CacheNode::InstallHandlers() {
               });
   rpc_.Handle(net::MsgType::kMigrateRequest,
               [this](const net::Message& m) -> StatusOr<net::Message> {
+                rpc_ops_.Inc();
                 auto req = net::MigrateRequest::Decode(m);
                 if (!req.ok()) return req.status();
                 net::MigrateResponse resp;
@@ -164,6 +167,7 @@ void CacheNode::InstallHandlers() {
               });
   rpc_.Handle(net::MsgType::kEraseRequest,
               [this](const net::Message& m) -> StatusOr<net::Message> {
+                rpc_ops_.Inc();
                 auto req = net::EraseRequest::Decode(m);
                 if (!req.ok()) return req.status();
                 net::EraseResponse resp;
@@ -174,6 +178,7 @@ void CacheNode::InstallHandlers() {
               });
   rpc_.Handle(net::MsgType::kStatsRequest,
               [this](const net::Message& m) -> StatusOr<net::Message> {
+                rpc_ops_.Inc();
                 auto req = net::StatsRequest::Decode(m);
                 if (!req.ok()) return req.status();
                 net::StatsResponse resp;
@@ -184,6 +189,7 @@ void CacheNode::InstallHandlers() {
               });
   rpc_.Handle(net::MsgType::kRangeStatsRequest,
               [this](const net::Message& m) -> StatusOr<net::Message> {
+                rpc_ops_.Inc();
                 auto req = net::RangeStatsRequest::Decode(m);
                 if (!req.ok()) return req.status();
                 const RangeStats stats = StatsInRange(req->lo, req->hi);
@@ -194,6 +200,7 @@ void CacheNode::InstallHandlers() {
               });
   rpc_.Handle(net::MsgType::kEraseRangeRequest,
               [this](const net::Message& m) -> StatusOr<net::Message> {
+                rpc_ops_.Inc();
                 auto req = net::EraseRangeRequest::Decode(m);
                 if (!req.ok()) return req.status();
                 net::EraseRangeResponse resp;

@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "core/types.h"
 #include "net/rpc.h"
+#include "obs/metrics.h"
 
 namespace ecc::core {
 
@@ -106,6 +107,10 @@ class CacheNode {
   /// this shard).
   [[nodiscard]] net::RpcServer& rpc() { return rpc_; }
 
+  /// Attach a metrics counter incremented once per handled RPC.  The default
+  /// (unattached) handle makes every increment a no-op.
+  void BindOpsCounter(obs::Counter c) { rpc_ops_ = c; }
+
  private:
   void InstallHandlers();
 
@@ -115,6 +120,7 @@ class CacheNode {
   std::uint64_t used_bytes_ = 0;
   btree::BPlusTree<std::string> tree_;
   net::RpcServer rpc_;
+  obs::Counter rpc_ops_;
 };
 
 }  // namespace ecc::core

@@ -19,6 +19,11 @@ Coordinator::Coordinator(CoordinatorOptions opts, CacheBackend* cache,
       dynamic_(opts.dynamic) {
   assert(cache != nullptr && service != nullptr && linearizer != nullptr &&
          clock != nullptr);
+  m_queries_ = opts_.obs.MakeCounter("coordinator.queries");
+  m_hits_ = opts_.obs.MakeCounter("coordinator.hits");
+  m_misses_ = opts_.obs.MakeCounter("coordinator.misses");
+  trace_ = opts_.obs.trace;
+  telemetry_ = opts_.obs.telemetry;
 }
 
 QueryOutcome Coordinator::ProcessKey(Key k) {
@@ -26,6 +31,8 @@ QueryOutcome Coordinator::ProcessKey(Key k) {
   window_.RecordQuery(k);
   ++step_queries_;
   ++total_queries_;
+  m_queries_.Inc();
+  obs::Emit(trace_, obs::QueryStartEvent(start, k));
 
   QueryOutcome outcome;
   auto cached = cache_->Get(k);
@@ -68,6 +75,16 @@ QueryOutcome Coordinator::ProcessKey(Key k) {
   outcome.latency = clock_->now() - start;
   step_query_time_ += outcome.latency;
   total_query_time_ += outcome.latency;
+  if (outcome.hit) {
+    m_hits_.Inc();
+  } else {
+    m_misses_.Inc();
+  }
+  obs::Emit(trace_, obs::QueryEndEvent(clock_->now(), k,
+                                       outcome.hit
+                                           ? obs::QueryOutcomeKind::kHit
+                                           : obs::QueryOutcomeKind::kMiss,
+                                       outcome.latency));
   return outcome;
 }
 
@@ -113,6 +130,14 @@ TimeStepReport Coordinator::EndTimeStep() {
     }
   }
   report.window_slices = window_.options().slices;
+
+  // Sample fleet load at the (quiesced) step boundary; x is the 0-based
+  // step index.
+  if (telemetry_ != nullptr) {
+    telemetry_->Sample(static_cast<double>(steps_ended_),
+                       cache_->NodeLoads());
+  }
+  ++steps_ended_;
 
   step_queries_ = 0;
   step_hits_ = 0;

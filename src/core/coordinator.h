@@ -21,6 +21,7 @@
 #include "core/dynamic_window.h"
 #include "core/sliding_window.h"
 #include "core/types.h"
+#include "obs/obs.h"
 #include "service/service.h"
 #include "sfc/linearizer.h"
 
@@ -34,6 +35,11 @@ struct CoordinatorOptions {
   /// Enable the dynamic-window extension.
   bool dynamic_window = false;
   DynamicWindowOptions dynamic;
+  /// Observability sinks (none owned, all optional).  obs.metrics receives
+  /// coordinator.{queries,hits,misses}; obs.trace gets a query start/end
+  /// event pair per ProcessKey; obs.telemetry is fed one fleet sample per
+  /// EndTimeStep from the backend's NodeLoads().
+  obs::Observability obs;
 };
 
 /// End-to-end result of one query.
@@ -105,6 +111,12 @@ class Coordinator {
   VirtualClock* clock_;
   SlidingWindow window_;
   DynamicWindowPolicy dynamic_;
+
+  // Null-safe observability handles (unregistered when no registry wired).
+  obs::Counter m_queries_, m_hits_, m_misses_;
+  obs::TraceLog* trace_ = nullptr;
+  obs::FleetTelemetry* telemetry_ = nullptr;
+  std::size_t steps_ended_ = 0;
 
   std::size_t expirations_since_contract_ = 0;
   // Per-step counters (reset by EndTimeStep).

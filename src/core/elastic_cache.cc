@@ -23,6 +23,55 @@ ElasticCache::ElasticCache(ElasticCacheOptions opts,
   assert(opts_.initial_nodes >= 1);
   assert(opts_.initial_buckets_per_node >= 1);
 
+  // Wire observability before any node exists: AllocateNode already
+  // accounts through the handles.  Without an external registry the cache
+  // owns a private one (stats() reads these cells).
+  if (opts_.obs.metrics != nullptr) {
+    metrics_ = opts_.obs.metrics;
+  } else {
+    own_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = own_metrics_.get();
+  }
+  trace_ = opts_.obs.trace;
+  if (trace_ != nullptr && opts_.fault != nullptr) {
+    opts_.fault->BindTrace(trace_, clock_);
+  }
+  // Attempt counters first, their outcomes after (snapshot-consistency
+  // contract, see obs/metrics.h).
+  m_.gets = metrics_->GetCounter("cache.gets");
+  m_.hits = metrics_->GetCounter("cache.hits");
+  m_.misses = metrics_->GetCounter("cache.misses");
+  m_.failover_reads = metrics_->GetCounter("cache.failover_reads");
+  m_.degraded_gets = metrics_->GetCounter("cache.degraded_gets");
+  m_.puts = metrics_->GetCounter("cache.puts");
+  m_.put_failures = metrics_->GetCounter("cache.put_failures");
+  m_.degraded_puts = metrics_->GetCounter("cache.degraded_puts");
+  m_.evictions = metrics_->GetCounter("cache.evictions");
+  m_.splits = metrics_->GetCounter("cache.splits");
+  m_.proactive_splits = metrics_->GetCounter("cache.proactive_splits");
+  m_.node_allocations = metrics_->GetCounter("cache.node_allocations");
+  m_.node_removals = metrics_->GetCounter("cache.node_removals");
+  m_.node_failures = metrics_->GetCounter("cache.node_failures");
+  m_.records_migrated = metrics_->GetCounter("cache.records_migrated");
+  m_.bytes_migrated = metrics_->GetCounter("cache.bytes_migrated");
+  m_.replica_writes = metrics_->GetCounter("cache.replica_writes");
+  m_.replica_drops = metrics_->GetCounter("cache.replica_drops");
+  m_.rpc_retries = metrics_->GetCounter("cache.rpc_retries");
+  m_.rpc_failures = metrics_->GetCounter("cache.rpc_failures");
+  m_.migration_aborts = metrics_->GetCounter("cache.migration_aborts");
+  m_.migration_recoveries =
+      metrics_->GetCounter("cache.migration_recoveries");
+  m_.total_split_overhead_us =
+      metrics_->GetCounter("cache.total_split_overhead_us");
+  m_.total_alloc_time_us = metrics_->GetCounter("cache.total_alloc_time_us");
+  m_.total_migration_time_us =
+      metrics_->GetCounter("cache.total_migration_time_us");
+  m_.last_split_overhead_us =
+      metrics_->GetGauge("cache.last_split_overhead_us");
+  m_.split_overhead_s =
+      metrics_->GetHistogram("cache.split_overhead_s", 0.001);
+  m_.node_rpc_ops = metrics_->GetCounter("cache.node_rpc_ops");
+
   // Bring up the initial fleet and lay evenly spaced buckets round-robin
   // across it (paper Fig. 1: p buckets over n nodes).
   std::vector<NodeId> ids;
@@ -44,8 +93,11 @@ ElasticCache::ElasticCache(ElasticCacheOptions opts,
     (void)takeover;
   }
   // Initial boots are infrastructure setup, not split overhead: reset the
-  // figures-facing counters but keep the instances.
-  stats_ = CacheStats{};
+  // figures-facing allocation counters but keep the instances.  (Nothing
+  // else has counted yet.)
+  m_.node_allocations.Reset();
+  m_.total_alloc_time_us.Reset();
+  alloc_time_accum_ = Duration::Zero();
 }
 
 StatusOr<NodeId> ElasticCache::AllocateNode() {
@@ -66,19 +118,19 @@ StatusOr<NodeId> ElasticCache::AllocateNode() {
     entry.channel->BindInterceptor(opts_.fault, id);
     entry.bg_channel->BindInterceptor(opts_.fault, id);
   }
+  entry.node->BindOpsCounter(m_.node_rpc_ops);
   nodes_.emplace(id, std::move(entry));
-  ++stats_.node_allocations;
-  stats_.total_alloc_time += boot_wait;
+  m_.node_allocations.Inc();
+  m_.total_alloc_time_us.Inc(static_cast<std::uint64_t>(boot_wait.micros()));
+  alloc_time_accum_ += boot_wait;
+  obs::Emit(trace_, obs::NodeAllocEvent(clock_->now(), id, boot_wait));
   ECC_LOG_INFO("cache: node %llu allocated (fleet=%zu)",
                static_cast<unsigned long long>(id), nodes_.size());
   return id;
 }
 
 StatusOr<std::string> ElasticCache::Get(Key k) {
-  {
-    const std::lock_guard<std::mutex> g(stats_mutex_);
-    ++stats_.gets;
-  }
+  m_.gets.Inc();
   auto owner = ring_.Lookup(k);
   if (!owner.ok()) return owner.status();
   clock_->Advance(opts_.local_op_time);  // h(k) + dispatch
@@ -92,8 +144,7 @@ StatusOr<std::string> ElasticCache::Get(Key k) {
     if (!resp.ok()) return resp.status();
     clock_->Advance(opts_.local_op_time);  // B+-Tree search on the node
     if (resp->found) {
-      const std::lock_guard<std::mutex> g(stats_mutex_);
-      ++stats_.hits;
+      m_.hits.Inc();
       return std::move(resp->value);
     }
   } else if (resp_msg.status().code() == StatusCode::kUnavailable) {
@@ -117,19 +168,15 @@ StatusOr<std::string> ElasticCache::Get(Key k) {
       if (replica_msg.ok()) {
         auto replica_resp = net::GetResponse::Decode(*replica_msg);
         if (replica_resp.ok() && replica_resp->found) {
-          const std::lock_guard<std::mutex> g(stats_mutex_);
-          ++stats_.hits;
-          ++stats_.failover_reads;
+          m_.hits.Inc();
+          m_.failover_reads.Inc();
           return std::move(replica_resp->value);
         }
       }
     }
   }
-  {
-    const std::lock_guard<std::mutex> g(stats_mutex_);
-    ++stats_.misses;
-    if (owner_unreachable) ++stats_.degraded_gets;
-  }
+  m_.misses.Inc();
+  if (owner_unreachable) m_.degraded_gets.Inc();
   return Status::NotFound();
 }
 
@@ -138,11 +185,11 @@ StatusOr<net::Message> ElasticCache::CallNode(NodeEntry& entry,
   net::LoopbackChannel& channel =
       background_mode_ ? *entry.bg_channel : *entry.channel;
   net::RetryStats rs;
-  auto result = net::CallWithRetry(channel, request, opts_.rpc_retry, &rs);
+  auto result =
+      net::CallWithRetry(channel, request, opts_.rpc_retry, &rs, trace_);
   if (rs.retries > 0 || rs.exhausted > 0) {
-    const std::lock_guard<std::mutex> g(stats_mutex_);
-    stats_.rpc_retries += rs.retries;
-    stats_.rpc_failures += rs.exhausted;
+    m_.rpc_retries.Inc(rs.retries);
+    m_.rpc_failures.Inc(rs.exhausted);
   }
   return result;
 }
@@ -164,8 +211,7 @@ Status ElasticCache::PutNoSplit(Key k, const std::string& v) {
 
   if (entry.node->Contains(k)) {  // idempotent duplicate
     clock_->Advance(opts_.local_op_time);
-    const std::lock_guard<std::mutex> g(stats_mutex_);
-    ++stats_.puts;
+    m_.puts.Inc();
     return Status::Ok();
   }
   if (!entry.node->CanFit(rec)) {
@@ -185,24 +231,20 @@ Status ElasticCache::PutNoSplit(Key k, const std::string& v) {
   if (!resp->accepted) {
     return Status::CapacityExceeded("owner node refused insert");
   }
-  const std::lock_guard<std::mutex> g(stats_mutex_);
-  ++stats_.puts;
+  m_.puts.Inc();
   return Status::Ok();
 }
 
 Status ElasticCache::Put(Key k, std::string v) {
-  {
-    const std::lock_guard<std::mutex> g(stats_mutex_);
-    ++stats_.puts;
-  }
+  m_.puts.Inc();
   if (opts_.replicas >= 2 && k >= opts_.ring.range / 2) {
-    ++stats_.put_failures;
+    m_.put_failures.Inc();
     return Status::InvalidArgument(
         "with replication, primary keys must lie in the lower half of the "
         "hash line");
   }
   if (Status s = PutInternal(k, v); !s.ok()) {
-    ++stats_.put_failures;
+    m_.put_failures.Inc();
     return s;
   }
   if (opts_.replicas >= 2) StoreReplica(k, v);
@@ -250,7 +292,7 @@ void ElasticCache::MaybeProactiveSplit(NodeId node_id) {
   const Status s = SplitNode(node_id);
   background_mode_ = false;
   if (s.ok()) {
-    ++stats_.proactive_splits;
+    m_.proactive_splits.Inc();
     ECC_LOG_INFO("cache: proactive background split of node %llu",
                  static_cast<unsigned long long>(node_id));
   }
@@ -283,10 +325,7 @@ Status ElasticCache::PutInternal(Key k, const std::string& v) {
         if (resp_msg.status().code() == StatusCode::kUnavailable &&
             opts_.fault != nullptr && opts_.fault->IsDown(*owner) &&
             nodes_.size() >= 2) {
-          {
-            const std::lock_guard<std::mutex> g(stats_mutex_);
-            ++stats_.degraded_puts;
-          }
+          m_.degraded_puts.Inc();
           (void)CrashNodeInternal(*owner);
           continue;
         }
@@ -383,7 +422,7 @@ Status ElasticCache::SplitNode(NodeId node_id) {
   const Key k_mu = KeyAtRankInArc(src, arc, median_rank);
 
   const TimePoint split_start = clock_->now();
-  const Duration alloc_before = stats_.total_alloc_time;
+  const Duration alloc_before = alloc_time_accum_;
 
   // --- Algorithm 2: pick destination (least-loaded, last resort alloc). --
   const std::uint64_t moving_bytes = [&] {
@@ -440,26 +479,36 @@ Status ElasticCache::SplitNode(NodeId node_id) {
   report.allocated_new_node = allocated_new;
   report.records_moved = moved.records;
   report.bytes_moved = moved.bytes;
-  report.alloc_time = stats_.total_alloc_time - alloc_before;
+  report.alloc_time = alloc_time_accum_ - alloc_before;
   report.move_time = clock_->now() - move_start;
   split_history_.push_back(report);
 
-  ++stats_.splits;
-  stats_.records_migrated += moved.records;
-  stats_.bytes_migrated += moved.bytes;
-  stats_.total_migration_time += report.move_time;
-  stats_.last_split_overhead = clock_->now() - split_start;
-  stats_.total_split_overhead += stats_.last_split_overhead;
+  const Duration overhead = clock_->now() - split_start;
+  m_.splits.Inc();
+  m_.records_migrated.Inc(moved.records);
+  m_.bytes_migrated.Inc(moved.bytes);
+  m_.total_migration_time_us.Inc(
+      static_cast<std::uint64_t>(report.move_time.micros()));
+  m_.total_split_overhead_us.Inc(
+      static_cast<std::uint64_t>(overhead.micros()));
+  m_.last_split_overhead_us.Set(overhead.micros());
+  m_.split_overhead_s.Observe(overhead.seconds());
+  obs::Emit(trace_, obs::SplitEvent(clock_->now(), node_id, dest_id,
+                                    moved.records, moved.bytes));
   ECC_LOG_INFO(
       "cache: split node %llu -> %llu (%zu records, %s, new_node=%d)",
       static_cast<unsigned long long>(node_id),
       static_cast<unsigned long long>(dest_id), moved.records,
-      stats_.last_split_overhead.ToString().c_str(), allocated_new ? 1 : 0);
+      overhead.ToString().c_str(), allocated_new ? 1 : 0);
   return Status::Ok();
 }
 
 fault::MigrationFault ElasticCache::FireStep(std::size_t migration,
-                                             fault::MigrationStep step) {
+                                             fault::MigrationStep step,
+                                             NodeId src, NodeId dest) {
+  obs::Emit(trace_,
+            obs::MigrationPhaseEvent(clock_->now(), src, dest,
+                                     static_cast<int>(step), migration));
   if (opts_.fault == nullptr) return fault::MigrationFault::kNone;
   return opts_.fault->OnMigrationStep(migration, step);
 }
@@ -496,7 +545,7 @@ Status ElasticCache::TwoPhaseMigrate(
   std::vector<Key> shipped;
   const auto abort_with = [&](const char* why, bool crash_src,
                               bool crash_dest) -> Status {
-    ++stats_.migration_aborts;
+    m_.migration_aborts.Inc();
     if (!crash_dest) EraseKeysReliable(dest, shipped);
     // Crash after rollback: the victim's kill report then charges only
     // records it legitimately owned.
@@ -508,7 +557,7 @@ Status ElasticCache::TwoPhaseMigrate(
   // destination's partial copy is undone, and the source (or its kill
   // report) still accounts for every key.
   const auto guard_precommit = [&](MigrationStep step) -> Status {
-    switch (FireStep(mig, step)) {
+    switch (FireStep(mig, step, src_id, dest_id)) {
       case MigrationFault::kNone:
         return Status::Ok();
       case MigrationFault::kAbort:
@@ -606,13 +655,13 @@ Status ElasticCache::TwoPhaseMigrate(
   // so recovery finishes the delete instead of undoing the copy.  The one
   // exception is losing the destination itself, which forces un-commit so
   // the ring routes back to the still-intact source copy.
-  switch (FireStep(mig, MigrationStep::kAfterCommit)) {
+  switch (FireStep(mig, MigrationStep::kAfterCommit, src_id, dest_id)) {
     case MigrationFault::kNone:
       break;
     case MigrationFault::kAbort: {
       // Coordinator "crashed" between commit and delete; the recovery
       // sweep completes the cleanup.
-      ++stats_.migration_recoveries;
+      m_.migration_recoveries.Inc();
       break;  // fall through to the delete phase below
     }
     case MigrationFault::kCrashSource:
@@ -625,7 +674,7 @@ Status ElasticCache::TwoPhaseMigrate(
       // Destination died holding the freshly committed range.  Un-commit
       // so the range routes to the source again (whose copies were not
       // yet deleted): the key set survives the crash.
-      ++stats_.migration_aborts;
+      m_.migration_aborts.Inc();
       uncommit();
       (void)CrashNodeInternal(dest_id);
       return Status::Unavailable("destination crashed after commit");
@@ -640,7 +689,7 @@ Status ElasticCache::TwoPhaseMigrate(
     }
   }
 
-  switch (FireStep(mig, MigrationStep::kAfterDelete)) {
+  switch (FireStep(mig, MigrationStep::kAfterDelete, src_id, dest_id)) {
     case MigrationFault::kNone:
     case MigrationFault::kAbort:  // protocol already complete; nothing to do
       break;
@@ -663,9 +712,9 @@ void ElasticCache::StoreReplica(Key k, const std::string& v) {
   // *yet*, but subsequent splits separate the two halves of the line and
   // the pair ends up on distinct nodes without any repair machinery.
   if (PutInternal(MirrorKey(k), v).ok()) {
-    ++stats_.replica_writes;
+    m_.replica_writes.Inc();
   } else {
-    ++stats_.replica_drops;
+    m_.replica_drops.Inc();
   }
 }
 
@@ -700,7 +749,9 @@ std::size_t ElasticCache::EvictKeys(const std::vector<Key>& keys) {
     req.keys = std::move(node_keys);
     (void)CallNode(Entry(id), req.Encode());
   }
-  stats_.evictions += erased_total;
+  m_.evictions.Inc(erased_total);
+  obs::Emit(trace_,
+            obs::EvictionSweepEvent(clock_->now(), keys.size(), erased_total));
   return erased_total;
 }
 
@@ -795,7 +846,10 @@ KillReport ElasticCache::CrashNodeInternal(NodeId id) {
   const cloudsim::InstanceId instance = victim.instance();
   nodes_.erase(it);
   (void)provider_->Fail(instance);
-  ++stats_.node_failures;
+  m_.node_failures.Inc();
+  obs::Emit(trace_, obs::NodeCrashEvent(clock_->now(), id,
+                                        report.records_dropped,
+                                        report.records_recoverable));
   ECC_LOG_WARN("cache: node %llu failed abruptly (%zu records dropped, "
                "%zu recoverable)",
                static_cast<unsigned long long>(id), report.records_dropped,
@@ -861,9 +915,12 @@ bool ElasticCache::TryContract() {
       },
       &moved);
   if (!migrated.ok()) return false;
-  stats_.records_migrated += moved.records;
-  stats_.bytes_migrated += moved.bytes;
-  stats_.total_migration_time += clock_->now() - move_start;
+  m_.records_migrated.Inc(moved.records);
+  m_.bytes_migrated.Inc(moved.bytes);
+  m_.total_migration_time_us.Inc(
+      static_cast<std::uint64_t>((clock_->now() - move_start).micros()));
+  obs::Emit(trace_, obs::ContractionMergeEvent(clock_->now(), a_id, b_id,
+                                               moved.records));
 
   // Retire the donor's instance — unless the protocol's fault handling
   // already crashed it (its kill report then covers the loss), or crashed
@@ -876,7 +933,8 @@ bool ElasticCache::TryContract() {
     const Status term = provider_->Terminate(instance);
     assert(term.ok());
     (void)term;
-    ++stats_.node_removals;
+    m_.node_removals.Inc();
+    obs::Emit(trace_, obs::NodeDeallocEvent(clock_->now(), a_id));
   }
   ECC_LOG_INFO("cache: merged node %llu into %llu (%zu records)",
                static_cast<unsigned long long>(a_id),
@@ -923,6 +981,63 @@ std::vector<NodeSnapshot> ElasticCache::Snapshot() const {
 const CacheNode* ElasticCache::GetNode(NodeId id) const {
   const auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : it->second.node.get();
+}
+
+std::vector<obs::NodeLoad> ElasticCache::NodeLoads() const {
+  std::vector<obs::NodeLoad> loads;
+  loads.reserve(nodes_.size());
+  for (const auto& [id, entry] : nodes_) {
+    loads.push_back(obs::NodeLoad{
+        .node = id,
+        .records = entry.node->record_count(),
+        .used_bytes = entry.node->used_bytes(),
+        .capacity_bytes = entry.node->capacity_bytes(),
+        .buckets = ring_.BucketsOwnedBy(id).size(),
+    });
+  }
+  return loads;
+}
+
+CacheStats ElasticCache::stats() const {
+  // Outcome counters are read before their attempt counters: an acquire
+  // read of an outcome cell synchronizes with the release increment that
+  // wrote it, which makes the attempt increment program-ordered before it
+  // visible to the later attempt read.  Hence hits + misses <= gets,
+  // degraded_gets <= misses, failover_reads <= hits, put_failures and
+  // degraded_puts <= puts — even while workers are mid-query.
+  CacheStats s;
+  s.failover_reads = m_.failover_reads.Value();
+  s.hits = m_.hits.Value();
+  s.degraded_gets = m_.degraded_gets.Value();
+  s.misses = m_.misses.Value();
+  s.gets = m_.gets.Value();
+  s.put_failures = m_.put_failures.Value();
+  s.degraded_puts = m_.degraded_puts.Value();
+  s.puts = m_.puts.Value();
+  // The rest only move on the exclusively locked topology path.
+  s.evictions = m_.evictions.Value();
+  s.splits = m_.splits.Value();
+  s.proactive_splits = m_.proactive_splits.Value();
+  s.node_allocations = m_.node_allocations.Value();
+  s.node_removals = m_.node_removals.Value();
+  s.node_failures = m_.node_failures.Value();
+  s.records_migrated = m_.records_migrated.Value();
+  s.bytes_migrated = m_.bytes_migrated.Value();
+  s.replica_writes = m_.replica_writes.Value();
+  s.replica_drops = m_.replica_drops.Value();
+  s.rpc_retries = m_.rpc_retries.Value();
+  s.rpc_failures = m_.rpc_failures.Value();
+  s.migration_aborts = m_.migration_aborts.Value();
+  s.migration_recoveries = m_.migration_recoveries.Value();
+  s.total_split_overhead = Duration::Micros(
+      static_cast<std::int64_t>(m_.total_split_overhead_us.Value()));
+  s.last_split_overhead =
+      Duration::Micros(m_.last_split_overhead_us.Value());
+  s.total_alloc_time = Duration::Micros(
+      static_cast<std::int64_t>(m_.total_alloc_time_us.Value()));
+  s.total_migration_time = Duration::Micros(
+      static_cast<std::int64_t>(m_.total_migration_time_us.Value()));
+  return s;
 }
 
 }  // namespace ecc::core

@@ -21,10 +21,12 @@
 // the freed instance.
 // Threading: ElasticCache itself is single-threaded except for the pieces
 // the striped front-end (striped_backend.h) relies on — the virtual clock
-// is atomic, and the hot-path counters (Get / PutNoSplit) are guarded by an
-// internal stats mutex.  Everything that can mutate topology (Put-with-
-// split, contraction, eviction, failure injection) must be externally
-// serialized; StripedBackend does so with an exclusive topology lock.
+// is atomic, and every counter lives in a MetricsRegistry cell whose
+// increments are single atomic RMWs (obs/metrics.h), so the hot path
+// (Get / PutNoSplit) and stats() polls need no lock at all.  Everything
+// that can mutate topology (Put-with-split, contraction, eviction, failure
+// injection) must be externally serialized; StripedBackend does so with an
+// exclusive topology lock.
 #pragma once
 
 #include <functional>
@@ -42,6 +44,7 @@
 #include "hashring/consistent_hash.h"
 #include "net/netmodel.h"
 #include "net/rpc.h"
+#include "obs/obs.h"
 
 namespace ecc::core {
 
@@ -86,6 +89,13 @@ struct ElasticCacheOptions {
   /// channel is bound to it and the two-phase migration protocol consults
   /// it between phases.
   fault::FaultInjector* fault = nullptr;
+  /// Observability sinks (none owned).  With obs.metrics == nullptr the
+  /// cache creates a private registry, because its stats() accounting lives
+  /// in registry cells; pass &obs::EccObsDisabled() to compile the whole
+  /// accounting path down to no-ops (stats() then reads all-zero).  A
+  /// non-null obs.trace receives split / migration / eviction / node
+  /// lifecycle / RPC-retry events, and is forwarded to the fault injector.
+  obs::Observability obs;
 };
 
 /// Outcome of one overflow-triggered split, for Fig. 4 accounting.
@@ -154,7 +164,17 @@ class ElasticCache final : public CacheBackend {
   [[nodiscard]] std::uint64_t TotalUsedBytes() const override;
   [[nodiscard]] std::uint64_t TotalCapacityBytes() const override;
   [[nodiscard]] std::size_t TotalRecords() const override;
-  [[nodiscard]] const CacheStats& stats() const override { return stats_; }
+  /// Consistent by-value snapshot assembled from the metrics registry;
+  /// outcome counters are read before their attempt counters, so derived
+  /// invariants (hits + misses <= gets, put_failures <= puts) hold even
+  /// while front-end workers are mid-flight.
+  [[nodiscard]] CacheStats stats() const override;
+  [[nodiscard]] std::vector<obs::NodeLoad> NodeLoads() const override;
+
+  /// The registry the cache accounts into (the wired one, or the internal
+  /// private registry when none was supplied).
+  [[nodiscard]] obs::MetricsRegistry& metrics() const { return *metrics_; }
+  [[nodiscard]] obs::TraceLog* trace() const { return trace_; }
 
   // --- Introspection (tests, benches) -------------------------------------
 
@@ -255,9 +275,11 @@ class ElasticCache final : public CacheBackend {
                          const std::function<void()>& uncommit,
                          RangeStats* moved);
 
-  /// Injector hook between migration phases (kNone when no injector).
+  /// Injector hook between migration phases (kNone when no injector); also
+  /// traces the phase transition with the migration id and endpoints.
   [[nodiscard]] fault::MigrationFault FireStep(std::size_t migration,
-                                               fault::MigrationStep step);
+                                               fault::MigrationStep step,
+                                               NodeId src, NodeId dest);
 
   /// Erase `keys` on `entry`'s node, RPC first, falling back to direct
   /// shard access if the wire path is faulted — recovery must never itself
@@ -278,12 +300,35 @@ class ElasticCache final : public CacheBackend {
   hashring::ConsistentHashRing ring_;
   std::map<NodeId, NodeEntry> nodes_;
   NodeId next_node_id_ = 0;
-  CacheStats stats_;
-  /// Guards the counters mutated on the concurrent read path (gets, hits,
-  /// misses, failover_reads, puts).  Topology-path counters (splits,
-  /// migrations, allocations) are only touched under the front-end's
-  /// exclusive lock and stay unguarded.  stats() readers must quiesce.
-  mutable std::mutex stats_mutex_;
+  /// Registry handles for every CacheStats field (Durations as _us
+  /// counters).  Registration order matters: an attempt counter (gets,
+  /// puts) registers before its outcome counters so the reverse-order
+  /// snapshot preserves `outcomes <= attempts`; the hot paths write in
+  /// matching order (attempt first).
+  struct Handles {
+    obs::Counter gets, hits, misses, failover_reads, degraded_gets;
+    obs::Counter puts, put_failures, degraded_puts;
+    obs::Counter evictions, splits, proactive_splits;
+    obs::Counter node_allocations, node_removals, node_failures;
+    obs::Counter records_migrated, bytes_migrated;
+    obs::Counter replica_writes, replica_drops;
+    obs::Counter rpc_retries, rpc_failures;
+    obs::Counter migration_aborts, migration_recoveries;
+    obs::Counter total_split_overhead_us, total_alloc_time_us;
+    obs::Counter total_migration_time_us;
+    obs::Gauge last_split_overhead_us;
+    obs::HistogramHandle split_overhead_s;
+    obs::Counter node_rpc_ops;
+  };
+  Handles m_;
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceLog* trace_ = nullptr;
+  /// Plain mirror of total_alloc_time, kept because SplitReport needs the
+  /// per-split allocation delta even when the registry is the disabled one
+  /// (all cells null, reads zero).  Only touched on the exclusively locked
+  /// topology path.
+  Duration alloc_time_accum_;
   std::vector<SplitReport> split_history_;
   std::vector<KillReport> kill_history_;
   /// True while a proactive split runs: transfers use bg channels and

@@ -79,11 +79,16 @@ class LockedBackend final : public CacheBackend {
     return inner_->TotalRecords();
   }
 
-  /// Returns the inner stats reference.  The reference itself is stable;
-  /// read it after worker threads are joined (or accept torn counters).
-  [[nodiscard]] const CacheStats& stats() const override {
+  /// By-value snapshot taken under the big lock, so it is consistent with
+  /// a linearization point of the operation history.
+  [[nodiscard]] CacheStats stats() const override {
     const std::lock_guard<std::mutex> lock(mutex_);
     return inner_->stats();
+  }
+
+  [[nodiscard]] std::vector<obs::NodeLoad> NodeLoads() const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->NodeLoads();
   }
 
   /// Atomically perform a miss-check-then-fill: returns the cached value,

@@ -19,6 +19,12 @@ ParallelCoordinator::ParallelCoordinator(ParallelCoordinatorOptions opts,
       pool_(opts.workers == 0 ? 1 : opts.workers),
       window_(opts.window) {
   assert(cache != nullptr && service != nullptr && linearizer != nullptr);
+  m_queries_ = opts_.obs.MakeCounter("pc.queries");
+  m_hits_ = opts_.obs.MakeCounter("pc.hits");
+  m_coalesced_ = opts_.obs.MakeCounter("pc.coalesced");
+  m_misses_ = opts_.obs.MakeCounter("pc.misses");
+  trace_ = opts_.obs.trace;
+  telemetry_ = opts_.obs.telemetry;
 }
 
 ParallelQueryResult ParallelCoordinator::ProcessKeyAs(std::size_t worker,
@@ -35,6 +41,8 @@ ParallelQueryResult ParallelCoordinator::ProcessKeyAs(std::size_t worker,
   ++w.queries;
   total_queries_.fetch_add(1, std::memory_order_relaxed);
   step_queries_.fetch_add(1, std::memory_order_relaxed);
+  m_queries_.Inc();
+  obs::Emit(trace_, obs::QueryStartEvent(start, k));
 
   ParallelQueryResult result;
   w.clock.Advance(opts_.lookup_cost);  // the probe every path pays
@@ -55,6 +63,26 @@ ParallelQueryResult ParallelCoordinator::ProcessKeyAs(std::size_t worker,
   w.latency_us.Add(static_cast<double>(result.latency.micros()));
   step_query_time_us_.fetch_add(result.latency.micros(),
                                 std::memory_order_relaxed);
+  switch (result.path) {
+    case QueryPath::kHit:
+      m_hits_.Inc();
+      break;
+    case QueryPath::kCoalesced:
+      m_coalesced_.Inc();
+      break;
+    case QueryPath::kMiss:
+      m_misses_.Inc();
+      break;
+  }
+  if (trace_ != nullptr) {
+    const obs::QueryOutcomeKind outcome =
+        result.path == QueryPath::kHit ? obs::QueryOutcomeKind::kHit
+        : result.path == QueryPath::kCoalesced
+            ? obs::QueryOutcomeKind::kCoalesced
+            : obs::QueryOutcomeKind::kMiss;
+    trace_->Append(
+        obs::QueryEndEvent(w.clock.now(), k, outcome, result.latency));
+  }
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
   return result;
 }
@@ -226,6 +254,14 @@ TimeStepReport ParallelCoordinator::EndTimeStep() {
     }
   }
   report.window_slices = window_.options().slices;
+
+  // Sample fleet load at the (quiesced) step boundary; x is the 0-based
+  // step index.
+  if (telemetry_ != nullptr) {
+    telemetry_->Sample(static_cast<double>(steps_ended_),
+                       cache_->NodeLoads());
+  }
+  ++steps_ended_;
   return report;
 }
 

@@ -20,7 +20,7 @@
 //
 // Lock order (outer to inner): flights/window/service mutexes are leaves
 // and never nest with each other; backend locks (StripedBackend: topology
-// -> stripe -> stats) are acquired only while holding none of ours.
+// -> stripe) are acquired only while holding none of ours.
 #pragma once
 
 #include <atomic>
@@ -38,6 +38,7 @@
 #include "core/coordinator.h"  // TimeStepReport
 #include "core/sliding_window.h"
 #include "core/types.h"
+#include "obs/obs.h"
 #include "service/service.h"
 #include "sfc/linearizer.h"
 
@@ -53,6 +54,13 @@ struct ParallelCoordinatorOptions {
   SlidingWindowOptions window;
   /// Attempt contraction every this many slice expirations; 0 disables.
   std::size_t contraction_epsilon = 5;
+  /// Observability sinks (none owned, all optional).  obs.metrics receives
+  /// pc.{queries,hits,coalesced,misses}; obs.trace gets a query start/end
+  /// event pair per ProcessKeyAs stamped from the serving worker's private
+  /// clock (coalesced waiters end with outcome "coalesced"); obs.telemetry
+  /// is fed one fleet sample per EndTimeStep (quiesced) from the backend's
+  /// NodeLoads().
+  obs::Observability obs;
 };
 
 /// How one query was answered.
@@ -194,6 +202,14 @@ class ParallelCoordinator {
 
   std::mutex flights_mutex_;  ///< guards flights_
   std::unordered_map<Key, std::shared_future<FlightResult>> flights_;
+
+  // Null-safe observability handles (unregistered when no registry wired).
+  // Trace events are stamped from each worker's private clock, so the log's
+  // timestamps are per-worker monotone, not globally ordered.
+  obs::Counter m_queries_, m_hits_, m_coalesced_, m_misses_;
+  obs::TraceLog* trace_ = nullptr;
+  obs::FleetTelemetry* telemetry_ = nullptr;
+  std::size_t steps_ended_ = 0;  ///< guarded by quiescence (EndTimeStep)
 
   /// Serializes service invocations: Service implementations are
   /// single-threaded (rng, counters).  Held only by flight leaders, so

@@ -148,6 +148,21 @@ std::size_t StaticCache::TotalRecords() const {
   return total;
 }
 
+std::vector<obs::NodeLoad> StaticCache::NodeLoads() const {
+  std::vector<obs::NodeLoad> loads;
+  loads.reserve(nodes_.size());
+  for (const auto& [id, entry] : nodes_) {
+    loads.push_back(obs::NodeLoad{
+        .node = id,
+        .records = entry.node->record_count(),
+        .used_bytes = entry.node->used_bytes(),
+        .capacity_bytes = entry.node->capacity_bytes(),
+        .buckets = ring_.BucketsOwnedBy(id).size(),
+    });
+  }
+  return loads;
+}
+
 const CacheNode* StaticCache::GetNode(NodeId id) const {
   const auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : it->second.node.get();

@@ -52,7 +52,10 @@ class StaticCache final : public CacheBackend {
   [[nodiscard]] std::uint64_t TotalUsedBytes() const override;
   [[nodiscard]] std::uint64_t TotalCapacityBytes() const override;
   [[nodiscard]] std::size_t TotalRecords() const override;
-  [[nodiscard]] const CacheStats& stats() const override { return stats_; }
+  // Single-threaded baseline, so a plain copy is already a consistent
+  // snapshot.
+  [[nodiscard]] CacheStats stats() const override { return stats_; }
+  [[nodiscard]] std::vector<obs::NodeLoad> NodeLoads() const override;
 
   [[nodiscard]] const hashring::ConsistentHashRing& ring() const {
     return ring_;

@@ -18,8 +18,9 @@
 // through the full GBA insert under the exclusive topology lock, where
 // splitting and allocation are safe.
 //
-// Lock order (outer to inner): topology -> node stripe -> ElasticCache's
-// internal stats mutex.  Never acquire a stripe before the topology lock.
+// Lock order (outer to inner): topology -> node stripe.  (The wrapped
+// cache's counters are lock-free registry cells, so there is no inner
+// stats lock anymore.)  Never acquire a stripe before the topology lock.
 //
 // Requirements on the wrapped cache: replicas == 1 (fast paths touch only
 // the owner node) — asserted at construction.  Proactive splits are fine:
@@ -58,9 +59,16 @@ class StripedBackend final : public CacheBackend {
   [[nodiscard]] std::uint64_t TotalCapacityBytes() const override;
   [[nodiscard]] std::size_t TotalRecords() const override;
 
-  /// Inner stats reference; read it with workers quiesced.
-  [[nodiscard]] const CacheStats& stats() const override {
-    return inner_->stats();
+  /// By-value snapshot from the inner cache; safe to poll concurrently
+  /// with in-flight workers (see ElasticCache::stats for the consistency
+  /// guarantees).
+  [[nodiscard]] CacheStats stats() const override { return inner_->stats(); }
+
+  /// Per-node loads, taken under the shared topology lock so the fleet
+  /// cannot change mid-walk.
+  [[nodiscard]] std::vector<obs::NodeLoad> NodeLoads() const override {
+    const std::shared_lock<std::shared_mutex> topo(topology_mutex_);
+    return inner_->NodeLoads();
   }
 
   [[nodiscard]] ElasticCache& inner() { return *inner_; }

@@ -33,6 +33,21 @@ FaultInjector::FaultInjector(FaultPlan plan)
       rng_(plan_.seed),
       call_rule_matches_(plan_.calls.size(), 0) {}
 
+void FaultInjector::BindTrace(obs::TraceLog* trace,
+                              const VirtualClock* clock) {
+  const std::lock_guard<std::mutex> g(mutex_);
+  trace_ = trace;
+  trace_clock_ = clock;
+}
+
+void FaultInjector::TraceFault(std::uint64_t endpoint, obs::FaultCode code,
+                               std::int64_t arg) {
+  if (trace_ == nullptr) return;
+  const TimePoint t =
+      trace_clock_ != nullptr ? trace_clock_->now() : TimePoint::Epoch();
+  trace_->Append(obs::FaultInjectedEvent(t, endpoint, code, arg));
+}
+
 net::CallFault FaultInjector::OnCall(std::uint64_t endpoint,
                                      net::MsgType type) {
   const std::lock_guard<std::mutex> g(mutex_);
@@ -42,6 +57,7 @@ net::CallFault FaultInjector::OnCall(std::uint64_t endpoint,
   if (down_.count(endpoint) != 0) {
     ++stats_.requests_dropped;
     ++stats_.down_endpoint_drops;
+    TraceFault(endpoint, obs::FaultCode::kDropRequest, /*arg=*/1);
     return {net::CallFaultKind::kDropRequest, {}};
   }
 
@@ -58,12 +74,15 @@ net::CallFault FaultInjector::OnCall(std::uint64_t endpoint,
     switch (rule.kind) {
       case net::CallFaultKind::kDropRequest:
         ++stats_.requests_dropped;
+        TraceFault(endpoint, obs::FaultCode::kDropRequest, 0);
         break;
       case net::CallFaultKind::kDropResponse:
         ++stats_.responses_dropped;
+        TraceFault(endpoint, obs::FaultCode::kDropResponse, 0);
         break;
       case net::CallFaultKind::kDelay:
         ++stats_.delays;
+        TraceFault(endpoint, obs::FaultCode::kDelay, rule.delay.micros());
         break;
       case net::CallFaultKind::kNone:
         break;
@@ -74,17 +93,20 @@ net::CallFault FaultInjector::OnCall(std::uint64_t endpoint,
   // Background noise from the seed.
   if (plan_.drop_request_p > 0.0 && rng_.Chance(plan_.drop_request_p)) {
     ++stats_.requests_dropped;
+    TraceFault(endpoint, obs::FaultCode::kDropRequest, 0);
     return {net::CallFaultKind::kDropRequest, {}};
   }
   if (plan_.drop_response_p > 0.0 && rng_.Chance(plan_.drop_response_p)) {
     ++stats_.responses_dropped;
+    TraceFault(endpoint, obs::FaultCode::kDropResponse, 0);
     return {net::CallFaultKind::kDropResponse, {}};
   }
   if (plan_.delay_p > 0.0 && rng_.Chance(plan_.delay_p)) {
     ++stats_.delays;
     const double mean = plan_.delay_mean.seconds();
-    return {net::CallFaultKind::kDelay,
-            Duration::Seconds(rng_.Exponential(mean))};
+    const Duration delay = Duration::Seconds(rng_.Exponential(mean));
+    TraceFault(endpoint, obs::FaultCode::kDelay, delay.micros());
+    return {net::CallFaultKind::kDelay, delay};
   }
   return {};
 }
@@ -97,21 +119,35 @@ std::size_t FaultInjector::BeginMigration() {
 MigrationFault FaultInjector::OnMigrationStep(std::size_t index,
                                               MigrationStep step) {
   const std::lock_guard<std::mutex> g(mutex_);
+  const auto fire = [this, step](MigrationFault f) {
+    ++stats_.migration_faults;
+    obs::FaultCode code = obs::FaultCode::kMigrationAbort;
+    switch (f) {
+      case MigrationFault::kCrashSource:
+        code = obs::FaultCode::kMigrationCrashSource;
+        break;
+      case MigrationFault::kCrashDest:
+        code = obs::FaultCode::kMigrationCrashDest;
+        break;
+      case MigrationFault::kAbort:
+      case MigrationFault::kNone:
+        break;
+    }
+    TraceFault(obs::kNoNode, code, static_cast<std::int64_t>(step));
+    return f;
+  };
   for (const ScriptedMigrationFault& rule : plan_.migrations) {
     if (rule.migration_index == index && rule.step == step &&
         rule.fault != MigrationFault::kNone) {
-      ++stats_.migration_faults;
-      return rule.fault;
+      return fire(rule.fault);
     }
   }
   if (plan_.migration_crash_p > 0.0 && rng_.Chance(plan_.migration_crash_p)) {
-    ++stats_.migration_faults;
-    return rng_.Chance(0.5) ? MigrationFault::kCrashSource
-                            : MigrationFault::kCrashDest;
+    return fire(rng_.Chance(0.5) ? MigrationFault::kCrashSource
+                                 : MigrationFault::kCrashDest);
   }
   if (plan_.migration_abort_p > 0.0 && rng_.Chance(plan_.migration_abort_p)) {
-    ++stats_.migration_faults;
-    return MigrationFault::kAbort;
+    return fire(MigrationFault::kAbort);
   }
   return MigrationFault::kNone;
 }

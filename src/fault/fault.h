@@ -34,6 +34,7 @@
 #include "common/time.h"
 #include "net/message.h"
 #include "net/rpc.h"
+#include "obs/trace.h"
 
 namespace ecc::fault {
 
@@ -152,7 +153,18 @@ class FaultInjector final : public net::CallInterceptor {
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] std::size_t migrations_started() const;
 
+  /// Emit a kFaultInjected trace event for every fault that actually fires
+  /// (neither pointer is owned; nullptr trace detaches).  Events are stamped
+  /// from `clock` when given, else with the epoch.  ElasticCache forwards
+  /// its own trace/clock pair here automatically.
+  void BindTrace(obs::TraceLog* trace, const VirtualClock* clock = nullptr);
+
  private:
+  /// Requires mutex_ held (TraceLog has its own lock; nothing here calls
+  /// back into the injector, so the order mutex_ -> trace lock is safe).
+  void TraceFault(std::uint64_t endpoint, obs::FaultCode code,
+                  std::int64_t arg);
+
   FaultPlan plan_;
   mutable std::mutex mutex_;
   Rng rng_;
@@ -161,6 +173,8 @@ class FaultInjector final : public net::CallInterceptor {
   std::size_t migrations_started_ = 0;
   std::size_t service_invocations_ = 0;
   FaultStats stats_;
+  obs::TraceLog* trace_ = nullptr;
+  const VirtualClock* trace_clock_ = nullptr;
 };
 
 /// The seed to use for a randomized fault schedule: ECC_FAULT_SEED from the

@@ -86,14 +86,22 @@ StatusOr<Message> LoopbackChannel::Call(const Message& request) {
 StatusOr<Message> CallWithRetry(LoopbackChannel& channel,
                                 const Message& request,
                                 const RetryPolicy& policy,
-                                RetryStats* stats) {
+                                RetryStats* stats, obs::TraceLog* trace) {
   const std::size_t attempts = std::max<std::size_t>(1, policy.max_attempts);
+  const auto now = [&channel] {
+    return channel.clock() != nullptr ? channel.clock()->now()
+                                      : TimePoint::Epoch();
+  };
   Duration backoff = policy.initial_backoff;
   Status last = Status::Unavailable("no attempt made");
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     if (stats != nullptr) {
       ++stats->attempts;
       if (attempt > 0) ++stats->retries;
+    }
+    if (attempt > 0) {
+      obs::Emit(trace,
+                obs::RpcRetryEvent(now(), channel.endpoint(), attempt));
     }
     auto response = channel.Call(request);
     if (response.ok()) return response;
@@ -116,6 +124,7 @@ StatusOr<Message> CallWithRetry(LoopbackChannel& channel,
     }
   }
   if (stats != nullptr) ++stats->exhausted;
+  obs::Emit(trace, obs::RpcFailureEvent(now(), channel.endpoint(), attempts));
   return last;
 }
 

@@ -37,6 +37,7 @@
 #include "common/time.h"
 #include "net/message.h"
 #include "net/netmodel.h"
+#include "obs/trace.h"
 
 namespace ecc::net {
 
@@ -147,10 +148,14 @@ struct RetryStats {
 /// virtual clock; `stats`, when given, accumulates across calls.  Handler-
 /// level errors other than Unavailable are returned immediately (they are
 /// answers, not transport loss).  After the retry budget the last
-/// Unavailable status surfaces to the caller.
+/// Unavailable status surfaces to the caller.  A non-null `trace` receives
+/// one kRpcRetry event per attempt beyond the first and a kRpcFailure when
+/// the budget is exhausted, stamped from the channel's clock (epoch when
+/// the channel carries none) and labeled with the channel's endpoint.
 [[nodiscard]] StatusOr<Message> CallWithRetry(LoopbackChannel& channel,
                                               const Message& request,
                                               const RetryPolicy& policy,
-                                              RetryStats* stats = nullptr);
+                                              RetryStats* stats = nullptr,
+                                              obs::TraceLog* trace = nullptr);
 
 }  // namespace ecc::net

@@ -1,0 +1,70 @@
+#include "obs/metrics.h"
+
+namespace ecc::obs {
+
+Counter MetricsRegistry::GetCounter(const std::string& name) {
+  if (!enabled_) return Counter{};
+  const std::lock_guard<std::mutex> g(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, std::make_unique<std::atomic<std::uint64_t>>(0))
+             .first;
+    counter_order_.emplace_back(name, it->second.get());
+  }
+  return Counter{it->second.get()};
+}
+
+Gauge MetricsRegistry::GetGauge(const std::string& name) {
+  if (!enabled_) return Gauge{};
+  const std::lock_guard<std::mutex> g(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(name, std::make_unique<std::atomic<std::int64_t>>(0))
+             .first;
+  }
+  return Gauge{it->second.get()};
+}
+
+HistogramHandle MetricsRegistry::GetHistogram(const std::string& name,
+                                              double min_value,
+                                              double growth) {
+  if (!enabled_) return HistogramHandle{};
+  const std::lock_guard<std::mutex> g(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<HistogramHandle::Cell>(
+                                min_value, growth))
+             .first;
+  }
+  return HistogramHandle{it->second.get()};
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  const std::lock_guard<std::mutex> g(mutex_);
+  // Reverse registration order: a counter registered (and written) after
+  // its attempt counter is read *before* it, so `outcome <= attempt` holds
+  // in the copy even while writers race the snapshot.
+  for (auto it = counter_order_.rbegin(); it != counter_order_.rend(); ++it) {
+    snap.counters.emplace(it->first,
+                          it->second->load(std::memory_order_acquire));
+  }
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges.emplace(name, cell->load(std::memory_order_acquire));
+  }
+  for (const auto& [name, cell] : histograms_) {
+    const std::lock_guard<std::mutex> cg(cell->mutex);
+    snap.histograms.emplace(name, cell->histogram);
+  }
+  return snap;
+}
+
+MetricsRegistry& EccObsDisabled() {
+  static MetricsRegistry disabled{/*enabled=*/false};
+  return disabled;
+}
+
+}  // namespace ecc::obs

@@ -1,0 +1,173 @@
+// MetricsRegistry: named counters, gauges, and log-scale histograms behind
+// cheap handles, the observability substrate every layer of the stack
+// reports into (memcached's `stats` surface and Dynamo's per-operation
+// instrumentation are the models).
+//
+// Design:
+//   * Registration (GetCounter/GetGauge/GetHistogram) is mutex-guarded and
+//     happens at wiring time; it hands back a small *handle* holding a raw
+//     pointer to a heap-stable cell.
+//   * The hot path — Counter::Inc on a query — is one relaxed-cost atomic
+//     RMW, no lock, no lookup.  A default-constructed (or disabled-
+//     registry) handle holds a null cell and the whole operation compiles
+//     down to a tested branch: observability off means no-ops.
+//   * Snapshot() is a point-in-time copy.  Counters are read in *reverse
+//     registration order* with acquire loads, while Inc publishes with a
+//     release store (same cost as relaxed on x86/ARM LSE).  Register an
+//     attempt counter before its outcome counters and write them in that
+//     order, and any snapshot observes `outcomes <= attempts` even under
+//     concurrent writers — the snapshot-consistency contract the stats
+//     shim and tests rely on.
+//
+// EccObsDisabled() is a process-wide registry whose handles are all null:
+// pass it where an Observability is required to turn the instrumented hot
+// path into no-ops (verified by bench/micro_obs).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace ecc::obs {
+
+/// Monotonic event count.  Null-safe: a default handle ignores everything.
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+
+  void Inc(std::uint64_t n = 1) {
+    if (cell_ != nullptr) cell_->fetch_add(n, std::memory_order_release);
+  }
+  [[nodiscard]] std::uint64_t Value() const {
+    return cell_ == nullptr ? 0 : cell_->load(std::memory_order_acquire);
+  }
+  /// Rewind to zero (constructor-time accounting resets only; the hot path
+  /// never calls this).
+  void Reset() {
+    if (cell_ != nullptr) cell_->store(0, std::memory_order_release);
+  }
+  [[nodiscard]] bool attached() const { return cell_ != nullptr; }
+
+ private:
+  std::atomic<std::uint64_t>* cell_ = nullptr;
+};
+
+/// Last-written level (fleet size, last split overhead, ...).
+class Gauge {
+ public:
+  Gauge() = default;
+  explicit Gauge(std::atomic<std::int64_t>* cell) : cell_(cell) {}
+
+  void Set(std::int64_t v) {
+    if (cell_ != nullptr) cell_->store(v, std::memory_order_release);
+  }
+  void Add(std::int64_t d) {
+    if (cell_ != nullptr) cell_->fetch_add(d, std::memory_order_release);
+  }
+  [[nodiscard]] std::int64_t Value() const {
+    return cell_ == nullptr ? 0 : cell_->load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool attached() const { return cell_ != nullptr; }
+
+ private:
+  std::atomic<std::int64_t>* cell_ = nullptr;
+};
+
+/// Log-bucketed distribution (reuses common/histogram under a cell mutex —
+/// observation sites are off the per-query fast path: splits, sweeps).
+class HistogramHandle {
+ public:
+  struct Cell {
+    explicit Cell(double min_value, double growth)
+        : histogram(min_value, growth) {}
+    std::mutex mutex;
+    Histogram histogram;
+  };
+
+  HistogramHandle() = default;
+  explicit HistogramHandle(Cell* cell) : cell_(cell) {}
+
+  void Observe(double value) {
+    if (cell_ == nullptr) return;
+    const std::lock_guard<std::mutex> g(cell_->mutex);
+    cell_->histogram.Add(value);
+  }
+  [[nodiscard]] Histogram Snapshot() const {
+    if (cell_ == nullptr) return Histogram{};
+    const std::lock_guard<std::mutex> g(cell_->mutex);
+    return cell_->histogram;
+  }
+  [[nodiscard]] bool attached() const { return cell_ != nullptr; }
+
+ private:
+  Cell* cell_ = nullptr;
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  /// Ordered for stable rendering; values observed newest-first (reverse
+  /// registration order) for cross-counter consistency.
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  [[nodiscard]] std::uint64_t CounterValue(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::int64_t GaugeValue(const std::string& name) const {
+    const auto it = gauges.find(name);
+    return it == gauges.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const Histogram* FindHistogram(const std::string& name) const {
+    const auto it = histograms.find(name);
+    return it == histograms.end() ? nullptr : &it->second;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// A disabled registry vends null handles: every instrumented site turns
+  /// into a tested-pointer no-op (see EccObsDisabled()).
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Idempotent: the same name always resolves to the same cell, so two
+  /// components naming one metric share it.  Distinct cache instances
+  /// should therefore not share one registry unless aggregation is wanted.
+  [[nodiscard]] Counter GetCounter(const std::string& name);
+  [[nodiscard]] Gauge GetGauge(const std::string& name);
+  [[nodiscard]] HistogramHandle GetHistogram(const std::string& name,
+                                             double min_value = 1.0,
+                                             double growth = 1.15);
+
+  [[nodiscard]] MetricsSnapshot Snapshot() const;
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_;
+  mutable std::mutex mutex_;
+  // unique_ptr cells: handle pointers stay stable across map rehash/growth.
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>>
+      counters_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramHandle::Cell>> histograms_;
+  /// Registration order (snapshots read counters newest-first).
+  std::vector<std::pair<std::string, std::atomic<std::uint64_t>*>>
+      counter_order_;
+};
+
+/// The process-wide null registry: attach it to opt *out* of observability
+/// while keeping every call site unconditional.
+[[nodiscard]] MetricsRegistry& EccObsDisabled();
+
+}  // namespace ecc::obs

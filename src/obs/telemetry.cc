@@ -1,0 +1,71 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <string>
+
+namespace ecc::obs {
+
+FleetTelemetry::FleetTelemetry(FleetTelemetryOptions opts) : opts_(opts) {
+  if (opts_.sample_every == 0) opts_.sample_every = 1;
+  if (opts_.registry != nullptr) {
+    g_nodes_ = opts_.registry->GetGauge("fleet.nodes");
+    g_records_ = opts_.registry->GetGauge("fleet.records");
+    g_bytes_ = opts_.registry->GetGauge("fleet.bytes");
+    g_util_max_pct_ = opts_.registry->GetGauge("fleet.util_max_pct");
+    g_over_ = opts_.registry->GetGauge("fleet.over_threshold");
+  }
+}
+
+void FleetTelemetry::Sample(double x, const std::vector<NodeLoad>& loads) {
+  std::uint64_t records = 0, bytes = 0, buckets = 0;
+  double util_sum = 0.0, util_max = 0.0;
+  std::size_t over = 0;
+  for (const NodeLoad& load : loads) {
+    records += load.records;
+    bytes += load.used_bytes;
+    buckets += load.buckets;
+    const double util = load.Utilization();
+    util_sum += util;
+    util_max = std::max(util_max, util);
+    if (util > opts_.churn_threshold) ++over;
+  }
+  const double util_mean =
+      loads.empty() ? 0.0 : util_sum / static_cast<double>(loads.size());
+
+  // Gauges always track the latest observation, decimated or not.
+  g_nodes_.Set(static_cast<std::int64_t>(loads.size()));
+  g_records_.Set(static_cast<std::int64_t>(records));
+  g_bytes_.Set(static_cast<std::int64_t>(bytes));
+  g_util_max_pct_.Set(static_cast<std::int64_t>(util_max * 100.0));
+  g_over_.Set(static_cast<std::int64_t>(over));
+
+  const std::lock_guard<std::mutex> g(mutex_);
+  const std::size_t index = seen_++;
+  if (index % opts_.sample_every != 0) return;
+  ++recorded_;
+  series_.Get("nodes").Add(x, static_cast<double>(loads.size()));
+  series_.Get("records").Add(x, static_cast<double>(records));
+  series_.Get("bytes").Add(x, static_cast<double>(bytes));
+  series_.Get("buckets").Add(x, static_cast<double>(buckets));
+  series_.Get("util_mean").Add(x, util_mean);
+  series_.Get("util_max").Add(x, util_max);
+  series_.Get("over_threshold").Add(x, static_cast<double>(over));
+  if (opts_.per_node_series) {
+    for (const NodeLoad& load : loads) {
+      series_.Get("node" + std::to_string(load.node) + ".util")
+          .Add(x, load.Utilization());
+    }
+  }
+}
+
+std::size_t FleetTelemetry::samples_seen() const {
+  const std::lock_guard<std::mutex> g(mutex_);
+  return seen_;
+}
+
+std::size_t FleetTelemetry::samples_recorded() const {
+  const std::lock_guard<std::mutex> g(mutex_);
+  return recorded_;
+}
+
+}  // namespace ecc::obs

@@ -1,0 +1,81 @@
+// Per-node load telemetry, sampled at time-step boundaries.
+//
+// The paper's figures live on fleet-level series — node counts, per-node
+// fill against the 65% churn-avoidance threshold, migration volume over
+// time.  FleetTelemetry turns a vector of NodeLoad samples (one per node,
+// produced by CacheBackend::NodeLoads) into aligned common/timeseries
+// series, and optionally mirrors the latest aggregates into registry gauges
+// so a metrics snapshot carries the current fleet shape.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/timeseries.h"
+#include "obs/metrics.h"
+
+namespace ecc::obs {
+
+/// Point-in-time load of one cache node (the backend fills these; obs
+/// depends only on common/, so this mirrors core::NodeSnapshot).
+struct NodeLoad {
+  std::uint64_t node = 0;
+  std::uint64_t records = 0;
+  std::uint64_t used_bytes = 0;
+  std::uint64_t capacity_bytes = 0;
+  std::uint64_t buckets = 0;
+
+  [[nodiscard]] double Utilization() const {
+    return capacity_bytes == 0 ? 0.0
+                               : static_cast<double>(used_bytes) /
+                                     static_cast<double>(capacity_bytes);
+  }
+};
+
+struct FleetTelemetryOptions {
+  /// The paper's churn-avoidance fill threshold: nodes above it are counted
+  /// in the `over_threshold` series.
+  double churn_threshold = 0.65;
+  /// Record every Nth Sample() call (>= 1); coordinators sample once per
+  /// time step, and long sweeps decimate to bound memory.
+  std::size_t sample_every = 1;
+  /// Also record one `node<N>.util` series per node id seen.
+  bool per_node_series = true;
+  /// When set, Sample() mirrors the aggregates into gauges
+  /// (fleet.nodes, fleet.records, fleet.bytes, fleet.util_max_pct,
+  /// fleet.over_threshold).
+  MetricsRegistry* registry = nullptr;
+};
+
+class FleetTelemetry {
+ public:
+  explicit FleetTelemetry(FleetTelemetryOptions opts = {});
+
+  /// Record one fleet observation at x (typically the time-step index).
+  /// Thread-safe, though coordinators only call it from quiesced
+  /// EndTimeStep boundaries.
+  void Sample(double x, const std::vector<NodeLoad>& loads);
+
+  /// Sample() calls seen (before decimation).
+  [[nodiscard]] std::size_t samples_seen() const;
+  /// Samples actually recorded into the series.
+  [[nodiscard]] std::size_t samples_recorded() const;
+
+  /// The recorded series: nodes, records, bytes, buckets, util_mean,
+  /// util_max, over_threshold (+ per-node node<N>.util).  Quiesce writers
+  /// before inspecting.
+  [[nodiscard]] const SeriesSet& series() const { return series_; }
+
+  [[nodiscard]] const FleetTelemetryOptions& options() const { return opts_; }
+
+ private:
+  FleetTelemetryOptions opts_;
+  mutable std::mutex mutex_;
+  SeriesSet series_{"step"};
+  std::size_t seen_ = 0;
+  std::size_t recorded_ = 0;
+  Gauge g_nodes_, g_records_, g_bytes_, g_util_max_pct_, g_over_;
+};
+
+}  // namespace ecc::obs

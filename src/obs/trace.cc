@@ -1,0 +1,299 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ecc::obs {
+
+const char* EventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kQueryStart: return "query_start";
+    case EventKind::kQueryEnd: return "query_end";
+    case EventKind::kSplit: return "split";
+    case EventKind::kMigrationPhase: return "migration_phase";
+    case EventKind::kEvictionSweep: return "eviction_sweep";
+    case EventKind::kContractionMerge: return "contraction_merge";
+    case EventKind::kNodeAlloc: return "node_alloc";
+    case EventKind::kNodeDealloc: return "node_dealloc";
+    case EventKind::kNodeCrash: return "node_crash";
+    case EventKind::kRpcRetry: return "rpc_retry";
+    case EventKind::kRpcFailure: return "rpc_failure";
+    case EventKind::kFaultInjected: return "fault_injected";
+  }
+  return "unknown";
+}
+
+namespace {
+
+TraceEvent Make(TimePoint t, EventKind kind, std::uint64_t node,
+                std::uint64_t key, std::int64_t a, std::int64_t b,
+                std::int64_t c) {
+  TraceEvent e;
+  e.t_us = t.micros();
+  e.kind = kind;
+  e.node = node;
+  e.key = key;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  return e;
+}
+
+const char* OutcomeName(std::int64_t code) {
+  switch (static_cast<QueryOutcomeKind>(code)) {
+    case QueryOutcomeKind::kHit: return "hit";
+    case QueryOutcomeKind::kMiss: return "miss";
+    case QueryOutcomeKind::kCoalesced: return "coalesced";
+  }
+  return "unknown";
+}
+
+const char* FaultCodeName(std::int64_t code) {
+  switch (static_cast<FaultCode>(code)) {
+    case FaultCode::kDropRequest: return "drop_request";
+    case FaultCode::kDropResponse: return "drop_response";
+    case FaultCode::kDelay: return "delay";
+    case FaultCode::kMigrationAbort: return "migration_abort";
+    case FaultCode::kMigrationCrashSource: return "migration_crash_source";
+    case FaultCode::kMigrationCrashDest: return "migration_crash_dest";
+  }
+  return "unknown";
+}
+
+void AppendField(std::string& out, const char* name, std::int64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%lld", name,
+                static_cast<long long>(v));
+  out += buf;
+}
+
+void AppendField(std::string& out, const char* name, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", name,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void AppendField(std::string& out, const char* name, const char* v) {
+  out += ",\"";
+  out += name;
+  out += "\":\"";
+  out += v;  // all emitted strings are fixed identifiers, no escaping needed
+  out += '"';
+}
+
+}  // namespace
+
+TraceEvent QueryStartEvent(TimePoint t, std::uint64_t key) {
+  return Make(t, EventKind::kQueryStart, kNoNode, key, 0, 0, 0);
+}
+
+TraceEvent QueryEndEvent(TimePoint t, std::uint64_t key,
+                         QueryOutcomeKind outcome, Duration latency) {
+  return Make(t, EventKind::kQueryEnd, kNoNode, key,
+              static_cast<std::int64_t>(outcome), latency.micros(), 0);
+}
+
+TraceEvent SplitEvent(TimePoint t, std::uint64_t src, std::uint64_t dst,
+                      std::uint64_t records, std::uint64_t bytes) {
+  return Make(t, EventKind::kSplit, src, kNoKey,
+              static_cast<std::int64_t>(dst),
+              static_cast<std::int64_t>(records),
+              static_cast<std::int64_t>(bytes));
+}
+
+TraceEvent MigrationPhaseEvent(TimePoint t, std::uint64_t src,
+                               std::uint64_t dst, int step,
+                               std::uint64_t migration) {
+  return Make(t, EventKind::kMigrationPhase, src, kNoKey,
+              static_cast<std::int64_t>(dst), step,
+              static_cast<std::int64_t>(migration));
+}
+
+TraceEvent EvictionSweepEvent(TimePoint t, std::uint64_t requested,
+                              std::uint64_t erased) {
+  return Make(t, EventKind::kEvictionSweep, kNoNode, kNoKey,
+              static_cast<std::int64_t>(requested),
+              static_cast<std::int64_t>(erased), 0);
+}
+
+TraceEvent ContractionMergeEvent(TimePoint t, std::uint64_t donor,
+                                 std::uint64_t absorber,
+                                 std::uint64_t records) {
+  return Make(t, EventKind::kContractionMerge, donor, kNoKey,
+              static_cast<std::int64_t>(absorber),
+              static_cast<std::int64_t>(records), 0);
+}
+
+TraceEvent NodeAllocEvent(TimePoint t, std::uint64_t node,
+                          Duration boot_wait) {
+  return Make(t, EventKind::kNodeAlloc, node, kNoKey, boot_wait.micros(), 0,
+              0);
+}
+
+TraceEvent NodeDeallocEvent(TimePoint t, std::uint64_t node) {
+  return Make(t, EventKind::kNodeDealloc, node, kNoKey, 0, 0, 0);
+}
+
+TraceEvent NodeCrashEvent(TimePoint t, std::uint64_t node,
+                          std::uint64_t records_dropped,
+                          std::uint64_t records_recoverable) {
+  return Make(t, EventKind::kNodeCrash, node, kNoKey,
+              static_cast<std::int64_t>(records_dropped),
+              static_cast<std::int64_t>(records_recoverable), 0);
+}
+
+TraceEvent RpcRetryEvent(TimePoint t, std::uint64_t node,
+                         std::uint64_t attempt) {
+  return Make(t, EventKind::kRpcRetry, node, kNoKey,
+              static_cast<std::int64_t>(attempt), 0, 0);
+}
+
+TraceEvent RpcFailureEvent(TimePoint t, std::uint64_t node,
+                           std::uint64_t attempts) {
+  return Make(t, EventKind::kRpcFailure, node, kNoKey,
+              static_cast<std::int64_t>(attempts), 0, 0);
+}
+
+TraceEvent FaultInjectedEvent(TimePoint t, std::uint64_t node, FaultCode code,
+                              std::int64_t arg) {
+  return Make(t, EventKind::kFaultInjected, node, kNoKey,
+              static_cast<std::int64_t>(code), arg, 0);
+}
+
+TraceLog::TraceLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void TraceLog::Append(const TraceEvent& e) {
+  const std::lock_guard<std::mutex> g(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[next_] = e;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++appended_;
+}
+
+std::vector<TraceEvent> TraceLog::Events() const {
+  const std::lock_guard<std::mutex> g(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest slot once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t TraceLog::size() const {
+  const std::lock_guard<std::mutex> g(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t TraceLog::total_appended() const {
+  const std::lock_guard<std::mutex> g(mutex_);
+  return appended_;
+}
+
+std::uint64_t TraceLog::dropped() const {
+  const std::lock_guard<std::mutex> g(mutex_);
+  return appended_ - ring_.size();
+}
+
+void TraceLog::Clear() {
+  const std::lock_guard<std::mutex> g(mutex_);
+  ring_.clear();
+  next_ = 0;
+  appended_ = 0;
+}
+
+std::string EventToJson(const TraceEvent& e) {
+  std::string out = "{";
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"t_us\":%lld",
+                  static_cast<long long>(e.t_us));
+    out += buf;
+  }
+  AppendField(out, "ev", EventKindName(e.kind));
+  if (e.node != kNoNode) AppendField(out, "node", e.node);
+  if (e.key != kNoKey) AppendField(out, "key", e.key);
+  switch (e.kind) {
+    case EventKind::kQueryStart:
+      break;
+    case EventKind::kQueryEnd:
+      AppendField(out, "outcome", OutcomeName(e.a));
+      AppendField(out, "latency_us", e.b);
+      break;
+    case EventKind::kSplit:
+      AppendField(out, "dst", static_cast<std::uint64_t>(e.a));
+      AppendField(out, "records", e.b);
+      AppendField(out, "bytes", e.c);
+      break;
+    case EventKind::kMigrationPhase:
+      AppendField(out, "dst", static_cast<std::uint64_t>(e.a));
+      AppendField(out, "step", e.b);
+      AppendField(out, "migration", e.c);
+      break;
+    case EventKind::kEvictionSweep:
+      AppendField(out, "requested", e.a);
+      AppendField(out, "erased", e.b);
+      break;
+    case EventKind::kContractionMerge:
+      AppendField(out, "absorber", static_cast<std::uint64_t>(e.a));
+      AppendField(out, "records", e.b);
+      break;
+    case EventKind::kNodeAlloc:
+      AppendField(out, "boot_wait_us", e.a);
+      break;
+    case EventKind::kNodeDealloc:
+      break;
+    case EventKind::kNodeCrash:
+      AppendField(out, "dropped", e.a);
+      AppendField(out, "recoverable", e.b);
+      break;
+    case EventKind::kRpcRetry:
+      AppendField(out, "attempt", e.a);
+      break;
+    case EventKind::kRpcFailure:
+      AppendField(out, "attempts", e.a);
+      break;
+    case EventKind::kFaultInjected:
+      AppendField(out, "fault", FaultCodeName(e.a));
+      AppendField(out, "arg", e.b);
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+std::string TraceLog::ToJsonLines() const {
+  std::string out;
+  for (const TraceEvent& e : Events()) {
+    out += EventToJson(e);
+    out += '\n';
+  }
+  return out;
+}
+
+Status TraceLog::AppendJsonLinesToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  const std::string body = ToJsonLines();
+  const std::size_t wrote = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (wrote != body.size()) return Status::Internal("short write " + path);
+  return Status::Ok();
+}
+
+bool MaybeDumpTraceFromEnv(const TraceLog& log, const char* env_var) {
+  const char* path = std::getenv(env_var);
+  if (path == nullptr || path[0] == '\0') return false;
+  return log.AppendJsonLinesToFile(path).ok();
+}
+
+}  // namespace ecc::obs

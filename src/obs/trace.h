@@ -1,0 +1,153 @@
+// Structured event trace: a ring-buffered log of typed events, each stamped
+// with virtual-clock time and a node id, exportable as JSON lines.
+//
+// The counters in metrics.h say *how much* happened; the trace says *when
+// and in what order* — the record that lets a slow query be correlated with
+// the split, eviction sweep, or retry storm that caused it.  Events are
+// fixed-size POD (no allocation on the emit path beyond the ring slot), the
+// ring overwrites oldest-first past capacity (dropped() counts the losses),
+// and Append is mutex-guarded so concurrent front-end workers interleave
+// cleanly.
+//
+// Emit(log, event) is the null-safe call sites use: a detached trace
+// pointer costs one branch.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace ecc::obs {
+
+enum class EventKind : std::uint8_t {
+  kQueryStart = 0,
+  kQueryEnd,          ///< outcome + latency (a = QueryOutcomeKind, b = us)
+  kSplit,             ///< GBA overflow split completed
+  kMigrationPhase,    ///< sweep-and-migrate phase transition (b = step)
+  kEvictionSweep,     ///< decay eviction pass (a = requested, b = erased)
+  kContractionMerge,  ///< donor merged into absorber
+  kNodeAlloc,         ///< instance booted into the fleet
+  kNodeDealloc,       ///< instance retired by contraction
+  kNodeCrash,         ///< abrupt node loss
+  kRpcRetry,          ///< an RPC attempt beyond the first was issued
+  kRpcFailure,        ///< an RPC exhausted its retry budget
+  kFaultInjected,     ///< the injector perturbed a call or migration step
+};
+inline constexpr int kEventKindCount = 12;
+
+[[nodiscard]] const char* EventKindName(EventKind k);
+
+/// Query outcome codes carried in kQueryEnd's `a` field.
+enum class QueryOutcomeKind : int { kHit = 0, kMiss = 1, kCoalesced = 2 };
+
+/// Fault category codes carried in kFaultInjected's `a` field.
+enum class FaultCode : int {
+  kDropRequest = 0,
+  kDropResponse = 1,
+  kDelay = 2,
+  kMigrationAbort = 3,
+  kMigrationCrashSource = 4,
+  kMigrationCrashDest = 5,
+};
+
+inline constexpr std::uint64_t kNoNode = ~0ull;
+inline constexpr std::uint64_t kNoKey = ~0ull;
+
+/// One fixed-size event.  Field meaning depends on `kind`; the builder
+/// functions below (and the JSON export) document each layout.
+struct TraceEvent {
+  std::int64_t t_us = 0;  ///< virtual-clock stamp
+  EventKind kind = EventKind::kQueryStart;
+  std::uint64_t node = kNoNode;
+  std::uint64_t key = kNoKey;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+};
+
+// --- Typed builders (one per event kind) -----------------------------------
+
+[[nodiscard]] TraceEvent QueryStartEvent(TimePoint t, std::uint64_t key);
+[[nodiscard]] TraceEvent QueryEndEvent(TimePoint t, std::uint64_t key,
+                                       QueryOutcomeKind outcome,
+                                       Duration latency);
+[[nodiscard]] TraceEvent SplitEvent(TimePoint t, std::uint64_t src,
+                                    std::uint64_t dst, std::uint64_t records,
+                                    std::uint64_t bytes);
+[[nodiscard]] TraceEvent MigrationPhaseEvent(TimePoint t, std::uint64_t src,
+                                             std::uint64_t dst, int step,
+                                             std::uint64_t migration);
+[[nodiscard]] TraceEvent EvictionSweepEvent(TimePoint t,
+                                            std::uint64_t requested,
+                                            std::uint64_t erased);
+[[nodiscard]] TraceEvent ContractionMergeEvent(TimePoint t,
+                                               std::uint64_t donor,
+                                               std::uint64_t absorber,
+                                               std::uint64_t records);
+[[nodiscard]] TraceEvent NodeAllocEvent(TimePoint t, std::uint64_t node,
+                                        Duration boot_wait);
+[[nodiscard]] TraceEvent NodeDeallocEvent(TimePoint t, std::uint64_t node);
+[[nodiscard]] TraceEvent NodeCrashEvent(TimePoint t, std::uint64_t node,
+                                        std::uint64_t records_dropped,
+                                        std::uint64_t records_recoverable);
+[[nodiscard]] TraceEvent RpcRetryEvent(TimePoint t, std::uint64_t node,
+                                       std::uint64_t attempt);
+[[nodiscard]] TraceEvent RpcFailureEvent(TimePoint t, std::uint64_t node,
+                                         std::uint64_t attempts);
+[[nodiscard]] TraceEvent FaultInjectedEvent(TimePoint t, std::uint64_t node,
+                                            FaultCode code, std::int64_t arg);
+
+class TraceLog {
+ public:
+  /// `capacity` bounds retained events; older ones are overwritten.
+  explicit TraceLog(std::size_t capacity = 1 << 16);
+
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  void Append(const TraceEvent& e);
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> Events() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events ever appended (size() + dropped()).
+  [[nodiscard]] std::uint64_t total_appended() const;
+  /// Events overwritten by ring wrap-around.
+  [[nodiscard]] std::uint64_t dropped() const;
+  void Clear();
+
+  /// One JSON object per line; schema per kind (validated by
+  /// scripts/validate_trace.py, documented in DESIGN.md §9).
+  [[nodiscard]] std::string ToJsonLines() const;
+
+  /// Append ToJsonLines() to `path` (concatenated dumps stay valid JSONL).
+  Status AppendJsonLinesToFile(const std::string& path) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  ///< ring write cursor once full
+  std::uint64_t appended_ = 0;
+};
+
+/// Null-safe emit: a component holding a maybe-null TraceLog* calls this
+/// unconditionally.
+inline void Emit(TraceLog* log, const TraceEvent& e) {
+  if (log != nullptr) log->Append(e);
+}
+
+/// Render one event as its JSON-lines object (no trailing newline).
+[[nodiscard]] std::string EventToJson(const TraceEvent& e);
+
+/// CI hook: when the environment variable `env_var` names a file, append
+/// the trace to it as JSON lines; returns true if a dump was written.
+bool MaybeDumpTraceFromEnv(const TraceLog& log,
+                           const char* env_var = "ECC_TRACE_DUMP");
+
+}  // namespace ecc::obs

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
 
 #include "common/config.h"
@@ -273,6 +274,56 @@ TEST(HistogramTest, ResetClears) {
   h.Reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+// Regression: Reset() used to leave min_ = max_ = 0.0, and Percentile()
+// clamps bucket midpoints into [min_, max_] — so a histogram that was
+// reset and refilled reported every percentile as 0.
+TEST(HistogramTest, ResetThenRefillReportsRealPercentiles) {
+  Histogram h;
+  h.Add(1.0);
+  h.Reset();
+  for (double v : {100.0, 200.0, 300.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.min(), 100.0);
+  EXPECT_DOUBLE_EQ(h.max(), 300.0);
+  EXPECT_GE(h.Percentile(50), 100.0);
+  EXPECT_LE(h.Percentile(99), 300.0);
+}
+
+// Regression: non-finite samples used to poison the moments (mean/min/max
+// all NaN) and NaN fell through the bucket index cast.  They are rejected
+// and counted now.
+TEST(HistogramTest, NonFiniteSamplesAreRejected) {
+  Histogram h;
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  h.Add(std::numeric_limits<double>::infinity());
+  h.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.rejected(), 3u);
+  h.Add(2.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 2.0);
+}
+
+// Regression: a huge sample (1e308) produced a bucket index in the
+// thousands and resized the bucket vector unbounded; the index is now
+// capped at kMaxBuckets.
+TEST(HistogramTest, HugeSamplesClampToLastBucket) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(1e308);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e308);
+  // Percentiles stay finite and ordered (the top bucket midpoint is
+  // clamped to max).
+  EXPECT_LE(h.Percentile(50), h.Percentile(99));
+  EXPECT_LE(h.Percentile(99), 1e308);
+  // Merging keeps the rejected count.
+  Histogram other;
+  other.Add(std::numeric_limits<double>::quiet_NaN());
+  h.Merge(other);
+  EXPECT_EQ(h.rejected(), 1u);
 }
 
 // --- timeseries -------------------------------------------------------------

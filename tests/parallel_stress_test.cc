@@ -17,6 +17,8 @@
 #include "core/elastic_cache.h"
 #include "core/parallel_coordinator.h"
 #include "core/striped_backend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/service.h"
 
 namespace ecc::core {
@@ -47,6 +49,11 @@ struct Fixture {
               o.node_capacity_bytes =
                   records_per_node * RecordSize(0, std::size_t{128});
               o.ring.range = kKeyspace;
+              // Full observability under the stress load: the registry and
+              // trace ring get hammered by every worker, which is exactly
+              // what the TSan CI job wants to see.
+              o.obs.metrics = &metrics;
+              o.obs.trace = &trace;
               return o;
             }(),
             &provider, &clock),
@@ -60,11 +67,17 @@ struct Fixture {
               o.window.slices = 4;
               o.window.alpha = 0.9;
               o.contraction_epsilon = 2;
+              o.obs.metrics = &metrics;
+              o.obs.trace = &trace;
               return o;
             }(),
             &striped, &service, &linearizer) {}
 
+  ~Fixture() { obs::MaybeDumpTraceFromEnv(trace); }
+
   VirtualClock clock;
+  obs::MetricsRegistry metrics;
+  obs::TraceLog trace;
   cloudsim::CloudProvider provider;
   ElasticCache cache;
   StripedBackend striped;
@@ -129,6 +142,16 @@ TEST(ParallelStressTest, SplitsEvictionAndContractionMidFlight) {
   // The chaos evictor may have removed anything, but what remains must be
   // consistent and readable.
   EXPECT_EQ(f.striped.TotalRecords(), f.cache.TotalRecords());
+
+  // Quiesced, the registry must agree with the front-end's own counters
+  // and the trace ring must have recorded the run.
+  const obs::MetricsSnapshot snap = f.metrics.Snapshot();
+  EXPECT_EQ(snap.CounterValue("pc.queries"), kThreads * kPerThread);
+  EXPECT_EQ(snap.CounterValue("pc.hits") + snap.CounterValue("pc.coalesced") +
+                snap.CounterValue("pc.misses"),
+            kThreads * kPerThread);
+  EXPECT_EQ(snap.CounterValue("cache.gets"), f.striped.stats().gets);
+  EXPECT_GT(f.trace.total_appended(), 0u);
 }
 
 // Batches interleaved with time-step closes: decay eviction and epsilon
