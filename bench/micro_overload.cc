@@ -1,0 +1,206 @@
+// Overload-protection micro-bench.
+//
+// Phase A (zero-cost abstraction): the same query workload runs with the
+// overload subsystem disabled, and enabled but idle (a deadline nobody
+// misses, a queue nobody fills, a breaker nobody trips).  The disabled
+// path must be bit-identical in virtual time and outcome counts, and the
+// enabled-idle path must stay within noise on wall time — the protection
+// stack may not tax the healthy path.
+//
+// Phase B (brownout): a scripted sustained brownout (service latency ×10
+// over a slice range) hits an unprotected and a protected run.  The table
+// reports sheds, stale serves, deadline overshoots, and worst-case query
+// latency; protection must cap tail latency at roughly the deadline while
+// the unprotected run eats the full browned-out service cost.
+//
+// Overrides: keys=512 queries=4096 deadline_ms=2000 seed=0x5eed
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/coordinator.h"
+#include "core/elastic_cache.h"
+#include "fault/fault.h"
+#include "fault/faulty_service.h"
+#include "figcommon.h"
+#include "service/service.h"
+
+namespace ecc::bench {
+namespace {
+
+struct RunResult {
+  std::uint64_t clock_us = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t max_latency_us = 0;
+  double wall_ns_per_query = 0;
+};
+
+enum class Mode { kDisabled, kEnabledIdle, kUnprotected, kProtected };
+
+RunResult RunWorkload(const Config& cfg, Mode mode) {
+  VirtualClock clock;
+  cloudsim::CloudOptions cloud;
+  cloud.boot_mean = Duration::Seconds(60);
+  cloud.seed = static_cast<std::uint64_t>(cfg.GetInt("seed", 0x5eed));
+  cloudsim::CloudProvider provider(cloud, &clock);
+
+  core::ElasticCacheOptions eopts;
+  eopts.node_capacity_bytes = 1024 * core::RecordSize(0, std::size_t{128});
+  eopts.ring.range = 1 << 14;
+  core::ElasticCache cache(eopts, &provider, &clock);
+
+  service::SyntheticService synthetic("svc", Duration::Seconds(23), 100);
+  fault::FaultPlan plan;
+  plan.seed = cloud.seed ^ 0x0f;
+  const bool brownout =
+      mode == Mode::kUnprotected || mode == Mode::kProtected;
+  if (brownout) {
+    plan.brownouts.push_back({/*from_slice=*/1, /*slices=*/4,
+                              /*latency_multiplier=*/10.0});
+  }
+  fault::FaultInjector injector(plan);
+  fault::FaultyService faulty(&synthetic, &injector, Duration::Seconds(5));
+
+  sfc::LinearizerOptions grid;
+  grid.spatial_bits = 5;
+  grid.time_bits = 4;
+  sfc::Linearizer linearizer(grid);
+
+  core::CoordinatorOptions copts;
+  copts.window.slices = 4;
+  if (mode != Mode::kDisabled && mode != Mode::kUnprotected) {
+    auto& ov = copts.overload;
+    ov.enabled = true;
+    ov.query_deadline = Duration::Millis(static_cast<std::int64_t>(
+        cfg.GetInt("deadline_ms", 2000)));
+    ov.breaker_enabled = true;
+    ov.breaker.min_samples = 2;
+    ov.breaker.failure_threshold = 0.5;
+    ov.breaker.slow_call_threshold = Duration::Seconds(100);
+    ov.breaker.open_cooldown = Duration::Seconds(120);
+    ov.stale_serve = true;
+    if (mode == Mode::kEnabledIdle) {
+      // Idle: thresholds no healthy run can reach.
+      ov.query_deadline = Duration::Seconds(1e6);
+      ov.breaker.slow_call_threshold = Duration::Seconds(1e6);
+    }
+  }
+  core::Coordinator coordinator(copts, &cache, &faulty, &linearizer, &clock);
+
+  const auto keys = static_cast<std::size_t>(cfg.GetInt("keys", 512));
+  const auto queries = static_cast<std::size_t>(cfg.GetInt("queries", 4096));
+  Rng rng(cloud.seed);
+  std::vector<core::Key> workload;
+  workload.reserve(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    workload.push_back(rng.Uniform(keys));
+  }
+
+  const std::size_t per_step = queries / 8;
+  Histogram latency{1.0, 1.15};
+  RunResult r;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < queries; ++i) {
+    const core::QueryOutcome out = coordinator.ProcessKey(workload[i]);
+    latency.Add(static_cast<double>(out.latency.micros()));
+    if (i % per_step == per_step - 1) {
+      (void)coordinator.EndTimeStep();
+      injector.AdvanceServiceSlice();
+    }
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  r.clock_us = static_cast<std::uint64_t>(clock.now().micros());
+  r.hits = coordinator.total_hits();
+  r.shed = coordinator.shed_count();
+  r.stale = coordinator.stale_serves();
+  r.deadline_exceeded = coordinator.deadline_exceeded_count();
+  r.max_latency_us = static_cast<std::uint64_t>(latency.max());
+  r.wall_ns_per_query =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              wall_end - wall_start)
+                              .count()) /
+      static_cast<double>(queries);
+  return r;
+}
+
+std::string Row(const RunResult& r) {
+  return FormatG(r.clock_us / 1e6);
+}
+
+int Main(int argc, char** argv) {
+  Log::SetLevel(LogLevel::kError);
+  const Config cfg = ParseArgs(argc, argv);
+  PrintHeader(
+      "Overload protection — disabled-path overhead and brownout shedding",
+      "Deadlines + admission control + circuit breaker + stale serving; "
+      "the disabled path must cost nothing, the protected path must cap "
+      "tail latency through a ×10 service brownout.");
+
+  // ---- Phase A: the subsystem must be free when off ---------------------
+  // Wall time is noisy; take the best of three for both configs.
+  RunResult off = RunWorkload(cfg, Mode::kDisabled);
+  RunResult idle = RunWorkload(cfg, Mode::kEnabledIdle);
+  for (int i = 0; i < 2; ++i) {
+    const RunResult off2 = RunWorkload(cfg, Mode::kDisabled);
+    if (off2.wall_ns_per_query < off.wall_ns_per_query) off = off2;
+    const RunResult idle2 = RunWorkload(cfg, Mode::kEnabledIdle);
+    if (idle2.wall_ns_per_query < idle.wall_ns_per_query) idle = idle2;
+  }
+  Table overhead({"config", "virtual_s", "hits", "shed", "wall_ns/query"});
+  overhead.AddRow({"overload off", Row(off), std::to_string(off.hits),
+                   std::to_string(off.shed), FormatG(off.wall_ns_per_query)});
+  overhead.AddRow({"enabled, idle", Row(idle), std::to_string(idle.hits),
+                   std::to_string(idle.shed),
+                   FormatG(idle.wall_ns_per_query)});
+  std::printf("%s\n", overhead.ToString().c_str());
+
+  // ---- Phase B: brownout, unprotected vs protected ----------------------
+  const RunResult raw = RunWorkload(cfg, Mode::kUnprotected);
+  const RunResult guarded = RunWorkload(cfg, Mode::kProtected);
+  Table storm({"config", "virtual_s", "hits", "shed", "stale",
+               "deadline_exc", "max_latency_s"});
+  storm.AddRow({"unprotected", Row(raw), std::to_string(raw.hits),
+                std::to_string(raw.shed), std::to_string(raw.stale),
+                std::to_string(raw.deadline_exceeded),
+                FormatG(raw.max_latency_us / 1e6)});
+  storm.AddRow({"protected", Row(guarded), std::to_string(guarded.hits),
+                std::to_string(guarded.shed), std::to_string(guarded.stale),
+                std::to_string(guarded.deadline_exceeded),
+                FormatG(guarded.max_latency_us / 1e6)});
+  std::printf("%s\n", storm.ToString().c_str());
+
+  const double deadline_s =
+      static_cast<double>(cfg.GetInt("deadline_ms", 2000)) / 1e3;
+  bool ok = true;
+  ok &= ShapeCheck("disabled run is virtually identical to enabled-idle",
+                   off.clock_us == idle.clock_us && off.hits == idle.hits &&
+                       idle.shed == 0 && idle.stale == 0);
+  ok &= ShapeCheck("disabled path wall cost within noise of enabled-idle",
+                   off.wall_ns_per_query <= idle.wall_ns_per_query * 1.5 &&
+                       idle.wall_ns_per_query <=
+                           off.wall_ns_per_query * 1.5);
+  ok &= ShapeCheck("brownout without protection eats ×10 latency",
+                   raw.max_latency_us / 1e6 > 100.0 && raw.shed == 0);
+  ok &= ShapeCheck("protection caps worst-case latency near the deadline",
+                   guarded.max_latency_us / 1e6 <= deadline_s * 1.1);
+  ok &= ShapeCheck("the protected run sheds or degrades under brownout",
+                   guarded.shed + guarded.stale > 0);
+  ok &= ShapeCheck("protection reclaims virtual time from the brownout",
+                   guarded.clock_us < raw.clock_us);
+  std::printf("\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ecc::bench
+
+int main(int argc, char** argv) { return ecc::bench::Main(argc, argv); }

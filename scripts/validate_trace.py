@@ -31,13 +31,20 @@ SCHEMAS = {
     "rpc_retry": {"node": int, "attempt": int},
     "rpc_failure": {"node": int, "attempts": int},
     "fault_injected": {"fault": str, "arg": int},
+    "load_shed": {"reason": str},
+    "breaker": {"from": str, "to": str},
+    "stale_serve": {"source": str, "age_slices": int},
+    "deadline_exceeded": {"overshoot_us": int},
 }
 
 OPTIONAL = {"node": int, "key": int}
 
-OUTCOMES = {"hit", "miss", "coalesced"}
+OUTCOMES = {"hit", "miss", "coalesced", "shed", "stale"}
 FAULTS = {"drop_request", "drop_response", "delay", "migration_abort",
-          "migration_crash_source", "migration_crash_dest"}
+          "migration_crash_source", "migration_crash_dest", "brownout"}
+SHED_REASONS = {"queue_full", "breaker_open", "dropped", "deadline"}
+BREAKER_STATES = {"closed", "open", "half_open"}
+STALE_SOURCES = {"replica", "spill"}
 
 # Sweep-and-migrate has six phase steps (fault::MigrationStep).
 MAX_MIGRATION_STEP = 5
@@ -91,6 +98,20 @@ def check_line(path, lineno, line):
         fail(path, lineno, f"migration step out of range: {event['step']}")
     if kind == "query_end" and event["latency_us"] < 0:
         fail(path, lineno, f"negative latency: {event['latency_us']}")
+    if kind == "load_shed" and event["reason"] not in SHED_REASONS:
+        fail(path, lineno, f"bad shed reason: {event['reason']!r}")
+    if kind == "breaker" and not (
+            event["from"] in BREAKER_STATES
+            and event["to"] in BREAKER_STATES
+            and event["from"] != event["to"]):
+        fail(path, lineno,
+             f"bad breaker transition: {event['from']!r} -> {event['to']!r}")
+    if kind == "stale_serve" and event["source"] not in STALE_SOURCES:
+        fail(path, lineno, f"bad stale source: {event['source']!r}")
+    if kind == "stale_serve" and event["age_slices"] < 0:
+        fail(path, lineno, f"negative staleness: {event['age_slices']}")
+    if kind == "deadline_exceeded" and event["overshoot_us"] < 0:
+        fail(path, lineno, f"negative overshoot: {event['overshoot_us']}")
 
 
 def validate(path):

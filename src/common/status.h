@@ -21,6 +21,7 @@ enum class StatusCode {
   kInvalidArgument,
   kFailedPrecondition,
   kUnavailable,
+  kDeadlineExceeded,
   kInternal,
 };
 
@@ -33,6 +34,7 @@ enum class StatusCode {
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";
@@ -62,6 +64,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Unavailable(std::string m = {}) {
     return {StatusCode::kUnavailable, std::move(m)};
+  }
+  [[nodiscard]] static Status DeadlineExceeded(std::string m = {}) {
+    return {StatusCode::kDeadlineExceeded, std::move(m)};
   }
   [[nodiscard]] static Status Internal(std::string m = {}) {
     return {StatusCode::kInternal, std::move(m)};

@@ -123,6 +123,29 @@ class TimePoint {
   std::int64_t us_ = 0;
 };
 
+class VirtualClock;
+
+/// A point on a specific virtual clock past which work should not start.
+///
+/// Overload protection threads one of these through a query: the
+/// coordinator stamps `at` on the clock that carries the query's latency,
+/// and every layer below (service invocation, RPC retry loop) consults
+/// Expired()/Remaining() before committing to more work.  A deadline is
+/// always evaluated against the clock it was defined on, so it stays
+/// meaningful even when the consulting layer charges a *different* clock
+/// (the parallel front-end's per-worker clocks vs. the backend's shared
+/// clock).  A default-constructed Deadline is inactive: never expired,
+/// infinite budget.
+struct Deadline {
+  const VirtualClock* clock = nullptr;  ///< clock the deadline is measured on
+  TimePoint at;
+
+  [[nodiscard]] bool active() const { return clock != nullptr; }
+  [[nodiscard]] inline bool Expired() const;
+  /// Budget left before expiry; Duration::Max() when inactive.
+  [[nodiscard]] inline Duration Remaining() const;
+};
+
 /// Monotonic virtual clock.  The experiment driver advances it explicitly;
 /// substrates (cloud allocator, network model, services) charge durations to
 /// it.  Never moves backwards.
@@ -164,5 +187,15 @@ class VirtualClock {
  private:
   std::atomic<std::int64_t> now_us_{0};
 };
+
+inline bool Deadline::Expired() const {
+  return active() && clock->now() >= at;
+}
+
+inline Duration Deadline::Remaining() const {
+  if (!active()) return Duration::Max();
+  const TimePoint now = clock->now();
+  return now >= at ? Duration::Zero() : at - now;
+}
 
 }  // namespace ecc

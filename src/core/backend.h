@@ -61,6 +61,16 @@ class CacheBackend {
   /// Lookup `k`; NotFound on miss.  Charges lookup cost to the clock.
   [[nodiscard]] virtual StatusOr<std::string> Get(Key k) = 0;
 
+  /// Degraded lookup: a possibly-stale copy from redundancy the backend
+  /// keeps anyway (e.g. the mirror replica whose eviction ERASE was lost).
+  /// Used by overload protection when the primary path is shed — never on
+  /// the normal hit path.  Backends without such redundancy keep the
+  /// default NotFound.
+  [[nodiscard]] virtual StatusOr<std::string> GetStale(Key k) {
+    (void)k;
+    return Status::NotFound("no stale source");
+  }
+
   /// Store (k, v), triggering whatever elasticity/eviction the backend
   /// implements.  Charges the full insert path cost to the clock.
   virtual Status Put(Key k, std::string v) = 0;

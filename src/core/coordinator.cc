@@ -1,6 +1,8 @@
 #include "core/coordinator.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "common/log.h"
 
@@ -24,6 +26,29 @@ Coordinator::Coordinator(CoordinatorOptions opts, CacheBackend* cache,
   m_misses_ = opts_.obs.MakeCounter("coordinator.misses");
   trace_ = opts_.obs.trace;
   telemetry_ = opts_.obs.telemetry;
+  if (opts_.overload.enabled) {
+    m_shed_ = opts_.obs.MakeCounter("overload.shed");
+    m_stale_ = opts_.obs.MakeCounter("overload.stale_serves");
+    m_deadline_ = opts_.obs.MakeCounter("overload.deadline_exceeded");
+    if (opts_.overload.breaker_enabled) {
+      breaker_ = std::make_unique<overload::CircuitBreaker>(
+          opts_.overload.breaker, trace_);
+      breaker_->BindMetrics(
+          opts_.obs.MakeCounter("overload.breaker_opens"),
+          opts_.obs.MakeCounter("overload.breaker_rejections"));
+    }
+  }
+}
+
+bool Coordinator::StaleWithinBound(Key k, std::uint64_t* age) const {
+  // No eviction record means the staleness is unknowable: either the key
+  // was never decay-evicted (then no stale copy should exist at all) or
+  // the record was pruned as past the bound.  Refuse both — a degraded
+  // answer is only safe with a provable age.
+  const auto it = evicted_at_.find(k);
+  if (it == evicted_at_.end()) return false;
+  *age = steps_ended_ - it->second;
+  return *age <= opts_.overload.stale_bound_slices;
 }
 
 QueryOutcome Coordinator::ProcessKey(Key k) {
@@ -33,6 +58,14 @@ QueryOutcome Coordinator::ProcessKey(Key k) {
   ++total_queries_;
   m_queries_.Inc();
   obs::Emit(trace_, obs::QueryStartEvent(start, k));
+
+  const overload::OverloadOptions& ov = opts_.overload;
+  Deadline deadline;
+  if (ov.enabled && ov.query_deadline > Duration::Zero()) {
+    deadline = Deadline{clock_, start + ov.query_deadline};
+  }
+  // Layers below (RPC retry inside the backend) read the thread-local.
+  const overload::ScopedDeadline scope(deadline);
 
   QueryOutcome outcome;
   auto cached = cache_->Get(k);
@@ -54,37 +87,105 @@ QueryOutcome Coordinator::ProcessKey(Key k) {
       }
     }
     if (!have_payload) {
-      const sfc::GeoTemporalQuery q = linearizer_->CellCenter(k);
-      auto result = service_->Invoke(q, clock_);
-      // The synthetic substrate cannot fail on in-range cells.
-      assert(result.ok());
-      if (result.ok()) {
-        payload = std::move(result->payload);
-        have_payload = true;
+      // Overload gate on the service call: the spill probe above is cheap
+      // and unguarded; the ~23 s invocation is what needs protecting.
+      bool shed = false;
+      obs::ShedCode reason = obs::ShedCode::kBreakerOpen;
+      if (ov.enabled) {
+        if (deadline.Expired()) {
+          shed = true;
+          reason = obs::ShedCode::kDeadline;
+        } else if (breaker_ != nullptr && !breaker_->Allow(clock_->now())) {
+          shed = true;
+          reason = obs::ShedCode::kBreakerOpen;
+        }
+      }
+      if (shed) {
+        outcome.shed = true;
+        ++shed_count_;
+        m_shed_.Inc();
+        obs::Emit(trace_, obs::LoadShedEvent(clock_->now(), k, reason));
+        if (ov.stale_serve) {
+          // Degraded answer: a mirror copy whose eviction ERASE was lost
+          // may still be addressable, bounded by the staleness budget.
+          auto stale = cache_->GetStale(k);
+          std::uint64_t age = 0;
+          if (stale.ok() && StaleWithinBound(k, &age)) {
+            outcome.shed = false;
+            outcome.stale = true;
+            ++stale_serves_;
+            m_stale_.Inc();
+            obs::Emit(trace_, obs::StaleServeEvent(
+                                  clock_->now(), k,
+                                  obs::StaleSource::kReplica, age));
+          }
+        }
+      } else if (ov.enabled) {
+        // Invoke on a scratch clock and charge at most the remaining
+        // deadline budget: the caller stops waiting when the budget is
+        // gone, even though the (late) answer still warms the cache.
+        const sfc::GeoTemporalQuery q = linearizer_->CellCenter(k);
+        VirtualClock scratch;
+        auto result = service_->Invoke(q, &scratch);
+        const Duration cost = scratch.now() - TimePoint::Epoch();
+        const Duration remaining = deadline.Remaining();
+        clock_->Advance(std::min(cost, remaining));
+        if (cost > remaining) {
+          outcome.deadline_exceeded = true;
+          ++deadline_exceeded_;
+          m_deadline_.Inc();
+          obs::Emit(trace_, obs::DeadlineExceededEvent(clock_->now(), k,
+                                                       cost - remaining));
+        }
+        if (breaker_ != nullptr) {
+          breaker_->Record(clock_->now(), result.ok(), cost);
+        }
+        if (result.ok()) {
+          payload = std::move(result->payload);
+          have_payload = true;
+        }
+      } else {
+        const sfc::GeoTemporalQuery q = linearizer_->CellCenter(k);
+        auto result = service_->Invoke(q, clock_);
+        // The synthetic substrate cannot fail on in-range cells.
+        assert(result.ok());
+        if (result.ok()) {
+          payload = std::move(result->payload);
+          have_payload = true;
+        }
       }
     }
     if (have_payload) {
+      // The insert is cache maintenance, not caller-visible wait: suspend
+      // the query's (possibly already-expired) deadline so the late answer
+      // still warms the cache instead of having its Put RPC clipped.
+      const overload::ScopedDeadline unclipped{Deadline{}};
       const Status s = cache_->Put(k, std::move(payload));
       if (!s.ok()) {
         ECC_LOG_WARN("coordinator: put failed for key %llu: %s",
                      static_cast<unsigned long long>(k),
                      s.ToString().c_str());
       }
+      // Re-caching makes the key fresh again for staleness accounting.
+      if (!evicted_at_.empty()) evicted_at_.erase(k);
     }
   }
   outcome.latency = clock_->now() - start;
   step_query_time_ += outcome.latency;
   total_query_time_ += outcome.latency;
+  obs::QueryOutcomeKind kind = obs::QueryOutcomeKind::kMiss;
   if (outcome.hit) {
     m_hits_.Inc();
+    kind = obs::QueryOutcomeKind::kHit;
+  } else if (outcome.stale) {
+    kind = obs::QueryOutcomeKind::kStale;
+  } else if (outcome.shed) {
+    kind = obs::QueryOutcomeKind::kShed;
   } else {
     m_misses_.Inc();
   }
-  obs::Emit(trace_, obs::QueryEndEvent(clock_->now(), k,
-                                       outcome.hit
-                                           ? obs::QueryOutcomeKind::kHit
-                                           : obs::QueryOutcomeKind::kMiss,
-                                       outcome.latency));
+  obs::Emit(trace_,
+            obs::QueryEndEvent(clock_->now(), k, kind, outcome.latency));
   return outcome;
 }
 
@@ -109,6 +210,12 @@ TimeStepReport Coordinator::EndTimeStep() {
   }
 
   const SliceExpiry expiry = window_.AdvanceSlice();
+  if (!expiry.evicted.empty() && opts_.overload.enabled &&
+      opts_.overload.stale_serve) {
+    // Stamp eviction time: any copy that survives past this point (a
+    // mirror whose ERASE was lost, a spill record) is stale from here on.
+    for (const Key k : expiry.evicted) evicted_at_[k] = steps_ended_;
+  }
   if (!expiry.evicted.empty()) {
     if (spill_ != nullptr) {
       auto extracted = cache_->ExtractKeys(expiry.evicted);
@@ -138,6 +245,18 @@ TimeStepReport Coordinator::EndTimeStep() {
                        cache_->NodeLoads());
   }
   ++steps_ended_;
+
+  // Entries past the stale bound can never be served again; drop them.
+  if (!evicted_at_.empty()) {
+    const std::uint64_t bound = opts_.overload.stale_bound_slices;
+    for (auto it = evicted_at_.begin(); it != evicted_at_.end();) {
+      if (steps_ended_ - it->second > bound) {
+        it = evicted_at_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
 
   step_queries_ = 0;
   step_hits_ = 0;

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 
 #include "cloudsim/persistent_store.h"
 #include "common/status.h"
@@ -22,6 +24,8 @@
 #include "core/sliding_window.h"
 #include "core/types.h"
 #include "obs/obs.h"
+#include "overload/breaker.h"
+#include "overload/overload.h"
 #include "service/service.h"
 #include "sfc/linearizer.h"
 
@@ -40,11 +44,23 @@ struct CoordinatorOptions {
   /// event pair per ProcessKey; obs.telemetry is fed one fleet sample per
   /// EndTimeStep from the backend's NodeLoads().
   obs::Observability obs;
+  /// Overload protection (deadlines, breaker, stale serving); disabled by
+  /// default and zero-cost when off (see DESIGN.md §10).
+  overload::OverloadOptions overload;
 };
 
 /// End-to-end result of one query.
 struct QueryOutcome {
   bool hit = false;
+  /// Refused under overload with no answer at all (breaker open or
+  /// deadline spent before the service call could start).
+  bool shed = false;
+  /// Answered from a degraded source (mirror replica) while the service
+  /// was protected; `hit` stays false.
+  bool stale = false;
+  /// The service answered, but past this query's deadline (the charge to
+  /// the clock was clamped to the deadline; see DESIGN.md §10).
+  bool deadline_exceeded = false;
   Duration latency;  ///< virtual time from submission to answer
 };
 
@@ -92,6 +108,17 @@ class Coordinator {
   /// Records written to the spill tier by decay eviction.
   [[nodiscard]] std::uint64_t spill_puts() const { return spill_puts_; }
 
+  // --- Overload protection ------------------------------------------------
+
+  /// The breaker guarding the backing service; nullptr unless
+  /// overload.enabled && overload.breaker_enabled.
+  [[nodiscard]] overload::CircuitBreaker* breaker() { return breaker_.get(); }
+  [[nodiscard]] std::uint64_t shed_count() const { return shed_count_; }
+  [[nodiscard]] std::uint64_t stale_serves() const { return stale_serves_; }
+  [[nodiscard]] std::uint64_t deadline_exceeded_count() const {
+    return deadline_exceeded_;
+  }
+
   [[nodiscard]] const SlidingWindow& window() const { return window_; }
   [[nodiscard]] CacheBackend& cache() { return *cache_; }
   [[nodiscard]] std::uint64_t total_queries() const { return total_queries_; }
@@ -112,11 +139,26 @@ class Coordinator {
   SlidingWindow window_;
   DynamicWindowPolicy dynamic_;
 
+  /// True when `k` carries an eviction record within the staleness bound;
+  /// writes the age in slices.  A stale copy with no record is refused —
+  /// the record was pruned as too old (or never existed).
+  [[nodiscard]] bool StaleWithinBound(Key k, std::uint64_t* age) const;
+
   // Null-safe observability handles (unregistered when no registry wired).
   obs::Counter m_queries_, m_hits_, m_misses_;
+  obs::Counter m_shed_, m_stale_, m_deadline_;
   obs::TraceLog* trace_ = nullptr;
   obs::FleetTelemetry* telemetry_ = nullptr;
   std::size_t steps_ended_ = 0;
+
+  // Overload protection (all inert when opts_.overload.enabled is false).
+  std::unique_ptr<overload::CircuitBreaker> breaker_;
+  /// Key -> steps_ended_ at decay eviction; bounds the staleness of
+  /// degraded answers.  Pruned past the stale bound each EndTimeStep.
+  std::unordered_map<Key, std::size_t> evicted_at_;
+  std::uint64_t shed_count_ = 0;
+  std::uint64_t stale_serves_ = 0;
+  std::uint64_t deadline_exceeded_ = 0;
 
   std::size_t expirations_since_contract_ = 0;
   // Per-step counters (reset by EndTimeStep).

@@ -6,6 +6,7 @@
 
 #include "common/log.h"
 #include "net/message.h"
+#include "overload/overload.h"
 
 namespace ecc::core {
 
@@ -180,13 +181,29 @@ StatusOr<std::string> ElasticCache::Get(Key k) {
   return Status::NotFound();
 }
 
+StatusOr<std::string> ElasticCache::GetStale(Key k) {
+  if (opts_.replicas < 2) return Status::NotFound("no replica tier");
+  auto replica_owner = ReplicaOwnerOf(k);
+  if (!replica_owner.ok()) return replica_owner.status();
+  clock_->Advance(opts_.local_op_time);  // h(k) + dispatch
+  net::GetRequest req{MirrorKey(k)};
+  auto resp_msg = CallNode(Entry(*replica_owner), req.Encode());
+  if (!resp_msg.ok()) return resp_msg.status();
+  auto resp = net::GetResponse::Decode(*resp_msg);
+  if (!resp.ok()) return resp.status();
+  clock_->Advance(opts_.local_op_time);  // B+-Tree search on the node
+  if (!resp->found) return Status::NotFound();
+  return std::move(resp->value);
+}
+
 StatusOr<net::Message> ElasticCache::CallNode(NodeEntry& entry,
                                               const net::Message& request) {
   net::LoopbackChannel& channel =
       background_mode_ ? *entry.bg_channel : *entry.channel;
   net::RetryStats rs;
   auto result =
-      net::CallWithRetry(channel, request, opts_.rpc_retry, &rs, trace_);
+      net::CallWithRetry(channel, request, opts_.rpc_retry, &rs, trace_,
+                         overload::CurrentDeadline());
   if (rs.retries > 0 || rs.exhausted > 0) {
     m_.rpc_retries.Inc(rs.retries);
     m_.rpc_failures.Inc(rs.exhausted);

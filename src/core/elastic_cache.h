@@ -145,6 +145,14 @@ class ElasticCache final : public CacheBackend {
   [[nodiscard]] std::string Name() const override { return "gba-elastic"; }
 
   [[nodiscard]] StatusOr<std::string> Get(Key k) override;
+
+  /// Degraded read for overload protection: probe only the mirror copy at
+  /// MirrorKey(k).  A mirror can outlive the primary when the eviction
+  /// ERASE that should have removed it was lost (its response is ignored —
+  /// fault-droppable), which is exactly the stale redundancy this serves.
+  /// Requires `replicas >= 2`; NotFound otherwise.
+  [[nodiscard]] StatusOr<std::string> GetStale(Key k) override;
+
   Status Put(Key k, std::string v) override;
 
   /// Single-attempt insert that never mutates topology: stores (k, v) on

@@ -38,6 +38,11 @@ class LockedBackend final : public CacheBackend {
     return inner_->Get(k);
   }
 
+  [[nodiscard]] StatusOr<std::string> GetStale(Key k) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->GetStale(k);
+  }
+
   Status Put(Key k, std::string v) override {
     const std::lock_guard<std::mutex> lock(mutex_);
     return inner_->Put(k, std::move(v));

@@ -1,5 +1,6 @@
 #include "core/parallel_coordinator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -25,6 +26,25 @@ ParallelCoordinator::ParallelCoordinator(ParallelCoordinatorOptions opts,
   m_misses_ = opts_.obs.MakeCounter("pc.misses");
   trace_ = opts_.obs.trace;
   telemetry_ = opts_.obs.telemetry;
+  if (opts_.overload.enabled) {
+    m_shed_ = opts_.obs.MakeCounter("overload.shed");
+    m_stale_ = opts_.obs.MakeCounter("overload.stale_serves");
+    m_deadline_ = opts_.obs.MakeCounter("overload.deadline_exceeded");
+    if (opts_.obs.metrics != nullptr) {
+      g_queue_peak_ = opts_.obs.metrics->GetGauge("overload.queue_peak");
+    }
+    if (opts_.overload.breaker_enabled) {
+      breaker_ = std::make_unique<overload::CircuitBreaker>(
+          opts_.overload.breaker, trace_);
+      breaker_->BindMetrics(
+          opts_.obs.MakeCounter("overload.breaker_opens"),
+          opts_.obs.MakeCounter("overload.breaker_rejections"));
+    }
+    if (opts_.overload.admission.queue_limit > 0) {
+      admission_ =
+          std::make_unique<overload::AdmissionQueue>(opts_.overload.admission);
+    }
+  }
 }
 
 ParallelQueryResult ParallelCoordinator::ProcessKeyAs(std::size_t worker,
@@ -44,6 +64,14 @@ ParallelQueryResult ParallelCoordinator::ProcessKeyAs(std::size_t worker,
   m_queries_.Inc();
   obs::Emit(trace_, obs::QueryStartEvent(start, k));
 
+  const overload::OverloadOptions& ov = opts_.overload;
+  Deadline deadline;
+  if (ov.enabled && ov.query_deadline > Duration::Zero()) {
+    deadline = Deadline{&w.clock, start + ov.query_deadline};
+  }
+  // Layers below (RPC retry inside the backend) read the thread-local.
+  const overload::ScopedDeadline scope(deadline);
+
   ParallelQueryResult result;
   w.clock.Advance(opts_.lookup_cost);  // the probe every path pays
   auto cached = cache_->Get(k);
@@ -52,10 +80,12 @@ ParallelQueryResult ParallelCoordinator::ProcessKeyAs(std::size_t worker,
     ++w.hits;
     total_hits_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    result.path = MissPath(w, k);
+    result.path = MissPath(w, k, deadline, result.deadline_exceeded);
   }
-  if (result.path != QueryPath::kMiss) {
-    // Coalesced counts toward the step hit ratio: no service work was done.
+  if (result.path == QueryPath::kHit || result.path == QueryPath::kCoalesced ||
+      result.path == QueryPath::kStale) {
+    // Coalesced and stale count toward the step hit ratio: no service work
+    // was done.  Shed answers nothing, so it counts as a (refused) miss.
     step_hits_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -63,23 +93,30 @@ ParallelQueryResult ParallelCoordinator::ProcessKeyAs(std::size_t worker,
   w.latency_us.Add(static_cast<double>(result.latency.micros()));
   step_query_time_us_.fetch_add(result.latency.micros(),
                                 std::memory_order_relaxed);
+  obs::QueryOutcomeKind outcome = obs::QueryOutcomeKind::kMiss;
   switch (result.path) {
     case QueryPath::kHit:
       m_hits_.Inc();
+      outcome = obs::QueryOutcomeKind::kHit;
       break;
     case QueryPath::kCoalesced:
       m_coalesced_.Inc();
+      outcome = obs::QueryOutcomeKind::kCoalesced;
       break;
     case QueryPath::kMiss:
       m_misses_.Inc();
+      outcome = obs::QueryOutcomeKind::kMiss;
+      break;
+    case QueryPath::kShed:
+      m_shed_.Inc();
+      outcome = obs::QueryOutcomeKind::kShed;
+      break;
+    case QueryPath::kStale:
+      m_stale_.Inc();
+      outcome = obs::QueryOutcomeKind::kStale;
       break;
   }
   if (trace_ != nullptr) {
-    const obs::QueryOutcomeKind outcome =
-        result.path == QueryPath::kHit ? obs::QueryOutcomeKind::kHit
-        : result.path == QueryPath::kCoalesced
-            ? obs::QueryOutcomeKind::kCoalesced
-            : obs::QueryOutcomeKind::kMiss;
     trace_->Append(
         obs::QueryEndEvent(w.clock.now(), k, outcome, result.latency));
   }
@@ -87,7 +124,9 @@ ParallelQueryResult ParallelCoordinator::ProcessKeyAs(std::size_t worker,
   return result;
 }
 
-QueryPath ParallelCoordinator::MissPath(WorkerState& w, Key k) {
+QueryPath ParallelCoordinator::MissPath(WorkerState& w, Key k,
+                                        const Deadline& deadline,
+                                        bool& deadline_exceeded) {
   // Single-flight election: exactly one leader per key at a time.
   std::promise<FlightResult> promise;
   std::shared_future<FlightResult> follow;
@@ -111,7 +150,9 @@ QueryPath ParallelCoordinator::MissPath(WorkerState& w, Key k) {
     // the service work it would have duplicated is charged to the leader.
     // A failed flight (result.ok == false) stays coalesced: the follower
     // was not charged the failed call either, and with nothing cached the
-    // key's next query elects a fresh leader and retries the service.
+    // key's next query elects a fresh leader and retries the service.  A
+    // *shed* flight is published the same way — nothing cached, followers
+    // uncharged — so a storm refused at the gate costs one shed, not N.
     (void)follow.get();
     return QueryPath::kCoalesced;
   }
@@ -119,8 +160,11 @@ QueryPath ParallelCoordinator::MissPath(WorkerState& w, Key k) {
   // Leader.  Double-check the cache: the previous flight for this key may
   // have landed between our miss and our registration; without this
   // re-probe that interleaving would invoke the service a second time.
+  const overload::OverloadOptions& ov = opts_.overload;
   FlightResult flight;
   bool from_cache = false;
+  bool shed = false;
+  obs::ShedCode shed_reason = obs::ShedCode::kQueueFull;
   w.clock.Advance(opts_.lookup_cost);
   auto again = cache_->Get(k);
   if (again.ok()) {
@@ -128,32 +172,117 @@ QueryPath ParallelCoordinator::MissPath(WorkerState& w, Key k) {
     flight.payload = std::move(*again);
     from_cache = true;
   } else {
-    const sfc::GeoTemporalQuery q = linearizer_->CellCenter(k);
-    {
-      // Service implementations are single-threaded; leaders of *different*
-      // keys serialize here (real time only — each charges its own clock).
-      const std::lock_guard<std::mutex> g(service_mutex_);
-      auto invoked = service_->Invoke(q, &w.clock);
-      if (invoked.ok()) {
-        flight.ok = true;
-        flight.payload = std::move(invoked->payload);
-      } else {
-        // Injected (or real) service failure: publish the failure to the
-        // followers instead of caching an empty payload as if it were an
-        // answer.  Only the leader's clock carries the failed call's cost.
-        total_service_failures_.fetch_add(1, std::memory_order_relaxed);
-        ECC_LOG_WARN("parallel-coordinator: service failed for key %llu: %s",
-                     static_cast<unsigned long long>(k),
-                     invoked.status().ToString().c_str());
+    // Overload gates, cheapest first: a spent deadline or an open breaker
+    // refuses before touching admission; the queue bounds how many leaders
+    // may wait for the (serialized) service at once.
+    overload::AdmissionQueue::Ticket ticket = overload::AdmissionQueue::kRejected;
+    if (ov.enabled) {
+      if (deadline.Expired()) {
+        shed = true;
+        shed_reason = obs::ShedCode::kDeadline;
+      } else if (breaker_ != nullptr && !breaker_->Allow(w.clock.now())) {
+        shed = true;
+        shed_reason = obs::ShedCode::kBreakerOpen;
+      } else if (admission_ != nullptr) {
+        ticket = admission_->Enter();
+        if (ticket == overload::AdmissionQueue::kRejected) {
+          shed = true;
+          shed_reason = obs::ShedCode::kQueueFull;
+        }
+      }
+    }
+    if (!shed) {
+      const sfc::GeoTemporalQuery q = linearizer_->CellCenter(k);
+      bool started = false;
+      {
+        // Service implementations are single-threaded; leaders of *different*
+        // keys serialize here (real time only — each charges its own clock).
+        const std::lock_guard<std::mutex> g(service_mutex_);
+        if (admission_ != nullptr &&
+            ticket != overload::AdmissionQueue::kRejected) {
+          started = admission_->StartService(ticket);
+          if (!started) {
+            // Our ticket was revoked (drop-oldest) while we queued for the
+            // service mutex; a newer query took our slot.
+            shed = true;
+            shed_reason = obs::ShedCode::kDropped;
+          }
+        }
+        if (!shed && ov.enabled) {
+          // Invoke on a scratch clock and charge at most the remaining
+          // deadline budget: the caller stops waiting when the budget is
+          // gone, even though the (late) answer still warms the cache.  The
+          // breaker sees the *full* cost so browned-out slow calls trip it.
+          VirtualClock scratch;
+          auto invoked = service_->Invoke(q, &scratch);
+          const Duration cost = scratch.now() - TimePoint::Epoch();
+          const Duration remaining = deadline.Remaining();
+          w.clock.Advance(std::min(cost, remaining));
+          if (cost > remaining) {
+            deadline_exceeded = true;
+            total_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+            m_deadline_.Inc();
+            obs::Emit(trace_, obs::DeadlineExceededEvent(w.clock.now(), k,
+                                                         cost - remaining));
+          }
+          if (breaker_ != nullptr) {
+            breaker_->Record(w.clock.now(), invoked.ok(), cost);
+          }
+          if (invoked.ok()) {
+            flight.ok = true;
+            flight.payload = std::move(invoked->payload);
+          } else {
+            total_service_failures_.fetch_add(1, std::memory_order_relaxed);
+            ECC_LOG_WARN(
+                "parallel-coordinator: service failed for key %llu: %s",
+                static_cast<unsigned long long>(k),
+                invoked.status().ToString().c_str());
+          }
+        } else if (!shed) {
+          auto invoked = service_->Invoke(q, &w.clock);
+          if (invoked.ok()) {
+            flight.ok = true;
+            flight.payload = std::move(invoked->payload);
+          } else {
+            // Injected (or real) service failure: publish the failure to the
+            // followers instead of caching an empty payload as if it were an
+            // answer.  Only the leader's clock carries the failed call's cost.
+            total_service_failures_.fetch_add(1, std::memory_order_relaxed);
+            ECC_LOG_WARN(
+                "parallel-coordinator: service failed for key %llu: %s",
+                static_cast<unsigned long long>(k),
+                invoked.status().ToString().c_str());
+          }
+        }
+      }
+      if (admission_ != nullptr &&
+          ticket != overload::AdmissionQueue::kRejected) {
+        if (started) {
+          admission_->Exit(ticket);
+        }
+        // A revoked ticket needs no Exit/Cancel: revocation already removed
+        // it from the waiting set.
       }
     }
     if (flight.ok) {
       w.clock.Advance(opts_.lookup_cost);  // the insert below
+      // The insert is cache maintenance, not caller-visible wait: suspend
+      // the query's (possibly already-expired) deadline so the late answer
+      // still warms the cache instead of having its Put RPC clipped.
+      const overload::ScopedDeadline unclipped{Deadline{}};
       if (const Status s = cache_->Put(k, flight.payload); !s.ok()) {
         ECC_LOG_WARN("parallel-coordinator: put failed for key %llu: %s",
                      static_cast<unsigned long long>(k), s.ToString().c_str());
       }
+      // Re-caching makes the key fresh again for staleness accounting.
+      const std::lock_guard<std::mutex> g(spill_mutex_);
+      if (!evicted_at_.empty()) evicted_at_.erase(k);
     }
+  }
+
+  QueryPath path = QueryPath::kMiss;
+  if (shed) {
+    path = ShedPath(w, k, shed_reason, deadline);
   }
 
   // Publish order matters: the value must be in the cache before the
@@ -170,9 +299,56 @@ QueryPath ParallelCoordinator::MissPath(WorkerState& w, Key k) {
     total_hits_.fetch_add(1, std::memory_order_relaxed);
     return QueryPath::kHit;
   }
+  if (path == QueryPath::kShed) {
+    ++w.shed;
+    total_shed_.fetch_add(1, std::memory_order_relaxed);
+    return path;
+  }
+  if (path == QueryPath::kStale) {
+    ++w.stale;
+    total_stale_.fetch_add(1, std::memory_order_relaxed);
+    return path;
+  }
   ++w.misses;
   total_misses_.fetch_add(1, std::memory_order_relaxed);
   return QueryPath::kMiss;
+}
+
+QueryPath ParallelCoordinator::ShedPath(WorkerState& w, Key k,
+                                        obs::ShedCode reason,
+                                        const Deadline& deadline) {
+  obs::Emit(trace_, obs::LoadShedEvent(w.clock.now(), k, reason));
+  const overload::OverloadOptions& ov = opts_.overload;
+  if (!ov.stale_serve) return QueryPath::kShed;
+
+  // Degraded answer, two sources: a mirror replica whose eviction ERASE was
+  // lost, then the spill tier.  Either is acceptable only within the
+  // staleness bound.  The probe cost is itself deadline-clamped so a shed
+  // query still lands within budget (+ at most one RPC timeout).
+  w.clock.Advance(std::min(ov.stale_probe_cost, deadline.Remaining()));
+  obs::StaleSource source = obs::StaleSource::kReplica;
+  bool found = cache_->GetStale(k).ok();
+  std::uint64_t age = 0;
+  bool age_known = false;
+  {
+    const std::lock_guard<std::mutex> g(spill_mutex_);
+    if (!found && spill_ != nullptr && spill_->Get(k).ok()) {
+      source = obs::StaleSource::kSpill;
+      found = true;
+    }
+    if (const auto it = evicted_at_.find(k); it != evicted_at_.end()) {
+      age = steps_ended_ - it->second;
+      age_known = true;
+    }
+  }
+  // A copy with no eviction record is refused: the record was pruned as
+  // past the bound (or never existed) — staleness must be provable.
+  if (found && age_known && age <= ov.stale_bound_slices) {
+    obs::Emit(trace_,
+              obs::StaleServeEvent(w.clock.now(), k, source, age));
+    return QueryPath::kStale;
+  }
+  return QueryPath::kShed;
 }
 
 StatusOr<ParallelQueryResult> ParallelCoordinator::ProcessQueryAs(
@@ -190,12 +366,13 @@ ParallelBatchReport ParallelCoordinator::RunKeys(
 
   struct Before {
     TimePoint clock;
-    std::uint64_t queries, hits, coalesced, misses;
+    std::uint64_t queries, hits, coalesced, misses, shed, stale;
   };
   std::vector<Before> before(n);
   for (std::size_t i = 0; i < n; ++i) {
     const WorkerState& w = worker_states_[i];
-    before[i] = {w.clock.now(), w.queries, w.hits, w.coalesced, w.misses};
+    before[i] = {w.clock.now(), w.queries, w.hits,
+                 w.coalesced,   w.misses,  w.shed, w.stale};
   }
   const std::uint64_t invocations_before = service_->invocations();
 
@@ -224,6 +401,8 @@ ParallelBatchReport ParallelCoordinator::RunKeys(
     report.hits += w.hits - before[i].hits;
     report.coalesced += w.coalesced - before[i].coalesced;
     report.misses += w.misses - before[i].misses;
+    report.shed += w.shed - before[i].shed;
+    report.stale += w.stale - before[i].stale;
     report.total_query_time += wr.busy;
     if (wr.busy > report.makespan) report.makespan = wr.busy;
     report.workers.push_back(wr);
@@ -243,8 +422,26 @@ TimeStepReport ParallelCoordinator::EndTimeStep() {
   report.step_query_time = Duration::Micros(step_query_time_us_.exchange(0));
 
   const SliceExpiry expiry = window_.AdvanceSlice();
+  if (!expiry.evicted.empty() && opts_.overload.enabled &&
+      opts_.overload.stale_serve) {
+    // Stamp eviction time: any copy that survives past this point (a
+    // mirror whose ERASE was lost, a spill record) is stale from here on.
+    const std::lock_guard<std::mutex> g(spill_mutex_);
+    for (const Key k : expiry.evicted) evicted_at_[k] = steps_ended_;
+  }
   if (!expiry.evicted.empty()) {
-    report.evicted = cache_->EvictKeys(expiry.evicted);
+    const std::lock_guard<std::mutex> g(spill_mutex_);
+    if (spill_ != nullptr) {
+      auto extracted = cache_->ExtractKeys(expiry.evicted);
+      report.evicted = extracted.size();
+      for (auto& [k, v] : extracted) {
+        spill_->Put(k, std::move(v));
+        ++spill_puts_;
+      }
+      report.spilled = extracted.size();
+    } else {
+      report.evicted = cache_->EvictKeys(expiry.evicted);
+    }
   }
   if (expiry.expired_slices > 0 && opts_.contraction_epsilon > 0) {
     expirations_since_contract_ += expiry.expired_slices;
@@ -262,6 +459,26 @@ TimeStepReport ParallelCoordinator::EndTimeStep() {
                        cache_->NodeLoads());
   }
   ++steps_ended_;
+
+  // Entries past the stale bound can never be served again; drop them.
+  // Publish the admission high-water mark at the same (quiesced) boundary.
+  {
+    const std::lock_guard<std::mutex> g(spill_mutex_);
+    if (!evicted_at_.empty()) {
+      const std::uint64_t bound = opts_.overload.stale_bound_slices;
+      for (auto it = evicted_at_.begin(); it != evicted_at_.end();) {
+        if (steps_ended_ - it->second > bound) {
+          it = evicted_at_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  if (admission_ != nullptr) {
+    g_queue_peak_.Set(
+        static_cast<std::int64_t>(admission_->stats().peak_depth));
+  }
   return report;
 }
 

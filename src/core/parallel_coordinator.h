@@ -26,10 +26,12 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "cloudsim/persistent_store.h"
 #include "common/histogram.h"
 #include "common/status.h"
 #include "common/threadpool.h"
@@ -39,6 +41,9 @@
 #include "core/sliding_window.h"
 #include "core/types.h"
 #include "obs/obs.h"
+#include "overload/admission.h"
+#include "overload/breaker.h"
+#include "overload/overload.h"
 #include "service/service.h"
 #include "sfc/linearizer.h"
 
@@ -61,6 +66,9 @@ struct ParallelCoordinatorOptions {
   /// is fed one fleet sample per EndTimeStep (quiesced) from the backend's
   /// NodeLoads().
   obs::Observability obs;
+  /// Overload protection (deadlines, admission control, breaker, stale
+  /// serving); disabled by default and zero-cost when off (DESIGN.md §10).
+  overload::OverloadOptions overload;
 };
 
 /// How one query was answered.
@@ -68,10 +76,14 @@ enum class QueryPath {
   kHit,        ///< found in the cache
   kCoalesced,  ///< joined another worker's in-flight miss (no service call)
   kMiss,       ///< led a service invocation
+  kShed,       ///< refused under overload, no answer (queue full / breaker)
+  kStale,      ///< shed, but answered from a degraded source within bound
 };
 
 struct ParallelQueryResult {
   QueryPath path = QueryPath::kMiss;
+  /// The service answered past this query's deadline (charge clamped).
+  bool deadline_exceeded = false;
   Duration latency;  ///< virtual time on the serving worker's clock
 };
 
@@ -89,6 +101,8 @@ struct ParallelBatchReport {
   std::size_t hits = 0;
   std::size_t coalesced = 0;  ///< misses absorbed by single-flight
   std::size_t misses = 0;     ///< leader misses (service invocations led)
+  std::size_t shed = 0;       ///< refused under overload, unanswered
+  std::size_t stale = 0;      ///< answered from a degraded source
   std::uint64_t service_invocations = 0;  ///< backend delta over the batch
   /// Max per-worker busy time: the batch's virtual wall time given one
   /// core per worker.
@@ -131,6 +145,17 @@ class ParallelCoordinator {
   /// coalesced hits-in-flight.
   TimeStepReport EndTimeStep();
 
+  /// Attach an S3-like spill tier: decay-evicted records are written there
+  /// by EndTimeStep, and the overload stale-serve path probes it for a
+  /// bounded-staleness copy when the service is protected.  (Unlike the
+  /// sequential Coordinator, the normal miss path does NOT reheat from
+  /// spill — leaders go straight to the service.)  Not owned; the store is
+  /// not thread-safe, so all access is serialized on an internal mutex.
+  void AttachSpillStore(cloudsim::PersistentStore* store) {
+    const std::lock_guard<std::mutex> g(spill_mutex_);
+    spill_ = store;
+  }
+
   [[nodiscard]] std::size_t workers() const { return worker_states_.size(); }
   [[nodiscard]] CacheBackend& cache() { return *cache_; }
   /// The window is safe to inspect only while no queries are in flight.
@@ -159,6 +184,26 @@ class ParallelCoordinator {
     return total_service_failures_.load(std::memory_order_relaxed);
   }
 
+  // --- Overload protection ------------------------------------------------
+
+  [[nodiscard]] std::uint64_t total_shed() const {
+    return total_shed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_stale() const {
+    return total_stale_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_deadline_exceeded() const {
+    return total_deadline_exceeded_.load(std::memory_order_relaxed);
+  }
+  /// nullptr unless overload.enabled && overload.breaker_enabled.
+  [[nodiscard]] overload::CircuitBreaker* breaker() { return breaker_.get(); }
+  /// nullptr unless overload.enabled && admission.queue_limit > 0.
+  [[nodiscard]] overload::AdmissionQueue* admission() {
+    return admission_.get();
+  }
+  /// Records written to the spill tier by decay eviction (quiesced reads).
+  [[nodiscard]] std::uint64_t spill_puts() const { return spill_puts_; }
+
   /// Worker `i`'s private clock (its cumulative virtual busy time).
   [[nodiscard]] TimePoint WorkerTime(std::size_t i) const {
     return worker_states_[i].clock.now();
@@ -174,6 +219,8 @@ class ParallelCoordinator {
     std::uint64_t hits = 0;
     std::uint64_t coalesced = 0;
     std::uint64_t misses = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t stale = 0;
   };
 
   /// What a flight leader publishes to its followers.  `ok == false` means
@@ -185,8 +232,16 @@ class ParallelCoordinator {
   };
 
   /// The miss path: single-flight election, service invocation (leader) or
-  /// shared_future wait (follower).  Returns the path taken.
-  QueryPath MissPath(WorkerState& w, Key k);
+  /// shared_future wait (follower).  Returns the path taken; sets
+  /// `deadline_exceeded` when the leader's service call outran the budget.
+  QueryPath MissPath(WorkerState& w, Key k, const Deadline& deadline,
+                     bool& deadline_exceeded);
+
+  /// A leader refused service: emit the shed, then (when configured) probe
+  /// the mirror replica and the spill tier for a bounded-staleness copy.
+  /// Returns kStale on a degraded answer, kShed otherwise.
+  QueryPath ShedPath(WorkerState& w, Key k, obs::ShedCode reason,
+                     const Deadline& deadline);
 
   ParallelCoordinatorOptions opts_;
   CacheBackend* cache_;
@@ -207,6 +262,8 @@ class ParallelCoordinator {
   // Trace events are stamped from each worker's private clock, so the log's
   // timestamps are per-worker monotone, not globally ordered.
   obs::Counter m_queries_, m_hits_, m_coalesced_, m_misses_;
+  obs::Counter m_shed_, m_stale_, m_deadline_;
+  obs::Gauge g_queue_peak_;
   obs::TraceLog* trace_ = nullptr;
   obs::FleetTelemetry* telemetry_ = nullptr;
   std::size_t steps_ended_ = 0;  ///< guarded by quiescence (EndTimeStep)
@@ -216,10 +273,24 @@ class ParallelCoordinator {
   /// coalesced traffic never queues here.
   std::mutex service_mutex_;
 
+  // Overload protection (all null/inert when opts_.overload.enabled is
+  // false — the query path tests one bool).
+  std::unique_ptr<overload::CircuitBreaker> breaker_;
+  std::unique_ptr<overload::AdmissionQueue> admission_;
+  /// Guards spill_ (PersistentStore is not thread-safe) and evicted_at_.
+  std::mutex spill_mutex_;
+  cloudsim::PersistentStore* spill_ = nullptr;
+  std::uint64_t spill_puts_ = 0;  ///< written by EndTimeStep (quiesced)
+  /// Key -> steps_ended_ at decay eviction (staleness bound accounting).
+  std::unordered_map<Key, std::size_t> evicted_at_;
+
   std::atomic<std::uint64_t> total_queries_{0};
   std::atomic<std::uint64_t> total_hits_{0};
   std::atomic<std::uint64_t> total_coalesced_{0};
   std::atomic<std::uint64_t> total_misses_{0};
+  std::atomic<std::uint64_t> total_shed_{0};
+  std::atomic<std::uint64_t> total_stale_{0};
+  std::atomic<std::uint64_t> total_deadline_exceeded_{0};
   std::atomic<std::uint64_t> total_service_failures_{0};
   std::atomic<std::int64_t> step_query_time_us_{0};
   std::atomic<std::uint64_t> step_queries_{0};

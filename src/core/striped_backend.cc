@@ -23,6 +23,18 @@ StatusOr<std::string> StripedBackend::Get(Key k) {
   return inner_->Get(k);
 }
 
+StatusOr<std::string> StripedBackend::GetStale(Key k) {
+  // The striped fast paths require replicas == 1 (asserted at
+  // construction), so the inner cache has no mirror tier and answers
+  // NotFound without touching any node; the lock discipline still mirrors
+  // Get in case that invariant is ever relaxed.
+  std::shared_lock<std::shared_mutex> topo(topology_mutex_);
+  auto owner = inner_->OwnerOf(k);
+  if (!owner.ok()) return owner.status();
+  const std::lock_guard<std::mutex> stripe(StripeFor(*owner));
+  return inner_->GetStale(k);
+}
+
 Status StripedBackend::Put(Key k, std::string v) {
   {
     std::shared_lock<std::shared_mutex> topo(topology_mutex_);

@@ -48,6 +48,7 @@ class StripedBackend final : public CacheBackend {
   }
 
   [[nodiscard]] StatusOr<std::string> Get(Key k) override;
+  [[nodiscard]] StatusOr<std::string> GetStale(Key k) override;
   Status Put(Key k, std::string v) override;
   std::size_t EvictKeys(const std::vector<Key>& keys) override;
   std::vector<std::pair<Key, std::string>> ExtractKeys(

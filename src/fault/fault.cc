@@ -152,8 +152,7 @@ MigrationFault FaultInjector::OnMigrationStep(std::size_t index,
   return MigrationFault::kNone;
 }
 
-bool FaultInjector::OnServiceInvoke() {
-  const std::lock_guard<std::mutex> g(mutex_);
+bool FaultInjector::ServiceShouldFailLocked() {
   const std::size_t index = service_invocations_++;
   const bool scripted =
       std::find(plan_.service_failures.begin(), plan_.service_failures.end(),
@@ -164,6 +163,49 @@ bool FaultInjector::OnServiceInvoke() {
     return true;
   }
   return false;
+}
+
+bool FaultInjector::OnServiceInvoke() {
+  const std::lock_guard<std::mutex> g(mutex_);
+  return ServiceShouldFailLocked();
+}
+
+ServiceFault FaultInjector::OnServiceCall() {
+  const std::lock_guard<std::mutex> g(mutex_);
+  ServiceFault verdict;
+  verdict.fail = ServiceShouldFailLocked();
+  if (verdict.fail) return verdict;
+
+  // Scripted brownout windows first (strongest matching slowdown wins),
+  // then seeded background noise.
+  double multiplier = 1.0;
+  for (const ScriptedBrownout& rule : plan_.brownouts) {
+    if (service_slice_ >= rule.from_slice &&
+        service_slice_ < rule.from_slice + rule.slices) {
+      multiplier = std::max(multiplier, rule.latency_multiplier);
+    }
+  }
+  if (multiplier <= 1.0 && plan_.brownout_p > 0.0 &&
+      rng_.Chance(plan_.brownout_p)) {
+    multiplier = plan_.brownout_multiplier;
+  }
+  if (multiplier > 1.0) {
+    verdict.latency_multiplier = multiplier;
+    ++stats_.brownouts;
+    TraceFault(obs::kNoNode, obs::FaultCode::kBrownout,
+               static_cast<std::int64_t>(multiplier));
+  }
+  return verdict;
+}
+
+void FaultInjector::AdvanceServiceSlice() {
+  const std::lock_guard<std::mutex> g(mutex_);
+  ++service_slice_;
+}
+
+std::size_t FaultInjector::service_slice() const {
+  const std::lock_guard<std::mutex> g(mutex_);
+  return service_slice_;
 }
 
 void FaultInjector::MarkDown(std::uint64_t endpoint) {

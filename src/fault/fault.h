@@ -86,6 +86,19 @@ struct ScriptedMigrationFault {
   MigrationFault fault = MigrationFault::kAbort;
 };
 
+/// One scripted sustained brownout: every service invocation in time-step
+/// slices [from_slice, from_slice + slices) costs `latency_multiplier`× its
+/// normal execution time.  The slice counter advances via
+/// FaultInjector::AdvanceServiceSlice(), which the experiment driver calls
+/// alongside its EndTimeStep.  This is the deterministic way to trip the
+/// circuit breaker: a browned-out service still answers, just ruinously
+/// late (a ×10 brownout turns a 23 s miss into 230 s).
+struct ScriptedBrownout {
+  std::size_t from_slice = 0;
+  std::size_t slices = 1;
+  double latency_multiplier = 10.0;
+};
+
 struct FaultPlan {
   std::uint64_t seed = 0x5eedfa17ULL;
 
@@ -106,8 +119,14 @@ struct FaultPlan {
   /// Invocation indices (0-based, counting attempts) that always fail.
   std::vector<std::size_t> service_failures;
 
+  /// Probability an invocation is browned out (seeded background noise, on
+  /// top of the scripted schedule below), and the slowdown it applies.
+  double brownout_p = 0.0;
+  double brownout_multiplier = 10.0;
+
   std::vector<ScriptedCallFault> calls;
   std::vector<ScriptedMigrationFault> migrations;
+  std::vector<ScriptedBrownout> brownouts;
 };
 
 struct FaultStats {
@@ -118,6 +137,15 @@ struct FaultStats {
   std::uint64_t down_endpoint_drops = 0;  ///< of requests_dropped, to a dead node
   std::uint64_t migration_faults = 0;
   std::uint64_t service_failures = 0;
+  std::uint64_t brownouts = 0;  ///< invocations served with inflated latency
+};
+
+/// Verdict for one service invocation (FaultyService consults this).
+struct ServiceFault {
+  bool fail = false;
+  /// > 1.0 = the invocation succeeds but costs this multiple of its normal
+  /// execution time (brownout).
+  double latency_multiplier = 1.0;
 };
 
 class FaultInjector final : public net::CallInterceptor {
@@ -137,10 +165,21 @@ class FaultInjector final : public net::CallInterceptor {
   [[nodiscard]] MigrationFault OnMigrationStep(std::size_t index,
                                                MigrationStep step);
 
-  // --- service hook (driven by FaultyService) -----------------------------
+  // --- service hooks (driven by FaultyService) ----------------------------
 
   /// True => fail this invocation.
   [[nodiscard]] bool OnServiceInvoke();
+
+  /// Full verdict: failure plus any brownout slowdown for the current
+  /// service slice.  Supersedes OnServiceInvoke (which remains for callers
+  /// that only care about hard failures); both consume one invocation
+  /// index.
+  [[nodiscard]] ServiceFault OnServiceCall();
+
+  /// Advance the brownout slice counter; the experiment driver calls this
+  /// once per time step, next to its EndTimeStep.
+  void AdvanceServiceSlice();
+  [[nodiscard]] std::size_t service_slice() const;
 
   // --- endpoint liveness --------------------------------------------------
 
@@ -170,8 +209,12 @@ class FaultInjector final : public net::CallInterceptor {
   Rng rng_;
   std::set<std::uint64_t> down_;
   std::vector<std::size_t> call_rule_matches_;  ///< per scripted call rule
+  /// Requires mutex_ held; consumes one invocation index.
+  [[nodiscard]] bool ServiceShouldFailLocked();
+
   std::size_t migrations_started_ = 0;
   std::size_t service_invocations_ = 0;
+  std::size_t service_slice_ = 0;
   FaultStats stats_;
   obs::TraceLog* trace_ = nullptr;
   const VirtualClock* trace_clock_ = nullptr;

@@ -37,9 +37,21 @@ class FaultyService final : public service::Service {
   [[nodiscard]] StatusOr<service::ServiceResult> Invoke(
       const sfc::GeoTemporalQuery& q, VirtualClock* clock) override {
     ++attempts_;
-    if (injector_->OnServiceInvoke()) {
+    const ServiceFault fault = injector_->OnServiceCall();
+    if (fault.fail) {
       if (clock != nullptr) clock->Advance(failure_cost_);
       return Status::Unavailable("injected service failure");
+    }
+    if (fault.latency_multiplier > 1.0) {
+      // Brownout: the answer arrives, just N× late.  Measure the normal
+      // cost on a scratch clock, then charge the inflated cost.
+      VirtualClock scratch;
+      auto result = inner_->Invoke(q, &scratch);
+      const Duration inflated =
+          (scratch.now() - TimePoint::Epoch()) * fault.latency_multiplier;
+      if (clock != nullptr) clock->Advance(inflated);
+      if (result.ok()) result->exec_time = inflated;
+      return result;
     }
     return inner_->Invoke(q, clock);
   }

@@ -86,7 +86,8 @@ StatusOr<Message> LoopbackChannel::Call(const Message& request) {
 StatusOr<Message> CallWithRetry(LoopbackChannel& channel,
                                 const Message& request,
                                 const RetryPolicy& policy,
-                                RetryStats* stats, obs::TraceLog* trace) {
+                                RetryStats* stats, obs::TraceLog* trace,
+                                Deadline deadline) {
   const std::size_t attempts = std::max<std::size_t>(1, policy.max_attempts);
   const auto now = [&channel] {
     return channel.clock() != nullptr ? channel.clock()->now()
@@ -95,6 +96,16 @@ StatusOr<Message> CallWithRetry(LoopbackChannel& channel,
   Duration backoff = policy.initial_backoff;
   Status last = Status::Unavailable("no attempt made");
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (deadline.Expired()) {
+      // No attempt is allowed to *start* past the deadline; the overshoot
+      // is whatever the in-flight attempt (timeout included) already burned.
+      if (stats != nullptr) ++stats->deadline_clipped;
+      obs::Emit(trace,
+                obs::DeadlineExceededEvent(
+                    now(), obs::kNoKey,
+                    deadline.clock->now() - deadline.at));
+      return Status::DeadlineExceeded("retry budget clipped by deadline");
+    }
     if (stats != nullptr) {
       ++stats->attempts;
       if (attempt > 0) ++stats->retries;
@@ -111,14 +122,20 @@ StatusOr<Message> CallWithRetry(LoopbackChannel& channel,
       return response.status();
     }
     last = response.status();
-    // The attempt is only known dead after the detection timeout elapses.
-    if (channel.clock() != nullptr) {
-      channel.clock()->Advance(policy.attempt_timeout);
-    }
-    if (stats != nullptr) stats->time_waiting += policy.attempt_timeout;
+    // The attempt is only known dead after the detection timeout elapses
+    // (clamped to the deadline budget — there is no point waiting out a
+    // timeout the caller will not honor).
+    const Duration timeout =
+        std::min(policy.attempt_timeout, deadline.Remaining());
+    if (channel.clock() != nullptr) channel.clock()->Advance(timeout);
+    if (stats != nullptr) stats->time_waiting += timeout;
     if (attempt + 1 < attempts) {
-      if (channel.clock() != nullptr) channel.clock()->Advance(backoff);
-      if (stats != nullptr) stats->time_waiting += backoff;
+      const Duration wait = std::min(backoff, deadline.Remaining());
+      if (channel.clock() != nullptr) channel.clock()->Advance(wait);
+      if (stats != nullptr) {
+        stats->time_waiting += wait;
+        stats->time_backing_off += wait;
+      }
       backoff = std::min(policy.max_backoff,
                          backoff * policy.backoff_multiplier);
     }

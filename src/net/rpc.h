@@ -140,7 +140,14 @@ struct RetryStats {
   std::uint64_t attempts = 0;   ///< calls issued (first try included)
   std::uint64_t retries = 0;    ///< attempts beyond the first
   std::uint64_t exhausted = 0;  ///< calls that failed every attempt
-  Duration time_waiting;        ///< timeout + backoff charged to the clock
+  /// Calls abandoned because the caller's deadline expired before the next
+  /// attempt could start.
+  std::uint64_t deadline_clipped = 0;
+  Duration time_waiting;      ///< timeout + backoff charged to the clock
+  /// Backoff-only portion of time_waiting (detection timeouts excluded).
+  /// Deadline accounting needs the split: backoff is time the caller chose
+  /// to burn, timeouts are time the network forced on it.
+  Duration time_backing_off;
 };
 
 /// Issue `request` through `channel`, retrying transient (Unavailable)
@@ -152,10 +159,18 @@ struct RetryStats {
 /// one kRpcRetry event per attempt beyond the first and a kRpcFailure when
 /// the budget is exhausted, stamped from the channel's clock (epoch when
 /// the channel carries none) and labeled with the channel's endpoint.
+///
+/// An active `deadline` (see common/time.h) clips the retry budget: no
+/// attempt starts once the deadline has expired on *its own* clock (the
+/// call returns DeadlineExceeded and emits a kDeadlineExceeded trace
+/// event), and timeout/backoff charges to the channel clock are clamped to
+/// the remaining budget so a retry loop can overshoot the deadline by at
+/// most the one attempt already in flight.
 [[nodiscard]] StatusOr<Message> CallWithRetry(LoopbackChannel& channel,
                                               const Message& request,
                                               const RetryPolicy& policy,
                                               RetryStats* stats = nullptr,
-                                              obs::TraceLog* trace = nullptr);
+                                              obs::TraceLog* trace = nullptr,
+                                              Deadline deadline = {});
 
 }  // namespace ecc::net

@@ -20,6 +20,10 @@ const char* EventKindName(EventKind k) {
     case EventKind::kRpcRetry: return "rpc_retry";
     case EventKind::kRpcFailure: return "rpc_failure";
     case EventKind::kFaultInjected: return "fault_injected";
+    case EventKind::kLoadShed: return "load_shed";
+    case EventKind::kBreaker: return "breaker";
+    case EventKind::kStaleServe: return "stale_serve";
+    case EventKind::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }
@@ -45,6 +49,35 @@ const char* OutcomeName(std::int64_t code) {
     case QueryOutcomeKind::kHit: return "hit";
     case QueryOutcomeKind::kMiss: return "miss";
     case QueryOutcomeKind::kCoalesced: return "coalesced";
+    case QueryOutcomeKind::kShed: return "shed";
+    case QueryOutcomeKind::kStale: return "stale";
+  }
+  return "unknown";
+}
+
+const char* ShedCodeName(std::int64_t code) {
+  switch (static_cast<ShedCode>(code)) {
+    case ShedCode::kQueueFull: return "queue_full";
+    case ShedCode::kBreakerOpen: return "breaker_open";
+    case ShedCode::kDropped: return "dropped";
+    case ShedCode::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
+const char* StaleSourceName(std::int64_t code) {
+  switch (static_cast<StaleSource>(code)) {
+    case StaleSource::kReplica: return "replica";
+    case StaleSource::kSpill: return "spill";
+  }
+  return "unknown";
+}
+
+const char* BreakerStateName(std::int64_t code) {
+  switch (static_cast<BreakerStateCode>(code)) {
+    case BreakerStateCode::kClosed: return "closed";
+    case BreakerStateCode::kOpen: return "open";
+    case BreakerStateCode::kHalfOpen: return "half_open";
   }
   return "unknown";
 }
@@ -57,6 +90,7 @@ const char* FaultCodeName(std::int64_t code) {
     case FaultCode::kMigrationAbort: return "migration_abort";
     case FaultCode::kMigrationCrashSource: return "migration_crash_source";
     case FaultCode::kMigrationCrashDest: return "migration_crash_dest";
+    case FaultCode::kBrownout: return "brownout";
   }
   return "unknown";
 }
@@ -162,6 +196,31 @@ TraceEvent FaultInjectedEvent(TimePoint t, std::uint64_t node, FaultCode code,
               static_cast<std::int64_t>(code), arg, 0);
 }
 
+TraceEvent LoadShedEvent(TimePoint t, std::uint64_t key, ShedCode reason) {
+  return Make(t, EventKind::kLoadShed, kNoNode, key,
+              static_cast<std::int64_t>(reason), 0, 0);
+}
+
+TraceEvent BreakerEvent(TimePoint t, BreakerStateCode from,
+                        BreakerStateCode to) {
+  return Make(t, EventKind::kBreaker, kNoNode, kNoKey,
+              static_cast<std::int64_t>(from), static_cast<std::int64_t>(to),
+              0);
+}
+
+TraceEvent StaleServeEvent(TimePoint t, std::uint64_t key, StaleSource source,
+                           std::uint64_t age_slices) {
+  return Make(t, EventKind::kStaleServe, kNoNode, key,
+              static_cast<std::int64_t>(source),
+              static_cast<std::int64_t>(age_slices), 0);
+}
+
+TraceEvent DeadlineExceededEvent(TimePoint t, std::uint64_t key,
+                                 Duration overshoot) {
+  return Make(t, EventKind::kDeadlineExceeded, kNoNode, key,
+              overshoot.micros(), 0, 0);
+}
+
 TraceLog::TraceLog(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
   ring_.reserve(std::min<std::size_t>(capacity_, 1024));
@@ -265,6 +324,20 @@ std::string EventToJson(const TraceEvent& e) {
     case EventKind::kFaultInjected:
       AppendField(out, "fault", FaultCodeName(e.a));
       AppendField(out, "arg", e.b);
+      break;
+    case EventKind::kLoadShed:
+      AppendField(out, "reason", ShedCodeName(e.a));
+      break;
+    case EventKind::kBreaker:
+      AppendField(out, "from", BreakerStateName(e.a));
+      AppendField(out, "to", BreakerStateName(e.b));
+      break;
+    case EventKind::kStaleServe:
+      AppendField(out, "source", StaleSourceName(e.a));
+      AppendField(out, "age_slices", e.b);
+      break;
+    case EventKind::kDeadlineExceeded:
+      AppendField(out, "overshoot_us", e.a);
       break;
   }
   out += '}';

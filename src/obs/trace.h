@@ -36,13 +36,39 @@ enum class EventKind : std::uint8_t {
   kRpcRetry,          ///< an RPC attempt beyond the first was issued
   kRpcFailure,        ///< an RPC exhausted its retry budget
   kFaultInjected,     ///< the injector perturbed a call or migration step
+  kLoadShed,          ///< admission/breaker refused a miss (a = ShedCode)
+  kBreaker,           ///< circuit-breaker transition (a = from, b = to)
+  kStaleServe,        ///< degraded answer (a = source, b = age in slices)
+  kDeadlineExceeded,  ///< a query/RPC ran past its deadline (a = over_us)
 };
-inline constexpr int kEventKindCount = 12;
+inline constexpr int kEventKindCount = 16;
 
 [[nodiscard]] const char* EventKindName(EventKind k);
 
-/// Query outcome codes carried in kQueryEnd's `a` field.
-enum class QueryOutcomeKind : int { kHit = 0, kMiss = 1, kCoalesced = 2 };
+/// Query outcome codes carried in kQueryEnd's `a` field.  kShed = refused
+/// under overload with no answer; kStale = answered from a degraded source
+/// (mirror replica or spill tier) while the service was protected.
+enum class QueryOutcomeKind : int {
+  kHit = 0,
+  kMiss = 1,
+  kCoalesced = 2,
+  kShed = 3,
+  kStale = 4,
+};
+
+/// Why a query was shed, carried in kLoadShed's `a` field.
+enum class ShedCode : int {
+  kQueueFull = 0,     ///< admission queue at capacity (reject-new)
+  kBreakerOpen = 1,   ///< circuit breaker refused the service call
+  kDropped = 2,       ///< evicted from the queue by a newer miss (drop-oldest)
+  kDeadline = 3,      ///< deadline expired before the service call started
+};
+
+/// Degraded-answer source, carried in kStaleServe's `a` field.
+enum class StaleSource : int { kReplica = 0, kSpill = 1 };
+
+/// Circuit-breaker states, carried in kBreaker's `a`/`b` fields.
+enum class BreakerStateCode : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
 
 /// Fault category codes carried in kFaultInjected's `a` field.
 enum class FaultCode : int {
@@ -52,6 +78,7 @@ enum class FaultCode : int {
   kMigrationAbort = 3,
   kMigrationCrashSource = 4,
   kMigrationCrashDest = 5,
+  kBrownout = 6,  ///< service latency inflated (arg = multiplier)
 };
 
 inline constexpr std::uint64_t kNoNode = ~0ull;
@@ -100,6 +127,15 @@ struct TraceEvent {
                                          std::uint64_t attempts);
 [[nodiscard]] TraceEvent FaultInjectedEvent(TimePoint t, std::uint64_t node,
                                             FaultCode code, std::int64_t arg);
+[[nodiscard]] TraceEvent LoadShedEvent(TimePoint t, std::uint64_t key,
+                                       ShedCode reason);
+[[nodiscard]] TraceEvent BreakerEvent(TimePoint t, BreakerStateCode from,
+                                      BreakerStateCode to);
+[[nodiscard]] TraceEvent StaleServeEvent(TimePoint t, std::uint64_t key,
+                                         StaleSource source,
+                                         std::uint64_t age_slices);
+[[nodiscard]] TraceEvent DeadlineExceededEvent(TimePoint t, std::uint64_t key,
+                                               Duration overshoot);
 
 class TraceLog {
  public:

@@ -1,0 +1,151 @@
+#include "overload/breaker.h"
+
+#include <algorithm>
+
+namespace ecc::overload {
+
+namespace {
+
+obs::BreakerStateCode Code(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return obs::BreakerStateCode::kClosed;
+    case BreakerState::kOpen: return obs::BreakerStateCode::kOpen;
+    case BreakerState::kHalfOpen: return obs::BreakerStateCode::kHalfOpen;
+  }
+  return obs::BreakerStateCode::kClosed;
+}
+
+}  // namespace
+
+const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions opts, obs::TraceLog* trace)
+    : opts_(opts), trace_(trace) {}
+
+void CircuitBreaker::BindMetrics(obs::Counter opens,
+                                 obs::Counter rejections) {
+  const std::lock_guard<std::mutex> g(mutex_);
+  opens_counter_ = opens;
+  rejections_counter_ = rejections;
+}
+
+BreakerState CircuitBreaker::state() const {
+  const std::lock_guard<std::mutex> g(mutex_);
+  return state_;
+}
+
+BreakerStats CircuitBreaker::stats() const {
+  const std::lock_guard<std::mutex> g(mutex_);
+  return stats_;
+}
+
+void CircuitBreaker::TransitionLocked(BreakerState to, TimePoint now) {
+  if (to == state_) return;
+  obs::Emit(trace_, obs::BreakerEvent(now, Code(state_), Code(to)));
+  state_ = to;
+  switch (to) {
+    case BreakerState::kOpen:
+      opened_at_ = high_water_;
+      ++stats_.opens;
+      opens_counter_.Inc();
+      break;
+    case BreakerState::kHalfOpen:
+      probes_issued_ = 0;
+      probe_successes_ = 0;
+      break;
+    case BreakerState::kClosed:
+      // A fresh start: the window that justified opening is history.
+      window_.clear();
+      window_failures_ = 0;
+      ++stats_.closes;
+      break;
+  }
+}
+
+void CircuitBreaker::PruneLocked() {
+  const TimePoint cutoff = high_water_ - opts_.window;
+  while (!window_.empty() && window_.front().t < cutoff) {
+    if (window_.front().failure) --window_failures_;
+    window_.pop_front();
+  }
+}
+
+bool CircuitBreaker::OverThresholdLocked() const {
+  if (window_.size() < std::max<std::size_t>(1, opts_.min_samples)) {
+    return false;
+  }
+  const double rate = static_cast<double>(window_failures_) /
+                      static_cast<double>(window_.size());
+  return rate >= opts_.failure_threshold;
+}
+
+bool CircuitBreaker::Allow(TimePoint now) {
+  const std::lock_guard<std::mutex> g(mutex_);
+  high_water_ = std::max(high_water_, now);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (high_water_ - opened_at_ >= opts_.open_cooldown) {
+        TransitionLocked(BreakerState::kHalfOpen, now);
+        ++probes_issued_;
+        ++stats_.probes;
+        return true;
+      }
+      ++stats_.rejections;
+      rejections_counter_.Inc();
+      return false;
+    case BreakerState::kHalfOpen:
+      if (probes_issued_ < std::max<std::size_t>(1, opts_.half_open_probes)) {
+        ++probes_issued_;
+        ++stats_.probes;
+        return true;
+      }
+      ++stats_.rejections;
+      rejections_counter_.Inc();
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::Record(TimePoint now, bool ok, Duration latency) {
+  const std::lock_guard<std::mutex> g(mutex_);
+  high_water_ = std::max(high_water_, now);
+  const bool slow = ok && opts_.slow_call_threshold > Duration::Zero() &&
+                    latency >= opts_.slow_call_threshold;
+  const bool failure = !ok || slow;
+  switch (state_) {
+    case BreakerState::kClosed: {
+      window_.push_back(Sample{high_water_, failure});
+      if (failure) ++window_failures_;
+      PruneLocked();
+      if (OverThresholdLocked()) TransitionLocked(BreakerState::kOpen, now);
+      break;
+    }
+    case BreakerState::kHalfOpen: {
+      if (failure) {
+        // The service is still sick; back to open for another cooldown.
+        TransitionLocked(BreakerState::kOpen, now);
+        break;
+      }
+      ++probe_successes_;
+      if (probe_successes_ >=
+          std::max<std::size_t>(1, opts_.half_open_successes)) {
+        TransitionLocked(BreakerState::kClosed, now);
+      }
+      break;
+    }
+    case BreakerState::kOpen:
+      // A straggler finishing after the trip; the verdict is already in.
+      break;
+  }
+}
+
+}  // namespace ecc::overload

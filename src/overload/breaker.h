@@ -1,0 +1,117 @@
+// Circuit breaker for the backing web service.
+//
+// A miss costs ~23 s of simulated service time, so a browned-out or crashed
+// service must fail *fast*: the breaker watches a sliding failure-rate
+// window over virtual time and, once the rate crosses a threshold, refuses
+// calls outright (open) until a cooldown elapses, then lets a bounded
+// number of probes through (half-open) before either closing again or
+// re-opening.  Callers that are refused fall back to degraded answers
+// (stale replica / spill copies) instead of queueing behind a dead service.
+//
+// Time discipline: every method takes an explicit TimePoint.  The parallel
+// front-end charges per-worker private clocks that are mutually unordered,
+// so the breaker tracks a high-water mark and evaluates windows and
+// cooldowns against it — a stale `now` from a lagging worker can never
+// rewind a transition.  This also makes the state machine table-testable
+// with hand-picked instants and no clock object at all.
+//
+// Thread-safe: one mutex; Allow/Record are short critical sections.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/time.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ecc::overload {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+[[nodiscard]] const char* BreakerStateName(BreakerState s);
+
+struct BreakerOptions {
+  /// Sliding window the failure rate is computed over.
+  Duration window = Duration::Seconds(60);
+  /// Minimum samples in the window before the rate is trusted at all.
+  std::size_t min_samples = 8;
+  /// Open when failures / samples >= this (with min_samples met).
+  double failure_threshold = 0.5;
+  /// Virtual time spent open before probing again.
+  Duration open_cooldown = Duration::Seconds(120);
+  /// Probe calls admitted while half-open.
+  std::size_t half_open_probes = 3;
+  /// Probe successes required to close (<= half_open_probes).
+  std::size_t half_open_successes = 2;
+  /// Successful calls at least this slow count as failures (a brownout
+  /// serves answers, just ruinously late).  Zero disables slow-call
+  /// accounting and only errors count.
+  Duration slow_call_threshold = Duration::Zero();
+};
+
+struct BreakerStats {
+  std::uint64_t opens = 0;       ///< transitions into kOpen (incl. re-opens)
+  std::uint64_t closes = 0;      ///< recoveries into kClosed
+  std::uint64_t rejections = 0;  ///< Allow() == false
+  std::uint64_t probes = 0;      ///< calls admitted while half-open
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerOptions opts = {},
+                          obs::TraceLog* trace = nullptr);
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// May a service call start at `now`?  Open → false until the cooldown
+  /// elapses (the elapse itself flips to half-open and admits a probe);
+  /// half-open → true only while probe slots remain.
+  [[nodiscard]] bool Allow(TimePoint now);
+
+  /// Report the outcome of a call that Allow() admitted.  `latency` feeds
+  /// slow-call accounting when the call succeeded.
+  void Record(TimePoint now, bool ok, Duration latency = Duration::Zero());
+
+  void RecordSuccess(TimePoint now, Duration latency = Duration::Zero()) {
+    Record(now, true, latency);
+  }
+  void RecordFailure(TimePoint now) { Record(now, false); }
+
+  [[nodiscard]] BreakerState state() const;
+  [[nodiscard]] BreakerStats stats() const;
+
+  /// Null-safe metric hookup; counters tick on open / rejection.
+  void BindMetrics(obs::Counter opens, obs::Counter rejections);
+
+ private:
+  struct Sample {
+    TimePoint t;
+    bool failure = false;
+  };
+
+  void TransitionLocked(BreakerState to, TimePoint now);
+  void PruneLocked();
+  [[nodiscard]] bool OverThresholdLocked() const;
+
+  const BreakerOptions opts_;
+  obs::TraceLog* trace_;
+
+  mutable std::mutex mutex_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::deque<Sample> window_;
+  std::size_t window_failures_ = 0;
+  /// Latest instant seen across all callers; windows and cooldowns are
+  /// evaluated against this so lagging per-worker clocks cannot rewind.
+  TimePoint high_water_;
+  TimePoint opened_at_;
+  std::size_t probes_issued_ = 0;
+  std::size_t probe_successes_ = 0;
+  BreakerStats stats_;
+  obs::Counter opens_counter_;
+  obs::Counter rejections_counter_;
+};
+
+}  // namespace ecc::overload

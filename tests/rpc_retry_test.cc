@@ -81,6 +81,7 @@ TEST(RpcRetryTest, TransientDropsRetriedWithBackoffOnVirtualClock) {
   EXPECT_EQ(rs.time_waiting,
             Duration::Millis(50) * 2.0 + Duration::Millis(5) +
                 Duration::Millis(10));
+  EXPECT_EQ(rs.time_backing_off, Duration::Millis(15));  // 5 + 10
   EXPECT_GE(clock.now().micros(), rs.time_waiting.micros());
   EXPECT_EQ(injector.stats().requests_dropped, 2u);
 }
@@ -108,6 +109,8 @@ TEST(RpcRetryTest, PermanentFailureSurfacesUnavailableAfterBudget) {
                                  Duration::Millis(5) + Duration::Millis(10) +
                                  Duration::Millis(20);
   EXPECT_EQ(rs.time_waiting, expected_wait);
+  EXPECT_EQ(rs.time_backing_off,
+            Duration::Millis(5) + Duration::Millis(10) + Duration::Millis(20));
   EXPECT_GE(clock.now() - before, expected_wait);
   EXPECT_EQ(injector.stats().down_endpoint_drops, 4u);
 
@@ -213,6 +216,55 @@ TEST(RpcRetryTest, FaultSeedFromEnvParsesOverride) {
   ASSERT_EQ(setenv("ECC_FAULT_SEED", "0xabc", 1), 0);
   EXPECT_EQ(fault::FaultSeedFromEnv(42), 0xabcu);
   ASSERT_EQ(unsetenv("ECC_FAULT_SEED"), 0);
+}
+
+TEST(RpcRetryTest, DeadlineClipsRetryBudget) {
+  CountingServer cs;
+  VirtualClock clock;
+  LoopbackChannel channel(&cs.server, NetworkModel{}, &clock);
+
+  fault::FaultInjector injector;
+  channel.BindInterceptor(&injector, 3);
+  injector.MarkDown(3);
+
+  // 60 ms of budget against a policy that would burn ~235 ms: attempt 0
+  // charges its full 50 ms timeout + 5 ms backoff, attempt 1's timeout is
+  // clamped to the 5 ms remaining, and attempt 2 never starts.
+  const Deadline deadline{&clock, clock.now() + Duration::Millis(60)};
+  RetryStats rs;
+  const TimePoint before = clock.now();
+  auto resp = CallWithRetry(channel, GetRequest{1}.Encode(), TestPolicy(),
+                            &rs, nullptr, deadline);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(cs.handled, 0u);
+  EXPECT_EQ(rs.attempts, 2u);
+  EXPECT_EQ(rs.retries, 1u);
+  EXPECT_EQ(rs.deadline_clipped, 1u);
+  EXPECT_EQ(rs.exhausted, 0u);  // clipped, not exhausted
+  EXPECT_EQ(rs.time_backing_off, Duration::Millis(5));
+  // The overshoot bound the coordinator's deadline math relies on: at most
+  // one attempt timeout past the deadline.
+  EXPECT_LE(clock.now() - before,
+            Duration::Millis(60) + TestPolicy().attempt_timeout);
+}
+
+TEST(RpcRetryTest, ExpiredDeadlineShortCircuitsBeforeAnyAttempt) {
+  CountingServer cs;
+  VirtualClock clock;
+  LoopbackChannel channel(&cs.server, NetworkModel{}, &clock);
+
+  const Deadline deadline{&clock, clock.now() + Duration::Millis(1)};
+  clock.Advance(Duration::Millis(2));  // budget already spent
+
+  RetryStats rs;
+  auto resp = CallWithRetry(channel, GetRequest{1}.Encode(), TestPolicy(),
+                            &rs, nullptr, deadline);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(rs.attempts, 0u);
+  EXPECT_EQ(rs.deadline_clipped, 1u);
+  EXPECT_EQ(cs.handled, 0u);  // the wire was never touched
 }
 
 TEST(RpcRetryTest, FaultyServiceFailsScriptedInvocations) {
