@@ -35,6 +35,11 @@ SCHEMAS = {
     "breaker": {"from": str, "to": str},
     "stale_serve": {"source": str, "age_slices": int},
     "deadline_exceeded": {"overshoot_us": int},
+    "node_suspected": {"node": int, "suspicion": int},
+    "node_confirmed_dead": {"node": int, "missed": int},
+    "rereplicate": {"recovered": int, "from_spill": int,
+                    "unrecoverable": int},
+    "scrub_repair": {"key": int, "kind": str},
 }
 
 OPTIONAL = {"node": int, "key": int}
@@ -45,6 +50,7 @@ FAULTS = {"drop_request", "drop_response", "delay", "migration_abort",
 SHED_REASONS = {"queue_full", "breaker_open", "dropped", "deadline"}
 BREAKER_STATES = {"closed", "open", "half_open"}
 STALE_SOURCES = {"replica", "spill"}
+SCRUB_KINDS = {"missing_mirror", "conflict"}
 
 # Sweep-and-migrate has six phase steps (fault::MigrationStep).
 MAX_MIGRATION_STEP = 5
@@ -112,6 +118,18 @@ def check_line(path, lineno, line):
         fail(path, lineno, f"negative staleness: {event['age_slices']}")
     if kind == "deadline_exceeded" and event["overshoot_us"] < 0:
         fail(path, lineno, f"negative overshoot: {event['overshoot_us']}")
+    if kind == "node_suspected" and event["suspicion"] < 1:
+        fail(path, lineno, f"bad suspicion count: {event['suspicion']}")
+    if kind == "node_confirmed_dead" and event["missed"] < 1:
+        fail(path, lineno, f"bad missed-probe count: {event['missed']}")
+    if kind == "rereplicate" and (
+            event["recovered"] < 0 or event["from_spill"] < 0
+            or event["unrecoverable"] < 0
+            or event["from_spill"] > event["recovered"]):
+        fail(path, lineno,
+             f"inconsistent rereplicate counts: {event!r}")
+    if kind == "scrub_repair" and event["kind"] not in SCRUB_KINDS:
+        fail(path, lineno, f"bad scrub repair kind: {event['kind']!r}")
 
 
 def validate(path):

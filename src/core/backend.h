@@ -13,6 +13,10 @@
 #include "core/types.h"
 #include "obs/telemetry.h"
 
+namespace ecc::cloudsim {
+class PersistentStore;
+}  // namespace ecc::cloudsim
+
 namespace ecc::core {
 
 /// Counters every backend maintains.  Durations are virtual time.
@@ -69,6 +73,14 @@ class CacheBackend {
   [[nodiscard]] virtual StatusOr<std::string> GetStale(Key k) {
     (void)k;
     return Status::NotFound("no stale source");
+  }
+
+  /// Attach the coordinator's spill tier (not owned; nullptr detaches).
+  /// Backends that know about it widen GetStale to probe the spilled copy
+  /// when no in-cache redundancy exists, and count spill-salvageable
+  /// records in crash reports.  The default ignores it.
+  virtual void AttachSpillStore(cloudsim::PersistentStore* store) {
+    (void)store;
   }
 
   /// Store (k, v), triggering whatever elasticity/eviction the backend

@@ -244,6 +244,9 @@ TimeStepReport Coordinator::EndTimeStep() {
     telemetry_->Sample(static_cast<double>(steps_ended_),
                        cache_->NodeLoads());
   }
+  // Background maintenance (failure detection / recovery / scrub) runs at
+  // the same quiesced boundary, with the topology safe to mutate.
+  if (maintenance_ != nullptr) maintenance_->Tick();
   ++steps_ended_;
 
   // Entries past the stale bound can never be served again; drop them.

@@ -21,6 +21,7 @@
 #include "common/time.h"
 #include "core/backend.h"
 #include "core/dynamic_window.h"
+#include "core/maintenance.h"
 #include "core/sliding_window.h"
 #include "core/types.h"
 #include "obs/obs.h"
@@ -98,10 +99,20 @@ class Coordinator {
 
   /// Attach an S3-like second tier (paper §IV.D): decay-evicted records
   /// spill there instead of vanishing, and misses probe it before falling
-  /// back to the 23 s service.  Pass nullptr to detach.  Not owned.
+  /// back to the 23 s service.  Pass nullptr to detach.  Not owned.  Also
+  /// forwarded to the backend, so single-copy fleets can answer shed
+  /// queries from the spilled copy and crash reports can count
+  /// spill-salvageable records (this front-end is single-threaded, so the
+  /// shared store needs no extra locking).
   void AttachSpillStore(cloudsim::PersistentStore* store) {
     spill_ = store;
+    cache_->AttachSpillStore(store);
   }
+
+  /// Attach a background maintenance task (failure detection, recovery,
+  /// anti-entropy scrub — see src/recovery/).  Ticked once per EndTimeStep,
+  /// at the quiesced slice boundary.  Not owned; nullptr detaches.
+  void AttachMaintenance(MaintenanceTask* task) { maintenance_ = task; }
 
   /// Misses answered from the spill tier (no service invocation).
   [[nodiscard]] std::uint64_t spill_hits() const { return spill_hits_; }
@@ -131,6 +142,7 @@ class Coordinator {
   CoordinatorOptions opts_;
   CacheBackend* cache_;
   cloudsim::PersistentStore* spill_ = nullptr;
+  MaintenanceTask* maintenance_ = nullptr;
   std::uint64_t spill_hits_ = 0;
   std::uint64_t spill_puts_ = 0;
   service::Service* service_;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "cloudsim/persistent_store.h"
 #include "common/log.h"
 #include "net/message.h"
 #include "overload/overload.h"
@@ -182,7 +183,16 @@ StatusOr<std::string> ElasticCache::Get(Key k) {
 }
 
 StatusOr<std::string> ElasticCache::GetStale(Key k) {
-  if (opts_.replicas < 2) return Status::NotFound("no replica tier");
+  if (opts_.replicas < 2) {
+    // Single-copy fleet: the spill tier is the only redundancy.  The
+    // object-store Get charges its own (considerable) latency — the honest
+    // price of a degraded answer without a mirror.
+    if (spill_ != nullptr) {
+      auto spilled = spill_->Get(k);
+      if (spilled.ok()) return spilled;
+    }
+    return Status::NotFound("no replica tier");
+  }
   auto replica_owner = ReplicaOwnerOf(k);
   if (!replica_owner.ok()) return replica_owner.status();
   clock_->Advance(opts_.local_op_time);  // h(k) + dispatch
@@ -813,14 +823,26 @@ KillReport ElasticCache::CrashNodeInternal(NodeId id) {
   // different, living node that holds it.
   for (auto rec = victim.tree().Begin(); rec.valid(); rec.Next()) {
     report.keys_dropped.push_back(rec.key());
+    bool recoverable = false;
     if (opts_.replicas >= 2) {
       const Key mirror = MirrorKey(rec.key());
       auto other = ring_.Lookup(mirror);
       if (other.ok() && *other != id &&
           Entry(*other).node->Contains(mirror)) {
-        ++report.records_recoverable;
+        recoverable = true;
       }
     }
+    if (!recoverable && spill_ != nullptr) {
+      // No live mirror, but the spill tier may hold the record (under its
+      // logical primary key — normalize a dropped mirror copy first).
+      // Contains() is free: accounting must not charge object-store reads.
+      const Key logical =
+          (opts_.replicas >= 2 && rec.key() >= opts_.ring.range / 2)
+              ? MirrorKey(rec.key())
+              : rec.key();
+      recoverable = spill_->Contains(logical);
+    }
+    if (recoverable) ++report.records_recoverable;
   }
 
   // Repoint every bucket of the dead node at its arc's successor owner
@@ -998,6 +1020,45 @@ std::vector<NodeSnapshot> ElasticCache::Snapshot() const {
 const CacheNode* ElasticCache::GetNode(NodeId id) const {
   const auto it = nodes_.find(id);
   return it == nodes_.end() ? nullptr : it->second.node.get();
+}
+
+std::vector<NodeId> ElasticCache::NodeIds() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, entry] : nodes_) {
+    (void)entry;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+bool ElasticCache::ProbeNode(NodeId id) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) return false;
+  // One STATS round trip on the background channel: zero virtual-time
+  // charge (heartbeats must not slow queries), single attempt (the
+  // detector's suspicion counter absorbs transient loss, not a retry
+  // loop that would mask a dead node for N x timeout).
+  net::StatsRequest req;
+  auto resp_msg = it->second.bg_channel->Call(req.Encode());
+  if (!resp_msg.ok()) return false;
+  return net::StatsResponse::Decode(*resp_msg).ok();
+}
+
+void ElasticCache::ErasePhysicalRecord(Key k) {
+  auto owner = ring_.Lookup(k);
+  if (!owner.ok()) return;
+  // Repair primitive: RPC with direct-shard fallback, no eviction
+  // accounting (the record is being replaced or rolled back, not evicted).
+  EraseKeysReliable(Entry(*owner), {k});
+}
+
+void ElasticCache::WriteMirror(Key k, const std::string& v) {
+  assert(opts_.replicas >= 2 && k < opts_.ring.range / 2);
+  // Plain puts are idempotent (an existing copy is never overwritten), so
+  // a divergent mirror must be erased before the fresh copy is stored.
+  ErasePhysicalRecord(MirrorKey(k));
+  StoreReplica(k, v);
 }
 
 std::vector<obs::NodeLoad> ElasticCache::NodeLoads() const {

@@ -150,8 +150,18 @@ class ElasticCache final : public CacheBackend {
   /// MirrorKey(k).  A mirror can outlive the primary when the eviction
   /// ERASE that should have removed it was lost (its response is ignored —
   /// fault-droppable), which is exactly the stale redundancy this serves.
-  /// Requires `replicas >= 2`; NotFound otherwise.
+  /// Under `replicas == 1` there is no mirror tier; with a spill store
+  /// attached (AttachSpillStore) the spilled copy is probed instead, so
+  /// single-copy fleets can still answer degraded — NotFound otherwise.
   [[nodiscard]] StatusOr<std::string> GetStale(Key k) override;
+
+  /// Bind the coordinator's spill tier so GetStale (replicas == 1) and
+  /// KillNode recoverability accounting can consult it.  Not owned;
+  /// nullptr detaches.  Callers sharing the store across threads must
+  /// serialize externally (PersistentStore is not thread-safe).
+  void AttachSpillStore(cloudsim::PersistentStore* store) override {
+    spill_ = store;
+  }
 
   Status Put(Key k, std::string v) override;
 
@@ -224,6 +234,33 @@ class ElasticCache final : public CacheBackend {
   /// tests of sweep coverage.
   [[nodiscard]] std::vector<std::pair<Key, Key>> ArcKeyRanges(
       const hashring::Arc& arc) const;
+
+  // --- Recovery hooks (src/recovery/) -------------------------------------
+
+  /// Live node ids, ring order not guaranteed.
+  [[nodiscard]] std::vector<NodeId> NodeIds() const;
+
+  /// One liveness probe: a single STATS round trip on `id`'s background
+  /// channel (no virtual-time charge, single attempt — the failure
+  /// detector's suspicion counter is the retry policy).  False when the
+  /// node is unknown or the probe was lost/refused.
+  [[nodiscard]] bool ProbeNode(NodeId id);
+
+  /// Remove the physical record at hash-line position `k` wherever it
+  /// routes, with no eviction accounting — a repair primitive, not an
+  /// eviction (scrub conflict repair, recovery rollback).
+  void ErasePhysicalRecord(Key k);
+
+  /// Overwrite k's mirror copy with `v` (erase-then-store: plain puts are
+  /// idempotent and would never replace a divergent value).  Primary key
+  /// expected (lower half of the hash line); requires replicas >= 2.
+  void WriteMirror(Key k, const std::string& v);
+
+  /// The attached spill tier, if any (recovery salvages from it when no
+  /// live copy survives a crash).
+  [[nodiscard]] cloudsim::PersistentStore* spill_store() const {
+    return spill_;
+  }
 
  private:
   struct NodeEntry {
@@ -332,6 +369,8 @@ class ElasticCache final : public CacheBackend {
   std::unique_ptr<obs::MetricsRegistry> own_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceLog* trace_ = nullptr;
+  /// Coordinator's spill tier, when attached (not owned).
+  cloudsim::PersistentStore* spill_ = nullptr;
   /// Plain mirror of total_alloc_time, kept because SplitReport needs the
   /// per-split allocation delta even when the registry is the disabled one
   /// (all cells null, reads zero).  Only touched on the exclusively locked

@@ -43,6 +43,11 @@ class LockedBackend final : public CacheBackend {
     return inner_->GetStale(k);
   }
 
+  void AttachSpillStore(cloudsim::PersistentStore* store) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_->AttachSpillStore(store);
+  }
+
   Status Put(Key k, std::string v) override {
     const std::lock_guard<std::mutex> lock(mutex_);
     return inner_->Put(k, std::move(v));

@@ -458,6 +458,10 @@ TimeStepReport ParallelCoordinator::EndTimeStep() {
     telemetry_->Sample(static_cast<double>(steps_ended_),
                        cache_->NodeLoads());
   }
+  // Background maintenance (failure detection / recovery / scrub) runs at
+  // the same quiesced boundary: no query in flight, so the task may drive
+  // the backend's exclusive-topology API without racing the workers.
+  if (maintenance_ != nullptr) maintenance_->Tick();
   ++steps_ended_;
 
   // Entries past the stale bound can never be served again; drop them.

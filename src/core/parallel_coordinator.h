@@ -152,9 +152,18 @@ class ParallelCoordinator {
   /// spill — leaders go straight to the service.)  Not owned; the store is
   /// not thread-safe, so all access is serialized on an internal mutex.
   void AttachSpillStore(cloudsim::PersistentStore* store) {
+    // Deliberately NOT forwarded to the backend: this front-end's ShedPath
+    // already probes the spill under spill_mutex_, and the unsynchronized
+    // store must never be reachable from concurrent backend calls.
     const std::lock_guard<std::mutex> g(spill_mutex_);
     spill_ = store;
   }
+
+  /// Attach a background maintenance task (failure detection, recovery,
+  /// anti-entropy scrub — see src/recovery/).  Ticked once per EndTimeStep,
+  /// at the quiesced step boundary (no queries in flight), so the task may
+  /// drive the backend's exclusive-topology API.  Not owned.
+  void AttachMaintenance(MaintenanceTask* task) { maintenance_ = task; }
 
   [[nodiscard]] std::size_t workers() const { return worker_states_.size(); }
   [[nodiscard]] CacheBackend& cache() { return *cache_; }
@@ -281,6 +290,7 @@ class ParallelCoordinator {
   std::mutex spill_mutex_;
   cloudsim::PersistentStore* spill_ = nullptr;
   std::uint64_t spill_puts_ = 0;  ///< written by EndTimeStep (quiesced)
+  MaintenanceTask* maintenance_ = nullptr;  ///< ticked quiesced (EndTimeStep)
   /// Key -> steps_ended_ at decay eviction (staleness bound accounting).
   std::unordered_map<Key, std::size_t> evicted_at_;
 

@@ -49,6 +49,16 @@ class StripedBackend final : public CacheBackend {
 
   [[nodiscard]] StatusOr<std::string> Get(Key k) override;
   [[nodiscard]] StatusOr<std::string> GetStale(Key k) override;
+
+  /// Forwarded to the inner cache under the exclusive topology lock.  Note
+  /// the store itself is unsynchronized: attach it here only when the inner
+  /// cache's spill probes (GetStale under replicas == 1, crash accounting)
+  /// are externally serialized against every other user of the store.
+  void AttachSpillStore(cloudsim::PersistentStore* store) override {
+    const std::unique_lock<std::shared_mutex> topo(topology_mutex_);
+    inner_->AttachSpillStore(store);
+  }
+
   Status Put(Key k, std::string v) override;
   std::size_t EvictKeys(const std::vector<Key>& keys) override;
   std::vector<std::pair<Key, std::string>> ExtractKeys(

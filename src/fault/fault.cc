@@ -90,7 +90,14 @@ net::CallFault FaultInjector::OnCall(std::uint64_t endpoint,
     return {rule.kind, rule.delay};
   }
 
-  // Background noise from the seed.
+  // Background noise from the seed.  Heartbeat probes have their own drop
+  // rate so detector tests can starve probes without touching data traffic.
+  if (plan_.heartbeat_drop_p > 0.0 && type == net::MsgType::kStatsRequest &&
+      rng_.Chance(plan_.heartbeat_drop_p)) {
+    ++stats_.requests_dropped;
+    TraceFault(endpoint, obs::FaultCode::kDropRequest, 0);
+    return {net::CallFaultKind::kDropRequest, {}};
+  }
   if (plan_.drop_request_p > 0.0 && rng_.Chance(plan_.drop_request_p)) {
     ++stats_.requests_dropped;
     TraceFault(endpoint, obs::FaultCode::kDropRequest, 0);

@@ -109,6 +109,11 @@ struct FaultPlan {
   double delay_p = 0.0;
   Duration delay_mean = Duration::Millis(5);
 
+  /// Probability a heartbeat probe (a StatsRequest) is dropped, on top of
+  /// the generic noise above.  Lets failure-detector tests lose probes
+  /// without perturbing data-path GET/PUT traffic.
+  double heartbeat_drop_p = 0.0;
+
   // Probabilistic migration churn: at each step, abort/crash with these
   // odds (the deterministic schedule in `migrations` fires first).
   double migration_abort_p = 0.0;

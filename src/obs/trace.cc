@@ -24,6 +24,10 @@ const char* EventKindName(EventKind k) {
     case EventKind::kBreaker: return "breaker";
     case EventKind::kStaleServe: return "stale_serve";
     case EventKind::kDeadlineExceeded: return "deadline_exceeded";
+    case EventKind::kNodeSuspected: return "node_suspected";
+    case EventKind::kNodeConfirmedDead: return "node_confirmed_dead";
+    case EventKind::kRereplicate: return "rereplicate";
+    case EventKind::kScrubRepair: return "scrub_repair";
   }
   return "unknown";
 }
@@ -78,6 +82,14 @@ const char* BreakerStateName(std::int64_t code) {
     case BreakerStateCode::kClosed: return "closed";
     case BreakerStateCode::kOpen: return "open";
     case BreakerStateCode::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+const char* ScrubRepairKindName(std::int64_t code) {
+  switch (static_cast<ScrubRepairKind>(code)) {
+    case ScrubRepairKind::kMissingMirror: return "missing_mirror";
+    case ScrubRepairKind::kConflict: return "conflict";
   }
   return "unknown";
 }
@@ -221,6 +233,33 @@ TraceEvent DeadlineExceededEvent(TimePoint t, std::uint64_t key,
               overshoot.micros(), 0, 0);
 }
 
+TraceEvent NodeSuspectedEvent(TimePoint t, std::uint64_t node,
+                              std::uint64_t suspicion) {
+  return Make(t, EventKind::kNodeSuspected, node, kNoKey,
+              static_cast<std::int64_t>(suspicion), 0, 0);
+}
+
+TraceEvent NodeConfirmedDeadEvent(TimePoint t, std::uint64_t node,
+                                  std::uint64_t missed) {
+  return Make(t, EventKind::kNodeConfirmedDead, node, kNoKey,
+              static_cast<std::int64_t>(missed), 0, 0);
+}
+
+TraceEvent RereplicateEvent(TimePoint t, std::uint64_t recovered,
+                            std::uint64_t from_spill,
+                            std::uint64_t unrecoverable) {
+  return Make(t, EventKind::kRereplicate, kNoNode, kNoKey,
+              static_cast<std::int64_t>(recovered),
+              static_cast<std::int64_t>(from_spill),
+              static_cast<std::int64_t>(unrecoverable));
+}
+
+TraceEvent ScrubRepairEvent(TimePoint t, std::uint64_t key,
+                            ScrubRepairKind kind) {
+  return Make(t, EventKind::kScrubRepair, kNoNode, key,
+              static_cast<std::int64_t>(kind), 0, 0);
+}
+
 TraceLog::TraceLog(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
   ring_.reserve(std::min<std::size_t>(capacity_, 1024));
@@ -338,6 +377,20 @@ std::string EventToJson(const TraceEvent& e) {
       break;
     case EventKind::kDeadlineExceeded:
       AppendField(out, "overshoot_us", e.a);
+      break;
+    case EventKind::kNodeSuspected:
+      AppendField(out, "suspicion", e.a);
+      break;
+    case EventKind::kNodeConfirmedDead:
+      AppendField(out, "missed", e.a);
+      break;
+    case EventKind::kRereplicate:
+      AppendField(out, "recovered", e.a);
+      AppendField(out, "from_spill", e.b);
+      AppendField(out, "unrecoverable", e.c);
+      break;
+    case EventKind::kScrubRepair:
+      AppendField(out, "kind", ScrubRepairKindName(e.a));
       break;
   }
   out += '}';

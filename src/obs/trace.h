@@ -40,8 +40,12 @@ enum class EventKind : std::uint8_t {
   kBreaker,           ///< circuit-breaker transition (a = from, b = to)
   kStaleServe,        ///< degraded answer (a = source, b = age in slices)
   kDeadlineExceeded,  ///< a query/RPC ran past its deadline (a = over_us)
+  kNodeSuspected,     ///< heartbeat probe missed (a = suspicion count)
+  kNodeConfirmedDead,  ///< suspicion hit the threshold (a = missed probes)
+  kRereplicate,       ///< recovery batch committed (a/b/c = counts)
+  kScrubRepair,       ///< anti-entropy fixed a divergence (a = ScrubRepairKind)
 };
-inline constexpr int kEventKindCount = 16;
+inline constexpr int kEventKindCount = 20;
 
 [[nodiscard]] const char* EventKindName(EventKind k);
 
@@ -69,6 +73,11 @@ enum class StaleSource : int { kReplica = 0, kSpill = 1 };
 
 /// Circuit-breaker states, carried in kBreaker's `a`/`b` fields.
 enum class BreakerStateCode : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+/// What the anti-entropy scrubber repaired, carried in kScrubRepair's `a`
+/// field.  kMissingMirror = the primary had no surviving mirror copy;
+/// kConflict = primary and mirror disagreed on the value (primary wins).
+enum class ScrubRepairKind : int { kMissingMirror = 0, kConflict = 1 };
 
 /// Fault category codes carried in kFaultInjected's `a` field.
 enum class FaultCode : int {
@@ -136,6 +145,16 @@ struct TraceEvent {
                                          std::uint64_t age_slices);
 [[nodiscard]] TraceEvent DeadlineExceededEvent(TimePoint t, std::uint64_t key,
                                                Duration overshoot);
+[[nodiscard]] TraceEvent NodeSuspectedEvent(TimePoint t, std::uint64_t node,
+                                            std::uint64_t suspicion);
+[[nodiscard]] TraceEvent NodeConfirmedDeadEvent(TimePoint t,
+                                                std::uint64_t node,
+                                                std::uint64_t missed);
+[[nodiscard]] TraceEvent RereplicateEvent(TimePoint t, std::uint64_t recovered,
+                                          std::uint64_t from_spill,
+                                          std::uint64_t unrecoverable);
+[[nodiscard]] TraceEvent ScrubRepairEvent(TimePoint t, std::uint64_t key,
+                                          ScrubRepairKind kind);
 
 class TraceLog {
  public:

@@ -4,7 +4,9 @@
 
 #include <set>
 #include <string>
+#include <vector>
 
+#include "cloudsim/persistent_store.h"
 #include "cloudsim/provider.h"
 #include "core/elastic_cache.h"
 
@@ -309,6 +311,44 @@ TEST(ElasticCacheTest, StatsTrackMigratedVolume) {
             stats.records_migrated * RecordSize(0, std::size_t{kValueBytes}));
   EXPECT_GT(stats.total_split_overhead, Duration::Zero());
   EXPECT_GE(stats.total_split_overhead, stats.total_migration_time);
+}
+
+TEST(ElasticCacheTest, KillReportCountsSpillSalvageableRecords) {
+  // With no mirror tier, recoverability still exists wherever the spill
+  // tier holds a copy: records_recoverable must count exactly those.
+  ElasticCacheOptions opts = SmallElastic(64);
+  opts.initial_nodes = 2;  // KillNode refuses to take the last node
+  Fixture f(opts);
+  cloudsim::PersistentStore spill({}, &f.clock);
+  f.cache.AttachSpillStore(&spill);
+  std::vector<Key> keys;
+  for (Key k = 0; k < 40; ++k) {
+    ASSERT_TRUE(f.cache.Put(k, Val(k)).ok());
+    keys.push_back(k);
+  }
+  // Every third key also sits in persistent storage (a previous eviction).
+  std::size_t spilled = 0;
+  for (std::size_t i = 0; i < keys.size(); i += 3) {
+    spill.Put(keys[i], Val(keys[i]));
+    ++spilled;
+  }
+  auto victim = f.cache.OwnerOf(0);
+  ASSERT_TRUE(victim.ok());
+  std::size_t expect_recoverable = 0;
+  std::size_t on_victim = 0;
+  for (const Key k : keys) {
+    if (*f.cache.OwnerOf(k) != *victim) continue;
+    ++on_victim;
+    if (spill.Contains(k)) ++expect_recoverable;
+  }
+  ASSERT_GT(on_victim, 0u);
+  ASSERT_GT(expect_recoverable, 0u);
+  ASSERT_LT(expect_recoverable, on_victim);  // the tightened bound bites
+
+  auto report = f.cache.KillNode(*victim);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records_dropped, on_victim);
+  EXPECT_EQ(report->records_recoverable, expect_recoverable);
 }
 
 }  // namespace

@@ -494,6 +494,28 @@ TEST(CoordinatorOverloadTest, BreakerShedServesStaleReplicaWithinBound) {
   EXPECT_EQ(f.service.invocations(), 1u);
 }
 
+TEST(CoordinatorOverloadTest, GetStaleProbesSpillTierUnderSingleReplica) {
+  // Regression: with replicas == 1 there is no mirror tier, but a spilled
+  // copy is still a legitimate degraded answer.  GetStale used to refuse
+  // single-copy fleets unconditionally ("no replica tier") even with a
+  // spill store attached.
+  ElasticCacheOptions extra;
+  extra.replicas = 1;
+  SeqFixture f({}, extra);
+  cloudsim::PersistentStore spill({}, &f.clock);
+
+  // Without a spill store the refusal stands.
+  EXPECT_EQ(f.cache.GetStale(7).status().code(), StatusCode::kNotFound);
+
+  f.coordinator.AttachSpillStore(&spill);  // forwards to the cache tier
+  spill.Put(7, "spilled-value");
+  auto stale = f.cache.GetStale(7);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(*stale, "spilled-value");
+  // An object the spill tier never held is still a miss.
+  EXPECT_FALSE(f.cache.GetStale(8).ok());
+}
+
 // --- Parallel front-end: miss storms against the admission queue ------------
 
 /// Sleeps in real time inside Invoke so a storm genuinely overlaps the
