@@ -115,6 +115,7 @@ int Main(int argc, char** argv) {
                    proactive.final_nodes <= reactive.final_nodes * 5 / 4 &&
                        reactive.final_nodes <= proactive.final_nodes * 5 / 4);
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "ablation_async_split");
   return ok ? 0 : 1;
 }
 

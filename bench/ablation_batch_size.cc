@@ -104,6 +104,7 @@ int Main(int argc, char** argv) {
                    outcomes[2].migration_time.seconds() <
                        2.0 * outcomes[3].migration_time.seconds());
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "ablation_batch_size");
   return ok ? 0 : 1;
 }
 

@@ -115,6 +115,7 @@ int Main(int argc, char** argv) {
   ok &= ShapeCheck("every configuration converges (splits bounded)",
                    outcomes[0].splits < 1000 && outcomes[2].splits < 1000);
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "ablation_buckets");
   return ok ? 0 : 1;
 }
 

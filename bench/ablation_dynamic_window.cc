@@ -93,6 +93,7 @@ int Main(int argc, char** argv) {
           fixed_large.summary.max_speedup /
               std::max(1e-9, fixed_large.summary.mean_nodes));
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "ablation_dynamic_window");
   return ok ? 0 : 1;
 }
 

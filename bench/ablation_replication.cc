@@ -142,6 +142,7 @@ int Main(int argc, char** argv) {
                    replicated.replica_writes > 0 &&
                        plain.replica_writes == 0);
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "ablation_replication");
   return ok ? 0 : 1;
 }
 

@@ -108,6 +108,7 @@ int Main(int argc, char** argv) {
   ok &= ShapeCheck("storage bill is a small fraction of compute (< 20%)",
                    tiered.storage_cost < 0.2 * tiered.compute_cost);
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "ablation_spill_tier");
   return ok ? 0 : 1;
 }
 

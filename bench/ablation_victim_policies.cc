@@ -109,6 +109,7 @@ int Main(int argc, char** argv) {
   ok &= ShapeCheck("zipf: LFU is competitive with LRU (>= 95%)",
                    lfu.zipf_hit_rate >= 0.95 * lru.zipf_hit_rate);
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "ablation_victim_policies");
   return ok ? 0 : 1;
 }
 

@@ -93,6 +93,7 @@ int Main(int argc, char** argv) {
   ok &= ShapeCheck("idle warm capacity costs real money (bill >= cold's)",
                    warm.cost >= cold.cost);
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "ablation_warmpool");
   return ok ? 0 : 1;
 }
 

@@ -1,0 +1,48 @@
+// Drop-in replacement for BENCHMARK_MAIN() that teaches the
+// google-benchmark micro-benches the same `--json out.json` flag the
+// fig/ablation benches take (figcommon's MaybeWriteBenchJson).  The flag is
+// rewritten to google-benchmark's native JSON reporter
+// (--benchmark_out=PATH --benchmark_out_format=json), so the emitted file
+// is the upstream schema, not ecc-bench-v1 — scripts/check_bench.py reads
+// both.
+//
+// Usage: include this header once at the end of the bench .cc instead of
+// invoking BENCHMARK_MAIN().
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.emplace_back(argc > 0 ? argv[0] : "bench");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      out_path = arg.substr(7);
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (!out_path.empty()) {
+    args.push_back("--benchmark_out=" + out_path);
+    args.emplace_back("--benchmark_out_format=json");
+  }
+
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (std::string& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -136,6 +136,11 @@ int Main(int argc, char** argv) {
                    s2.node_allocations == 0 && s4.node_allocations == 0 &&
                        s8.node_allocations == 0);
   std::printf("\n");
+  BenchMetric("gba_final_speedup", gba.final_speedup);
+  BenchMetric("gba_hit_rate", gba.hit_rate);
+  BenchMetric("gba_final_nodes", static_cast<double>(gba.final_nodes));
+  BenchMetric("static8_final_speedup", s8.final_speedup);
+  MaybeWriteBenchJson(cfg, "fig3_speedup");
   return ok ? 0 : 1;
 }
 

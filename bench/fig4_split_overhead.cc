@@ -130,6 +130,7 @@ int Main(int argc, char** argv) {
                    stack.telemetry->samples_recorded() > 0);
   MaybeWriteCsv(cfg, stack.telemetry->series(), "fig4_fleet");
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "fig4_split_overhead");
   return ok ? 0 : 1;
 }
 

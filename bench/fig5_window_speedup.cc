@@ -106,6 +106,7 @@ int Main(int argc, char** argv) {
   ok &= ShapeCheck("m=400 retains a large fleet at the end (final >= 6)",
                    results[3].summary.final_nodes >= 6);
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "fig5_window_speedup");
   return ok ? 0 : 1;
 }
 

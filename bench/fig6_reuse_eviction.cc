@@ -144,6 +144,7 @@ int Main(int argc, char** argv) {
       "m<=200: node growth completes by the end of the burst",
       shapes[0].last_growth <= 310.0 && shapes[1].last_growth <= 310.0);
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "fig6_reuse_eviction");
   return ok ? 0 : 1;
 }
 

@@ -94,6 +94,7 @@ int Main(int argc, char** argv) {
                      hi <= lo * 1.35);
   }
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "fig7_decay");
   return ok ? 0 : 1;
 }
 

@@ -1,9 +1,68 @@
 #include "figcommon.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 namespace ecc::bench {
+
+namespace {
+
+// Accumulated machine-readable report for the running bench binary.  Bench
+// mains are single-threaded, so plain statics suffice.
+struct BenchReport {
+  std::vector<std::pair<std::string, double>> metrics;
+  std::vector<std::pair<std::string, SeriesSet>> series;
+  std::vector<std::pair<std::string, bool>> checks;
+};
+
+BenchReport& Report() {
+  static BenchReport r;
+  return r;
+}
+
+void JsonAppendString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void JsonAppendNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void JsonAppendDoubles(std::string& out, const std::vector<double>& vs) {
+  out += '[';
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (i > 0) out += ',';
+    JsonAppendNumber(out, vs[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
 
 std::size_t NominalRecordBytes(const StackParams& p) {
   return core::RecordSize(0, p.value_bytes);
@@ -94,6 +153,17 @@ Stack BuildStack(const StackParams& p) {
 Config ParseArgs(int argc, char** argv) {
   Config config;
   for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // `--json PATH` / `--json=PATH` are aliases for the `json=PATH` token
+    // so CI invocations read naturally.
+    if (arg == "--json" && i + 1 < argc) {
+      config.Set("json", argv[++i]);
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      config.Set("json", arg.substr(7));
+      continue;
+    }
     if (Status s = config.ParseToken(argv[i]); !s.ok()) {
       std::fprintf(stderr, "usage: %s [key=value ...]\n  bad arg: %s\n",
                    argv[0], s.ToString().c_str());
@@ -114,11 +184,84 @@ void PrintHeader(const std::string& figure, const std::string& description) {
 
 bool ShapeCheck(const std::string& claim, bool ok) {
   std::printf("[shape %s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+  Report().checks.emplace_back(claim, ok);
   return ok;
+}
+
+void BenchMetric(const std::string& name, double value) {
+  Report().metrics.emplace_back(name, value);
+}
+
+void BenchSeries(const std::string& name, const SeriesSet& series) {
+  Report().series.emplace_back(name, series);
+}
+
+void MaybeWriteBenchJson(const Config& cfg, const std::string& bench) {
+  if (!cfg.Has("json")) return;
+  const BenchReport& r = Report();
+  std::string out = "{\n  \"bench\": ";
+  JsonAppendString(out, bench);
+  out += ",\n  \"format\": \"ecc-bench-v1\",\n  \"metrics\": {";
+  for (std::size_t i = 0; i < r.metrics.size(); ++i) {
+    out += i > 0 ? ",\n    " : "\n    ";
+    JsonAppendString(out, r.metrics[i].first);
+    out += ": ";
+    JsonAppendNumber(out, r.metrics[i].second);
+  }
+  out += r.metrics.empty() ? "},\n" : "\n  },\n";
+  out += "  \"checks\": [";
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < r.checks.size(); ++i) {
+    out += i > 0 ? ",\n    " : "\n    ";
+    out += "{\"claim\": ";
+    JsonAppendString(out, r.checks[i].first);
+    out += ", \"pass\": ";
+    out += r.checks[i].second ? "true" : "false";
+    out += '}';
+    if (!r.checks[i].second) ++failed;
+  }
+  out += r.checks.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"checks_failed\": ";
+  JsonAppendNumber(out, static_cast<double>(failed));
+  out += ",\n  \"series\": {";
+  for (std::size_t i = 0; i < r.series.size(); ++i) {
+    const SeriesSet& set = r.series[i].second;
+    out += i > 0 ? ",\n    " : "\n    ";
+    JsonAppendString(out, r.series[i].first);
+    out += ": {\"x_label\": ";
+    JsonAppendString(out, set.x_label());
+    out += ", \"columns\": {";
+    bool first_col = true;
+    for (const std::string& col : set.names()) {
+      const Series* s = set.Find(col);
+      if (s == nullptr) continue;
+      if (!first_col) out += ", ";
+      first_col = false;
+      JsonAppendString(out, col);
+      out += ": {\"x\": ";
+      JsonAppendDoubles(out, s->xs());
+      out += ", \"y\": ";
+      JsonAppendDoubles(out, s->ys());
+      out += '}';
+    }
+    out += "}}";
+  }
+  out += r.series.empty() ? "}\n}\n" : "\n  }\n}\n";
+
+  const std::string path = cfg.GetString("json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[json] cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("[json] %s\n", path.c_str());
 }
 
 void MaybeWriteCsv(const Config& cfg, const SeriesSet& series,
                    const std::string& name) {
+  BenchSeries(name, series);
   if (!cfg.Has("csv_dir")) return;
   const std::string path = cfg.GetString("csv_dir") + "/" + name + ".csv";
   if (Status s = series.WriteCsvFile(path); s.ok()) {

@@ -98,13 +98,34 @@ struct StackParams {
 void PrintHeader(const std::string& figure, const std::string& description);
 
 /// One qualitative "shape check" line (the paper-shape assertions the
-/// bench verifies); prints PASS/FAIL and returns pass.
+/// bench verifies); prints PASS/FAIL, records the claim into the bench's
+/// JSON report (see MaybeWriteBenchJson), and returns pass.
 bool ShapeCheck(const std::string& claim, bool ok);
 
 /// If the config carries csv_dir=PATH, write `series` to PATH/<name>.csv
-/// (for gnuplot/matplotlib replotting of the figure).
+/// (for gnuplot/matplotlib replotting of the figure).  Always records the
+/// set into the JSON report as a side effect, csv_dir or not.
 void MaybeWriteCsv(const Config& cfg, const SeriesSet& series,
                    const std::string& name);
+
+// --- Machine-readable bench output (CI perf trajectory) -------------------
+//
+// Every fig/ablation/micro bench accumulates a report — headline scalars
+// via BenchMetric, full sweeps via BenchSeries (MaybeWriteCsv feeds this
+// automatically), and every ShapeCheck verdict — and writes it as one JSON
+// document when the command line carries `--json out.json` (equivalently
+// `json=out.json`).  scripts/check_bench.py consumes these to gate gross
+// perf regressions; the bench-trajectory CI job archives them per commit.
+
+/// Record one headline scalar (e.g. "hit_rate", "qps_8workers").
+void BenchMetric(const std::string& name, double value);
+
+/// Record a whole series set under `name`.
+void BenchSeries(const std::string& name, const SeriesSet& series);
+
+/// Write the accumulated report to the path named by `json` (or `--json`)
+/// if present; no-op otherwise.  `bench` names the binary in the document.
+void MaybeWriteBenchJson(const Config& cfg, const std::string& bench);
 
 /// Run the paper's §IV.C phased workload (normal 50 q/step, intensive 250
 /// q/step between steps 101-300, relaxing back to 50 by step 400) against

@@ -135,4 +135,4 @@ BENCHMARK(BM_BTreeSweepRangeCopy);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "benchjson_main.h"  // main() with --json support

@@ -132,4 +132,4 @@ BENCHMARK(BM_SlidingWindowLambda)->Arg(50)->Arg(400);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "benchjson_main.h"  // main() with --json support

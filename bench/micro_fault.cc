@@ -140,6 +140,7 @@ int Main(int argc, char** argv) {
   ok &= ShapeCheck("the retry budget still lands most of the working set",
                    worst.records * 2 > off.records);
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "micro_fault");
   return ok ? 0 : 1;
 }
 

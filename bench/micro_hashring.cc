@@ -67,4 +67,4 @@ BENCHMARK(BM_RingOwnerFraction);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "benchjson_main.h"  // main() with --json support

@@ -76,4 +76,4 @@ BENCHMARK(BM_LoopbackCall);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "benchjson_main.h"  // main() with --json support

@@ -168,6 +168,7 @@ int Main(int argc, char** argv) {
       "disabled hot path within noise of default (<= 1.5x)",
       off.get_ns_per_op <= def.get_ns_per_op * 1.5 + 5.0);
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "micro_obs");
   return ok ? 0 : 1;
 }
 

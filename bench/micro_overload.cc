@@ -197,6 +197,7 @@ int Main(int argc, char** argv) {
   ok &= ShapeCheck("protection reclaims virtual time from the brownout",
                    guarded.clock_us < raw.clock_us);
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "micro_overload");
   return ok ? 0 : 1;
 }
 

@@ -154,6 +154,10 @@ int Main(int argc, char** argv) {
   ok &= ShapeCheck("every redundant cold miss was coalesced or served",
                    cr.hits + cr.coalesced + cr.misses == cr.queries);
   std::printf("\n");
+  BenchMetric("qps_1w", qps1);
+  BenchMetric("qps_maxw", qps_last);
+  BenchMetric("scaling_factor", qps1 > 0 ? qps_last / qps1 : 0.0);
+  MaybeWriteBenchJson(cfg, "micro_parallel");
   return ok ? 0 : 1;
 }
 

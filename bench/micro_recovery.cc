@@ -242,6 +242,7 @@ int Main(int argc, char** argv) {
   ok &= ShapeCheck("post-recovery scrub reports a coherent fleet",
                    healed.divergent_after == 0);
   std::printf("\n");
+  MaybeWriteBenchJson(cfg, "micro_recovery");
   return ok ? 0 : 1;
 }
 

@@ -65,4 +65,4 @@ BENCHMARK(BM_ShorelineServiceInvoke)->Arg(32)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "benchjson_main.h"  // main() with --json support

@@ -105,4 +105,4 @@ BENCHMARK(BM_WindowClusters)->Arg(0)->Arg(1);  // 0 = Morton, 1 = Hilbert
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "benchjson_main.h"  // main() with --json support

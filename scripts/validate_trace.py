@@ -40,6 +40,8 @@ SCHEMAS = {
     "rereplicate": {"recovered": int, "from_spill": int,
                     "unrecoverable": int},
     "scrub_repair": {"key": int, "kind": str},
+    "front_hit": {"key": int},
+    "front_invalidate": {"key": int, "reason": str},
 }
 
 OPTIONAL = {"node": int, "key": int}
@@ -51,6 +53,7 @@ SHED_REASONS = {"queue_full", "breaker_open", "dropped", "deadline"}
 BREAKER_STATES = {"closed", "open", "half_open"}
 STALE_SOURCES = {"replica", "spill"}
 SCRUB_KINDS = {"missing_mirror", "conflict"}
+FRONT_INVALIDATE_REASONS = {"version", "epoch", "capacity", "window"}
 
 # Sweep-and-migrate has six phase steps (fault::MigrationStep).
 MAX_MIGRATION_STEP = 5
@@ -130,6 +133,10 @@ def check_line(path, lineno, line):
              f"inconsistent rereplicate counts: {event!r}")
     if kind == "scrub_repair" and event["kind"] not in SCRUB_KINDS:
         fail(path, lineno, f"bad scrub repair kind: {event['kind']!r}")
+    if kind == "front_invalidate" and (
+            event["reason"] not in FRONT_INVALIDATE_REASONS):
+        fail(path, lineno,
+             f"bad front invalidate reason: {event['reason']!r}")
 
 
 def validate(path):

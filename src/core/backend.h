@@ -17,6 +17,10 @@ namespace ecc::cloudsim {
 class PersistentStore;
 }  // namespace ecc::cloudsim
 
+namespace ecc::fronttier {
+class InvalidationHub;
+}  // namespace ecc::fronttier
+
 namespace ecc::core {
 
 /// Counters every backend maintains.  Durations are virtual time.
@@ -81,6 +85,19 @@ class CacheBackend {
   /// records in crash reports.  The default ignores it.
   virtual void AttachSpillStore(cloudsim::PersistentStore* store) {
     (void)store;
+  }
+
+  /// Attach the coordinator front tier's invalidation hub (not owned;
+  /// nullptr detaches).  Backends that support a front tier bump the key's
+  /// version on every value-level change (Put, erase, eviction, mirror
+  /// write) and bump the global epoch on every topology-level change
+  /// (migration commit, contraction, crash, recovery re-replication), so
+  /// front entries are dropped or re-validated whenever their backing
+  /// record moves or dies.  The default ignores it: a backend without hub
+  /// support simply never confirms a front entry's freshness, and the
+  /// coordinator must not enable the front tier over it.
+  virtual void AttachInvalidationHub(fronttier::InvalidationHub* hub) {
+    (void)hub;
   }
 
   /// Store (k, v), triggering whatever elasticity/eviction the backend

@@ -38,6 +38,18 @@ Coordinator::Coordinator(CoordinatorOptions opts, CacheBackend* cache,
           opts_.obs.MakeCounter("overload.breaker_rejections"));
     }
   }
+  if (opts_.front.enabled) {
+    fronttier::InvalidationHub* hub = opts_.front.hub;
+    if (hub == nullptr) {
+      own_hub_ = std::make_unique<fronttier::InvalidationHub>();
+      hub = own_hub_.get();
+    }
+    // Several coordinators sharing one backend must share one hub (pass it
+    // via opts.front.hub); attaching here is then idempotent.
+    cache_->AttachInvalidationHub(hub);
+    front_ =
+        std::make_unique<fronttier::FrontCache>(opts_.front, hub, opts_.obs);
+  }
 }
 
 bool Coordinator::StaleWithinBound(Key k, std::uint64_t* age) const {
@@ -68,11 +80,43 @@ QueryOutcome Coordinator::ProcessKey(Key k) {
   const overload::ScopedDeadline scope(deadline);
 
   QueryOutcome outcome;
+
+  // Front tier: answer the hottest keys from coordinator-local memory,
+  // skipping the backend RPC entirely.  On a front miss, capture the
+  // freshness stamp BEFORE the backend read — Offer() re-validates it at
+  // admission, which is what bounds front staleness (DESIGN.md §12).
+  fronttier::Stamp pre_read{};
+  if (front_ != nullptr) {
+    if (front_->Find(k, clock_->now()).value != nullptr) {
+      clock_->Advance(opts_.front.hit_cost);
+      outcome.hit = true;
+      ++step_hits_;
+      ++total_hits_;
+      ++front_hits_;
+      outcome.latency = clock_->now() - start;
+      step_query_time_ += outcome.latency;
+      total_query_time_ += outcome.latency;
+      m_hits_.Inc();
+      obs::Emit(trace_,
+                obs::QueryEndEvent(clock_->now(), k,
+                                   obs::QueryOutcomeKind::kHit,
+                                   outcome.latency));
+      return outcome;
+    }
+    pre_read = front_->PreReadStamp(k);
+  }
+
   auto cached = cache_->Get(k);
   if (cached.ok()) {
     outcome.hit = true;
     ++step_hits_;
     ++total_hits_;
+    // Hit-path admission only: the value just read is provably consistent
+    // with the stamp taken above (miss-path values are not — their own Put
+    // moves the version).
+    if (front_ != nullptr) {
+      (void)front_->Offer(k, *cached, pre_read, clock_->now());
+    }
   } else {
     // Miss.  With a spill tier attached, reheating from persistent storage
     // (hundreds of ms) beats recomputation (tens of s) by two orders.
@@ -237,6 +281,9 @@ TimeStepReport Coordinator::EndTimeStep() {
     }
   }
   report.window_slices = window_.options().slices;
+
+  // Age the front tier's hot-set tracker in step with the sliding window.
+  if (front_ != nullptr) front_->OnWindowBoundary(clock_->now());
 
   // Sample fleet load at the (quiesced) step boundary; x is the 0-based
   // step index.

@@ -24,6 +24,7 @@
 #include "core/maintenance.h"
 #include "core/sliding_window.h"
 #include "core/types.h"
+#include "fronttier/front_cache.h"
 #include "obs/obs.h"
 #include "overload/breaker.h"
 #include "overload/overload.h"
@@ -48,6 +49,12 @@ struct CoordinatorOptions {
   /// Overload protection (deadlines, breaker, stale serving); disabled by
   /// default and zero-cost when off (see DESIGN.md §10).
   overload::OverloadOptions overload;
+  /// Front-tier hot-key cache (DESIGN.md §12); disabled by default.  When
+  /// enabled the backend must support AttachInvalidationHub (ElasticCache,
+  /// StaticCache, or a wrapper over one) — the hub is what bounds front
+  /// staleness.  front.hub may name a shared external hub; otherwise the
+  /// coordinator owns a private one and attaches it to the backend.
+  fronttier::FrontTierOptions front;
 };
 
 /// End-to-end result of one query.
@@ -132,6 +139,12 @@ class Coordinator {
 
   [[nodiscard]] const SlidingWindow& window() const { return window_; }
   [[nodiscard]] CacheBackend& cache() { return *cache_; }
+  /// The front-tier cache; nullptr unless opts.front.enabled.
+  [[nodiscard]] const fronttier::FrontCache* front() const {
+    return front_.get();
+  }
+  /// Queries answered by the front tier (a subset of total_hits()).
+  [[nodiscard]] std::uint64_t front_hits() const { return front_hits_; }
   [[nodiscard]] std::uint64_t total_queries() const { return total_queries_; }
   [[nodiscard]] std::uint64_t total_hits() const { return total_hits_; }
   [[nodiscard]] Duration total_query_time() const {
@@ -171,6 +184,11 @@ class Coordinator {
   std::uint64_t shed_count_ = 0;
   std::uint64_t stale_serves_ = 0;
   std::uint64_t deadline_exceeded_ = 0;
+
+  // Front tier (both null when opts_.front.enabled is false).
+  std::unique_ptr<fronttier::InvalidationHub> own_hub_;
+  std::unique_ptr<fronttier::FrontCache> front_;
+  std::uint64_t front_hits_ = 0;
 
   std::size_t expirations_since_contract_ = 0;
   // Per-step counters (reset by EndTimeStep).

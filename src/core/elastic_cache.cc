@@ -6,10 +6,19 @@
 
 #include "cloudsim/persistent_store.h"
 #include "common/log.h"
+#include "fronttier/front_cache.h"
 #include "net/message.h"
 #include "overload/overload.h"
 
 namespace ecc::core {
+
+void ElasticCache::FrontBumpKey(Key k) {
+  if (hub_ != nullptr) hub_->BumpKey(k);
+}
+
+void ElasticCache::FrontBumpAll() {
+  if (hub_ != nullptr) hub_->BumpAll();
+}
 
 ElasticCache::ElasticCache(ElasticCacheOptions opts,
                            cloudsim::CloudProvider* provider,
@@ -259,6 +268,7 @@ Status ElasticCache::PutNoSplit(Key k, const std::string& v) {
     return Status::CapacityExceeded("owner node refused insert");
   }
   m_.puts.Inc();
+  FrontBumpKey(k);
   return Status::Ok();
 }
 
@@ -274,6 +284,7 @@ Status ElasticCache::Put(Key k, std::string v) {
     m_.put_failures.Inc();
     return s;
   }
+  FrontBumpKey(k);
   if (opts_.replicas >= 2) StoreReplica(k, v);
   if (opts_.proactive_split_fill > 0.0) {
     auto owner = ring_.Lookup(k);
@@ -676,6 +687,10 @@ Status ElasticCache::TwoPhaseMigrate(
     (void)abort_with("commit rejected", false, false);
     return s;
   }
+  // Ownership of the moved range just flipped: every front entry must
+  // re-validate before serving again (split commits and contraction merges
+  // both land here).
+  FrontBumpAll();
   if (moved != nullptr) *moved = copied;
 
   // Post-commit faults roll FORWARD: the data is live at the destination,
@@ -740,6 +755,7 @@ void ElasticCache::StoreReplica(Key k, const std::string& v) {
   // the pair ends up on distinct nodes without any repair machinery.
   if (PutInternal(MirrorKey(k), v).ok()) {
     m_.replica_writes.Inc();
+    FrontBumpKey(MirrorKey(k));
   } else {
     m_.replica_drops.Inc();
   }
@@ -777,6 +793,12 @@ std::size_t ElasticCache::EvictKeys(const std::vector<Key>& keys) {
     (void)CallNode(Entry(id), req.Encode());
   }
   m_.evictions.Inc(erased_total);
+  // Over-invalidate: bump every requested key (and mirror), hit or not — a
+  // spurious bump only costs a front re-admission, never staleness.
+  for (Key k : keys) {
+    FrontBumpKey(k);
+    if (opts_.replicas >= 2) FrontBumpKey(MirrorKey(k));
+  }
   obs::Emit(trace_,
             obs::EvictionSweepEvent(clock_->now(), keys.size(), erased_total));
   return erased_total;
@@ -894,6 +916,8 @@ KillReport ElasticCache::CrashNodeInternal(NodeId id) {
                static_cast<unsigned long long>(id), report.records_dropped,
                report.records_recoverable);
   kill_history_.push_back(report);
+  // Records died with the node: no front entry may keep serving them.
+  FrontBumpAll();
   return report;
 }
 
@@ -1051,6 +1075,7 @@ void ElasticCache::ErasePhysicalRecord(Key k) {
   // Repair primitive: RPC with direct-shard fallback, no eviction
   // accounting (the record is being replaced or rolled back, not evicted).
   EraseKeysReliable(Entry(*owner), {k});
+  FrontBumpKey(k);
 }
 
 void ElasticCache::WriteMirror(Key k, const std::string& v) {

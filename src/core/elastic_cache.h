@@ -163,6 +163,16 @@ class ElasticCache final : public CacheBackend {
     spill_ = store;
   }
 
+  /// Bind the coordinator front tier's invalidation hub.  Value-level
+  /// mutations (Put, erase, eviction, mirror write) bump the key's version;
+  /// topology-level changes (two-phase migration commit, contraction,
+  /// node crash — and hence recovery re-replication, which rides Put /
+  /// WriteMirror / ErasePhysicalRecord) bump the global epoch.  Not owned;
+  /// nullptr detaches.
+  void AttachInvalidationHub(fronttier::InvalidationHub* hub) override {
+    hub_ = hub;
+  }
+
   Status Put(Key k, std::string v) override;
 
   /// Single-attempt insert that never mutates topology: stores (k, v) on
@@ -338,6 +348,11 @@ class ElasticCache final : public CacheBackend {
 
   [[nodiscard]] NodeEntry& Entry(NodeId id) { return nodes_.at(id); }
 
+  /// Null-safe hub notifications (defined in the .cc: the header only sees
+  /// the InvalidationHub forward declaration).
+  void FrontBumpKey(Key k);
+  void FrontBumpAll();
+
   ElasticCacheOptions opts_;
   cloudsim::CloudProvider* provider_;
   VirtualClock* clock_;
@@ -371,6 +386,8 @@ class ElasticCache final : public CacheBackend {
   obs::TraceLog* trace_ = nullptr;
   /// Coordinator's spill tier, when attached (not owned).
   cloudsim::PersistentStore* spill_ = nullptr;
+  /// Front-tier invalidation fan-out, when attached (not owned).
+  fronttier::InvalidationHub* hub_ = nullptr;
   /// Plain mirror of total_alloc_time, kept because SplitReport needs the
   /// per-split allocation delta even when the registry is the disabled one
   /// (all cells null, reads zero).  Only touched on the exclusively locked

@@ -48,6 +48,11 @@ class LockedBackend final : public CacheBackend {
     inner_->AttachSpillStore(store);
   }
 
+  void AttachInvalidationHub(fronttier::InvalidationHub* hub) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_->AttachInvalidationHub(hub);
+  }
+
   Status Put(Key k, std::string v) override {
     const std::lock_guard<std::mutex> lock(mutex_);
     return inner_->Put(k, std::move(v));

@@ -45,6 +45,22 @@ ParallelCoordinator::ParallelCoordinator(ParallelCoordinatorOptions opts,
           std::make_unique<overload::AdmissionQueue>(opts_.overload.admission);
     }
   }
+  if (opts_.front.enabled) {
+    fronttier::InvalidationHub* hub = opts_.front.hub;
+    if (hub == nullptr) {
+      own_hub_ = std::make_unique<fronttier::InvalidationHub>();
+      hub = own_hub_.get();
+    }
+    cache_->AttachInvalidationHub(hub);
+    // One private front cache per worker: the hot path takes no shared
+    // lock, only atomic loads from the hub.  All workers' caches register
+    // the same fronttier.* counter names, so the registry cells aggregate
+    // across workers for free.
+    for (WorkerState& w : worker_states_) {
+      w.front =
+          std::make_unique<fronttier::FrontCache>(opts_.front, hub, opts_.obs);
+    }
+  }
 }
 
 ParallelQueryResult ParallelCoordinator::ProcessKeyAs(std::size_t worker,
@@ -73,14 +89,41 @@ ParallelQueryResult ParallelCoordinator::ProcessKeyAs(std::size_t worker,
   const overload::ScopedDeadline scope(deadline);
 
   ParallelQueryResult result;
-  w.clock.Advance(opts_.lookup_cost);  // the probe every path pays
-  auto cached = cache_->Get(k);
-  if (cached.ok()) {
-    result.path = QueryPath::kHit;
-    ++w.hits;
-    total_hits_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    result.path = MissPath(w, k, deadline, result.deadline_exceeded);
+  // Front tier: the hottest keys answer from this worker's private cache,
+  // skipping the backend probe — and, crucially, the backend's stripe
+  // mutex, which is what saturates under a hot-key storm.  On a front miss
+  // the freshness stamp is captured BEFORE the backend read; Offer()
+  // re-validates it at admission (DESIGN.md §12).
+  fronttier::Stamp pre_read{};
+  bool front_hit = false;
+  if (w.front != nullptr) {
+    if (w.front->Find(k, w.clock.now()).value != nullptr) {
+      w.clock.Advance(opts_.front.hit_cost);
+      front_hit = true;
+      result.path = QueryPath::kHit;
+      ++w.hits;
+      total_hits_.fetch_add(1, std::memory_order_relaxed);
+      total_front_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      pre_read = w.front->PreReadStamp(k);
+    }
+  }
+  if (!front_hit) {
+    w.clock.Advance(opts_.lookup_cost);  // the probe every path pays
+    auto cached = cache_->Get(k);
+    if (cached.ok()) {
+      result.path = QueryPath::kHit;
+      ++w.hits;
+      total_hits_.fetch_add(1, std::memory_order_relaxed);
+      // Hit-path admission only: the value just read is provably
+      // consistent with the stamp taken above (miss-path values are not —
+      // their own Put moves the version).
+      if (w.front != nullptr) {
+        (void)w.front->Offer(k, *cached, pre_read, w.clock.now());
+      }
+    } else {
+      result.path = MissPath(w, k, deadline, result.deadline_exceeded);
+    }
   }
   if (result.path == QueryPath::kHit || result.path == QueryPath::kCoalesced ||
       result.path == QueryPath::kStale) {
@@ -451,6 +494,13 @@ TimeStepReport ParallelCoordinator::EndTimeStep() {
     }
   }
   report.window_slices = window_.options().slices;
+
+  // Age each worker's front-tier tracker in step with the sliding window.
+  // Safe here: the quiesced assert above means no worker thread is
+  // touching its cache.
+  for (WorkerState& w : worker_states_) {
+    if (w.front != nullptr) w.front->OnWindowBoundary(w.clock.now());
+  }
 
   // Sample fleet load at the (quiesced) step boundary; x is the 0-based
   // step index.

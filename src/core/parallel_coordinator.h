@@ -40,6 +40,7 @@
 #include "core/coordinator.h"  // TimeStepReport
 #include "core/sliding_window.h"
 #include "core/types.h"
+#include "fronttier/front_cache.h"
 #include "obs/obs.h"
 #include "overload/admission.h"
 #include "overload/breaker.h"
@@ -69,6 +70,12 @@ struct ParallelCoordinatorOptions {
   /// Overload protection (deadlines, admission control, breaker, stale
   /// serving); disabled by default and zero-cost when off (DESIGN.md §10).
   overload::OverloadOptions overload;
+  /// Front-tier hot-key cache (DESIGN.md §12): one private FrontCache per
+  /// worker thread — no shared hot-path lock — all validating against one
+  /// shared, atomics-only InvalidationHub.  front.hub may name an external
+  /// hub (several coordinators over one backend); otherwise this
+  /// coordinator owns one and attaches it to the backend.
+  fronttier::FrontTierOptions front;
 };
 
 /// How one query was answered.
@@ -185,6 +192,15 @@ class ParallelCoordinator {
   [[nodiscard]] std::uint64_t total_misses() const {
     return total_misses_.load(std::memory_order_relaxed);
   }
+  /// Queries answered by the front tier (a subset of total_hits()).
+  [[nodiscard]] std::uint64_t front_hits() const {
+    return total_front_hits_.load(std::memory_order_relaxed);
+  }
+  /// Worker `i`'s front cache; nullptr unless opts.front.enabled.  Inspect
+  /// only while quiesced (the owning worker mutates it per query).
+  [[nodiscard]] const fronttier::FrontCache* front(std::size_t i) const {
+    return worker_states_[i].front.get();
+  }
   /// Leader service invocations that failed (fault injection).  Followers
   /// of a failed flight stay kCoalesced — they are not charged the failed
   /// call's cost and do not re-invoke — and nothing is cached, so the next
@@ -230,6 +246,10 @@ class ParallelCoordinator {
     std::uint64_t misses = 0;
     std::uint64_t shed = 0;
     std::uint64_t stale = 0;
+    /// This worker's private front cache (null when the tier is off).
+    /// Touched only by the worker's own thread mid-batch and by
+    /// EndTimeStep at the quiesced boundary — never shared, never locked.
+    std::unique_ptr<fronttier::FrontCache> front;
   };
 
   /// What a flight leader publishes to its followers.  `ok == false` means
@@ -294,7 +314,12 @@ class ParallelCoordinator {
   /// Key -> steps_ended_ at decay eviction (staleness bound accounting).
   std::unordered_map<Key, std::size_t> evicted_at_;
 
+  /// Shared invalidation hub when the front tier is on (owned unless
+  /// opts_.front.hub supplied an external one).
+  std::unique_ptr<fronttier::InvalidationHub> own_hub_;
+
   std::atomic<std::uint64_t> total_queries_{0};
+  std::atomic<std::uint64_t> total_front_hits_{0};
   std::atomic<std::uint64_t> total_hits_{0};
   std::atomic<std::uint64_t> total_coalesced_{0};
   std::atomic<std::uint64_t> total_misses_{0};

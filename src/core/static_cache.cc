@@ -2,7 +2,13 @@
 
 #include <cassert>
 
+#include "fronttier/front_cache.h"
+
 namespace ecc::core {
+
+void StaticCache::FrontBumpKey(Key k) {
+  if (hub_ != nullptr) hub_->BumpKey(k);
+}
 
 StaticCache::StaticCache(StaticCacheOptions opts, VirtualClock* clock)
     : opts_(opts),
@@ -88,6 +94,7 @@ Status StaticCache::Put(Key k, std::string v) {
     assert(erased);
     (void)erased;
     entry.tracker->OnErase(*victim);
+    FrontBumpKey(*victim);
     ++stats_.evictions;
     clock_->Advance(opts_.local_op_time);
   }
@@ -99,6 +106,7 @@ Status StaticCache::Put(Key k, std::string v) {
     return s;
   }
   entry.tracker->OnInsert(k);
+  FrontBumpKey(k);
   clock_->Advance(opts_.local_op_time);
   return Status::Ok();
 }
@@ -113,6 +121,7 @@ std::size_t StaticCache::EvictKeys(const std::vector<Key>& keys) {
       entry.tracker->OnErase(k);
       ++erased;
     }
+    FrontBumpKey(k);
   }
   stats_.evictions += erased;
   return erased;

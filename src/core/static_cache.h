@@ -46,6 +46,13 @@ class StaticCache final : public CacheBackend {
       const std::vector<Key>& keys) override;
   bool TryContract() override { return false; }
 
+  /// Front-tier support: value-level bumps on Put (including victim
+  /// evictions) and EvictKeys.  The topology is fixed, so the epoch never
+  /// moves here.
+  void AttachInvalidationHub(fronttier::InvalidationHub* hub) override {
+    hub_ = hub;
+  }
+
   [[nodiscard]] std::size_t NodeCount() const override {
     return nodes_.size();
   }
@@ -72,6 +79,8 @@ class StaticCache final : public CacheBackend {
     return ring_.Lookup(k);
   }
 
+  void FrontBumpKey(Key k);
+
   StaticCacheOptions opts_;
   VirtualClock* clock_;
   net::NetworkModel net_model_;
@@ -79,6 +88,7 @@ class StaticCache final : public CacheBackend {
   std::map<NodeId, NodeEntry> nodes_;
   Rng rng_;
   CacheStats stats_;
+  fronttier::InvalidationHub* hub_ = nullptr;
 };
 
 }  // namespace ecc::core

@@ -59,6 +59,14 @@ class StripedBackend final : public CacheBackend {
     inner_->AttachSpillStore(store);
   }
 
+  /// Forwarded under the exclusive topology lock (wiring-time operation;
+  /// the hub itself is atomics-only, so the inner cache's bumps need no
+  /// further synchronization).
+  void AttachInvalidationHub(fronttier::InvalidationHub* hub) override {
+    const std::unique_lock<std::shared_mutex> topo(topology_mutex_);
+    inner_->AttachInvalidationHub(hub);
+  }
+
   Status Put(Key k, std::string v) override;
   std::size_t EvictKeys(const std::vector<Key>& keys) override;
   std::vector<std::pair<Key, std::string>> ExtractKeys(

@@ -1,0 +1,173 @@
+#include "fronttier/front_cache.h"
+
+#include <functional>
+#include <limits>
+
+namespace ecc::fronttier {
+
+// --- InvalidationHub --------------------------------------------------------
+
+InvalidationHub::InvalidationHub(std::size_t slots)
+    : slots_(slots == 0 ? 1 : slots) {
+  for (auto& s : slots_) s.store(0, std::memory_order_relaxed);
+}
+
+std::size_t InvalidationHub::SlotOf(Key k) const {
+  // Fibonacci multiplicative mix: adjacent keys (which the range-partitioned
+  // ring makes common) land on well-spread slots.
+  return static_cast<std::size_t>((k * 0x9e3779b97f4a7c15ull) >> 32) %
+         slots_.size();
+}
+
+Stamp InvalidationHub::Current(Key k) const {
+  // Epoch first: if a BumpAll lands between the two loads we read an old
+  // epoch with a new version, which can only fail a later equality check —
+  // over-invalidation, never staleness.
+  Stamp s;
+  s.epoch = epoch_.load(std::memory_order_acquire);
+  s.version = slots_[SlotOf(k)].load(std::memory_order_acquire);
+  return s;
+}
+
+void InvalidationHub::BumpKey(Key k) {
+  slots_[SlotOf(k)].fetch_add(1, std::memory_order_release);
+  key_bumps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void InvalidationHub::BumpAll() {
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_bumps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+InvalidationHub::Stats InvalidationHub::stats() const {
+  return Stats{key_bumps_.load(std::memory_order_relaxed),
+               epoch_bumps_.load(std::memory_order_relaxed)};
+}
+
+// --- FrontCache -------------------------------------------------------------
+
+FrontCache::FrontCache(const FrontTierOptions& opts, InvalidationHub* hub,
+                       const obs::Observability& obs)
+    : opts_(opts),
+      hub_(hub),
+      tracker_(opts.tracker_counters),
+      trace_(obs.trace),
+      m_lookups_(obs.MakeCounter("fronttier.lookups")),
+      m_hits_(obs.MakeCounter("fronttier.hits")),
+      m_misses_(obs.MakeCounter("fronttier.misses")),
+      m_admissions_(obs.MakeCounter("fronttier.admissions")),
+      m_rejections_(obs.MakeCounter("fronttier.rejections")),
+      m_invalidations_(obs.MakeCounter("fronttier.invalidations")),
+      m_evictions_(obs.MakeCounter("fronttier.evictions")) {}
+
+void FrontCache::DropEntry(Key k, FrontInvalidateCode reason, TimePoint now) {
+  entries_.erase(k);
+  if (reason == FrontInvalidateCode::kVersion ||
+      reason == FrontInvalidateCode::kEpoch) {
+    ++stats_.invalidations;
+    m_invalidations_.Inc();
+  } else {
+    ++stats_.evictions;
+    m_evictions_.Inc();
+  }
+  obs::Emit(trace_, obs::FrontInvalidateEvent(now, k, static_cast<int>(reason)));
+}
+
+FrontCache::Lookup FrontCache::Find(Key k, TimePoint now) {
+  tracker_.Record(k);
+  ++stats_.lookups;
+  m_lookups_.Inc();
+
+  const auto it = entries_.find(k);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    m_misses_.Inc();
+    return Lookup{};
+  }
+
+  const Stamp cur = hub_->Current(k);
+  if (cur != it->second.stamp) {
+    const FrontInvalidateCode reason = cur.epoch != it->second.stamp.epoch
+                                           ? FrontInvalidateCode::kEpoch
+                                           : FrontInvalidateCode::kVersion;
+    DropEntry(k, reason, now);
+    ++stats_.misses;
+    m_misses_.Inc();
+    return Lookup{nullptr, true, reason};
+  }
+
+  ++stats_.hits;
+  m_hits_.Inc();
+  obs::Emit(trace_, obs::FrontHitEvent(now, k));
+  return Lookup{&it->second.value, false, FrontInvalidateCode::kVersion};
+}
+
+bool FrontCache::Offer(Key k, const std::string& value, Stamp pre_read,
+                       TimePoint now) {
+  if (opts_.capacity == 0) return false;
+
+  // Freshness gate: the stamp was taken before the backend read, so a match
+  // here proves no invalidation raced the read — the value is current.
+  if (hub_->Current(k) != pre_read) {
+    ++stats_.rejections;
+    m_rejections_.Inc();
+    return false;
+  }
+
+  const auto it = entries_.find(k);
+  if (it != entries_.end()) {
+    // Already resident: refresh (a re-read observed the same freshness).
+    it->second.value = value;
+    it->second.stamp = pre_read;
+    return true;
+  }
+
+  // Admission gate: only provably-hot keys (see heavy_hitters.h on why the
+  // guaranteed count, not the estimate).
+  const std::uint64_t guaranteed = tracker_.GuaranteedOf(k);
+  if (guaranteed < opts_.admit_min_count) {
+    ++stats_.rejections;
+    m_rejections_.Inc();
+    return false;
+  }
+
+  if (entries_.size() >= opts_.capacity) {
+    // Displace the coldest resident, but only for a strictly hotter key.
+    Key coldest = 0;
+    std::uint64_t coldest_est = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& [rk, entry] : entries_) {
+      const std::uint64_t est = tracker_.EstimateOf(rk);
+      if (est < coldest_est || (est == coldest_est && rk < coldest)) {
+        coldest_est = est;
+        coldest = rk;
+      }
+    }
+    if (tracker_.EstimateOf(k) <= coldest_est) {
+      ++stats_.rejections;
+      m_rejections_.Inc();
+      return false;
+    }
+    DropEntry(coldest, FrontInvalidateCode::kCapacity, now);
+  }
+
+  entries_.emplace(k, Entry{value, pre_read});
+  ++stats_.admissions;
+  m_admissions_.Inc();
+  return true;
+}
+
+void FrontCache::OnWindowBoundary(TimePoint now) {
+  if (opts_.decay_per_window) tracker_.Decay();
+
+  // Residents that decayed out of the hot set leave; they would only be
+  // re-admitted by earning their guaranteed count again.
+  std::vector<Key> cooled;
+  for (const auto& [k, entry] : entries_) {
+    if (tracker_.GuaranteedOf(k) < opts_.admit_min_count) cooled.push_back(k);
+  }
+  for (const Key k : cooled) {
+    DropEntry(k, FrontInvalidateCode::kWindow, now);
+  }
+}
+
+}  // namespace ecc::fronttier

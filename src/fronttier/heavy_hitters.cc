@@ -1,0 +1,98 @@
+#include "fronttier/heavy_hitters.h"
+
+#include <algorithm>
+
+namespace ecc::fronttier {
+
+SpaceSavingTracker::SpaceSavingTracker(std::size_t capacity)
+    : capacity_(capacity) {}
+
+void SpaceSavingTracker::IndexInsert(Key k, std::uint64_t count) {
+  by_count_[count].insert(k);
+}
+
+void SpaceSavingTracker::IndexErase(Key k, std::uint64_t count) {
+  const auto it = by_count_.find(count);
+  it->second.erase(k);
+  if (it->second.empty()) by_count_.erase(it);
+}
+
+void SpaceSavingTracker::Record(Key k) {
+  if (capacity_ == 0) return;
+  ++observed_;
+
+  const auto it = slots_.find(k);
+  if (it != slots_.end()) {
+    IndexErase(k, it->second.count);
+    ++it->second.count;
+    IndexInsert(k, it->second.count);
+    return;
+  }
+
+  if (slots_.size() < capacity_) {
+    slots_.emplace(k, Slot{1, 0});
+    IndexInsert(k, 1);
+    return;
+  }
+
+  // Summary full: the newcomer takes over the minimum counter, inheriting
+  // its count as the over-count bound (the space-saving step).
+  const auto min_it = by_count_.begin();
+  const std::uint64_t min_count = min_it->first;
+  const Key victim = *min_it->second.begin();
+  IndexErase(victim, min_count);
+  slots_.erase(victim);
+  slots_.emplace(k, Slot{min_count + 1, min_count});
+  IndexInsert(k, min_count + 1);
+}
+
+bool SpaceSavingTracker::Tracked(Key k) const { return slots_.contains(k); }
+
+std::uint64_t SpaceSavingTracker::EstimateOf(Key k) const {
+  const auto it = slots_.find(k);
+  return it == slots_.end() ? 0 : it->second.count;
+}
+
+std::uint64_t SpaceSavingTracker::ErrorOf(Key k) const {
+  const auto it = slots_.find(k);
+  return it == slots_.end() ? 0 : it->second.error;
+}
+
+std::uint64_t SpaceSavingTracker::GuaranteedOf(Key k) const {
+  const auto it = slots_.find(k);
+  return it == slots_.end() ? 0 : it->second.count - it->second.error;
+}
+
+std::vector<HeavyHitter> SpaceSavingTracker::TopK(std::size_t n) const {
+  std::vector<HeavyHitter> out;
+  out.reserve(std::min(n, slots_.size()));
+  // by_count_ ascends; walk it backwards for highest-first.
+  for (auto bucket = by_count_.rbegin();
+       bucket != by_count_.rend() && out.size() < n; ++bucket) {
+    for (const Key k : bucket->second) {
+      if (out.size() >= n) break;
+      out.push_back(HeavyHitter{k, bucket->first, slots_.at(k).error});
+    }
+  }
+  return out;
+}
+
+std::uint64_t SpaceSavingTracker::MinCount() const {
+  if (slots_.size() < capacity_ || by_count_.empty()) return 0;
+  return by_count_.begin()->first;
+}
+
+void SpaceSavingTracker::Decay() {
+  std::unordered_map<Key, Slot> aged;
+  aged.reserve(slots_.size());
+  by_count_.clear();
+  for (const auto& [k, slot] : slots_) {
+    const std::uint64_t count = slot.count / 2;
+    if (count == 0) continue;
+    aged.emplace(k, Slot{count, slot.error / 2});
+    IndexInsert(k, count);
+  }
+  slots_ = std::move(aged);
+}
+
+}  // namespace ecc::fronttier

@@ -1,0 +1,101 @@
+// Streaming heavy-hitter tracking for the coordinator front tier.
+//
+// The front cache must stay tiny (tens of entries) yet catch exactly the
+// keys that dominate a skewed workload, so admission cannot be "cache what
+// you saw last" — that thrashes under the uniform tail.  SpaceSavingTracker
+// implements the space-saving summary of Metwally, Agrawal & El Abbadi
+// ("Efficient computation of frequent and top-k elements in data streams"):
+// k counters follow the stream, an unseen key evicts the current minimum
+// counter and inherits its count as its error bound.  Guarantees, for a
+// stream of N records and capacity k:
+//
+//   * every key with true frequency > N/k is tracked;
+//   * estimate(k) >= true_count(k) for every tracked key;
+//   * estimate(k) - error(k) <= true_count(k)   (a provable lower bound);
+//   * the minimum counter — the eviction bar — never exceeds N/k.
+//
+// Admission decisions use the *guaranteed* count (estimate - error): an
+// all-distinct stream inflates estimates to ~N/k but its guaranteed counts
+// stay at 1, so cold keys are never promoted into the front cache.
+//
+// Decay() halves every counter, aging the summary across sliding-window
+// boundaries so yesterday's hot set cannot squat in the summary forever.
+//
+// Single-threaded by design: each coordinator (or coordinator worker) owns
+// a private tracker, which is what keeps the front tier free of any shared
+// hot-path lock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace ecc::fronttier {
+
+/// Keys mirror core::Key (the fronttier module stays below core in the
+/// dependency order, so it spells the alias itself).
+using Key = std::uint64_t;
+
+/// One tracked counter, as reported by TopK().
+struct HeavyHitter {
+  Key key = 0;
+  std::uint64_t count = 0;  ///< over-estimate of the true frequency
+  std::uint64_t error = 0;  ///< count inherited at takeover (over-count bound)
+
+  /// Provable lower bound on the true frequency.
+  [[nodiscard]] std::uint64_t Guaranteed() const { return count - error; }
+};
+
+class SpaceSavingTracker {
+ public:
+  /// `capacity` is the number of counters (the algorithm's k).  0 disables
+  /// tracking entirely: Record is a no-op and nothing is ever reported hot.
+  explicit SpaceSavingTracker(std::size_t capacity);
+
+  void Record(Key k);
+
+  [[nodiscard]] bool Tracked(Key k) const;
+  /// Frequency over-estimate; 0 when untracked.
+  [[nodiscard]] std::uint64_t EstimateOf(Key k) const;
+  /// Over-count bound inherited at counter takeover; 0 when untracked.
+  [[nodiscard]] std::uint64_t ErrorOf(Key k) const;
+  /// estimate - error: hits provably observed.  0 when untracked.
+  [[nodiscard]] std::uint64_t GuaranteedOf(Key k) const;
+
+  /// Tracked keys, highest estimate first (ties broken by smaller key for
+  /// deterministic output); at most `n` entries.
+  [[nodiscard]] std::vector<HeavyHitter> TopK(
+      std::size_t n = static_cast<std::size_t>(-1)) const;
+
+  /// The eviction bar: the smallest tracked count (0 while not full).
+  [[nodiscard]] std::uint64_t MinCount() const;
+
+  /// Age the summary at a window boundary: halve every count and error,
+  /// dropping counters that reach zero.
+  void Decay();
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Records observed since construction (not reduced by Decay).
+  [[nodiscard]] std::uint64_t observed() const { return observed_; }
+
+ private:
+  struct Slot {
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;
+  };
+
+  void IndexInsert(Key k, std::uint64_t count);
+  void IndexErase(Key k, std::uint64_t count);
+
+  std::size_t capacity_;
+  std::uint64_t observed_ = 0;
+  std::unordered_map<Key, Slot> slots_;
+  /// count -> tracked keys at that count; begin() is the eviction bucket.
+  /// std::set inside keeps victim choice deterministic (smallest key).
+  std::map<std::uint64_t, std::set<Key>> by_count_;
+};
+
+}  // namespace ecc::fronttier

@@ -28,6 +28,8 @@ const char* EventKindName(EventKind k) {
     case EventKind::kNodeConfirmedDead: return "node_confirmed_dead";
     case EventKind::kRereplicate: return "rereplicate";
     case EventKind::kScrubRepair: return "scrub_repair";
+    case EventKind::kFrontHit: return "front_hit";
+    case EventKind::kFrontInvalidate: return "front_invalidate";
   }
   return "unknown";
 }
@@ -92,6 +94,16 @@ const char* ScrubRepairKindName(std::int64_t code) {
     case ScrubRepairKind::kConflict: return "conflict";
   }
   return "unknown";
+}
+
+const char* FrontInvalidateReasonName(std::int64_t code) {
+  switch (code) {
+    case 0: return "version";
+    case 1: return "epoch";
+    case 2: return "capacity";
+    case 3: return "window";
+    default: return "unknown";
+  }
 }
 
 const char* FaultCodeName(std::int64_t code) {
@@ -260,6 +272,14 @@ TraceEvent ScrubRepairEvent(TimePoint t, std::uint64_t key,
               static_cast<std::int64_t>(kind), 0, 0);
 }
 
+TraceEvent FrontHitEvent(TimePoint t, std::uint64_t key) {
+  return Make(t, EventKind::kFrontHit, kNoNode, key, 0, 0, 0);
+}
+
+TraceEvent FrontInvalidateEvent(TimePoint t, std::uint64_t key, int reason) {
+  return Make(t, EventKind::kFrontInvalidate, kNoNode, key, reason, 0, 0);
+}
+
 TraceLog::TraceLog(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
   ring_.reserve(std::min<std::size_t>(capacity_, 1024));
@@ -391,6 +411,11 @@ std::string EventToJson(const TraceEvent& e) {
       break;
     case EventKind::kScrubRepair:
       AppendField(out, "kind", ScrubRepairKindName(e.a));
+      break;
+    case EventKind::kFrontHit:
+      break;
+    case EventKind::kFrontInvalidate:
+      AppendField(out, "reason", FrontInvalidateReasonName(e.a));
       break;
   }
   out += '}';

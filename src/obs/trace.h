@@ -44,8 +44,10 @@ enum class EventKind : std::uint8_t {
   kNodeConfirmedDead,  ///< suspicion hit the threshold (a = missed probes)
   kRereplicate,       ///< recovery batch committed (a/b/c = counts)
   kScrubRepair,       ///< anti-entropy fixed a divergence (a = ScrubRepairKind)
+  kFrontHit,          ///< answered from the coordinator front tier
+  kFrontInvalidate,   ///< front entry dropped (a = FrontInvalidateReason code)
 };
-inline constexpr int kEventKindCount = 20;
+inline constexpr int kEventKindCount = 22;
 
 [[nodiscard]] const char* EventKindName(EventKind k);
 
@@ -155,6 +157,12 @@ struct TraceEvent {
                                           std::uint64_t unrecoverable);
 [[nodiscard]] TraceEvent ScrubRepairEvent(TimePoint t, std::uint64_t key,
                                           ScrubRepairKind kind);
+[[nodiscard]] TraceEvent FrontHitEvent(TimePoint t, std::uint64_t key);
+/// `reason` carries a fronttier::FrontInvalidateCode (as int: obs stays
+/// below fronttier in the dependency order): 0 = version, 1 = epoch,
+/// 2 = capacity, 3 = window.
+[[nodiscard]] TraceEvent FrontInvalidateEvent(TimePoint t, std::uint64_t key,
+                                              int reason);
 
 class TraceLog {
  public:

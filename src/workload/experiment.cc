@@ -61,7 +61,11 @@ ExperimentResult ExperimentDriver::Run() {
     node_step_sum += static_cast<double>(cache.NodeCount());
     summary.max_nodes = std::max(summary.max_nodes, cache.NodeCount());
 
-    if (step % opts_.observe_every != 0) continue;
+    // The final step always observes, so the series are never empty (and
+    // the summary fields are filled) even when observe_every > time_steps.
+    if (step % opts_.observe_every != 0 && step != opts_.time_steps) {
+      continue;
+    }
 
     const auto x = static_cast<double>(step);
     double speedup = 0.0;

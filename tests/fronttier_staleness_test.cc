@@ -1,0 +1,272 @@
+// Staleness-bound tests for the front tier: a front-resident entry must
+// never serve a value older than the most recent invalidation point of its
+// key.  Table-driven over every mutation class the invalidation matrix in
+// DESIGN.md §12 names — Put, update (erase + re-put), migration commit
+// (forced split), contraction merge, node crash, and recovery
+// re-replication — each scenario makes a key front-resident, applies the
+// mutation against the backend, and asserts the front cache refuses the
+// old value and re-converges on the authoritative one.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloudsim/provider.h"
+#include "core/coordinator.h"
+#include "core/elastic_cache.h"
+#include "fronttier/front_cache.h"
+#include "recovery/recovery.h"
+#include "service/service.h"
+#include "sfc/linearizer.h"
+
+namespace ecc::fronttier {
+namespace {
+
+using core::ElasticCache;
+using core::ElasticCacheOptions;
+using core::NodeId;
+using core::RecordSize;
+
+constexpr std::uint64_t kKeyspace = 1u << 11;
+constexpr std::size_t kValueBytes = 96;
+
+std::string Val(Key k, int version) {
+  return "v" + std::to_string(version) + "-key" + std::to_string(k) +
+         std::string(kValueBytes, 'x');
+}
+
+/// An elastic cluster with the hub attached and one front cache speaking
+/// the coordinators' stamp-before-read protocol against it.
+struct Fixture {
+  explicit Fixture(std::size_t replicas = 1, std::size_t initial_nodes = 1,
+                   std::size_t records_per_node = 64)
+      : provider(
+            [] {
+              cloudsim::CloudOptions o;
+              o.boot_mean = Duration::Seconds(30);
+              o.seed = 21;
+              return o;
+            }(),
+            &clock),
+        cache(
+            [&] {
+              ElasticCacheOptions o;
+              o.node_capacity_bytes =
+                  records_per_node * RecordSize(0, kValueBytes + 16);
+              o.ring.range = replicas >= 2 ? 2 * kKeyspace : kKeyspace;
+              o.initial_nodes = initial_nodes;
+              o.replicas = replicas;
+              return o;
+            }(),
+            &provider, &clock) {
+    cache.AttachInvalidationHub(&hub);
+    FrontTierOptions fopts;
+    fopts.enabled = true;
+    fopts.tracker_counters = 16;
+    fopts.capacity = 8;
+    fopts.admit_min_count = 2;
+    front = std::make_unique<FrontCache>(fopts, &hub, obs::Observability{});
+  }
+
+  /// The coordinator hit path: record the access, stamp, read the backend,
+  /// offer.  Returns the value served (front or backend) or nullopt on a
+  /// backend miss.
+  [[nodiscard]] StatusOr<std::string> ProtocolGet(Key k) {
+    const auto l = front->Find(k, clock.now());
+    if (l.value != nullptr) return *l.value;
+    const Stamp pre = front->PreReadStamp(k);
+    auto got = cache.Get(k);
+    if (!got.ok()) return got.status();
+    (void)front->Offer(k, *got, pre, clock.now());
+    return got;
+  }
+
+  /// Make `k` front-resident holding the backend's current value.
+  void MakeResident(Key k) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(ProtocolGet(k).ok());
+    }
+    ASSERT_TRUE(front->Contains(k));
+  }
+
+  VirtualClock clock;
+  InvalidationHub hub;
+  cloudsim::CloudProvider provider;
+  ElasticCache cache;
+  std::unique_ptr<FrontCache> front;
+};
+
+struct Scenario {
+  const char* name;
+  std::size_t replicas;
+  std::size_t initial_nodes;
+  /// Mutate the backend; returns the value the backend should now serve
+  /// for the target key (empty = the key may be gone).
+  std::function<std::string(Fixture&, Key)> mutate;
+};
+
+const Scenario kScenarios[] = {
+    {"put", 1, 1,
+     [](Fixture& f, Key k) {
+       // Duplicate Put is an idempotent success but still bumps the key:
+       // the front entry must revalidate, not trust its stamp forever.
+       EXPECT_TRUE(f.cache.Put(k, Val(k, 1)).ok());
+       return Val(k, 1);
+     }},
+    {"update", 1, 1,
+     [](Fixture& f, Key k) {
+       // The update idiom: erase the physical record, then re-put the new
+       // value.  The classic stale-read hazard the bound exists for.
+       f.cache.ErasePhysicalRecord(k);
+       EXPECT_TRUE(f.cache.Put(k, Val(k, 2)).ok());
+       return Val(k, 2);
+     }},
+    {"migration-commit", 1, 1,
+     [](Fixture& f, Key k) {
+       // Fill until the GBA insert forces a split; the two-phase commit
+       // must bump the epoch even though key `k` itself never moved a
+       // byte — its owner's range assignment did.
+       const std::size_t before = f.cache.NodeCount();
+       Key extra = 1000;
+       while (f.cache.NodeCount() == before && extra < 1000 + kKeyspace) {
+         (void)f.cache.Put(extra % kKeyspace, Val(extra, 1));
+         ++extra;
+       }
+       EXPECT_GT(f.cache.NodeCount(), before) << "no split happened";
+       return Val(k, 1);
+     }},
+    {"contraction", 1, 4,
+     [](Fixture& f, Key k) {
+       // A lightly-loaded 4-node fleet must find a mergeable pair; the
+       // merge rides the same two-phase migration and bumps the epoch.
+       EXPECT_TRUE(f.cache.TryContract()) << "no contraction happened";
+       return Val(k, 1);
+     }},
+    {"crash", 2, 4,
+     [](Fixture& f, Key k) {
+       // Abrupt node loss: whatever the dead node held (primary or mirror
+       // shards), every front entry is suspect until revalidated.
+       const auto victim = f.cache.OwnerOf(k);
+       EXPECT_TRUE(victim.ok());
+       EXPECT_TRUE(f.cache.KillNode(*victim).ok());
+       return std::string{};  // k may be gone or mirror-salvageable
+     }},
+    {"recovery-rereplication", 2, 4,
+     [](Fixture& f, Key k) {
+       // Crash the *mirror* owner (the primary copy of k survives), then
+       // let the recovery manager's two-phase re-replication repair the
+       // copy invariant.  The repair's writes ride Put/WriteMirror, which
+       // bump; the crash itself bumped the epoch.
+       const auto primary = f.cache.OwnerOf(k);
+       const auto mirror = f.cache.ReplicaOwnerOf(k);
+       EXPECT_TRUE(primary.ok());
+       EXPECT_TRUE(mirror.ok());
+       EXPECT_NE(*mirror, *primary) << "need a distinct mirror to crash";
+       EXPECT_TRUE(f.cache.KillNode(*mirror).ok());
+
+       recovery::RecoveryOptions ropts;
+       ropts.enabled = true;
+       recovery::RecoveryManager manager(ropts, &f.cache, &f.clock);
+       for (int i = 0; i < 64 && manager.pending_keys() == 0; ++i) {
+         manager.Tick();  // first tick ingests the crash report
+       }
+       for (int i = 0; i < 64; ++i) {
+         manager.Tick();
+         f.clock.Advance(Duration::Seconds(1));
+       }
+       return Val(k, 1);
+     }},
+};
+
+TEST(FrontTierStalenessTest, NeverServesPastTheInvalidationPoint) {
+  for (const Scenario& s : kScenarios) {
+    SCOPED_TRACE(s.name);
+    Fixture f(s.replicas, s.initial_nodes);
+    const Key k = 42;
+    ASSERT_TRUE(f.cache.Put(k, Val(k, 1)).ok());
+    f.MakeResident(k);
+
+    const std::string fresh = s.mutate(f, k);
+    if (testing::Test::HasFailure()) break;
+
+    // The front cache must not serve from the pre-mutation stamp: the
+    // next lookup either misses (entry dropped stale) or — if the entry
+    // somehow survived — returns exactly what the backend serves now.
+    const auto l = f.front->Find(k, f.clock.now());
+    if (l.value != nullptr) {
+      auto auth = f.cache.Get(k);
+      ASSERT_TRUE(auth.ok());
+      EXPECT_EQ(*l.value, *auth) << "front served a stale value";
+    } else {
+      EXPECT_TRUE(l.invalidated)
+          << "resident entry should have been dropped stale, not absent";
+    }
+
+    // Re-convergence: once the backend serves the new value, the protocol
+    // re-admits it and the front serves it verbatim.
+    if (!fresh.empty()) {
+      auto again = f.ProtocolGet(k);
+      if (again.ok()) {
+        EXPECT_EQ(*again, fresh);
+        auto served = f.ProtocolGet(k);
+        ASSERT_TRUE(served.ok());
+        EXPECT_EQ(*served, fresh);
+      }
+    }
+  }
+}
+
+// The sequential coordinator end-to-end: a hot key graduates miss ->
+// backend hit -> front hit, front hits count into total hits, and the
+// window boundary ages the tracker.
+TEST(FrontTierStalenessTest, CoordinatorServesHotKeyFromFrontTier) {
+  VirtualClock clock;
+  cloudsim::CloudProvider provider(
+      [] {
+        cloudsim::CloudOptions o;
+        o.boot_mean = Duration::Seconds(30);
+        o.seed = 5;
+        return o;
+      }(),
+      &clock);
+  ElasticCache cache(
+      [] {
+        ElasticCacheOptions o;
+        o.node_capacity_bytes = 64 * RecordSize(0, std::size_t{128});
+        o.ring.range = kKeyspace;
+        return o;
+      }(),
+      &provider, &clock);
+  service::SyntheticService service("svc", Duration::Seconds(23), 100);
+  sfc::LinearizerOptions grid;
+  grid.spatial_bits = 4;
+  grid.time_bits = 3;
+  sfc::Linearizer linearizer(grid);
+
+  core::CoordinatorOptions copts;
+  copts.front.enabled = true;
+  copts.front.admit_min_count = 2;
+  core::Coordinator coordinator(copts, &cache, &service, &linearizer,
+                                &clock);
+
+  const core::Key k = 7;
+  EXPECT_FALSE(coordinator.ProcessKey(k).hit);  // miss: service
+  EXPECT_TRUE(coordinator.ProcessKey(k).hit);   // backend hit: admitted
+  const core::QueryOutcome front_hit = coordinator.ProcessKey(k);
+  EXPECT_TRUE(front_hit.hit);
+  EXPECT_EQ(coordinator.front_hits(), 1u);
+  // A front hit is orders of magnitude cheaper than the backend RPC.
+  EXPECT_LT(front_hit.latency, Duration::Millis(1));
+  EXPECT_EQ(coordinator.total_hits(), 2u);
+  EXPECT_EQ(service.invocations(), 1u);
+
+  // Window boundaries decay the tracker; enough of them and the key must
+  // re-earn residency.
+  for (int i = 0; i < 8; ++i) (void)coordinator.EndTimeStep();
+  EXPECT_FALSE(coordinator.front()->Contains(k));
+}
+
+}  // namespace
+}  // namespace ecc::fronttier

@@ -1,0 +1,317 @@
+// Tests for the front tier building blocks: the space-saving heavy-hitter
+// tracker (edge cases: k=0, k=1, all-distinct streams, decay, error bounds
+// against exact counts on a seeded zipf stream), the lock-free
+// InvalidationHub, and the FrontCache admission / eviction / invalidation
+// machinery plus its obs wiring.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fronttier/front_cache.h"
+#include "fronttier/heavy_hitters.h"
+#include "obs/obs.h"
+#include "workload/generator.h"
+
+namespace ecc::fronttier {
+namespace {
+
+// --- SpaceSavingTracker ----------------------------------------------------
+
+TEST(SpaceSavingTrackerTest, CapacityZeroDisablesTracking) {
+  SpaceSavingTracker t(0);
+  for (Key k = 0; k < 100; ++k) t.Record(k % 3);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.Tracked(0));
+  EXPECT_EQ(t.EstimateOf(0), 0u);
+  EXPECT_EQ(t.GuaranteedOf(0), 0u);
+  EXPECT_EQ(t.MinCount(), 0u);
+  EXPECT_TRUE(t.TopK().empty());
+}
+
+TEST(SpaceSavingTrackerTest, CapacityOneFollowsTheStream) {
+  SpaceSavingTracker t(1);
+  for (int i = 0; i < 5; ++i) t.Record(7);
+  ASSERT_TRUE(t.Tracked(7));
+  EXPECT_EQ(t.EstimateOf(7), 5u);
+  EXPECT_EQ(t.ErrorOf(7), 0u);
+  EXPECT_EQ(t.GuaranteedOf(7), 5u);
+
+  // A newcomer evicts the lone counter and inherits its count as error:
+  // the estimate over-counts, but the guaranteed count stays honest.
+  t.Record(9);
+  EXPECT_FALSE(t.Tracked(7));
+  ASSERT_TRUE(t.Tracked(9));
+  EXPECT_EQ(t.EstimateOf(9), 6u);
+  EXPECT_EQ(t.ErrorOf(9), 5u);
+  EXPECT_EQ(t.GuaranteedOf(9), 1u);
+}
+
+TEST(SpaceSavingTrackerTest, AllDistinctStreamNeverLooksHot) {
+  // 1000 distinct keys through 8 counters: estimates inflate toward N/k,
+  // but no key ever has more than 1 provable hit — so admission keyed on
+  // the guaranteed count can never promote from a uniform stream.
+  SpaceSavingTracker t(8);
+  for (Key k = 0; k < 1000; ++k) t.Record(k);
+  EXPECT_EQ(t.size(), 8u);
+  for (const HeavyHitter& h : t.TopK()) {
+    EXPECT_LE(h.Guaranteed(), 1u) << "key " << h.key;
+  }
+  // The eviction bar never exceeds N/k.
+  EXPECT_LE(t.MinCount(), 1000u / 8u + 1u);
+}
+
+TEST(SpaceSavingTrackerTest, ZipfStreamWithinSpaceSavingBounds) {
+  // Seeded zipf stream vs. exact counts: the classical space-saving
+  // guarantees must hold for every tracked key, and every key whose true
+  // frequency exceeds N/k must be tracked.
+  constexpr std::size_t kCounters = 32;
+  constexpr std::size_t kStream = 20000;
+  workload::ZipfKeyGenerator gen(1u << 12, 1.2, /*seed=*/0xfeedu);
+
+  SpaceSavingTracker t(kCounters);
+  std::map<Key, std::uint64_t> exact;
+  for (std::size_t i = 0; i < kStream; ++i) {
+    const Key k = gen.Next();
+    ++exact[k];
+    t.Record(k);
+  }
+
+  for (const HeavyHitter& h : t.TopK()) {
+    const std::uint64_t truth =
+        exact.count(h.key) ? exact.at(h.key) : 0;
+    EXPECT_GE(h.count, truth) << "estimate must over-count key " << h.key;
+    EXPECT_LE(h.Guaranteed(), truth)
+        << "guaranteed must under-count key " << h.key;
+  }
+  const std::uint64_t bar = kStream / kCounters;
+  for (const auto& [k, truth] : exact) {
+    if (truth > bar) {
+      EXPECT_TRUE(t.Tracked(k))
+          << "key " << k << " with " << truth << " > N/k=" << bar
+          << " hits must be tracked";
+    }
+  }
+}
+
+TEST(SpaceSavingTrackerTest, DecayHalvesCountsAndDropsZeros) {
+  SpaceSavingTracker t(8);
+  for (int i = 0; i < 8; ++i) t.Record(1);
+  for (int i = 0; i < 3; ++i) t.Record(2);
+  t.Record(3);  // count 1 halves to 0 and must drop
+
+  t.Decay();
+  EXPECT_EQ(t.EstimateOf(1), 4u);
+  EXPECT_EQ(t.EstimateOf(2), 1u);
+  EXPECT_FALSE(t.Tracked(3));
+  EXPECT_EQ(t.size(), 2u);
+
+  // Repeated decay eventually forgets everything.
+  t.Decay();
+  t.Decay();
+  t.Decay();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(SpaceSavingTrackerTest, TopKDeterministicOrder) {
+  SpaceSavingTracker t(8);
+  for (int i = 0; i < 3; ++i) t.Record(20);
+  for (int i = 0; i < 3; ++i) t.Record(10);  // tie with 20
+  for (int i = 0; i < 5; ++i) t.Record(30);
+
+  const auto top = t.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 30u);
+  EXPECT_EQ(top[1].key, 10u);  // tie broken by smaller key
+}
+
+// --- InvalidationHub -------------------------------------------------------
+
+TEST(InvalidationHubTest, BumpKeyMovesOnlyThatStamp) {
+  InvalidationHub hub(1024);
+  const Stamp a0 = hub.Current(100);
+  const Stamp b0 = hub.Current(200);
+  hub.BumpKey(100);
+  EXPECT_NE(hub.Current(100), a0);
+  EXPECT_EQ(hub.Current(200), b0);
+  EXPECT_EQ(hub.stats().key_bumps, 1u);
+  EXPECT_EQ(hub.stats().epoch_bumps, 0u);
+}
+
+TEST(InvalidationHubTest, BumpAllMovesEveryStamp) {
+  InvalidationHub hub(64);
+  const Stamp a0 = hub.Current(1);
+  const Stamp b0 = hub.Current(999);
+  hub.BumpAll();
+  EXPECT_NE(hub.Current(1), a0);
+  EXPECT_NE(hub.Current(999), b0);
+  EXPECT_EQ(hub.stats().epoch_bumps, 1u);
+}
+
+TEST(InvalidationHubTest, SlotCollisionsOverInvalidate) {
+  // With a single slot every key collides: bumping one key must change
+  // every key's stamp (over-invalidation is safe; missing one never is).
+  InvalidationHub hub(1);
+  const Stamp other = hub.Current(42);
+  hub.BumpKey(7);
+  EXPECT_NE(hub.Current(42), other);
+}
+
+// --- FrontCache ------------------------------------------------------------
+
+struct FrontFixture {
+  explicit FrontFixture(FrontTierOptions o = MakeOptions()) : opts(o) {
+    obs::Observability ob;
+    ob.metrics = &registry;
+    ob.trace = &trace;
+    front = std::make_unique<FrontCache>(opts, &hub, ob);
+  }
+
+  static FrontTierOptions MakeOptions() {
+    FrontTierOptions o;
+    o.enabled = true;
+    o.tracker_counters = 16;
+    o.capacity = 4;
+    o.admit_min_count = 3;
+    return o;
+  }
+
+  /// Drive `k` hot enough to clear the admission bar.
+  void MakeHot(Key k) {
+    for (std::uint64_t i = 0; i < opts.admit_min_count; ++i) {
+      (void)front->Find(k, now);
+    }
+  }
+
+  /// The backend-hit protocol: stamp, (pretend) read, offer.
+  bool AdmitViaProtocol(Key k, const std::string& v) {
+    const Stamp pre = front->PreReadStamp(k);
+    return front->Offer(k, v, pre, now);
+  }
+
+  FrontTierOptions opts;
+  obs::MetricsRegistry registry;
+  obs::TraceLog trace;
+  InvalidationHub hub;
+  std::unique_ptr<FrontCache> front;
+  TimePoint now;
+};
+
+TEST(FrontCacheTest, ColdKeyIsNeverAdmitted) {
+  FrontFixture f;
+  EXPECT_FALSE(f.AdmitViaProtocol(5, "v"));  // zero recorded hits
+  (void)f.front->Find(5, f.now);             // one hit: still below the bar
+  EXPECT_FALSE(f.AdmitViaProtocol(5, "v"));
+  EXPECT_EQ(f.front->stats().rejections, 2u);
+  EXPECT_EQ(f.front->size(), 0u);
+}
+
+TEST(FrontCacheTest, HotKeyAdmittedAndServed) {
+  FrontFixture f;
+  f.MakeHot(5);
+  EXPECT_TRUE(f.AdmitViaProtocol(5, "hot-value"));
+  const auto l = f.front->Find(5, f.now);
+  ASSERT_NE(l.value, nullptr);
+  EXPECT_EQ(*l.value, "hot-value");
+  EXPECT_EQ(f.front->stats().hits, 1u);
+  EXPECT_EQ(f.registry.GetCounter("fronttier.hits").Value(), 1u);
+  EXPECT_EQ(f.registry.GetCounter("fronttier.admissions").Value(), 1u);
+}
+
+TEST(FrontCacheTest, StaleStampRejectsAdmission) {
+  FrontFixture f;
+  f.MakeHot(5);
+  const Stamp pre = f.front->PreReadStamp(5);
+  // A writer races between the stamp and the admission.
+  f.hub.BumpKey(5);
+  EXPECT_FALSE(f.front->Offer(5, "torn-read", pre, f.now));
+  EXPECT_FALSE(f.front->Contains(5));
+}
+
+TEST(FrontCacheTest, VersionBumpInvalidatesResident) {
+  FrontFixture f;
+  f.MakeHot(5);
+  ASSERT_TRUE(f.AdmitViaProtocol(5, "v1"));
+  f.hub.BumpKey(5);
+  const auto l = f.front->Find(5, f.now);
+  EXPECT_EQ(l.value, nullptr);
+  EXPECT_TRUE(l.invalidated);
+  EXPECT_EQ(l.reason, FrontInvalidateCode::kVersion);
+  EXPECT_EQ(f.front->stats().invalidations, 1u);
+}
+
+TEST(FrontCacheTest, EpochBumpInvalidatesEverything) {
+  FrontFixture f;
+  f.MakeHot(5);
+  f.MakeHot(6);
+  ASSERT_TRUE(f.AdmitViaProtocol(5, "a"));
+  ASSERT_TRUE(f.AdmitViaProtocol(6, "b"));
+  f.hub.BumpAll();
+  const auto l5 = f.front->Find(5, f.now);
+  const auto l6 = f.front->Find(6, f.now);
+  EXPECT_EQ(l5.value, nullptr);
+  EXPECT_EQ(l6.value, nullptr);
+  EXPECT_TRUE(l5.invalidated);
+  EXPECT_EQ(l5.reason, FrontInvalidateCode::kEpoch);
+  EXPECT_EQ(l6.reason, FrontInvalidateCode::kEpoch);
+}
+
+TEST(FrontCacheTest, HotterKeyDisplacesColdestAtCapacity) {
+  FrontTierOptions o = FrontFixture::MakeOptions();
+  o.capacity = 1;
+  FrontFixture f(o);
+  f.MakeHot(1);
+  ASSERT_TRUE(f.AdmitViaProtocol(1, "cold"));
+
+  // Equal heat does not displace (strictly-hotter rule prevents churn).
+  f.MakeHot(2);
+  EXPECT_FALSE(f.AdmitViaProtocol(2, "warm"));
+  EXPECT_TRUE(f.front->Contains(1));
+
+  // Strictly hotter does.
+  for (int i = 0; i < 4; ++i) (void)f.front->Find(2, f.now);
+  EXPECT_TRUE(f.AdmitViaProtocol(2, "hot"));
+  EXPECT_TRUE(f.front->Contains(2));
+  EXPECT_FALSE(f.front->Contains(1));
+  EXPECT_GE(f.front->stats().evictions, 1u);
+}
+
+TEST(FrontCacheTest, WindowDecayEvictsNoLongerHotResidents) {
+  FrontFixture f;
+  f.MakeHot(5);  // exactly admit_min_count = 3 recorded hits
+  ASSERT_TRUE(f.AdmitViaProtocol(5, "v"));
+  // One decay halves 3 -> 1 < 3: the key is no longer provably hot.
+  f.front->OnWindowBoundary(f.now);
+  EXPECT_FALSE(f.front->Contains(5));
+  EXPECT_GE(f.front->stats().evictions, 1u);
+}
+
+TEST(FrontCacheTest, CapacityZeroRejectsEverything) {
+  FrontTierOptions o = FrontFixture::MakeOptions();
+  o.capacity = 0;
+  FrontFixture f(o);
+  f.MakeHot(5);
+  EXPECT_FALSE(f.AdmitViaProtocol(5, "v"));
+  EXPECT_EQ(f.front->size(), 0u);
+}
+
+TEST(FrontCacheTest, EmitsFrontHitAndInvalidateTraceEvents) {
+  FrontFixture f;
+  f.MakeHot(5);
+  ASSERT_TRUE(f.AdmitViaProtocol(5, "v"));
+  (void)f.front->Find(5, f.now);  // front hit
+  f.hub.BumpKey(5);
+  (void)f.front->Find(5, f.now);  // lazy invalidation
+
+  bool saw_hit = false, saw_invalidate = false;
+  for (const obs::TraceEvent& e : f.trace.Events()) {
+    saw_hit |= e.kind == obs::EventKind::kFrontHit;
+    saw_invalidate |= e.kind == obs::EventKind::kFrontInvalidate;
+  }
+  EXPECT_TRUE(saw_hit);
+  EXPECT_TRUE(saw_invalidate);
+}
+
+}  // namespace
+}  // namespace ecc::fronttier

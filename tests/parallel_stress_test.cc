@@ -34,7 +34,8 @@ sfc::LinearizerOptions Grid() {
 }
 
 struct Fixture {
-  Fixture(std::size_t workers, std::size_t records_per_node)
+  Fixture(std::size_t workers, std::size_t records_per_node,
+          bool front_on = false)
       : provider(
             [] {
               cloudsim::CloudOptions o;
@@ -69,6 +70,12 @@ struct Fixture {
               o.contraction_epsilon = 2;
               o.obs.metrics = &metrics;
               o.obs.trace = &trace;
+              if (front_on) {
+                o.front.enabled = true;
+                o.front.tracker_counters = 32;
+                o.front.capacity = 16;
+                o.front.admit_min_count = 2;
+              }
               return o;
             }(),
             &striped, &service, &linearizer) {}
@@ -181,6 +188,89 @@ TEST(ParallelStressTest, BatchesWithTimeStepsStayConsistent) {
   EXPECT_EQ(f.coordinator.total_queries(), queries);
   // Decay eviction must have fired as interest drifted.
   EXPECT_GT(f.striped.stats().evictions, 0u);
+}
+
+// The front tier under chaos: workers hammer a hot set served from their
+// private front caches while a chaos thread concurrently evicts keys and
+// forces contraction — both of which fan invalidations through the shared
+// hub into every worker's cache.  TSan gets the hub's atomics, the
+// registry's shared fronttier.* cells, and the per-worker caches all
+// exercised at once; the assertions check the accounting still balances
+// and the front tier never inflated a hit count.
+TEST(ParallelStressTest, FrontTierInvalidationUnderChaos) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 400;
+  Fixture f(kThreads, /*records_per_node=*/48, /*front_on=*/true);
+
+  std::atomic<bool> done{false};
+  std::thread chaos([&f, &done] {
+    Rng rng(0xf207);
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)f.striped.TryContract();
+      std::vector<Key> doomed;
+      for (int i = 0; i < 8; ++i) {
+        // Half the evictions target the hot set, so front-resident entries
+        // get invalidated mid-stream, not just cold backend records.
+        doomed.push_back(i % 2 == 0 ? rng.Uniform(16)
+                                    : rng.Uniform(kKeyspace));
+      }
+      (void)f.striped.EvictKeys(doomed);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&f, t] {
+      Rng rng(0xf00d + t);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const Key k = (rng.Uniform(4) != 0)
+                          ? rng.Uniform(16)
+                          : rng.Uniform(kKeyspace);
+        const ParallelQueryResult r = f.coordinator.ProcessKeyAs(t, k);
+        EXPECT_GE(r.latency, Duration::Zero());
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  chaos.join();
+
+  EXPECT_EQ(f.coordinator.total_queries(), kThreads * kPerThread);
+  EXPECT_EQ(f.coordinator.total_hits() + f.coordinator.coalesced_hits() +
+                f.coordinator.total_misses(),
+            kThreads * kPerThread);
+  EXPECT_EQ(f.service.invocations(), f.coordinator.total_misses());
+  // Front hits are a subset of hits, and the hot set is hot enough that
+  // some queries must have been answered from the front tier.
+  EXPECT_LE(f.coordinator.front_hits(), f.coordinator.total_hits());
+  EXPECT_GT(f.coordinator.front_hits(), 0u);
+
+  const obs::MetricsSnapshot snap = f.metrics.Snapshot();
+  EXPECT_EQ(snap.CounterValue("fronttier.hits"), f.coordinator.front_hits());
+  // The chaos evictor invalidated front-resident hot keys mid-stream.
+  EXPECT_GT(snap.CounterValue("fronttier.lookups"), 0u);
+}
+
+// Front tier with quiesced time steps: window decay must age the trackers
+// (EndTimeStep touches every worker's cache at the boundary — single
+// threaded there by the quiesce assert, which TSan double-checks).
+TEST(ParallelStressTest, FrontTierBatchesWithTimeSteps) {
+  constexpr std::size_t kThreads = 4;
+  Fixture f(kThreads, /*records_per_node=*/64, /*front_on=*/true);
+  Rng rng(0x91);
+
+  for (int step = 0; step < 8; ++step) {
+    std::vector<Key> batch;
+    for (int i = 0; i < 200; ++i) {
+      batch.push_back(rng.Uniform(32));  // persistent hot locus
+    }
+    const ParallelBatchReport r = f.coordinator.RunKeys(batch);
+    EXPECT_EQ(r.hits + r.coalesced + r.misses, r.queries);
+    (void)f.coordinator.EndTimeStep();
+  }
+  EXPECT_GT(f.coordinator.front_hits(), 0u);
+  EXPECT_EQ(f.service.invocations(), f.coordinator.total_misses());
 }
 
 }  // namespace
