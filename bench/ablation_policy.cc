@@ -1,0 +1,204 @@
+// Ablation: cost-aware elasticity policies (DESIGN.md §13).
+//
+// The paper's elasticity rule is cost-blind: every cached record lives a
+// fixed window regardless of what holding it costs or whether it will be
+// reused.  This bench reruns the §IV.C phased-rate workload — with the
+// skewed (Zipf) key draw real query-intensive episodes show — under each
+// elasticity policy and reports the two numbers the paper argues in:
+// dollars billed and hit rate.
+//
+//   paper-baseline   decay window + epsilon merges (the seed rule)
+//   cost-ttl         per-key TTL from reuse distance vs. memory-hour cost
+//   mth-admission    cache a key only on its Mth requested miss
+//   predictive       baseline + forecast-driven warm-pool pre-provisioning
+//
+// Expected outcome: the fixed window treats every phase of the workload
+// the same, so it drops the one-hit tail exactly as slowly during the
+// intensive phase (where a slice of retention is expensive) as during the
+// cheap phases.  cost-ttl grants reused keys their full break-even
+// lifetime but only a fraction of it to keys never seen again, so it
+// sheds the tail sooner when time is dear and holds the reused set
+// longer when time is cheap: fewer misses AND a smaller bill than the
+// window on the same draw.  A uniform-draw control run (the paper's
+// exact workload, "the worst case for possible reuse") is reported
+// alongside: there cost-ttl gives up hit rate — nothing recurs, so
+// nothing earns retention — in exchange for a ~3x smaller bill.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "figcommon.h"
+#include "policy/cost_ttl.h"
+#include "policy/policy.h"
+#include "policy/provision.h"
+
+namespace ecc::bench {
+namespace {
+
+/// The planned phased intensity is a perfect volume forecast for the
+/// pre-provisioner.
+class ScheduleForecast final : public policy::VolumeForecast {
+ public:
+  explicit ScheduleForecast(const workload::RateSchedule* rate)
+      : rate_(rate) {}
+  [[nodiscard]] std::size_t VolumeAt(std::size_t step) const override {
+    return rate_->RateAt(step);
+  }
+
+ private:
+  const workload::RateSchedule* rate_;
+};
+
+struct Outcome {
+  workload::ExperimentSummary summary;
+  std::uint64_t admit_denials = 0;
+  std::uint64_t prewarm_launches = 0;
+};
+
+Outcome RunPolicy(const Config& cfg, policy::PolicyKind kind, bool hotspot,
+                  const std::string& label) {
+  StackParams params;
+  params.keyspace = cfg.GetInt("keyspace", 1 << 15);  // 32K inputs (§IV.C)
+  // Node size sets the economics: break_even ~ records_per_node / (rate *
+  // miss_rate) slices ~ 60 at the intensive-phase rate, so the one-shot
+  // tail (0.62 * break_even ~ 37 slices) dies sooner than the 50-slice
+  // window would allow while reused keys (full break-even) outlive it.
+  params.records_per_node = cfg.GetInt("records_per_node", 3072);
+  params.value_bytes = cfg.GetInt("value_bytes", 1000);
+  params.service_kind = cfg.GetString("service", "synthetic");
+  params.seed = cfg.GetInt("seed", 0x7c);
+  params.coordinator.window.slices = cfg.GetInt("window", 50);
+  params.coordinator.contraction_epsilon = cfg.GetInt("epsilon", 5);
+  params.min_nodes = cfg.GetInt("min_nodes", 2);
+
+  policy::PolicyParams pp;
+  pp.kind = kind;
+  pp.contraction_epsilon = params.coordinator.contraction_epsilon;
+  pp.admit_m = cfg.GetInt("admit_m", 2);
+  pp.provision_quota = cfg.GetInt("quota", 12);
+  // TTL floor: keeps a transient all-miss slice (break_even collapses
+  // toward rate * 23 s of virtual time) from evicting the hot set before
+  // it can prove its reuse.
+  pp.ttl_min_slices = cfg.GetInt("ttl_min", 8);
+  // A large alpha means "trust the break-even cap, not the noisy per-key
+  // gap estimate": Zipf inter-arrivals are roughly geometric, so ttl =
+  // 2 * gap_ema still loses ~e^-2 of genuine reuses; 12x loses none that
+  // the economics would keep anyway (the cap binds first).
+  pp.ttl_alpha = cfg.GetDouble("ttl_alpha", 12.0);
+  pp.ttl_one_shot_fraction = cfg.GetDouble("ttl_one_shot", 0.62);
+  std::unique_ptr<policy::ElasticityPolicy> pol = policy::MakePolicy(pp);
+
+  const auto rate = workload::PaperPhasedSchedule();
+  ScheduleForecast forecast(rate.get());
+  if (kind == policy::PolicyKind::kPredictive) {
+    static_cast<policy::PredictiveProvisionPolicy*>(pol.get())
+        ->set_forecast(&forecast);
+  }
+  params.coordinator.policy = pol.get();
+  Stack stack = BuildStack(params);
+
+  std::unique_ptr<workload::KeyGenerator> keys;
+  const std::uint64_t wseed = cfg.GetInt("workload_seed", 0xabc);
+  if (hotspot) {
+    const std::string keys_kind = cfg.GetString("keys", "zipf");
+    if (keys_kind == "hotspot") {
+      keys = std::make_unique<workload::HotspotKeyGenerator>(
+          params.keyspace, cfg.GetDouble("hot_fraction", 0.02),
+          cfg.GetDouble("hot_prob", 0.9), wseed);
+    } else {
+      keys = std::make_unique<workload::ZipfKeyGenerator>(
+          params.keyspace, cfg.GetDouble("zipf_s", 1.1), wseed);
+    }
+  } else {
+    keys = std::make_unique<workload::UniformKeyGenerator>(params.keyspace,
+                                                           wseed);
+  }
+
+  workload::ExperimentOptions eopts;
+  eopts.time_steps = cfg.GetInt("steps", 400);
+  eopts.observe_every = cfg.GetInt("observe_every", 10);
+  eopts.label = label;
+  workload::ExperimentDriver driver(eopts, stack.coordinator.get(),
+                                    keys.get(), rate.get(),
+                                    stack.provider.get(), stack.clock.get());
+  Outcome out;
+  out.summary = driver.Run().summary;
+  out.admit_denials = stack.coordinator->admit_denials();
+  out.prewarm_launches = stack.coordinator->prewarm_launches();
+  return out;
+}
+
+constexpr policy::PolicyKind kKinds[] = {
+    policy::PolicyKind::kPaperBaseline,
+    policy::PolicyKind::kCostAwareTtl,
+    policy::PolicyKind::kMthAdmission,
+    policy::PolicyKind::kPredictive,
+};
+
+int Main(int argc, char** argv) {
+  Log::SetLevel(LogLevel::kError);
+  const Config cfg = ParseArgs(argc, argv);
+  PrintHeader("Ablation — Cost-Aware Elasticity Policies (DESIGN.md §13)",
+              "Phased-rate workload under each elasticity policy: dollars "
+              "billed vs. hit rate, skewed and uniform key draws.");
+
+  Table table({"scenario", "policy", "cost_usd", "hit_rate", "max_nodes",
+               "evictions", "denied", "prewarmed"});
+  Outcome hot[4], uni[4];
+  for (int scenario = 0; scenario < 2; ++scenario) {
+    const bool hotspot = scenario == 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const char* name = policy::PolicyKindName(kKinds[i]);
+      Outcome& out = hotspot ? hot[i] : uni[i];
+      out = RunPolicy(cfg, kKinds[i], hotspot,
+                      std::string(name) + (hotspot ? "" : "-uniform"));
+      table.AddRow({hotspot ? "skewed" : "uniform", name,
+                    FormatG(out.summary.cost_usd),
+                    FormatG(out.summary.hit_rate),
+                    FormatG(static_cast<double>(out.summary.max_nodes)),
+                    FormatG(static_cast<double>(out.summary.evictions)),
+                    FormatG(static_cast<double>(out.admit_denials)),
+                    FormatG(static_cast<double>(out.prewarm_launches))});
+      const std::string suffix =
+          std::string(hotspot ? "" : "_uniform") + "_" + name;
+      BenchMetric("cost_usd" + suffix, out.summary.cost_usd);
+      BenchMetric("hit_rate" + suffix, out.summary.hit_rate);
+    }
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+
+  const Outcome& base = hot[0];
+  const Outcome& ttl = hot[1];
+  const Outcome& mth = hot[2];
+  const Outcome& pre = hot[3];
+
+  bool ok = true;
+  // The headline $cost claim the CI gate holds: economic TTLs beat the
+  // fixed window on dollars without giving up hits.
+  ok &= ShapeCheck("cost-ttl bills fewer dollars than paper-baseline "
+                   "(phased skewed draw)",
+                   ttl.summary.cost_usd < base.summary.cost_usd);
+  ok &= ShapeCheck("cost-ttl holds the baseline hit rate (>= baseline)",
+                   ttl.summary.hit_rate >= base.summary.hit_rate);
+  ok &= ShapeCheck("cost-ttl never grows a larger fleet than baseline",
+                   ttl.summary.max_nodes <= base.summary.max_nodes);
+  ok &= ShapeCheck("mth-admission refuses one-hit-wonder insertions",
+                   mth.admit_denials > 0);
+  ok &= ShapeCheck("mth-admission does not bill more than baseline",
+                   mth.summary.cost_usd <= base.summary.cost_usd);
+  ok &= ShapeCheck("predictive policy pre-provisions during the ramp",
+                   pre.prewarm_launches > 0);
+  ok &= ShapeCheck("predictive hit rate matches baseline (same eviction "
+                   "rule)",
+                   pre.summary.hit_rate >= base.summary.hit_rate - 0.01);
+  std::printf("\n");
+  MaybeWriteBenchJson(cfg, "ablation_policy");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ecc::bench
+
+int main(int argc, char** argv) { return ecc::bench::Main(argc, argv); }

@@ -144,6 +144,9 @@ Stack BuildStack(const StackParams& p) {
 
   core::CoordinatorOptions copts = p.coordinator;
   copts.obs = obs;
+  // Elastic stacks feed the coordinator's elasticity policy its cost
+  // context (billing snapshot per boundary) and receive prewarm launches.
+  if (copts.provider == nullptr) copts.provider = s.provider.get();
   s.coordinator = std::make_unique<core::Coordinator>(
       copts, s.cache.get(), s.service.get(), s.linearizer.get(),
       s.clock.get());

@@ -42,6 +42,10 @@ fig fig5_window_speedup
 fig fig6_reuse_eviction
 fig fig7_decay
 
+# Elasticity-policy ablation: $cost + hit rate per policy, with the
+# cost-ttl-beats-the-window shape checks the regression gate holds.
+fig ablation_policy
+
 # Subsystem benches.
 fig micro_overload
 fig micro_obs

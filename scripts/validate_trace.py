@@ -42,6 +42,7 @@ SCHEMAS = {
     "scrub_repair": {"key": int, "kind": str},
     "front_hit": {"key": int},
     "front_invalidate": {"key": int, "reason": str},
+    "policy_decision": {"decision": str, "b": int, "c": int},
 }
 
 OPTIONAL = {"node": int, "key": int}
@@ -54,6 +55,7 @@ BREAKER_STATES = {"closed", "open", "half_open"}
 STALE_SOURCES = {"replica", "spill"}
 SCRUB_KINDS = {"missing_mirror", "conflict"}
 FRONT_INVALIDATE_REASONS = {"version", "epoch", "capacity", "window"}
+POLICY_DECISIONS = {"evict_override", "admit_deny", "contract", "prewarm"}
 
 # Sweep-and-migrate has six phase steps (fault::MigrationStep).
 MAX_MIGRATION_STEP = 5
@@ -137,6 +139,14 @@ def check_line(path, lineno, line):
             event["reason"] not in FRONT_INVALIDATE_REASONS):
         fail(path, lineno,
              f"bad front invalidate reason: {event['reason']!r}")
+    if kind == "policy_decision":
+        if event["decision"] not in POLICY_DECISIONS:
+            fail(path, lineno,
+                 f"bad policy decision: {event['decision']!r}")
+        if event["decision"] == "admit_deny" and "key" not in event:
+            fail(path, lineno, "policy admit_deny without a key")
+        if event["b"] < 0 or event["c"] < 0:
+            fail(path, lineno, f"negative policy decision counts: {event!r}")
 
 
 def validate(path):

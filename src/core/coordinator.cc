@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "cloudsim/billing.h"
 #include "common/log.h"
 
 namespace ecc::core {
@@ -21,9 +22,20 @@ Coordinator::Coordinator(CoordinatorOptions opts, CacheBackend* cache,
       dynamic_(opts.dynamic) {
   assert(cache != nullptr && service != nullptr && linearizer != nullptr &&
          clock != nullptr);
+  policy_ = opts_.policy;
+  if (policy_ == nullptr) {
+    own_policy_ =
+        std::make_unique<policy::PaperBaselinePolicy>(opts_.contraction_epsilon);
+    policy_ = own_policy_.get();
+  }
+  last_boundary_ = clock_->now();
   m_queries_ = opts_.obs.MakeCounter("coordinator.queries");
   m_hits_ = opts_.obs.MakeCounter("coordinator.hits");
   m_misses_ = opts_.obs.MakeCounter("coordinator.misses");
+  m_policy_evictions_ = opts_.obs.MakeCounter("policy.evictions");
+  m_policy_denials_ = opts_.obs.MakeCounter("policy.admit_denials");
+  m_policy_contracts_ = opts_.obs.MakeCounter("policy.contract_signals");
+  m_policy_prewarms_ = opts_.obs.MakeCounter("policy.prewarm_launches");
   trace_ = opts_.obs.trace;
   telemetry_ = opts_.obs.telemetry;
   if (opts_.overload.enabled) {
@@ -97,6 +109,7 @@ QueryOutcome Coordinator::ProcessKey(Key k) {
       step_query_time_ += outcome.latency;
       total_query_time_ += outcome.latency;
       m_hits_.Inc();
+      policy_->OnQuery(k, true, steps_ended_);
       obs::Emit(trace_,
                 obs::QueryEndEvent(clock_->now(), k,
                                    obs::QueryOutcomeKind::kHit,
@@ -200,20 +213,33 @@ QueryOutcome Coordinator::ProcessKey(Key k) {
       }
     }
     if (have_payload) {
-      // The insert is cache maintenance, not caller-visible wait: suspend
-      // the query's (possibly already-expired) deadline so the late answer
-      // still warms the cache instead of having its Put RPC clipped.
-      const overload::ScopedDeadline unclipped{Deadline{}};
-      const Status s = cache_->Put(k, std::move(payload));
-      if (!s.ok()) {
-        ECC_LOG_WARN("coordinator: put failed for key %llu: %s",
-                     static_cast<unsigned long long>(k),
-                     s.ToString().c_str());
+      // Admission gate: the caller already has the answer; the policy only
+      // decides whether caching it is worth the memory (Mth-request
+      // admission keeps one-hit wonders out, DESIGN.md §13.3).
+      if (policy_->AdmitOnMiss(k)) {
+        // The insert is cache maintenance, not caller-visible wait: suspend
+        // the query's (possibly already-expired) deadline so the late
+        // answer still warms the cache instead of having its Put RPC
+        // clipped.
+        const overload::ScopedDeadline unclipped{Deadline{}};
+        const Status s = cache_->Put(k, std::move(payload));
+        if (!s.ok()) {
+          ECC_LOG_WARN("coordinator: put failed for key %llu: %s",
+                       static_cast<unsigned long long>(k),
+                       s.ToString().c_str());
+        }
+        // Re-caching makes the key fresh again for staleness accounting.
+        if (!evicted_at_.empty()) evicted_at_.erase(k);
+      } else {
+        ++admit_denials_;
+        m_policy_denials_.Inc();
+        obs::Emit(trace_, obs::PolicyDecisionEvent(
+                              clock_->now(),
+                              obs::PolicyDecisionCode::kAdmitDeny, k, 0, 0));
       }
-      // Re-caching makes the key fresh again for staleness accounting.
-      if (!evicted_at_.empty()) evicted_at_.erase(k);
     }
   }
+  policy_->OnQuery(k, outcome.hit, steps_ended_);
   outcome.latency = clock_->now() - start;
   step_query_time_ += outcome.latency;
   total_query_time_ += outcome.latency;
@@ -240,6 +266,33 @@ StatusOr<QueryOutcome> Coordinator::ProcessQuery(
   return ProcessKey(*key);
 }
 
+policy::PolicyContext Coordinator::BuildPolicyContext(
+    std::size_t expired_slices, const TimeStepReport& report) {
+  policy::PolicyContext ctx;
+  ctx.step = steps_ended_;
+  ctx.expired_slices = expired_slices;
+  ctx.step_queries = report.step_queries;
+  ctx.step_hits = report.step_hits;
+  ctx.node_count = cache_->NodeCount();
+  ctx.total_records = cache_->TotalRecords();
+  ctx.used_bytes = cache_->TotalUsedBytes();
+  ctx.capacity_bytes = cache_->TotalCapacityBytes();
+  const TimePoint now = clock_->now();
+  ctx.slice_hours = (now - last_boundary_).seconds() / 3600.0;
+  last_boundary_ = now;
+  if (opts_.provider != nullptr) {
+    ctx.live_instances = opts_.provider->LiveCount();
+    ctx.warm_pool = opts_.provider->WarmPoolCount();
+    const cloudsim::BillingReport bill =
+        cloudsim::MakeBillingReport(*opts_.provider, now);
+    ctx.accrued_usd = bill.total_usd;
+    if (bill.node_hours > 0) {
+      ctx.usd_per_node_hour = bill.total_usd / bill.node_hours;
+    }
+  }
+  return ctx;
+}
+
 TimeStepReport Coordinator::EndTimeStep() {
   TimeStepReport report;
   report.step_queries = step_queries_;
@@ -254,15 +307,25 @@ TimeStepReport Coordinator::EndTimeStep() {
   }
 
   const SliceExpiry expiry = window_.AdvanceSlice();
-  if (!expiry.evicted.empty() && opts_.overload.enabled &&
-      opts_.overload.stale_serve) {
+  const policy::PolicyContext ctx =
+      BuildPolicyContext(expiry.expired_slices, report);
+  const std::vector<Key> evict = policy_->SelectEvictions(expiry.evicted, ctx);
+  if (evict.size() != expiry.evicted.size()) {
+    obs::Emit(trace_,
+              obs::PolicyDecisionEvent(
+                  clock_->now(), obs::PolicyDecisionCode::kEvictOverride,
+                  obs::kNoKey, static_cast<std::int64_t>(evict.size()),
+                  static_cast<std::int64_t>(expiry.evicted.size())));
+  }
+  if (!evict.empty() && opts_.overload.enabled && opts_.overload.stale_serve) {
     // Stamp eviction time: any copy that survives past this point (a
     // mirror whose ERASE was lost, a spill record) is stale from here on.
-    for (const Key k : expiry.evicted) evicted_at_[k] = steps_ended_;
+    for (const Key k : evict) evicted_at_[k] = steps_ended_;
   }
-  if (!expiry.evicted.empty()) {
+  if (!evict.empty()) {
+    m_policy_evictions_.Inc(evict.size());
     if (spill_ != nullptr) {
-      auto extracted = cache_->ExtractKeys(expiry.evicted);
+      auto extracted = cache_->ExtractKeys(evict);
       report.evicted = extracted.size();
       for (auto& [k, v] : extracted) {
         spill_->Put(k, std::move(v));
@@ -270,14 +333,25 @@ TimeStepReport Coordinator::EndTimeStep() {
       }
       report.spilled = extracted.size();
     } else {
-      report.evicted = cache_->EvictKeys(expiry.evicted);
+      report.evicted = cache_->EvictKeys(evict);
     }
   }
-  if (expiry.expired_slices > 0 && opts_.contraction_epsilon > 0) {
-    expirations_since_contract_ += expiry.expired_slices;
-    if (expirations_since_contract_ >= opts_.contraction_epsilon) {
-      expirations_since_contract_ = 0;
-      report.contracted = cache_->TryContract();
+  if (policy_->ShouldContract(ctx)) {
+    m_policy_contracts_.Inc();
+    obs::Emit(trace_, obs::PolicyDecisionEvent(
+                          clock_->now(), obs::PolicyDecisionCode::kContract,
+                          obs::kNoKey, 0, 0));
+    report.contracted = cache_->TryContract();
+  }
+  if (opts_.provider != nullptr) {
+    const std::size_t n = policy_->PrewarmTarget(ctx);
+    if (n > 0) {
+      opts_.provider->PrewarmAsync(n);
+      prewarm_launches_ += n;
+      m_policy_prewarms_.Inc(n);
+      obs::Emit(trace_, obs::PolicyDecisionEvent(
+                            clock_->now(), obs::PolicyDecisionCode::kPrewarm,
+                            obs::kNoKey, static_cast<std::int64_t>(n), 0));
     }
   }
   report.window_slices = window_.options().slices;

@@ -9,7 +9,10 @@
 // The coordinator also hosts the *global* elasticity machinery: the sliding
 // window records every queried key; when a time slice ends it expires old
 // keys (decay eviction), and every epsilon expirations it asks the backend
-// to attempt a contraction merge.
+// to attempt a contraction merge.  Both decisions — plus miss admission and
+// warm-pool pre-provisioning — are delegated to a pluggable
+// policy::ElasticityPolicy (DESIGN.md §13); the default reproduces the
+// paper rule exactly.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +20,7 @@
 #include <unordered_map>
 
 #include "cloudsim/persistent_store.h"
+#include "cloudsim/provider.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "core/backend.h"
@@ -28,6 +32,7 @@
 #include "obs/obs.h"
 #include "overload/breaker.h"
 #include "overload/overload.h"
+#include "policy/policy.h"
 #include "service/service.h"
 #include "sfc/linearizer.h"
 
@@ -55,6 +60,16 @@ struct CoordinatorOptions {
   /// staleness.  front.hub may name a shared external hub; otherwise the
   /// coordinator owns a private one and attaches it to the backend.
   fronttier::FrontTierOptions front;
+  /// Elasticity policy consulted per query (OnQuery/AdmitOnMiss) and per
+  /// EndTimeStep (SelectEvictions/ShouldContract/PrewarmTarget).  Not
+  /// owned; nullptr means the coordinator owns a PaperBaselinePolicy built
+  /// from contraction_epsilon — exactly the seed behavior.
+  policy::ElasticityPolicy* policy = nullptr;
+  /// Cloud provider backing the fleet (not owned, optional).  Feeds the
+  /// policy's cost context (billing snapshot per boundary) and receives
+  /// PrewarmTarget() launches; without it the context's cost fields stay
+  /// zero and prewarm decisions are dropped.
+  cloudsim::CloudProvider* provider = nullptr;
 };
 
 /// End-to-end result of one query.
@@ -139,6 +154,15 @@ class Coordinator {
 
   [[nodiscard]] const SlidingWindow& window() const { return window_; }
   [[nodiscard]] CacheBackend& cache() { return *cache_; }
+  /// The active elasticity policy (the owned baseline when none was
+  /// supplied).
+  [[nodiscard]] policy::ElasticityPolicy& policy() { return *policy_; }
+  /// Miss results the policy refused to cache.
+  [[nodiscard]] std::uint64_t admit_denials() const { return admit_denials_; }
+  /// Warm-pool instances launched on the policy's PrewarmTarget.
+  [[nodiscard]] std::uint64_t prewarm_launches() const {
+    return prewarm_launches_;
+  }
   /// The front-tier cache; nullptr unless opts.front.enabled.
   [[nodiscard]] const fronttier::FrontCache* front() const {
     return front_.get();
@@ -169,9 +193,15 @@ class Coordinator {
   /// the record was pruned as too old (or never existed).
   [[nodiscard]] bool StaleWithinBound(Key k, std::uint64_t* age) const;
 
+  /// Fleet/cost snapshot for the boundary-time policy decisions.
+  [[nodiscard]] policy::PolicyContext BuildPolicyContext(
+      std::size_t expired_slices, const TimeStepReport& report);
+
   // Null-safe observability handles (unregistered when no registry wired).
   obs::Counter m_queries_, m_hits_, m_misses_;
   obs::Counter m_shed_, m_stale_, m_deadline_;
+  obs::Counter m_policy_evictions_, m_policy_denials_;
+  obs::Counter m_policy_contracts_, m_policy_prewarms_;
   obs::TraceLog* trace_ = nullptr;
   obs::FleetTelemetry* telemetry_ = nullptr;
   std::size_t steps_ended_ = 0;
@@ -190,7 +220,15 @@ class Coordinator {
   std::unique_ptr<fronttier::FrontCache> front_;
   std::uint64_t front_hits_ = 0;
 
-  std::size_t expirations_since_contract_ = 0;
+  // Elasticity policy (owned baseline unless opts_.policy was supplied).
+  std::unique_ptr<policy::ElasticityPolicy> own_policy_;
+  policy::ElasticityPolicy* policy_ = nullptr;
+  /// Clock stamp of the previous EndTimeStep (slice duration for the
+  /// policy's cost context).
+  TimePoint last_boundary_;
+  std::uint64_t admit_denials_ = 0;
+  std::uint64_t prewarm_launches_ = 0;
+
   // Per-step counters (reset by EndTimeStep).
   std::size_t step_queries_ = 0;
   std::size_t step_hits_ = 0;

@@ -20,6 +20,15 @@ ParallelCoordinator::ParallelCoordinator(ParallelCoordinatorOptions opts,
       pool_(opts.workers == 0 ? 1 : opts.workers),
       window_(opts.window) {
   assert(cache != nullptr && service != nullptr && linearizer != nullptr);
+  policy_ = opts_.policy;
+  if (policy_ == nullptr) {
+    own_policy_ =
+        std::make_unique<policy::PaperBaselinePolicy>(opts_.contraction_epsilon);
+    policy_ = own_policy_.get();
+  }
+  m_policy_evictions_ = opts_.obs.MakeCounter("policy.evictions");
+  m_policy_contracts_ = opts_.obs.MakeCounter("policy.contract_signals");
+  m_policy_prewarms_ = opts_.obs.MakeCounter("policy.prewarm_launches");
   m_queries_ = opts_.obs.MakeCounter("pc.queries");
   m_hits_ = opts_.obs.MakeCounter("pc.hits");
   m_coalesced_ = opts_.obs.MakeCounter("pc.coalesced");
@@ -465,17 +474,50 @@ TimeStepReport ParallelCoordinator::EndTimeStep() {
   report.step_query_time = Duration::Micros(step_query_time_us_.exchange(0));
 
   const SliceExpiry expiry = window_.AdvanceSlice();
-  if (!expiry.evicted.empty() && opts_.overload.enabled &&
+
+  // Boundary timestamp for policy context and trace events: the batch's
+  // virtual "now" is the furthest worker clock (quiesced, so stable).
+  TimePoint boundary_now;
+  for (const WorkerState& w : worker_states_) {
+    boundary_now = std::max(boundary_now, w.clock.now());
+  }
+  // Policy context + boundary decisions.  This front-end is quiesced here
+  // (asserted above), so consulting the single-threaded policy is safe;
+  // the per-query hooks (OnQuery/AdmitOnMiss) are deliberately never
+  // called from the worker threads.
+  policy::PolicyContext ctx;
+  ctx.step = steps_ended_;
+  ctx.expired_slices = expiry.expired_slices;
+  ctx.step_queries = report.step_queries;
+  ctx.step_hits = report.step_hits;
+  ctx.node_count = cache_->NodeCount();
+  ctx.total_records = cache_->TotalRecords();
+  ctx.used_bytes = cache_->TotalUsedBytes();
+  ctx.capacity_bytes = cache_->TotalCapacityBytes();
+  if (opts_.provider != nullptr) {
+    ctx.live_instances = opts_.provider->LiveCount();
+    ctx.warm_pool = opts_.provider->WarmPoolCount();
+  }
+  const std::vector<Key> evict = policy_->SelectEvictions(expiry.evicted, ctx);
+  if (evict.size() != expiry.evicted.size()) {
+    obs::Emit(trace_,
+              obs::PolicyDecisionEvent(
+                  boundary_now, obs::PolicyDecisionCode::kEvictOverride,
+                  obs::kNoKey, static_cast<std::int64_t>(evict.size()),
+                  static_cast<std::int64_t>(expiry.evicted.size())));
+  }
+  if (!evict.empty() && opts_.overload.enabled &&
       opts_.overload.stale_serve) {
     // Stamp eviction time: any copy that survives past this point (a
     // mirror whose ERASE was lost, a spill record) is stale from here on.
     const std::lock_guard<std::mutex> g(spill_mutex_);
-    for (const Key k : expiry.evicted) evicted_at_[k] = steps_ended_;
+    for (const Key k : evict) evicted_at_[k] = steps_ended_;
   }
-  if (!expiry.evicted.empty()) {
+  if (!evict.empty()) {
+    m_policy_evictions_.Inc(evict.size());
     const std::lock_guard<std::mutex> g(spill_mutex_);
     if (spill_ != nullptr) {
-      auto extracted = cache_->ExtractKeys(expiry.evicted);
+      auto extracted = cache_->ExtractKeys(evict);
       report.evicted = extracted.size();
       for (auto& [k, v] : extracted) {
         spill_->Put(k, std::move(v));
@@ -483,14 +525,25 @@ TimeStepReport ParallelCoordinator::EndTimeStep() {
       }
       report.spilled = extracted.size();
     } else {
-      report.evicted = cache_->EvictKeys(expiry.evicted);
+      report.evicted = cache_->EvictKeys(evict);
     }
   }
-  if (expiry.expired_slices > 0 && opts_.contraction_epsilon > 0) {
-    expirations_since_contract_ += expiry.expired_slices;
-    if (expirations_since_contract_ >= opts_.contraction_epsilon) {
-      expirations_since_contract_ = 0;
-      report.contracted = cache_->TryContract();
+  if (policy_->ShouldContract(ctx)) {
+    m_policy_contracts_.Inc();
+    obs::Emit(trace_, obs::PolicyDecisionEvent(
+                          boundary_now, obs::PolicyDecisionCode::kContract,
+                          obs::kNoKey, 0, 0));
+    report.contracted = cache_->TryContract();
+  }
+  if (opts_.provider != nullptr) {
+    const std::size_t n = policy_->PrewarmTarget(ctx);
+    if (n > 0) {
+      opts_.provider->PrewarmAsync(n);
+      prewarm_launches_ += n;
+      m_policy_prewarms_.Inc(n);
+      obs::Emit(trace_, obs::PolicyDecisionEvent(
+                            boundary_now, obs::PolicyDecisionCode::kPrewarm,
+                            obs::kNoKey, static_cast<std::int64_t>(n), 0));
     }
   }
   report.window_slices = window_.options().slices;

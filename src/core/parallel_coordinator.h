@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cloudsim/persistent_store.h"
+#include "cloudsim/provider.h"
 #include "common/histogram.h"
 #include "common/status.h"
 #include "common/threadpool.h"
@@ -45,6 +46,7 @@
 #include "overload/admission.h"
 #include "overload/breaker.h"
 #include "overload/overload.h"
+#include "policy/policy.h"
 #include "service/service.h"
 #include "sfc/linearizer.h"
 
@@ -76,6 +78,16 @@ struct ParallelCoordinatorOptions {
   /// hub (several coordinators over one backend); otherwise this
   /// coordinator owns one and attaches it to the backend.
   fronttier::FrontTierOptions front;
+  /// Elasticity policy (not owned; nullptr = owned PaperBaselinePolicy
+  /// from contraction_epsilon).  Policies are not thread-safe, so this
+  /// front-end consults only the boundary-time decisions (SelectEvictions/
+  /// ShouldContract/PrewarmTarget) at the quiesced EndTimeStep; the
+  /// per-query hooks (OnQuery/AdmitOnMiss) are never called — reuse-based
+  /// policies degrade gracefully to the decay rule (DESIGN.md §13.6).
+  policy::ElasticityPolicy* policy = nullptr;
+  /// Cloud provider for the policy cost context + prewarm application
+  /// (not owned, optional; touched only at the quiesced boundary).
+  cloudsim::CloudProvider* provider = nullptr;
 };
 
 /// How one query was answered.
@@ -174,6 +186,14 @@ class ParallelCoordinator {
 
   [[nodiscard]] std::size_t workers() const { return worker_states_.size(); }
   [[nodiscard]] CacheBackend& cache() { return *cache_; }
+  /// The active elasticity policy (owned baseline when none was supplied).
+  /// Safe to inspect only while quiesced.
+  [[nodiscard]] policy::ElasticityPolicy& policy() { return *policy_; }
+  /// Warm-pool instances launched on the policy's PrewarmTarget (quiesced
+  /// reads).
+  [[nodiscard]] std::uint64_t prewarm_launches() const {
+    return prewarm_launches_;
+  }
   /// The window is safe to inspect only while no queries are in flight.
   [[nodiscard]] const SlidingWindow& window() const { return window_; }
 
@@ -282,7 +302,11 @@ class ParallelCoordinator {
 
   std::mutex window_mutex_;  ///< guards window_ recording
   SlidingWindow window_;
-  std::size_t expirations_since_contract_ = 0;
+
+  // Elasticity policy, consulted only at the quiesced boundary.
+  std::unique_ptr<policy::ElasticityPolicy> own_policy_;
+  policy::ElasticityPolicy* policy_ = nullptr;
+  std::uint64_t prewarm_launches_ = 0;  ///< written quiesced
 
   std::mutex flights_mutex_;  ///< guards flights_
   std::unordered_map<Key, std::shared_future<FlightResult>> flights_;
@@ -292,6 +316,7 @@ class ParallelCoordinator {
   // timestamps are per-worker monotone, not globally ordered.
   obs::Counter m_queries_, m_hits_, m_coalesced_, m_misses_;
   obs::Counter m_shed_, m_stale_, m_deadline_;
+  obs::Counter m_policy_evictions_, m_policy_contracts_, m_policy_prewarms_;
   obs::Gauge g_queue_peak_;
   obs::TraceLog* trace_ = nullptr;
   obs::FleetTelemetry* telemetry_ = nullptr;

@@ -30,6 +30,7 @@ const char* EventKindName(EventKind k) {
     case EventKind::kScrubRepair: return "scrub_repair";
     case EventKind::kFrontHit: return "front_hit";
     case EventKind::kFrontInvalidate: return "front_invalidate";
+    case EventKind::kPolicyDecision: return "policy_decision";
   }
   return "unknown";
 }
@@ -92,6 +93,16 @@ const char* ScrubRepairKindName(std::int64_t code) {
   switch (static_cast<ScrubRepairKind>(code)) {
     case ScrubRepairKind::kMissingMirror: return "missing_mirror";
     case ScrubRepairKind::kConflict: return "conflict";
+  }
+  return "unknown";
+}
+
+const char* PolicyDecisionCodeName(std::int64_t code) {
+  switch (static_cast<PolicyDecisionCode>(code)) {
+    case PolicyDecisionCode::kEvictOverride: return "evict_override";
+    case PolicyDecisionCode::kAdmitDeny: return "admit_deny";
+    case PolicyDecisionCode::kContract: return "contract";
+    case PolicyDecisionCode::kPrewarm: return "prewarm";
   }
   return "unknown";
 }
@@ -280,6 +291,13 @@ TraceEvent FrontInvalidateEvent(TimePoint t, std::uint64_t key, int reason) {
   return Make(t, EventKind::kFrontInvalidate, kNoNode, key, reason, 0, 0);
 }
 
+TraceEvent PolicyDecisionEvent(TimePoint t, PolicyDecisionCode code,
+                               std::uint64_t key, std::int64_t b,
+                               std::int64_t c) {
+  return Make(t, EventKind::kPolicyDecision, kNoNode, key,
+              static_cast<std::int64_t>(code), b, c);
+}
+
 TraceLog::TraceLog(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
   ring_.reserve(std::min<std::size_t>(capacity_, 1024));
@@ -416,6 +434,11 @@ std::string EventToJson(const TraceEvent& e) {
       break;
     case EventKind::kFrontInvalidate:
       AppendField(out, "reason", FrontInvalidateReasonName(e.a));
+      break;
+    case EventKind::kPolicyDecision:
+      AppendField(out, "decision", PolicyDecisionCodeName(e.a));
+      AppendField(out, "b", e.b);
+      AppendField(out, "c", e.c);
       break;
   }
   out += '}';

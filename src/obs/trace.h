@@ -46,8 +46,9 @@ enum class EventKind : std::uint8_t {
   kScrubRepair,       ///< anti-entropy fixed a divergence (a = ScrubRepairKind)
   kFrontHit,          ///< answered from the coordinator front tier
   kFrontInvalidate,   ///< front entry dropped (a = FrontInvalidateReason code)
+  kPolicyDecision,    ///< elasticity policy acted (a = PolicyDecisionCode)
 };
-inline constexpr int kEventKindCount = 22;
+inline constexpr int kEventKindCount = 23;
 
 [[nodiscard]] const char* EventKindName(EventKind k);
 
@@ -80,6 +81,18 @@ enum class BreakerStateCode : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
 /// field.  kMissingMirror = the primary had no surviving mirror copy;
 /// kConflict = primary and mirror disagreed on the value (primary wins).
 enum class ScrubRepairKind : int { kMissingMirror = 0, kConflict = 1 };
+
+/// What the elasticity policy decided, carried in kPolicyDecision's `a`
+/// field.  kAdmitDeny carries the refused key; kEvictOverride fires when a
+/// policy's eviction set differs from the decay candidates (b = selected,
+/// c = candidates); kPrewarm carries the instance count in b; kContract
+/// fires when the policy signals a merge attempt.
+enum class PolicyDecisionCode : int {
+  kEvictOverride = 0,
+  kAdmitDeny = 1,
+  kContract = 2,
+  kPrewarm = 3,
+};
 
 /// Fault category codes carried in kFaultInjected's `a` field.
 enum class FaultCode : int {
@@ -163,6 +176,12 @@ struct TraceEvent {
 /// 2 = capacity, 3 = window.
 [[nodiscard]] TraceEvent FrontInvalidateEvent(TimePoint t, std::uint64_t key,
                                               int reason);
+/// `key` is meaningful for kAdmitDeny only (pass kNoKey otherwise); `b`/`c`
+/// carry per-code counts (see PolicyDecisionCode).
+[[nodiscard]] TraceEvent PolicyDecisionEvent(TimePoint t,
+                                             PolicyDecisionCode code,
+                                             std::uint64_t key, std::int64_t b,
+                                             std::int64_t c);
 
 class TraceLog {
  public:

@@ -1,0 +1,39 @@
+#include "policy/admission.h"
+
+#include <algorithm>
+
+namespace ecc::policy {
+
+MthRequestAdmissionPolicy::MthRequestAdmissionPolicy(
+    const PolicyParams& params)
+    : p_(params), cadence_(params.contraction_epsilon) {
+  p_.admit_m = std::max<std::size_t>(p_.admit_m, 1);
+  p_.admit_ghost_capacity = std::max<std::size_t>(p_.admit_ghost_capacity, 1);
+}
+
+bool MthRequestAdmissionPolicy::AdmitOnMiss(Key k) {
+  if (p_.admit_m <= 1) return true;
+  auto it = ghost_.find(k);
+  if (it == ghost_.end()) {
+    // FIFO bound: forget the oldest ghost before remembering a new one.
+    // A forgotten key restarts its count — the worst-case bound the ghost
+    // capacity trades memory against.
+    if (ghost_.size() >= p_.admit_ghost_capacity) {
+      ghost_.erase(order_.front());
+      order_.pop_front();
+    }
+    order_.push_back(k);
+    ghost_.emplace(k, Ghost{1, std::prev(order_.end())});
+    ++denied_;
+    return false;
+  }
+  if (++it->second.count >= p_.admit_m) {
+    order_.erase(it->second.order_it);
+    ghost_.erase(it);
+    return true;
+  }
+  ++denied_;
+  return false;
+}
+
+}  // namespace ecc::policy

@@ -1,0 +1,62 @@
+// Cache-on-Mth-request admission (DESIGN.md §13.3).
+//
+// Under a near-uniform key draw most keys are one-hit wonders: caching
+// their 1000-byte result spends memory (and eventually a node-hour) on a
+// record that will never be read.  Following the Mth-request insertion
+// policies (*Worst-case Bounds ... Mth Request Insertion Policies*,
+// PAPERS.md), a missed key is only admitted on its Mth requested miss; the
+// first M-1 are remembered in a bounded FIFO ghost table that holds keys
+// and counts, never payloads.  M = 1 degenerates to admit-everything.
+//
+// Invariant (conformance suite): the Mth AdmitOnMiss call for a key whose
+// ghost entry survived returns true — admission delays a key, it never
+// starves one.  Eviction and contraction follow the paper baseline.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace ecc::policy {
+
+class MthRequestAdmissionPolicy final : public ElasticityPolicy {
+ public:
+  explicit MthRequestAdmissionPolicy(const PolicyParams& params);
+
+  [[nodiscard]] std::string Name() const override { return "mth-admission"; }
+
+  [[nodiscard]] bool AdmitOnMiss(Key k) override;
+
+  [[nodiscard]] std::vector<Key> SelectEvictions(
+      const std::vector<Key>& decay_candidates,
+      const PolicyContext& ctx) override {
+    (void)ctx;
+    return decay_candidates;
+  }
+
+  [[nodiscard]] bool ShouldContract(const PolicyContext& ctx) override {
+    return cadence_.Due(ctx.expired_slices);
+  }
+
+  [[nodiscard]] std::size_t ghost_size() const { return ghost_.size(); }
+  /// Misses refused so far (first M-1 requests of each key).
+  [[nodiscard]] std::uint64_t denied() const { return denied_; }
+
+ private:
+  struct Ghost {
+    std::size_t count = 0;
+    std::list<Key>::iterator order_it;
+  };
+
+  PolicyParams p_;
+  EpsilonCadence cadence_;
+  std::unordered_map<Key, Ghost> ghost_;
+  std::list<Key> order_;  ///< FIFO, front = oldest (evicted first)
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace ecc::policy

@@ -1,0 +1,82 @@
+// Cost-aware per-key TTL controller (DESIGN.md §13.2).
+//
+// Following the cost-aware TTL approach (*Elastic Provisioning of Cloud
+// Caches: a Cost-aware TTL Approach*, PAPERS.md), a cached record is worth
+// keeping only while the expected memory-hour spend of holding it stays
+// below the recompute cost it saves.  The break-even lifetime, in slices:
+//
+//   usd_per_record_slice = usd_per_node_hour * slice_hours / records_per_node
+//   break_even = recompute_usd / usd_per_record_slice
+//              = recompute_hours * records_per_node / slice_hours
+//
+// (the fleet price cancels when the service and the cache run on the same
+// instance type, which is why the controller still works with no provider
+// attached).  Per key, the controller tracks the last-access step and an
+// EMA of the observed reuse gap, then grants
+//
+//   ttl(k) = clamp(ttl_alpha * reuse_gap_ema(k), min, break_even)   reused
+//   ttl(k) = clamp(one_shot_fraction * break_even, min, break_even) seen once
+//
+// At each boundary every tracked key whose age exceeds its TTL is evicted —
+// typically far sooner than the paper's fixed window would get to it, which
+// is where the $cost win over PaperBaselinePolicy comes from
+// (bench/ablation_policy.cc).  Decay candidates the controller does not
+// track (inserted before attach, or already expired here) pass through.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace ecc::policy {
+
+class CostAwareTtlPolicy final : public ElasticityPolicy {
+ public:
+  explicit CostAwareTtlPolicy(const PolicyParams& params);
+
+  [[nodiscard]] std::string Name() const override { return "cost-ttl"; }
+
+  void OnQuery(Key k, bool hit, std::size_t step) override;
+
+  [[nodiscard]] std::vector<Key> SelectEvictions(
+      const std::vector<Key>& decay_candidates,
+      const PolicyContext& ctx) override;
+
+  [[nodiscard]] bool ShouldContract(const PolicyContext& ctx) override {
+    return cadence_.Due(ctx.expired_slices);
+  }
+
+  // --- Introspection (tests + conformance harness) -------------------------
+
+  /// Break-even lifetime in slices from the latest context (0 until the
+  /// first boundary).
+  [[nodiscard]] double BreakEvenSlices() const { return break_even_; }
+  /// TTL currently granted to `k`; negative when untracked.
+  [[nodiscard]] double TtlSlicesFor(Key k) const;
+  /// Visit every tracked key as (key, last_access_step, ttl_slices).
+  void ForEachTracked(
+      const std::function<void(Key, std::size_t, double)>& fn) const;
+  [[nodiscard]] std::size_t tracked() const { return keys_.size(); }
+
+ private:
+  struct Tracked {
+    std::uint32_t last_step = 0;
+    /// EMA of the gap between accesses, in slices; < 0 until 2nd access.
+    float gap_ema = -1.0f;
+  };
+
+  [[nodiscard]] double TtlFor(const Tracked& t) const;
+  void RefreshCostModel(const PolicyContext& ctx);
+
+  PolicyParams p_;
+  EpsilonCadence cadence_;
+  std::unordered_map<Key, Tracked> keys_;
+  double break_even_ = 0.0;
+  double slice_hours_ema_ = -1.0;
+};
+
+}  // namespace ecc::policy

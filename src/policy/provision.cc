@@ -1,0 +1,60 @@
+#include "policy/provision.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecc::policy {
+
+PredictiveProvisionPolicy::PredictiveProvisionPolicy(
+    const PolicyParams& params, const VolumeForecast* forecast)
+    : p_(params), cadence_(params.contraction_epsilon), forecast_(forecast) {}
+
+std::size_t PredictiveProvisionPolicy::PeakAhead(
+    const PolicyContext& ctx) const {
+  // The boundary closing (0-based) step `ctx.step` sits between 1-based
+  // schedule steps ctx.step+1 and ctx.step+2; look at the next `horizon`
+  // future steps.
+  std::size_t peak = 0;
+  for (std::size_t h = 1; h <= p_.provision_horizon; ++h) {
+    peak = std::max(peak, forecast_->VolumeAt(ctx.step + 1 + h));
+  }
+  return peak;
+}
+
+bool PredictiveProvisionPolicy::ShouldContract(const PolicyContext& ctx) {
+  const bool due = cadence_.Due(ctx.expired_slices);
+  if (!due || forecast_ == nullptr) return due;
+  const std::size_t cur = std::max<std::size_t>(ctx.step_queries, 1);
+  if (static_cast<double>(PeakAhead(ctx)) >
+      p_.provision_grow_ratio * static_cast<double>(cur)) {
+    ++vetoes_;  // merging right before a known ramp is wasted churn
+    return false;
+  }
+  return true;
+}
+
+std::size_t PredictiveProvisionPolicy::PrewarmTarget(
+    const PolicyContext& ctx) {
+  if (forecast_ == nullptr || ctx.node_count == 0) return 0;
+  const std::size_t cur = std::max<std::size_t>(ctx.step_queries, 1);
+  const std::size_t peak = PeakAhead(ctx);
+  if (static_cast<double>(peak) <=
+      p_.provision_grow_ratio * static_cast<double>(cur)) {
+    return 0;
+  }
+  // Scale the fleet linearly with the volume ratio: distinct-key arrivals
+  // (and hence occupied capacity) grow roughly with the request rate under
+  // the paper's near-uniform draws.
+  const double scale = static_cast<double>(peak) / static_cast<double>(cur);
+  const auto target_nodes = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(ctx.node_count) * scale));
+  const std::size_t have = ctx.live_instances + ctx.warm_pool;
+  std::size_t want = target_nodes > have ? target_nodes - have : 0;
+  // Quota invariant: never provision past it, whatever the forecast says.
+  const std::size_t room = p_.provision_quota > have
+                               ? p_.provision_quota - have
+                               : 0;
+  return std::min(want, room);
+}
+
+}  // namespace ecc::policy

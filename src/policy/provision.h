@@ -1,0 +1,74 @@
+// Predictive pre-provisioner (DESIGN.md §13.4).
+//
+// The paper's GBA splits allocate reactively: the first overflow during a
+// traffic ramp pays the full ~80 s boot wait, which is exactly Fig. 4's
+// overhead spike.  Following *Optimized Dynamic Cache Instantiation under
+// Time-varying Request Volume* (PAPERS.md), this policy reads a request
+// volume forecast (the phased-rate workload's schedule is a perfect one —
+// RateAt() is the planned intensity), and when the looked-ahead peak
+// exceeds the current volume by grow_ratio it launches instances into the
+// cloud provider's warm pool so that the reactive splits during the ramp
+// find already-booted capacity (CloudProvider::Allocate prefers warm
+// instances at zero wait).
+//
+// Invariant (conformance suite): the policy never provisions past its
+// quota — at every decision, live + warm + PrewarmTarget() <= quota.  With
+// no forecast attached the policy is inert (never prewarms) and behaves
+// exactly like the baseline.  It also vetoes contraction while the
+// forecast still rises — merging nodes moments before a known ramp is
+// wasted churn.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace ecc::policy {
+
+/// Minimal forecast surface: expected queries in (1-based) time step
+/// `step`.  workload::RateSchedule adapts onto this trivially; keeping the
+/// abstraction here avoids a policy -> workload dependency cycle.
+class VolumeForecast {
+ public:
+  virtual ~VolumeForecast() = default;
+  [[nodiscard]] virtual std::size_t VolumeAt(std::size_t step) const = 0;
+};
+
+class PredictiveProvisionPolicy final : public ElasticityPolicy {
+ public:
+  /// `forecast` is not owned and may be null (inert until set_forecast).
+  PredictiveProvisionPolicy(const PolicyParams& params,
+                            const VolumeForecast* forecast);
+
+  void set_forecast(const VolumeForecast* forecast) { forecast_ = forecast; }
+
+  [[nodiscard]] std::string Name() const override { return "predictive"; }
+
+  [[nodiscard]] std::vector<Key> SelectEvictions(
+      const std::vector<Key>& decay_candidates,
+      const PolicyContext& ctx) override {
+    (void)ctx;
+    return decay_candidates;
+  }
+
+  [[nodiscard]] bool ShouldContract(const PolicyContext& ctx) override;
+  [[nodiscard]] std::size_t PrewarmTarget(const PolicyContext& ctx) override;
+
+  /// Contractions vetoed because the forecast still rises.
+  [[nodiscard]] std::uint64_t contraction_vetoes() const { return vetoes_; }
+
+ private:
+  /// Peak forecast volume over the lookahead horizon starting after the
+  /// boundary that closed step `ctx.step` (steps are 1-based in
+  /// RateSchedule terms: boundary s closes step s+1).
+  [[nodiscard]] std::size_t PeakAhead(const PolicyContext& ctx) const;
+
+  PolicyParams p_;
+  EpsilonCadence cadence_;
+  const VolumeForecast* forecast_;
+  std::uint64_t vetoes_ = 0;
+};
+
+}  // namespace ecc::policy

@@ -1,6 +1,9 @@
 // Tests for itemized billing reports.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "cloudsim/billing.h"
 
 namespace ecc::cloudsim {
@@ -71,6 +74,97 @@ TEST(BillingTest, RendersTableAndCsv) {
   const std::string csv = report.ToCsv();
   EXPECT_NE(csv.find("instance,type,state"), std::string::npos);
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);  // header + 1 row
+}
+
+// --- Mid-hour allocate/release rounding edges -------------------------------
+// Billing runs from the allocation request in whole started hours
+// (Instance::CostDollars), so releases just past — or exactly on — an hour
+// boundary are where rounding bugs would hide.
+
+TEST(BillingTest, MidHourReleaseBillsWholeStartedHour) {
+  VirtualClock clock;
+  CloudProvider cloud(Opts(), &clock);
+  const TimePoint requested = clock.now();
+  auto id = cloud.Allocate();  // the cold boot advances the clock
+  ASSERT_TRUE(id.ok());
+  clock.Advance(Duration::Minutes(90) - (clock.now() - requested));
+  ASSERT_TRUE(cloud.Terminate(*id).ok());
+  const BillingReport report = MakeBillingReport(cloud, clock.now());
+  ASSERT_EQ(report.items.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.items[0].billed_hours, 2.0);  // 1.5 h -> 2 h
+  EXPECT_NEAR(report.items[0].cost_usd, 2.0 * 0.085, 1e-9);
+  EXPECT_GT(report.RoundingWasteFraction(), 0.0);
+}
+
+TEST(BillingTest, ExactHourBoundaryDoesNotRoundUp) {
+  VirtualClock clock;
+  CloudProvider cloud(Opts(), &clock);
+  const TimePoint requested = clock.now();
+  auto id = cloud.Allocate();
+  ASSERT_TRUE(id.ok());
+  clock.Advance(Duration::Hours(2) - (clock.now() - requested));
+  ASSERT_TRUE(cloud.Terminate(*id).ok());
+  const BillingReport report = MakeBillingReport(cloud, clock.now());
+  ASSERT_EQ(report.items.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.items[0].lifetime.hours(), 2.0);
+  EXPECT_DOUBLE_EQ(report.items[0].billed_hours, 2.0);  // not 3
+}
+
+TEST(BillingTest, SecondPastTheBoundaryBillsAnotherHour) {
+  VirtualClock clock;
+  CloudProvider cloud(Opts(), &clock);
+  const TimePoint requested = clock.now();
+  auto id = cloud.Allocate();
+  ASSERT_TRUE(id.ok());
+  clock.Advance(Duration::Hours(2) + Duration::Seconds(1) -
+                (clock.now() - requested));
+  ASSERT_TRUE(cloud.Terminate(*id).ok());
+  const BillingReport report = MakeBillingReport(cloud, clock.now());
+  ASSERT_EQ(report.items.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.items[0].billed_hours, 3.0);
+}
+
+TEST(BillingTest, InstantReleaseStillBillsOneWholeHour) {
+  VirtualClock clock;
+  CloudProvider cloud(Opts(), &clock);
+  auto id = cloud.Allocate();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(cloud.Terminate(*id).ok());  // released right after boot
+  const BillingReport report = MakeBillingReport(cloud, clock.now());
+  ASSERT_EQ(report.items.size(), 1u);
+  EXPECT_LT(report.items[0].lifetime, Duration::Hours(1));
+  EXPECT_DOUBLE_EQ(report.items[0].billed_hours, 1.0);
+  EXPECT_NEAR(report.items[0].cost_usd, 0.085, 1e-9);
+}
+
+TEST(BillingTest, StaggeredMidHourFleetLineItemsSumToTotals) {
+  VirtualClock clock;
+  CloudProvider cloud(Opts(), &clock);
+  auto a = cloud.Allocate();
+  clock.Advance(Duration::Minutes(20));
+  auto b = cloud.Allocate();
+  clock.Advance(Duration::Minutes(50));
+  auto c = cloud.Allocate();
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(cloud.Terminate(*b).ok());  // released 50 min into its hour
+  clock.Advance(Duration::Minutes(35));
+
+  const BillingReport report = MakeBillingReport(cloud, clock.now());
+  ASSERT_EQ(report.items.size(), 3u);
+  double usd = 0.0, billed = 0.0;
+  for (const BillingLineItem& item : report.items) {
+    usd += item.cost_usd;
+    billed += item.billed_hours;
+    // Every line item is whole-hour rounded, never below its lifetime.
+    EXPECT_DOUBLE_EQ(item.billed_hours,
+                     std::max(1.0, std::ceil(item.lifetime.hours())));
+  }
+  EXPECT_NEAR(usd, report.total_usd, 1e-9);
+  EXPECT_NEAR(billed, report.billed_hours, 1e-9);
+  EXPECT_NEAR(report.total_usd, cloud.AccruedCostDollars(), 1e-9);
+  // Mid-hour churn always strands part of a started hour.
+  EXPECT_GT(report.RoundingWasteFraction(), 0.0);
+  EXPECT_LT(report.RoundingWasteFraction(), 1.0);
 }
 
 TEST(BillingTest, WarmPoolInstancesAppear) {
