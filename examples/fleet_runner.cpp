@@ -1,0 +1,320 @@
+// Multi-process fleet runner: the cache as real processes over real TCP.
+//
+// The parent forks N node processes, each serving a CacheNode's RpcServer
+// dispatch behind an epoll TcpServer on an ephemeral port (reported back
+// over a pipe).  The parent then acts as coordinator: it opens one pooled
+// TcpChannel per node and drives a put-then-get workload through
+// CallWithRetry — the exact RPC layer the simulated cache uses — with
+// rendezvous hashing for key placement and a probe-round failure detector
+// (STATS round trips, N consecutive missed rounds = confirmed dead, the
+// same semantics as recovery::FailureDetector).
+//
+// Crash tolerance: with --kill, one node process is SIGKILLed mid-serve.
+// Calls to it fail over the retry budget as Unavailable (never SIGPIPE —
+// that is the hardened write path), the detector confirms the death and
+// removes the endpoint, and the workload completes against the survivors,
+// counting the dead node's keys as honest misses.  This is the CI smoke:
+//
+//   fleet_runner --nodes 3 --ops 3000 --kill   # exit 0 = survived
+//
+// Clean shutdown: SIGTERM to every child; each stops its TcpServer and
+// exits 0; the parent reaps and verifies.
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cache_node.h"
+#include "net/message.h"
+#include "net/rpc.h"
+#include "net/tcp_channel.h"
+#include "net/tcp_server.h"
+
+namespace {
+
+using ecc::Duration;
+namespace net = ecc::net;
+
+volatile sig_atomic_t g_node_stop = 0;
+void OnTerm(int) { g_node_stop = 1; }
+
+struct Options {
+  std::size_t nodes = 3;
+  std::size_t ops = 3000;
+  std::size_t value_bytes = 256;
+  std::uint64_t capacity_bytes = 64ull << 20;
+  bool kill_one = false;
+  std::size_t io_threads = 1;
+  std::size_t probe_every_ops = 200;   // detector round cadence
+  std::size_t suspect_threshold = 3;   // consecutive missed rounds
+};
+
+/// Child: serve one CacheNode over TCP until SIGTERM.
+[[noreturn]] void RunNode(std::size_t id, const Options& opts, int port_pipe) {
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);  // die with the coordinator
+  struct sigaction sa{};
+  sa.sa_handler = OnTerm;
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  ecc::core::CacheNode node(id, /*instance=*/0, opts.capacity_bytes);
+  net::TcpServerOptions sopts;
+  sopts.io_threads = opts.io_threads;
+  net::TcpServer server(&node.rpc(), sopts);
+  if (auto s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "node %zu: %s\n", id, s.ToString().c_str());
+    ::_exit(2);
+  }
+  const std::string report = std::to_string(server.port()) + "\n";
+  if (::write(port_pipe, report.data(), report.size()) !=
+      static_cast<ssize_t>(report.size())) {
+    ::_exit(2);
+  }
+  ::close(port_pipe);
+  while (g_node_stop == 0) {
+    ::usleep(20 * 1000);
+  }
+  server.Stop();
+  ::_exit(0);
+}
+
+std::uint64_t Mix(std::uint64_t x) {  // splitmix64 finalizer
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct Endpoint {
+  std::size_t node_id = 0;
+  pid_t pid = -1;
+  std::unique_ptr<net::TcpChannel> channel;
+  bool live = true;
+  std::size_t missed_rounds = 0;
+};
+
+/// Rendezvous hashing: stable placement that only remaps a dead node's
+/// keys onto survivors.
+Endpoint* OwnerOf(std::vector<Endpoint>& fleet, std::uint64_t key) {
+  Endpoint* best = nullptr;
+  std::uint64_t best_w = 0;
+  for (auto& ep : fleet) {
+    if (!ep.live) continue;
+    const std::uint64_t w = Mix(key * 0x100000001b3ull + ep.node_id);
+    if (best == nullptr || w > best_w) {
+      best = &ep;
+      best_w = w;
+    }
+  }
+  return best;
+}
+
+net::RetryPolicy WallClockPolicy() {
+  net::RetryPolicy p;
+  p.max_attempts = 3;
+  p.attempt_timeout = Duration::Millis(20);  // real sleeps: keep them short
+  p.initial_backoff = Duration::Millis(2);
+  p.max_backoff = Duration::Millis(20);
+  return p;
+}
+
+/// One detector round: a single STATS probe per live endpoint.  A node
+/// missing `suspect_threshold` consecutive rounds is confirmed dead and
+/// removed from placement.  Returns the number of confirmations.
+std::size_t ProbeRound(std::vector<Endpoint>& fleet, const Options& opts) {
+  std::size_t confirmed = 0;
+  for (auto& ep : fleet) {
+    if (!ep.live) continue;
+    auto resp = ep.channel->Call(net::StatsRequest{}.Encode());
+    if (resp.ok()) {
+      ep.missed_rounds = 0;
+      continue;
+    }
+    if (++ep.missed_rounds >= opts.suspect_threshold) {
+      ep.live = false;
+      ++confirmed;
+      std::printf("coordinator: node %zu confirmed dead after %zu missed "
+                  "rounds\n",
+                  ep.node_id, ep.missed_rounds);
+    }
+  }
+  return confirmed;
+}
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "FLEET SMOKE FAILED: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (a == "--nodes") opts.nodes = std::strtoul(next(), nullptr, 10);
+    else if (a == "--ops") opts.ops = std::strtoul(next(), nullptr, 10);
+    else if (a == "--value-bytes")
+      opts.value_bytes = std::strtoul(next(), nullptr, 10);
+    else if (a == "--io-threads")
+      opts.io_threads = std::strtoul(next(), nullptr, 10);
+    else if (a == "--kill") opts.kill_one = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: fleet_runner [--nodes N] [--ops M] "
+                   "[--value-bytes B] [--io-threads T] [--kill]\n");
+      return 2;
+    }
+  }
+  if (opts.nodes < 1) return 2;
+  ::signal(SIGPIPE, SIG_IGN);  // belt and braces; sends use MSG_NOSIGNAL
+
+  // --- Launch the fleet (fork before any thread exists) ------------------
+  std::vector<Endpoint> fleet;
+  std::vector<int> port_pipes;
+  for (std::size_t i = 0; i < opts.nodes; ++i) {
+    int fds[2];
+    if (::pipe(fds) != 0) return Fail("pipe()");
+    const pid_t pid = ::fork();
+    if (pid < 0) return Fail("fork()");
+    if (pid == 0) {
+      ::close(fds[0]);
+      RunNode(i, opts, fds[1]);  // never returns
+    }
+    ::close(fds[1]);
+    fleet.push_back(Endpoint{i, pid, nullptr, true, 0});
+    port_pipes.push_back(fds[0]);
+  }
+  for (std::size_t i = 0; i < opts.nodes; ++i) {
+    char buf[16] = {0};
+    ssize_t n = 0, off = 0;
+    while ((n = ::read(port_pipes[i], buf + off, sizeof(buf) - 1 - off)) > 0) {
+      off += n;
+      if (std::memchr(buf, '\n', off) != nullptr) break;
+    }
+    ::close(port_pipes[i]);
+    const int port = std::atoi(buf);
+    if (port <= 0) return Fail("node did not report a port");
+    net::TcpChannelOptions copts;
+    copts.port = static_cast<std::uint16_t>(port);
+    copts.io_timeout = Duration::Millis(250);
+    fleet[i].channel = std::make_unique<net::TcpChannel>(copts);
+    fleet[i].channel->BindInterceptor(nullptr, i);  // label the endpoint
+    std::printf("coordinator: node %zu pid %d port %d\n", i,
+                static_cast<int>(fleet[i].pid), port);
+  }
+
+  const net::RetryPolicy retry = WallClockPolicy();
+  const std::string value(opts.value_bytes, 'v');
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // --- Load phase: put every key at its rendezvous owner -----------------
+  std::size_t put_failures = 0;
+  for (std::uint64_t k = 0; k < opts.ops; ++k) {
+    Endpoint* owner = OwnerOf(fleet, k);
+    auto resp = net::CallWithRetry(
+        *owner->channel, net::PutRequest{k, value}.Encode(), retry);
+    if (!resp.ok()) ++put_failures;
+  }
+  if (put_failures != 0) return Fail("puts failed against a healthy fleet");
+
+  // --- Optionally murder a node mid-serve --------------------------------
+  const std::size_t victim = opts.nodes - 1;
+  bool killed = false;
+
+  // --- Serve phase: read everything back, detector interleaved -----------
+  std::size_t hits = 0, misses = 0, errors_after_removal = 0;
+  std::size_t dead_confirmed = 0;
+  for (std::uint64_t k = 0; k < opts.ops; ++k) {
+    if (opts.kill_one && !killed && k == opts.ops / 3) {
+      std::printf("coordinator: SIGKILL node %zu (pid %d)\n", victim,
+                  static_cast<int>(fleet[victim].pid));
+      ::kill(fleet[victim].pid, SIGKILL);
+      killed = true;
+    }
+    if (k % opts.probe_every_ops == 0) {
+      dead_confirmed += ProbeRound(fleet, opts);
+    }
+    Endpoint* owner = OwnerOf(fleet, k);
+    if (owner == nullptr) return Fail("no live nodes left");
+    auto resp = net::CallWithRetry(
+        *owner->channel, net::GetRequest{k}.Encode(), retry);
+    if (!resp.ok()) {
+      // Unavailable while the victim is dying-but-undetected is expected;
+      // errors against a confirmed-live owner are not.
+      if (!owner->live) ++errors_after_removal;
+      ++misses;
+      continue;
+    }
+    auto decoded = net::GetResponse::Decode(*resp);
+    if (decoded.ok() && decoded->found) {
+      ++hits;
+    } else {
+      ++misses;
+    }
+  }
+  // The detector may still owe the victim its confirmation.
+  for (std::size_t r = 0; r < opts.suspect_threshold + 1 && killed &&
+                          dead_confirmed == 0;
+       ++r) {
+    dead_confirmed += ProbeRound(fleet, opts);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // --- Clean shutdown ----------------------------------------------------
+  std::size_t clean_exits = 0;
+  for (auto& ep : fleet) {
+    if (killed && ep.node_id == victim) continue;
+    ::kill(ep.pid, SIGTERM);
+  }
+  for (auto& ep : fleet) {
+    int status = 0;
+    if (::waitpid(ep.pid, &status, 0) != ep.pid) continue;
+    if (killed && ep.node_id == victim) {
+      if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) ++clean_exits;
+    } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      ++clean_exits;
+    }
+  }
+
+  const double hit_rate =
+      static_cast<double>(hits) / static_cast<double>(hits + misses);
+  std::printf(
+      "fleet: %zu node(s), %zu ops x2 phases in %.2fs (%.0f op/s wall)\n",
+      opts.nodes, opts.ops, secs,
+      static_cast<double>(2 * opts.ops) / secs);
+  std::printf("fleet: hit_rate=%.3f hits=%zu misses=%zu\n", hit_rate, hits,
+              misses);
+
+  // --- Smoke assertions --------------------------------------------------
+  if (clean_exits != opts.nodes) return Fail("a node did not shut down clean");
+  if (opts.kill_one) {
+    if (dead_confirmed != 1) return Fail("victim never confirmed dead");
+    if (errors_after_removal != 0) {
+      return Fail("errors against live nodes after failover");
+    }
+    // Rendezvous keeps the survivors' keys in place: with n nodes, only
+    // ~1/n of the serve phase (after the kill point) can miss.
+    if (opts.nodes > 1 && hit_rate < 0.5) {
+      return Fail("hit rate collapsed after a single node loss");
+    }
+    std::printf("fleet: survived the kill (confirmed=%zu, hit_rate=%.3f)\n",
+                dead_confirmed, hit_rate);
+  } else {
+    if (hits != opts.ops) return Fail("lossless fleet missed a key");
+  }
+  std::printf("fleet: OK\n");
+  return 0;
+}

@@ -58,5 +58,6 @@ gbench micro_btree
 gbench micro_hashring
 gbench micro_sfc
 gbench micro_net
+gbench micro_tcp
 
 echo "wrote $(ls "$OUT_DIR"/BENCH_*.json | wc -l) reports to $OUT_DIR"

@@ -121,10 +121,16 @@ StatusOr<NodeId> ElasticCache::AllocateNode() {
   NodeEntry entry;
   entry.node =
       std::make_unique<CacheNode>(id, *instance, opts_.node_capacity_bytes);
-  entry.channel = std::make_unique<net::LoopbackChannel>(
-      &entry.node->rpc(), net_model_, clock_);
-  entry.bg_channel = std::make_unique<net::LoopbackChannel>(
-      &entry.node->rpc(), net_model_, /*clock=*/nullptr);
+  if (opts_.channel_factory != nullptr) {
+    entry.channel = opts_.channel_factory(id, &entry.node->rpc(), clock_);
+    entry.bg_channel =
+        opts_.channel_factory(id, &entry.node->rpc(), /*clock=*/nullptr);
+  } else {
+    entry.channel = std::make_unique<net::LoopbackChannel>(
+        &entry.node->rpc(), net_model_, clock_);
+    entry.bg_channel = std::make_unique<net::LoopbackChannel>(
+        &entry.node->rpc(), net_model_, /*clock=*/nullptr);
+  }
   if (opts_.fault != nullptr) {
     entry.channel->BindInterceptor(opts_.fault, id);
     entry.bg_channel->BindInterceptor(opts_.fault, id);
@@ -217,7 +223,7 @@ StatusOr<std::string> ElasticCache::GetStale(Key k) {
 
 StatusOr<net::Message> ElasticCache::CallNode(NodeEntry& entry,
                                               const net::Message& request) {
-  net::LoopbackChannel& channel =
+  net::Channel& channel =
       background_mode_ ? *entry.bg_channel : *entry.channel;
   net::RetryStats rs;
   auto result =

@@ -85,6 +85,15 @@ struct ElasticCacheOptions {
   /// Unavailable, which the channel emits solely under fault injection), so
   /// the happy path is byte-identical with or without this layer.
   net::RetryPolicy rpc_retry;
+  /// Transport factory: how the coordinator reaches a node it allocated.
+  /// Called twice per node — once with the query clock (foreground), once
+  /// with `clock == nullptr` (charge-free background migrations) — and may
+  /// return any net::Channel (a SocketTransport puts every node behind a
+  /// real kernel boundary; see DESIGN.md §14).  nullptr = the default
+  /// LoopbackChannel under the cache's NetworkModel.
+  std::function<std::unique_ptr<net::Channel>(
+      NodeId id, net::RpcServer* rpc, VirtualClock* clock)>
+      channel_factory;
   /// Fault injector (not owned; nullptr = no faults).  When set, every node
   /// channel is bound to it and the two-phase migration protocol consults
   /// it between phases.
@@ -275,10 +284,10 @@ class ElasticCache final : public CacheBackend {
  private:
   struct NodeEntry {
     std::unique_ptr<CacheNode> node;
-    std::unique_ptr<net::LoopbackChannel> channel;
+    std::unique_ptr<net::Channel> channel;
     /// Same endpoint without clock charging: background migrations ride
     /// this one (the work happens concurrently with query service).
-    std::unique_ptr<net::LoopbackChannel> bg_channel;
+    std::unique_ptr<net::Channel> bg_channel;
   };
 
   /// Allocate a cloud instance + cache node (no buckets yet).  Advances the
@@ -309,9 +318,9 @@ class ElasticCache final : public CacheBackend {
   /// is ready).
   void MaybeProactiveSplit(NodeId node_id);
 
-  /// One coordinator -> node RPC with timeout/retry per opts_.rpc_retry;
-  /// rides the background channel during proactive splits and folds retry
-  /// counters into stats().
+  /// One coordinator -> node RPC (any transport) with timeout/retry per
+  /// opts_.rpc_retry; rides the background channel during proactive splits
+  /// and folds retry counters into stats().
   StatusOr<net::Message> CallNode(NodeEntry& entry,
                                   const net::Message& request);
 

@@ -1,0 +1,20 @@
+#include "net/channel.h"
+
+namespace ecc::net {
+
+void Channel::Wait(Duration d) {
+  VirtualClock* c = clock();
+  if (c != nullptr) c->Advance(d);
+}
+
+const char* CallFaultKindName(CallFaultKind k) {
+  switch (k) {
+    case CallFaultKind::kNone: return "NONE";
+    case CallFaultKind::kDropRequest: return "DROP_REQUEST";
+    case CallFaultKind::kDropResponse: return "DROP_RESPONSE";
+    case CallFaultKind::kDelay: return "DELAY";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace ecc::net

@@ -1,0 +1,76 @@
+#include "net/framing.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace ecc::net::framing {
+
+IoResult ReadFull(int fd, char* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, buf + done, n - done);
+    if (r == 0) return done == 0 ? IoResult::kEof : IoResult::kError;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kTimeout;
+      return IoResult::kError;
+    }
+    done += static_cast<std::size_t>(r);
+  }
+  return IoResult::kOk;
+}
+
+IoResult WriteFull(int fd, const char* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    // MSG_NOSIGNAL: a peer that is gone must surface as an error return
+    // (EPIPE), never as a process-killing SIGPIPE.
+    const ssize_t w = ::send(fd, buf + done, n - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kTimeout;
+      return IoResult::kError;
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return IoResult::kOk;
+}
+
+StatusOr<Message> ReadFrame(int fd, std::size_t max_frame_bytes) {
+  char header[kFrameHeaderBytes];
+  switch (ReadFull(fd, header, sizeof(header))) {
+    case IoResult::kOk: break;
+    case IoResult::kEof: return Status::NotFound("connection closed");
+    case IoResult::kTimeout: return Status::Unavailable("read timed out");
+    case IoResult::kError: return Status::Unavailable("read failed");
+  }
+  // Validate the header before trusting its length: a garbage tag must not
+  // commit us to a max_frame_bytes allocation.
+  std::uint32_t len = 0;
+  if (Status s = ValidateFrameHeader(header, max_frame_bytes, &len);
+      !s.ok()) {
+    return s;
+  }
+  std::string wire(kFrameHeaderBytes + len, '\0');
+  std::memcpy(wire.data(), header, kFrameHeaderBytes);
+  if (len > 0) {
+    switch (ReadFull(fd, wire.data() + kFrameHeaderBytes, len)) {
+      case IoResult::kOk: break;
+      case IoResult::kTimeout: return Status::Unavailable("read timed out");
+      default: return Status::Unavailable("truncated frame");
+    }
+  }
+  return Message::Deserialize(wire);
+}
+
+IoResult WriteFrame(int fd, const Message& m, std::uint64_t* bytes) {
+  const std::string wire = m.Serialize();
+  if (bytes != nullptr) *bytes += wire.size();
+  return WriteFull(fd, wire.data(), wire.size());
+}
+
+}  // namespace ecc::net::framing

@@ -1,5 +1,7 @@
 #include "net/message.h"
 
+#include <cstring>
+
 namespace ecc::net {
 
 const char* MsgTypeName(MsgType t) {
@@ -21,6 +23,44 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kEraseRangeResponse: return "ERASE_RANGE_RESP";
   }
   return "UNKNOWN";
+}
+
+Message EncodeErrorFrame(const Status& s) {
+  Message m;
+  m.type = MsgType::kError;
+  m.payload.push_back(static_cast<char>(s.code()));
+  m.payload += s.message();
+  return m;
+}
+
+Status DecodeErrorFrame(const Message& m) {
+  if (m.type != MsgType::kError || m.payload.empty()) {
+    return Status::Unavailable("remote error");
+  }
+  const auto code_byte = static_cast<std::uint8_t>(m.payload[0]);
+  if (code_byte == 0 ||
+      code_byte > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+    // No code byte (legacy/foreign peer): the text is all we have, and
+    // without a code we must assume the transport-loss default.
+    return Status::Unavailable("remote error: " + m.payload);
+  }
+  return Status(static_cast<StatusCode>(code_byte),
+                "remote error: " + m.payload.substr(1));
+}
+
+Status ValidateFrameHeader(const char* header, std::size_t max_frame_bytes,
+                           std::uint32_t* len) {
+  const auto tag = static_cast<std::uint8_t>(header[0]);
+  if (!IsKnownMsgType(tag)) {
+    return Status::InvalidArgument("unknown message type tag");
+  }
+  std::uint32_t n = 0;
+  std::memcpy(&n, header + 1, sizeof(n));
+  if (n > max_frame_bytes) {
+    return Status::InvalidArgument("frame too large");
+  }
+  *len = n;
+  return Status::Ok();
 }
 
 std::string Message::Serialize() const {

@@ -37,6 +37,38 @@ enum class MsgType : std::uint8_t {
 
 [[nodiscard]] const char* MsgTypeName(MsgType t);
 
+/// True when `tag` is a defined MsgType value.  Transports must check this
+/// (and the length bound) BEFORE allocating a frame buffer, so a garbage
+/// header cannot commit the server to a 64 MiB allocation that
+/// Message::Deserialize would only reject afterwards.
+[[nodiscard]] constexpr bool IsKnownMsgType(std::uint8_t tag) {
+  return tag >= static_cast<std::uint8_t>(MsgType::kGetRequest) &&
+         tag <= static_cast<std::uint8_t>(MsgType::kEraseRangeResponse);
+}
+
+/// Frame header layout shared by every byte-stream transport: 1-byte type
+/// tag + u32 little-endian payload length.
+inline constexpr std::size_t kFrameHeaderBytes = 1 + 4;
+
+/// Validate a frame header before trusting its length: unknown tags and
+/// frames above `max_frame_bytes` are rejected without allocating.  On Ok,
+/// `len` holds the payload byte count still to be read.
+[[nodiscard]] Status ValidateFrameHeader(const char* header,
+                                         std::size_t max_frame_bytes,
+                                         std::uint32_t* len);
+
+/// Encode a failed dispatch as a kError frame whose payload carries the
+/// status code (1 byte) followed by the message text.  Preserving the code
+/// across the wire matters for retry semantics: a handler's
+/// InvalidArgument must NOT come back as retryable Unavailable, or the
+/// client re-executes a known-bad request for its whole retry budget.
+[[nodiscard]] struct Message EncodeErrorFrame(const Status& s);
+
+/// Reconstruct the remote Status from a kError frame.  Payloads that do
+/// not carry a code byte (or carry a nonsense one) degrade to Unavailable
+/// with the raw text — loss-equivalent, hence retryable.
+[[nodiscard]] Status DecodeErrorFrame(const struct Message& m);
+
 /// A framed message: type tag + opaque payload bytes.
 struct Message {
   MsgType type = MsgType::kGetRequest;

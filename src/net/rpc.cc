@@ -17,32 +17,13 @@ StatusOr<Message> RpcServer::Dispatch(const Message& request) const {
   return it->second(request);
 }
 
-const char* CallFaultKindName(CallFaultKind k) {
-  switch (k) {
-    case CallFaultKind::kNone: return "NONE";
-    case CallFaultKind::kDropRequest: return "DROP_REQUEST";
-    case CallFaultKind::kDropResponse: return "DROP_RESPONSE";
-    case CallFaultKind::kDelay: return "DELAY";
-  }
-  return "UNKNOWN";
-}
-
 LoopbackChannel::LoopbackChannel(RpcServer* server, NetworkModel model,
                                  VirtualClock* clock)
     : server_(server), model_(model), clock_(clock) {}
 
-void LoopbackChannel::BindInterceptor(CallInterceptor* interceptor,
-                                      std::uint64_t endpoint) {
-  interceptor_ = interceptor;
-  endpoint_ = endpoint;
-}
-
 StatusOr<Message> LoopbackChannel::Call(const Message& request) {
-  CallFault fault;
-  if (interceptor_ != nullptr) {
-    fault = interceptor_->OnCall(endpoint_, request.type);
-    if (fault.kind != CallFaultKind::kNone) ++stats_.faults_injected;
-  }
+  const CallFault fault = NextFault(request.type);
+  if (fault.kind != CallFaultKind::kNone) ++stats_.faults_injected;
 
   // Serialize and "transmit" the request.
   const std::string wire = request.Serialize();
@@ -83,8 +64,7 @@ StatusOr<Message> LoopbackChannel::Call(const Message& request) {
   return Message::Deserialize(resp_wire);
 }
 
-StatusOr<Message> CallWithRetry(LoopbackChannel& channel,
-                                const Message& request,
+StatusOr<Message> CallWithRetry(Channel& channel, const Message& request,
                                 const RetryPolicy& policy,
                                 RetryStats* stats, obs::TraceLog* trace,
                                 Deadline deadline) {
@@ -127,11 +107,11 @@ StatusOr<Message> CallWithRetry(LoopbackChannel& channel,
     // timeout the caller will not honor).
     const Duration timeout =
         std::min(policy.attempt_timeout, deadline.Remaining());
-    if (channel.clock() != nullptr) channel.clock()->Advance(timeout);
+    channel.Wait(timeout);
     if (stats != nullptr) stats->time_waiting += timeout;
     if (attempt + 1 < attempts) {
       const Duration wait = std::min(backoff, deadline.Remaining());
-      if (channel.clock() != nullptr) channel.clock()->Advance(wait);
+      channel.Wait(wait);
       if (stats != nullptr) {
         stats->time_waiting += wait;
         stats->time_backing_off += wait;

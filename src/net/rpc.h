@@ -1,10 +1,11 @@
 // In-process RPC with simulated transfer cost.
 //
 // An RpcServer dispatches framed Messages to per-type handlers.  A
-// LoopbackChannel connects a caller to a server: each Call serializes the
-// request, charges the network model for request and response transfer on
-// the shared virtual clock, and hands back the decoded response — the same
-// code path a socket transport would follow, minus the kernel.
+// LoopbackChannel is the simulator's net::Channel (see channel.h): each
+// Call serializes the request, charges the network model for request and
+// response transfer on the shared virtual clock, and hands back the
+// decoded response — the same code path a socket transport follows, minus
+// the kernel.
 //
 // Fault injection: a channel may carry a CallInterceptor (see src/fault/),
 // which gets to see every Call and can drop the request before dispatch,
@@ -12,20 +13,23 @@
 // nastiest partial failure), or add wire delay.  Lost messages surface as
 // Status::Unavailable, which callers treat as retryable.
 //
-// Retry: CallWithRetry wraps Call with a per-attempt detection timeout and
-// bounded exponential backoff, both charged to the channel's virtual clock.
-// Retrying after a dropped *response* re-sends a request the server already
-// executed, so every mutating handler must be idempotent (PUT/MIGRATE treat
-// duplicates as accepted; ERASE of an absent key is a no-op).
+// Retry: CallWithRetry wraps any Channel's Call with a per-attempt
+// detection timeout and bounded exponential backoff, both burned through
+// Channel::Wait (virtual-clock charge on simulated transports, a real
+// sleep on wall-clock ones).  Retrying after a dropped *response* re-sends
+// a request the server already executed, so every mutating handler must be
+// idempotent (PUT/MIGRATE treat duplicates as accepted; ERASE of an absent
+// key is a no-op).
 //
-// Thread-safety: a channel is NOT internally synchronized — Call mutates
-// the per-channel stats, and the server's handlers mutate whatever state
-// they are bound to (a CacheNode's shard).  Concurrent callers must
+// Thread-safety: a LoopbackChannel is NOT internally synchronized — Call
+// mutates the per-channel stats, and the server's handlers mutate whatever
+// state they are bound to (a CacheNode's shard).  Concurrent callers must
 // serialize per channel/endpoint; the striped backend does this with one
 // stripe mutex per cache node, so a node's channel and shard are only ever
 // driven by the stripe holder.  The clock pointer is safe to share (the
 // VirtualClock is atomic); an interceptor must be internally synchronized
-// (FaultInjector is).
+// (FaultInjector is).  Real transports (socket_channel.h, tcp_channel.h)
+// are internally synchronized and take concurrent callers directly.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +39,7 @@
 
 #include "common/status.h"
 #include "common/time.h"
+#include "net/channel.h"
 #include "net/message.h"
 #include "net/netmodel.h"
 #include "obs/trace.h"
@@ -55,70 +60,26 @@ class RpcServer {
   std::map<MsgType, Handler> handlers_;
 };
 
-/// What an interceptor may do to one Call.
-enum class CallFaultKind : std::uint8_t {
-  kNone = 0,
-  kDropRequest,   ///< request never reaches the server
-  kDropResponse,  ///< server executed, but the response is lost
-  kDelay,         ///< extra wire latency, call otherwise succeeds
-};
-
-[[nodiscard]] const char* CallFaultKindName(CallFaultKind k);
-
-struct CallFault {
-  CallFaultKind kind = CallFaultKind::kNone;
-  Duration delay;  ///< extra latency for kDelay
-};
-
-/// Sees every Call on channels it is bound to.  Implemented by
-/// fault::FaultInjector; the indirection keeps ecc_net free of a dependency
-/// on the fault library.
-class CallInterceptor {
- public:
-  virtual ~CallInterceptor() = default;
-
-  /// Decide the fate of one call to `endpoint` (the cache-node id the
-  /// channel was bound with) carrying a `type` request.
-  [[nodiscard]] virtual CallFault OnCall(std::uint64_t endpoint,
-                                         MsgType type) = 0;
-};
-
-/// Accumulated transfer accounting for one channel.
-struct ChannelStats {
-  std::uint64_t calls = 0;
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t bytes_received = 0;
-  std::uint64_t faults_injected = 0;  ///< calls perturbed by an interceptor
-  Duration time_on_wire;
-};
-
-class LoopbackChannel {
+class LoopbackChannel final : public Channel {
  public:
   /// The channel charges transfer time to `clock` (not owned); pass nullptr
-  /// to skip time accounting (pure unit tests).
+  /// to skip time accounting (pure unit tests, background migrations).
   LoopbackChannel(RpcServer* server, NetworkModel model,
                   VirtualClock* clock);
 
   /// Full round trip: serialize, charge request transfer, dispatch, charge
   /// response transfer, deserialize.  Unavailable if an interceptor drops
   /// either direction.
-  [[nodiscard]] StatusOr<Message> Call(const Message& request);
+  [[nodiscard]] StatusOr<Message> Call(const Message& request) override;
 
-  /// Attach `interceptor` (not owned; nullptr detaches); `endpoint` labels
-  /// this channel's destination in the interceptor's view.
-  void BindInterceptor(CallInterceptor* interceptor, std::uint64_t endpoint);
-
-  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] ChannelStats stats() const override { return stats_; }
   [[nodiscard]] const NetworkModel& model() const { return model_; }
-  [[nodiscard]] VirtualClock* clock() const { return clock_; }
-  [[nodiscard]] std::uint64_t endpoint() const { return endpoint_; }
+  [[nodiscard]] VirtualClock* clock() const override { return clock_; }
 
  private:
   RpcServer* server_;
   NetworkModel model_;
   VirtualClock* clock_;
-  CallInterceptor* interceptor_ = nullptr;
-  std::uint64_t endpoint_ = 0;
   ChannelStats stats_;
 };
 
@@ -126,8 +87,8 @@ class LoopbackChannel {
 struct RetryPolicy {
   /// Total tries, including the first (>= 1).
   std::size_t max_attempts = 4;
-  /// Virtual time a lost message costs before the caller gives up on the
-  /// attempt (detection timeout, charged per failed attempt).
+  /// Time a lost message costs before the caller gives up on the attempt
+  /// (detection timeout, burned per failed attempt via Channel::Wait).
   Duration attempt_timeout = Duration::Millis(50);
   /// First backoff; doubles (times `backoff_multiplier`) per retry, capped
   /// at `max_backoff`.
@@ -143,30 +104,31 @@ struct RetryStats {
   /// Calls abandoned because the caller's deadline expired before the next
   /// attempt could start.
   std::uint64_t deadline_clipped = 0;
-  Duration time_waiting;      ///< timeout + backoff charged to the clock
+  Duration time_waiting;      ///< timeout + backoff burned waiting
   /// Backoff-only portion of time_waiting (detection timeouts excluded).
   /// Deadline accounting needs the split: backoff is time the caller chose
   /// to burn, timeouts are time the network forced on it.
   Duration time_backing_off;
 };
 
-/// Issue `request` through `channel`, retrying transient (Unavailable)
-/// failures per `policy`.  Timeouts and backoff advance the channel's
-/// virtual clock; `stats`, when given, accumulates across calls.  Handler-
-/// level errors other than Unavailable are returned immediately (they are
-/// answers, not transport loss).  After the retry budget the last
-/// Unavailable status surfaces to the caller.  A non-null `trace` receives
-/// one kRpcRetry event per attempt beyond the first and a kRpcFailure when
-/// the budget is exhausted, stamped from the channel's clock (epoch when
-/// the channel carries none) and labeled with the channel's endpoint.
+/// Issue `request` through `channel` — any transport — retrying transient
+/// (Unavailable) failures per `policy`.  Timeouts and backoff are burned
+/// through the channel's Wait (virtual-clock charge or real sleep);
+/// `stats`, when given, accumulates across calls.  Handler-level errors
+/// other than Unavailable are returned immediately (they are answers, not
+/// transport loss).  After the retry budget the last Unavailable status
+/// surfaces to the caller.  A non-null `trace` receives one kRpcRetry
+/// event per attempt beyond the first and a kRpcFailure when the budget is
+/// exhausted, stamped from the channel's clock (epoch when the channel
+/// carries none) and labeled with the channel's endpoint.
 ///
 /// An active `deadline` (see common/time.h) clips the retry budget: no
 /// attempt starts once the deadline has expired on *its own* clock (the
 /// call returns DeadlineExceeded and emits a kDeadlineExceeded trace
-/// event), and timeout/backoff charges to the channel clock are clamped to
-/// the remaining budget so a retry loop can overshoot the deadline by at
-/// most the one attempt already in flight.
-[[nodiscard]] StatusOr<Message> CallWithRetry(LoopbackChannel& channel,
+/// event), and timeout/backoff waits are clamped to the remaining budget
+/// so a retry loop can overshoot the deadline by at most the one attempt
+/// already in flight.
+[[nodiscard]] StatusOr<Message> CallWithRetry(Channel& channel,
                                               const Message& request,
                                               const RetryPolicy& policy,
                                               RetryStats* stats = nullptr,

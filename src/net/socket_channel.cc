@@ -4,73 +4,19 @@
 #include <unistd.h>
 
 #include <cassert>
-#include <cerrno>
-#include <cstring>
+#include <chrono>
+#include <thread>
 
-#include "net/wire.h"
+#include "net/framing.h"
 
 namespace ecc::net {
 
 namespace {
-
-constexpr std::size_t kFrameHeaderBytes = 1 + 4;  // tag + u32 length
-
-/// Read exactly n bytes; false on EOF/error.
-bool ReadFull(int fd, char* buf, std::size_t n) {
-  std::size_t done = 0;
-  while (done < n) {
-    const ssize_t r = ::read(fd, buf + done, n - done);
-    if (r == 0) return false;  // peer closed
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    done += static_cast<std::size_t>(r);
-  }
-  return true;
-}
-
-bool WriteFull(int fd, const char* buf, std::size_t n) {
-  std::size_t done = 0;
-  while (done < n) {
-    const ssize_t w = ::write(fd, buf + done, n - done);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    done += static_cast<std::size_t>(w);
-  }
-  return true;
-}
-
-/// Read one framed Message.  Returns NotFound on clean EOF before a frame.
-StatusOr<Message> ReadFrame(int fd) {
-  char header[kFrameHeaderBytes];
-  if (!ReadFull(fd, header, sizeof(header))) {
-    return Status::NotFound("connection closed");
-  }
-  std::uint32_t len = 0;
-  std::memcpy(&len, header + 1, sizeof(len));
-  if (len > (64u << 20)) {
-    return Status::InvalidArgument("frame too large");
-  }
-  std::string wire(kFrameHeaderBytes + len, '\0');
-  std::memcpy(wire.data(), header, kFrameHeaderBytes);
-  if (len > 0 && !ReadFull(fd, wire.data() + kFrameHeaderBytes, len)) {
-    return Status::Internal("truncated frame");
-  }
-  return Message::Deserialize(wire);
-}
-
-bool WriteFrame(int fd, const Message& m, std::uint64_t* bytes) {
-  const std::string wire = m.Serialize();
-  if (bytes != nullptr) *bytes += wire.size();
-  return WriteFull(fd, wire.data(), wire.size());
-}
-
+constexpr std::size_t kMaxFrameBytes = 64u << 20;
 }  // namespace
 
-SocketTransport::SocketTransport(RpcServer* server) : server_(server) {
+SocketTransport::SocketTransport(RpcServer* server, VirtualClock* clock)
+    : server_(server), clock_(clock) {
   assert(server != nullptr);
   int fds[2] = {-1, -1};
   const int rc = ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds);
@@ -82,39 +28,88 @@ SocketTransport::SocketTransport(RpcServer* server) : server_(server) {
 }
 
 SocketTransport::~SocketTransport() {
-  if (client_fd_ >= 0) ::close(client_fd_);
+  // Shutdown-before-close: a reader blocked in Call() (client end) or the
+  // serve loop (server end) wakes with EOF instead of racing a closed —
+  // and possibly reused — descriptor.
+  if (client_fd_ >= 0) ::shutdown(client_fd_, SHUT_RDWR);
+  if (server_fd_ >= 0) ::shutdown(server_fd_, SHUT_RDWR);
   if (server_thread_.joinable()) server_thread_.join();
+  {
+    // Drain any in-flight Call: it holds call_mutex_ until it is done with
+    // the descriptor, so acquiring it here fences the close below.
+    const std::lock_guard<std::mutex> drain(call_mutex_);
+  }
+  if (client_fd_ >= 0) ::close(client_fd_);
   if (server_fd_ >= 0) ::close(server_fd_);
+}
+
+void SocketTransport::Wait(Duration d) {
+  if (clock_ != nullptr) {
+    clock_->Advance(d);
+  } else if (d > Duration::Zero()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(d.micros()));
+  }
+}
+
+ChannelStats SocketTransport::stats() const {
+  ChannelStats s;
+  s.calls = calls_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void SocketTransport::ServeLoop() {
   for (;;) {
-    auto request = ReadFrame(server_fd_);
-    if (!request.ok()) return;  // peer closed or fatal frame error
+    auto request = framing::ReadFrame(server_fd_, kMaxFrameBytes);
+    if (!request.ok()) break;  // peer closed or fatal frame error
     auto response = server_->Dispatch(*request);
-    Message out;
-    if (response.ok()) {
-      out = std::move(*response);
-    } else {
-      out = Message{MsgType::kError, response.status().ToString()};
+    Message out = response.ok() ? std::move(*response)
+                                : EncodeErrorFrame(response.status());
+    if (framing::WriteFrame(server_fd_, out) != framing::IoResult::kOk) {
+      break;
     }
-    if (!WriteFrame(server_fd_, out, nullptr)) return;
   }
+  // Signal EOF to any client blocked mid-Call: without this, a fatal frame
+  // error would leave the loop dead but the connection half open, and the
+  // client's read would hang until destruction.
+  ::shutdown(server_fd_, SHUT_RDWR);
 }
 
 StatusOr<Message> SocketTransport::Call(const Message& request) {
   const std::lock_guard<std::mutex> lock(call_mutex_);
-  if (!WriteFrame(client_fd_, request, &bytes_sent_)) {
+  const CallFault fault = NextFault(request.type);
+  if (fault.kind != CallFaultKind::kNone) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (fault.kind == CallFaultKind::kDelay) Wait(fault.delay);
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  if (fault.kind == CallFaultKind::kDropRequest) {
+    // Count the bytes as sent — they left the caller — but never give them
+    // to the kernel.
+    bytes_sent_.fetch_add(request.WireSize(), std::memory_order_relaxed);
+    return Status::Unavailable("injected fault: request lost");
+  }
+  std::uint64_t sent = 0;
+  const auto wrote = framing::WriteFrame(client_fd_, request, &sent);
+  bytes_sent_.fetch_add(sent, std::memory_order_relaxed);
+  if (wrote != framing::IoResult::kOk) {
     return Status::Unavailable("write failed");
   }
-  auto response = ReadFrame(client_fd_);
+  auto response = framing::ReadFrame(client_fd_, kMaxFrameBytes);
   if (!response.ok()) {
     return Status::Unavailable("read failed: " +
                                response.status().ToString());
   }
-  bytes_received_ += response->WireSize();
+  bytes_received_.fetch_add(response->WireSize(),
+                            std::memory_order_relaxed);
+  if (fault.kind == CallFaultKind::kDropResponse) {
+    // The handler ran — server-side state changed — but the answer is gone.
+    return Status::Unavailable("injected fault: response lost");
+  }
   if (response->type == MsgType::kError) {
-    return Status::Unavailable("remote error: " + response->payload);
+    return DecodeErrorFrame(*response);
   }
   return response;
 }

@@ -5,54 +5,88 @@
 // the RpcServer dispatch loop on its own thread behind a Unix socketpair;
 // Call() writes a framed request and blocks for the framed response.
 //
-// Dispatch failures travel back as kError frames carrying the status text,
-// so the caller distinguishes transport errors from handler errors.
+// Dispatch failures travel back as kError frames carrying the status code
+// and text, so the caller gets the handler's verdict verbatim and can
+// distinguish transport loss from a non-retryable rejection.
+//
+// Hardening (each with a regression test in socket_channel_test):
+//   * writes use send(MSG_NOSIGNAL), so a Call() against a dead peer
+//     returns Unavailable instead of killing the process with SIGPIPE;
+//   * the serve loop shuts its end down on exit, so a blocked client read
+//     sees EOF instead of hanging forever;
+//   * the byte counters are relaxed atomics — accessors may race Call();
+//   * destruction shuts both socket ends down first (unblocking any
+//     in-flight reader with EOF), joins the server thread, drains the call
+//     mutex, and only then closes the descriptors;
+//   * frame headers are validated (tag + length) before any allocation.
 //
 // Thread-safety: Call() is serialized by an internal mutex, so any number
 // of client threads may share one transport (requests are pipelined
-// one-at-a-time, like a single HTTP/1.1 connection).
+// one-at-a-time, like a single HTTP/1.1 connection).  TcpChannel
+// (tcp_channel.h) is the pooled, genuinely concurrent alternative.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <thread>
 
 #include "common/status.h"
+#include "net/channel.h"
 #include "net/message.h"
 #include "net/rpc.h"
 
 namespace ecc::net {
 
-class SocketTransport {
+class SocketTransport final : public Channel {
  public:
   /// Starts the server thread immediately.  `server` is not owned and must
-  /// outlive the transport.
-  explicit SocketTransport(RpcServer* server);
+  /// outlive the transport.  An optional `clock` (not owned) makes retry
+  /// pacing charge virtual time instead of really sleeping.
+  explicit SocketTransport(RpcServer* server, VirtualClock* clock = nullptr);
 
   SocketTransport(const SocketTransport&) = delete;
   SocketTransport& operator=(const SocketTransport&) = delete;
 
-  /// Closes the client end; the server loop drains and exits.
-  ~SocketTransport();
+  /// Shuts both socket ends down, joins the server loop, waits out any
+  /// in-flight Call, then closes the descriptors.
+  ~SocketTransport() override;
 
   /// Full round trip through the kernel: frame, write, read, unframe.
-  [[nodiscard]] StatusOr<Message> Call(const Message& request);
+  /// An interceptor bound via BindInterceptor perturbs the call exactly as
+  /// on a LoopbackChannel (drops surface as Unavailable; a dropped
+  /// response still executed server-side).
+  [[nodiscard]] StatusOr<Message> Call(const Message& request) override;
 
-  /// Bytes moved in each direction (for tests/metrics).
-  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] VirtualClock* clock() const override { return clock_; }
+
+  /// Virtual-clock charge when one is attached, real sleep otherwise —
+  /// this transport runs on the wall clock.
+  void Wait(Duration d) override;
+
+  [[nodiscard]] ChannelStats stats() const override;
+
+  /// Bytes moved in each direction (for tests/metrics).  Safe to read
+  /// while another thread is inside Call().
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t bytes_received() const {
-    return bytes_received_;
+    return bytes_received_.load(std::memory_order_relaxed);
   }
 
  private:
   void ServeLoop();
 
   RpcServer* server_;
+  VirtualClock* clock_ = nullptr;
   int client_fd_ = -1;
   int server_fd_ = -1;
   std::thread server_thread_;
   std::mutex call_mutex_;
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t bytes_received_ = 0;
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
 };
 
 }  // namespace ecc::net

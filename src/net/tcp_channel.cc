@@ -1,0 +1,160 @@
+#include "net/tcp_channel.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "net/framing.h"
+
+namespace ecc::net {
+
+namespace {
+
+void SetIoTimeout(int fd, Duration timeout) {
+  if (timeout <= Duration::Zero()) return;
+  timeval tv{};
+  tv.tv_sec = timeout.micros() / 1000000;
+  tv.tv_usec = timeout.micros() % 1000000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+TcpChannel::TcpChannel(TcpChannelOptions opts, VirtualClock* clock)
+    : opts_(std::move(opts)), clock_(clock) {}
+
+TcpChannel::~TcpChannel() {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  for (int fd : idle_) ::close(fd);
+  idle_.clear();
+}
+
+void TcpChannel::Wait(Duration d) {
+  if (clock_ != nullptr) {
+    clock_->Advance(d);
+  } else if (d > Duration::Zero()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(d.micros()));
+  }
+}
+
+ChannelStats TcpChannel::stats() const {
+  ChannelStats s;
+  s.calls = calls_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  s.time_on_wire =
+      Duration::Micros(wire_micros_.load(std::memory_order_relaxed));
+  return s;
+}
+
+std::size_t TcpChannel::idle_connections() const {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  return idle_.size();
+}
+
+StatusOr<int> TcpChannel::AcquireConnection() {
+  {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!idle_.empty()) {
+      const int fd = idle_.back();
+      idle_.pop_back();
+      return fd;
+    }
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad endpoint host: " + opts_.host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Unavailable("socket() failed");
+  SetIoTimeout(fd, opts_.io_timeout);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect to " + opts_.host + ":" +
+                               std::to_string(opts_.port) + " failed");
+  }
+  connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  return fd;
+}
+
+void TcpChannel::ReleaseConnection(int fd) {
+  {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (idle_.size() < opts_.max_pool_size) {
+      idle_.push_back(fd);
+      return;
+    }
+  }
+  ::close(fd);
+}
+
+StatusOr<Message> TcpChannel::Call(const Message& request) {
+  const CallFault fault = NextFault(request.type);
+  if (fault.kind != CallFaultKind::kNone) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (fault.kind == CallFaultKind::kDelay) {
+    Wait(fault.delay);
+    wire_micros_.fetch_add(fault.delay.micros(), std::memory_order_relaxed);
+  }
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  if (fault.kind == CallFaultKind::kDropRequest) {
+    // The bytes "left the caller" but never touch the kernel; the loss is
+    // only observable through the retry layer's timeout.
+    bytes_sent_.fetch_add(request.WireSize(), std::memory_order_relaxed);
+    return Status::Unavailable("injected fault: request lost");
+  }
+
+  auto fd = AcquireConnection();
+  if (!fd.ok()) return fd.status();
+  const auto wire_start = std::chrono::steady_clock::now();
+
+  std::uint64_t sent = 0;
+  const auto wrote = framing::WriteFrame(*fd, request, &sent);
+  bytes_sent_.fetch_add(sent, std::memory_order_relaxed);
+  if (wrote != framing::IoResult::kOk) {
+    ::close(*fd);
+    return Status::Unavailable("write failed");
+  }
+  auto response = framing::ReadFrame(*fd, opts_.max_frame_bytes);
+  const auto wire_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - wire_start)
+                           .count();
+  wire_micros_.fetch_add(wire_us, std::memory_order_relaxed);
+  if (!response.ok()) {
+    // A connection that saw loss or a frame error is never reused: the
+    // stream may be mid-frame and would corrupt the next caller.
+    ::close(*fd);
+    if (response.status().code() == StatusCode::kInvalidArgument) {
+      return response.status();  // malformed response: an answer, not loss
+    }
+    return Status::Unavailable("read failed: " +
+                               response.status().ToString());
+  }
+  ReleaseConnection(*fd);
+  bytes_received_.fetch_add(response->WireSize(),
+                            std::memory_order_relaxed);
+  if (fault.kind == CallFaultKind::kDropResponse) {
+    // The server executed — its state changed — but the answer is gone.
+    return Status::Unavailable("injected fault: response lost");
+  }
+  if (response->type == MsgType::kError) {
+    return DecodeErrorFrame(*response);
+  }
+  return response;
+}
+
+}  // namespace ecc::net

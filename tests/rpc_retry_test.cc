@@ -5,7 +5,9 @@
 // (including ECC_FAULT_SEED reproduction).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
@@ -15,6 +17,9 @@
 #include "net/message.h"
 #include "net/netmodel.h"
 #include "net/rpc.h"
+#include "net/socket_channel.h"
+#include "net/tcp_channel.h"
+#include "net/tcp_server.h"
 #include "service/service.h"
 
 namespace ecc::net {
@@ -24,7 +29,9 @@ namespace {
 /// "did the request reach the server?" under injected loss.
 struct CountingServer {
   RpcServer server;
-  std::uint64_t handled = 0;
+  // Atomic: over the TCP transport the increment happens on a server IO
+  // thread while the test thread reads it.
+  std::atomic<std::uint64_t> handled{0};
   Status respond_with = Status::Ok();  ///< non-OK => handler-level rejection
 
   CountingServer() {
@@ -72,7 +79,7 @@ TEST(RpcRetryTest, TransientDropsRetriedWithBackoffOnVirtualClock) {
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->value, "v9");
 
-  EXPECT_EQ(cs.handled, 1u);  // the two dropped requests never arrived
+  EXPECT_EQ(cs.handled.load(), 1u);  // the two dropped requests never arrived
   EXPECT_EQ(rs.attempts, 3u);
   EXPECT_EQ(rs.retries, 2u);
   EXPECT_EQ(rs.exhausted, 0u);
@@ -100,7 +107,7 @@ TEST(RpcRetryTest, PermanentFailureSurfacesUnavailableAfterBudget) {
   auto resp = CallWithRetry(channel, GetRequest{1}.Encode(), TestPolicy(), &rs);
   ASSERT_FALSE(resp.ok());
   EXPECT_EQ(resp.status().code(), StatusCode::kUnavailable);
-  EXPECT_EQ(cs.handled, 0u);
+  EXPECT_EQ(cs.handled.load(), 0u);
   EXPECT_EQ(rs.attempts, 4u);
   EXPECT_EQ(rs.retries, 3u);
   EXPECT_EQ(rs.exhausted, 1u);
@@ -137,7 +144,8 @@ TEST(RpcRetryTest, DroppedResponseMeansAtLeastOnceExecution) {
   RetryStats rs;
   auto resp = CallWithRetry(channel, GetRequest{5}.Encode(), TestPolicy(), &rs);
   ASSERT_TRUE(resp.ok());
-  EXPECT_EQ(cs.handled, 2u);  // executed twice: handlers must be idempotent
+  // Executed twice: handlers must be idempotent.
+  EXPECT_EQ(cs.handled.load(), 2u);
   EXPECT_EQ(rs.retries, 1u);
   EXPECT_EQ(injector.stats().responses_dropped, 1u);
 }
@@ -155,7 +163,7 @@ TEST(RpcRetryTest, NonRetryableErrorReturnsImmediately) {
   EXPECT_EQ(rs.attempts, 1u);  // an answer, not transport loss: no retry
   EXPECT_EQ(rs.retries, 0u);
   EXPECT_EQ(rs.time_waiting, Duration::Zero());
-  EXPECT_EQ(cs.handled, 1u);
+  EXPECT_EQ(cs.handled.load(), 1u);
 }
 
 TEST(RpcRetryTest, DelayFaultChargesExtraWireTime) {
@@ -237,7 +245,7 @@ TEST(RpcRetryTest, DeadlineClipsRetryBudget) {
                             &rs, nullptr, deadline);
   ASSERT_FALSE(resp.ok());
   EXPECT_EQ(resp.status().code(), StatusCode::kDeadlineExceeded);
-  EXPECT_EQ(cs.handled, 0u);
+  EXPECT_EQ(cs.handled.load(), 0u);
   EXPECT_EQ(rs.attempts, 2u);
   EXPECT_EQ(rs.retries, 1u);
   EXPECT_EQ(rs.deadline_clipped, 1u);
@@ -264,7 +272,7 @@ TEST(RpcRetryTest, ExpiredDeadlineShortCircuitsBeforeAnyAttempt) {
   EXPECT_EQ(resp.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(rs.attempts, 0u);
   EXPECT_EQ(rs.deadline_clipped, 1u);
-  EXPECT_EQ(cs.handled, 0u);  // the wire was never touched
+  EXPECT_EQ(cs.handled.load(), 0u);  // the wire was never touched
 }
 
 TEST(RpcRetryTest, FaultyServiceFailsScriptedInvocations) {
@@ -290,6 +298,195 @@ TEST(RpcRetryTest, FaultyServiceFailsScriptedInvocations) {
   EXPECT_EQ(faulty.invocations(), 1u);  // only the success reached `inner`
   EXPECT_EQ(injector.stats().service_failures, 2u);
 }
+
+// --- Transport-parametrized retry suite -----------------------------------
+//
+// The same fault/retry scenarios, run over every Channel implementation:
+// the simulated loopback, the blocking socketpair transport, and the epoll
+// TCP transport.  Each wall-clock transport is handed the test's
+// VirtualClock, so CallWithRetry's Wait() calls advance simulated time
+// instead of sleeping — the exact deterministic accounting assertions hold
+// unchanged, and the suite stays fast over real sockets.
+
+enum class TransportKind { kLoopback, kSocketpair, kTcp };
+
+const char* TransportName(TransportKind k) {
+  switch (k) {
+    case TransportKind::kLoopback: return "Loopback";
+    case TransportKind::kSocketpair: return "Socketpair";
+    case TransportKind::kTcp: return "Tcp";
+  }
+  return "Unknown";
+}
+
+class RetryOverTransportTest : public ::testing::TestWithParam<TransportKind> {
+ protected:
+  /// Build a channel of the parametrized kind over `cs_`, sharing `clock_`.
+  Channel& MakeChannel() {
+    switch (GetParam()) {
+      case TransportKind::kLoopback:
+        channel_ = std::make_unique<LoopbackChannel>(&cs_.server,
+                                                     NetworkModel{}, &clock_);
+        break;
+      case TransportKind::kSocketpair:
+        channel_ = std::make_unique<SocketTransport>(&cs_.server, &clock_);
+        break;
+      case TransportKind::kTcp: {
+        tcp_server_ = std::make_unique<TcpServer>(&cs_.server);
+        auto started = tcp_server_->Start();
+        EXPECT_TRUE(started.ok()) << started.ToString();
+        TcpChannelOptions opts;
+        opts.port = tcp_server_->port();
+        channel_ = std::make_unique<TcpChannel>(opts, &clock_);
+        break;
+      }
+    }
+    return *channel_;
+  }
+
+  void TearDown() override {
+    channel_.reset();  // client side first: releases pooled connections
+    if (tcp_server_ != nullptr) tcp_server_->Stop();
+  }
+
+  CountingServer cs_;
+  VirtualClock clock_;
+  std::unique_ptr<Channel> channel_;
+  std::unique_ptr<TcpServer> tcp_server_;
+};
+
+TEST_P(RetryOverTransportTest, TransientDropsRetriedWithExactAccounting) {
+  Channel& channel = MakeChannel();
+  fault::FaultPlan plan;
+  plan.calls.push_back({/*endpoint=*/7, MsgType::kGetRequest,
+                        /*any_type=*/false, /*after_matching=*/0,
+                        /*count=*/2, CallFaultKind::kDropRequest, {}});
+  fault::FaultInjector injector(plan);
+  channel.BindInterceptor(&injector, 7);
+
+  RetryStats rs;
+  auto resp = CallWithRetry(channel, GetRequest{9}.Encode(), TestPolicy(), &rs);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  auto decoded = GetResponse::Decode(*resp);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->value, "v9");
+
+  EXPECT_EQ(cs_.handled.load(), 1u);  // the dropped requests never arrived
+  EXPECT_EQ(rs.attempts, 3u);
+  EXPECT_EQ(rs.retries, 2u);
+  // Identical accounting on every transport: two detection timeouts plus
+  // 5 ms + 10 ms of backoff, all charged to the shared virtual clock.
+  EXPECT_EQ(rs.time_waiting,
+            Duration::Millis(50) * 2.0 + Duration::Millis(5) +
+                Duration::Millis(10));
+  EXPECT_EQ(rs.time_backing_off, Duration::Millis(15));
+  EXPECT_GE(clock_.now().micros(), rs.time_waiting.micros());
+  EXPECT_EQ(injector.stats().requests_dropped, 2u);
+  EXPECT_EQ(channel.stats().faults_injected, 2u);
+}
+
+TEST_P(RetryOverTransportTest, DownEndpointExhaustsBudgetThenRecovers) {
+  Channel& channel = MakeChannel();
+  fault::FaultInjector injector;
+  channel.BindInterceptor(&injector, 3);
+  injector.MarkDown(3);
+
+  RetryStats rs;
+  auto resp = CallWithRetry(channel, GetRequest{1}.Encode(), TestPolicy(), &rs);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(cs_.handled.load(), 0u);
+  EXPECT_EQ(rs.attempts, 4u);
+  EXPECT_EQ(rs.exhausted, 1u);
+  EXPECT_EQ(injector.stats().down_endpoint_drops, 4u);
+
+  injector.ClearDown(3);
+  EXPECT_TRUE(
+      CallWithRetry(channel, GetRequest{1}.Encode(), TestPolicy()).ok());
+  EXPECT_EQ(cs_.handled.load(), 1u);
+}
+
+TEST_P(RetryOverTransportTest, DroppedResponseMeansAtLeastOnceExecution) {
+  Channel& channel = MakeChannel();
+  fault::FaultPlan plan;
+  plan.calls.push_back({fault::kAnyEndpoint, MsgType::kGetRequest,
+                        /*any_type=*/true, /*after_matching=*/0,
+                        /*count=*/1, CallFaultKind::kDropResponse, {}});
+  fault::FaultInjector injector(plan);
+  channel.BindInterceptor(&injector, 0);
+
+  RetryStats rs;
+  auto resp = CallWithRetry(channel, GetRequest{5}.Encode(), TestPolicy(), &rs);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  // The drop-response contract on every transport: the server executed
+  // (its state changed) before the answer was lost, so the retry makes it
+  // exactly twice.  Handlers must be idempotent.
+  EXPECT_EQ(cs_.handled.load(), 2u);
+  EXPECT_EQ(rs.retries, 1u);
+  EXPECT_EQ(injector.stats().responses_dropped, 1u);
+}
+
+TEST_P(RetryOverTransportTest, DelayFaultResolvesWithoutRetry) {
+  Channel& channel = MakeChannel();
+  fault::FaultPlan plan;
+  plan.calls.push_back({fault::kAnyEndpoint, MsgType::kGetRequest,
+                        /*any_type=*/true, /*after_matching=*/0,
+                        /*count=*/1, CallFaultKind::kDelay,
+                        Duration::Millis(40)});
+  fault::FaultInjector injector(plan);
+  channel.BindInterceptor(&injector, 0);
+
+  auto resp = channel.Call(GetRequest{5}.Encode());
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();  // delayed, not lost
+  EXPECT_GE(clock_.now().micros(), Duration::Millis(40).micros());
+  EXPECT_EQ(injector.stats().delays, 1u);
+  EXPECT_EQ(channel.stats().faults_injected, 1u);
+  EXPECT_EQ(cs_.handled.load(), 1u);
+}
+
+TEST_P(RetryOverTransportTest, NonRetryableHandlerErrorSurvivesTheWire) {
+  // A handler-level InvalidArgument must come back as InvalidArgument on
+  // every transport — the socket transports carry the status code inside
+  // the kError frame — so CallWithRetry answers in one attempt instead of
+  // re-executing a known-bad request for the whole retry budget.
+  cs_.respond_with = Status::InvalidArgument("handler says no");
+  Channel& channel = MakeChannel();
+
+  RetryStats rs;
+  auto resp = CallWithRetry(channel, GetRequest{5}.Encode(), TestPolicy(), &rs);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(resp.status().message().find("handler says no"),
+            std::string::npos);
+  EXPECT_EQ(rs.attempts, 1u);
+  EXPECT_EQ(rs.retries, 0u);
+  EXPECT_EQ(cs_.handled.load(), 1u);
+}
+
+TEST_P(RetryOverTransportTest, DeadlineClipsRetryBudget) {
+  Channel& channel = MakeChannel();
+  fault::FaultInjector injector;
+  channel.BindInterceptor(&injector, 3);
+  injector.MarkDown(3);
+
+  const Deadline deadline{&clock_, clock_.now() + Duration::Millis(60)};
+  RetryStats rs;
+  auto resp = CallWithRetry(channel, GetRequest{1}.Encode(), TestPolicy(),
+                            &rs, nullptr, deadline);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(cs_.handled.load(), 0u);
+  EXPECT_EQ(rs.attempts, 2u);
+  EXPECT_EQ(rs.deadline_clipped, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransports, RetryOverTransportTest,
+    ::testing::Values(TransportKind::kLoopback, TransportKind::kSocketpair,
+                      TransportKind::kTcp),
+    [](const ::testing::TestParamInfo<TransportKind>& info) {
+      return TransportName(info.param);
+    });
 
 }  // namespace
 }  // namespace ecc::net
