@@ -17,6 +17,25 @@
 //
 //   fleet_runner --nodes 3 --ops 3000 --kill   # exit 0 = survived
 //
+// Chaos mode: with --chaos=<scenario>, every node sits behind a seeded
+// ChaosProxy (net/chaos_proxy.h) and the workload switches to W=2
+// replicated writes — a put is *acknowledged* only when both rendezvous
+// owners accepted it — with primary->mirror failover reads.  An
+// InvariantChecker (recovery/invariant_checker.h) audits every acked
+// write and every served value; after the faults heal, a scrub pass
+// repairs one-sided copies and the run asserts digest convergence plus
+// zero lost acknowledged writes.  Scenarios:
+//
+//   partition-one              black-hole one node, heal, reconverge
+//   flapping-link              partition toggles on and off repeatedly
+//   slow-node                  delay+jitter on one node's wire
+//   corrupt-wire               random byte flips on every link
+//   partition-during-migration two-phase range migration, destination
+//                              partitioned mid-copy: rollback, re-run
+//
+// Every fault is drawn from ECC_CHAOS_SEED (or --seed); a failing run
+// prints the seed so the exact fault schedule replays.
+//
 // Clean shutdown: SIGTERM to every child; each stops its TcpServer and
 // exits 0; the parent reaps and verifies.
 #include <signal.h>
@@ -24,24 +43,33 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/cache_node.h"
+#include "net/chaos_proxy.h"
 #include "net/message.h"
 #include "net/rpc.h"
 #include "net/tcp_channel.h"
 #include "net/tcp_server.h"
+#include "obs/trace.h"
+#include "recovery/invariant_checker.h"
 
 namespace {
 
 using ecc::Duration;
 namespace net = ecc::net;
+namespace obs = ecc::obs;
+namespace recovery = ecc::recovery;
 
 volatile sig_atomic_t g_node_stop = 0;
 void OnTerm(int) { g_node_stop = 1; }
@@ -55,6 +83,8 @@ struct Options {
   std::size_t io_threads = 1;
   std::size_t probe_every_ops = 200;   // detector round cadence
   std::size_t suspect_threshold = 3;   // consecutive missed rounds
+  std::string chaos;                   // empty => legacy (no-proxy) mode
+  std::uint64_t chaos_seed = 0;        // resolved in main()
 };
 
 /// Child: serve one CacheNode over TCP until SIGTERM.
@@ -95,9 +125,12 @@ std::uint64_t Mix(std::uint64_t x) {  // splitmix64 finalizer
 struct Endpoint {
   std::size_t node_id = 0;
   pid_t pid = -1;
-  std::unique_ptr<net::TcpChannel> channel;
   bool live = true;
   std::size_t missed_rounds = 0;
+  // proxy before channel: the channel (which holds connections through the
+  // proxy) must be destroyed first.
+  std::unique_ptr<net::ChaosProxy> proxy;
+  std::unique_ptr<net::TcpChannel> channel;
 };
 
 /// Rendezvous hashing: stable placement that only remaps a dead node's
@@ -153,6 +186,681 @@ int Fail(const char* what) {
   return 1;
 }
 
+// ------------------------------------------------------------------------
+// Fleet launch / shutdown, shared between the legacy smoke and chaos mode.
+// ------------------------------------------------------------------------
+
+bool IsChaosScenario(const std::string& s) {
+  return s == "partition-one" || s == "flapping-link" || s == "slow-node" ||
+         s == "corrupt-wire" || s == "partition-during-migration";
+}
+
+/// Per-node fault plan.  Each node decorrelates from the run seed so the
+/// schedule is a pure function of (seed, node, traffic).
+net::ChaosPlan PlanFor(const Options& opts, std::size_t node,
+                       std::size_t victim) {
+  net::ChaosPlan plan;
+  plan.seed = Mix(opts.chaos_seed ^ (node + 1));
+  if (opts.chaos == "corrupt-wire") plan.corrupt_byte_p = 0.0003;
+  if (opts.chaos == "slow-node" && node == victim) {
+    plan.delay = Duration::Millis(15);
+    plan.jitter = Duration::Millis(40);
+  }
+  return plan;
+}
+
+/// Fork the node processes (before any thread exists), read their ports,
+/// then stand up per-node chaos proxies (chaos mode) and channels.
+int LaunchFleet(const Options& opts, std::vector<Endpoint>& fleet) {
+  std::vector<int> port_pipes;
+  for (std::size_t i = 0; i < opts.nodes; ++i) {
+    int fds[2];
+    if (::pipe(fds) != 0) return Fail("pipe()");
+    const pid_t pid = ::fork();
+    if (pid < 0) return Fail("fork()");
+    if (pid == 0) {
+      ::close(fds[0]);
+      RunNode(i, opts, fds[1]);  // never returns
+    }
+    ::close(fds[1]);
+    fleet.emplace_back();
+    fleet.back().node_id = i;
+    fleet.back().pid = pid;
+    port_pipes.push_back(fds[0]);
+  }
+  const std::size_t victim = opts.nodes - 1;
+  for (std::size_t i = 0; i < opts.nodes; ++i) {
+    char buf[16] = {0};
+    ssize_t n = 0, off = 0;
+    while ((n = ::read(port_pipes[i], buf + off, sizeof(buf) - 1 - off)) > 0) {
+      off += n;
+      if (std::memchr(buf, '\n', off) != nullptr) break;
+    }
+    ::close(port_pipes[i]);
+    const int port = std::atoi(buf);
+    if (port <= 0) return Fail("node did not report a port");
+    std::uint16_t connect_port = static_cast<std::uint16_t>(port);
+    if (!opts.chaos.empty()) {
+      fleet[i].proxy = std::make_unique<net::ChaosProxy>(
+          "127.0.0.1", connect_port, PlanFor(opts, i, victim));
+      if (auto s = fleet[i].proxy->Start(); !s.ok()) {
+        std::fprintf(stderr, "proxy %zu: %s\n", i, s.ToString().c_str());
+        return Fail("chaos proxy failed to start");
+      }
+      connect_port = fleet[i].proxy->port();
+    }
+    net::TcpChannelOptions copts;
+    copts.port = connect_port;
+    // Chaos runs burn the io timeout on every black-holed call, so it has
+    // to be short; slow-node needs headroom above the shaped RTT.
+    copts.io_timeout = opts.chaos.empty()       ? Duration::Millis(250)
+                       : opts.chaos == "slow-node" ? Duration::Millis(100)
+                                                   : Duration::Millis(40);
+    fleet[i].channel = std::make_unique<net::TcpChannel>(copts);
+    fleet[i].channel->BindInterceptor(nullptr, i);  // label the endpoint
+    std::printf("coordinator: node %zu pid %d port %d%s\n", i,
+                static_cast<int>(fleet[i].pid), port,
+                fleet[i].proxy ? " (proxied)" : "");
+  }
+  return 0;
+}
+
+/// SIGTERM + reap.  `skip` (SIZE_MAX = none) is a node that was SIGKILLed
+/// and should be reaped as such.
+std::size_t ShutdownFleet(std::vector<Endpoint>& fleet, std::size_t skip) {
+  std::size_t clean_exits = 0;
+  for (auto& ep : fleet) {
+    if (ep.node_id == skip) continue;
+    ::kill(ep.pid, SIGTERM);
+  }
+  for (auto& ep : fleet) {
+    int status = 0;
+    if (::waitpid(ep.pid, &status, 0) != ep.pid) continue;
+    if (ep.node_id == skip) {
+      if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) ++clean_exits;
+    } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      ++clean_exits;
+    }
+  }
+  return clean_exits;
+}
+
+// ------------------------------------------------------------------------
+// Chaos mode: W=2 replication + failover reads audited by the
+// InvariantChecker, against a fleet of chaos-proxied nodes.
+// ------------------------------------------------------------------------
+
+struct ChaosCtx {
+  const Options* opts = nullptr;
+  std::vector<Endpoint>* fleet = nullptr;
+  recovery::InvariantChecker checker;
+  obs::TraceLog trace{1 << 15};
+  net::RetryPolicy retry;
+  net::RetryStats rpc_stats;
+  /// Committed migration placements: key -> {primary id, mirror id}.
+  /// Checked before rendezvous so a migrated range reads from its new home.
+  std::unordered_map<std::uint64_t, std::array<std::size_t, 2>> placement;
+  std::vector<std::uint64_t> issued_keys;
+  std::size_t acked = 0;
+  std::size_t put_failures = 0;
+  std::size_t degraded_serves = 0;   // reads answered by the mirror
+  std::size_t reads_unavailable = 0;
+  std::size_t revivals = 0;
+  std::size_t dead_confirmed = 0;
+  std::size_t scrub_repairs = 0;
+};
+
+int FailChaos(const ChaosCtx& cx, const char* what) {
+  std::fprintf(stderr, "CHAOS FLEET FAILED [%s]: %s\n",
+               cx.opts->chaos.c_str(), what);
+  std::fprintf(stderr,
+               "replay: ECC_CHAOS_SEED=0x%llx fleet_runner --chaos=%s "
+               "--nodes %zu --ops %zu\n",
+               static_cast<unsigned long long>(cx.opts->chaos_seed),
+               cx.opts->chaos.c_str(), cx.opts->nodes, cx.opts->ops);
+  return 1;
+}
+
+/// Deterministic value for a key: replays, repairs, and ghost writes all
+/// reproduce the same bytes, so a duplicate landing late is idempotent.
+std::string ValueFor(std::uint64_t key, std::size_t bytes) {
+  std::string v = "k" + std::to_string(key) + ":";
+  const char fill = static_cast<char>('a' + (Mix(key) % 26));
+  if (v.size() < bytes) v.append(bytes - v.size(), fill);
+  return v;
+}
+
+std::size_t LiveCount(const std::vector<Endpoint>& fleet) {
+  std::size_t n = 0;
+  for (const auto& ep : fleet) n += ep.live ? 1 : 0;
+  return n;
+}
+
+bool AllLive(const std::vector<Endpoint>& fleet) {
+  return LiveCount(fleet) == fleet.size();
+}
+
+/// Top-2 live endpoints by rendezvous weight (primary first), unless a
+/// committed migration override pins the key elsewhere.
+std::vector<Endpoint*> Owners(ChaosCtx& cx, std::uint64_t key) {
+  std::vector<Endpoint*> out;
+  if (auto it = cx.placement.find(key); it != cx.placement.end()) {
+    for (std::size_t id : it->second) {
+      Endpoint& ep = (*cx.fleet)[id];
+      if (ep.live) out.push_back(&ep);
+    }
+    return out;
+  }
+  Endpoint* a = nullptr;
+  Endpoint* b = nullptr;
+  std::uint64_t wa = 0, wb = 0;
+  for (auto& ep : *cx.fleet) {
+    if (!ep.live) continue;
+    const std::uint64_t w = Mix(key * 0x100000001b3ull + ep.node_id);
+    if (a == nullptr || w > wa) {
+      b = a;
+      wb = wa;
+      a = &ep;
+      wa = w;
+    } else if (b == nullptr || w > wb) {
+      b = &ep;
+      wb = w;
+    }
+  }
+  if (a != nullptr) out.push_back(a);
+  if (b != nullptr) out.push_back(b);
+  return out;
+}
+
+/// W=2 write: issue first, send to both owners, acknowledge only if every
+/// owner accepted.  A timed-out replica leaves the write issued-not-acked —
+/// if the bytes later land (ghost flush on heal), reading them is legal.
+bool ReplicatedPut(ChaosCtx& cx, std::uint64_t key) {
+  const std::string value = ValueFor(key, cx.opts->value_bytes);
+  auto owners = Owners(cx, key);
+  if (owners.empty()) {
+    ++cx.put_failures;
+    return false;
+  }
+  const auto seq = cx.checker.RecordIssued(key, value);
+  cx.issued_keys.push_back(key);
+  bool all_ok = true;
+  for (auto* ep : owners) {
+    auto resp = net::CallWithRetry(
+        *ep->channel, net::PutRequest{key, value}.Encode(), cx.retry,
+        &cx.rpc_stats);
+    if (!resp.ok()) {
+      all_ok = false;
+      continue;
+    }
+    auto pr = net::PutResponse::Decode(*resp);
+    if (!pr.ok() || !pr->accepted) all_ok = false;
+  }
+  const std::size_t want = std::min<std::size_t>(2, LiveCount(*cx.fleet));
+  if (all_ok && owners.size() >= want) {
+    cx.checker.RecordAcked(key, seq);
+    ++cx.acked;
+    return true;
+  }
+  ++cx.put_failures;
+  return false;
+}
+
+enum class GetOutcome { kServed, kMiss, kUnavailable };
+
+/// Primary read with mirror failover.  Only a *definitive* all-owners miss
+/// is reported to the checker as absence; an unreachable owner means the
+/// value may still exist, so the read is counted unavailable instead.
+GetOutcome FailoverGet(ChaosCtx& cx, std::uint64_t key, bool observe,
+                       std::string* out = nullptr) {
+  auto owners = Owners(cx, key);
+  bool errored = owners.empty();
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    auto resp = net::CallWithRetry(*owners[i]->channel,
+                                   net::GetRequest{key}.Encode(), cx.retry,
+                                   &cx.rpc_stats);
+    if (!resp.ok()) {
+      errored = true;
+      continue;
+    }
+    auto gr = net::GetResponse::Decode(*resp);
+    if (!gr.ok()) {
+      errored = true;
+      continue;
+    }
+    if (gr->found) {
+      if (i > 0) ++cx.degraded_serves;
+      if (observe) (void)cx.checker.Observe(key, true, gr->value);
+      if (out != nullptr) *out = gr->value;
+      return GetOutcome::kServed;
+    }
+  }
+  if (errored) {
+    ++cx.reads_unavailable;
+    return GetOutcome::kUnavailable;
+  }
+  if (observe) (void)cx.checker.Observe(key, false, "");
+  return GetOutcome::kMiss;
+}
+
+/// Detector round that also probes confirmed-dead endpoints: a partition
+/// is not a crash, so a node answering again after heal is revived and
+/// rejoins placement.
+std::size_t ChaosProbeRound(ChaosCtx& cx) {
+  std::size_t confirmed = 0;
+  for (auto& ep : *cx.fleet) {
+    auto resp = ep.channel->Call(net::StatsRequest{}.Encode());
+    if (resp.ok()) {
+      if (!ep.live) {
+        ep.live = true;
+        ++cx.revivals;
+        std::printf("coordinator: node %zu revived (probe answered)\n",
+                    ep.node_id);
+      }
+      ep.missed_rounds = 0;
+      continue;
+    }
+    if (!ep.live) continue;
+    if (++ep.missed_rounds >= cx.opts->suspect_threshold) {
+      ep.live = false;
+      ++confirmed;
+      ++cx.dead_confirmed;
+      std::printf("coordinator: node %zu confirmed dead after %zu missed "
+                  "rounds\n",
+                  ep.node_id, ep.missed_rounds);
+    }
+  }
+  return confirmed;
+}
+
+void Quiesce(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Read one replica with an outer retry loop on top of CallWithRetry.
+/// Returns false only if the copy stayed unreachable — the caller fails
+/// the run (replayable via the printed seed) rather than guess.
+bool ReadCopy(ChaosCtx& cx, Endpoint* ep, std::uint64_t key, bool* have,
+              std::string* val) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto resp = net::CallWithRetry(*ep->channel, net::GetRequest{key}.Encode(),
+                                   cx.retry, &cx.rpc_stats);
+    if (!resp.ok()) continue;
+    auto gr = net::GetResponse::Decode(*resp);
+    if (!gr.ok()) continue;
+    *have = gr->found;
+    if (gr->found) *val = gr->value;
+    return true;
+  }
+  return false;
+}
+
+/// Post-heal anti-entropy: read both copies of every issued key, repair
+/// one-sided or divergent copies (primary wins), then fold the shared
+/// digest over acked keys on each side and assert convergence.
+int ScrubAndConverge(ChaosCtx& cx) {
+  std::uint64_t dig_primary = 0;
+  std::uint64_t dig_mirror = 0;
+  for (const std::uint64_t key : cx.issued_keys) {
+    auto owners = Owners(cx, key);
+    if (owners.size() < 2) continue;  // guarded: scrub runs all-live
+    std::array<bool, 2> have{false, false};
+    std::array<std::string, 2> val;
+    for (int i = 0; i < 2; ++i) {
+      if (!ReadCopy(cx, owners[i], key, &have[i], &val[i])) {
+        return FailChaos(cx, "scrub read stayed unavailable");
+      }
+    }
+    bool repaired = false;
+    if (have[0] && (!have[1] || val[1] != val[0])) {
+      auto resp = net::CallWithRetry(*owners[1]->channel,
+                                     net::PutRequest{key, val[0]}.Encode(),
+                                     cx.retry, &cx.rpc_stats);
+      if (!resp.ok()) return FailChaos(cx, "scrub repair put failed");
+      repaired = true;
+    } else if (!have[0] && have[1]) {
+      auto resp = net::CallWithRetry(*owners[0]->channel,
+                                     net::PutRequest{key, val[1]}.Encode(),
+                                     cx.retry, &cx.rpc_stats);
+      if (!resp.ok()) return FailChaos(cx, "scrub repair put failed");
+      repaired = true;
+    }
+    if (repaired) {
+      ++cx.scrub_repairs;
+      for (int i = 0; i < 2; ++i) {
+        if (!ReadCopy(cx, owners[i], key, &have[i], &val[i])) {
+          return FailChaos(cx, "scrub re-read stayed unavailable");
+        }
+      }
+    }
+    if (cx.checker.Acked(key)) {
+      if (have[0]) dig_primary += recovery::DigestTerm(key, val[0]);
+      if (have[1]) dig_mirror += recovery::DigestTerm(key, val[1]);
+    }
+  }
+  cx.checker.ObserveConvergence(dig_primary, dig_mirror);
+  std::printf("chaos: scrub repaired %zu cop%s, digests %s\n",
+              cx.scrub_repairs, cx.scrub_repairs == 1 ? "y" : "ies",
+              dig_primary == dig_mirror ? "converged" : "DIVERGED");
+  return 0;
+}
+
+/// Read back every issued key through the failover path, feeding the
+/// checker.  Unavailable reads get extra whole-path retries; any key that
+/// stays unreachable fails the run.
+int FinalVerify(ChaosCtx& cx) {
+  std::size_t unreachable = 0;
+  for (const std::uint64_t key : cx.issued_keys) {
+    GetOutcome outcome = GetOutcome::kUnavailable;
+    for (int attempt = 0; attempt < 3 && outcome == GetOutcome::kUnavailable;
+         ++attempt) {
+      outcome = FailoverGet(cx, key, /*observe=*/true);
+    }
+    if (outcome == GetOutcome::kUnavailable) ++unreachable;
+  }
+  if (unreachable != 0) {
+    return FailChaos(cx, "final verification reads stayed unavailable");
+  }
+  return 0;
+}
+
+constexpr std::size_t kMigrateBatch = 16;
+
+/// Copy a batch of keys (values read through the normal failover path)
+/// into `dest` as one MIGRATE rpc.  False on any read or transfer failure.
+bool CopyBatch(ChaosCtx& cx, Endpoint& dest,
+               const std::vector<std::uint64_t>& keys, std::size_t from,
+               std::size_t to) {
+  net::MigrateRequest req;
+  for (std::size_t i = from; i < to; ++i) {
+    std::string v;
+    if (FailoverGet(cx, keys[i], /*observe=*/false, &v) != GetOutcome::kServed) {
+      return false;
+    }
+    req.records.emplace_back(keys[i], v);
+  }
+  auto resp = net::CallWithRetry(*dest.channel, req.Encode(), cx.retry,
+                                 &cx.rpc_stats);
+  if (!resp.ok()) return false;
+  auto mr = net::MigrateResponse::Decode(*resp);
+  return mr.ok() && mr->accepted == to - from;
+}
+
+/// Two-phase range migration with the destination partitioned mid-copy:
+/// the copy aborts, rolls back after heal (the erase also sweeps any ghost
+/// batch the healed link flushed), re-runs, verifies, and only then
+/// commits the placement override and drops the old mirror copies.
+int RunMigrationPhase(ChaosCtx& cx) {
+  std::vector<Endpoint>& fleet = *cx.fleet;
+  const Options& opts = *cx.opts;
+  const std::size_t dest = 1;
+  const std::uint64_t range_hi = std::max<std::uint64_t>(opts.ops / 4, 8);
+
+  // Keys to move: everything in [0, range_hi) the destination does not
+  // already hold a replica of (erasing those on rollback would eat data).
+  std::vector<std::uint64_t> move;
+  for (std::uint64_t k = 0; k < range_hi; ++k) {
+    auto owners = Owners(cx, k);
+    bool already = false;
+    for (auto* ep : owners) already |= ep->node_id == dest;
+    if (!already) move.push_back(k);
+  }
+  if (move.empty()) return FailChaos(cx, "migration range mapped empty");
+  std::printf("chaos: migrating %zu keys of range [0,%llu) to node %zu\n",
+              move.size(), static_cast<unsigned long long>(range_hi), dest);
+
+  // --- Attempt 1: partition the destination halfway through the copy ----
+  const std::size_t cut = move.size() / 2;
+  bool partitioned = false;
+  bool aborted = false;
+  for (std::size_t i = 0; i < move.size() && !aborted; i += kMigrateBatch) {
+    if (!partitioned && i >= cut) {
+      std::printf("chaos: partitioning destination mid-copy\n");
+      fleet[dest].proxy->Partition();
+      partitioned = true;
+    }
+    const std::size_t to = std::min(move.size(), i + kMigrateBatch);
+    if (!CopyBatch(cx, fleet[dest], move, i, to)) aborted = true;
+  }
+  if (!partitioned || !aborted) {
+    return FailChaos(cx, "copy was expected to abort under partition");
+  }
+  std::printf("chaos: copy aborted under partition; rolling back\n");
+
+  // --- Heal, then roll back.  Erasing after the heal quiesce means the
+  // ghost batch (buffered mid-partition, flushed on heal) is swept too. --
+  fleet[dest].proxy->Heal();
+  Quiesce(300);
+  for (int r = 0; r < 10 && !AllLive(fleet); ++r) ChaosProbeRound(cx);
+  if (!AllLive(fleet)) return FailChaos(cx, "destination never revived");
+  net::EraseRequest rollback;
+  rollback.keys = move;
+  auto resp = net::CallWithRetry(*fleet[dest].channel, rollback.Encode(),
+                                 cx.retry, &cx.rpc_stats);
+  if (!resp.ok()) return FailChaos(cx, "rollback erase failed");
+  auto er = net::EraseResponse::Decode(*resp);
+  if (!er.ok()) return FailChaos(cx, "rollback erase undecodable");
+  std::printf("chaos: rollback erased %llu partial cop%s\n",
+              static_cast<unsigned long long>(er->erased),
+              er->erased == 1 ? "y" : "ies");
+  for (std::size_t i = 0; i < std::min<std::size_t>(move.size(), 20); ++i) {
+    bool have = false;
+    std::string v;
+    if (!ReadCopy(cx, &fleet[dest], move[i], &have, &v)) {
+      return FailChaos(cx, "rollback verification read failed");
+    }
+    if (have) return FailChaos(cx, "rollback left a partial copy behind");
+  }
+
+  // --- Attempt 2: clean copy, verify, commit -----------------------------
+  for (std::size_t i = 0; i < move.size(); i += kMigrateBatch) {
+    const std::size_t to = std::min(move.size(), i + kMigrateBatch);
+    if (!CopyBatch(cx, fleet[dest], move, i, to)) {
+      return FailChaos(cx, "post-heal migration copy failed");
+    }
+  }
+  for (const std::uint64_t k : move) {
+    bool have = false;
+    std::string v;
+    if (!ReadCopy(cx, &fleet[dest], k, &have, &v)) {
+      return FailChaos(cx, "migration verify read failed");
+    }
+    if (!have || v != ValueFor(k, opts.value_bytes)) {
+      return FailChaos(cx, "migrated copy missing or wrong");
+    }
+  }
+  auto rs = net::CallWithRetry(
+      *fleet[dest].channel, net::RangeStatsRequest{0, range_hi - 1}.Encode(),
+      cx.retry, &cx.rpc_stats);
+  if (!rs.ok()) return FailChaos(cx, "range-stats verify failed");
+  auto rsr = net::RangeStatsResponse::Decode(*rs);
+  if (!rsr.ok() || rsr->records < move.size()) {
+    return FailChaos(cx, "destination holds fewer records than migrated");
+  }
+
+  // Commit: new primary = dest, new mirror = the old primary; the old
+  // mirror copy is dropped so the replica count stays at two.
+  std::unordered_map<std::size_t, std::vector<std::uint64_t>> mirror_drop;
+  for (const std::uint64_t k : move) {
+    auto owners = Owners(cx, k);  // still rendezvous: override not yet set
+    if (owners.size() < 2) return FailChaos(cx, "owner pair vanished");
+    cx.placement[k] = {dest, owners[0]->node_id};
+    mirror_drop[owners[1]->node_id].push_back(k);
+  }
+  for (auto& [node_id, keys] : mirror_drop) {
+    net::EraseRequest drop;
+    drop.keys = keys;
+    auto dresp = net::CallWithRetry(*fleet[node_id].channel, drop.Encode(),
+                                    cx.retry, &cx.rpc_stats);
+    if (!dresp.ok()) return FailChaos(cx, "old-mirror cleanup erase failed");
+  }
+  std::printf("chaos: migration committed (%zu keys now primary on node "
+              "%zu)\n",
+              move.size(), dest);
+
+  // A short serve phase exercises the new placement before the scrub.
+  for (std::size_t s = 0; s < opts.ops / 2; ++s) {
+    (void)ReplicatedPut(cx, opts.ops + s);
+    const std::uint64_t read_key =
+        Mix(opts.chaos_seed ^ (s * 2654435761ull)) % (opts.ops + s + 1);
+    (void)FailoverGet(cx, read_key, /*observe=*/true);
+  }
+  return 0;
+}
+
+int RunChaos(Options opts) {
+  if (opts.nodes < 3) return Fail("chaos scenarios need --nodes >= 3");
+  if (opts.chaos == "slow-node" && opts.ops > 100) {
+    std::printf("chaos: slow-node clamps --ops to 100 (shaped RTTs are "
+                "expensive)\n");
+    opts.ops = 100;
+  }
+  // Short detector cycles: a black-holed call burns its whole io timeout,
+  // so the run wants the partition confirmed (and routed around) fast.
+  opts.probe_every_ops = std::max<std::size_t>(5, opts.ops / 100);
+  std::printf("chaos: scenario=%s seed=0x%llx (replay with "
+              "ECC_CHAOS_SEED=0x%llx)\n",
+              opts.chaos.c_str(),
+              static_cast<unsigned long long>(opts.chaos_seed),
+              static_cast<unsigned long long>(opts.chaos_seed));
+
+  std::vector<Endpoint> fleet;
+  if (const int rc = LaunchFleet(opts, fleet); rc != 0) return rc;
+
+  ChaosCtx cx;
+  cx.opts = &opts;
+  cx.fleet = &fleet;
+  cx.retry.max_attempts =
+      (opts.chaos == "corrupt-wire" || opts.chaos == "slow-node") ? 3 : 2;
+  cx.retry.attempt_timeout = Duration::Millis(5);
+  cx.retry.initial_backoff = Duration::Millis(2);
+  cx.retry.max_backoff = Duration::Millis(10);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& ep : fleet) ep.proxy->BindTrace(&cx.trace, ep.node_id);
+  cx.checker.BindTrace(&cx.trace, [t0] {
+    return ecc::TimePoint::FromMicros(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  });
+
+  // --- Load phase: replicate every key across its owner pair -------------
+  for (std::uint64_t k = 0; k < opts.ops; ++k) ReplicatedPut(cx, k);
+  const bool faults_from_start =
+      opts.chaos == "corrupt-wire" || opts.chaos == "slow-node";
+  if (faults_from_start ? cx.acked < opts.ops / 2 : cx.acked != opts.ops) {
+    return FailChaos(cx, "load phase ack rate collapsed");
+  }
+  std::printf("chaos: load done, %zu/%zu writes acked\n", cx.acked, opts.ops);
+  const std::size_t load_put_failures = cx.put_failures;
+
+  // --- Fault phase -------------------------------------------------------
+  const std::size_t victim = opts.nodes - 1;
+  if (opts.chaos == "partition-during-migration") {
+    if (const int rc = RunMigrationPhase(cx); rc != 0) return rc;
+  } else {
+    const std::size_t part_at = opts.ops / 3;
+    const std::size_t heal_at = std::min(
+        opts.ops - 1, part_at + std::max<std::size_t>(40, opts.ops / 6));
+    const std::size_t flap_every = std::max<std::size_t>(30, opts.ops / 10);
+    bool flap_down = false;
+    for (std::size_t s = 0; s < opts.ops; ++s) {
+      if (opts.chaos == "partition-one") {
+        if (s == part_at) {
+          std::printf("chaos: partitioning node %zu\n", victim);
+          fleet[victim].proxy->Partition();
+        }
+        if (s == heal_at) {
+          std::printf("chaos: healing node %zu\n", victim);
+          fleet[victim].proxy->Heal();
+          Quiesce(250);  // let buffered ghost writes land before moving on
+        }
+      } else if (opts.chaos == "flapping-link" && s >= opts.ops / 6 &&
+                 s < (5 * opts.ops) / 6 && s % flap_every == 0) {
+        flap_down = !flap_down;
+        std::printf("chaos: link to node %zu %s\n", victim,
+                    flap_down ? "down" : "up");
+        if (flap_down) {
+          fleet[victim].proxy->Partition();
+        } else {
+          fleet[victim].proxy->Heal();
+          Quiesce(150);
+        }
+      }
+      if (s % opts.probe_every_ops == 0) ChaosProbeRound(cx);
+      ReplicatedPut(cx, opts.ops + s);  // fresh key: ghosts stay idempotent
+      const std::uint64_t read_key =
+          Mix(opts.chaos_seed ^ (s * 2654435761ull)) % (opts.ops + s + 1);
+      (void)FailoverGet(cx, read_key, /*observe=*/true);
+    }
+  }
+
+  // --- Heal everything and wait for the fleet to reconverge --------------
+  for (auto& ep : fleet) ep.proxy->Heal();
+  Quiesce(300);
+  for (int r = 0; r < 10 && !AllLive(fleet); ++r) ChaosProbeRound(cx);
+  if (!AllLive(fleet)) {
+    return FailChaos(cx, "a node never revived after heal");
+  }
+  const std::size_t chaos_put_failures = cx.put_failures - load_put_failures;
+  std::printf("chaos: fault phase done (acked=%zu put_failures=%zu "
+              "degraded_serves=%zu reads_unavailable=%zu confirmed_dead=%zu "
+              "revivals=%zu)\n",
+              cx.acked, cx.put_failures, cx.degraded_serves,
+              cx.reads_unavailable, cx.dead_confirmed, cx.revivals);
+
+  // --- Scrub + convergence + full audit ----------------------------------
+  if (const int rc = ScrubAndConverge(cx); rc != 0) return rc;
+  if (const int rc = FinalVerify(cx); rc != 0) return rc;
+  cx.checker.EmitSummary();
+  const auto report = cx.checker.report();
+  std::printf("chaos: %s\n", report.ToString().c_str());
+  obs::MaybeDumpTraceFromEnv(cx.trace);
+
+  const std::size_t clean_exits = ShutdownFleet(fleet, SIZE_MAX);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("chaos: %zu issued keys audited in %.2fs\n",
+              cx.issued_keys.size(), secs);
+
+  // --- Verdict -----------------------------------------------------------
+  if (!report.ok()) return FailChaos(cx, "invariant violated (see report)");
+  if (clean_exits != opts.nodes) {
+    return FailChaos(cx, "a node did not shut down clean");
+  }
+  if (opts.chaos == "partition-one") {
+    if (cx.dead_confirmed < 1) return FailChaos(cx, "partition undetected");
+    if (cx.revivals < 1) return FailChaos(cx, "healed node never revived");
+    if (cx.degraded_serves < 1) {
+      return FailChaos(cx, "mirror never served during the partition");
+    }
+    if (fleet[victim].proxy->stats().partition_transitions < 2) {
+      return FailChaos(cx, "proxy never transitioned partition state");
+    }
+  } else if (opts.chaos == "flapping-link") {
+    if (fleet[victim].proxy->stats().partition_transitions < 4) {
+      return FailChaos(cx, "link never flapped");
+    }
+    if (chaos_put_failures < 1) {
+      return FailChaos(cx, "no write ever failed across the flaps");
+    }
+  } else if (opts.chaos == "slow-node") {
+    if (cx.rpc_stats.retries == 0) {
+      return FailChaos(cx, "shaped latency never forced a retry");
+    }
+  } else if (opts.chaos == "corrupt-wire") {
+    std::uint64_t corrupted = 0;
+    for (auto& ep : fleet) corrupted += ep.proxy->stats().bytes_corrupted;
+    if (corrupted == 0) return FailChaos(cx, "corruption plan never fired");
+    std::printf("chaos: %llu bytes corrupted on the wire, zero served\n",
+                static_cast<unsigned long long>(corrupted));
+  }
+  std::printf("chaos: OK (%s survived, zero lost acked writes)\n",
+              opts.chaos.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,50 +877,38 @@ int main(int argc, char** argv) {
     else if (a == "--io-threads")
       opts.io_threads = std::strtoul(next(), nullptr, 10);
     else if (a == "--kill") opts.kill_one = true;
+    else if (a == "--chaos") opts.chaos = next();
+    else if (a.rfind("--chaos=", 0) == 0) opts.chaos = a.substr(8);
+    else if (a == "--seed") opts.chaos_seed = std::strtoull(next(), nullptr, 0);
+    else if (a.rfind("--seed=", 0) == 0)
+      opts.chaos_seed = std::strtoull(a.c_str() + 7, nullptr, 0);
     else {
       std::fprintf(stderr,
                    "usage: fleet_runner [--nodes N] [--ops M] "
-                   "[--value-bytes B] [--io-threads T] [--kill]\n");
+                   "[--value-bytes B] [--io-threads T] [--kill]\n"
+                   "                    [--chaos=SCENARIO] [--seed S]\n"
+                   "  scenarios: partition-one flapping-link slow-node "
+                   "corrupt-wire partition-during-migration\n");
       return 2;
     }
   }
   if (opts.nodes < 1) return 2;
+  if (!opts.chaos.empty() && !IsChaosScenario(opts.chaos)) {
+    std::fprintf(stderr, "unknown chaos scenario: %s\n", opts.chaos.c_str());
+    return 2;
+  }
   ::signal(SIGPIPE, SIG_IGN);  // belt and braces; sends use MSG_NOSIGNAL
 
-  // --- Launch the fleet (fork before any thread exists) ------------------
+  if (!opts.chaos.empty()) {
+    if (opts.chaos_seed == 0) {
+      opts.chaos_seed = net::ChaosSeedFromEnv(0xc4a05u);
+    }
+    return RunChaos(std::move(opts));
+  }
+
+  // --- Legacy smoke: launch, load, optionally kill, serve, verify --------
   std::vector<Endpoint> fleet;
-  std::vector<int> port_pipes;
-  for (std::size_t i = 0; i < opts.nodes; ++i) {
-    int fds[2];
-    if (::pipe(fds) != 0) return Fail("pipe()");
-    const pid_t pid = ::fork();
-    if (pid < 0) return Fail("fork()");
-    if (pid == 0) {
-      ::close(fds[0]);
-      RunNode(i, opts, fds[1]);  // never returns
-    }
-    ::close(fds[1]);
-    fleet.push_back(Endpoint{i, pid, nullptr, true, 0});
-    port_pipes.push_back(fds[0]);
-  }
-  for (std::size_t i = 0; i < opts.nodes; ++i) {
-    char buf[16] = {0};
-    ssize_t n = 0, off = 0;
-    while ((n = ::read(port_pipes[i], buf + off, sizeof(buf) - 1 - off)) > 0) {
-      off += n;
-      if (std::memchr(buf, '\n', off) != nullptr) break;
-    }
-    ::close(port_pipes[i]);
-    const int port = std::atoi(buf);
-    if (port <= 0) return Fail("node did not report a port");
-    net::TcpChannelOptions copts;
-    copts.port = static_cast<std::uint16_t>(port);
-    copts.io_timeout = Duration::Millis(250);
-    fleet[i].channel = std::make_unique<net::TcpChannel>(copts);
-    fleet[i].channel->BindInterceptor(nullptr, i);  // label the endpoint
-    std::printf("coordinator: node %zu pid %d port %d\n", i,
-                static_cast<int>(fleet[i].pid), port);
-  }
+  if (const int rc = LaunchFleet(opts, fleet); rc != 0) return rc;
 
   const net::RetryPolicy retry = WallClockPolicy();
   const std::string value(opts.value_bytes, 'v');
@@ -274,20 +970,8 @@ int main(int argc, char** argv) {
           .count();
 
   // --- Clean shutdown ----------------------------------------------------
-  std::size_t clean_exits = 0;
-  for (auto& ep : fleet) {
-    if (killed && ep.node_id == victim) continue;
-    ::kill(ep.pid, SIGTERM);
-  }
-  for (auto& ep : fleet) {
-    int status = 0;
-    if (::waitpid(ep.pid, &status, 0) != ep.pid) continue;
-    if (killed && ep.node_id == victim) {
-      if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) ++clean_exits;
-    } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
-      ++clean_exits;
-    }
-  }
+  const std::size_t clean_exits =
+      ShutdownFleet(fleet, killed ? victim : SIZE_MAX);
 
   const double hit_rate =
       static_cast<double>(hits) / static_cast<double>(hits + misses);

@@ -43,6 +43,10 @@ SCHEMAS = {
     "front_hit": {"key": int},
     "front_invalidate": {"key": int, "reason": str},
     "policy_decision": {"decision": str, "b": int, "c": int},
+    "chaos_fault": {"fault": str, "arg": int},
+    "invariant_violation": {"kind": str},
+    "invariant_check": {"checked": int, "violations": int,
+                        "unrecoverable": int},
 }
 
 OPTIONAL = {"node": int, "key": int}
@@ -56,6 +60,9 @@ STALE_SOURCES = {"replica", "spill"}
 SCRUB_KINDS = {"missing_mirror", "conflict"}
 FRONT_INVALIDATE_REASONS = {"version", "epoch", "capacity", "window"}
 POLICY_DECISIONS = {"evict_override", "admit_deny", "contract", "prewarm"}
+CHAOS_FAULTS = {"partition", "heal", "corrupt", "truncate", "reset",
+                "delay", "throttle"}
+INVARIANT_KINDS = {"lost_ack", "value_mismatch", "stale_serve", "divergence"}
 
 # Sweep-and-migrate has six phase steps (fault::MigrationStep).
 MAX_MIGRATION_STEP = 5
@@ -139,6 +146,15 @@ def check_line(path, lineno, line):
             event["reason"] not in FRONT_INVALIDATE_REASONS):
         fail(path, lineno,
              f"bad front invalidate reason: {event['reason']!r}")
+    if kind == "chaos_fault" and event["fault"] not in CHAOS_FAULTS:
+        fail(path, lineno, f"bad chaos fault: {event['fault']!r}")
+    if kind == "invariant_violation" and event["kind"] not in INVARIANT_KINDS:
+        fail(path, lineno, f"bad invariant kind: {event['kind']!r}")
+    if kind == "invariant_check" and (
+            event["checked"] < 0 or event["violations"] < 0
+            or event["unrecoverable"] < 0
+            or event["violations"] > event["checked"]):
+        fail(path, lineno, f"inconsistent invariant_check counts: {event!r}")
     if kind == "policy_decision":
         if event["decision"] not in POLICY_DECISIONS:
             fail(path, lineno,

@@ -1,0 +1,252 @@
+// Deterministic network-fault proxy: a TCP relay that sits between the
+// coordinator and one node and executes a seeded ChaosPlan against every
+// byte it forwards.
+//
+// This is the wall-clock sibling of fault::FaultPlan.  The injector
+// perturbs simulated Calls from inside the process; the chaos proxy
+// perturbs a *real* TCP stream from outside it, so the client library, the
+// framing layer, the epoll server, and the retry stack all face the same
+// disasters a deployed fleet does:
+//
+//   * partitions — full or one-way black holes, scheduled (windows of
+//     elapsed time with automatic heal) or manual (Partition()/Heal()).
+//     A partitioned direction stops being read, exactly like a netsplit:
+//     the kernel buffers back up, the sender blocks or times out, and the
+//     connection survives to deliver its bytes when the link heals;
+//   * delay + jitter — every relayed chunk is held before forwarding;
+//   * bandwidth throttle and slow-loris drip — token-bucket caps on the
+//     forwarding rate (throttle = bytes/sec, drip = N bytes per period);
+//   * byte corruption — seeded bit flips in forwarded bytes (the frame
+//     checksum in message.h is what turns these into retryable errors
+//     instead of silently-wrong cache values);
+//   * frame truncation — a victim frame is forwarded as a strict prefix,
+//     then the connection is closed cleanly (the peer reads a torn frame
+//     then EOF);
+//   * mid-frame reset — as truncation, but the close is a hard RST
+//     (SO_LINGER abort), surfacing ECONNRESET mid-read.
+//
+// Frame faults track frame boundaries with ValidateFrameHeader over the
+// *pre-corruption* stream, so the proxy's own parser never desyncs.
+//
+// Determinism: all probabilistic decisions come from per-connection Rngs
+// seeded from ChaosPlan::seed and the connection's accept index, so a run
+// replays from ECC_CHAOS_SEED (see ChaosSeedFromEnv) given the same
+// per-connection traffic.
+//
+// Threading: one relay thread owns every socket behind an epoll set;
+// Partition/Heal/stats are safe from any thread (mutex + eventfd wake).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "obs/trace.h"
+
+namespace ecc::net {
+
+/// One scheduled black-hole window, in elapsed time since Start().
+struct ChaosPartitionWindow {
+  Duration start;
+  Duration end;               ///< heal time; Duration::Max() = never
+  bool to_upstream = true;    ///< client -> node direction black-holed
+  bool to_client = true;      ///< node -> client direction black-holed
+};
+
+struct ChaosPlan {
+  std::uint64_t seed = 0xc4a05u;
+
+  /// Per-forwarded-byte probability of flipping one random bit.
+  double corrupt_byte_p = 0.0;
+  /// Per-frame probability the frame is forwarded as a strict prefix and
+  /// the connection then closed cleanly (torn frame + EOF).
+  double truncate_frame_p = 0.0;
+  /// Per-frame probability of the same prefix cut followed by a hard RST.
+  double reset_frame_p = 0.0;
+
+  /// Hold every relayed chunk this long (+ uniform [0, jitter)) before
+  /// forwarding.
+  Duration delay;
+  Duration jitter;
+
+  /// Slow-loris drip: forward at most `drip_bytes` per `drip_every`.
+  /// Zero bytes or zero period disables the drip.
+  std::size_t drip_bytes = 0;
+  Duration drip_every;
+
+  /// Bandwidth cap in bytes/second (token bucket); 0 = unlimited.
+  std::size_t throttle_bytes_per_sec = 0;
+
+  std::vector<ChaosPartitionWindow> partitions;
+};
+
+/// Point-in-time counters; safe to poll while relaying.
+struct ChaosProxyStats {
+  std::uint64_t connections = 0;
+  std::uint64_t bytes_relayed = 0;       ///< bytes actually written onward
+  std::uint64_t bytes_corrupted = 0;
+  std::uint64_t frames_truncated = 0;
+  std::uint64_t frames_reset = 0;
+  std::uint64_t chunks_delayed = 0;      ///< chunks that waited on delay/jitter
+  std::uint64_t bytes_throttled = 0;     ///< bytes deferred by a rate cap
+  std::uint64_t partition_transitions = 0;
+  bool partitioned_to_upstream = false;
+  bool partitioned_to_client = false;
+};
+
+class ChaosProxy {
+ public:
+  /// Relays 127.0.0.1:<port()> -> `upstream_host`:`upstream_port`.
+  ChaosProxy(std::string upstream_host, std::uint16_t upstream_port,
+             ChaosPlan plan = {});
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  ~ChaosProxy();
+
+  /// Bind an ephemeral listen port and launch the relay thread.
+  [[nodiscard]] Status Start();
+
+  /// Idempotent: close every connection, join the thread.
+  void Stop();
+
+  /// The proxy's listen port (0 before Start).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  // --- Manual partition control (thread-safe) ----------------------------
+
+  /// Black-hole the selected directions until Heal() (on top of any
+  /// scheduled windows).
+  void Partition(bool to_upstream = true, bool to_client = true);
+  void Heal();
+
+  [[nodiscard]] ChaosProxyStats stats() const;
+
+  /// Emit chaos_fault trace events (not owned; nullptr detaches).  `node`
+  /// labels this proxy's endpoint in the events; stamps are elapsed wall
+  /// time since Start().
+  void BindTrace(obs::TraceLog* trace, std::uint64_t node);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  enum class FrameFault : std::uint8_t { kNone = 0, kTruncate, kReset };
+  enum class Doom : std::uint8_t { kNone = 0, kClean, kReset };
+
+  /// One relay direction of one connection.
+  struct Leg {
+    int src = -1;
+    int dst = -1;
+    bool to_upstream = true;
+    bool src_open = true;   ///< still registered for reads
+    bool dead = false;      ///< drained + dst shut down; nothing left to do
+    /// Raw bytes read, awaiting their delay release (count, release time).
+    std::string inq;
+    std::deque<std::pair<std::size_t, Clock::time_point>> chunks;
+    /// Frame tracker over the released stream.
+    std::string frame_buf;       ///< buffered bytes of the current unit
+    bool in_header = true;
+    std::size_t frame_target = 0;   ///< bytes of this frame to forward
+    std::size_t frame_total = 0;    ///< full frame size (header + payload)
+    std::size_t frame_done = 0;     ///< bytes of this frame consumed
+    bool frame_parse_ok = true;     ///< false => passthrough, no frame faults
+    FrameFault frame_fault = FrameFault::kNone;
+    /// Cleared-to-send bytes (post-fault, post-corruption).
+    std::string outbox;
+    /// Token buckets (doubles; refilled from elapsed time each tick).
+    double drip_tokens = 0.0;
+    double throttle_tokens = 0.0;
+    Clock::time_point last_refill{};
+  };
+
+  struct Conn {
+    int client_fd = -1;
+    int upstream_fd = -1;
+    Leg up;     ///< client -> upstream
+    Leg down;   ///< upstream -> client
+    Rng rng;
+    Doom doom = Doom::kNone;  ///< close verdict once outboxes drain
+    bool delay_traced = false;     ///< one chaos_fault(delay) per connection
+    bool throttle_traced = false;  ///< one chaos_fault(throttle) per connection
+    explicit Conn(std::uint64_t seed) : rng(seed) {}
+  };
+
+  void RelayLoop();
+  void AcceptPending();
+  [[nodiscard]] int DialUpstream();
+  /// Read whatever the kernel has on `leg.src` into its chunk queue.
+  void ReadLeg(Conn& conn, Leg& leg);
+  /// Release due chunks through the framer into the outbox, then write.
+  void PumpLeg(Conn& conn, Leg& leg, Clock::time_point now);
+  /// Move released bytes through frame tracking + faults into the outbox.
+  void FrameAndEmit(Conn& conn, Leg& leg, std::string bytes);
+  /// Doom the connection per the leg's pending frame fault and drop
+  /// everything buffered beyond the forwarded prefix.
+  void ApplyFrameFault(Conn& conn, Leg& leg);
+  /// Write what the kernel will take; false means the peer is gone.
+  [[nodiscard]] bool FlushOutboxOk(Conn& conn, Leg& leg);
+  void CloseConn(int client_fd);
+  /// Recompute partition state from manual flags + scheduled windows and
+  /// update epoll read interest on every connection.
+  void RefreshPartitionState(Clock::time_point now);
+  void SetReadInterest(Leg& leg, bool enabled);
+  [[nodiscard]] bool DirectionPartitioned(const Leg& leg) const;
+  void EmitChaos(obs::ChaosFaultCode code, std::int64_t arg);
+  [[nodiscard]] TimePoint Elapsed() const;
+
+  std::string upstream_host_;
+  std::uint16_t upstream_port_;
+  ChaosPlan plan_;
+
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  Clock::time_point start_time_{};
+  Clock::time_point last_tick_{};
+
+  /// Owned by the relay thread; keyed by client fd.
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  std::unordered_map<int, Conn*> by_fd_;  ///< either side fd -> conn
+  std::uint64_t next_conn_index_ = 0;
+
+  mutable std::mutex control_mutex_;
+  bool manual_to_upstream_ = false;
+  bool manual_to_client_ = false;
+  /// Effective (manual || scheduled) state; written by the relay thread,
+  /// polled by stats().
+  std::atomic<bool> cut_to_upstream_{false};
+  std::atomic<bool> cut_to_client_{false};
+
+  obs::TraceLog* trace_ = nullptr;
+  std::uint64_t trace_node_ = obs::kNoNode;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> bytes_relayed_{0};
+  std::atomic<std::uint64_t> bytes_corrupted_{0};
+  std::atomic<std::uint64_t> frames_truncated_{0};
+  std::atomic<std::uint64_t> frames_reset_{0};
+  std::atomic<std::uint64_t> chunks_delayed_{0};
+  std::atomic<std::uint64_t> bytes_throttled_{0};
+  std::atomic<std::uint64_t> partition_transitions_{0};
+};
+
+/// The seed for a chaos schedule: ECC_CHAOS_SEED from the environment when
+/// set (decimal or 0x-hex), else `fallback`.  Runners log the value they
+/// used so any invariant violation replays bit-exactly.
+[[nodiscard]] std::uint64_t ChaosSeedFromEnv(std::uint64_t fallback);
+
+}  // namespace ecc::net

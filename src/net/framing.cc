@@ -40,13 +40,21 @@ IoResult WriteFull(int fd, const char* buf, std::size_t n) {
   return IoResult::kOk;
 }
 
-StatusOr<Message> ReadFrame(int fd, std::size_t max_frame_bytes) {
+StatusOr<Message> ReadFrame(int fd, std::size_t max_frame_bytes,
+                            IoResult* io_fail) {
+  if (io_fail != nullptr) *io_fail = IoResult::kOk;
   char header[kFrameHeaderBytes];
-  switch (ReadFull(fd, header, sizeof(header))) {
+  switch (const IoResult r = ReadFull(fd, header, sizeof(header))) {
     case IoResult::kOk: break;
-    case IoResult::kEof: return Status::NotFound("connection closed");
-    case IoResult::kTimeout: return Status::Unavailable("read timed out");
-    case IoResult::kError: return Status::Unavailable("read failed");
+    case IoResult::kEof:
+      if (io_fail != nullptr) *io_fail = r;
+      return Status::NotFound("connection closed");
+    case IoResult::kTimeout:
+      if (io_fail != nullptr) *io_fail = r;
+      return Status::Unavailable("read timed out");
+    case IoResult::kError:
+      if (io_fail != nullptr) *io_fail = r;
+      return Status::Unavailable("read failed");
   }
   // Validate the header before trusting its length: a garbage tag must not
   // commit us to a max_frame_bytes allocation.
@@ -58,10 +66,15 @@ StatusOr<Message> ReadFrame(int fd, std::size_t max_frame_bytes) {
   std::string wire(kFrameHeaderBytes + len, '\0');
   std::memcpy(wire.data(), header, kFrameHeaderBytes);
   if (len > 0) {
-    switch (ReadFull(fd, wire.data() + kFrameHeaderBytes, len)) {
+    switch (const IoResult r = ReadFull(fd, wire.data() + kFrameHeaderBytes,
+                                        len)) {
       case IoResult::kOk: break;
-      case IoResult::kTimeout: return Status::Unavailable("read timed out");
-      default: return Status::Unavailable("truncated frame");
+      case IoResult::kTimeout:
+        if (io_fail != nullptr) *io_fail = r;
+        return Status::Unavailable("read timed out");
+      default:
+        if (io_fail != nullptr) *io_fail = r;
+        return Status::Unavailable("truncated frame");
     }
   }
   return Message::Deserialize(wire);

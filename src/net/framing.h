@@ -37,8 +37,13 @@ enum class IoResult : std::uint8_t {
 /// Unavailable on timeout or mid-frame loss, InvalidArgument on a header
 /// that fails validation (unknown tag / frame above `max_frame_bytes`) —
 /// rejected before any payload allocation.
-[[nodiscard]] StatusOr<Message> ReadFrame(int fd,
-                                          std::size_t max_frame_bytes);
+///
+/// `io_fail`, when given, reports the raw IO outcome of the failing read
+/// (kOk when the frame was read but failed validation).  Callers that pool
+/// connections use it to tell a dead peer (kEof/kError — reconnect and
+/// resend) from a slow one (kTimeout — do not).
+[[nodiscard]] StatusOr<Message> ReadFrame(int fd, std::size_t max_frame_bytes,
+                                          IoResult* io_fail = nullptr);
 
 /// Write one framed Message; `bytes`, when given, accumulates the wire
 /// size actually attempted.

@@ -67,6 +67,7 @@ std::string Message::Serialize() const {
   WireWriter w;
   w.PutU8(static_cast<std::uint8_t>(type));
   w.PutU32(static_cast<std::uint32_t>(payload.size()));
+  w.PutU32(FramePayloadCrc(payload));
   std::string out = w.TakeBuffer();
   out += payload;
   return out;
@@ -76,8 +77,10 @@ StatusOr<Message> Message::Deserialize(std::string_view bytes) {
   WireReader r(bytes);
   std::uint8_t tag = 0;
   std::uint32_t len = 0;
+  std::uint32_t crc = 0;
   if (Status s = r.GetU8(tag); !s.ok()) return s;
   if (Status s = r.GetU32(len); !s.ok()) return s;
+  if (Status s = r.GetU32(crc); !s.ok()) return s;
   if (tag < static_cast<std::uint8_t>(MsgType::kGetRequest) ||
       tag > static_cast<std::uint8_t>(MsgType::kEraseRangeResponse)) {
     return Status::InvalidArgument("unknown message type tag");
@@ -88,6 +91,11 @@ StatusOr<Message> Message::Deserialize(std::string_view bytes) {
   Message m;
   m.type = static_cast<MsgType>(tag);
   m.payload = std::string(bytes.substr(bytes.size() - len));
+  if (FramePayloadCrc(m.payload) != crc) {
+    // Wire damage, not a malformed request: loss-equivalent and therefore
+    // retryable, unlike the InvalidArgument cases above.
+    return Status::Unavailable("frame checksum mismatch");
+  }
   return m;
 }
 

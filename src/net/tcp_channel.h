@@ -17,6 +17,19 @@
 // malformed responses are InvalidArgument.  A connection that saw any
 // error is closed, never pooled again.
 //
+// Two pool pathologies are handled explicitly.  (1) Staleness: a pooled
+// connection can outlive its peer — the server restarts, or a healed
+// partition RSTs the link — so its next borrow dies instantly with
+// EPIPE/ECONNRESET/EOF even though the endpoint is healthy again.  Call()
+// detects the peer-gone first use of a reused connection, flushes the idle
+// pool (every pooled fd predates the same restart), redials once after a
+// short backoff, and resends — safe because the protocol is idempotent and
+// the retry layer would resend on Unavailable anyway.  (2) Exhaustion:
+// open connections are capped at max_connections; when every slot is
+// borrowed (each borrower waiting out its IO timeout against a black-holed
+// peer) a new caller waits at most pool_wait_timeout for a slot and then
+// fails with Unavailable instead of blocking unboundedly.
+//
 // Fault injection: BindInterceptor works as on every channel — request
 // drops never touch the kernel, response drops complete the round trip
 // server-side and discard the answer, delays wait out `delay` first.  This
@@ -29,6 +42,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -37,6 +51,7 @@
 #include "common/status.h"
 #include "common/time.h"
 #include "net/channel.h"
+#include "net/framing.h"
 #include "net/message.h"
 
 namespace ecc::net {
@@ -49,6 +64,17 @@ struct TcpChannelOptions {
   /// Wall-clock cap on each connect/read/write (SO_RCVTIMEO/SO_SNDTIMEO).
   Duration io_timeout = Duration::Seconds(5);
   std::size_t max_frame_bytes = 64u << 20;
+  /// Hard cap on connections open at once (idle + borrowed); 0 = unlimited.
+  /// When every slot is borrowed — e.g. the peer is black-holed and each
+  /// borrower is waiting out its IO timeout — new callers wait at most
+  /// `pool_wait_timeout` for a slot, then fail with Unavailable.  Without
+  /// the cap a partition turns into one new socket per caller; without the
+  /// wait bound it turns into callers parked forever on a mutex.
+  std::size_t max_connections = 32;
+  Duration pool_wait_timeout = Duration::Millis(250);
+  /// Pause before redialing when a pooled connection proves stale (the
+  /// peer restarted or a partition reset it under us).
+  Duration stale_reconnect_backoff = Duration::Millis(2);
 };
 
 class TcpChannel final : public Channel {
@@ -79,19 +105,40 @@ class TcpChannel final : public Channel {
   [[nodiscard]] std::uint64_t connections_opened() const {
     return connections_opened_.load(std::memory_order_relaxed);
   }
+  /// Calls that detected a dead pooled connection and transparently
+  /// redialed + resent instead of surfacing Unavailable.
+  [[nodiscard]] std::uint64_t stale_reconnects() const {
+    return stale_reconnects_.load(std::memory_order_relaxed);
+  }
+  /// Acquisitions that gave up after `pool_wait_timeout` at the cap.
+  [[nodiscard]] std::uint64_t pool_exhausted_failures() const {
+    return pool_exhausted_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const TcpChannelOptions& options() const { return opts_; }
 
  private:
-  /// Pop an idle pooled connection or dial a new one.
-  [[nodiscard]] StatusOr<int> AcquireConnection();
+  /// Pop an idle pooled connection (sets *reused) or dial a new one,
+  /// waiting up to pool_wait_timeout for a slot under max_connections.
+  [[nodiscard]] StatusOr<int> AcquireConnection(bool* reused);
   /// Return a healthy connection to the pool (closes it when full).
   void ReleaseConnection(int fd);
+  /// Close a connection and free its slot for waiting acquirers.
+  void CloseConnection(int fd);
+  /// Close every idle connection (they share the dead peer's epoch).
+  void FlushIdle();
+  /// One write+read round trip on `fd`; `io_fail` reports the raw IO
+  /// outcome of a failed response read.
+  [[nodiscard]] StatusOr<Message> RoundTrip(int fd, const Message& request,
+                                            bool* write_failed,
+                                            framing::IoResult* io_fail);
 
   TcpChannelOptions opts_;
   VirtualClock* clock_ = nullptr;
 
   mutable std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;
   std::vector<int> idle_;
+  std::size_t open_count_ = 0;  ///< idle + borrowed + being dialed
 
   std::atomic<std::uint64_t> calls_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
@@ -99,6 +146,8 @@ class TcpChannel final : public Channel {
   std::atomic<std::uint64_t> faults_injected_{0};
   std::atomic<std::int64_t> wire_micros_{0};
   std::atomic<std::uint64_t> connections_opened_{0};
+  std::atomic<std::uint64_t> stale_reconnects_{0};
+  std::atomic<std::uint64_t> pool_exhausted_{0};
 };
 
 }  // namespace ecc::net

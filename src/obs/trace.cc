@@ -31,6 +31,9 @@ const char* EventKindName(EventKind k) {
     case EventKind::kFrontHit: return "front_hit";
     case EventKind::kFrontInvalidate: return "front_invalidate";
     case EventKind::kPolicyDecision: return "policy_decision";
+    case EventKind::kChaosFault: return "chaos_fault";
+    case EventKind::kInvariantViolation: return "invariant_violation";
+    case EventKind::kInvariantCheck: return "invariant_check";
   }
   return "unknown";
 }
@@ -115,6 +118,29 @@ const char* FrontInvalidateReasonName(std::int64_t code) {
     case 3: return "window";
     default: return "unknown";
   }
+}
+
+const char* ChaosFaultCodeName(std::int64_t code) {
+  switch (static_cast<ChaosFaultCode>(code)) {
+    case ChaosFaultCode::kPartition: return "partition";
+    case ChaosFaultCode::kHeal: return "heal";
+    case ChaosFaultCode::kCorrupt: return "corrupt";
+    case ChaosFaultCode::kTruncate: return "truncate";
+    case ChaosFaultCode::kReset: return "reset";
+    case ChaosFaultCode::kDelay: return "delay";
+    case ChaosFaultCode::kThrottle: return "throttle";
+  }
+  return "unknown";
+}
+
+const char* InvariantViolationKindName(std::int64_t code) {
+  switch (static_cast<InvariantViolationKind>(code)) {
+    case InvariantViolationKind::kLostAck: return "lost_ack";
+    case InvariantViolationKind::kValueMismatch: return "value_mismatch";
+    case InvariantViolationKind::kStaleServe: return "stale_serve";
+    case InvariantViolationKind::kDivergence: return "divergence";
+  }
+  return "unknown";
 }
 
 const char* FaultCodeName(std::int64_t code) {
@@ -298,6 +324,27 @@ TraceEvent PolicyDecisionEvent(TimePoint t, PolicyDecisionCode code,
               static_cast<std::int64_t>(code), b, c);
 }
 
+TraceEvent ChaosFaultEvent(TimePoint t, std::uint64_t node,
+                           ChaosFaultCode code, std::int64_t arg) {
+  return Make(t, EventKind::kChaosFault, node, kNoKey,
+              static_cast<std::int64_t>(code), arg, 0);
+}
+
+TraceEvent InvariantViolationEvent(TimePoint t, std::uint64_t key,
+                                   InvariantViolationKind kind) {
+  return Make(t, EventKind::kInvariantViolation, kNoNode, key,
+              static_cast<std::int64_t>(kind), 0, 0);
+}
+
+TraceEvent InvariantCheckEvent(TimePoint t, std::uint64_t checked,
+                               std::uint64_t violations,
+                               std::uint64_t unrecoverable) {
+  return Make(t, EventKind::kInvariantCheck, kNoNode, kNoKey,
+              static_cast<std::int64_t>(checked),
+              static_cast<std::int64_t>(violations),
+              static_cast<std::int64_t>(unrecoverable));
+}
+
 TraceLog::TraceLog(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
   ring_.reserve(std::min<std::size_t>(capacity_, 1024));
@@ -439,6 +486,18 @@ std::string EventToJson(const TraceEvent& e) {
       AppendField(out, "decision", PolicyDecisionCodeName(e.a));
       AppendField(out, "b", e.b);
       AppendField(out, "c", e.c);
+      break;
+    case EventKind::kChaosFault:
+      AppendField(out, "fault", ChaosFaultCodeName(e.a));
+      AppendField(out, "arg", e.b);
+      break;
+    case EventKind::kInvariantViolation:
+      AppendField(out, "kind", InvariantViolationKindName(e.a));
+      break;
+    case EventKind::kInvariantCheck:
+      AppendField(out, "checked", e.a);
+      AppendField(out, "violations", e.b);
+      AppendField(out, "unrecoverable", e.c);
       break;
   }
   out += '}';

@@ -47,8 +47,11 @@ enum class EventKind : std::uint8_t {
   kFrontHit,          ///< answered from the coordinator front tier
   kFrontInvalidate,   ///< front entry dropped (a = FrontInvalidateReason code)
   kPolicyDecision,    ///< elasticity policy acted (a = PolicyDecisionCode)
+  kChaosFault,        ///< the chaos proxy perturbed a link (a = ChaosFaultCode)
+  kInvariantViolation,  ///< the checker caught a broken invariant (a = kind)
+  kInvariantCheck,    ///< end-of-scenario verdict (a/b/c = counts)
 };
-inline constexpr int kEventKindCount = 23;
+inline constexpr int kEventKindCount = 26;
 
 [[nodiscard]] const char* EventKindName(EventKind k);
 
@@ -92,6 +95,28 @@ enum class PolicyDecisionCode : int {
   kAdmitDeny = 1,
   kContract = 2,
   kPrewarm = 3,
+};
+
+/// What a chaos proxy did to a link, carried in kChaosFault's `a` field.
+/// `node` labels the proxied endpoint, `b` carries the fault argument
+/// (bytes affected, delay micros, window index — per code).
+enum class ChaosFaultCode : int {
+  kPartition = 0,  ///< link black-holed (arg = 0 full, 1 to-upstream, 2 to-client)
+  kHeal = 1,       ///< link restored (arg = micros spent partitioned)
+  kCorrupt = 2,    ///< bytes bit-flipped in flight (arg = count)
+  kTruncate = 3,   ///< frame forwarded as a strict prefix then reset (arg = bytes kept)
+  kReset = 4,      ///< connection hard-closed mid-frame (arg = bytes kept)
+  kDelay = 5,      ///< chunk held back (arg = micros)
+  kThrottle = 6,   ///< forwarding rate-limited this tick (arg = bytes deferred)
+};
+
+/// What the invariant checker caught, carried in kInvariantViolation's `a`
+/// field.  `key` names the offending record where applicable.
+enum class InvariantViolationKind : int {
+  kLostAck = 0,        ///< an acknowledged write is gone
+  kValueMismatch = 1,  ///< a read returned bytes never issued for that key
+  kStaleServe = 2,     ///< a degraded answer exceeded the staleness bound
+  kDivergence = 3,     ///< primary/mirror digests differ after heal + scrub
 };
 
 /// Fault category codes carried in kFaultInjected's `a` field.
@@ -182,6 +207,16 @@ struct TraceEvent {
                                              PolicyDecisionCode code,
                                              std::uint64_t key, std::int64_t b,
                                              std::int64_t c);
+[[nodiscard]] TraceEvent ChaosFaultEvent(TimePoint t, std::uint64_t node,
+                                         ChaosFaultCode code,
+                                         std::int64_t arg);
+[[nodiscard]] TraceEvent InvariantViolationEvent(TimePoint t,
+                                                 std::uint64_t key,
+                                                 InvariantViolationKind kind);
+[[nodiscard]] TraceEvent InvariantCheckEvent(TimePoint t,
+                                             std::uint64_t checked,
+                                             std::uint64_t violations,
+                                             std::uint64_t unrecoverable);
 
 class TraceLog {
  public:

@@ -1,0 +1,142 @@
+#include "recovery/invariant_checker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace ecc::recovery {
+
+std::uint64_t DigestTerm(std::uint64_t key, const std::string& value) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : value) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ull + h;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::string InvariantReport::ToString() const {
+  std::ostringstream os;
+  os << "issued=" << writes_issued << " acked=" << writes_acked
+     << " unrecoverable=" << keys_unrecoverable << " reads=" << reads_checked
+     << " lost_acks=" << lost_acks << " mismatches=" << value_mismatches
+     << " stale=" << stale_serves << " divergences=" << divergences
+     << (ok() ? " OK" : " VIOLATED");
+  return os.str();
+}
+
+std::uint64_t InvariantChecker::RecordIssued(std::uint64_t key,
+                                             const std::string& value) {
+  const std::uint64_t seq = next_seq_++;
+  keys_[key].live.push_back({seq, DigestTerm(key, value)});
+  ++report_.writes_issued;
+  return seq;
+}
+
+void InvariantChecker::RecordAcked(std::uint64_t key, std::uint64_t seq) {
+  KeyHistory& h = keys_[key];
+  ++report_.writes_acked;
+  if (h.acked && seq <= h.last_acked_seq) return;
+  h.acked = true;
+  h.last_acked_seq = seq;
+  // Older issued writes can no longer legally be served; remember only
+  // their digests, to classify a stale serve as stale rather than corrupt.
+  for (const IssuedWrite& w : h.live) {
+    if (w.seq < seq) h.superseded.insert(w.digest);
+  }
+  std::erase_if(h.live, [&](const IssuedWrite& w) { return w.seq < seq; });
+}
+
+void InvariantChecker::RecordUnrecoverable(std::uint64_t key) {
+  if (unrecoverable_.insert(key).second) ++report_.keys_unrecoverable;
+}
+
+ReadVerdict InvariantChecker::Observe(std::uint64_t key, bool found,
+                                      const std::string& value) {
+  ++report_.reads_checked;
+  const auto it = keys_.find(key);
+  const bool acked = it != keys_.end() && it->second.acked;
+
+  if (!found) {
+    if (acked && unrecoverable_.count(key) == 0) {
+      Tally(key, ReadVerdict::kLostAck);
+      return ReadVerdict::kLostAck;
+    }
+    return ReadVerdict::kOk;
+  }
+
+  // A value came back: it must be an issued one, and — for acked keys —
+  // no older than the last acknowledged write.  "Unrecoverable" excuses
+  // absence, never a wrong value.
+  const std::uint64_t digest = DigestTerm(key, value);
+  if (it != keys_.end()) {
+    const KeyHistory& h = it->second;
+    for (const IssuedWrite& w : h.live) {
+      if (w.digest == digest) {
+        return ReadVerdict::kOk;  // pruning guarantees w.seq >= last ack
+      }
+    }
+    if (h.superseded.count(digest) != 0) {
+      Tally(key, ReadVerdict::kStaleServe);
+      return ReadVerdict::kStaleServe;
+    }
+  }
+  Tally(key, ReadVerdict::kValueMismatch);
+  return ReadVerdict::kValueMismatch;
+}
+
+void InvariantChecker::ObserveConvergence(std::uint64_t primary_digest,
+                                          std::uint64_t mirror_digest) {
+  if (primary_digest == mirror_digest) return;
+  ++report_.divergences;
+  if (trace_ != nullptr) {
+    trace_->Append(obs::InvariantViolationEvent(
+        Now(), obs::kNoKey, obs::InvariantViolationKind::kDivergence));
+  }
+}
+
+bool InvariantChecker::Acked(std::uint64_t key) const {
+  const auto it = keys_.find(key);
+  return it != keys_.end() && it->second.acked;
+}
+
+void InvariantChecker::BindTrace(obs::TraceLog* trace,
+                                 std::function<TimePoint()> now) {
+  trace_ = trace;
+  now_ = std::move(now);
+}
+
+void InvariantChecker::EmitSummary() {
+  if (trace_ == nullptr) return;
+  trace_->Append(obs::InvariantCheckEvent(Now(), report_.reads_checked,
+                                          report_.violations(),
+                                          report_.keys_unrecoverable));
+}
+
+void InvariantChecker::Tally(std::uint64_t key, ReadVerdict v) {
+  obs::InvariantViolationKind kind = obs::InvariantViolationKind::kLostAck;
+  switch (v) {
+    case ReadVerdict::kLostAck:
+      ++report_.lost_acks;
+      kind = obs::InvariantViolationKind::kLostAck;
+      break;
+    case ReadVerdict::kValueMismatch:
+      ++report_.value_mismatches;
+      kind = obs::InvariantViolationKind::kValueMismatch;
+      break;
+    case ReadVerdict::kStaleServe:
+      ++report_.stale_serves;
+      kind = obs::InvariantViolationKind::kStaleServe;
+      break;
+    case ReadVerdict::kOk:
+      return;
+  }
+  if (trace_ != nullptr) {
+    trace_->Append(obs::InvariantViolationEvent(Now(), key, kind));
+  }
+}
+
+}  // namespace ecc::recovery

@@ -1,0 +1,147 @@
+// Consistency oracle for chaos runs: a history log of every issued and
+// acknowledged write, checked against what the fleet actually serves.
+//
+// The contract under test is the one a client can hold the cache to from
+// outside, with no knowledge of partitions, retries, or failovers:
+//
+//   1. No lost acknowledged writes.  Once a Put is acknowledged, a read of
+//      that key must return the acknowledged value or a *newer* issued one
+//      — never "not found", never an older value — unless the run recorded
+//      the key as unrecoverable (every holder of an acked copy died, which
+//      the accounting must say out loud, not discover at read time).
+//   2. Reads serve issued values only.  A value that matches no issued
+//      write for its key is corruption that leaked through the transport.
+//   3. Bounded staleness on degraded serves.  With W=2 replication every
+//      acked write reached both copies, so the bound is zero: even a
+//      failover read from the mirror must reflect the last acked write.
+//      A value that *was* issued but is older than the last ack is a
+//      stale serve, tracked separately from corruption.
+//   4. Convergence after heal.  Once partitions heal and the scrub pass
+//      runs, the primary and mirror copy sets must fold to the same
+//      commutative digest (the anti-entropy digest from the recovery
+//      layer) over every acknowledged key.
+//
+// Ghost writes are legal by rule 1's "or newer" clause: a Put the client
+// timed out on (never acked) can still land when a healed partition
+// flushes proxy-buffered bytes, so a read may return a value *newer* than
+// the last ack.  It must still be a value some client actually issued.
+//
+// The checker is transport-agnostic bookkeeping: the runner feeds it
+// issue/ack/read observations and it renders verdicts (and emits
+// invariant_violation / invariant_check trace events when bound).
+// Single-threaded, like the runner's driver loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/trace.h"
+
+namespace ecc::recovery {
+
+/// Commutative-fold digest term for one record: a splitmix64-style mix of
+/// the key with an FNV-1a hash of the value.  Equal key/value *sets* — in
+/// any order, on any node — fold (by u64 addition) to equal digests, and a
+/// single flipped byte moves the sum with overwhelming probability.
+/// Shared by the anti-entropy scrub and the chaos convergence check so
+/// both compare the same quantity.
+[[nodiscard]] std::uint64_t DigestTerm(std::uint64_t key,
+                                       const std::string& value);
+
+/// One read verdict from InvariantChecker::Observe.
+enum class ReadVerdict : std::uint8_t {
+  kOk = 0,
+  kLostAck,        ///< acked key read back missing
+  kValueMismatch,  ///< value matches no issued write for the key
+  kStaleServe,     ///< issued value, but older than the last ack
+};
+
+struct InvariantReport {
+  std::uint64_t writes_issued = 0;
+  std::uint64_t writes_acked = 0;
+  std::uint64_t keys_unrecoverable = 0;
+  std::uint64_t reads_checked = 0;
+  std::uint64_t lost_acks = 0;
+  std::uint64_t value_mismatches = 0;
+  std::uint64_t stale_serves = 0;
+  std::uint64_t divergences = 0;
+
+  [[nodiscard]] std::uint64_t violations() const {
+    return lost_acks + value_mismatches + stale_serves + divergences;
+  }
+  [[nodiscard]] bool ok() const { return violations() == 0; }
+  [[nodiscard]] std::string ToString() const;
+};
+
+class InvariantChecker {
+ public:
+  /// A write is leaving the client: remember its value digest.  Returns the
+  /// write's sequence number, to be passed to RecordAcked if and only if
+  /// the fleet acknowledges it.
+  std::uint64_t RecordIssued(std::uint64_t key, const std::string& value);
+
+  /// The fleet acknowledged write `seq` on `key`.  From here on, reads of
+  /// `key` must reflect this write or a newer issued one.
+  void RecordAcked(std::uint64_t key, std::uint64_t seq);
+
+  /// Every holder of `key`'s acked copies died; a missing read is excused
+  /// (but a *wrong value* never is).
+  void RecordUnrecoverable(std::uint64_t key);
+
+  /// Judge one read.  `found`/`value` are what the fleet returned.  The
+  /// verdict is also tallied into the report and traced when bound.
+  ReadVerdict Observe(std::uint64_t key, bool found, const std::string& value);
+
+  /// Judge the post-heal scrub: commutative digests folded over the same
+  /// acked key set on primary and mirror must match.
+  void ObserveConvergence(std::uint64_t primary_digest,
+                          std::uint64_t mirror_digest);
+
+  [[nodiscard]] const InvariantReport& report() const { return report_; }
+
+  /// True iff `key` has at least one acknowledged write.
+  [[nodiscard]] bool Acked(std::uint64_t key) const;
+
+  /// Emit per-violation events and the final summary to `trace` (not
+  /// owned; nullptr detaches).  `now` supplies event timestamps (defaults
+  /// to the epoch when empty).
+  void BindTrace(obs::TraceLog* trace, std::function<TimePoint()> now = {});
+
+  /// Emit the invariant_check summary event for the run so far.
+  void EmitSummary();
+
+ private:
+  struct IssuedWrite {
+    std::uint64_t seq = 0;
+    std::uint64_t digest = 0;  ///< DigestTerm(key, value)
+  };
+  struct KeyHistory {
+    /// Issued writes still eligible to be read back: everything with
+    /// seq >= last acked (older entries move to `superseded` on ack).
+    std::vector<IssuedWrite> live;
+    /// Digests of issued-but-outdated writes, kept to tell a stale serve
+    /// (old but real value) apart from corruption (value never issued).
+    std::unordered_set<std::uint64_t> superseded;
+    std::uint64_t last_acked_seq = 0;
+    bool acked = false;
+  };
+
+  void Tally(std::uint64_t key, ReadVerdict v);
+  [[nodiscard]] TimePoint Now() const {
+    return now_ ? now_() : TimePoint::Epoch();
+  }
+
+  std::unordered_map<std::uint64_t, KeyHistory> keys_;
+  std::unordered_set<std::uint64_t> unrecoverable_;
+  std::uint64_t next_seq_ = 1;
+  InvariantReport report_;
+  obs::TraceLog* trace_ = nullptr;
+  std::function<TimePoint()> now_;
+};
+
+}  // namespace ecc::recovery

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "cloudsim/persistent_store.h"
+#include "recovery/invariant_checker.h"
 
 namespace ecc::recovery {
 
@@ -26,22 +27,6 @@ bool EnvFlag(const char* name, bool fallback) {
 std::int64_t EnvInt(const char* name, std::int64_t fallback) {
   const char* v = Env(name);
   return v == nullptr ? fallback : std::strtoll(v, nullptr, 10);
-}
-
-/// Commutative-fold digest term for one record: a splitmix64-style mix of
-/// the (logical) key with an FNV-1a hash of the value, so that equal
-/// key/value *sets* — in any order, on any node — fold to equal digests,
-/// and a single flipped byte moves the sum with overwhelming probability.
-std::uint64_t DigestTerm(std::uint64_t key, const std::string& value) {
-  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
-  for (const char c : value) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;  // FNV prime
-  }
-  std::uint64_t z = key + 0x9e3779b97f4a7c15ull + h;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
 }
 
 }  // namespace

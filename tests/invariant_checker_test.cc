@@ -1,0 +1,139 @@
+// Tests for the chaos consistency oracle: acknowledged-write durability,
+// issued-values-only reads, stale-serve classification, unrecoverable
+// accounting, digest convergence, and trace emission.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/trace.h"
+#include "recovery/invariant_checker.h"
+
+namespace ecc::recovery {
+namespace {
+
+TEST(InvariantCheckerTest, AckedWriteReadBackIsOk) {
+  InvariantChecker c;
+  const auto seq = c.RecordIssued(1, "hello");
+  c.RecordAcked(1, seq);
+  EXPECT_EQ(c.Observe(1, true, "hello"), ReadVerdict::kOk);
+  EXPECT_TRUE(c.report().ok());
+}
+
+TEST(InvariantCheckerTest, MissingAckedKeyIsLostAck) {
+  InvariantChecker c;
+  const auto seq = c.RecordIssued(1, "hello");
+  c.RecordAcked(1, seq);
+  EXPECT_EQ(c.Observe(1, false, ""), ReadVerdict::kLostAck);
+  EXPECT_EQ(c.report().lost_acks, 1u);
+  EXPECT_FALSE(c.report().ok());
+}
+
+TEST(InvariantCheckerTest, MissingNeverAckedKeyIsOk) {
+  InvariantChecker c;
+  (void)c.RecordIssued(1, "hello");  // issued but the ack never came back
+  EXPECT_EQ(c.Observe(1, false, ""), ReadVerdict::kOk);
+  EXPECT_EQ(c.Observe(2, false, ""), ReadVerdict::kOk);  // never written
+  EXPECT_TRUE(c.report().ok());
+}
+
+TEST(InvariantCheckerTest, GhostWriteNewerThanAckIsOk) {
+  // A timed-out Put can still land when a healed partition flushes the
+  // proxy's buffered bytes; reading it back is legal.
+  InvariantChecker c;
+  const auto s1 = c.RecordIssued(1, "acked");
+  c.RecordAcked(1, s1);
+  (void)c.RecordIssued(1, "ghost");  // newer, never acked
+  EXPECT_EQ(c.Observe(1, true, "ghost"), ReadVerdict::kOk);
+  EXPECT_TRUE(c.report().ok());
+}
+
+TEST(InvariantCheckerTest, ValueOlderThanAckIsStaleServe) {
+  InvariantChecker c;
+  const auto s1 = c.RecordIssued(1, "old");
+  c.RecordAcked(1, s1);
+  const auto s2 = c.RecordIssued(1, "new");
+  c.RecordAcked(1, s2);
+  EXPECT_EQ(c.Observe(1, true, "old"), ReadVerdict::kStaleServe);
+  EXPECT_EQ(c.report().stale_serves, 1u);
+  EXPECT_FALSE(c.report().ok());
+}
+
+TEST(InvariantCheckerTest, NeverIssuedValueIsMismatch) {
+  InvariantChecker c;
+  const auto seq = c.RecordIssued(1, "real");
+  c.RecordAcked(1, seq);
+  EXPECT_EQ(c.Observe(1, true, "corrupted!"), ReadVerdict::kValueMismatch);
+  EXPECT_EQ(c.report().value_mismatches, 1u);
+}
+
+TEST(InvariantCheckerTest, UnrecoverableExcusesAbsenceNotWrongValues) {
+  InvariantChecker c;
+  const auto seq = c.RecordIssued(1, "v");
+  c.RecordAcked(1, seq);
+  c.RecordUnrecoverable(1);
+  EXPECT_EQ(c.Observe(1, false, ""), ReadVerdict::kOk);  // excused
+  EXPECT_EQ(c.Observe(1, true, "junk"), ReadVerdict::kValueMismatch);
+  EXPECT_EQ(c.report().keys_unrecoverable, 1u);
+}
+
+TEST(InvariantCheckerTest, DigestFoldIsOrderIndependent) {
+  const std::uint64_t a = DigestTerm(1, "x");
+  const std::uint64_t b = DigestTerm(2, "y");
+  const std::uint64_t c = DigestTerm(3, "z");
+  EXPECT_EQ(a + b + c, c + a + b);
+  EXPECT_NE(DigestTerm(1, "x"), DigestTerm(1, "X"));
+  EXPECT_NE(DigestTerm(1, "x"), DigestTerm(2, "x"));
+}
+
+TEST(InvariantCheckerTest, ConvergenceMatchesAndDiverges) {
+  InvariantChecker c;
+  const std::uint64_t d1 = DigestTerm(1, "a") + DigestTerm(2, "b");
+  const std::uint64_t d2 = DigestTerm(2, "b") + DigestTerm(1, "a");
+  c.ObserveConvergence(d1, d2);
+  EXPECT_TRUE(c.report().ok());
+  c.ObserveConvergence(d1, d1 + DigestTerm(3, "c"));
+  EXPECT_EQ(c.report().divergences, 1u);
+  EXPECT_FALSE(c.report().ok());
+}
+
+TEST(InvariantCheckerTest, AckedQueryAndReportRendering) {
+  InvariantChecker c;
+  EXPECT_FALSE(c.Acked(1));
+  const auto seq = c.RecordIssued(1, "v");
+  EXPECT_FALSE(c.Acked(1));
+  c.RecordAcked(1, seq);
+  EXPECT_TRUE(c.Acked(1));
+  EXPECT_NE(c.report().ToString().find("OK"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, EmitsViolationAndSummaryTraceEvents) {
+  obs::TraceLog trace(64);
+  InvariantChecker c;
+  c.BindTrace(&trace, [] { return TimePoint::FromMicros(123); });
+  const auto seq = c.RecordIssued(9, "v");
+  c.RecordAcked(9, seq);
+  (void)c.Observe(9, false, "");
+  c.EmitSummary();
+
+  bool saw_violation = false;
+  bool saw_summary = false;
+  for (const auto& e : trace.Events()) {
+    if (e.kind == obs::EventKind::kInvariantViolation) {
+      saw_violation = true;
+      EXPECT_EQ(e.key, 9u);
+      EXPECT_EQ(e.t_us, 123);
+      EXPECT_EQ(e.a,
+                static_cast<int>(obs::InvariantViolationKind::kLostAck));
+    }
+    if (e.kind == obs::EventKind::kInvariantCheck) {
+      saw_summary = true;
+      EXPECT_EQ(e.a, 1);  // reads checked
+      EXPECT_EQ(e.b, 1);  // violations
+    }
+  }
+  EXPECT_TRUE(saw_violation);
+  EXPECT_TRUE(saw_summary);
+}
+
+}  // namespace
+}  // namespace ecc::recovery

@@ -258,5 +258,61 @@ TEST(SocketTransportTest, RetryPacingUsesVirtualClockWhenAttached) {
   EXPECT_EQ(clock.now(), TimePoint{} + Duration::Millis(25));
 }
 
+// --- Torn frames -----------------------------------------------------------
+//
+// A peer that dies mid-frame leaves a truncated header or body on the
+// stream.  SocketTransport::Call reads responses through
+// framing::ReadFrame on its socketpair fd; these tests drive that exact
+// path with a surgically beheaded frame and assert the read surfaces a
+// bounded, typed failure — never a hang, a crash, or a garbage Message.
+
+TEST(SocketTransportTest, TornHeaderOnSocketpairIsUnavailable) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  GetResponse resp;
+  resp.found = true;
+  resp.value = "v";
+  const std::string frame = resp.Encode().Serialize();
+  // 3 of kFrameHeaderBytes header bytes, then the peer dies.
+  ASSERT_EQ(::send(fds[1], frame.data(), 3, MSG_NOSIGNAL), 3);
+  ::close(fds[1]);
+
+  auto out = framing::ReadFrame(fds[0], 64u << 20);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+  ::close(fds[0]);
+}
+
+TEST(SocketTransportTest, TornBodyOnSocketpairIsUnavailable) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  GetResponse resp;
+  resp.found = true;
+  resp.value = std::string(100, 'v');
+  const std::string frame = resp.Encode().Serialize();
+  // Full header (promising a 100+ byte payload), 10 payload bytes, death.
+  const std::size_t sent = kFrameHeaderBytes + 10;
+  ASSERT_EQ(::send(fds[1], frame.data(), sent, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sent));
+  ::close(fds[1]);
+
+  auto out = framing::ReadFrame(fds[0], 64u << 20);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+  ::close(fds[0]);
+}
+
+TEST(SocketTransportTest, CleanEofBeforeAnyFrameIsNotFound) {
+  // Contrast case: death BETWEEN frames is a clean close, which pooled
+  // callers (tcp_channel.cc) use to tell staleness from truncation.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);
+  auto out = framing::ReadFrame(fds[0], 64u << 20);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+  ::close(fds[0]);
+}
+
 }  // namespace
 }  // namespace ecc::net

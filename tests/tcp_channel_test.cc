@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -309,6 +310,162 @@ TEST(TcpChannelTest, StatsReadableWhileCallsAreInFlight) {
   done.store(true, std::memory_order_release);
   reader.join();
   EXPECT_EQ(pair.channel->stats().calls, 300u);
+}
+
+TEST(TcpChannelTest, StaleReconnectSurvivesServerRestartOnSamePort) {
+  auto server = std::make_unique<TcpServer>(&EchoServer());
+  ASSERT_TRUE(server->Start().ok());
+  const std::uint16_t port = server->port();
+
+  TcpChannelOptions copts;
+  copts.port = port;
+  TcpChannel channel(copts);
+  ASSERT_TRUE(channel.Call(GetRequest{1}.Encode()).ok());
+  EXPECT_EQ(channel.idle_connections(), 1u);  // connection now pooled
+
+  // Restart the server on the SAME port: the pooled connection silently
+  // became a dead socket (its peer is gone), the classic pooled-client
+  // pathology after a node reboot or partition heal.
+  server->Stop();
+  TcpServerOptions sopts;
+  sopts.port = port;
+  server = std::make_unique<TcpServer>(&EchoServer(), sopts);
+  ASSERT_TRUE(server->Start().ok()) << "could not rebind " << port;
+
+  // The very next Call lands on the stale fd.  The channel must detect
+  // the peer-gone failure, redial, and resend — NOT surface Unavailable.
+  auto out = channel.Call(GetRequest{2}.Encode());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(GetResponse::Decode(*out)->value, "key=2");
+  EXPECT_GE(channel.stale_reconnects(), 1u);
+  EXPECT_GE(channel.connections_opened(), 2u);
+  server->Stop();
+}
+
+TEST(TcpChannelTest, PoolExhaustionFailsBoundedInsteadOfBlocking) {
+  // A listener that accepts connections into its backlog but never reads:
+  // a black-holed peer.  Borrowers park on their IO timeout; the pool cap
+  // must make the NEXT caller fail fast, not queue behind them.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+
+  TcpChannelOptions opts;
+  opts.port = ntohs(addr.sin_port);
+  opts.max_connections = 2;
+  opts.pool_wait_timeout = Duration::Millis(100);
+  opts.io_timeout = Duration::Seconds(3);
+  TcpChannel channel(opts);
+
+  // Two borrowers occupy both slots, each stuck on its 3 s read timeout.
+  std::vector<std::thread> borrowers;
+  for (int i = 0; i < 2; ++i) {
+    borrowers.emplace_back([&channel, i] {
+      auto out = channel.Call(GetRequest{static_cast<std::uint64_t>(i)}
+                                  .Encode());
+      EXPECT_FALSE(out.ok());
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  const auto start = std::chrono::steady_clock::now();
+  auto out = channel.Call(GetRequest{9}.Encode());
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(out.status().message().find("exhausted"), std::string::npos)
+      << out.status().ToString();
+  // Bounded by pool_wait_timeout, far under the borrowers' IO timeout.
+  EXPECT_LT(waited, 1500);
+  EXPECT_GE(channel.pool_exhausted_failures(), 1u);
+
+  for (auto& t : borrowers) t.join();
+  ::close(listener);
+}
+
+/// Accept one connection, read the request, answer with `reply`, close.
+/// The torn-frame tests use this to die mid-response-frame.
+void ServeOneRawReply(int listener, std::string reply) {
+  const int conn = ::accept(listener, nullptr, nullptr);
+  if (conn < 0) return;
+  char buf[4096];
+  (void)::read(conn, buf, sizeof(buf));  // swallow the request frame
+  (void)::send(conn, reply.data(), reply.size(), MSG_NOSIGNAL);
+  ::close(conn);  // dies mid-frame: the client sees a torn stream + EOF
+}
+
+int ListenEphemeral(std::uint16_t* port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listener, 4) != 0) {
+    ::close(listener);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  (void)::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
+  *port = ntohs(addr.sin_port);
+  return listener;
+}
+
+TEST(TcpChannelTest, TornHeaderSurfacesUnavailableNotHang) {
+  std::uint16_t port = 0;
+  const int listener = ListenEphemeral(&port);
+  ASSERT_GE(listener, 0);
+  // A valid response frame, beheaded after 3 of its header bytes.
+  GetResponse resp;
+  resp.found = true;
+  resp.value = "v";
+  const std::string frame = resp.Encode().Serialize();
+  std::thread server(ServeOneRawReply, listener, frame.substr(0, 3));
+
+  TcpChannelOptions opts;
+  opts.port = port;
+  opts.io_timeout = Duration::Seconds(2);
+  TcpChannel channel(opts);
+  auto out = channel.Call(GetRequest{1}.Encode());
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+  server.join();
+  ::close(listener);
+}
+
+TEST(TcpChannelTest, TornBodySurfacesUnavailableNotGarbage) {
+  std::uint16_t port = 0;
+  const int listener = ListenEphemeral(&port);
+  ASSERT_GE(listener, 0);
+  // A frame whose header promises more payload than ever arrives.
+  GetResponse resp;
+  resp.found = true;
+  resp.value = std::string(100, 'v');
+  const std::string frame = resp.Encode().Serialize();
+  std::thread server(ServeOneRawReply, listener,
+                     frame.substr(0, kFrameHeaderBytes + 10));
+
+  TcpChannelOptions opts;
+  opts.port = port;
+  opts.io_timeout = Duration::Seconds(2);
+  TcpChannel channel(opts);
+  auto out = channel.Call(GetRequest{1}.Encode());
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+  server.join();
+  ::close(listener);
 }
 
 }  // namespace
