@@ -33,13 +33,31 @@
 //   partition-during-migration two-phase range migration, destination
 //                              partitioned mid-copy: rollback, re-run
 //
+// Restart scenarios (durable WAL + warm rejoin; no proxies, so the parent
+// stays single-threaded and can fork again mid-run).  Every node persists
+// its shard under --durability-dir (or ECC_DURABILITY_DIR; auto-created
+// when unset):
+//
+//   kill-restart-warm          SIGKILL one node mid-traffic, restart it
+//                              from its WAL+snapshot, warm-rejoin via
+//                              32-bucket digest anti-entropy; asserts the
+//                              delta sync moved < 25% of the node's owed
+//                              keyspace and zero acked writes were lost
+//   double-crash-durable       SIGKILL *both* owners of a key arc at once
+//                              (every in-memory copy gone), restart both;
+//                              asserts zero unrecoverable keys — the acked
+//                              writes come back from the WALs
+//
 // Every fault is drawn from ECC_CHAOS_SEED (or --seed); a failing run
 // prints the seed so the exact fault schedule replays.
 //
 // Clean shutdown: SIGTERM to every child; each stops its TcpServer and
 // exits 0; the parent reaps and verifies.
+#include <ftw.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/prctl.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -49,6 +67,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -56,6 +75,7 @@
 #include <vector>
 
 #include "core/cache_node.h"
+#include "durability/durability.h"
 #include "net/chaos_proxy.h"
 #include "net/message.h"
 #include "net/rpc.h"
@@ -67,6 +87,7 @@
 namespace {
 
 using ecc::Duration;
+namespace durability = ecc::durability;
 namespace net = ecc::net;
 namespace obs = ecc::obs;
 namespace recovery = ecc::recovery;
@@ -85,9 +106,17 @@ struct Options {
   std::size_t suspect_threshold = 3;   // consecutive missed rounds
   std::string chaos;                   // empty => legacy (no-proxy) mode
   std::uint64_t chaos_seed = 0;        // resolved in main()
+  /// Node shards persist under <dir>/node_<id> (WAL + snapshots).  Empty =
+  /// durability off; restart scenarios auto-create a temp dir when unset.
+  std::string durability_dir;
+  bool owns_durability_dir = false;    // temp dir: removed on success
 };
 
-/// Child: serve one CacheNode over TCP until SIGTERM.
+/// Child: serve one CacheNode over TCP until SIGTERM.  With a durability
+/// dir the shard is recovered from its snapshot + WAL *before* the port is
+/// reported (a restart is invisible to the coordinator except for the new
+/// port), every mutation is WAL-mirrored, and the serve loop doubles as
+/// the slice-boundary fsync tick.
 [[noreturn]] void RunNode(std::size_t id, const Options& opts, int port_pipe) {
   ::prctl(PR_SET_PDEATHSIG, SIGKILL);  // die with the coordinator
   struct sigaction sa{};
@@ -95,6 +124,34 @@ struct Options {
   ::sigaction(SIGTERM, &sa, nullptr);
 
   ecc::core::CacheNode node(id, /*instance=*/0, opts.capacity_bytes);
+  obs::TraceLog trace{1 << 12};
+  std::unique_ptr<durability::NodeDurability> durable;
+  if (!opts.durability_dir.empty()) {
+    durability::DurabilityOptions dopts = durability::DurabilityOptionsFromEnv();
+    dopts.obs.trace = &trace;
+    const auto t0 = std::chrono::steady_clock::now();
+    dopts.now = [t0] {
+      return ecc::TimePoint::FromMicros(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    };
+    durable = std::make_unique<durability::NodeDurability>(
+        opts.durability_dir + "/node_" + std::to_string(id), dopts);
+    if (auto s = durable->Attach(&node); !s.ok()) {
+      std::fprintf(stderr, "node %zu: durability attach: %s\n", id,
+                   s.ToString().c_str());
+      ::_exit(3);
+    }
+    const auto& rec = durable->recover_stats();
+    if (rec.snapshot_records + rec.wal_records > 0 || rec.torn) {
+      std::fprintf(stderr,
+                   "node %zu: recovered %llu snapshot + %llu WAL records%s\n",
+                   id, static_cast<unsigned long long>(rec.snapshot_records),
+                   static_cast<unsigned long long>(rec.wal_records),
+                   rec.torn ? " (torn tail truncated)" : "");
+    }
+  }
   net::TcpServerOptions sopts;
   sopts.io_threads = opts.io_threads;
   net::TcpServer server(&node.rpc(), sopts);
@@ -110,8 +167,17 @@ struct Options {
   ::close(port_pipe);
   while (g_node_stop == 0) {
     ::usleep(20 * 1000);
+    if (durable != nullptr) durable->Tick();  // fsync the WAL append batch
   }
   server.Stop();
+  if (durable != nullptr) {
+    durable->Detach();  // final fsync; files stay for the next incarnation
+    if (const char* dump = std::getenv("ECC_TRACE_DUMP")) {
+      // Per-child file: concurrent children must not interleave writes.
+      (void)trace.AppendJsonLinesToFile(std::string(dump) + ".node" +
+                                        std::to_string(id));
+    }
+  }
   ::_exit(0);
 }
 
@@ -190,9 +256,29 @@ int Fail(const char* what) {
 // Fleet launch / shutdown, shared between the legacy smoke and chaos mode.
 // ------------------------------------------------------------------------
 
+/// Restart scenarios fork mid-run, so the parent must stay single-threaded:
+/// they run without chaos proxies (the fault is the SIGKILL itself).
+bool IsRestartScenario(const std::string& s) {
+  return s == "kill-restart-warm" || s == "double-crash-durable";
+}
+
 bool IsChaosScenario(const std::string& s) {
   return s == "partition-one" || s == "flapping-link" || s == "slow-node" ||
-         s == "corrupt-wire" || s == "partition-during-migration";
+         s == "corrupt-wire" || s == "partition-during-migration" ||
+         IsRestartScenario(s);
+}
+
+bool UsesProxies(const Options& opts) {
+  return !opts.chaos.empty() && !IsRestartScenario(opts.chaos);
+}
+
+int RemoveTreeCb(const char* path, const struct stat*, int, struct FTW*) {
+  return ::remove(path);
+}
+
+/// rm -rf for the auto-created durability dir (success path only).
+void RemoveTree(const std::string& dir) {
+  (void)::nftw(dir.c_str(), RemoveTreeCb, 16, FTW_DEPTH | FTW_PHYS);
 }
 
 /// Per-node fault plan.  Each node decorrelates from the run seed so the
@@ -209,38 +295,96 @@ net::ChaosPlan PlanFor(const Options& opts, std::size_t node,
   return plan;
 }
 
+/// Fork one node process; hands back its pid and the read end of the port
+/// pipe.  Returns non-zero on fork/pipe failure.
+int SpawnNode(std::size_t id, const Options& opts, pid_t* pid, int* port_fd) {
+  int fds[2];
+  if (::pipe(fds) != 0) return Fail("pipe()");
+  const pid_t p = ::fork();
+  if (p < 0) return Fail("fork()");
+  if (p == 0) {
+    ::close(fds[0]);
+    RunNode(id, opts, fds[1]);  // never returns
+  }
+  ::close(fds[1]);
+  *pid = p;
+  *port_fd = fds[0];
+  return 0;
+}
+
+/// Read the child's "port\n" report with a poll() timeout.  A child that
+/// crashes on startup closes the pipe (EOF) and a wedged child trips the
+/// timeout — either way the parent reaps it with waitpid (no zombie) and
+/// surfaces the exit status instead of hanging on a blocking read.
+/// Returns the port, or -1 on failure.
+int ReadPortReport(int fd, pid_t pid, std::size_t id) {
+  char buf[16] = {0};
+  std::size_t off = 0;
+  for (;;) {
+    struct pollfd p{fd, POLLIN, 0};
+    const int pr = ::poll(&p, 1, /*timeout_ms=*/10000);
+    if (pr < 0 && errno == EINTR) continue;
+    if (pr <= 0) break;  // timeout or poll failure
+    const ssize_t n = ::read(fd, buf + off, sizeof(buf) - 1 - off);
+    if (n <= 0) break;  // EOF: the child died before reporting
+    off += static_cast<std::size_t>(n);
+    if (std::memchr(buf, '\n', off) != nullptr) break;
+    if (off >= sizeof(buf) - 1) break;
+  }
+  ::close(fd);
+  const int port = std::atoi(buf);
+  if (port > 0) return port;
+  int status = 0;
+  if (::waitpid(pid, &status, WNOHANG) == 0) {
+    ::kill(pid, SIGKILL);  // wedged: nothing to salvage
+    (void)::waitpid(pid, &status, 0);
+    std::fprintf(stderr, "node %zu: wedged before reporting a port\n", id);
+  } else if (WIFEXITED(status)) {
+    std::fprintf(stderr, "node %zu: exited %d before reporting a port\n", id,
+                 WEXITSTATUS(status));
+  } else if (WIFSIGNALED(status)) {
+    std::fprintf(stderr, "node %zu: killed by signal %d before reporting a "
+                 "port\n",
+                 id, WTERMSIG(status));
+  }
+  return -1;
+}
+
+/// One pooled coordinator channel to a node (or its proxy).
+std::unique_ptr<net::TcpChannel> MakeChannel(const Options& opts,
+                                             std::uint16_t port,
+                                             std::size_t node_id) {
+  net::TcpChannelOptions copts;
+  copts.port = port;
+  // Chaos runs burn the io timeout on every black-holed call, so it has
+  // to be short; slow-node needs headroom above the shaped RTT.
+  copts.io_timeout = opts.chaos.empty()         ? Duration::Millis(250)
+                     : opts.chaos == "slow-node" ? Duration::Millis(100)
+                                                 : Duration::Millis(40);
+  auto ch = std::make_unique<net::TcpChannel>(copts);
+  ch->BindInterceptor(nullptr, node_id);  // label the endpoint
+  return ch;
+}
+
 /// Fork the node processes (before any thread exists), read their ports,
 /// then stand up per-node chaos proxies (chaos mode) and channels.
 int LaunchFleet(const Options& opts, std::vector<Endpoint>& fleet) {
   std::vector<int> port_pipes;
   for (std::size_t i = 0; i < opts.nodes; ++i) {
-    int fds[2];
-    if (::pipe(fds) != 0) return Fail("pipe()");
-    const pid_t pid = ::fork();
-    if (pid < 0) return Fail("fork()");
-    if (pid == 0) {
-      ::close(fds[0]);
-      RunNode(i, opts, fds[1]);  // never returns
-    }
-    ::close(fds[1]);
+    pid_t pid = -1;
+    int port_fd = -1;
+    if (const int rc = SpawnNode(i, opts, &pid, &port_fd); rc != 0) return rc;
     fleet.emplace_back();
     fleet.back().node_id = i;
     fleet.back().pid = pid;
-    port_pipes.push_back(fds[0]);
+    port_pipes.push_back(port_fd);
   }
   const std::size_t victim = opts.nodes - 1;
   for (std::size_t i = 0; i < opts.nodes; ++i) {
-    char buf[16] = {0};
-    ssize_t n = 0, off = 0;
-    while ((n = ::read(port_pipes[i], buf + off, sizeof(buf) - 1 - off)) > 0) {
-      off += n;
-      if (std::memchr(buf, '\n', off) != nullptr) break;
-    }
-    ::close(port_pipes[i]);
-    const int port = std::atoi(buf);
+    const int port = ReadPortReport(port_pipes[i], fleet[i].pid, i);
     if (port <= 0) return Fail("node did not report a port");
     std::uint16_t connect_port = static_cast<std::uint16_t>(port);
-    if (!opts.chaos.empty()) {
+    if (UsesProxies(opts)) {
       fleet[i].proxy = std::make_unique<net::ChaosProxy>(
           "127.0.0.1", connect_port, PlanFor(opts, i, victim));
       if (auto s = fleet[i].proxy->Start(); !s.ok()) {
@@ -249,15 +393,7 @@ int LaunchFleet(const Options& opts, std::vector<Endpoint>& fleet) {
       }
       connect_port = fleet[i].proxy->port();
     }
-    net::TcpChannelOptions copts;
-    copts.port = connect_port;
-    // Chaos runs burn the io timeout on every black-holed call, so it has
-    // to be short; slow-node needs headroom above the shaped RTT.
-    copts.io_timeout = opts.chaos.empty()       ? Duration::Millis(250)
-                       : opts.chaos == "slow-node" ? Duration::Millis(100)
-                                                   : Duration::Millis(40);
-    fleet[i].channel = std::make_unique<net::TcpChannel>(copts);
-    fleet[i].channel->BindInterceptor(nullptr, i);  // label the endpoint
+    fleet[i].channel = MakeChannel(opts, connect_port, i);
     std::printf("coordinator: node %zu pid %d port %d%s\n", i,
                 static_cast<int>(fleet[i].pid), port,
                 fleet[i].proxy ? " (proxied)" : "");
@@ -308,6 +444,9 @@ struct ChaosCtx {
   std::size_t revivals = 0;
   std::size_t dead_confirmed = 0;
   std::size_t scrub_repairs = 0;
+  /// Wall-clock trace stamps (micros since run start); shared by the
+  /// checker binding and the coordinator's own events.
+  std::function<ecc::TimePoint()> now = [] { return ecc::TimePoint{}; };
 };
 
 int FailChaos(const ChaosCtx& cx, const char* what) {
@@ -737,12 +876,13 @@ int RunChaos(Options opts) {
   cx.retry.max_backoff = Duration::Millis(10);
   const auto t0 = std::chrono::steady_clock::now();
   for (auto& ep : fleet) ep.proxy->BindTrace(&cx.trace, ep.node_id);
-  cx.checker.BindTrace(&cx.trace, [t0] {
+  cx.now = [t0] {
     return ecc::TimePoint::FromMicros(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - t0)
             .count());
-  });
+  };
+  cx.checker.BindTrace(&cx.trace, cx.now);
 
   // --- Load phase: replicate every key across its owner pair -------------
   for (std::uint64_t k = 0; k < opts.ops; ++k) ReplicatedPut(cx, k);
@@ -861,6 +1001,346 @@ int RunChaos(Options opts) {
   return 0;
 }
 
+// ------------------------------------------------------------------------
+// Restart scenarios: SIGKILL + durable recovery (WAL/snapshot) + warm
+// rejoin.  No proxies — the fault is the kill itself, and a proxy-less
+// parent stays single-threaded so the mid-run re-fork is safe.
+// ------------------------------------------------------------------------
+
+/// Top-2 rendezvous owners over the *whole* fleet, ignoring liveness: the
+/// placement a key returns to once every node is back up.
+std::array<std::size_t, 2> FullOwners(const std::vector<Endpoint>& fleet,
+                                      std::uint64_t key) {
+  std::size_t a = 0, b = 0;
+  std::uint64_t wa = 0, wb = 0;
+  bool have_a = false, have_b = false;
+  for (const auto& ep : fleet) {
+    const std::uint64_t w = Mix(key * 0x100000001b3ull + ep.node_id);
+    if (!have_a || w > wa) {
+      b = a;
+      wb = wa;
+      have_b = have_a;
+      a = ep.node_id;
+      wa = w;
+      have_a = true;
+    } else if (!have_b || w > wb) {
+      b = ep.node_id;
+      wb = w;
+      have_b = true;
+    }
+  }
+  return {a, b};
+}
+
+bool IsFullOwner(const std::vector<Endpoint>& fleet, std::uint64_t key,
+                 std::size_t node) {
+  const auto owners = FullOwners(fleet, key);
+  return owners[0] == node || owners[1] == node;
+}
+
+/// A read proves nothing while every full-placement owner is dead: the
+/// survivors answering "not found" is expected, not a lost ack.
+bool AnyFullOwnerLive(const std::vector<Endpoint>& fleet, std::uint64_t key) {
+  const auto owners = FullOwners(fleet, key);
+  return fleet[owners[0]].live || fleet[owners[1]].live;
+}
+
+/// Fetch a key's value from any live node that holds it.  The warm-rejoin
+/// delta source: after a double crash the only copy of a downtime write
+/// may sit on a node that is no rendezvous owner at all.
+bool FetchAnywhere(ChaosCtx& cx, std::uint64_t key, std::string* out) {
+  for (auto& ep : *cx.fleet) {
+    if (!ep.live) continue;
+    bool have = false;
+    std::string v;
+    if (!ReadCopy(cx, &ep, key, &have, &v)) continue;
+    if (have) {
+      *out = std::move(v);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Reap a SIGKILLed child before its slot is re-forked (satellite: the old
+/// code left zombies between kill and shutdown) and verify it actually
+/// died by our signal, not some startup crash.
+int ReapKilled(ChaosCtx& cx, Endpoint& ep) {
+  int status = 0;
+  if (::waitpid(ep.pid, &status, 0) != ep.pid) {
+    return FailChaos(cx, "waitpid on the killed node failed");
+  }
+  if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+    std::fprintf(stderr, "node %zu: unexpected exit status 0x%x\n",
+                 ep.node_id, static_cast<unsigned>(status));
+    return FailChaos(cx, "killed node did not die by SIGKILL");
+  }
+  ep.pid = -1;
+  return 0;
+}
+
+/// Restart a node in place: same id, same durability dir, fresh ephemeral
+/// port (hence a fresh channel).  The child replays its snapshot + WAL
+/// before it reports the port, so an answering probe means "recovered".
+int RestartNode(ChaosCtx& cx, Endpoint& ep) {
+  const Options& opts = *cx.opts;
+  pid_t pid = -1;
+  int port_fd = -1;
+  if (SpawnNode(ep.node_id, opts, &pid, &port_fd) != 0) {
+    return FailChaos(cx, "restart fork failed");
+  }
+  const int port = ReadPortReport(port_fd, pid, ep.node_id);
+  if (port <= 0) return FailChaos(cx, "restarted node reported no port");
+  ep.pid = pid;
+  ep.channel = MakeChannel(opts, static_cast<std::uint16_t>(port), ep.node_id);
+  ep.live = true;
+  ep.missed_rounds = 0;
+  ++cx.revivals;
+  std::printf("coordinator: node %zu restarted pid %d port %d\n", ep.node_id,
+              static_cast<int>(pid), port);
+  return 0;
+}
+
+constexpr std::size_t kRejoinBuckets = 32;
+
+struct RejoinStats {
+  std::size_t owed = 0;         ///< acked keys the node owns under full placement
+  std::size_t transferred = 0;  ///< keys delta-synced from survivors
+  std::size_t buckets_dirty = 0;
+  std::uint64_t recovered = 0;  ///< records the node brought back from disk
+};
+
+/// Warm-rejoin anti-entropy for one restarted node: split the keyspace
+/// into contiguous buckets, compare the node's DIGEST per bucket against
+/// the coordinator's expected fold over acked keys it owns, and per-key
+/// probe only the mismatched buckets, transferring just the keys the node
+/// actually lost.  WAL recovery makes most buckets match — that is the
+/// scenario's point, asserted as transferred < 25% of owed.
+int WarmRejoin(ChaosCtx& cx, std::size_t victim, RejoinStats* out) {
+  std::vector<Endpoint>& fleet = *cx.fleet;
+  Endpoint& ep = fleet[victim];
+
+  auto stats = net::CallWithRetry(*ep.channel, net::StatsRequest{}.Encode(),
+                                  cx.retry, &cx.rpc_stats);
+  if (stats.ok()) {
+    if (auto sr = net::StatsResponse::Decode(*stats); sr.ok()) {
+      out->recovered = sr->records;
+    }
+  }
+
+  // The node's owed keyspace: every acked key whose full-fleet owner pair
+  // contains it.  Issued-not-acked keys are excluded — their copies may
+  // legitimately exist anywhere, so they only widen a digest mismatch into
+  // a per-key probe, never into a blind transfer.
+  std::uint64_t max_key = 0;
+  for (const std::uint64_t k : cx.issued_keys) max_key = std::max(max_key, k);
+  const std::uint64_t width = max_key / kRejoinBuckets + 1;
+  std::array<std::uint64_t, kRejoinBuckets> want_digest{};
+  std::array<std::vector<std::uint64_t>, kRejoinBuckets> want_keys;
+  for (const std::uint64_t k : cx.issued_keys) {
+    if (!cx.checker.Acked(k)) continue;
+    if (!IsFullOwner(fleet, k, victim)) continue;
+    const auto b = static_cast<std::size_t>(k / width);
+    want_digest[b] +=
+        recovery::DigestTerm(k, ValueFor(k, cx.opts->value_bytes));
+    want_keys[b].push_back(k);
+    ++out->owed;
+  }
+
+  for (std::size_t b = 0; b < kRejoinBuckets; ++b) {
+    if (want_keys[b].empty()) continue;
+    const std::uint64_t lo = b * width;
+    auto resp = net::CallWithRetry(
+        *ep.channel, net::DigestRequest{lo, lo + width - 1}.Encode(), cx.retry,
+        &cx.rpc_stats);
+    if (!resp.ok()) return FailChaos(cx, "rejoin digest rpc failed");
+    auto dr = net::DigestResponse::Decode(*resp);
+    if (!dr.ok()) return FailChaos(cx, "rejoin digest undecodable");
+    if (dr->digest == want_digest[b] &&
+        dr->records == want_keys[b].size()) {
+      continue;  // bucket already warm: recovery covered it, nothing moves
+    }
+    ++out->buckets_dirty;
+    for (const std::uint64_t k : want_keys[b]) {
+      bool have = false;
+      std::string v;
+      if (!ReadCopy(cx, &ep, k, &have, &v)) {
+        return FailChaos(cx, "rejoin probe read failed");
+      }
+      if (have) continue;
+      std::string fresh;
+      if (!FetchAnywhere(cx, k, &fresh)) {
+        return FailChaos(cx, "delta-sync source read failed");
+      }
+      auto put = net::CallWithRetry(
+          *ep.channel, net::PutRequest{k, fresh}.Encode(), cx.retry,
+          &cx.rpc_stats);
+      if (!put.ok()) return FailChaos(cx, "delta-sync put failed");
+      ++out->transferred;
+    }
+  }
+  obs::Emit(&cx.trace,
+            obs::RejoinDeltaEvent(cx.now(), victim, out->owed,
+                                  out->transferred, out->recovered));
+  std::printf("chaos: node %zu warm rejoin: owed=%zu transferred=%zu "
+              "dirty_buckets=%zu/%zu recovered=%llu\n",
+              victim, out->owed, out->transferred, out->buckets_dirty,
+              kRejoinBuckets, static_cast<unsigned long long>(out->recovered));
+  return 0;
+}
+
+int RunRestartScenario(Options opts) {
+  if (opts.nodes < 3) return Fail("restart scenarios need --nodes >= 3");
+  const bool double_crash = opts.chaos == "double-crash-durable";
+  if (opts.durability_dir.empty()) {
+    char tmpl[] = "/tmp/ecc_fleet_dur.XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) return Fail("mkdtemp() failed");
+    opts.durability_dir = tmpl;
+    opts.owns_durability_dir = true;
+  }
+  opts.probe_every_ops = std::max<std::size_t>(5, opts.ops / 100);
+  std::printf("chaos: scenario=%s seed=0x%llx durability=%s (replay with "
+              "ECC_CHAOS_SEED=0x%llx)\n",
+              opts.chaos.c_str(),
+              static_cast<unsigned long long>(opts.chaos_seed),
+              opts.durability_dir.c_str(),
+              static_cast<unsigned long long>(opts.chaos_seed));
+
+  std::vector<Endpoint> fleet;
+  if (const int rc = LaunchFleet(opts, fleet); rc != 0) return rc;
+
+  ChaosCtx cx;
+  cx.opts = &opts;
+  cx.fleet = &fleet;
+  cx.retry.max_attempts = 2;
+  cx.retry.attempt_timeout = Duration::Millis(5);
+  cx.retry.initial_backoff = Duration::Millis(2);
+  cx.retry.max_backoff = Duration::Millis(10);
+  const auto t0 = std::chrono::steady_clock::now();
+  cx.now = [t0] {
+    return ecc::TimePoint::FromMicros(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  };
+  cx.checker.BindTrace(&cx.trace, cx.now);
+  // The crashed shards survive on disk, so an acked write is *never*
+  // excusable — even when every in-memory copy dies at once.
+  cx.checker.SetDurableRestarts(true);
+
+  // --- Load phase --------------------------------------------------------
+  for (std::uint64_t k = 0; k < opts.ops; ++k) ReplicatedPut(cx, k);
+  if (cx.acked != opts.ops) {
+    return FailChaos(cx, "load phase ack rate collapsed");
+  }
+  std::printf("chaos: load done, %zu/%zu writes acked\n", cx.acked, opts.ops);
+
+  // --- Fault phase: kill late (2/3 through the fresh-key traffic) so the
+  // downtime window stays well inside the 25% delta-sync bound. ----------
+  std::vector<std::size_t> victims;
+  if (double_crash) {
+    victims = {0, 1};
+  } else {
+    victims = {opts.nodes - 1};
+  }
+  const std::size_t kill_at = (2 * opts.ops) / 3;
+  for (std::size_t s = 0; s < opts.ops; ++s) {
+    if (s == kill_at) {
+      for (const std::size_t v : victims) {
+        std::printf("chaos: SIGKILL node %zu (pid %d)\n", v,
+                    static_cast<int>(fleet[v].pid));
+        ::kill(fleet[v].pid, SIGKILL);
+      }
+      if (double_crash) {
+        // Every acked key whose full owner pair is exactly the victim pair
+        // just lost all in-memory copies.  With durable restarts declared
+        // the checker refuses the excuse: these stay live obligations.
+        std::size_t doomed = 0;
+        for (const std::uint64_t k : cx.issued_keys) {
+          if (!cx.checker.Acked(k)) continue;
+          const auto owners = FullOwners(fleet, k);
+          if ((owners[0] == victims[0] && owners[1] == victims[1]) ||
+              (owners[0] == victims[1] && owners[1] == victims[0])) {
+            cx.checker.RecordUnrecoverable(k);
+            ++doomed;
+          }
+        }
+        std::printf("chaos: %zu acked keys lost every in-memory copy\n",
+                    doomed);
+        if (doomed == 0) {
+          return FailChaos(cx, "victim pair owned no key arc (vacuous run)");
+        }
+      }
+    }
+    if (s % opts.probe_every_ops == 0) ChaosProbeRound(cx);
+    ReplicatedPut(cx, opts.ops + s);
+    const std::uint64_t read_key =
+        Mix(opts.chaos_seed ^ (s * 2654435761ull)) % (opts.ops + s + 1);
+    (void)FailoverGet(cx, read_key,
+                      /*observe=*/AnyFullOwnerLive(fleet, read_key));
+  }
+  std::printf("chaos: fault phase done (acked=%zu put_failures=%zu "
+              "degraded_serves=%zu reads_unavailable=%zu confirmed_dead=%zu)\n",
+              cx.acked, cx.put_failures, cx.degraded_serves,
+              cx.reads_unavailable, cx.dead_confirmed);
+
+  // --- Reap the corpses, then restart them in place from their WALs -----
+  for (const std::size_t v : victims) {
+    if (const int rc = ReapKilled(cx, fleet[v]); rc != 0) return rc;
+  }
+  for (const std::size_t v : victims) {
+    if (const int rc = RestartNode(cx, fleet[v]); rc != 0) return rc;
+  }
+  for (int r = 0; r < 10 && !AllLive(fleet); ++r) ChaosProbeRound(cx);
+  if (!AllLive(fleet)) return FailChaos(cx, "a restarted node never answered");
+
+  // --- Warm rejoin: digest anti-entropy + minimal delta sync -------------
+  std::vector<RejoinStats> rejoin(victims.size());
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    if (const int rc = WarmRejoin(cx, victims[i], &rejoin[i]); rc != 0) {
+      return rc;
+    }
+  }
+
+  // --- Scrub + convergence + full audit ----------------------------------
+  if (const int rc = ScrubAndConverge(cx); rc != 0) return rc;
+  if (const int rc = FinalVerify(cx); rc != 0) return rc;
+  cx.checker.EmitSummary();
+  const auto report = cx.checker.report();
+  std::printf("chaos: %s\n", report.ToString().c_str());
+  obs::MaybeDumpTraceFromEnv(cx.trace);
+  const std::size_t clean_exits = ShutdownFleet(fleet, SIZE_MAX);
+
+  // --- Verdict ------------------------------------------------------------
+  if (!report.ok()) return FailChaos(cx, "invariant violated (see report)");
+  if (clean_exits != opts.nodes) {
+    return FailChaos(cx, "a node did not shut down clean");
+  }
+  if (cx.dead_confirmed < victims.size()) {
+    return FailChaos(cx, "the kill was never detected");
+  }
+  for (const auto& rj : rejoin) {
+    if (rj.recovered == 0) {
+      return FailChaos(cx, "restarted node recovered nothing from disk");
+    }
+    if (!double_crash && rj.owed > 0 && rj.transferred * 4 >= rj.owed) {
+      return FailChaos(cx, "delta sync moved >= 25% of the rejoined keyspace");
+    }
+  }
+  if (double_crash) {
+    if (report.keys_durable_pending == 0) {
+      return FailChaos(cx, "double crash never doomed a key arc");
+    }
+    if (report.keys_unrecoverable != 0) {
+      return FailChaos(cx, "acked keys written off despite durable WALs");
+    }
+  }
+  if (opts.owns_durability_dir) RemoveTree(opts.durability_dir);
+  std::printf("chaos: OK (%s survived, zero lost acked writes)\n",
+              opts.chaos.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -882,13 +1362,18 @@ int main(int argc, char** argv) {
     else if (a == "--seed") opts.chaos_seed = std::strtoull(next(), nullptr, 0);
     else if (a.rfind("--seed=", 0) == 0)
       opts.chaos_seed = std::strtoull(a.c_str() + 7, nullptr, 0);
+    else if (a == "--durability-dir") opts.durability_dir = next();
+    else if (a.rfind("--durability-dir=", 0) == 0)
+      opts.durability_dir = a.substr(17);
     else {
       std::fprintf(stderr,
                    "usage: fleet_runner [--nodes N] [--ops M] "
                    "[--value-bytes B] [--io-threads T] [--kill]\n"
-                   "                    [--chaos=SCENARIO] [--seed S]\n"
+                   "                    [--chaos=SCENARIO] [--seed S] "
+                   "[--durability-dir DIR]\n"
                    "  scenarios: partition-one flapping-link slow-node "
-                   "corrupt-wire partition-during-migration\n");
+                   "corrupt-wire partition-during-migration\n"
+                   "             kill-restart-warm double-crash-durable\n");
       return 2;
     }
   }
@@ -897,11 +1382,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown chaos scenario: %s\n", opts.chaos.c_str());
     return 2;
   }
+  if (opts.durability_dir.empty()) {
+    // Opt-in for any mode; restart scenarios fall back to a temp dir.
+    if (const char* v = std::getenv("ECC_DURABILITY_DIR")) {
+      opts.durability_dir = v;
+    }
+  }
   ::signal(SIGPIPE, SIG_IGN);  // belt and braces; sends use MSG_NOSIGNAL
 
   if (!opts.chaos.empty()) {
     if (opts.chaos_seed == 0) {
       opts.chaos_seed = net::ChaosSeedFromEnv(0xc4a05u);
+    }
+    if (IsRestartScenario(opts.chaos)) {
+      return RunRestartScenario(std::move(opts));
     }
     return RunChaos(std::move(opts));
   }

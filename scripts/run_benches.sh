@@ -50,6 +50,7 @@ fig ablation_policy
 fig micro_overload
 fig micro_obs
 fig micro_recovery
+fig micro_durability
 fig micro_fault
 
 # google-benchmark micro-benches (hardware-dependent ns/op).

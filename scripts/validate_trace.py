@@ -47,6 +47,10 @@ SCHEMAS = {
     "invariant_violation": {"kind": str},
     "invariant_check": {"checked": int, "violations": int,
                         "unrecoverable": int},
+    "wal_append": {"node": int, "records": int, "bytes": int},
+    "snapshot": {"node": int, "records": int, "bytes": int},
+    "rejoin_delta": {"node": int, "owned": int, "transferred": int,
+                     "recovered": int},
 }
 
 OPTIONAL = {"node": int, "key": int}
@@ -155,6 +159,15 @@ def check_line(path, lineno, line):
             or event["unrecoverable"] < 0
             or event["violations"] > event["checked"]):
         fail(path, lineno, f"inconsistent invariant_check counts: {event!r}")
+    if kind == "wal_append" and (event["records"] < 1 or event["bytes"] < 1):
+        fail(path, lineno, f"empty wal_append batch: {event!r}")
+    if kind == "snapshot" and (event["records"] < 0 or event["bytes"] < 1):
+        fail(path, lineno, f"inconsistent snapshot counts: {event!r}")
+    if kind == "rejoin_delta" and (
+            event["owned"] < 0 or event["recovered"] < 0
+            or event["transferred"] < 0
+            or event["transferred"] > event["owned"]):
+        fail(path, lineno, f"inconsistent rejoin_delta counts: {event!r}")
     if kind == "policy_decision":
         if event["decision"] not in POLICY_DECISIONS:
             fail(path, lineno,

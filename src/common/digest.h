@@ -1,0 +1,33 @@
+// Commutative set digest shared across layers.
+//
+// DigestTerm(key, value) is the per-record term of a commutative fold (u64
+// addition): equal key/value *sets* — in any order, on any node, split any
+// way across shards — fold to equal sums, and a single flipped byte moves
+// the sum with overwhelming probability.  The anti-entropy scrub
+// (src/recovery/), the chaos convergence check, a node's DIGEST RPC
+// (src/core/cache_node.h), and the warm-rejoin delta sync all compare this
+// same quantity, so it lives below all of them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ecc::common {
+
+/// Splitmix64-style finalizer of the key mixed with an FNV-1a hash of the
+/// value.  Must stay bit-stable: persisted digests and cross-process RPC
+/// replies both embed it.
+[[nodiscard]] constexpr std::uint64_t DigestTerm(std::uint64_t key,
+                                                 std::string_view value) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : value) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ull + h;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace ecc::common

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/digest.h"
 #include "net/message.h"
 #include "net/wire.h"
 
@@ -27,6 +28,7 @@ Status CacheNode::Insert(Key k, std::string v) {
   assert(inserted);
   (void)inserted;
   used_bytes_ += bytes;
+  if (mutations_ != nullptr) mutations_->OnInsert(k, *tree_.Find(k));
   return Status::Ok();
 }
 
@@ -37,6 +39,7 @@ bool CacheNode::Erase(Key k) {
   const bool erased = tree_.Erase(k);
   assert(erased);
   used_bytes_ -= bytes;
+  if (mutations_ != nullptr) mutations_->OnErase(k);
   return erased;
 }
 
@@ -71,7 +74,17 @@ std::size_t CacheNode::EraseRange(Key lo, Key hi) {
   const std::size_t removed = tree_.EraseRange(lo, hi);
   assert(removed == stats.records);
   used_bytes_ -= stats.bytes;
+  if (removed > 0 && mutations_ != nullptr) mutations_->OnEraseRange(lo, hi);
   return removed;
+}
+
+RangeDigest CacheNode::DigestInRange(Key lo, Key hi) const {
+  RangeDigest out;
+  tree_.ForEachInRange(lo, hi, [&out](Key k, const std::string& v) {
+    out.digest += common::DigestTerm(k, v);
+    ++out.records;
+  });
+  return out;
 }
 
 namespace {
@@ -123,6 +136,7 @@ Status CacheNode::RestoreShard(std::string_view bytes) {
   }
   tree_.BulkLoad(std::move(records));
   used_bytes_ = bytes_needed;
+  if (mutations_ != nullptr) mutations_->OnRestore();
   return Status::Ok();
 }
 
@@ -205,6 +219,17 @@ void CacheNode::InstallHandlers() {
                 if (!req.ok()) return req.status();
                 net::EraseRangeResponse resp;
                 resp.erased = EraseRange(req->lo, req->hi);
+                return resp.Encode();
+              });
+  rpc_.Handle(net::MsgType::kDigestRequest,
+              [this](const net::Message& m) -> StatusOr<net::Message> {
+                rpc_ops_.Inc();
+                auto req = net::DigestRequest::Decode(m);
+                if (!req.ok()) return req.status();
+                const RangeDigest d = DigestInRange(req->lo, req->hi);
+                net::DigestResponse resp;
+                resp.digest = d.digest;
+                resp.records = d.records;
                 return resp.Encode();
               });
 }

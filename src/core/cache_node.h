@@ -31,6 +31,30 @@ struct RangeStats {
   std::uint64_t bytes = 0;
 };
 
+/// Commutative digest of one key range (DigestInRange / the DIGEST RPC).
+struct RangeDigest {
+  std::uint64_t digest = 0;  ///< sum of common::DigestTerm over the range
+  std::uint64_t records = 0;
+};
+
+/// Observer of every successful shard mutation, in apply order.  The
+/// durability subsystem (src/durability/) implements this to mirror the
+/// shard into a write-ahead log; the indirection keeps the dependency
+/// arrow pointing the right way (core never depends on durability), same
+/// as core::MaintenanceTask.  Callbacks fire *after* the mutation applied
+/// and may not reenter the node.
+class ShardMutationListener {
+ public:
+  virtual ~ShardMutationListener() = default;
+
+  virtual void OnInsert(Key k, std::string_view v) = 0;
+  virtual void OnErase(Key k) = 0;
+  virtual void OnEraseRange(Key lo, Key hi) = 0;
+  /// The whole shard was replaced (RestoreShard): prior log state no
+  /// longer describes the shard and must be recompacted from scratch.
+  virtual void OnRestore() = 0;
+};
+
 class CacheNode {
  public:
   CacheNode(NodeId id, cloudsim::InstanceId instance,
@@ -70,6 +94,11 @@ class CacheNode {
 
   /// Record count and bytes in [lo, hi].
   [[nodiscard]] RangeStats StatsInRange(Key lo, Key hi) const;
+
+  /// Commutative digest (sum of common::DigestTerm) and record count over
+  /// [lo, hi] — the per-bucket quantity the warm-rejoin anti-entropy diff
+  /// compares, also served remotely via the DIGEST RPC.
+  [[nodiscard]] RangeDigest DigestInRange(Key lo, Key hi) const;
 
   /// Key at `rank` (0-based, in key order) within [lo, hi]; rank must be
   /// < StatsInRange(lo, hi).records.
@@ -111,6 +140,11 @@ class CacheNode {
   /// (unattached) handle makes every increment a no-op.
   void BindOpsCounter(obs::Counter c) { rpc_ops_ = c; }
 
+  /// Attach a mutation observer (not owned; nullptr detaches).  Every
+  /// successful Insert/Erase/EraseRange/RestoreShard notifies it after the
+  /// fact; the unbound default costs one branch per mutation.
+  void BindMutationListener(ShardMutationListener* l) { mutations_ = l; }
+
  private:
   void InstallHandlers();
 
@@ -121,6 +155,7 @@ class CacheNode {
   btree::BPlusTree<std::string> tree_;
   net::RpcServer rpc_;
   obs::Counter rpc_ops_;
+  ShardMutationListener* mutations_ = nullptr;
 };
 
 }  // namespace ecc::core

@@ -136,6 +136,9 @@ StatusOr<NodeId> ElasticCache::AllocateNode() {
     entry.bg_channel->BindInterceptor(opts_.fault, id);
   }
   entry.node->BindOpsCounter(m_.node_rpc_ops);
+  if (opts_.durability_factory != nullptr) {
+    entry.durability = opts_.durability_factory(id, entry.node.get());
+  }
   nodes_.emplace(id, std::move(entry));
   m_.node_allocations.Inc();
   m_.total_alloc_time_us.Inc(static_cast<std::uint64_t>(boot_wait.micros()));

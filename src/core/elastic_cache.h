@@ -98,6 +98,14 @@ struct ElasticCacheOptions {
   /// channel is bound to it and the two-phase migration protocol consults
   /// it between phases.
   fault::FaultInjector* fault = nullptr;
+  /// Durability hook (opt-in): called once per allocated node, after the
+  /// node exists but before it serves traffic.  The factory may recover the
+  /// shard from disk, bind a mutation listener, and return an owning handle
+  /// the cache keeps for the node's lifetime (destroyed at deallocation —
+  /// durability::FleetDurability retires the on-disk state then).  nullptr
+  /// (factory or returned handle) = no durability for that node.
+  std::function<std::unique_ptr<ShardMutationListener>(NodeId, CacheNode*)>
+      durability_factory;
   /// Observability sinks (none owned).  With obs.metrics == nullptr the
   /// cache creates a private registry, because its stats() accounting lives
   /// in registry cells; pass &obs::EccObsDisabled() to compile the whole
@@ -288,6 +296,9 @@ class ElasticCache final : public CacheBackend {
     /// Same endpoint without clock charging: background migrations ride
     /// this one (the work happens concurrently with query service).
     std::unique_ptr<net::Channel> bg_channel;
+    /// Durable-mirror handle from durability_factory (maybe null).  Last
+    /// member so it is destroyed first, while `node` is still alive.
+    std::unique_ptr<ShardMutationListener> durability;
   };
 
   /// Allocate a cloud instance + cache node (no buckets yet).  Advances the

@@ -21,6 +21,8 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kRangeStatsResponse: return "RANGE_STATS_RESP";
     case MsgType::kEraseRangeRequest: return "ERASE_RANGE";
     case MsgType::kEraseRangeResponse: return "ERASE_RANGE_RESP";
+    case MsgType::kDigestRequest: return "DIGEST";
+    case MsgType::kDigestResponse: return "DIGEST_RESP";
   }
   return "UNKNOWN";
 }
@@ -81,8 +83,7 @@ StatusOr<Message> Message::Deserialize(std::string_view bytes) {
   if (Status s = r.GetU8(tag); !s.ok()) return s;
   if (Status s = r.GetU32(len); !s.ok()) return s;
   if (Status s = r.GetU32(crc); !s.ok()) return s;
-  if (tag < static_cast<std::uint8_t>(MsgType::kGetRequest) ||
-      tag > static_cast<std::uint8_t>(MsgType::kEraseRangeResponse)) {
+  if (!IsKnownMsgType(tag)) {
     return Status::InvalidArgument("unknown message type tag");
   }
   if (r.remaining() != len) {
@@ -379,6 +380,40 @@ StatusOr<EraseRangeResponse> EraseRangeResponse::Decode(const Message& m) {
   WireReader r(m.payload);
   EraseRangeResponse out;
   if (Status s = r.GetU64(out.erased); !s.ok()) return s;
+  return out;
+}
+
+// --- Digest ---------------------------------------------------------------
+
+Message DigestRequest::Encode() const {
+  WireWriter w;
+  w.PutU64(lo);
+  w.PutU64(hi);
+  return Message{MsgType::kDigestRequest, w.TakeBuffer()};
+}
+
+StatusOr<DigestRequest> DigestRequest::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kDigestRequest); !s.ok()) return s;
+  WireReader r(m.payload);
+  DigestRequest out;
+  if (Status s = r.GetU64(out.lo); !s.ok()) return s;
+  if (Status s = r.GetU64(out.hi); !s.ok()) return s;
+  return out;
+}
+
+Message DigestResponse::Encode() const {
+  WireWriter w;
+  w.PutU64(digest);
+  w.PutU64(records);
+  return Message{MsgType::kDigestResponse, w.TakeBuffer()};
+}
+
+StatusOr<DigestResponse> DigestResponse::Decode(const Message& m) {
+  if (Status s = ExpectType(m, MsgType::kDigestResponse); !s.ok()) return s;
+  WireReader r(m.payload);
+  DigestResponse out;
+  if (Status s = r.GetU64(out.digest); !s.ok()) return s;
+  if (Status s = r.GetU64(out.records); !s.ok()) return s;
   return out;
 }
 

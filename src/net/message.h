@@ -33,6 +33,9 @@ enum class MsgType : std::uint8_t {
   /// Bulk range delete (two-phase migration source cleanup / rollback).
   kEraseRangeRequest = 14,
   kEraseRangeResponse = 15,
+  /// Commutative digest of [lo, hi] (warm-rejoin anti-entropy diff).
+  kDigestRequest = 16,
+  kDigestResponse = 17,
 };
 
 [[nodiscard]] const char* MsgTypeName(MsgType t);
@@ -43,7 +46,7 @@ enum class MsgType : std::uint8_t {
 /// Message::Deserialize would only reject afterwards.
 [[nodiscard]] constexpr bool IsKnownMsgType(std::uint8_t tag) {
   return tag >= static_cast<std::uint8_t>(MsgType::kGetRequest) &&
-         tag <= static_cast<std::uint8_t>(MsgType::kEraseRangeResponse);
+         tag <= static_cast<std::uint8_t>(MsgType::kDigestResponse);
 }
 
 /// Frame header layout shared by every byte-stream transport: 1-byte type
@@ -209,6 +212,27 @@ struct EraseRangeResponse {
 
   [[nodiscard]] Message Encode() const;
   [[nodiscard]] static StatusOr<EraseRangeResponse> Decode(const Message& m);
+};
+
+/// "Fold your records in [lo, hi] to a commutative digest."  The warm
+/// rejoin protocol partitions the keyspace into buckets and asks the
+/// restarted node this per bucket: matching digests verify a whole bucket
+/// of recovered state in one round trip; only mismatched buckets are
+/// synced key-by-key.
+struct DigestRequest {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;  ///< inclusive
+
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<DigestRequest> Decode(const Message& m);
+};
+
+struct DigestResponse {
+  std::uint64_t digest = 0;   ///< sum of common::DigestTerm over the range
+  std::uint64_t records = 0;
+
+  [[nodiscard]] Message Encode() const;
+  [[nodiscard]] static StatusOr<DigestResponse> Decode(const Message& m);
 };
 
 }  // namespace ecc::net

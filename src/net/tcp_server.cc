@@ -11,6 +11,7 @@
 
 #include <cassert>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/log.h"
@@ -147,6 +148,7 @@ TcpServerStats TcpServer::stats() const {
   s.connections_closed = connections_closed_.load(std::memory_order_relaxed);
   s.frames_served = frames_served_.load(std::memory_order_relaxed);
   s.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+  s.accept_soft_errors = accept_soft_errors_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -165,7 +167,27 @@ void TcpServer::AcceptLoop() {
       }
       for (;;) {
         const int conn_fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (conn_fd < 0) break;  // EAGAIN: accepted everything pending
+        if (conn_fd < 0) {
+          if (errno == EINTR) continue;
+          if (errno == ECONNABORTED) {
+            // The peer gave up while queued; nothing wrong with us.
+            accept_soft_errors_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+              errno == ENOMEM) {
+            // Descriptor/buffer exhaustion is a load condition, not a
+            // protocol error: keep serving the connections we have.  The
+            // short sleep matters — the listen fd is level-triggered, so
+            // breaking straight back to epoll_wait would busy-spin until
+            // a descriptor frees up.
+            accept_soft_errors_.fetch_add(1, std::memory_order_relaxed);
+            ECC_LOG_WARN("tcp_server: accept: %s (backing off)",
+                         std::strerror(errno));
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+          break;  // EAGAIN: accepted everything pending
+        }
         if (!SetNonBlocking(conn_fd)) {
           ::close(conn_fd);
           continue;

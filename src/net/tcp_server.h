@@ -61,6 +61,9 @@ struct TcpServerStats {
   std::uint64_t connections_closed = 0;
   std::uint64_t frames_served = 0;
   std::uint64_t frame_errors = 0;
+  /// Transient accept failures survived (EMFILE/ENFILE/ECONNABORTED…): the
+  /// server logged, backed off, and kept serving instead of dying.
+  std::uint64_t accept_soft_errors = 0;
 };
 
 class TcpServer {
@@ -136,6 +139,7 @@ class TcpServer {
   std::atomic<std::uint64_t> connections_closed_{0};
   std::atomic<std::uint64_t> frames_served_{0};
   std::atomic<std::uint64_t> frame_errors_{0};
+  std::atomic<std::uint64_t> accept_soft_errors_{0};
 };
 
 }  // namespace ecc::net

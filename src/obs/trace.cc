@@ -34,6 +34,9 @@ const char* EventKindName(EventKind k) {
     case EventKind::kChaosFault: return "chaos_fault";
     case EventKind::kInvariantViolation: return "invariant_violation";
     case EventKind::kInvariantCheck: return "invariant_check";
+    case EventKind::kWalAppend: return "wal_append";
+    case EventKind::kSnapshot: return "snapshot";
+    case EventKind::kRejoinDelta: return "rejoin_delta";
   }
   return "unknown";
 }
@@ -345,6 +348,29 @@ TraceEvent InvariantCheckEvent(TimePoint t, std::uint64_t checked,
               static_cast<std::int64_t>(unrecoverable));
 }
 
+TraceEvent WalAppendEvent(TimePoint t, std::uint64_t node,
+                          std::uint64_t records, std::uint64_t bytes) {
+  return Make(t, EventKind::kWalAppend, node, kNoKey,
+              static_cast<std::int64_t>(records),
+              static_cast<std::int64_t>(bytes), 0);
+}
+
+TraceEvent SnapshotEvent(TimePoint t, std::uint64_t node,
+                         std::uint64_t records, std::uint64_t bytes) {
+  return Make(t, EventKind::kSnapshot, node, kNoKey,
+              static_cast<std::int64_t>(records),
+              static_cast<std::int64_t>(bytes), 0);
+}
+
+TraceEvent RejoinDeltaEvent(TimePoint t, std::uint64_t node,
+                            std::uint64_t owned, std::uint64_t transferred,
+                            std::uint64_t recovered) {
+  return Make(t, EventKind::kRejoinDelta, node, kNoKey,
+              static_cast<std::int64_t>(owned),
+              static_cast<std::int64_t>(transferred),
+              static_cast<std::int64_t>(recovered));
+}
+
 TraceLog::TraceLog(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
   ring_.reserve(std::min<std::size_t>(capacity_, 1024));
@@ -498,6 +524,19 @@ std::string EventToJson(const TraceEvent& e) {
       AppendField(out, "checked", e.a);
       AppendField(out, "violations", e.b);
       AppendField(out, "unrecoverable", e.c);
+      break;
+    case EventKind::kWalAppend:
+      AppendField(out, "records", e.a);
+      AppendField(out, "bytes", e.b);
+      break;
+    case EventKind::kSnapshot:
+      AppendField(out, "records", e.a);
+      AppendField(out, "bytes", e.b);
+      break;
+    case EventKind::kRejoinDelta:
+      AppendField(out, "owned", e.a);
+      AppendField(out, "transferred", e.b);
+      AppendField(out, "recovered", e.c);
       break;
   }
   out += '}';

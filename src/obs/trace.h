@@ -50,8 +50,11 @@ enum class EventKind : std::uint8_t {
   kChaosFault,        ///< the chaos proxy perturbed a link (a = ChaosFaultCode)
   kInvariantViolation,  ///< the checker caught a broken invariant (a = kind)
   kInvariantCheck,    ///< end-of-scenario verdict (a/b/c = counts)
+  kWalAppend,         ///< WAL batch synced (a = records, b = bytes)
+  kSnapshot,          ///< durable snapshot written (a = records, b = bytes)
+  kRejoinDelta,       ///< warm rejoin delta-sync (a/b/c = counts)
 };
-inline constexpr int kEventKindCount = 26;
+inline constexpr int kEventKindCount = 29;
 
 [[nodiscard]] const char* EventKindName(EventKind k);
 
@@ -217,6 +220,20 @@ struct TraceEvent {
                                              std::uint64_t checked,
                                              std::uint64_t violations,
                                              std::uint64_t unrecoverable);
+/// One fsync batch hit the platter: `records` appends totalling `bytes`.
+[[nodiscard]] TraceEvent WalAppendEvent(TimePoint t, std::uint64_t node,
+                                        std::uint64_t records,
+                                        std::uint64_t bytes);
+[[nodiscard]] TraceEvent SnapshotEvent(TimePoint t, std::uint64_t node,
+                                       std::uint64_t records,
+                                       std::uint64_t bytes);
+/// Warm rejoin finished: of `owned` keys the restarted node was expected to
+/// serve, `transferred` were delta-synced from mirrors and `recovered` came
+/// back from its own snapshot + WAL.
+[[nodiscard]] TraceEvent RejoinDeltaEvent(TimePoint t, std::uint64_t node,
+                                          std::uint64_t owned,
+                                          std::uint64_t transferred,
+                                          std::uint64_t recovered);
 
 class TraceLog {
  public:

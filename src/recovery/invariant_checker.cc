@@ -6,22 +6,12 @@
 
 namespace ecc::recovery {
 
-std::uint64_t DigestTerm(std::uint64_t key, const std::string& value) {
-  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
-  for (const char c : value) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;  // FNV prime
-  }
-  std::uint64_t z = key + 0x9e3779b97f4a7c15ull + h;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
-
 std::string InvariantReport::ToString() const {
   std::ostringstream os;
   os << "issued=" << writes_issued << " acked=" << writes_acked
-     << " unrecoverable=" << keys_unrecoverable << " reads=" << reads_checked
+     << " unrecoverable=" << keys_unrecoverable
+     << " durable_pending=" << keys_durable_pending
+     << " reads=" << reads_checked
      << " lost_acks=" << lost_acks << " mismatches=" << value_mismatches
      << " stale=" << stale_serves << " divergences=" << divergences
      << (ok() ? " OK" : " VIOLATED");
@@ -51,6 +41,12 @@ void InvariantChecker::RecordAcked(std::uint64_t key, std::uint64_t seq) {
 }
 
 void InvariantChecker::RecordUnrecoverable(std::uint64_t key) {
+  if (durable_restarts_) {
+    // The crashed holders persist state a restart can replay: keep the
+    // obligation alive.  A later missing read of this key is a lost ack.
+    if (durable_pending_.insert(key).second) ++report_.keys_durable_pending;
+    return;
+  }
   if (unrecoverable_.insert(key).second) ++report_.keys_unrecoverable;
 }
 

@@ -39,6 +39,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/digest.h"
 #include "common/time.h"
 #include "obs/trace.h"
 
@@ -48,10 +49,14 @@ namespace ecc::recovery {
 /// the key with an FNV-1a hash of the value.  Equal key/value *sets* — in
 /// any order, on any node — fold (by u64 addition) to equal digests, and a
 /// single flipped byte moves the sum with overwhelming probability.
-/// Shared by the anti-entropy scrub and the chaos convergence check so
-/// both compare the same quantity.
-[[nodiscard]] std::uint64_t DigestTerm(std::uint64_t key,
-                                       const std::string& value);
+/// Shared by the anti-entropy scrub, the chaos convergence check, and the
+/// warm-rejoin delta sync, so all compare the same quantity (the
+/// implementation lives in common/digest.h; this alias keeps existing
+/// recovery-layer callers spelled the same).
+[[nodiscard]] inline std::uint64_t DigestTerm(std::uint64_t key,
+                                              const std::string& value) {
+  return common::DigestTerm(key, value);
+}
 
 /// One read verdict from InvariantChecker::Observe.
 enum class ReadVerdict : std::uint8_t {
@@ -65,6 +70,11 @@ struct InvariantReport {
   std::uint64_t writes_issued = 0;
   std::uint64_t writes_acked = 0;
   std::uint64_t keys_unrecoverable = 0;
+  /// Keys whose every live holder died while durable restarts were
+  /// declared (SetDurableRestarts): the acked write survives in a WAL, so
+  /// the obligation stays alive instead of being excused.  Informational —
+  /// a restart that fails to honor one of these shows up as a lost ack.
+  std::uint64_t keys_durable_pending = 0;
   std::uint64_t reads_checked = 0;
   std::uint64_t lost_acks = 0;
   std::uint64_t value_mismatches = 0;
@@ -90,8 +100,19 @@ class InvariantChecker {
   void RecordAcked(std::uint64_t key, std::uint64_t seq);
 
   /// Every holder of `key`'s acked copies died; a missing read is excused
-  /// (but a *wrong value* never is).
+  /// (but a *wrong value* never is).  With durable restarts declared
+  /// (SetDurableRestarts) the excuse is refused: the acked write still
+  /// exists in a crashed holder's WAL, so the key is tallied in
+  /// keys_durable_pending and a missing read remains a lost ack.
   void RecordUnrecoverable(std::uint64_t key);
+
+  /// Restart-aware loss accounting.  Declare (before the faults fire) that
+  /// crashed nodes persist their shard to a WAL+snapshot a restart can
+  /// replay.  While set, RecordUnrecoverable never excuses absence — an
+  /// acked write surviving only in a WAL is still an invariant obligation
+  /// that the restarted node must serve.
+  void SetDurableRestarts(bool on) { durable_restarts_ = on; }
+  [[nodiscard]] bool durable_restarts() const { return durable_restarts_; }
 
   /// Judge one read.  `found`/`value` are what the fleet returned.  The
   /// verdict is also tallied into the report and traced when bound.
@@ -138,6 +159,8 @@ class InvariantChecker {
 
   std::unordered_map<std::uint64_t, KeyHistory> keys_;
   std::unordered_set<std::uint64_t> unrecoverable_;
+  std::unordered_set<std::uint64_t> durable_pending_;
+  bool durable_restarts_ = false;
   std::uint64_t next_seq_ = 1;
   InvariantReport report_;
   obs::TraceLog* trace_ = nullptr;

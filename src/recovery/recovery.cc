@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "cloudsim/persistent_store.h"
+#include "durability/durability.h"
 #include "recovery/invariant_checker.h"
 
 namespace ecc::recovery {
@@ -138,6 +139,7 @@ RecoveryManager::RecoveryManager(RecoveryOptions opts,
   assert(cache != nullptr && clock != nullptr);
   m_rereplicated_ = opts_.obs.MakeCounter("recovery.keys_rereplicated");
   m_from_spill_ = opts_.obs.MakeCounter("recovery.keys_from_spill");
+  m_from_wal_ = opts_.obs.MakeCounter("recovery.keys_from_wal");
   m_unrecoverable_ = opts_.obs.MakeCounter("recovery.keys_unrecoverable");
   m_batches_ = opts_.obs.MakeCounter("recovery.batches");
   m_batch_rollbacks_ = opts_.obs.MakeCounter("recovery.batch_rollbacks");
@@ -199,6 +201,7 @@ bool RecoveryManager::ProcessBatch(const std::vector<core::Key>& batch) {
     core::Key key = 0;
     std::string value;
     bool from_spill = false;
+    bool from_wal = false;
     bool pre_primary = false;
     bool pre_mirror = false;
   };
@@ -230,18 +233,33 @@ bool RecoveryManager::ProcessBatch(const std::vector<core::Key>& batch) {
       plan.value = *primary;
     } else if (mirror != nullptr) {
       plan.value = *mirror;
-    } else if (cache_->spill_store() != nullptr) {
-      auto spilled = cache_->spill_store()->Get(p);
-      if (spilled.ok()) {
-        plan.value = std::move(*spilled);
-        plan.from_spill = true;
-      } else {
+    } else {
+      // Every in-memory copy is gone: fall through the persistent tiers —
+      // the spill store, then the retired nodes' WAL + snapshot state.
+      bool salvaged = false;
+      if (cache_->spill_store() != nullptr) {
+        auto spilled = cache_->spill_store()->Get(p);
+        if (spilled.ok()) {
+          plan.value = std::move(*spilled);
+          plan.from_spill = true;
+          salvaged = true;
+        }
+      }
+      if (!salvaged && opts_.durable != nullptr) {
+        auto durable = opts_.durable->SalvageValue(p);
+        if (!durable.ok() && mirrored) {
+          durable = opts_.durable->SalvageValue(cache_->MirrorKey(p));
+        }
+        if (durable.ok()) {
+          plan.value = std::move(*durable);
+          plan.from_wal = true;
+          salvaged = true;
+        }
+      }
+      if (!salvaged) {
         ++unrecoverable;
         continue;
       }
-    } else {
-      ++unrecoverable;
-      continue;
     }
     plans.push_back(std::move(plan));
   }
@@ -254,6 +272,7 @@ bool RecoveryManager::ProcessBatch(const std::vector<core::Key>& batch) {
   std::size_t applied = 0;
   std::uint64_t recovered = 0;
   std::uint64_t from_spill = 0;
+  std::uint64_t from_wal = 0;
   bool failed = false;
   for (const Plan& plan : plans) {
     if (!plan.pre_primary) {
@@ -268,6 +287,7 @@ bool RecoveryManager::ProcessBatch(const std::vector<core::Key>& batch) {
     ++applied;
     ++recovered;
     if (plan.from_spill) ++from_spill;
+    if (plan.from_wal) ++from_wal;
   }
 
   if (failed) {
@@ -288,6 +308,7 @@ bool RecoveryManager::ProcessBatch(const std::vector<core::Key>& batch) {
     m_batches_.Inc();
     m_rereplicated_.Inc(recovered);
     m_from_spill_.Inc(from_spill);
+    m_from_wal_.Inc(from_wal);
     obs::Emit(trace_, obs::RereplicateEvent(clock_->now(), recovered,
                                             from_spill, unrecoverable));
   }

@@ -52,6 +52,10 @@
 #include "core/maintenance.h"
 #include "obs/obs.h"
 
+namespace ecc::durability {
+class FleetDurability;
+}  // namespace ecc::durability
+
 namespace ecc::recovery {
 
 struct RecoveryOptions {
@@ -77,6 +81,11 @@ struct RecoveryOptions {
 
   /// Keys re-replicated per two-phase batch.
   std::size_t rereplicate_batch = 32;
+
+  /// Fleet durability manager (not owned; nullptr = none).  When set, a key
+  /// whose every in-memory copy died is salvaged from the retired nodes'
+  /// WAL + snapshot state before being declared unrecoverable.
+  durability::FleetDurability* durable = nullptr;
 
   /// Metric / trace sinks (none owned).
   obs::Observability obs;
@@ -170,7 +179,7 @@ class RecoveryManager final : public core::MaintenanceTask {
   std::set<core::Key> pending_set_;
   std::uint64_t ticks_ = 0;
 
-  obs::Counter m_rereplicated_, m_from_spill_, m_unrecoverable_;
+  obs::Counter m_rereplicated_, m_from_spill_, m_from_wal_, m_unrecoverable_;
   obs::Counter m_batches_, m_batch_rollbacks_;
   obs::Counter m_scrub_passes_, m_scrub_repairs_, m_scrub_divergent_;
 };

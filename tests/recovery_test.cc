@@ -15,6 +15,7 @@
 #include "cloudsim/persistent_store.h"
 #include "cloudsim/provider.h"
 #include "core/coordinator.h"
+#include "durability/durability.h"
 #include "core/elastic_cache.h"
 #include "core/parallel_coordinator.h"
 #include "core/striped_backend.h"
@@ -57,7 +58,8 @@ RecoveryOptions TestOptions() {
 struct Fixture {
   explicit Fixture(std::size_t replicas, RecoveryOptions ropts,
                    FaultPlan plan = {}, std::size_t initial_nodes = 4,
-                   std::size_t records_per_node = 64)
+                   std::size_t records_per_node = 64,
+                   durability::FleetDurability* durable = nullptr)
       : injector(std::move(plan)),
         provider(
             [] {
@@ -77,6 +79,7 @@ struct Fixture {
               o.fault = &injector;
               o.obs.metrics = &registry;
               o.obs.trace = &trace;
+              if (durable != nullptr) o.durability_factory = durable->Factory();
               return o;
             }(),
             &provider, &clock),
@@ -84,6 +87,7 @@ struct Fixture {
             [&] {
               ropts.obs.metrics = &registry;
               ropts.obs.trace = &trace;
+              ropts.durable = durable;
               return ropts;
             }(),
             &cache, &clock) {}
@@ -311,6 +315,42 @@ TEST(RecoveryManagerTest, SalvagesFromSpillTierWhenNoLiveCopy) {
   EXPECT_EQ(f.Metric("recovery.keys_unrecoverable"), lost_bare);
   for (const Key k : report->keys_dropped) {
     EXPECT_EQ(f.cache.Get(k).ok(), spilled.count(k) != 0) << "key " << k;
+  }
+}
+
+TEST(RecoveryManagerTest, SalvagesFromDurableWalWhenNoLiveCopy) {
+  // With one copy per key and no spill tier, a crash loses every key the
+  // victim held — unless the fleet runs with durability, in which case the
+  // recovery manager salvages them from the retired node's WAL+snapshot.
+  std::string dir = ::testing::TempDir() + "/rec_wal_salvage.XXXXXX";
+  ASSERT_NE(::mkdtemp(dir.data()), nullptr);
+  durability::DurabilityOptions dopts;
+  dopts.dir = dir;
+  dopts.fsync = false;
+  durability::FleetDurability durable(dopts);
+
+  RecoveryOptions ropts = TestOptions();
+  ropts.heartbeat_every = Duration::Zero();
+  Fixture f(/*replicas=*/1, ropts, {}, /*initial_nodes=*/4,
+            /*records_per_node=*/64, &durable);
+  const auto keys = SeedKeys(f.cache, 40);
+  ASSERT_GT(keys.size(), 0u);
+  EXPECT_EQ(durable.attached(), 4u);
+  const NodeId victim = f.cache.NodeIds().front();
+
+  auto report = f.cache.KillNode(victim);
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(report->keys_dropped.size(), 0u);
+  EXPECT_EQ(durable.retired(), 1u);  // the victim's dir moved to salvage
+
+  f.manager.Tick();
+
+  EXPECT_EQ(f.Metric("recovery.keys_from_wal"), report->keys_dropped.size());
+  EXPECT_EQ(f.Metric("recovery.keys_unrecoverable"), 0u);
+  for (const Key k : report->keys_dropped) {
+    auto got = f.cache.Get(k);
+    ASSERT_TRUE(got.ok()) << "key " << k;
+    EXPECT_EQ(*got, Val(k)) << "key " << k;
   }
 }
 
